@@ -1,0 +1,37 @@
+"""Benchmark plumbing.
+
+Each benchmark regenerates one table/figure of the paper, asserts its
+qualitative shape, and archives the rendered text under
+``bench_results/`` so the series the paper reports can be inspected
+after a ``pytest benchmarks/ --benchmark-only`` run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "bench_results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def archive(results_dir):
+    """Callable: archive(name, text) → writes bench_results/<name>.txt."""
+
+    def _archive(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+
+    return _archive
+
+
+def run_once(benchmark, fn):
+    """Run an expensive experiment exactly once under the timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,57 @@
+"""Table II / Figs. 2–3: dataset generation and summary statistics."""
+
+from __future__ import annotations
+
+from repro.datasets import (
+    ENTERPRISE1_USERS,
+    load_enterprise1,
+    load_federal,
+    load_florida,
+)
+
+#: Table II ground truth: (groups, servers, as-is sites, target sites).
+TABLE_II = {
+    "enterprise1": (190, 1070, 67, 10),
+    "florida": (190, 3907, 43, 10),
+    "federal": (1900, 42800, 2094, 100),
+}
+
+
+def _check_row(state, name):
+    groups, servers, currents, targets = TABLE_II[name]
+    s = state.summary()
+    assert s["app_groups"] == groups
+    assert s["servers"] == servers
+    assert s["current_datacenters"] == currents
+    assert s["target_datacenters"] == targets
+
+
+def test_bench_enterprise1_generation(benchmark, archive):
+    state = benchmark(load_enterprise1)
+    _check_row(state, "enterprise1")
+    total_users = sum(g.total_users for g in state.app_groups)
+    assert round(total_users) == ENTERPRISE1_USERS
+    archive(
+        "table2_enterprise1",
+        f"Table II enterprise1: {state.summary()} users={total_users:.0f}",
+    )
+
+
+def test_bench_florida_generation(benchmark, archive):
+    state = benchmark(load_florida)
+    _check_row(state, "florida")
+    archive("table2_florida", f"Table II florida: {state.summary()}")
+
+
+def test_bench_federal_generation(benchmark, archive):
+    state = benchmark(load_federal)
+    _check_row(state, "federal")
+    archive("table2_federal", f"Table II federal: {state.summary()}")
+
+
+def test_bench_group_size_distribution(benchmark):
+    """Fig. 1/3 structure: heavy-tailed groups, every group non-empty."""
+    state = benchmark(load_enterprise1)
+    sizes = sorted((g.servers for g in state.app_groups), reverse=True)
+    assert sizes[0] > 5 * (sum(sizes) / len(sizes))  # a whale exists
+    assert sizes[-1] >= 1

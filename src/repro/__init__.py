@@ -1,0 +1,82 @@
+"""eTransform — automated transformation and consolidation planning for
+enterprise data centers.
+
+A from-scratch reproduction of *"eTransform: Transforming Enterprise
+Data Centers by Automated Consolidation"* (Singh, Shenoy, Ramakrishnan,
+Kelkar, Vin — ICDCS 2012), including its optimization-engine substrate,
+the manual/greedy comparison baselines, synthetic versions of the three
+case-study datasets, and a harness for every table and figure of the
+paper's evaluation.
+
+Quick start::
+
+    from repro import load_enterprise1, plan_consolidation
+
+    state = load_enterprise1()
+    plan = plan_consolidation(state, backend="highs")
+    print(plan.breakdown.total, plan.datacenters_used)
+"""
+
+from .core import (
+    ApplicationGroup,
+    AsIsState,
+    CostParameters,
+    DataCenter,
+    ETransformPlanner,
+    IterativeSession,
+    LatencyPenaltyFunction,
+    PlannerOptions,
+    StepCostFunction,
+    TransformationPlan,
+    UserLocation,
+    evaluate_plan,
+    plan_consolidation,
+)
+from .analysis import run_robustness, run_sensitivity
+from .baselines import asis_plan, asis_with_dr_plan, greedy_plan, manual_plan
+from .core import improve_plan, split_oversized_groups
+from .migration import MigrationConfig, plan_migration
+from .sim import SimulatorConfig, simulate_plan
+from .datasets import (
+    latency_line_scenario,
+    load_enterprise1,
+    load_federal,
+    load_florida,
+    tradeoff_line_scenario,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ApplicationGroup",
+    "AsIsState",
+    "CostParameters",
+    "DataCenter",
+    "ETransformPlanner",
+    "IterativeSession",
+    "LatencyPenaltyFunction",
+    "PlannerOptions",
+    "StepCostFunction",
+    "TransformationPlan",
+    "UserLocation",
+    "__version__",
+    "MigrationConfig",
+    "SimulatorConfig",
+    "asis_plan",
+    "asis_with_dr_plan",
+    "evaluate_plan",
+    "greedy_plan",
+    "improve_plan",
+    "plan_migration",
+    "run_robustness",
+    "run_sensitivity",
+    "simulate_plan",
+    "split_oversized_groups",
+    "latency_line_scenario",
+    "load_enterprise1",
+    "load_federal",
+    "load_florida",
+    "manual_plan",
+    "plan_consolidation",
+    "tradeoff_line_scenario",
+]

@@ -1,0 +1,29 @@
+"""What-if analysis: cost sensitivity and price-noise robustness."""
+
+from .perturb import (
+    DIMENSIONS,
+    perturb_prices,
+    placement_churn,
+    scale_dimension,
+)
+from .robustness import RobustnessResult, RobustnessSample, run_robustness
+from .sensitivity import (
+    DEFAULT_MULTIPLIERS,
+    SensitivityPoint,
+    SensitivityResult,
+    run_sensitivity,
+)
+
+__all__ = [
+    "DEFAULT_MULTIPLIERS",
+    "DIMENSIONS",
+    "RobustnessResult",
+    "RobustnessSample",
+    "SensitivityPoint",
+    "SensitivityResult",
+    "perturb_prices",
+    "placement_churn",
+    "run_robustness",
+    "run_sensitivity",
+    "scale_dimension",
+]

@@ -1,0 +1,85 @@
+"""State perturbation utilities for sensitivity and robustness studies.
+
+Everything returns a *new* state; input states are never mutated, so a
+study can fan out dozens of variants from one baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from ..core.entities import AsIsState, DataCenter
+
+#: Cost dimensions a study may scale.
+DIMENSIONS = ("space", "power", "labor", "wan", "fixed", "vpn")
+
+
+def _scaled_datacenter(dc: DataCenter, dimension: str, factor: float) -> DataCenter:
+    if dimension == "space":
+        return replace(dc, space_cost=dc.space_cost.scaled(factor))
+    if dimension == "power":
+        return replace(dc, power_cost_per_kw=dc.power_cost_per_kw * factor)
+    if dimension == "labor":
+        return replace(dc, labor_cost_per_admin=dc.labor_cost_per_admin * factor)
+    if dimension == "wan":
+        return replace(dc, wan_cost_per_mb=dc.wan_cost_per_mb * factor)
+    if dimension == "fixed":
+        return replace(dc, fixed_monthly_cost=dc.fixed_monthly_cost * factor)
+    if dimension == "vpn":
+        return replace(
+            dc, vpn_link_cost={k: v * factor for k, v in dc.vpn_link_cost.items()}
+        )
+    raise ValueError(f"unknown cost dimension {dimension!r}; choose from {DIMENSIONS}")
+
+
+def scale_dimension(state: AsIsState, dimension: str, factor: float) -> AsIsState:
+    """Scale one cost dimension of every *target* site by ``factor``.
+
+    The current estate is left untouched — sensitivity studies ask how
+    the *plan* reacts, and the as-is bill is a sunk benchmark.
+    """
+    if factor < 0:
+        raise ValueError("scale factor cannot be negative")
+    targets = [_scaled_datacenter(dc, dimension, factor) for dc in state.target_datacenters]
+    return replace(state, target_datacenters=targets)
+
+
+def perturb_prices(
+    state: AsIsState,
+    sigma: float = 0.15,
+    seed: int = 0,
+    dimensions: tuple[str, ...] = ("space", "power", "labor", "wan", "fixed"),
+) -> AsIsState:
+    """Apply independent lognormal noise to every site's cost figures.
+
+    Models estimate error in the price sheets a planning engagement is
+    built on: each target site's cost in each dimension is multiplied by
+    ``exp(N(0, sigma))`` (median 1, i.e. unbiased).
+    """
+    if sigma < 0:
+        raise ValueError("sigma cannot be negative")
+    rng = np.random.default_rng(seed)
+    targets = []
+    for dc in state.target_datacenters:
+        perturbed = dc
+        for dimension in dimensions:
+            factor = float(rng.lognormal(mean=0.0, sigma=sigma))
+            perturbed = _scaled_datacenter(perturbed, dimension, factor)
+        targets.append(perturbed)
+    return replace(state, target_datacenters=targets)
+
+
+def placement_churn(a: dict[str, str], b: dict[str, str]) -> float:
+    """Fraction of groups placed differently by two plans.
+
+    Raises when the plans do not cover the same groups — comparing
+    placements of different estates is a bug, not a zero.
+    """
+    if set(a) != set(b):
+        raise ValueError("plans cover different application groups")
+    if not a:
+        return 0.0
+    moved = sum(1 for name in a if a[name] != b[name])
+    return moved / len(a)

@@ -1,0 +1,125 @@
+"""One-at-a-time cost-dimension sensitivity (generalizes paper §VI-D–F).
+
+Sweep a multiplier over one cost dimension, re-optimize at every point,
+and record how the plan responds: total cost, component split, number of
+sites used, and placement churn relative to the baseline (multiplier 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.entities import AsIsState
+from ..core.planner import ETransformPlanner, PlannerOptions
+from .perturb import DIMENSIONS, placement_churn, scale_dimension
+
+#: Default multiplier sweep: halve … quadruple the dimension.
+DEFAULT_MULTIPLIERS = (0.5, 0.75, 1.0, 1.5, 2.0, 4.0)
+
+
+@dataclass
+class SensitivityPoint:
+    """Plan response at one multiplier."""
+
+    multiplier: float
+    total_cost: float
+    component_cost: float
+    datacenters_used: int
+    latency_violations: int
+    churn_vs_baseline: float
+
+
+@dataclass
+class SensitivityResult:
+    """The full sweep over one dimension."""
+
+    dimension: str
+    points: list[SensitivityPoint] = field(default_factory=list)
+
+    def multipliers(self) -> list[float]:
+        return [p.multiplier for p in self.points]
+
+    def total_costs(self) -> list[float]:
+        return [p.total_cost for p in self.points]
+
+    @property
+    def elasticity(self) -> float:
+        """Relative cost change per relative price change, secant form.
+
+        Computed between the sweep's extremes:
+        ``(ΔC / C_baseline) / (Δm / 1)``.  0 means the dimension does
+        not matter; 1 means it is passed through in full.
+        """
+        if len(self.points) < 2:
+            raise ValueError("elasticity needs at least two sweep points")
+        lo = self.points[0]
+        hi = self.points[-1]
+        baseline = next(
+            (p for p in self.points if p.multiplier == 1.0), self.points[0]
+        )
+        dm = hi.multiplier - lo.multiplier
+        if dm == 0:
+            raise ValueError("degenerate sweep")
+        return (hi.total_cost - lo.total_cost) / baseline.total_cost / dm
+
+    def render(self) -> str:
+        lines = [f"Sensitivity — {self.dimension} cost"]
+        lines.append(
+            f"{'×':>6} {'total':>14} {'dimension':>12} {'DCs':>4} {'viol':>5} {'churn':>6}"
+        )
+        for p in self.points:
+            lines.append(
+                f"{p.multiplier:>6.2f} ${p.total_cost:>13,.0f} "
+                f"${p.component_cost:>11,.0f} {p.datacenters_used:>4d} "
+                f"{p.latency_violations:>5d} {p.churn_vs_baseline:>6.0%}"
+            )
+        lines.append(f"elasticity ≈ {self.elasticity:+.2f}")
+        return "\n".join(lines)
+
+
+def _component_cost(plan, dimension: str) -> float:
+    mapping = {
+        "space": plan.breakdown.space,
+        "power": plan.breakdown.power,
+        "labor": plan.breakdown.labor,
+        "wan": plan.breakdown.wan,
+        "vpn": plan.breakdown.wan,
+        "fixed": plan.breakdown.fixed,
+    }
+    return mapping[dimension]
+
+
+def run_sensitivity(
+    state: AsIsState,
+    dimension: str,
+    multipliers: tuple[float, ...] = DEFAULT_MULTIPLIERS,
+    options: PlannerOptions | None = None,
+) -> SensitivityResult:
+    """Sweep ``dimension`` and re-optimize at every multiplier."""
+    if dimension not in DIMENSIONS:
+        raise ValueError(f"unknown cost dimension {dimension!r}; choose from {DIMENSIONS}")
+    if not multipliers:
+        raise ValueError("empty multiplier sweep")
+    options = options or PlannerOptions(backend="auto")
+
+    baseline_plan = ETransformPlanner(state, options).plan()
+    result = SensitivityResult(dimension=dimension)
+    for multiplier in sorted(multipliers):
+        if multiplier == 1.0:
+            plan = baseline_plan
+        else:
+            variant = scale_dimension(state, dimension, multiplier)
+            plan = ETransformPlanner(variant, options).plan()
+        result.points.append(
+            SensitivityPoint(
+                multiplier=multiplier,
+                total_cost=plan.total_cost,
+                component_cost=_component_cost(plan, dimension),
+                datacenters_used=len(plan.datacenters_used),
+                latency_violations=plan.latency_violations,
+                churn_vs_baseline=placement_churn(
+                    baseline_plan.placement, plan.placement
+                ),
+            )
+        )
+    return result

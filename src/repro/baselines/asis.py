@@ -1,0 +1,118 @@
+"""As-is state evaluation, with and without bolted-on DR.
+
+The "as-is" bar in Figs. 4 and 6 is the cost of doing nothing: every
+application group stays in its current data center at that site's
+prices.  The DR variant follows the paper's comparison point — "adding
+DR to the as-is state by building a single backup data center that acts
+as the backup of all other data centers".
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+import statistics
+
+from ..core.costs import StepCostFunction
+from ..core.entities import AsIsState, DataCenter
+from ..core.plan import TransformationPlan, evaluate_plan
+
+#: Name of the synthetic single backup site used by :func:`asis_with_dr_plan`.
+ASIS_BACKUP_SITE = "asis-backup"
+
+
+def _current_placement(state: AsIsState) -> dict[str, str]:
+    placement: dict[str, str] = {}
+    for group in state.app_groups:
+        if not group.current_datacenter:
+            raise ValueError(
+                f"group {group.name!r} has no current data center; the as-is "
+                "cost is undefined for it"
+            )
+        placement[group.name] = group.current_datacenter
+    return placement
+
+
+def asis_plan(state: AsIsState, wan_model: str = "metered") -> TransformationPlan:
+    """Cost of the unchanged estate (the paper's AS-IS bar)."""
+    plan = evaluate_plan(
+        state,
+        _current_placement(state),
+        datacenters=state.current_datacenters,
+        wan_model=wan_model,
+        solver="as-is",
+    )
+    return plan
+
+
+def _median_backup_site(state: AsIsState, capacity: int) -> DataCenter:
+    """Synthesize the single as-is backup site at median market prices.
+
+    The paper builds one new backup data center; we price it at the
+    median of the current estate (no volume discount — a bolt-on site
+    is not part of any consolidation deal) and give it enough room for
+    the worst single-site failure.
+    """
+    currents = state.current_datacenters
+    if not currents:
+        raise ValueError("state has no current data centers to back up")
+    space = statistics.median(
+        dc.space_cost.unit_price(1) for dc in currents
+    )
+    power = statistics.median(dc.power_cost_per_kw for dc in currents)
+    labor = statistics.median(dc.labor_cost_per_admin for dc in currents)
+    wan = statistics.median(dc.wan_cost_per_mb for dc in currents)
+    latency = {}
+    vpn = {}
+    for loc in state.user_locations:
+        lat_values = [
+            dc.latency_to_users[loc.name]
+            for dc in currents
+            if loc.name in dc.latency_to_users
+        ]
+        if lat_values:
+            latency[loc.name] = statistics.median(lat_values)
+        vpn_values = [
+            dc.vpn_link_cost[loc.name]
+            for dc in currents
+            if loc.name in dc.vpn_link_cost
+        ]
+        if vpn_values:
+            vpn[loc.name] = statistics.median(vpn_values)
+    fixed = statistics.median(dc.fixed_monthly_cost for dc in currents)
+    return DataCenter(
+        name=ASIS_BACKUP_SITE,
+        capacity=capacity,
+        space_cost=StepCostFunction.flat(space),
+        power_cost_per_kw=power,
+        labor_cost_per_admin=labor,
+        wan_cost_per_mb=wan,
+        latency_to_users=latency,
+        vpn_link_cost=vpn,
+        fixed_monthly_cost=fixed,
+    )
+
+
+def asis_with_dr_plan(state: AsIsState, wan_model: str = "metered") -> TransformationPlan:
+    """As-is plus a single shared backup site (the AS-IS+DR bar of Fig. 6).
+
+    Every group's secondary is the synthetic backup site; under the
+    single-failure model its pool is the largest current-site load.
+    """
+    placement = _current_placement(state)
+    load: dict[str, int] = {}
+    for group in state.app_groups:
+        site = placement[group.name]
+        load[site] = load.get(site, 0) + group.servers
+    worst_site_load = max(load.values())
+
+    backup_site = _median_backup_site(state, capacity=max(worst_site_load, 1))
+    secondary = {group.name: ASIS_BACKUP_SITE for group in state.app_groups}
+    pool = list(state.current_datacenters) + [backup_site]
+    return evaluate_plan(
+        state,
+        placement,
+        secondary=secondary,
+        datacenters=pool,
+        wan_model=wan_model,
+        solver="as-is+dr",
+    )

@@ -1,0 +1,180 @@
+"""The state-of-the-art manual consolidation heuristic.
+
+Mirrors current industry practice as the paper describes it: pick a
+small number of target sites a priori (by an ad-hoc spreadsheet metric —
+here the cheapest estimated per-server bill, sized so the chosen sites
+can hold the estate), then move every application group to the chosen
+site *closest to its current location*.  Latency constraints are never
+consulted, which is exactly why the manual bars in Figs. 4 and 6 pay
+enormous latency penalties.
+
+The DR variant pairs each chosen site with a backup site (the nearest
+candidate not used as a primary; backup sites are reused when
+candidates run out — safe under the single-failure model) and mirrors
+placements, as in Section VI-C.
+"""
+
+from __future__ import annotations
+
+from ..core.entities import ApplicationGroup, AsIsState, DataCenter
+from ..core.plan import TransformationPlan, evaluate_plan
+from ..datasets.geography import distance_km
+
+
+class ManualPlanError(RuntimeError):
+    """The manual procedure could not find a feasible plan."""
+
+
+def _choose_sites(state: AsIsState, k: int) -> list[DataCenter]:
+    """Ad-hoc a-priori site choice: minimum real-estate-style cost.
+
+    Ranks candidates by the estimated fully-discounted per-server bill
+    (space at the deepest tier, power, labor) — the spreadsheet metric a
+    consolidation team actually uses.  Latency never enters, which is
+    the manual method's defining blind spot.
+    """
+    params = state.params
+
+    def per_server_estimate(dc: DataCenter) -> float:
+        deepest = dc.space_cost.segments[-1].unit_price
+        return (
+            deepest
+            + params.server_power_kw * dc.power_cost_per_kw
+            + dc.labor_cost_per_admin / params.servers_per_admin
+        )
+
+    ranked = sorted(
+        state.target_datacenters,
+        key=lambda dc: (per_server_estimate(dc), -dc.capacity),
+    )
+    return ranked[:k]
+
+
+def _closest(candidates: list[DataCenter], x: float, y: float) -> list[DataCenter]:
+    """Candidates ordered by distance to a point."""
+    return sorted(candidates, key=lambda dc: distance_km(dc.x, dc.y, x, y))
+
+
+def _group_origin(state: AsIsState, group: ApplicationGroup) -> tuple[float, float]:
+    """Coordinates of the group's current site (fallback: first user loc)."""
+    if group.current_datacenter:
+        try:
+            dc = state.current(group.current_datacenter)
+            return dc.x, dc.y
+        except KeyError:
+            pass
+    for loc in state.user_locations:
+        if group.users.get(loc.name, 0) > 0:
+            return loc.x, loc.y
+    return 0.0, 0.0
+
+
+def _initial_primaries(state: AsIsState, k: int) -> list[DataCenter]:
+    """The k cheapest sites, grown until they can hold the estate.
+
+    A human planner eyeballs this first: "two data centers — no wait,
+    two won't fit 4000 servers, make it four".
+    """
+    ranked = _choose_sites(state, len(state.target_datacenters))
+    total = state.total_servers
+    chosen: list[DataCenter] = []
+    for dc in ranked:
+        chosen.append(dc)
+        if len(chosen) >= k and sum(c.capacity for c in chosen) >= total:
+            break
+    if sum(c.capacity for c in chosen) < total:
+        raise ManualPlanError(
+            "even every candidate site together cannot hold the estate"
+        )
+    return chosen
+
+
+def _pair_backups(
+    state: AsIsState, primaries: list[DataCenter]
+) -> dict[str, DataCenter]:
+    """Assign each primary a backup site (nearest non-primary; reused
+    when candidates run out — only one primary can fail at a time)."""
+    reserve = [dc for dc in state.target_datacenters if dc not in primaries]
+    backups: dict[str, DataCenter] = {}
+    for site in primaries:
+        if reserve:
+            partner = _closest(reserve, site.x, site.y)[0]
+            reserve.remove(partner)
+        elif backups:
+            partner = _closest(list(backups.values()), site.x, site.y)[0]
+        else:
+            # Every candidate is a primary: mirror onto another primary.
+            others = [dc for dc in primaries if dc.name != site.name]
+            if not others:
+                raise ManualPlanError(
+                    "a single candidate site cannot host primaries and backups"
+                )
+            partner = _closest(others, site.x, site.y)[0]
+        backups[site.name] = partner
+    return backups
+
+
+def manual_plan(
+    state: AsIsState,
+    k: int = 2,
+    enable_dr: bool = False,
+    wan_model: str = "metered",
+) -> TransformationPlan:
+    """Run the manual heuristic into (at least) ``k`` consolidated sites.
+
+    Groups spill to the next-closest chosen site when one fills up; if
+    the chosen sites cannot hold a group, further candidates are pulled
+    in by the same rule of thumb.  Raises :class:`ManualPlanError` only
+    when no superset of sites works.
+    """
+    if k < 1:
+        raise ValueError("manual consolidation needs at least one site")
+
+    chosen = _initial_primaries(state, k)
+    remaining = {dc.name: dc.capacity for dc in state.target_datacenters}
+    placement: dict[str, str] = {}
+
+    def try_place(group: ApplicationGroup) -> bool:
+        ox, oy = _group_origin(state, group)
+        for site in _closest(chosen, ox, oy):
+            if not state.placeable(group, site):
+                continue
+            if remaining[site.name] >= group.servers:
+                placement[group.name] = site.name
+                remaining[site.name] -= group.servers
+                return True
+        return False
+
+    # Large groups first so spilling happens on small, flexible groups.
+    for group in sorted(state.app_groups, key=lambda g: -g.servers):
+        if try_place(group):
+            continue
+        # Pull in further sites by the same a-priori metric until the
+        # group fits (or candidates run out).
+        placed = False
+        for candidate in _choose_sites(state, len(state.target_datacenters)):
+            if candidate in chosen:
+                continue
+            chosen.append(candidate)
+            if try_place(group):
+                placed = True
+                break
+        if not placed:
+            raise ManualPlanError(
+                f"group {group.name!r} ({group.servers} servers) fits in no "
+                "remaining manual site"
+            )
+
+    secondary: dict[str, str] = {}
+    if enable_dr:
+        backups = _pair_backups(state, chosen)
+        for group_name, site_name in placement.items():
+            secondary[group_name] = backups[site_name].name
+
+    return evaluate_plan(
+        state,
+        placement,
+        secondary=secondary,
+        wan_model=wan_model,
+        solver="manual" + ("+dr" if enable_dr else ""),
+    )

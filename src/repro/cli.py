@@ -1,0 +1,259 @@
+"""Command-line interface: ``etransform`` (or ``python -m repro.cli``).
+
+Subcommands
+-----------
+``dataset``     generate a synthetic case-study state to JSON
+``plan``        run eTransform on a JSON state and print the to-be report
+``compare``     run as-is / manual / greedy / eTransform on a state
+``sweep``       run the Fig. 7 latency sweep or the Fig. 8 DR-cost sweep
+``migrate``     phase the transformation into waves with payback analysis
+``simulate``    replay disasters against the plan (availability, pools)
+``sensitivity`` sweep one cost dimension and report the plan's response
+``robustness``  Monte-Carlo regret under price-estimate noise
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .baselines import asis_plan, asis_with_dr_plan
+from .core.planner import ETransformPlanner, PlannerOptions
+from .experiments import (
+    run_comparison,
+    run_dr_cost_sweep,
+    run_latency_sweep,
+    tables,
+)
+from .io import load_state, render_plan_report, save_plan, save_state
+
+
+def _add_solver_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend",
+        default="auto",
+        help="solver backend: auto, highs, branch_bound, simplex, rounding",
+    )
+    parser.add_argument("--time-limit", type=float, default=None, metavar="SECONDS")
+    parser.add_argument("--mip-gap", type=float, default=None, metavar="FRACTION")
+
+
+def _solver_options(args: argparse.Namespace) -> dict:
+    options: dict = {}
+    if args.time_limit is not None:
+        options["time_limit"] = args.time_limit
+    if args.mip_gap is not None:
+        options["mip_rel_gap"] = args.mip_gap
+    return options
+
+
+def _cmd_dataset(args: argparse.Namespace) -> int:
+    from .experiments.comparison import CASE_STUDY_LOADERS
+
+    loader = CASE_STUDY_LOADERS.get(args.name)
+    if loader is None:
+        print(
+            f"unknown dataset {args.name!r}; choose from "
+            f"{', '.join(sorted(CASE_STUDY_LOADERS))}",
+            file=sys.stderr,
+        )
+        return 2
+    state = loader(scale=args.scale)
+    save_state(state, args.output)
+    summary = ", ".join(f"{k}={v}" for k, v in state.summary().items())
+    print(f"wrote {args.output}: {summary}")
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    state = load_state(args.input)
+    options = PlannerOptions(
+        wan_model=args.wan_model,
+        enable_dr=args.dr,
+        backend=args.backend,
+        solver_options=_solver_options(args),
+        lp_export_path=args.lp_export,
+    )
+    plan = ETransformPlanner(state, options).plan()
+    print(render_plan_report(state, plan))
+    if args.output:
+        save_plan(plan, args.output)
+        print(f"\nplan written to {args.output}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    state = load_state(args.input)
+    result = run_comparison(
+        state,
+        enable_dr=args.dr,
+        backend=args.backend,
+        wan_model=args.wan_model,
+        solver_options=_solver_options(args),
+    )
+    print(tables.render_comparison(result))
+    return 0
+
+
+def _cmd_asis(args: argparse.Namespace) -> int:
+    state = load_state(args.input)
+    plan = asis_with_dr_plan(state) if args.dr else asis_plan(state)
+    print(render_plan_report(state, plan))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    options = _solver_options(args)
+    if args.kind == "latency":
+        result = run_latency_sweep(backend=args.backend, solver_options=options)
+        for key in ("total_cost", "space_cost", "mean_latency_ms"):
+            print(tables.render_latency_sweep(result, key))
+            print()
+    else:
+        result = run_dr_cost_sweep(backend=args.backend, solver_options=options)
+        print(tables.render_dr_sweep(result))
+    return 0
+
+
+def _cmd_migrate(args: argparse.Namespace) -> int:
+    from .migration import MigrationConfig, plan_migration
+
+    state = load_state(args.input)
+    options = PlannerOptions(
+        enable_dr=args.dr, backend=args.backend, solver_options=_solver_options(args)
+    )
+    plan = ETransformPlanner(state, options).plan()
+    config = MigrationConfig(
+        max_servers_per_wave=args.wave_budget,
+        bandwidth_mbps=args.bandwidth,
+    )
+    schedule = plan_migration(state, plan, config)
+    print(schedule.render())
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from .sim import FailureModelConfig, SimulatorConfig, simulate_plan
+
+    state = load_state(args.input)
+    options = PlannerOptions(
+        enable_dr=args.dr, backend=args.backend, solver_options=_solver_options(args)
+    )
+    plan = ETransformPlanner(state, options).plan()
+    config = SimulatorConfig(
+        horizon_months=args.horizon_months,
+        failure=FailureModelConfig(
+            mtbf_hours=args.mtbf_hours, mttr_hours=args.mttr_hours, seed=args.seed
+        ),
+    )
+    report = simulate_plan(state, plan, config)
+    print(report.summary())
+    return 0
+
+
+def _cmd_sensitivity(args: argparse.Namespace) -> int:
+    from .analysis import run_sensitivity
+
+    state = load_state(args.input)
+    options = PlannerOptions(backend=args.backend, solver_options=_solver_options(args))
+    result = run_sensitivity(state, args.dimension, options=options)
+    print(result.render())
+    return 0
+
+
+def _cmd_robustness(args: argparse.Namespace) -> int:
+    from .analysis import run_robustness
+
+    state = load_state(args.input)
+    options = PlannerOptions(backend=args.backend, solver_options=_solver_options(args))
+    result = run_robustness(
+        state, sigma=args.sigma, samples=args.samples, options=options
+    )
+    print(result.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="etransform",
+        description="Automated transformation and consolidation planning "
+        "for enterprise data centers (ICDCS 2012 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("dataset", help="generate a synthetic case-study dataset")
+    p.add_argument("name", help="enterprise1, florida or federal")
+    p.add_argument("output", help="JSON file to write")
+    p.add_argument("--scale", type=float, default=1.0)
+    p.set_defaults(fn=_cmd_dataset)
+
+    p = sub.add_parser("plan", help="run eTransform on a JSON as-is state")
+    p.add_argument("input", help="JSON as-is state")
+    p.add_argument("--dr", action="store_true", help="plan disaster recovery too")
+    p.add_argument("--wan-model", default="metered", choices=("metered", "vpn"))
+    p.add_argument("--output", help="write the plan JSON here")
+    p.add_argument("--lp-export", help="dump the model in CPLEX LP format")
+    _add_solver_arguments(p)
+    p.set_defaults(fn=_cmd_plan)
+
+    p = sub.add_parser("compare", help="compare all four algorithms on a state")
+    p.add_argument("input", help="JSON as-is state")
+    p.add_argument("--dr", action="store_true")
+    p.add_argument("--wan-model", default="metered", choices=("metered", "vpn"))
+    _add_solver_arguments(p)
+    p.set_defaults(fn=_cmd_compare)
+
+    p = sub.add_parser("asis", help="evaluate the as-is cost of a state")
+    p.add_argument("input", help="JSON as-is state")
+    p.add_argument("--dr", action="store_true", help="add the single-backup-site DR")
+    p.set_defaults(fn=_cmd_asis)
+
+    p = sub.add_parser("sweep", help="run a parameter study")
+    p.add_argument("kind", choices=("latency", "dr-cost"))
+    _add_solver_arguments(p)
+    p.set_defaults(fn=_cmd_sweep)
+
+    p = sub.add_parser("migrate", help="plan the migration waves for a state")
+    p.add_argument("input", help="JSON as-is state")
+    p.add_argument("--dr", action="store_true")
+    p.add_argument("--wave-budget", type=int, default=200,
+                   help="max servers moved per change window")
+    p.add_argument("--bandwidth", type=float, default=1000.0,
+                   help="bulk-transfer bandwidth in Mbps")
+    _add_solver_arguments(p)
+    p.set_defaults(fn=_cmd_migrate)
+
+    p = sub.add_parser("simulate", help="replay disasters against the plan")
+    p.add_argument("input", help="JSON as-is state")
+    p.add_argument("--dr", action="store_true")
+    p.add_argument("--horizon-months", type=float, default=60.0)
+    p.add_argument("--mtbf-hours", type=float, default=10 * 8760.0)
+    p.add_argument("--mttr-hours", type=float, default=96.0)
+    p.add_argument("--seed", type=int, default=0)
+    _add_solver_arguments(p)
+    p.set_defaults(fn=_cmd_simulate)
+
+    p = sub.add_parser("sensitivity", help="sweep one cost dimension")
+    p.add_argument("input", help="JSON as-is state")
+    p.add_argument("dimension", choices=("space", "power", "labor", "wan", "fixed", "vpn"))
+    _add_solver_arguments(p)
+    p.set_defaults(fn=_cmd_sensitivity)
+
+    p = sub.add_parser("robustness", help="regret under price noise")
+    p.add_argument("input", help="JSON as-is state")
+    p.add_argument("--sigma", type=float, default=0.15)
+    p.add_argument("--samples", type=int, default=10)
+    _add_solver_arguments(p)
+    p.set_defaults(fn=_cmd_robustness)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

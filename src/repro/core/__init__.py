@@ -1,0 +1,73 @@
+"""eTransform core: entities, cost models, MILP formulation, planner."""
+
+from .costs import StepCostFunction, PriceSegment, monthly_power_cost_per_kw
+from .entities import (
+    ApplicationGroup,
+    AsIsState,
+    CostParameters,
+    DataCenter,
+    UserLocation,
+)
+from .formulation import ConsolidationModel, InfeasibleModelError, ModelOptions
+from .iterative import IterativeSession
+from .latency import NO_PENALTY, LatencyPenaltyFunction, PenaltyStep
+from .local_search import LocalSearchResult, improve_plan
+from .plan import (
+    CostBreakdown,
+    DataCenterUsage,
+    TransformationPlan,
+    dedicated_backup_requirements,
+    evaluate_plan,
+    shared_backup_requirements,
+)
+from .planner import ETransformPlanner, PlannerOptions, PlanningError, plan_consolidation
+from .splitting import (
+    SplitRecord,
+    SplitResult,
+    merge_placement,
+    split_oversized_groups,
+)
+from .validation import (
+    PlanValidationError,
+    StateValidationError,
+    validate_plan,
+    validate_state,
+)
+
+__all__ = [
+    "ApplicationGroup",
+    "AsIsState",
+    "ConsolidationModel",
+    "CostBreakdown",
+    "CostParameters",
+    "DataCenter",
+    "DataCenterUsage",
+    "ETransformPlanner",
+    "InfeasibleModelError",
+    "IterativeSession",
+    "LatencyPenaltyFunction",
+    "LocalSearchResult",
+    "ModelOptions",
+    "NO_PENALTY",
+    "PenaltyStep",
+    "PlanValidationError",
+    "PlannerOptions",
+    "PlanningError",
+    "PriceSegment",
+    "SplitRecord",
+    "SplitResult",
+    "StateValidationError",
+    "StepCostFunction",
+    "TransformationPlan",
+    "UserLocation",
+    "merge_placement",
+    "split_oversized_groups",
+    "dedicated_backup_requirements",
+    "evaluate_plan",
+    "improve_plan",
+    "monthly_power_cost_per_kw",
+    "plan_consolidation",
+    "shared_backup_requirements",
+    "validate_plan",
+    "validate_state",
+]

@@ -1,0 +1,222 @@
+"""Cost models: volume-discount step pricing (economies of scale).
+
+The paper models economies of scale as a step function: "the space cost
+per server is :math:`Q_{b_j}` if the total number of servers ... is less
+than :math:`b_j`; the space cost decreases by :math:`H_j` per server
+every time the algorithm places :math:`b_j` more servers" — i.e.
+*all-units* volume pricing, incorporated into the LP with the Schoomer
+(1964) step-function technique (segment binaries; see
+:mod:`repro.core.formulation`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class PriceSegment:
+    """One tier of an all-units price schedule.
+
+    The tier applies when total quantity ``q`` satisfies
+    ``lower <= q <= upper``; every unit is then priced at ``unit_price``.
+    """
+
+    lower: int
+    upper: int | None  # None = unbounded final tier
+    unit_price: float
+
+    def contains(self, quantity: int) -> bool:
+        if quantity < self.lower:
+            return False
+        return self.upper is None or quantity <= self.upper
+
+
+class StepCostFunction:
+    """All-units volume-discount schedule.
+
+    Parameters
+    ----------
+    segments:
+        Contiguous tiers starting at quantity 1 (or 0) with
+        non-increasing unit prices.  The last tier may be unbounded.
+
+    Examples
+    --------
+    >>> f = StepCostFunction.volume_discount(base_price=100, step=100, discount=10, floor_price=60)
+    >>> f.unit_price(50), f.unit_price(150), f.unit_price(10_000)
+    (100.0, 90.0, 60.0)
+    """
+
+    def __init__(self, segments: Sequence[PriceSegment]) -> None:
+        if not segments:
+            raise ValueError("a step cost function needs at least one segment")
+        expected_lower = segments[0].lower
+        if expected_lower not in (0, 1):
+            raise ValueError("first segment must start at quantity 0 or 1")
+        previous_upper: int | None = None
+        for seg in segments:
+            if seg.unit_price < 0:
+                raise ValueError("unit prices cannot be negative")
+            if previous_upper is not None:
+                if seg.lower != previous_upper + 1:
+                    raise ValueError("segments must be contiguous")
+            if seg.upper is not None and seg.upper < seg.lower:
+                raise ValueError("segment upper bound below lower bound")
+            previous_upper = seg.upper
+            if seg.upper is None and seg is not segments[-1]:
+                raise ValueError("only the final segment may be unbounded")
+        self._segments = tuple(segments)
+
+    # -- constructors ------------------------------------------------------
+    @classmethod
+    def flat(cls, unit_price: float) -> "StepCostFunction":
+        """A single-tier (no volume discount) schedule."""
+        return cls([PriceSegment(1, None, float(unit_price))])
+
+    @classmethod
+    def volume_discount(
+        cls,
+        base_price: float,
+        step: int,
+        discount: float,
+        floor_price: float,
+        max_quantity: int | None = None,
+    ) -> "StepCostFunction":
+        """Paper-style schedule: price drops by ``discount`` every ``step`` units.
+
+        ``floor_price`` caps how cheap a unit can get; ``max_quantity``
+        optionally bounds the final tier (else it is unbounded).
+        """
+        if step <= 0:
+            raise ValueError("step must be positive")
+        if floor_price < 0 or floor_price > base_price:
+            raise ValueError("floor price must be within [0, base_price]")
+        segments: list[PriceSegment] = []
+        lower = 1
+        price = float(base_price)
+        while True:
+            at_floor = price - discount < floor_price
+            upper: int | None = lower + step - 1
+            if at_floor:
+                upper = max_quantity
+            elif max_quantity is not None and upper >= max_quantity:
+                upper = max_quantity
+                at_floor = True
+            segments.append(PriceSegment(lower, upper, max(price, floor_price)))
+            if at_floor:
+                break
+            lower = upper + 1
+            price -= discount
+        return cls(segments)
+
+    # -- queries -----------------------------------------------------------
+    @property
+    def segments(self) -> tuple[PriceSegment, ...]:
+        return self._segments
+
+    @property
+    def num_segments(self) -> int:
+        return len(self._segments)
+
+    @property
+    def is_flat(self) -> bool:
+        return len(self._segments) == 1
+
+    @property
+    def max_quantity(self) -> int | None:
+        """Largest priceable quantity (None when unbounded)."""
+        return self._segments[-1].upper
+
+    def segment_for(self, quantity: int) -> PriceSegment:
+        """The tier pricing the given total quantity."""
+        if quantity < 0:
+            raise ValueError("quantity cannot be negative")
+        for seg in self._segments:
+            if seg.contains(quantity):
+                return seg
+        raise ValueError(
+            f"quantity {quantity} exceeds the schedule's maximum "
+            f"({self.max_quantity})"
+        )
+
+    def unit_price(self, quantity: int) -> float:
+        """All-units price per unit when ``quantity`` units are bought."""
+        if quantity == 0:
+            return self._segments[0].unit_price
+        return self.segment_for(quantity).unit_price
+
+    def total_cost(self, quantity: int) -> float:
+        """Total cost of ``quantity`` units under all-units pricing."""
+        if quantity == 0:
+            return 0.0
+        return self.unit_price(quantity) * quantity
+
+    def scaled(self, factor: float) -> "StepCostFunction":
+        """Schedule with every unit price multiplied by ``factor``."""
+        if factor < 0:
+            raise ValueError("scale factor cannot be negative")
+        return StepCostFunction(
+            [PriceSegment(s.lower, s.upper, s.unit_price * factor) for s in self._segments]
+        )
+
+    def truncated(self, max_quantity: int) -> "StepCostFunction":
+        """Schedule limited to quantities ``<= max_quantity``.
+
+        Used to bound LP segment variables by data-center capacity.
+        """
+        if max_quantity < 1:
+            raise ValueError("max_quantity must be at least 1")
+        out: list[PriceSegment] = []
+        for seg in self._segments:
+            if seg.lower > max_quantity:
+                break
+            upper = seg.upper
+            if upper is None or upper > max_quantity:
+                upper = max_quantity
+            out.append(PriceSegment(seg.lower, upper, seg.unit_price))
+        return StepCostFunction(out)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StepCostFunction):
+            return NotImplemented
+        return self._segments == other._segments
+
+    def __hash__(self) -> int:
+        return hash(self._segments)
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"[{s.lower},{'∞' if s.upper is None else s.upper}]@{s.unit_price:g}"
+            for s in self._segments
+        )
+        return f"StepCostFunction({parts})"
+
+
+def monthly_power_cost_per_kw(price_cents_per_kwh: float, hours: float = 730.0) -> float:
+    """Convert a retail electricity price (¢/kWh) to $/kW/month.
+
+    The paper's :math:`E_j` is a monthly dollar figure per kilowatt; EIA
+    publishes cents per kilowatt-hour, so :math:`E_j = price × hours / 100`.
+    """
+    if price_cents_per_kwh < 0:
+        raise ValueError("electricity price cannot be negative")
+    return price_cents_per_kwh * hours / 100.0
+
+
+def admins_required(servers: int, servers_per_admin: float) -> float:
+    """Fractional administrator headcount for a server count.
+
+    The LP uses the fractional form ``servers / β`` exactly as the paper
+    does; reports may ceil it for presentation.
+    """
+    if servers < 0:
+        raise ValueError("server count cannot be negative")
+    return servers / servers_per_admin
+
+
+def ceil_admins(servers: int, servers_per_admin: float) -> int:
+    """Whole administrators needed (for human-readable reports)."""
+    return int(math.ceil(admins_required(servers, servers_per_admin)))

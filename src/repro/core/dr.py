@@ -1,0 +1,131 @@
+"""Disaster-recovery extension of the consolidation MILP (Section IV).
+
+Adds, on top of :class:`~repro.core.formulation.ConsolidationModel`:
+
+* secondary-site binaries :math:`Y_{ij}` with :math:`Σ_j Y_{ij} = 1` and
+  :math:`X_{ij} + Y_{ij} ≤ 1` (primary ≠ secondary);
+* backup pools :math:`G_b` shared across application groups under the
+  single-failure assumption, linearized with
+  :math:`J_{abc} ≥ X_{ca} + Y_{cb} − 1` and
+  :math:`G_b ≥ Σ_c J_{abc} S_c` for every primary *a*;
+* (optional) dedicated pools :math:`G_b ≥ Σ_c Y_{cb} S_c` for
+  multi-failure protection.
+
+:math:`J` may stay *continuous*: it only lower-bounds :math:`G_b`, which
+the objective minimizes, so at any optimum
+:math:`J_{abc} = \\max(0, X_{ca} + Y_{cb} − 1)` exactly — the relaxation
+is tight and saves :math:`M·N²` binaries.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..lp import quicksum
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .formulation import ConsolidationModel
+
+
+def add_disaster_recovery(model: "ConsolidationModel") -> None:
+    """Install DR variables, constraints and bookkeeping on ``model``.
+
+    Called by the builder when ``ModelOptions.enable_dr`` is set; the DR
+    cost terms are added by the builder's ``_dr_objective`` and the
+    backup load feeds the capacity and space-segment constraints.
+    """
+    state = model.state
+    prob = model.problem
+
+    # Secondary-site binaries over the same eligibility filter as X.
+    for group in state.app_groups:
+        for dc in state.target_datacenters:
+            if (group.name, dc.name) in model.x:
+                model.y[(group.name, dc.name)] = prob.add_binary(
+                    f"Y[{group.name},{dc.name}]"
+                )
+
+    for group in state.app_groups:
+        y_vars = [v for (g, _), v in model.y.items() if g == group.name]
+        if len(y_vars) < 2:
+            # A single eligible site cannot host both primary and secondary.
+            raise ValueError(
+                f"group {group.name!r} has fewer than two eligible sites; "
+                "disaster recovery is impossible for it"
+            )
+        prob.add_constraint(quicksum(y_vars) == 1, f"dr_assign[{group.name}]")
+
+    # Primary and secondary must differ: X_ij + Y_ij <= 1.
+    for key, x_var in model.x.items():
+        group_name, dc_name = key
+        prob.add_constraint(
+            x_var + model.y[key] <= 1, f"dr_distinct[{group_name},{dc_name}]"
+        )
+
+    # Backup pool size per site.
+    for dc in state.target_datacenters:
+        model.g[dc.name] = prob.add_variable(
+            f"G[{dc.name}]", lb=0.0, ub=float(dc.capacity)
+        )
+
+    if model.options.dedicated_backups:
+        _add_dedicated_pools(model)
+    else:
+        _add_shared_pools(model)
+
+
+def _add_dedicated_pools(model: "ConsolidationModel") -> None:
+    """Multi-failure sizing: every group brings its own backup servers."""
+    prob = model.problem
+    for dc in model.state.target_datacenters:
+        demand = quicksum(
+            model.y[(g.name, dc.name)] * g.servers
+            for g in model.state.app_groups
+            if (g.name, dc.name) in model.y
+        )
+        prob.add_constraint(model.g[dc.name] >= demand, f"dr_pool[{dc.name}]")
+
+
+def _add_shared_pools(model: "ConsolidationModel") -> None:
+    """Single-failure sizing with shared pools (paper's J/G construction)."""
+    state = model.state
+    prob = model.problem
+
+    # J[a, b, c] ≥ X_ca + Y_cb − 1, continuous in [0, 1].
+    for group in state.app_groups:
+        for dc_a in state.target_datacenters:
+            if (group.name, dc_a.name) not in model.x:
+                continue
+            for dc_b in state.target_datacenters:
+                if dc_b.name == dc_a.name:
+                    continue
+                if (group.name, dc_b.name) not in model.y:
+                    continue
+                j_var = prob.add_variable(
+                    f"J[{dc_a.name},{dc_b.name},{group.name}]", lb=0.0, ub=1.0
+                )
+                model.j[(dc_a.name, dc_b.name, group.name)] = j_var
+                prob.add_constraint(
+                    j_var
+                    >= model.x[(group.name, dc_a.name)]
+                    + model.y[(group.name, dc_b.name)]
+                    - 1,
+                    f"dr_link[{dc_a.name},{dc_b.name},{group.name}]",
+                )
+
+    # G_b ≥ Σ_c J_abc S_c for every potential failing primary a.
+    groups_by_name = {g.name: g for g in state.app_groups}
+    for dc_b in state.target_datacenters:
+        for dc_a in state.target_datacenters:
+            if dc_a.name == dc_b.name:
+                continue
+            terms = [
+                j_var * groups_by_name[c].servers
+                for (a, b, c), j_var in model.j.items()
+                if a == dc_a.name and b == dc_b.name
+            ]
+            if terms:
+                prob.add_constraint(
+                    model.g[dc_b.name] >= quicksum(terms),
+                    f"dr_pool[{dc_b.name},{dc_a.name}]",
+                )

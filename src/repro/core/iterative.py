@@ -1,0 +1,147 @@
+"""Admin interface for iterative modification (paper Fig. 5).
+
+Lets an administrator take an initial plan and steer it — pin a group to
+a site, forbid a placement, retire a candidate site, cap a site's group
+count — then re-solve.  Each refinement rebuilds the model with the
+accumulated directives, exactly like the paper's "interface for
+iterative modification" feeds extra constraints back into the LP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from .entities import AsIsState
+from .plan import TransformationPlan
+from .planner import ETransformPlanner, PlannerOptions
+from ..lp import quicksum
+
+
+@dataclass
+class Directive:
+    """One administrator steering action."""
+
+    kind: str  # "pin" | "forbid" | "retire_site" | "cap_groups"
+    group: str | None = None
+    datacenter: str | None = None
+    limit: int | None = None
+
+    def describe(self) -> str:
+        if self.kind == "pin":
+            return f"pin {self.group!r} to {self.datacenter!r}"
+        if self.kind == "forbid":
+            return f"forbid {self.group!r} in {self.datacenter!r}"
+        if self.kind == "retire_site":
+            return f"retire site {self.datacenter!r}"
+        if self.kind == "cap_groups":
+            return f"cap {self.datacenter!r} at {self.limit} groups"
+        return self.kind
+
+
+@dataclass
+class IterativeSession:
+    """Stateful refinement loop over a single as-is state.
+
+    Example
+    -------
+    ::
+
+        session = IterativeSession(state, PlannerOptions())
+        first = session.plan()
+        session.forbid("payroll", "dc-cheap")
+        second = session.plan()     # re-solved with the new constraint
+        session.undo()              # drop the last directive
+    """
+
+    state: AsIsState
+    options: PlannerOptions = field(default_factory=PlannerOptions)
+    directives: list[Directive] = field(default_factory=list)
+    history: list[TransformationPlan] = field(default_factory=list)
+
+    # -- directive builders ------------------------------------------------
+    def pin(self, group: str, datacenter: str) -> None:
+        """Force ``group``'s primary site to ``datacenter``."""
+        self.state.group(group)
+        self.state.target(datacenter)
+        self.directives.append(Directive("pin", group=group, datacenter=datacenter))
+
+    def forbid(self, group: str, datacenter: str) -> None:
+        """Exclude ``datacenter`` as the primary site of ``group``."""
+        self.state.group(group)
+        self.state.target(datacenter)
+        self.directives.append(Directive("forbid", group=group, datacenter=datacenter))
+
+    def retire_site(self, datacenter: str) -> None:
+        """Remove a candidate site from consideration entirely."""
+        self.state.target(datacenter)
+        self.directives.append(Directive("retire_site", datacenter=datacenter))
+
+    def cap_groups(self, datacenter: str, limit: int) -> None:
+        """Limit how many groups ``datacenter`` may host."""
+        if limit < 0:
+            raise ValueError("group cap cannot be negative")
+        self.state.target(datacenter)
+        self.directives.append(
+            Directive("cap_groups", datacenter=datacenter, limit=limit)
+        )
+
+    def undo(self) -> Directive:
+        """Remove and return the most recent directive."""
+        if not self.directives:
+            raise IndexError("no directives to undo")
+        return self.directives.pop()
+
+    # -- solving ------------------------------------------------------------
+    def plan(self) -> TransformationPlan:
+        """Re-solve under the accumulated directives and record the plan."""
+        working_state = self._apply_state_directives()
+        planner = ETransformPlanner(working_state, replace(self.options))
+        self._apply_model_directives(planner)
+        result = planner.plan()
+        self.history.append(result)
+        return result
+
+    def _apply_state_directives(self) -> AsIsState:
+        """Directives expressible as state edits (site retirement)."""
+        retired = {
+            d.datacenter for d in self.directives if d.kind == "retire_site"
+        }
+        if not retired:
+            return self.state
+        targets = [
+            dc for dc in self.state.target_datacenters if dc.name not in retired
+        ]
+        return replace(self.state, target_datacenters=targets)
+
+    def _apply_model_directives(self, planner: ETransformPlanner) -> None:
+        """Directives expressible as extra model constraints."""
+        model = planner.model
+        prob = model.problem
+        for d in self.directives:
+            if d.kind == "pin":
+                key = (d.group, d.datacenter)
+                if key not in model.x:
+                    raise ValueError(
+                        f"cannot pin: {d.group!r} is not placeable in {d.datacenter!r}"
+                    )
+                prob.add_constraint(
+                    model.x[key] >= 1, f"pin[{d.group},{d.datacenter}]"
+                )
+            elif d.kind == "forbid":
+                key = (d.group, d.datacenter)
+                if key in model.x:
+                    prob.add_constraint(
+                        model.x[key] <= 0, f"forbid[{d.group},{d.datacenter}]"
+                    )
+            elif d.kind == "cap_groups":
+                vars_j = [
+                    var for (_, dc), var in model.x.items() if dc == d.datacenter
+                ]
+                if vars_j:
+                    prob.add_constraint(
+                        quicksum(vars_j) <= d.limit, f"cap[{d.datacenter}]"
+                    )
+
+    def describe(self) -> list[str]:
+        """Human-readable list of active directives."""
+        return [d.describe() for d in self.directives]

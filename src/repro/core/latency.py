@@ -1,0 +1,136 @@
+"""Latency penalty functions and violation accounting.
+
+Each application group specifies its latency constraint as a *step
+penalty function* (Section III-B): a per-user dollar penalty keyed on
+the user-weighted mean latency the placement induces.  The canonical
+case-study instance is "$100 per user if mean latency exceeds 10 ms".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class PenaltyStep:
+    """One step: penalty applies once mean latency exceeds ``threshold_ms``."""
+
+    threshold_ms: float
+    penalty_per_user: float
+
+    def __post_init__(self) -> None:
+        if self.threshold_ms < 0:
+            raise ValueError("latency threshold cannot be negative")
+        if self.penalty_per_user < 0:
+            raise ValueError("penalty cannot be negative")
+
+
+class LatencyPenaltyFunction:
+    """Monotone step function: mean latency (ms) → $ per user.
+
+    Steps are cumulative thresholds: the applicable penalty is that of
+    the highest threshold exceeded.  An empty function never penalizes.
+    """
+
+    def __init__(self, steps: Sequence[PenaltyStep] = ()) -> None:
+        ordered = sorted(steps, key=lambda s: s.threshold_ms)
+        for earlier, later in zip(ordered, ordered[1:]):
+            if later.threshold_ms == earlier.threshold_ms:
+                raise ValueError("duplicate latency thresholds")
+            if later.penalty_per_user < earlier.penalty_per_user:
+                raise ValueError("penalties must be non-decreasing in latency")
+        self._steps = tuple(ordered)
+
+    @classmethod
+    def single_threshold(cls, threshold_ms: float, penalty_per_user: float) -> "LatencyPenaltyFunction":
+        """The paper's canonical one-step penalty."""
+        return cls([PenaltyStep(threshold_ms, penalty_per_user)])
+
+    @classmethod
+    def banded(
+        cls,
+        threshold_ms: float,
+        band_width_ms: float,
+        penalty_per_band: float,
+        bands: int,
+    ) -> "LatencyPenaltyFunction":
+        """A multi-band step function: each ``band_width_ms`` beyond the
+        threshold adds another ``penalty_per_band`` per user.
+
+        This is the general "cost per user based on the range for the
+        average latency" form of Section III-B; the parameter studies
+        (Fig. 7) use it so placements move gradually toward users as the
+        penalty rate grows.
+        """
+        if band_width_ms <= 0:
+            raise ValueError("band width must be positive")
+        if bands < 1:
+            raise ValueError("need at least one band")
+        steps = [
+            PenaltyStep(threshold_ms + k * band_width_ms, (k + 1) * penalty_per_band)
+            for k in range(bands)
+        ]
+        return cls(steps)
+
+    @property
+    def steps(self) -> tuple[PenaltyStep, ...]:
+        return self._steps
+
+    @property
+    def is_zero(self) -> bool:
+        """True when no latency ever incurs a penalty."""
+        return all(s.penalty_per_user == 0 for s in self._steps)
+
+    @property
+    def strictest_threshold_ms(self) -> float | None:
+        """Lowest latency threshold carrying a positive penalty, if any."""
+        for step in self._steps:
+            if step.penalty_per_user > 0:
+                return step.threshold_ms
+        return None
+
+    def penalty_per_user(self, mean_latency_ms: float) -> float:
+        """Dollar penalty per user at the given mean latency."""
+        if mean_latency_ms < 0:
+            raise ValueError("latency cannot be negative")
+        applicable = 0.0
+        for step in self._steps:
+            if mean_latency_ms > step.threshold_ms:
+                applicable = step.penalty_per_user
+            else:
+                break
+        return applicable
+
+    def total_penalty(self, mean_latency_ms: float, users: float) -> float:
+        """Group-level penalty: per-user penalty × user count."""
+        return self.penalty_per_user(mean_latency_ms) * users
+
+    def violates(self, mean_latency_ms: float) -> bool:
+        """Whether the latency constraint is violated at this latency.
+
+        A *violation* in the paper's tables is a latency-sensitive group
+        whose placement exceeds its (positive-penalty) threshold.
+        """
+        threshold = self.strictest_threshold_ms
+        return threshold is not None and mean_latency_ms > threshold
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LatencyPenaltyFunction):
+            return NotImplemented
+        return self._steps == other._steps
+
+    def __hash__(self) -> int:
+        return hash(self._steps)
+
+    def __repr__(self) -> str:
+        if not self._steps:
+            return "LatencyPenaltyFunction(none)"
+        parts = ", ".join(
+            f">{s.threshold_ms:g}ms→${s.penalty_per_user:g}/user" for s in self._steps
+        )
+        return f"LatencyPenaltyFunction({parts})"
+
+
+#: Shared sentinel for "no latency constraint".
+NO_PENALTY = LatencyPenaltyFunction()

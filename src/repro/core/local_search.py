@@ -1,0 +1,218 @@
+"""Local-search improvement of consolidation plans.
+
+Polishes any (non-DR) placement with relocate and swap moves until no
+single move helps.  Useful to upgrade heuristic output — greedy or the
+relax-and-round backend — toward LP quality when an exact solve is too
+expensive, and as an independent check that a plan is locally tight.
+
+The evaluator is incremental: a move touches at most two sites, so only
+those sites' space/power/labor/fixed slices and the moved groups'
+WAN/latency terms are re-priced, not the whole estate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .entities import ApplicationGroup, AsIsState, DataCenter
+from .plan import TransformationPlan, evaluate_plan
+from .wan import wan_cost
+
+
+@dataclass
+class LocalSearchResult:
+    """The improved plan plus search statistics."""
+
+    plan: TransformationPlan
+    iterations: int
+    relocations: int
+    swaps: int
+    initial_cost: float
+
+    @property
+    def improvement(self) -> float:
+        """Absolute cost reduction achieved."""
+        return self.initial_cost - self.plan.total_cost
+
+
+class _IncrementalEvaluator:
+    """Per-site and per-group cost pieces with O(1) move deltas."""
+
+    def __init__(self, state: AsIsState, wan_model: str) -> None:
+        self.state = state
+        self.wan_model = wan_model
+        self.groups = {g.name: g for g in state.app_groups}
+        self.sites = {dc.name: dc for dc in state.target_datacenters}
+        self._group_site_cache: dict[tuple[str, str], float] = {}
+
+    def site_cost(self, dc: DataCenter, servers: int) -> float:
+        """Space + power + labor + fixed for a site hosting ``servers``."""
+        if servers == 0:
+            return 0.0
+        params = self.state.params
+        return (
+            dc.space_cost.total_cost(servers)
+            + servers * params.server_power_kw * dc.power_cost_per_kw
+            + servers * dc.labor_cost_per_admin / params.servers_per_admin
+            + dc.fixed_monthly_cost
+        )
+
+    def group_cost(self, group: ApplicationGroup, dc: DataCenter) -> float:
+        """WAN + latency penalty of hosting ``group`` at ``dc``."""
+        key = (group.name, dc.name)
+        if key not in self._group_site_cache:
+            cost = wan_cost(group, dc, self.state.params, model=self.wan_model)
+            if group.total_users > 0:
+                mean = group.mean_latency(dc.latency_to_users)
+                cost += group.latency_penalty.total_penalty(mean, group.total_users)
+            self._group_site_cache[key] = cost
+        return self._group_site_cache[key]
+
+
+def _risk_conflict(
+    group: ApplicationGroup,
+    site: str,
+    placement: dict[str, str],
+    groups: dict[str, ApplicationGroup],
+    ignore: str | None = None,
+) -> bool:
+    if group.risk_group is None:
+        return False
+    for other_name, other_site in placement.items():
+        if other_name == group.name or other_name == ignore:
+            continue
+        if other_site != site:
+            continue
+        if groups[other_name].risk_group == group.risk_group:
+            return True
+    return False
+
+
+def improve_plan(
+    state: AsIsState,
+    plan: TransformationPlan,
+    wan_model: str = "metered",
+    max_iterations: int = 10_000,
+) -> LocalSearchResult:
+    """Run relocate/swap local search to a local optimum.
+
+    Only non-DR plans are supported (a DR move changes pool sizes
+    non-locally); pass the primary-only placement of a DR plan if you
+    want a quick sanity polish of the primaries.
+
+    The returned plan is re-scored by :func:`evaluate_plan`, so its
+    breakdown is exactly comparable with every other plan in the
+    library.
+    """
+    if plan.has_dr:
+        raise ValueError("local search supports non-DR plans only")
+    if any(g.peers for g in state.app_groups):
+        raise ValueError(
+            "local search does not support inter-group traffic yet "
+            "(moves would have non-local cost effects)"
+        )
+    if max_iterations < 0:
+        raise ValueError("max_iterations cannot be negative")
+
+    ev = _IncrementalEvaluator(state, wan_model)
+    placement = dict(plan.placement)
+    servers_at: dict[str, int] = {name: 0 for name in ev.sites}
+    for name, site in placement.items():
+        servers_at[site] += ev.groups[name].servers
+
+    omega = state.params.business_impact
+    group_cap = omega * len(state.app_groups) if omega < 1.0 else None
+    groups_at: dict[str, int] = {name: 0 for name in ev.sites}
+    for site in placement.values():
+        groups_at[site] += 1
+
+    iterations = relocations = swaps = 0
+
+    def relocate_delta(g: ApplicationGroup, src: str, dst: str) -> float:
+        src_dc, dst_dc = ev.sites[src], ev.sites[dst]
+        delta = (
+            ev.site_cost(src_dc, servers_at[src] - g.servers)
+            - ev.site_cost(src_dc, servers_at[src])
+            + ev.site_cost(dst_dc, servers_at[dst] + g.servers)
+            - ev.site_cost(dst_dc, servers_at[dst])
+            + ev.group_cost(g, dst_dc)
+            - ev.group_cost(g, src_dc)
+        )
+        return delta
+
+    improved = True
+    while improved and iterations < max_iterations:
+        improved = False
+        # -- relocate moves --------------------------------------------
+        for name in sorted(placement):
+            g = ev.groups[name]
+            src = placement[name]
+            for dst, dst_dc in ev.sites.items():
+                if dst == src or not state.placeable(g, dst_dc):
+                    continue
+                if servers_at[dst] + g.servers > dst_dc.capacity:
+                    continue
+                if group_cap is not None and groups_at[dst] + 1 > group_cap:
+                    continue
+                if _risk_conflict(g, dst, placement, ev.groups):
+                    continue
+                iterations += 1
+                if iterations > max_iterations:
+                    break
+                if relocate_delta(g, src, dst) < -1e-9:
+                    placement[name] = dst
+                    servers_at[src] -= g.servers
+                    servers_at[dst] += g.servers
+                    groups_at[src] -= 1
+                    groups_at[dst] += 1
+                    relocations += 1
+                    improved = True
+                    src = dst
+        # -- swap moves -----------------------------------------------
+        names = sorted(placement)
+        for i, name_a in enumerate(names):
+            for name_b in names[i + 1 :]:
+                a, b = ev.groups[name_a], ev.groups[name_b]
+                site_a, site_b = placement[name_a], placement[name_b]
+                if site_a == site_b:
+                    continue
+                dc_a, dc_b = ev.sites[site_a], ev.sites[site_b]
+                if not (state.placeable(a, dc_b) and state.placeable(b, dc_a)):
+                    continue
+                if servers_at[site_b] - b.servers + a.servers > dc_b.capacity:
+                    continue
+                if servers_at[site_a] - a.servers + b.servers > dc_a.capacity:
+                    continue
+                if _risk_conflict(a, site_b, placement, ev.groups, ignore=name_b):
+                    continue
+                if _risk_conflict(b, site_a, placement, ev.groups, ignore=name_a):
+                    continue
+                iterations += 1
+                if iterations > max_iterations:
+                    break
+                delta = (
+                    ev.site_cost(dc_a, servers_at[site_a] - a.servers + b.servers)
+                    - ev.site_cost(dc_a, servers_at[site_a])
+                    + ev.site_cost(dc_b, servers_at[site_b] - b.servers + a.servers)
+                    - ev.site_cost(dc_b, servers_at[site_b])
+                    + ev.group_cost(a, dc_b) - ev.group_cost(a, dc_a)
+                    + ev.group_cost(b, dc_a) - ev.group_cost(b, dc_b)
+                )
+                if delta < -1e-9:
+                    placement[name_a], placement[name_b] = site_b, site_a
+                    servers_at[site_a] += b.servers - a.servers
+                    servers_at[site_b] += a.servers - b.servers
+                    swaps += 1
+                    improved = True
+
+    final = evaluate_plan(
+        state, placement, wan_model=wan_model,
+        solver=(plan.solver + "+ls") if plan.solver else "local-search",
+    )
+    return LocalSearchResult(
+        plan=final,
+        iterations=iterations,
+        relocations=relocations,
+        swaps=swaps,
+        initial_cost=plan.total_cost,
+    )

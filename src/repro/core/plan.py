@@ -1,0 +1,289 @@
+"""The "to-be" state: transformation plans and their cost evaluation.
+
+:func:`evaluate_plan` is the single source of truth for what a placement
+costs.  Every algorithm in the library — the LP planner, the manual and
+greedy baselines, and the as-is evaluator — is scored by this same
+function, so cross-algorithm comparisons (Figs. 4 and 6) are apples to
+apples and never depend on solver-internal objective bookkeeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from .entities import ApplicationGroup, AsIsState, CostParameters, DataCenter
+from .wan import inter_site_wan_price, undirected_peer_traffic, wan_cost
+
+
+@dataclass
+class DataCenterUsage:
+    """Per-data-center slice of a plan's cost."""
+
+    name: str
+    primary_servers: int = 0
+    backup_servers: int = 0
+    groups: list[str] = field(default_factory=list)
+    space_cost: float = 0.0
+    power_cost: float = 0.0
+    labor_cost: float = 0.0
+    wan_cost: float = 0.0
+    fixed_cost: float = 0.0
+    latency_penalty: float = 0.0
+
+    @property
+    def total_servers(self) -> int:
+        return self.primary_servers + self.backup_servers
+
+    @property
+    def total_cost(self) -> float:
+        return (
+            self.space_cost
+            + self.power_cost
+            + self.labor_cost
+            + self.wan_cost
+            + self.fixed_cost
+            + self.latency_penalty
+        )
+
+
+@dataclass
+class CostBreakdown:
+    """Aggregate monthly cost of a plan, split by component.
+
+    ``operational`` excludes the latency penalty (the paper's bar charts
+    show "Cost" and "Latency Penalty" stacked separately); ``total``
+    includes everything plus the one-off DR server purchase.
+    """
+
+    space: float = 0.0
+    power: float = 0.0
+    labor: float = 0.0
+    wan: float = 0.0
+    fixed: float = 0.0
+    latency_penalty: float = 0.0
+    dr_purchase: float = 0.0
+
+    @property
+    def operational(self) -> float:
+        return self.space + self.power + self.labor + self.wan + self.fixed
+
+    @property
+    def total(self) -> float:
+        return self.operational + self.latency_penalty + self.dr_purchase
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "space": self.space,
+            "power": self.power,
+            "labor": self.labor,
+            "wan": self.wan,
+            "fixed": self.fixed,
+            "latency_penalty": self.latency_penalty,
+            "dr_purchase": self.dr_purchase,
+            "operational": self.operational,
+            "total": self.total,
+        }
+
+
+@dataclass
+class TransformationPlan:
+    """A complete "to-be" state.
+
+    Attributes
+    ----------
+    placement:
+        group name → primary data center name.
+    secondary:
+        group name → secondary (DR) data center name; empty for non-DR.
+    backup_servers:
+        data center name → backup pool size (shared under single-failure).
+    breakdown / usage:
+        evaluated costs (see :func:`evaluate_plan`).
+    latency_violations:
+        number of latency-sensitive groups placed above their threshold.
+    """
+
+    placement: dict[str, str]
+    secondary: dict[str, str] = field(default_factory=dict)
+    backup_servers: dict[str, int] = field(default_factory=dict)
+    breakdown: CostBreakdown = field(default_factory=CostBreakdown)
+    usage: dict[str, DataCenterUsage] = field(default_factory=dict)
+    latency_violations: int = 0
+    solver: str = ""
+    objective: float = float("nan")
+
+    @property
+    def total_cost(self) -> float:
+        return self.breakdown.total
+
+    @property
+    def datacenters_used(self) -> list[str]:
+        """Data centers hosting primary or backup servers, sorted."""
+        used = {dc for dc in self.placement.values()}
+        used.update(name for name, count in self.backup_servers.items() if count > 0)
+        return sorted(used)
+
+    @property
+    def has_dr(self) -> bool:
+        return bool(self.secondary)
+
+    def groups_at(self, dc_name: str) -> list[str]:
+        """Names of groups whose primary is ``dc_name``."""
+        return sorted(g for g, dc in self.placement.items() if dc == dc_name)
+
+
+def shared_backup_requirements(
+    groups: Iterable[ApplicationGroup],
+    placement: Mapping[str, str],
+    secondary: Mapping[str, str],
+) -> dict[str, int]:
+    """Size shared backup pools under the single-failure model.
+
+    The pool at data center *b* must absorb the worst single primary
+    failure: :math:`G_b = \\max_a Σ_{c: X_{ca} ∧ Y_{cb}} S_c`.
+    """
+    per_pair: dict[tuple[str, str], int] = {}
+    for group in groups:
+        if group.name not in secondary:
+            continue
+        a = placement[group.name]
+        b = secondary[group.name]
+        per_pair[(a, b)] = per_pair.get((a, b), 0) + group.servers
+    pools: dict[str, int] = {}
+    for (a, b), servers in per_pair.items():
+        pools[b] = max(pools.get(b, 0), servers)
+    return pools
+
+
+def dedicated_backup_requirements(
+    groups: Iterable[ApplicationGroup],
+    secondary: Mapping[str, str],
+) -> dict[str, int]:
+    """Size dedicated backups (multi-failure): every group gets its own."""
+    pools: dict[str, int] = {}
+    for group in groups:
+        b = secondary.get(group.name)
+        if b is not None:
+            pools[b] = pools.get(b, 0) + group.servers
+    return pools
+
+
+def evaluate_plan(
+    state: AsIsState,
+    placement: Mapping[str, str],
+    secondary: Mapping[str, str] | None = None,
+    datacenters: Iterable[DataCenter] | None = None,
+    wan_model: str = "metered",
+    backup_sharing: str = "shared",
+    solver: str = "",
+    objective: float = float("nan"),
+) -> TransformationPlan:
+    """Score a placement into a full :class:`TransformationPlan`.
+
+    Parameters
+    ----------
+    placement:
+        group name → data center name; must cover every group.
+    secondary:
+        optional DR assignment; backup pools are derived from it.
+    datacenters:
+        the pool the names refer to (default: the state's targets; pass
+        ``state.current_datacenters`` to evaluate the as-is placement).
+    backup_sharing:
+        ``"shared"`` (single-failure pools) or ``"dedicated"``.
+
+    Backup servers incur space, power and labor at their host data
+    center plus the one-off purchase cost ζ; WAN and latency penalties
+    apply to primary placements only (failover traffic is out of the
+    monthly steady-state bill).
+    """
+    params = state.params
+    pool = list(datacenters) if datacenters is not None else state.target_datacenters
+    by_name = {dc.name: dc for dc in pool}
+    secondary = dict(secondary or {})
+
+    missing = [g.name for g in state.app_groups if g.name not in placement]
+    if missing:
+        raise ValueError(f"placement missing application groups: {missing[:5]}...")
+
+    if backup_sharing == "shared":
+        backups = shared_backup_requirements(state.app_groups, placement, secondary)
+    elif backup_sharing == "dedicated":
+        backups = dedicated_backup_requirements(state.app_groups, secondary)
+    else:
+        raise ValueError(f"unknown backup sharing mode {backup_sharing!r}")
+
+    usage: dict[str, DataCenterUsage] = {}
+
+    def usage_for(name: str) -> DataCenterUsage:
+        if name not in by_name:
+            raise KeyError(f"placement references unknown data center {name!r}")
+        return usage.setdefault(name, DataCenterUsage(name=name))
+
+    for group in state.app_groups:
+        slot = usage_for(placement[group.name])
+        slot.primary_servers += group.servers
+        slot.groups.append(group.name)
+    for name, count in backups.items():
+        usage_for(name).backup_servers += count
+
+    breakdown = CostBreakdown()
+    violations = 0
+
+    for name, slot in usage.items():
+        dc = by_name[name]
+        total_servers = slot.total_servers
+        powered = slot.primary_servers + params.backup_power_fraction * slot.backup_servers
+        managed = slot.primary_servers + params.backup_labor_fraction * slot.backup_servers
+        slot.space_cost = dc.space_cost.total_cost(total_servers)
+        slot.power_cost = powered * params.server_power_kw * dc.power_cost_per_kw
+        slot.labor_cost = managed * dc.labor_cost_per_admin / params.servers_per_admin
+        if total_servers > 0:
+            slot.fixed_cost = dc.fixed_monthly_cost
+        breakdown.space += slot.space_cost
+        breakdown.power += slot.power_cost
+        breakdown.labor += slot.labor_cost
+        breakdown.fixed += slot.fixed_cost
+
+    for group in state.app_groups:
+        dc = by_name[placement[group.name]]
+        slot = usage[dc.name]
+        group_wan = wan_cost(group, dc, params, model=wan_model)
+        slot.wan_cost += group_wan
+        breakdown.wan += group_wan
+        if group.total_users > 0:
+            mean_latency = group.mean_latency(dc.latency_to_users)
+            penalty = group.latency_penalty.total_penalty(mean_latency, group.total_users)
+            slot.latency_penalty += penalty
+            breakdown.latency_penalty += penalty
+            if group.is_latency_sensitive and group.latency_penalty.violates(mean_latency):
+                violations += 1
+
+    # Inter-group traffic: free inside a site, WAN-priced across sites.
+    pair_traffic = undirected_peer_traffic(state.app_groups)
+    for pair, traffic in pair_traffic.items():
+        name_a, name_b = sorted(pair)
+        if name_a not in placement or name_b not in placement:
+            raise ValueError(f"peer traffic references unplaced group in {pair}")
+        site_a, site_b = placement[name_a], placement[name_b]
+        if site_a == site_b:
+            continue
+        price = inter_site_wan_price(by_name[site_a], by_name[site_b])
+        cost = traffic * price
+        usage[site_a].wan_cost += cost / 2
+        usage[site_b].wan_cost += cost / 2
+        breakdown.wan += cost
+
+    breakdown.dr_purchase = params.dr_server_cost * sum(backups.values())
+
+    return TransformationPlan(
+        placement=dict(placement),
+        secondary=secondary,
+        backup_servers=backups,
+        breakdown=breakdown,
+        usage=usage,
+        latency_violations=violations,
+        solver=solver,
+        objective=objective,
+    )

@@ -1,0 +1,134 @@
+"""The eTransform planner facade (paper Fig. 5).
+
+Wires the four components together: the transformation & consolidation
+module (:mod:`repro.core.formulation`), the optimization engine
+(:mod:`repro.lp`), the output-generation subroutine (extraction +
+:func:`repro.core.plan.evaluate_plan`), and — via
+:mod:`repro.core.iterative` — the admin interface for iterative
+modification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..lp import SolveStatus, solve, write_lp_file
+from .formulation import ConsolidationModel, ModelOptions
+from .entities import AsIsState
+from .plan import TransformationPlan, evaluate_plan
+from .validation import validate_plan, validate_state
+
+
+class PlanningError(RuntimeError):
+    """The optimizer failed to produce a usable plan."""
+
+
+@dataclass
+class PlannerOptions:
+    """End-to-end planning options (model + solver).
+
+    ``solver_options`` is forwarded to :func:`repro.lp.solve`
+    (``time_limit``, ``mip_rel_gap``, ``node_limit``, ...).
+    ``lp_export_path`` optionally dumps the model in CPLEX LP format
+    before solving, mirroring the paper's LP-file hand-off.
+    """
+
+    wan_model: str = "metered"
+    economies_of_scale: bool = True
+    enable_dr: bool = False
+    dedicated_backups: bool = False
+    backend: str = "auto"
+    solver_options: dict = field(default_factory=dict)
+    lp_export_path: str | None = None
+    validate_inputs: bool = True
+
+    def model_options(self) -> ModelOptions:
+        return ModelOptions(
+            wan_model=self.wan_model,
+            economies_of_scale=self.economies_of_scale,
+            enable_dr=self.enable_dr,
+            dedicated_backups=self.dedicated_backups,
+        )
+
+
+class ETransformPlanner:
+    """Generate a "to-be" transformation plan from an "as-is" state.
+
+    Example
+    -------
+    ::
+
+        planner = ETransformPlanner(state, PlannerOptions(enable_dr=True))
+        plan = planner.plan()
+        print(plan.breakdown.total, plan.datacenters_used)
+    """
+
+    def __init__(self, state: AsIsState, options: PlannerOptions | None = None) -> None:
+        self.state = state
+        self.options = options or PlannerOptions()
+        if self.options.validate_inputs:
+            validate_state(state, require_dr_headroom=self.options.enable_dr)
+        self.model = ConsolidationModel(state, self.options.model_options())
+        self.last_solution = None
+
+    def plan(self) -> TransformationPlan:
+        """Build, solve and score the transformation plan.
+
+        Raises
+        ------
+        PlanningError
+            When the model is infeasible or the solver fails.
+        """
+        if self.options.lp_export_path:
+            write_lp_file(self.model.problem, self.options.lp_export_path)
+
+        solution = solve(
+            self.model.problem,
+            backend=self.options.backend,
+            **self.options.solver_options,
+        )
+        self.last_solution = solution
+        if solution.status is SolveStatus.INFEASIBLE:
+            raise PlanningError(
+                "the consolidation model is infeasible: total capacity, region "
+                "constraints or the business-impact cap ω are too tight"
+            )
+        if not solution.status.has_solution:
+            raise PlanningError(
+                f"solver returned {solution.status.value}: {solution.message}"
+            )
+
+        placement = self.model.extract_placement(solution)
+        secondary = (
+            self.model.extract_secondary(solution) if self.options.enable_dr else {}
+        )
+        plan = evaluate_plan(
+            self.state,
+            placement,
+            secondary=secondary,
+            wan_model=self.options.wan_model,
+            backup_sharing="dedicated" if self.options.dedicated_backups else "shared",
+            solver=solution.solver,
+            objective=solution.objective,
+        )
+        validate_plan(self.state, plan)
+        return plan
+
+
+def plan_consolidation(
+    state: AsIsState,
+    enable_dr: bool = False,
+    backend: str = "auto",
+    wan_model: str = "metered",
+    economies_of_scale: bool = True,
+    **solver_options,
+) -> TransformationPlan:
+    """One-call convenience wrapper around :class:`ETransformPlanner`."""
+    options = PlannerOptions(
+        wan_model=wan_model,
+        economies_of_scale=economies_of_scale,
+        enable_dr=enable_dr,
+        backend=backend,
+        solver_options=solver_options,
+    )
+    return ETransformPlanner(state, options).plan()

@@ -1,0 +1,206 @@
+"""Splitting oversized application groups.
+
+The associativity constraint keeps each application group whole — but
+"in the extreme case where one application group is too large to be
+placed in any single datacenter", the paper defers to techniques like
+Hajjat et al. (its reference [3]) to split the group first and then
+feed the fragments to eTransform.  This module implements that
+pre-processing step.
+
+A split is not free: intra-group traffic that used to stay on the LAN
+becomes WAN traffic between fragments.  We surface that as a
+configurable per-fragment data surcharge, so the optimizer still sees
+the true cost of having had to split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+import math
+
+from .entities import ApplicationGroup, AsIsState
+
+
+@dataclass
+class SplitRecord:
+    """Audit record of one group split."""
+
+    original: str
+    fragments: list[str]
+    fragment_servers: list[int]
+
+    @property
+    def num_fragments(self) -> int:
+        return len(self.fragments)
+
+
+@dataclass
+class SplitResult:
+    """A rewritten state plus the audit trail of applied splits."""
+
+    state: AsIsState
+    records: list[SplitRecord] = field(default_factory=list)
+
+    @property
+    def any_split(self) -> bool:
+        return bool(self.records)
+
+    def fragments_of(self, original: str) -> list[str]:
+        for record in self.records:
+            if record.original == original:
+                return list(record.fragments)
+        raise KeyError(f"group {original!r} was not split")
+
+
+def _fragment_sizes(servers: int, max_servers: int) -> list[int]:
+    """Split ``servers`` into near-equal fragments of ≤ ``max_servers``."""
+    parts = math.ceil(servers / max_servers)
+    base = servers // parts
+    remainder = servers % parts
+    return [base + (1 if i < remainder else 0) for i in range(parts)]
+
+
+def split_oversized_groups(
+    state: AsIsState,
+    wan_overhead_fraction: float = 0.2,
+    risk_isolate_fragments: bool = False,
+) -> SplitResult:
+    """Split every group that fits no single target data center.
+
+    Parameters
+    ----------
+    state:
+        The as-is state; it is not mutated — a rewritten copy is
+        returned.
+    wan_overhead_fraction:
+        Extra monthly data (as a fraction of the group's ``D_i``) each
+        *additional* fragment adds, modeling intra-group traffic that
+        crossing the split turns into WAN traffic.
+    risk_isolate_fragments:
+        When True, fragments of the same group are tagged with a shared
+        risk group so the optimizer keeps them in *different* sites
+        (replica semantics).  When False (default) fragments may
+        co-locate — splitting only relaxes the packing constraint.
+
+    Returns
+    -------
+    SplitResult
+        The rewritten state (oversized groups replaced by fragments
+        named ``<name>/0``, ``<name>/1``, ...) and per-split records.
+
+    Raises
+    ------
+    ValueError
+        If the largest target cannot hold even a single server, or the
+        overhead fraction is negative.
+    """
+    if wan_overhead_fraction < 0:
+        raise ValueError("WAN overhead fraction cannot be negative")
+    if not state.target_datacenters:
+        raise ValueError("state has no target data centers")
+    max_servers = max(dc.capacity for dc in state.target_datacenters)
+
+    new_groups: list[ApplicationGroup] = []
+    records: list[SplitRecord] = []
+    for group in state.app_groups:
+        eligible = [
+            dc for dc in state.target_datacenters if state.placeable(group, dc)
+        ]
+        if eligible:
+            new_groups.append(group)
+            continue
+        # The group fits nowhere *because of size* only: region/forbid
+        # constraints are not repaired by splitting.
+        size_limited = any(
+            group.servers > dc.capacity
+            and dc.name not in group.forbidden_datacenters
+            and (group.allowed_regions is None or dc.region in group.allowed_regions)
+            for dc in state.target_datacenters
+        )
+        if not size_limited:
+            new_groups.append(group)
+            continue
+
+        allowed_caps = [
+            dc.capacity
+            for dc in state.target_datacenters
+            if dc.name not in group.forbidden_datacenters
+            and (group.allowed_regions is None or dc.region in group.allowed_regions)
+        ]
+        limit = max(allowed_caps)
+        sizes = _fragment_sizes(group.servers, limit)
+        overhead = 1.0 + wan_overhead_fraction * (len(sizes) - 1)
+        fragment_names: list[str] = []
+        for idx, fragment_servers in enumerate(sizes):
+            share = fragment_servers / group.servers
+            fragment = replace(
+                group,
+                name=f"{group.name}/{idx}",
+                servers=fragment_servers,
+                monthly_data_mb=group.monthly_data_mb * share * overhead,
+                users={loc: c * share for loc, c in group.users.items()},
+                peers={peer: t * share for peer, t in group.peers.items()},
+                risk_group=(
+                    f"split:{group.name}" if risk_isolate_fragments else group.risk_group
+                ),
+            )
+            new_groups.append(fragment)
+            fragment_names.append(fragment.name)
+        records.append(
+            SplitRecord(
+                original=group.name,
+                fragments=fragment_names,
+                fragment_servers=sizes,
+            )
+        )
+
+    if not records:
+        return SplitResult(state=state)
+
+    # Re-point peer traffic aimed at split groups: traffic to the
+    # original is distributed over its fragments by server share.
+    fragment_shares: dict[str, list[tuple[str, float]]] = {}
+    for record in records:
+        total = sum(record.fragment_servers)
+        fragment_shares[record.original] = [
+            (name, servers / total)
+            for name, servers in zip(record.fragments, record.fragment_servers)
+        ]
+    rewritten_groups: list[ApplicationGroup] = []
+    for group in new_groups:
+        if not any(peer in fragment_shares for peer in group.peers):
+            rewritten_groups.append(group)
+            continue
+        peers: dict[str, float] = {}
+        for peer, traffic in group.peers.items():
+            if peer in fragment_shares:
+                for fragment_name, share in fragment_shares[peer]:
+                    peers[fragment_name] = peers.get(fragment_name, 0.0) + traffic * share
+            else:
+                peers[peer] = peers.get(peer, 0.0) + traffic
+        rewritten_groups.append(replace(group, peers=peers))
+
+    new_state = replace(state, app_groups=rewritten_groups)
+    return SplitResult(state=new_state, records=records)
+
+
+def merge_placement(
+    result: SplitResult, placement: dict[str, str]
+) -> dict[str, list[str]]:
+    """Group a fragment placement back by original group name.
+
+    Returns original-group → list of sites hosting its fragments (one
+    entry for unsplit groups).
+    """
+    fragment_owner = {
+        fragment: record.original
+        for record in result.records
+        for fragment in record.fragments
+    }
+    merged: dict[str, list[str]] = {}
+    for name, site in placement.items():
+        owner = fragment_owner.get(name, name)
+        merged.setdefault(owner, [])
+        if site not in merged[owner]:
+            merged[owner].append(site)
+    return merged

@@ -1,0 +1,156 @@
+"""Input-state and plan validation.
+
+Catches specification errors before they reach the solver (where they
+would only surface as an opaque INFEASIBLE) and double-checks every plan
+the library emits against the hard constraints of Section III-B.
+"""
+
+from __future__ import annotations
+
+from .entities import AsIsState, groups_by_risk
+from .plan import TransformationPlan
+
+
+class StateValidationError(ValueError):
+    """The as-is specification is internally inconsistent."""
+
+
+class PlanValidationError(ValueError):
+    """An emitted plan violates a hard constraint."""
+
+
+def validate_state(state: AsIsState, require_dr_headroom: bool = False) -> None:
+    """Sanity-check an as-is state before planning.
+
+    Checks: at least one target, aggregate capacity covers the server
+    estate, every group fits somewhere, user locations referenced by
+    traffic matrices and latency tables exist, and (for DR) that at
+    least two sites are eligible per group.
+    """
+    if not state.app_groups:
+        raise StateValidationError("state has no application groups")
+    if not state.target_datacenters:
+        raise StateValidationError("state has no target data centers")
+
+    if state.total_servers > state.total_target_capacity:
+        raise StateValidationError(
+            f"total servers ({state.total_servers}) exceed aggregate target "
+            f"capacity ({state.total_target_capacity})"
+        )
+
+    known_locations = {loc.name for loc in state.user_locations}
+    for group in state.app_groups:
+        eligible = [
+            dc for dc in state.target_datacenters if state.placeable(group, dc)
+        ]
+        if not eligible:
+            raise StateValidationError(
+                f"group {group.name!r} fits no target data center "
+                "(capacity/region/forbid constraints)"
+            )
+        if require_dr_headroom and len(eligible) < 2:
+            raise StateValidationError(
+                f"group {group.name!r} has only one eligible site; DR needs two"
+            )
+        if known_locations:
+            unknown = set(group.users) - known_locations
+            if unknown:
+                raise StateValidationError(
+                    f"group {group.name!r} references unknown user locations "
+                    f"{sorted(unknown)}"
+                )
+        group_names = {g.name for g in state.app_groups}
+        unknown_peers = set(group.peers) - group_names
+        if unknown_peers:
+            raise StateValidationError(
+                f"group {group.name!r} declares traffic to unknown groups "
+                f"{sorted(unknown_peers)}"
+            )
+
+    for dc in state.target_datacenters:
+        if known_locations:
+            missing = {
+                loc
+                for group in state.app_groups
+                for loc, count in group.users.items()
+                if count > 0
+            } - set(dc.latency_to_users)
+            if missing:
+                raise StateValidationError(
+                    f"target {dc.name!r} lacks latency figures for user "
+                    f"locations {sorted(missing)}"
+                )
+
+
+def validate_plan(state: AsIsState, plan: TransformationPlan) -> None:
+    """Verify a plan against the hard constraints of the formulation.
+
+    Raises :class:`PlanValidationError` on: unassigned groups, capacity
+    overruns (including backup pools when configured), primary equal to
+    secondary, ineligible placements, shared-risk co-location, or a
+    broken business-impact cap.
+    """
+    targets = {dc.name: dc for dc in state.target_datacenters}
+
+    for group in state.app_groups:
+        dc_name = plan.placement.get(group.name)
+        if dc_name is None:
+            raise PlanValidationError(f"group {group.name!r} is unassigned")
+        dc = targets.get(dc_name)
+        if dc is None:
+            raise PlanValidationError(
+                f"group {group.name!r} placed in unknown site {dc_name!r}"
+            )
+        if not state.placeable(group, dc):
+            raise PlanValidationError(
+                f"group {group.name!r} is not allowed in {dc_name!r}"
+            )
+        if plan.secondary:
+            backup = plan.secondary.get(group.name)
+            if backup is None:
+                raise PlanValidationError(f"group {group.name!r} lacks a DR site")
+            if backup == dc_name:
+                raise PlanValidationError(
+                    f"group {group.name!r}: primary and secondary coincide"
+                )
+            if backup not in targets:
+                raise PlanValidationError(
+                    f"group {group.name!r}: unknown DR site {backup!r}"
+                )
+
+    # Capacity, including backup pools when they consume capacity.
+    load: dict[str, int] = {}
+    for group in state.app_groups:
+        name = plan.placement[group.name]
+        load[name] = load.get(name, 0) + group.servers
+    if state.params.include_backup_in_capacity:
+        for name, pool in plan.backup_servers.items():
+            load[name] = load.get(name, 0) + pool
+    for name, used in load.items():
+        capacity = targets[name].capacity
+        if used > capacity:
+            raise PlanValidationError(
+                f"site {name!r} over capacity: {used} > {capacity}"
+            )
+
+    # Shared-risk anti-colocation.
+    for tag, members in groups_by_risk(state.app_groups).items():
+        sites = [plan.placement[m.name] for m in members]
+        duplicates = {s for s in sites if sites.count(s) > 1}
+        if duplicates:
+            raise PlanValidationError(
+                f"risk group {tag!r} co-located in {sorted(duplicates)}"
+            )
+
+    # Business impact ω.
+    omega = state.params.business_impact
+    if omega < 1.0:
+        cap = omega * len(state.app_groups)
+        counts: dict[str, int] = {}
+        for name in plan.placement.values():
+            counts[name] = counts.get(name, 0) + 1
+        for name, count in counts.items():
+            if count > cap + 1e-9:
+                raise PlanValidationError(
+                    f"site {name!r} hosts {count} groups, above the ω cap {cap:.1f}"
+                )

@@ -1,0 +1,114 @@
+"""WAN cost models (Section III-B).
+
+Two pricing regimes from the paper:
+
+* **Metered** — the data center charges :math:`W_j` dollars per megabit,
+  so a group costs :math:`D_i W_j` wherever its users are.
+* **Dedicated VPN links** — the group leases point-to-point links to
+  each user location; the link count toward location *r* is
+  :math:`C_{ir} D_i / (γ · Σ_r C_{ir})` and each link costs the
+  distance-dependent monthly fee :math:`F_{jr}`.
+"""
+
+from __future__ import annotations
+
+from .entities import ApplicationGroup, CostParameters, DataCenter
+
+
+def metered_wan_cost(group: ApplicationGroup, datacenter: DataCenter) -> float:
+    """Per-megabit WAN cost :math:`D_i W_j`."""
+    return group.monthly_data_mb * datacenter.wan_cost_per_mb
+
+
+def vpn_links_required(
+    group: ApplicationGroup, location: str, params: CostParameters
+) -> float:
+    """Fractional dedicated links to one user location.
+
+    Follows the paper's equal-share assumption: each user exchanges the
+    same share of :math:`D_i`, so location *r* needs
+    :math:`C_{ir} D_i / (γ Σ_r C_{ir})` links.  The fractional form is
+    kept (as in the LP); reports may ceil it.
+    """
+    total_users = group.total_users
+    if total_users == 0:
+        return 0.0
+    share = group.users.get(location, 0.0) / total_users
+    return share * group.monthly_data_mb / params.vpn_link_capacity_mb
+
+
+def vpn_wan_cost(
+    group: ApplicationGroup, datacenter: DataCenter, params: CostParameters
+) -> float:
+    """Dedicated-VPN WAN cost of placing ``group`` at ``datacenter``.
+
+    Raises
+    ------
+    KeyError
+        When the data center lacks a link price for a location where the
+        group has users (a model-specification error worth failing on).
+    """
+    total = 0.0
+    for location, count in group.users.items():
+        if count == 0:
+            continue
+        links = vpn_links_required(group, location, params)
+        if links == 0.0:
+            continue
+        try:
+            link_price = datacenter.vpn_link_cost[location]
+        except KeyError:
+            raise KeyError(
+                f"data center {datacenter.name!r} has no VPN link price for "
+                f"user location {location!r}"
+            ) from None
+        total += links * link_price
+    return total
+
+
+def wan_cost(
+    group: ApplicationGroup,
+    datacenter: DataCenter,
+    params: CostParameters,
+    model: str = "metered",
+) -> float:
+    """Dispatch on the WAN pricing regime (``"metered"`` or ``"vpn"``)."""
+    if model == "metered":
+        return metered_wan_cost(group, datacenter)
+    if model == "vpn":
+        return vpn_wan_cost(group, datacenter, params)
+    raise ValueError(f"unknown WAN cost model {model!r}")
+
+
+def distance_priced_link(base_monthly: float, per_km: float, distance_km: float) -> float:
+    """Simple distance-based VPN link tariff :math:`F = b + r·d`."""
+    if distance_km < 0:
+        raise ValueError("distance cannot be negative")
+    return base_monthly + per_km * distance_km
+
+
+def inter_site_wan_price(dc_a: DataCenter, dc_b: DataCenter) -> float:
+    """$/Mb for traffic between two sites (0 inside one site).
+
+    Both ends bill their metered WAN rate on egress/ingress, so the
+    inter-site price is the mean of the two sites' per-megabit rates.
+    """
+    if dc_a.name == dc_b.name:
+        return 0.0
+    return (dc_a.wan_cost_per_mb + dc_b.wan_cost_per_mb) / 2.0
+
+
+def undirected_peer_traffic(groups) -> dict[frozenset, float]:
+    """Fold directed ``peers`` declarations into undirected pair totals.
+
+    Traffic declared on either (or both) sides of a pair is summed; the
+    result is keyed by ``frozenset({name_a, name_b})``.
+    """
+    totals: dict[frozenset, float] = {}
+    for group in groups:
+        for peer, traffic in group.peers.items():
+            if traffic <= 0:
+                continue
+            key = frozenset((group.name, peer))
+            totals[key] = totals.get(key, 0.0) + traffic
+    return totals

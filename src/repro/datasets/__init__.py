@@ -1,0 +1,38 @@
+"""Synthetic dataset generators for the three case studies and the
+parameter-study scenarios."""
+
+from .builders import DEFAULT_PENALTY, EnterpriseSpec, build_enterprise_state
+from .enterprise1 import ENTERPRISE1_USERS, enterprise1_spec, load_enterprise1
+from .federal import FEDERAL_USERS, federal_spec, load_federal
+from .florida import FLORIDA_USERS, florida_spec, load_florida
+from .presets import hp_spec, load_hp, load_uk_government, uk_government_spec
+from .pricing import DEFAULT_RANGES, PriceRanges
+from .scenarios import (
+    LINE_USER_LOCATIONS,
+    latency_line_scenario,
+    tradeoff_line_scenario,
+)
+
+__all__ = [
+    "DEFAULT_PENALTY",
+    "DEFAULT_RANGES",
+    "ENTERPRISE1_USERS",
+    "EnterpriseSpec",
+    "FEDERAL_USERS",
+    "FLORIDA_USERS",
+    "LINE_USER_LOCATIONS",
+    "PriceRanges",
+    "build_enterprise_state",
+    "enterprise1_spec",
+    "federal_spec",
+    "florida_spec",
+    "hp_spec",
+    "load_hp",
+    "load_uk_government",
+    "uk_government_spec",
+    "latency_line_scenario",
+    "load_enterprise1",
+    "load_federal",
+    "load_florida",
+    "tradeoff_line_scenario",
+]

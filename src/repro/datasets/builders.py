@@ -1,0 +1,297 @@
+"""Generic synthetic enterprise-estate builder.
+
+Implements the experimental setup of paper Section VI:
+
+* four user locations; application groups split 50/50 into
+  latency-sensitive ($100/user beyond 10 ms) and insensitive;
+* sensitive groups fall into five affinity classes (all users at one of
+  the four locations, or spread equally);
+* target data centers fall into five latency classes (5 ms to one
+  location / 20 ms to the rest, or 10 ms to all) with capacities between
+  100 and 1000 servers and prices drawn from the published ranges;
+* the as-is estate scatters the same groups across many small sites
+  whose tiny per-site volumes forfeit every volume discount — which is
+  exactly why consolidation pays.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.costs import StepCostFunction
+from ..core.entities import (
+    ApplicationGroup,
+    AsIsState,
+    CostParameters,
+    DataCenter,
+    UserLocation,
+)
+from ..core.latency import NO_PENALTY, LatencyPenaltyFunction
+from .distributions import (
+    affinity_class_users,
+    heavy_tailed_sizes,
+    user_data_volume,
+)
+from .geography import class_latencies, corner_positions, distance_km
+from .pricing import (
+    DEFAULT_RANGES,
+    PriceRanges,
+    sample_fixed_cost,
+    sample_labor_cost,
+    sample_power_cost,
+    sample_space_schedule,
+    sample_vpn_tariff,
+    sample_wan_price,
+)
+
+#: Canonical latency constraint of the case studies.
+DEFAULT_PENALTY = LatencyPenaltyFunction.single_threshold(10.0, 100.0)
+
+#: Side of the square region whose corners host the user locations (km).
+REGION_SIDE_KM = 6000.0
+
+
+@dataclass
+class EnterpriseSpec:
+    """Recipe for one synthetic enterprise (Table II row).
+
+    ``scale`` proportionally shrinks groups, servers, users and site
+    counts — used to keep DR-case benchmarks tractable while preserving
+    all distributions (recorded per-experiment in EXPERIMENTS.md).
+    """
+
+    name: str
+    app_groups: int
+    total_servers: int
+    current_datacenters: int
+    target_datacenters: int
+    total_users: float
+    seed: int = 0
+    user_location_names: tuple[str, ...] = ("loc0", "loc1", "loc2", "loc3")
+    capacity_range: tuple[int, int] = (100, 1000)
+    latency_penalty: LatencyPenaltyFunction = field(default_factory=lambda: DEFAULT_PENALTY)
+    price_ranges: PriceRanges = field(default_factory=lambda: DEFAULT_RANGES)
+    #: Guaranteed ratio of aggregate target capacity to total servers.
+    capacity_headroom: float = 1.8
+    scale: float = 1.0
+
+    def scaled(self) -> "EnterpriseSpec":
+        """Apply the ``scale`` factor to all size fields."""
+        if self.scale == 1.0:
+            return self
+        if not 0 < self.scale <= 1.0:
+            raise ValueError("scale must be in (0, 1]")
+        factor = self.scale
+        groups = max(5, int(round(self.app_groups * factor)))
+        return EnterpriseSpec(
+            name=self.name,
+            app_groups=groups,
+            total_servers=max(groups, int(round(self.total_servers * factor))),
+            # Floors keep the five latency classes represented and leave
+            # the manual-DR variant enough sites to pair backups.
+            current_datacenters=max(5, int(round(self.current_datacenters * factor))),
+            target_datacenters=max(5, int(round(self.target_datacenters * factor))),
+            total_users=max(groups, self.total_users * factor),
+            seed=self.seed,
+            user_location_names=self.user_location_names,
+            capacity_range=self.capacity_range,
+            latency_penalty=self.latency_penalty,
+            price_ranges=self.price_ranges,
+            capacity_headroom=self.capacity_headroom,
+            scale=1.0,
+        )
+
+
+def _latency_class_for(index: int, n_locations: int) -> int | None:
+    """Round-robin over the paper's five DC latency classes."""
+    cls = index % (n_locations + 1)
+    return None if cls == n_locations else cls
+
+
+def _site_position(
+    rng: np.random.Generator,
+    close_to: int | None,
+    corners: list,
+    jitter_km: float = 250.0,
+) -> tuple[float, float]:
+    """Place a site near its latency-class anchor (or region center)."""
+    if close_to is None:
+        cx = sum(p.x for p in corners) / len(corners)
+        cy = sum(p.y for p in corners) / len(corners)
+    else:
+        cx, cy = corners[close_to].x, corners[close_to].y
+    return (
+        cx + float(rng.uniform(-jitter_km, jitter_km)),
+        cy + float(rng.uniform(-jitter_km, jitter_km)),
+    )
+
+
+def _build_datacenter(
+    rng: np.random.Generator,
+    name: str,
+    index: int,
+    capacity: int,
+    locations: list[str],
+    corners: list,
+    ranges: PriceRanges,
+    volume_discount: bool = True,
+) -> DataCenter:
+    close_to = _latency_class_for(index, len(locations))
+    x, y = _site_position(rng, close_to, corners)
+    vpn_base, vpn_per_km = sample_vpn_tariff(rng, ranges)
+    vpn_cost = {
+        loc: vpn_base + vpn_per_km * distance_km(x, y, corners[i].x, corners[i].y)
+        for i, loc in enumerate(locations)
+    }
+    return DataCenter(
+        name=name,
+        capacity=capacity,
+        space_cost=sample_space_schedule(rng, ranges, volume_discount=volume_discount),
+        power_cost_per_kw=sample_power_cost(rng, ranges),
+        labor_cost_per_admin=sample_labor_cost(rng, ranges),
+        wan_cost_per_mb=sample_wan_price(rng, ranges),
+        latency_to_users=class_latencies(close_to, locations),
+        vpn_link_cost=vpn_cost,
+        x=x,
+        y=y,
+        fixed_monthly_cost=sample_fixed_cost(rng, ranges),
+    )
+
+
+def _target_capacities(
+    rng: np.random.Generator, spec: EnterpriseSpec
+) -> list[int]:
+    """Capacities in the paper's 100–1000 range, with guaranteed headroom."""
+    low, high = spec.capacity_range
+    caps = [int(rng.integers(low, high + 1)) for _ in range(spec.target_datacenters)]
+    required = int(math.ceil(spec.total_servers * spec.capacity_headroom))
+    total = sum(caps)
+    if total < required:
+        # Scale everything up proportionally; keeps relative sizes.
+        factor = required / total
+        caps = [int(math.ceil(c * factor)) for c in caps]
+    return caps
+
+
+def _latency_aware_assignment(
+    rng: np.random.Generator,
+    groups: list[ApplicationGroup],
+    sizes: list[int],
+    site_count: int,
+    locations: list[str],
+) -> list[int]:
+    """Assign groups to as-is sites of their matching latency class.
+
+    A group concentrated at location *k* goes to a site of class *k*
+    (5 ms away); a spread group goes to a central-class site (10 ms).
+    Within the class, site popularity follows the same heavy-tailed
+    weighting as :func:`assign_groups_to_sites`.
+    """
+    n_classes = len(locations) + 1
+    sites_by_class: dict[int | None, list[int]] = {}
+    for site in range(site_count):
+        cls = _latency_class_for(site, len(locations))
+        sites_by_class.setdefault(cls, []).append(site)
+
+    assignments: list[int] = []
+    for group in groups:
+        concentrated = [
+            idx
+            for idx, loc in enumerate(locations)
+            if group.users.get(loc, 0.0) >= 0.99 * max(group.total_users, 1e-9)
+        ]
+        cls: int | None = concentrated[0] if concentrated else None
+        candidates = sites_by_class.get(cls) or list(range(site_count))
+        ranks = np.arange(1, len(candidates) + 1)
+        weights = ranks ** (-0.6)
+        weights /= weights.sum()
+        assignments.append(int(rng.choice(candidates, p=weights)))
+    return assignments
+
+
+def build_enterprise_state(spec: EnterpriseSpec) -> AsIsState:
+    """Generate the full as-is state for an :class:`EnterpriseSpec`.
+
+    Deterministic for a given spec (seeded RNG); two calls with the same
+    spec produce identical states.
+    """
+    spec = spec.scaled()
+    rng = np.random.default_rng(spec.seed)
+    locations = list(spec.user_location_names)
+    corners = corner_positions(REGION_SIDE_KM)[: len(locations)]
+    user_locations = [
+        UserLocation(name, corners[i].x, corners[i].y)
+        for i, name in enumerate(locations)
+    ]
+
+    # --- application groups --------------------------------------------
+    sizes = heavy_tailed_sizes(rng, spec.app_groups, spec.total_servers)
+    user_weights = rng.lognormal(0.0, 0.8, size=spec.app_groups)
+    user_totals = user_weights / user_weights.sum() * spec.total_users
+
+    groups: list[ApplicationGroup] = []
+    sensitive_seen = 0
+    for i, servers in enumerate(sizes):
+        sensitive = i % 2 == 0  # half latency-sensitive (paper Section VI-B)
+        if sensitive:
+            users = affinity_class_users(rng, sensitive_seen, user_totals[i], locations)
+            sensitive_seen += 1
+            penalty = spec.latency_penalty
+        else:
+            users = affinity_class_users(rng, int(rng.integers(0, len(locations) + 1)),
+                                         user_totals[i], locations)
+            penalty = NO_PENALTY
+        groups.append(
+            ApplicationGroup(
+                name=f"ag{i:04d}",
+                servers=servers,
+                monthly_data_mb=user_data_volume(rng, sum(users.values())),
+                users=users,
+                latency_penalty=penalty,
+            )
+        )
+
+    # --- target data centers ---------------------------------------------
+    capacities = _target_capacities(rng, spec)
+    targets = [
+        _build_datacenter(
+            rng, f"target{j:03d}", j, capacities[j], locations, corners,
+            spec.price_ranges,
+        )
+        for j in range(spec.target_datacenters)
+    ]
+
+    # --- as-is estate -------------------------------------------------------
+    # Historic estates grew up next to their users — which is exactly why
+    # they are scattered.  Each group therefore sits in a current site of
+    # the latency class matching its user concentration, so the as-is
+    # state starts (nearly) latency-clean and the baselines' penalties
+    # are their own doing.
+    site_of = _latency_aware_assignment(
+        rng, groups, sizes, spec.current_datacenters, locations
+    )
+    load: dict[int, int] = {}
+    for g_idx, site in enumerate(site_of):
+        load[site] = load.get(site, 0) + sizes[g_idx]
+    currents: list[DataCenter] = []
+    for s in range(spec.current_datacenters):
+        site_load = max(load.get(s, 0), 1)
+        dc = _build_datacenter(
+            rng, f"asis{s:04d}", s, site_load, locations, corners,
+            spec.price_ranges,
+        )
+        currents.append(dc)
+    for g_idx, site in enumerate(site_of):
+        groups[g_idx].current_datacenter = currents[site].name
+
+    return AsIsState(
+        name=spec.name,
+        app_groups=groups,
+        target_datacenters=targets,
+        user_locations=user_locations,
+        current_datacenters=currents,
+        params=CostParameters(),
+    )

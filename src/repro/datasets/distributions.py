@@ -1,0 +1,120 @@
+"""Statistical distributions used to synthesize enterprise estates.
+
+Real estates are heavy-tailed: a few application groups own tens of
+servers (the Fig. 1 monster), most own a handful.  We model group sizes
+with a lognormal draw renormalized to an exact server total, and user
+populations with the paper's five-class affinity structure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def heavy_tailed_sizes(
+    rng: np.random.Generator,
+    count: int,
+    total: int,
+    sigma: float = 1.0,
+    minimum: int = 1,
+) -> list[int]:
+    """Draw ``count`` positive integers with heavy tail summing to ``total``.
+
+    Lognormal weights are scaled to the target sum; rounding residue is
+    distributed to the largest entries so the exact total is preserved.
+    """
+    if count <= 0:
+        raise ValueError("count must be positive")
+    if total < count * minimum:
+        raise ValueError(
+            f"total {total} cannot cover {count} entries of at least {minimum}"
+        )
+    weights = rng.lognormal(mean=0.0, sigma=sigma, size=count)
+    available = total - count * minimum
+    scaled = weights / weights.sum() * available
+    sizes = np.floor(scaled).astype(int) + minimum
+    residue = total - int(sizes.sum())
+    # Hand the leftover units to the largest entries, one each.
+    order = np.argsort(-scaled)
+    for i in range(residue):
+        sizes[order[i % count]] += 1
+    assert int(sizes.sum()) == total
+    return [int(s) for s in sizes]
+
+
+def affinity_class_users(
+    rng: np.random.Generator,
+    group_index: int,
+    total_users: float,
+    locations: list[str],
+) -> dict[str, float]:
+    """Paper's five user-affinity classes, assigned round-robin.
+
+    Classes 0..len(locations)-1 put *all* users in one location; the
+    last class spreads them equally across all locations.
+    """
+    if total_users < 0:
+        raise ValueError("total_users cannot be negative")
+    n_classes = len(locations) + 1
+    cls = group_index % n_classes
+    if cls < len(locations):
+        return {locations[cls]: float(total_users)}
+    share = float(total_users) / len(locations)
+    return {loc: share for loc in locations}
+
+
+def proportional_split(
+    rng: np.random.Generator,
+    total: float,
+    weights: np.ndarray,
+) -> np.ndarray:
+    """Split ``total`` proportionally to ``weights`` (float shares)."""
+    weights = np.asarray(weights, dtype=float)
+    if (weights < 0).any():
+        raise ValueError("weights cannot be negative")
+    s = weights.sum()
+    if s == 0:
+        return np.zeros_like(weights)
+    return weights / s * total
+
+
+def assign_groups_to_sites(
+    rng: np.random.Generator,
+    group_sizes: list[int],
+    site_count: int,
+    concentration: float = 0.6,
+) -> list[int]:
+    """Assign each group to one of ``site_count`` as-is sites.
+
+    Site popularity is itself heavy-tailed (a Zipf-like weighting with
+    the given concentration), mirroring the few-big-many-small estates
+    in Fig. 2.  Returns a site index per group.
+    """
+    if site_count <= 0:
+        raise ValueError("site_count must be positive")
+    ranks = np.arange(1, site_count + 1)
+    weights = ranks ** (-concentration)
+    weights /= weights.sum()
+    assignments = rng.choice(site_count, size=len(group_sizes), p=weights)
+    # Guarantee every site hosts at least one group when possible, so the
+    # generated as-is estate really has `site_count` active locations.
+    if len(group_sizes) >= site_count:
+        used = set(int(a) for a in assignments)
+        empty = [s for s in range(site_count) if s not in used]
+        if empty:
+            donors = rng.permutation(len(group_sizes))
+            for site, donor in zip(empty, donors):
+                assignments[donor] = site
+    return [int(a) for a in assignments]
+
+
+def user_data_volume(
+    rng: np.random.Generator,
+    users: float,
+    mb_per_user: tuple[float, float] = (300.0, 1200.0),
+) -> float:
+    """Monthly megabits exchanged, proportional to users with noise."""
+    low, high = mb_per_user
+    if low > high or low < 0:
+        raise ValueError(f"invalid per-user range {mb_per_user}")
+    return float(users) * float(rng.uniform(low, high))

@@ -1,0 +1,33 @@
+"""Case-study dataset 1: the multinational enterprise ("enterprise1").
+
+Table II: 67 as-is data centers, 10 targets, 1070 servers, 190
+application groups.  The user population (18 913) is the sum of the
+per-continent user counts in Fig. 2.
+"""
+
+from __future__ import annotations
+
+from ..core.entities import AsIsState
+from .builders import EnterpriseSpec, build_enterprise_state
+
+#: Fig. 2 user counts per continent, summed.
+ENTERPRISE1_USERS = 5135 + 760 + 3600 + 8736 + 682
+
+
+def enterprise1_spec(seed: int = 1, scale: float = 1.0) -> EnterpriseSpec:
+    """The Table II "Enterprise1" row as a generator spec."""
+    return EnterpriseSpec(
+        name="enterprise1",
+        app_groups=190,
+        total_servers=1070,
+        current_datacenters=67,
+        target_datacenters=10,
+        total_users=float(ENTERPRISE1_USERS),
+        seed=seed,
+        scale=scale,
+    )
+
+
+def load_enterprise1(seed: int = 1, scale: float = 1.0) -> AsIsState:
+    """Build the enterprise1 as-is state (deterministic per seed)."""
+    return build_enterprise_state(enterprise1_spec(seed=seed, scale=scale))

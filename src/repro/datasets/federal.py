@@ -1,0 +1,38 @@
+"""Case-study dataset 3: the US federal government.
+
+Table II: 2094 as-is data centers, 100 targets, 42 800 servers, 1900
+application groups — ten times the enterprise1 group count with the same
+distributions, exactly the paper's own construction.
+
+At full scale the non-DR MILP has 190 000 assignment binaries (HiGHS
+territory); the joint DR model is benchmarked at reduced ``scale`` —
+see EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from ..core.entities import AsIsState
+from .builders import EnterpriseSpec, build_enterprise_state
+from .enterprise1 import ENTERPRISE1_USERS
+
+#: Ten enterprise1 populations, matching the 10× group scaling.
+FEDERAL_USERS = ENTERPRISE1_USERS * 10
+
+
+def federal_spec(seed: int = 3, scale: float = 1.0) -> EnterpriseSpec:
+    """The Table II "Federal" row as a generator spec."""
+    return EnterpriseSpec(
+        name="federal",
+        app_groups=1900,
+        total_servers=42800,
+        current_datacenters=2094,
+        target_datacenters=100,
+        total_users=float(FEDERAL_USERS),
+        seed=seed,
+        scale=scale,
+    )
+
+
+def load_federal(seed: int = 3, scale: float = 1.0) -> AsIsState:
+    """Build the federal as-is state (deterministic per seed)."""
+    return build_enterprise_state(federal_spec(seed=seed, scale=scale))

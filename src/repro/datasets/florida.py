@@ -1,0 +1,35 @@
+"""Case-study dataset 2: the Florida state government.
+
+Table II: 43 as-is data centers, 10 targets, 3907 servers, 190
+application groups.  As in the paper, group/server distributions are
+borrowed from enterprise1 (the Gartner study lacks them); the user
+population scales with the server estate.
+"""
+
+from __future__ import annotations
+
+from ..core.entities import AsIsState
+from .builders import EnterpriseSpec, build_enterprise_state
+from .enterprise1 import ENTERPRISE1_USERS
+
+#: Users scaled by the server ratio vs enterprise1 (3907 / 1070).
+FLORIDA_USERS = round(ENTERPRISE1_USERS * 3907 / 1070)
+
+
+def florida_spec(seed: int = 2, scale: float = 1.0) -> EnterpriseSpec:
+    """The Table II "Florida" row as a generator spec."""
+    return EnterpriseSpec(
+        name="florida",
+        app_groups=190,
+        total_servers=3907,
+        current_datacenters=43,
+        target_datacenters=10,
+        total_users=float(FLORIDA_USERS),
+        seed=seed,
+        scale=scale,
+    )
+
+
+def load_florida(seed: int = 2, scale: float = 1.0) -> AsIsState:
+    """Build the Florida as-is state (deterministic per seed)."""
+    return build_enterprise_state(florida_spec(seed=seed, scale=scale))

@@ -1,0 +1,89 @@
+"""Planar geography: distances, latency, and simple topologies.
+
+Case-study latencies in the paper come in *classes* (a data center is
+"close to" one user location: 5 ms to it, 20 ms to the rest; or central:
+10 ms to all).  The parameter studies (Figs. 7–10) instead use a line of
+data centers with latency growing along the line.  This module provides
+the geometric primitives for both.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: Effective one-way signal propagation through fiber, ms per km
+#: (≈ 2/3 c, plus routing overhead folded into PER_KM).
+LATENCY_MS_PER_KM = 0.01
+#: Fixed last-mile / stack overhead added to every path, in ms.
+LATENCY_BASE_MS = 1.0
+
+
+@dataclass(frozen=True)
+class Point:
+    """A planar location in kilometres."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+
+def distance_km(ax: float, ay: float, bx: float, by: float) -> float:
+    """Euclidean distance between two planar points."""
+    return math.hypot(ax - bx, ay - by)
+
+
+def latency_ms(
+    distance: float,
+    base_ms: float = LATENCY_BASE_MS,
+    per_km: float = LATENCY_MS_PER_KM,
+) -> float:
+    """Distance → one-way network latency in milliseconds."""
+    if distance < 0:
+        raise ValueError("distance cannot be negative")
+    return base_ms + per_km * distance
+
+
+def line_positions(count: int, spacing_km: float) -> list[Point]:
+    """``count`` points on a line, ``spacing_km`` apart (Figs. 7–10 setup)."""
+    if count <= 0:
+        raise ValueError("count must be positive")
+    if spacing_km <= 0:
+        raise ValueError("spacing must be positive")
+    return [Point(i * spacing_km, 0.0) for i in range(count)]
+
+
+def corner_positions(side_km: float) -> list[Point]:
+    """Four user-location 'corners' of a square region (case studies)."""
+    if side_km <= 0:
+        raise ValueError("side must be positive")
+    return [
+        Point(0.0, 0.0),
+        Point(side_km, 0.0),
+        Point(0.0, side_km),
+        Point(side_km, side_km),
+    ]
+
+
+def class_latencies(
+    close_to: int | None,
+    locations: list[str],
+    near_ms: float = 5.0,
+    far_ms: float = 20.0,
+    central_ms: float = 10.0,
+) -> dict[str, float]:
+    """Paper's five data-center latency classes.
+
+    ``close_to=k`` gives ``near_ms`` to location *k* and ``far_ms`` to the
+    others; ``close_to=None`` is the central class at ``central_ms`` to all.
+    """
+    if close_to is None:
+        return {loc: central_ms for loc in locations}
+    if not 0 <= close_to < len(locations):
+        raise ValueError(f"close_to index {close_to} out of range")
+    return {
+        loc: (near_ms if idx == close_to else far_ms)
+        for idx, loc in enumerate(locations)
+    }

@@ -1,0 +1,59 @@
+"""Bonus presets for the consolidations the paper's introduction cites.
+
+The paper motivates eTransform with three public programmes beyond its
+case studies: the UK government (120 data centers → 10), HP (85 → 8)
+and the US federal effort (covered by :mod:`repro.datasets.federal`).
+These presets model the first two with the same generator machinery —
+sized from the published site counts, with estate sizes extrapolated at
+enterprise1's servers-per-site density.
+"""
+
+from __future__ import annotations
+
+from ..core.entities import AsIsState
+from .builders import EnterpriseSpec, build_enterprise_state
+from .enterprise1 import ENTERPRISE1_USERS
+
+#: enterprise1 density: ~16 servers and ~2.8 groups per as-is site.
+_SERVERS_PER_SITE = 1070 / 67
+_GROUPS_PER_SITE = 190 / 67
+
+
+def uk_government_spec(seed: int = 4, scale: float = 1.0) -> EnterpriseSpec:
+    """UK central government: 120 as-is sites → 10 targets."""
+    sites = 120
+    return EnterpriseSpec(
+        name="uk-government",
+        app_groups=round(sites * _GROUPS_PER_SITE),
+        total_servers=round(sites * _SERVERS_PER_SITE),
+        current_datacenters=sites,
+        target_datacenters=10,
+        total_users=ENTERPRISE1_USERS * sites / 67,
+        seed=seed,
+        scale=scale,
+    )
+
+
+def load_uk_government(seed: int = 4, scale: float = 1.0) -> AsIsState:
+    """Build the UK-government-sized estate (deterministic per seed)."""
+    return build_enterprise_state(uk_government_spec(seed=seed, scale=scale))
+
+
+def hp_spec(seed: int = 5, scale: float = 1.0) -> EnterpriseSpec:
+    """Hewlett-Packard's transformation: 85 as-is sites → 8 targets."""
+    sites = 85
+    return EnterpriseSpec(
+        name="hp",
+        app_groups=round(sites * _GROUPS_PER_SITE),
+        total_servers=round(sites * _SERVERS_PER_SITE),
+        current_datacenters=sites,
+        target_datacenters=8,
+        total_users=ENTERPRISE1_USERS * sites / 67,
+        seed=seed,
+        scale=scale,
+    )
+
+
+def load_hp(seed: int = 5, scale: float = 1.0) -> AsIsState:
+    """Build the HP-sized estate (deterministic per seed)."""
+    return build_enterprise_state(hp_spec(seed=seed, scale=scale))

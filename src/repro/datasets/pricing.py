@@ -1,0 +1,100 @@
+"""Seeded synthetic price tables.
+
+The paper sources prices from 2010-era industry reports: a
+telegeography colocation survey for space, a Global Knowledge salary
+report for labor, the EIA's retail-electricity table for power, and
+Amazon's EC2 cost-comparison calculator for WAN.  None of those exact
+tables ship with the paper, so we draw from the same published *ranges*
+with a seeded RNG — the experiments depend on the relative spread and
+the volume-discount structure, not on 2010 dollar values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.costs import StepCostFunction, monthly_power_cost_per_kw
+
+
+@dataclass(frozen=True)
+class PriceRanges:
+    """Sampling ranges for one enterprise's candidate sites.
+
+    Space is $/server/month at the first (undiscounted) tier; power is
+    retail ¢/kWh; labor is $/administrator/month; WAN is $/megabit.
+    """
+
+    space_base: tuple[float, float] = (60.0, 180.0)
+    power_cents_per_kwh: tuple[float, float] = (6.0, 18.0)
+    labor_monthly: tuple[float, float] = (4200.0, 9800.0)
+    wan_per_mb: tuple[float, float] = (0.02, 0.12)
+    #: Volume-discount shape: price drops `discount_fraction` of base per
+    #: `step_servers` servers, floored at `floor_fraction` of base.
+    step_servers: int = 100
+    discount_fraction: float = 0.08
+    floor_fraction: float = 0.5
+    #: VPN link tariff F = base + per_km · distance ($/link/month).
+    vpn_base_monthly: tuple[float, float] = (150.0, 350.0)
+    vpn_per_km: tuple[float, float] = (0.15, 0.45)
+    #: Monthly per-site facility overhead ($/month while the site hosts
+    #: anything) — what scattering an estate over many sites costs.
+    fixed_monthly: tuple[float, float] = (3000.0, 9000.0)
+
+
+DEFAULT_RANGES = PriceRanges()
+
+
+def _uniform(rng: np.random.Generator, bounds: tuple[float, float]) -> float:
+    low, high = bounds
+    if low > high:
+        raise ValueError(f"invalid range {bounds}")
+    return float(rng.uniform(low, high))
+
+
+def sample_space_schedule(
+    rng: np.random.Generator,
+    ranges: PriceRanges = DEFAULT_RANGES,
+    volume_discount: bool = True,
+) -> StepCostFunction:
+    """Draw a space-price schedule; optionally flat (no scale economies)."""
+    base = _uniform(rng, ranges.space_base)
+    if not volume_discount:
+        return StepCostFunction.flat(base)
+    discount = base * ranges.discount_fraction
+    floor = base * ranges.floor_fraction
+    return StepCostFunction.volume_discount(
+        base_price=base,
+        step=ranges.step_servers,
+        discount=discount,
+        floor_price=floor,
+    )
+
+
+def sample_power_cost(rng: np.random.Generator, ranges: PriceRanges = DEFAULT_RANGES) -> float:
+    """Draw E_j in $/kW/month from the EIA retail-price range."""
+    cents = _uniform(rng, ranges.power_cents_per_kwh)
+    return monthly_power_cost_per_kw(cents)
+
+
+def sample_labor_cost(rng: np.random.Generator, ranges: PriceRanges = DEFAULT_RANGES) -> float:
+    """Draw T_j in $/admin/month from the salary-report range."""
+    return _uniform(rng, ranges.labor_monthly)
+
+
+def sample_wan_price(rng: np.random.Generator, ranges: PriceRanges = DEFAULT_RANGES) -> float:
+    """Draw W_j in $/megabit from the cloud-pricing range."""
+    return _uniform(rng, ranges.wan_per_mb)
+
+
+def sample_fixed_cost(rng: np.random.Generator, ranges: PriceRanges = DEFAULT_RANGES) -> float:
+    """Draw the monthly facility overhead of one site."""
+    return _uniform(rng, ranges.fixed_monthly)
+
+
+def sample_vpn_tariff(
+    rng: np.random.Generator, ranges: PriceRanges = DEFAULT_RANGES
+) -> tuple[float, float]:
+    """Draw the (base, per-km) parameters of a dedicated-link tariff."""
+    return _uniform(rng, ranges.vpn_base_monthly), _uniform(rng, ranges.vpn_per_km)

@@ -1,0 +1,241 @@
+"""Parameter-study fixtures: the 10-data-center line (Figs. 7–10).
+
+The paper's sensitivity experiments all share one synthetic topology:
+ten data centers, *location 0* through *location 9*, laid out on a line
+with latency growing away from location 0, space cost growing with the
+location index, and every other cost identical.  Users sit near
+locations 0 and 9 only.  Two variants:
+
+* :func:`latency_line_scenario` — enterprise1-shaped application groups
+  with a tunable latency-penalty rate and user split (Figs. 7 and 8);
+* :func:`tradeoff_line_scenario` — many one-server groups, all users at
+  location 9, dedicated-VPN WAN pricing (Figs. 9 and 10).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.costs import StepCostFunction
+from ..core.entities import (
+    ApplicationGroup,
+    AsIsState,
+    CostParameters,
+    DataCenter,
+    UserLocation,
+)
+from ..core.latency import NO_PENALTY, LatencyPenaltyFunction
+from .distributions import heavy_tailed_sizes
+from .geography import latency_ms, line_positions
+
+#: Names of the two user concentrations on the line.
+LINE_USER_LOCATIONS = ("user_west", "user_east")
+
+
+def _line_datacenters(
+    n_datacenters: int,
+    spacing_km: float,
+    capacity: int,
+    space_base: float,
+    space_step_per_location: float,
+    power_cost_per_kw: float,
+    labor_cost_per_admin: float,
+    wan_cost_per_mb: float,
+    vpn_base: float,
+    vpn_per_km: float,
+    space_growth: float = 0.0,
+    vpn_per_km_sq: float = 0.0,
+) -> list[DataCenter]:
+    """Build the line of data centers with index-graded space cost.
+
+    ``space_step_per_location`` gives a linear ramp; a non-zero
+    ``space_growth`` compounds geometrically instead (used by the
+    space/WAN tradeoff study, whose paper figure is clearly convex).
+    ``vpn_per_km_sq`` adds a long-haul premium to link prices — real
+    dedicated circuits price superlinearly with distance.
+    """
+
+    def link_price(distance: float) -> float:
+        return vpn_base + vpn_per_km * distance + vpn_per_km_sq * distance**2
+
+    positions = line_positions(n_datacenters, spacing_km)
+    west = positions[0]
+    east = positions[-1]
+    datacenters = []
+    for i, pos in enumerate(positions):
+        if space_growth > 0.0:
+            space_price = space_base * (1.0 + space_growth) ** i
+        else:
+            space_price = space_base + space_step_per_location * i
+        lat_west = latency_ms(pos.distance_to(west))
+        lat_east = latency_ms(pos.distance_to(east))
+        datacenters.append(
+            DataCenter(
+                name=f"location{i}",
+                capacity=capacity,
+                space_cost=StepCostFunction.flat(space_price),
+                power_cost_per_kw=power_cost_per_kw,
+                labor_cost_per_admin=labor_cost_per_admin,
+                wan_cost_per_mb=wan_cost_per_mb,
+                latency_to_users={
+                    LINE_USER_LOCATIONS[0]: lat_west,
+                    LINE_USER_LOCATIONS[1]: lat_east,
+                },
+                vpn_link_cost={
+                    LINE_USER_LOCATIONS[0]: link_price(pos.distance_to(west)),
+                    LINE_USER_LOCATIONS[1]: link_price(pos.distance_to(east)),
+                },
+                x=pos.x,
+                y=pos.y,
+            )
+        )
+    return datacenters
+
+
+def latency_line_scenario(
+    penalty_per_band: float,
+    fraction_at_west: float,
+    n_groups: int = 190,
+    total_servers: int = 1070,
+    total_users: float = 2000.0,
+    n_datacenters: int = 10,
+    spacing_km: float = 450.0,
+    capacity: int = 2500,
+    threshold_ms: float = 10.0,
+    band_width_ms: float = 10.0,
+    space_base: float = 40.0,
+    space_step_per_location: float = 40.0,
+    space_growth: float = 0.0,
+    seed: int = 7,
+) -> AsIsState:
+    """Fig. 7 / Fig. 8 fixture.
+
+    Enterprise1-shaped groups whose users split ``fraction_at_west`` /
+    ``1 - fraction_at_west`` between the two ends of the line.  The
+    latency constraint is the banded step function at 10 ms; sweeping
+    ``penalty_per_band`` from 0 upward reproduces the cost/space/latency
+    curves of Fig. 7.
+    """
+    if not 0.0 <= fraction_at_west <= 1.0:
+        raise ValueError("fraction_at_west must be within [0, 1]")
+    if penalty_per_band < 0:
+        raise ValueError("penalty cannot be negative")
+    rng = np.random.default_rng(seed)
+    sizes = heavy_tailed_sizes(rng, n_groups, total_servers)
+    per_group_users = total_users / n_groups
+    if penalty_per_band > 0:
+        penalty = LatencyPenaltyFunction.banded(
+            threshold_ms, band_width_ms, penalty_per_band, bands=12
+        )
+    else:
+        penalty = NO_PENALTY
+
+    groups = []
+    for i, servers in enumerate(sizes):
+        users = {
+            LINE_USER_LOCATIONS[0]: per_group_users * fraction_at_west,
+            LINE_USER_LOCATIONS[1]: per_group_users * (1.0 - fraction_at_west),
+        }
+        users = {loc: count for loc, count in users.items() if count > 0}
+        groups.append(
+            ApplicationGroup(
+                name=f"ag{i:04d}",
+                servers=servers,
+                monthly_data_mb=per_group_users * 100.0,
+                users=users,
+                latency_penalty=penalty,
+            )
+        )
+
+    datacenters = _line_datacenters(
+        n_datacenters=n_datacenters,
+        spacing_km=spacing_km,
+        capacity=capacity,
+        space_base=space_base,
+        space_step_per_location=space_step_per_location,
+        space_growth=space_growth,
+        power_cost_per_kw=80.0,
+        labor_cost_per_admin=6000.0,
+        wan_cost_per_mb=0.05,
+        vpn_base=200.0,
+        vpn_per_km=0.25,
+    )
+    positions = line_positions(n_datacenters, spacing_km)
+    user_locations = [
+        UserLocation(LINE_USER_LOCATIONS[0], positions[0].x, positions[0].y),
+        UserLocation(LINE_USER_LOCATIONS[1], positions[-1].x, positions[-1].y),
+    ]
+    return AsIsState(
+        name="latency-line",
+        app_groups=groups,
+        target_datacenters=datacenters,
+        user_locations=user_locations,
+        params=CostParameters(),
+    )
+
+
+def tradeoff_line_scenario(
+    n_groups: int = 700,
+    n_datacenters: int = 10,
+    capacity: int = 100,
+    spacing_km: float = 450.0,
+    servers_per_group: int = 1,
+    data_mb_per_group: float = 60_000.0,
+    vpn_link_capacity_mb: float = 100_000.0,
+    space_base: float = 5.0,
+    space_growth: float = 1.45,
+    vpn_base: float = 20.0,
+    vpn_per_km: float = 0.20,
+    vpn_per_km_sq: float = 1.1e-3,
+    seed: int = 9,
+) -> AsIsState:
+    """Fig. 9 / Fig. 10 fixture.
+
+    Ten capacity-100 data centers; one-server application groups whose
+    users all sit at location 9 and connect over dedicated VPN links, so
+    WAN cost falls toward location 9 while (geometrically growing) space
+    cost rises — the tradeoff whose total is minimized in the middle of
+    the line.
+    """
+    if n_groups < 0:
+        raise ValueError("n_groups cannot be negative")
+    groups = []
+    users_per_group = 10.0
+    for i in range(n_groups):
+        groups.append(
+            ApplicationGroup(
+                name=f"ag{i:04d}",
+                servers=servers_per_group,
+                monthly_data_mb=data_mb_per_group,
+                users={LINE_USER_LOCATIONS[1]: users_per_group},
+                latency_penalty=NO_PENALTY,
+            )
+        )
+
+    datacenters = _line_datacenters(
+        n_datacenters=n_datacenters,
+        spacing_km=spacing_km,
+        capacity=capacity,
+        space_base=space_base,
+        space_step_per_location=0.0,
+        space_growth=space_growth,
+        power_cost_per_kw=30.0,
+        labor_cost_per_admin=2600.0,
+        wan_cost_per_mb=0.05,
+        vpn_base=vpn_base,
+        vpn_per_km=vpn_per_km,
+        vpn_per_km_sq=vpn_per_km_sq,
+    )
+    positions = line_positions(n_datacenters, spacing_km)
+    user_locations = [
+        UserLocation(LINE_USER_LOCATIONS[0], positions[0].x, positions[0].y),
+        UserLocation(LINE_USER_LOCATIONS[1], positions[-1].x, positions[-1].y),
+    ]
+    params = CostParameters(vpn_link_capacity_mb=vpn_link_capacity_mb)
+    return AsIsState(
+        name="tradeoff-line",
+        app_groups=groups,
+        target_datacenters=datacenters,
+        user_locations=user_locations,
+        params=params,
+    )

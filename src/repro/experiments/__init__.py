@@ -1,0 +1,62 @@
+"""Experiment harnesses reproducing every table and figure of the paper."""
+
+from .comparison import (
+    CASE_STUDY_LOADERS,
+    CaseStudySuite,
+    ComparisonResult,
+    run_case_studies,
+    run_comparison,
+)
+from .dr_cost_sweep import DEFAULT_DR_COSTS, DRCostSweepResult, run_dr_cost_sweep
+from .harness import AlgorithmResult, SweepPoint, SweepSeries, timed_plan
+from .latency_sweep import (
+    DEFAULT_PENALTIES,
+    DEFAULT_USER_SPLITS,
+    LatencySweepResult,
+    mean_user_latency,
+    run_latency_sweep,
+    split_label,
+)
+from .placement_growth import (
+    DEFAULT_GROUP_COUNTS,
+    PlacementGrowthResult,
+    run_placement_growth,
+)
+from .resilience import ResilienceResult, ResilienceRow, run_resilience
+from .site_count import SiteCountPoint, SiteCountResult, run_site_count
+from .tradeoff import TradeoffResult, price_bundle_everywhere, run_tradeoff
+from . import tables
+
+__all__ = [
+    "AlgorithmResult",
+    "CASE_STUDY_LOADERS",
+    "CaseStudySuite",
+    "ComparisonResult",
+    "DEFAULT_DR_COSTS",
+    "DEFAULT_GROUP_COUNTS",
+    "DEFAULT_PENALTIES",
+    "DEFAULT_USER_SPLITS",
+    "DRCostSweepResult",
+    "LatencySweepResult",
+    "PlacementGrowthResult",
+    "ResilienceResult",
+    "ResilienceRow",
+    "SiteCountPoint",
+    "SiteCountResult",
+    "SweepPoint",
+    "SweepSeries",
+    "TradeoffResult",
+    "mean_user_latency",
+    "price_bundle_everywhere",
+    "run_case_studies",
+    "run_comparison",
+    "run_dr_cost_sweep",
+    "run_latency_sweep",
+    "run_placement_growth",
+    "run_resilience",
+    "run_site_count",
+    "run_tradeoff",
+    "split_label",
+    "tables",
+    "timed_plan",
+]

@@ -1,0 +1,119 @@
+"""Text rendering of every paper table and figure series.
+
+The benchmark harness prints through these functions so running
+``pytest benchmarks/ --benchmark-only`` regenerates, in text form, the
+same rows and series the paper reports.
+"""
+
+from __future__ import annotations
+
+from .comparison import CaseStudySuite, ComparisonResult
+from .dr_cost_sweep import DRCostSweepResult
+from .latency_sweep import LatencySweepResult
+from .placement_growth import PlacementGrowthResult
+from .tradeoff import TradeoffResult
+
+
+def _fmt_money(value: float) -> str:
+    return f"${value:,.0f}"
+
+
+def render_comparison(result: ComparisonResult) -> str:
+    """One panel of Fig. 4/6: the stacked cost bars, as rows."""
+    title = f"{'Fig 6' if result.enable_dr else 'Fig 4'} — {result.dataset}"
+    lines = [title, "-" * len(title)]
+    header = f"{'algorithm':<12} {'cost':>14} {'latency pen.':>14} {'DR buy':>12} {'total':>14} {'viol.':>6} {'DCs':>4}"
+    lines.append(header)
+    for r in [result.asis, result.manual, result.greedy, result.etransform]:
+        lines.append(
+            f"{r.algorithm:<12} {_fmt_money(r.operational_cost):>14} "
+            f"{_fmt_money(r.latency_penalty):>14} {_fmt_money(r.dr_purchase):>12} "
+            f"{_fmt_money(r.total_cost):>14} {r.latency_violations:>6d} {r.datacenters_used:>4d}"
+        )
+    return "\n".join(lines)
+
+
+def render_reduction_table(suite: CaseStudySuite) -> str:
+    """Fig. 4(d) / 6(d): percentage cost reduction vs as-is."""
+    label = "Fig 6(d)" if suite.enable_dr else "Fig 4(d)"
+    lines = [f"{label} — Cost reduction vs as-is"]
+    lines.append(f"{'dataset':<14} {'manual':>8} {'greedy':>8} {'etransform':>11}")
+    for result in suite.results:
+        lines.append(
+            f"{result.dataset:<14} "
+            f"{result.reduction('manual'):>+8.0%} "
+            f"{result.reduction('greedy'):>+8.0%} "
+            f"{result.reduction('etransform'):>+11.0%}"
+        )
+    return "\n".join(lines)
+
+
+def render_violation_table(suite: CaseStudySuite) -> str:
+    """Fig. 4(e) / 6(e): latency-violation counts."""
+    label = "Fig 6(e)" if suite.enable_dr else "Fig 4(e)"
+    lines = [f"{label} — Latency violations"]
+    lines.append(f"{'dataset':<14} {'manual':>8} {'greedy':>8} {'etransform':>11}")
+    for result in suite.results:
+        lines.append(
+            f"{result.dataset:<14} "
+            f"{result.violations('manual'):>8d} "
+            f"{result.violations('greedy'):>8d} "
+            f"{result.violations('etransform'):>11d}"
+        )
+    return "\n".join(lines)
+
+
+def render_latency_sweep(result: LatencySweepResult, key: str = "total_cost") -> str:
+    """One panel of Fig. 7 as series rows (key selects the panel)."""
+    panel = {
+        "total_cost": "Fig 7(a) — Total cost vs latency penalty",
+        "space_cost": "Fig 7(b) — Space cost vs latency penalty",
+        "mean_latency_ms": "Fig 7(c) — Mean latency vs latency penalty",
+    }.get(key, key)
+    lines = [panel]
+    for series in result.series:
+        xs = series.xs()
+        ys = series.ys(key)
+        pairs = "  ".join(f"({x:g}, {y:,.1f})" for x, y in zip(xs, ys))
+        lines.append(f"  {series.name}: {pairs}")
+    return "\n".join(lines)
+
+
+def render_dr_sweep(result: DRCostSweepResult) -> str:
+    """Fig. 8's two curves, row per ζ."""
+    lines = ["Fig 8 — Influence of DR server cost"]
+    lines.append(f"{'dr server cost':>14} {'DCs used':>9} {'DR servers':>11}")
+    for zeta, dcs, servers in zip(
+        result.dr_costs(), result.datacenters_used(), result.dr_servers()
+    ):
+        lines.append(f"{zeta:>14,.0f} {dcs:>9d} {servers:>11d}")
+    return "\n".join(lines)
+
+
+def render_tradeoff(result: TradeoffResult) -> str:
+    """Fig. 9's per-location bars."""
+    lines = ["Fig 9 — Space cost vs WAN cost tradeoff"]
+    lines.append(f"{'location':<12} {'space':>12} {'WAN':>12} {'total':>12}")
+    for loc in result.locations:
+        lines.append(
+            f"{loc.location:<12} {_fmt_money(loc.space_cost):>12} "
+            f"{_fmt_money(loc.wan_cost):>12} {_fmt_money(loc.total_cost):>12}"
+        )
+    lines.append(
+        f"cheapest={result.cheapest.location} costliest={result.costliest.location} "
+        f"spread={result.spread:.1f}x"
+    )
+    return "\n".join(lines)
+
+
+def render_placement_growth(result: PlacementGrowthResult) -> str:
+    """Fig. 10's staircase and fill order."""
+    lines = ["Fig 10 — Placement by eTransform as the estate grows"]
+    lines.append(f"{'groups':>7} {'DCs used':>9}  fill")
+    for point in result.points:
+        fill = ", ".join(
+            f"{name}:{count}" for name, count in sorted(point.fill.items())
+        )
+        lines.append(f"{point.n_groups:>7d} {point.datacenters_used:>9d}  {fill}")
+    lines.append("cost order: " + " < ".join(result.cost_order))
+    return "\n".join(lines)

@@ -1,0 +1,87 @@
+"""Fig. 9: the space-cost / WAN-cost tradeoff across the line.
+
+Prices a fixed bundle of application groups at every data center on the
+line: space grows geometrically with the location index while
+dedicated-VPN WAN cost falls toward the users at location 9.  The total
+is minimized strictly inside the line, severalfold below the most
+expensive location — the paper's "7× cheaper" observation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.entities import AsIsState
+from ..core.wan import wan_cost
+from ..datasets.scenarios import tradeoff_line_scenario
+
+
+@dataclass
+class LocationCost:
+    """One bar group of Fig. 9."""
+
+    location: str
+    space_cost: float
+    wan_cost: float
+    power_labor_cost: float
+
+    @property
+    def total_cost(self) -> float:
+        return self.space_cost + self.wan_cost + self.power_labor_cost
+
+
+@dataclass
+class TradeoffResult:
+    """Per-location costs of hosting the bundle (Fig. 9's three series)."""
+
+    locations: list[LocationCost] = field(default_factory=list)
+
+    def totals(self) -> list[float]:
+        return [loc.total_cost for loc in self.locations]
+
+    @property
+    def cheapest(self) -> LocationCost:
+        return min(self.locations, key=lambda l: l.total_cost)
+
+    @property
+    def costliest(self) -> LocationCost:
+        return max(self.locations, key=lambda l: l.total_cost)
+
+    @property
+    def spread(self) -> float:
+        """How many times cheaper the best location is than the worst."""
+        return self.costliest.total_cost / self.cheapest.total_cost
+
+    @property
+    def minimum_index(self) -> int:
+        totals = self.totals()
+        return totals.index(min(totals))
+
+
+def price_bundle_everywhere(state: AsIsState) -> TradeoffResult:
+    """Price the state's whole group bundle at each target data center."""
+    params = state.params
+    servers = sum(g.servers for g in state.app_groups)
+    result = TradeoffResult()
+    for dc in state.target_datacenters:
+        space = dc.space_cost.total_cost(servers)
+        wan = sum(wan_cost(g, dc, params, model="vpn") for g in state.app_groups)
+        power_labor = servers * (
+            params.server_power_kw * dc.power_cost_per_kw
+            + dc.labor_cost_per_admin / params.servers_per_admin
+        )
+        result.locations.append(
+            LocationCost(
+                location=dc.name,
+                space_cost=space,
+                wan_cost=wan,
+                power_labor_cost=power_labor,
+            )
+        )
+    return result
+
+
+def run_tradeoff(n_groups: int = 100) -> TradeoffResult:
+    """Reproduce Fig. 9 with a bundle of ``n_groups`` one-server groups."""
+    state = tradeoff_line_scenario(n_groups=n_groups)
+    return price_bundle_everywhere(state)

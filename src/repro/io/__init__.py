@@ -1,0 +1,34 @@
+"""Serialization and reporting (the output-generation subroutine)."""
+
+from .csv_export import (
+    export_plan_csv,
+    write_comparison_csv,
+    write_placement_csv,
+    write_usage_csv,
+)
+from .report import render_placement_listing, render_plan_report
+from .serialization import (
+    SCHEMA_VERSION,
+    load_state,
+    plan_to_dict,
+    save_plan,
+    save_state,
+    state_from_dict,
+    state_to_dict,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "export_plan_csv",
+    "write_comparison_csv",
+    "write_placement_csv",
+    "write_usage_csv",
+    "load_state",
+    "plan_to_dict",
+    "render_placement_listing",
+    "render_plan_report",
+    "save_plan",
+    "save_state",
+    "state_from_dict",
+    "state_to_dict",
+]

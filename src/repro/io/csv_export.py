@@ -1,0 +1,119 @@
+"""CSV exports — the lingua franca of consolidation engagements.
+
+Three sheets: the placement listing (one row per application group),
+the per-site usage/cost table, and an algorithm-comparison table.  All
+writers use :mod:`csv` with plain headers so the files open directly in
+a spreadsheet.
+"""
+
+from __future__ import annotations
+
+import csv
+from typing import Iterable, TextIO
+
+from ..core.entities import AsIsState
+from ..core.plan import TransformationPlan
+
+PLACEMENT_HEADER = [
+    "group", "servers", "users", "primary_site", "secondary_site",
+    "mean_latency_ms", "latency_violated",
+]
+
+USAGE_HEADER = [
+    "site", "groups", "primary_servers", "backup_servers",
+    "space_cost", "power_cost", "labor_cost", "wan_cost", "fixed_cost",
+    "latency_penalty", "total_cost",
+]
+
+COMPARISON_HEADER = [
+    "algorithm", "total_cost", "operational_cost", "latency_penalty",
+    "dr_purchase", "latency_violations", "datacenters_used",
+]
+
+
+def write_placement_csv(
+    state: AsIsState, plan: TransformationPlan, stream: TextIO
+) -> int:
+    """Write the group-level sheet; returns the number of data rows."""
+    by_name = {dc.name: dc for dc in state.target_datacenters}
+    by_name.update({dc.name: dc for dc in state.current_datacenters})
+    writer = csv.writer(stream)
+    writer.writerow(PLACEMENT_HEADER)
+    rows = 0
+    for group in state.app_groups:
+        site_name = plan.placement[group.name]
+        site = by_name.get(site_name)
+        mean_latency = ""
+        violated = ""
+        if site is not None and group.total_users > 0:
+            latency = group.mean_latency(site.latency_to_users)
+            mean_latency = f"{latency:.2f}"
+            violated = str(group.latency_penalty.violates(latency)).lower()
+        writer.writerow([
+            group.name,
+            group.servers,
+            f"{group.total_users:.0f}",
+            site_name,
+            plan.secondary.get(group.name, ""),
+            mean_latency,
+            violated,
+        ])
+        rows += 1
+    return rows
+
+
+def write_usage_csv(plan: TransformationPlan, stream: TextIO) -> int:
+    """Write the per-site sheet; returns the number of data rows."""
+    writer = csv.writer(stream)
+    writer.writerow(USAGE_HEADER)
+    rows = 0
+    for name in sorted(plan.usage):
+        slot = plan.usage[name]
+        writer.writerow([
+            name,
+            len(slot.groups),
+            slot.primary_servers,
+            slot.backup_servers,
+            f"{slot.space_cost:.2f}",
+            f"{slot.power_cost:.2f}",
+            f"{slot.labor_cost:.2f}",
+            f"{slot.wan_cost:.2f}",
+            f"{slot.fixed_cost:.2f}",
+            f"{slot.latency_penalty:.2f}",
+            f"{slot.total_cost:.2f}",
+        ])
+        rows += 1
+    return rows
+
+
+def write_comparison_csv(results: Iterable, stream: TextIO) -> int:
+    """Write an algorithm-comparison sheet from
+    :class:`~repro.experiments.harness.AlgorithmResult` records."""
+    writer = csv.writer(stream)
+    writer.writerow(COMPARISON_HEADER)
+    rows = 0
+    for result in results:
+        writer.writerow([
+            result.algorithm,
+            f"{result.total_cost:.2f}",
+            f"{result.operational_cost:.2f}",
+            f"{result.latency_penalty:.2f}",
+            f"{result.dr_purchase:.2f}",
+            result.latency_violations,
+            result.datacenters_used,
+        ])
+        rows += 1
+    return rows
+
+
+def export_plan_csv(
+    state: AsIsState,
+    plan: TransformationPlan,
+    placement_path: str,
+    usage_path: str,
+) -> None:
+    """Write both plan sheets to disk."""
+    with open(placement_path, "w", newline="", encoding="utf-8") as handle:
+        write_placement_csv(state, plan, handle)
+    with open(usage_path, "w", newline="", encoding="utf-8") as handle:
+        write_usage_csv(plan, handle)

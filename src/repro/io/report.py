@@ -1,0 +1,77 @@
+"""Human-readable "to-be" state reports (the output-generation module)."""
+
+from __future__ import annotations
+
+from ..core.entities import AsIsState
+from ..core.plan import TransformationPlan
+
+
+def _money(value: float) -> str:
+    return f"${value:,.0f}"
+
+
+def render_plan_report(state: AsIsState, plan: TransformationPlan) -> str:
+    """Full text report: headline, per-site table, cost breakdown."""
+    lines: list[str] = []
+    title = f'Transformation plan for "{state.name}"'
+    lines.append(title)
+    lines.append("=" * len(title))
+    lines.append(
+        f"{len(state.app_groups)} application groups / {state.total_servers} servers "
+        f"consolidated into {len(plan.datacenters_used)} of "
+        f"{len(state.target_datacenters)} candidate sites"
+        + (" (with disaster recovery)" if plan.has_dr else "")
+    )
+    lines.append("")
+
+    lines.append(
+        f"{'site':<14} {'groups':>7} {'servers':>8} {'backups':>8} "
+        f"{'space':>12} {'power':>10} {'labor':>10} {'WAN':>12} {'fixed':>10} {'penalty':>12}"
+    )
+    for name in plan.datacenters_used:
+        slot = plan.usage.get(name)
+        if slot is None:
+            continue
+        lines.append(
+            f"{name:<14} {len(slot.groups):>7d} {slot.primary_servers:>8d} "
+            f"{slot.backup_servers:>8d} {_money(slot.space_cost):>12} "
+            f"{_money(slot.power_cost):>10} {_money(slot.labor_cost):>10} "
+            f"{_money(slot.wan_cost):>12} {_money(slot.fixed_cost):>10} "
+            f"{_money(slot.latency_penalty):>12}"
+        )
+    lines.append("")
+
+    b = plan.breakdown
+    lines.append("Monthly cost breakdown")
+    for label, value in (
+        ("space", b.space),
+        ("power", b.power),
+        ("labor", b.labor),
+        ("WAN", b.wan),
+        ("fixed facilities", b.fixed),
+        ("latency penalty", b.latency_penalty),
+        ("DR server purchase (one-off)", b.dr_purchase),
+    ):
+        lines.append(f"  {label:<30} {_money(value):>14}")
+    lines.append(f"  {'TOTAL':<30} {_money(b.total):>14}")
+    lines.append("")
+    lines.append(
+        f"Latency violations: {plan.latency_violations}   solver: {plan.solver or 'n/a'}"
+    )
+    if plan.has_dr:
+        pools = ", ".join(
+            f"{name}:{count}" for name, count in sorted(plan.backup_servers.items())
+        )
+        lines.append(f"Backup pools: {pools or 'none'}")
+    return "\n".join(lines)
+
+
+def render_placement_listing(plan: TransformationPlan) -> str:
+    """Group → site listing (plus DR site when present)."""
+    lines = [f"{'application group':<24} {'primary':<14}" + ("secondary" if plan.has_dr else "")]
+    for group in sorted(plan.placement):
+        row = f"{group:<24} {plan.placement[group]:<14}"
+        if plan.has_dr:
+            row += plan.secondary.get(group, "-")
+        lines.append(row)
+    return "\n".join(lines)

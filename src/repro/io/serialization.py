@@ -1,0 +1,211 @@
+"""JSON serialization of as-is states and transformation plans.
+
+The on-disk format is a plain-JSON mirror of the entity classes so that
+enterprise inventories can be authored or exported by other tooling and
+fed to the CLI (``etransform plan --input state.json``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from ..core.costs import PriceSegment, StepCostFunction
+from ..core.entities import (
+    ApplicationGroup,
+    AsIsState,
+    CostParameters,
+    DataCenter,
+    UserLocation,
+)
+from ..core.latency import NO_PENALTY, LatencyPenaltyFunction, PenaltyStep
+from ..core.plan import TransformationPlan
+
+#: Format version written to every file; bump on breaking changes.
+SCHEMA_VERSION = 1
+
+
+# -- cost / penalty functions -------------------------------------------------
+def step_cost_to_dict(fn: StepCostFunction) -> list[dict[str, Any]]:
+    return [
+        {"lower": s.lower, "upper": s.upper, "unit_price": s.unit_price}
+        for s in fn.segments
+    ]
+
+
+def step_cost_from_dict(data: list[dict[str, Any]]) -> StepCostFunction:
+    return StepCostFunction(
+        [PriceSegment(d["lower"], d["upper"], d["unit_price"]) for d in data]
+    )
+
+
+def penalty_to_dict(fn: LatencyPenaltyFunction) -> list[dict[str, float]]:
+    return [
+        {"threshold_ms": s.threshold_ms, "penalty_per_user": s.penalty_per_user}
+        for s in fn.steps
+    ]
+
+
+def penalty_from_dict(data: list[dict[str, float]]) -> LatencyPenaltyFunction:
+    if not data:
+        return NO_PENALTY
+    return LatencyPenaltyFunction(
+        [PenaltyStep(d["threshold_ms"], d["penalty_per_user"]) for d in data]
+    )
+
+
+# -- entities --------------------------------------------------------------
+def group_to_dict(group: ApplicationGroup) -> dict[str, Any]:
+    return {
+        "name": group.name,
+        "servers": group.servers,
+        "monthly_data_mb": group.monthly_data_mb,
+        "users": dict(group.users),
+        "latency_penalty": penalty_to_dict(group.latency_penalty),
+        "current_datacenter": group.current_datacenter,
+        "allowed_regions": sorted(group.allowed_regions)
+        if group.allowed_regions is not None
+        else None,
+        "forbidden_datacenters": sorted(group.forbidden_datacenters),
+        "risk_group": group.risk_group,
+        "peers": dict(group.peers),
+    }
+
+
+def group_from_dict(data: dict[str, Any]) -> ApplicationGroup:
+    allowed = data.get("allowed_regions")
+    return ApplicationGroup(
+        name=data["name"],
+        servers=data["servers"],
+        monthly_data_mb=data.get("monthly_data_mb", 0.0),
+        users=dict(data.get("users", {})),
+        latency_penalty=penalty_from_dict(data.get("latency_penalty", [])),
+        current_datacenter=data.get("current_datacenter"),
+        allowed_regions=frozenset(allowed) if allowed is not None else None,
+        forbidden_datacenters=frozenset(data.get("forbidden_datacenters", [])),
+        risk_group=data.get("risk_group"),
+        peers=dict(data.get("peers", {})),
+    )
+
+
+def datacenter_to_dict(dc: DataCenter) -> dict[str, Any]:
+    return {
+        "name": dc.name,
+        "capacity": dc.capacity,
+        "space_cost": step_cost_to_dict(dc.space_cost),
+        "power_cost_per_kw": dc.power_cost_per_kw,
+        "labor_cost_per_admin": dc.labor_cost_per_admin,
+        "wan_cost_per_mb": dc.wan_cost_per_mb,
+        "latency_to_users": dict(dc.latency_to_users),
+        "vpn_link_cost": dict(dc.vpn_link_cost),
+        "region": dc.region,
+        "x": dc.x,
+        "y": dc.y,
+        "fixed_monthly_cost": dc.fixed_monthly_cost,
+    }
+
+
+def datacenter_from_dict(data: dict[str, Any]) -> DataCenter:
+    return DataCenter(
+        name=data["name"],
+        capacity=data["capacity"],
+        space_cost=step_cost_from_dict(data["space_cost"]),
+        power_cost_per_kw=data["power_cost_per_kw"],
+        labor_cost_per_admin=data["labor_cost_per_admin"],
+        wan_cost_per_mb=data["wan_cost_per_mb"],
+        latency_to_users=dict(data.get("latency_to_users", {})),
+        vpn_link_cost=dict(data.get("vpn_link_cost", {})),
+        region=data.get("region", "global"),
+        x=data.get("x", 0.0),
+        y=data.get("y", 0.0),
+        fixed_monthly_cost=data.get("fixed_monthly_cost", 0.0),
+    )
+
+
+def params_to_dict(params: CostParameters) -> dict[str, Any]:
+    return {
+        "server_power_kw": params.server_power_kw,
+        "servers_per_admin": params.servers_per_admin,
+        "vpn_link_capacity_mb": params.vpn_link_capacity_mb,
+        "dr_server_cost": params.dr_server_cost,
+        "business_impact": params.business_impact,
+        "include_backup_in_capacity": params.include_backup_in_capacity,
+        "backup_power_fraction": params.backup_power_fraction,
+        "backup_labor_fraction": params.backup_labor_fraction,
+    }
+
+
+def params_from_dict(data: dict[str, Any]) -> CostParameters:
+    return CostParameters(**data)
+
+
+def state_to_dict(state: AsIsState) -> dict[str, Any]:
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "name": state.name,
+        "app_groups": [group_to_dict(g) for g in state.app_groups],
+        "target_datacenters": [datacenter_to_dict(d) for d in state.target_datacenters],
+        "current_datacenters": [
+            datacenter_to_dict(d) for d in state.current_datacenters
+        ],
+        "user_locations": [
+            {"name": loc.name, "x": loc.x, "y": loc.y} for loc in state.user_locations
+        ],
+        "params": params_to_dict(state.params),
+    }
+
+
+def state_from_dict(data: dict[str, Any]) -> AsIsState:
+    version = data.get("schema_version", SCHEMA_VERSION)
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported schema version {version} (this build reads {SCHEMA_VERSION})"
+        )
+    return AsIsState(
+        name=data["name"],
+        app_groups=[group_from_dict(g) for g in data["app_groups"]],
+        target_datacenters=[
+            datacenter_from_dict(d) for d in data["target_datacenters"]
+        ],
+        current_datacenters=[
+            datacenter_from_dict(d) for d in data.get("current_datacenters", [])
+        ],
+        user_locations=[
+            UserLocation(d["name"], d.get("x", 0.0), d.get("y", 0.0))
+            for d in data.get("user_locations", [])
+        ],
+        params=params_from_dict(data.get("params", {})),
+    )
+
+
+def plan_to_dict(plan: TransformationPlan) -> dict[str, Any]:
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "placement": dict(plan.placement),
+        "secondary": dict(plan.secondary),
+        "backup_servers": dict(plan.backup_servers),
+        "breakdown": plan.breakdown.as_dict(),
+        "latency_violations": plan.latency_violations,
+        "solver": plan.solver,
+        "objective": plan.objective,
+        "datacenters_used": plan.datacenters_used,
+    }
+
+
+# -- file helpers --------------------------------------------------------------
+def save_state(state: AsIsState, path: str) -> None:
+    """Write a state to a JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(state_to_dict(state), handle, indent=2)
+
+
+def load_state(path: str) -> AsIsState:
+    """Read a state back from a JSON file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return state_from_dict(json.load(handle))
+
+
+def save_plan(plan: TransformationPlan, path: str) -> None:
+    """Write a plan summary to a JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(plan_to_dict(plan), handle, indent=2)

@@ -1,0 +1,49 @@
+"""Optimization-engine substrate: modeling layer, solvers, LP-file I/O.
+
+This subpackage is a self-contained miniature of the modeling-plus-solver
+stack the paper builds on (Python modeling layer + CPLEX).  Typical use::
+
+    from repro.lp import Problem, quicksum, solve
+
+    prob = Problem("toy")
+    x = prob.add_binary("x")
+    y = prob.add_binary("y")
+    prob.add_constraint(x + y <= 1)
+    prob.set_objective(-(2 * x + 3 * y))
+    solution = solve(prob, backend="branch_bound")
+"""
+
+from .expressions import Constraint, LinExpr, Sense, Variable, VarType, quicksum
+from .lpformat import write_lp_file, write_lp_string
+from .lpparse import LPParseError, parse_lp_string, read_lp_file
+from .mpsformat import write_mps_file, write_mps_string
+from .presolve import PresolveInfeasible, presolve, solve_with_presolve
+from .problem import ObjectiveSense, Problem
+from .solution import Solution, SolveStatus
+from .solvers import available_backends, register_backend, solve
+
+__all__ = [
+    "Constraint",
+    "LPParseError",
+    "LinExpr",
+    "ObjectiveSense",
+    "Problem",
+    "parse_lp_string",
+    "presolve",
+    "PresolveInfeasible",
+    "read_lp_file",
+    "solve_with_presolve",
+    "Sense",
+    "Solution",
+    "SolveStatus",
+    "Variable",
+    "VarType",
+    "available_backends",
+    "quicksum",
+    "register_backend",
+    "solve",
+    "write_lp_file",
+    "write_lp_string",
+    "write_mps_file",
+    "write_mps_string",
+]

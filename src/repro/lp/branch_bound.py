@@ -1,0 +1,220 @@
+"""From-scratch best-first branch-and-bound MILP solver.
+
+Nodes carry only bound arrays; the shared constraint matrices live in the
+root :class:`~repro.lp.standard_form.MatrixForm`.  The search:
+
+* solves each node's LP relaxation (builtin simplex or HiGHS),
+* prunes by bound against the incumbent,
+* branches on the most fractional integral variable,
+* explores best-bound-first so the gap shrinks monotonically.
+
+This solver is exact; it is intended for the small-to-medium instances
+used in tests and parameter studies, with the HiGHS backend taking over
+at case-study scale.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .matrix_lp import solve_lp_arrays
+from .problem import Problem
+from .solution import Solution, SolveStatus
+from .standard_form import to_matrix_form
+
+#: Integrality tolerance: values this close to an integer are integral.
+INT_TOL = 1e-6
+
+
+@dataclass(order=True)
+class _Node:
+    """Search node ordered by its relaxation bound (best-first)."""
+
+    bound: float
+    tie: int = field(compare=True)
+    lb: np.ndarray = field(compare=False, default=None)
+    ub: np.ndarray = field(compare=False, default=None)
+    depth: int = field(compare=False, default=0)
+
+
+@dataclass
+class BranchBoundStats:
+    """Search statistics for reporting and tests."""
+
+    nodes_explored: int = 0
+    nodes_pruned: int = 0
+    lp_iterations: int = 0
+    cuts_added: int = 0
+    best_bound: float = float("-inf")
+    elapsed_seconds: float = 0.0
+
+
+def _apply_root_cuts(
+    form,
+    integral: np.ndarray,
+    relaxation_engine: str,
+    rounds: int,
+    stats: "BranchBoundStats",
+) -> None:
+    """Strengthen the root relaxation with knapsack cover cuts in place."""
+    from .cuts import cuts_to_rows, separate_cuts
+
+    for _ in range(rounds):
+        relax = solve_lp_arrays(
+            form.c, form.a_ub, form.b_ub, form.a_eq, form.b_eq,
+            form.lb, form.ub, engine=relaxation_engine,
+        )
+        stats.lp_iterations += relax.iterations
+        if relax.status != "optimal":
+            return
+        if _most_fractional(relax.x, integral) is None:
+            return  # already integral: no point cutting
+        cuts = separate_cuts(form.a_ub, form.b_ub, relax.x, integral)
+        if not cuts:
+            return
+        extra_a, extra_b = cuts_to_rows(cuts, form.a_ub.shape[1])
+        form.a_ub = np.vstack([form.a_ub, extra_a])
+        form.b_ub = np.concatenate([form.b_ub, extra_b])
+        stats.cuts_added += len(cuts)
+
+
+def _most_fractional(x: np.ndarray, integral: np.ndarray) -> int | None:
+    """Index of the integral variable farthest from an integer, or None."""
+    frac = np.abs(x - np.round(x))
+    frac[~integral] = 0.0
+    idx = int(np.argmax(frac))
+    if frac[idx] <= INT_TOL:
+        return None
+    return idx
+
+
+def solve_branch_and_bound(
+    problem: Problem,
+    relaxation_engine: str = "highs",
+    node_limit: int = 200000,
+    time_limit: float | None = None,
+    gap_tolerance: float = 1e-6,
+    cover_cut_rounds: int = 0,
+) -> Solution:
+    """Solve a MILP exactly by branch and bound.
+
+    Parameters
+    ----------
+    problem:
+        The model to solve (pure LPs are solved in one relaxation).
+    relaxation_engine:
+        ``"highs"`` (scipy) or ``"builtin"`` (our simplex) for node LPs.
+    node_limit, time_limit:
+        Safety limits; when hit the best incumbent is returned with
+        status ``FEASIBLE`` (or ``ERROR`` when none was found).
+    gap_tolerance:
+        Terminate when ``incumbent - best_bound`` falls below this.
+    cover_cut_rounds:
+        Cut-and-branch: up to this many rounds of knapsack cover cuts
+        are separated at the root before branching (0 disables).  Cuts
+        are valid for every integer point, so optimality is unaffected —
+        only the search tree shrinks.
+    """
+    form = to_matrix_form(problem)
+    integral = form.integrality.astype(bool)
+    start = time.monotonic()
+    stats = BranchBoundStats()
+
+    if cover_cut_rounds > 0 and integral.any():
+        _apply_root_cuts(form, integral, relaxation_engine, cover_cut_rounds, stats)
+
+    def make_solution(status: SolveStatus, x: np.ndarray | None, message: str) -> Solution:
+        stats.elapsed_seconds = time.monotonic() - start
+        values: dict = {}
+        objective = float("nan")
+        if x is not None:
+            cleaned = x.copy()
+            cleaned[integral] = np.round(cleaned[integral])
+            values = {var: float(cleaned[i]) for i, var in enumerate(form.variables)}
+            objective = form.objective_sign * (float(form.c @ cleaned) + form.c0)
+        return Solution(
+            status=status,
+            objective=objective,
+            values=values,
+            solver=f"branch_bound[{relaxation_engine}]",
+            iterations=stats.nodes_explored,
+            message=message,
+        )
+
+    counter = itertools.count()
+    root = _Node(bound=-math.inf, tie=next(counter), lb=form.lb.copy(), ub=form.ub.copy())
+    heap: list[_Node] = [root]
+    incumbent_x: np.ndarray | None = None
+    incumbent_obj = math.inf
+
+    while heap:
+        if stats.nodes_explored >= node_limit:
+            status = SolveStatus.FEASIBLE if incumbent_x is not None else SolveStatus.ERROR
+            return make_solution(status, incumbent_x, "node limit reached")
+        if time_limit is not None and time.monotonic() - start > time_limit:
+            status = SolveStatus.FEASIBLE if incumbent_x is not None else SolveStatus.ERROR
+            return make_solution(status, incumbent_x, "time limit reached")
+
+        node = heapq.heappop(heap)
+        # Bound-based pruning against the current incumbent.
+        if node.bound >= incumbent_obj - gap_tolerance:
+            stats.nodes_pruned += 1
+            continue
+
+        relax = solve_lp_arrays(
+            form.c, form.a_ub, form.b_ub, form.a_eq, form.b_eq,
+            node.lb, node.ub, engine=relaxation_engine,
+        )
+        stats.nodes_explored += 1
+        stats.lp_iterations += relax.iterations
+
+        if relax.status == "infeasible":
+            continue
+        if relax.status == "unbounded":
+            if node.depth == 0 and not integral.any():
+                return make_solution(SolveStatus.UNBOUNDED, None, "LP relaxation unbounded")
+            # An unbounded relaxation with integer variables means the MILP
+            # itself is unbounded along a continuous ray.
+            return make_solution(SolveStatus.UNBOUNDED, None, "relaxation unbounded")
+        if relax.status != "optimal":
+            status = SolveStatus.FEASIBLE if incumbent_x is not None else SolveStatus.ERROR
+            return make_solution(status, incumbent_x, f"relaxation failed: {relax.status}")
+
+        if relax.objective >= incumbent_obj - gap_tolerance:
+            stats.nodes_pruned += 1
+            continue
+
+        branch_var = _most_fractional(relax.x, integral)
+        if branch_var is None:
+            # Integral solution: new incumbent.
+            if relax.objective < incumbent_obj - 1e-12:
+                incumbent_obj = relax.objective
+                incumbent_x = relax.x.copy()
+            continue
+
+        value = relax.x[branch_var]
+        floor_val = math.floor(value + INT_TOL)
+        # Down branch: x <= floor(value)
+        down_lb, down_ub = node.lb.copy(), node.ub.copy()
+        down_ub[branch_var] = min(down_ub[branch_var], floor_val)
+        heapq.heappush(
+            heap,
+            _Node(relax.objective, next(counter), down_lb, down_ub, node.depth + 1),
+        )
+        # Up branch: x >= floor(value) + 1
+        up_lb, up_ub = node.lb.copy(), node.ub.copy()
+        up_lb[branch_var] = max(up_lb[branch_var], floor_val + 1)
+        heapq.heappush(
+            heap,
+            _Node(relax.objective, next(counter), up_lb, up_ub, node.depth + 1),
+        )
+
+    if incumbent_x is None:
+        return make_solution(SolveStatus.INFEASIBLE, None, "search exhausted, no incumbent")
+    return make_solution(SolveStatus.OPTIMAL, incumbent_x, "search exhausted")

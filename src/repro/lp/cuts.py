@@ -1,0 +1,130 @@
+"""Knapsack cover cuts for 0-1 capacity rows.
+
+The consolidation MILP is packed with knapsack rows
+(``Σ a_i x_i ≤ b`` over binaries — the capacity constraints).  A *cover*
+is a subset C with ``Σ_{i∈C} a_i > b``: all of C cannot be chosen, so
+
+.. math::  Σ_{i∈C} x_i ≤ |C| − 1
+
+is valid for every integer point yet can cut off fractional LP optima.
+This module separates violated cover cuts at a fractional point and is
+used by the branch-and-bound solver as an optional cut-and-branch pass
+at the root node.
+
+Separation uses the classical heuristic: to find a cover whose cut is
+violated at ``x*``, greedily take items in decreasing ``x*`` order until
+the weights exceed the capacity, then minimize the cover (drop items
+while it stays a cover, heaviest-``x*`` kept first).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Only cut on rows where every coefficient and variable is knapsack-like.
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class CoverCut:
+    """A cover cut ``Σ_{i in members} x_i <= len(members) - 1``."""
+
+    row: int
+    members: tuple[int, ...]
+
+    @property
+    def rhs(self) -> int:
+        return len(self.members) - 1
+
+    def violation(self, x: np.ndarray) -> float:
+        return float(sum(x[i] for i in self.members) - self.rhs)
+
+
+def knapsack_rows(
+    a_ub: np.ndarray, b_ub: np.ndarray, integral: np.ndarray
+) -> list[int]:
+    """Indices of rows usable for cover separation.
+
+    A usable row has non-negative coefficients, a positive rhs, and all
+    its support on binary (integral 0/1-bounded) variables.
+    """
+    rows = []
+    for r in range(a_ub.shape[0]):
+        row = a_ub[r]
+        support = np.nonzero(row)[0]
+        if support.size < 2:
+            continue
+        if b_ub[r] <= _EPS:
+            continue
+        if (row[support] < 0).any():
+            continue
+        if not integral[support].all():
+            continue
+        rows.append(r)
+    return rows
+
+
+def separate_cover_cut(
+    row: np.ndarray,
+    rhs: float,
+    x: np.ndarray,
+    row_index: int,
+    min_violation: float = 1e-4,
+) -> CoverCut | None:
+    """Find one violated, minimal cover cut for a knapsack row, if any."""
+    support = np.nonzero(row)[0]
+    # Greedy: order by fractional value (desc), then weight (desc).
+    order = sorted(support, key=lambda i: (-x[i], -row[i]))
+    cover: list[int] = []
+    weight = 0.0
+    for i in order:
+        cover.append(int(i))
+        weight += float(row[i])
+        if weight > rhs + _EPS:
+            break
+    else:
+        return None  # the whole support fits: no cover exists
+
+    # Minimize: drop members (lowest x* first) while still a cover.
+    cover.sort(key=lambda i: x[i])
+    trimmed = list(cover)
+    for i in list(cover):
+        if weight - row[i] > rhs + _EPS:
+            trimmed.remove(i)
+            weight -= float(row[i])
+    cut = CoverCut(row=row_index, members=tuple(sorted(trimmed)))
+    if cut.violation(x) < min_violation:
+        return None
+    return cut
+
+
+def separate_cuts(
+    a_ub: np.ndarray,
+    b_ub: np.ndarray,
+    x: np.ndarray,
+    integral: np.ndarray,
+    max_cuts: int = 50,
+) -> list[CoverCut]:
+    """Separate violated cover cuts at a fractional point, best first."""
+    cuts: list[CoverCut] = []
+    for r in knapsack_rows(a_ub, b_ub, integral):
+        cut = separate_cover_cut(a_ub[r], float(b_ub[r]), x, r)
+        if cut is not None:
+            cuts.append(cut)
+    cuts.sort(key=lambda c: -c.violation(x))
+    return cuts[:max_cuts]
+
+
+def cuts_to_rows(
+    cuts: list[CoverCut], num_columns: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Materialize cuts as (A, b) rows for appending to A_ub/b_ub."""
+    a = np.zeros((len(cuts), num_columns))
+    b = np.zeros(len(cuts))
+    for k, cut in enumerate(cuts):
+        for i in cut.members:
+            a[k, i] = 1.0
+        b[k] = cut.rhs
+    return a, b

@@ -1,0 +1,356 @@
+"""Linear-expression algebra for the optimization engine.
+
+This module provides the small modeling vocabulary that the rest of the
+library uses to state linear programs: :class:`Variable`, :class:`LinExpr`
+(an affine combination of variables) and :class:`Constraint`.  Expressions
+support the natural arithmetic operators so model-building code reads like
+the mathematics in the paper::
+
+    x = Variable("x", lb=0.0)
+    y = Variable("y", lb=0.0)
+    expr = 3 * x + 2 * y - 1
+    con = expr <= 10
+"""
+
+from __future__ import annotations
+
+import math
+from enum import Enum
+from typing import Iterable, Mapping, Union
+
+Number = Union[int, float]
+
+#: Domains a decision variable may take.
+class VarType(Enum):
+    """Domain of a decision variable."""
+
+    CONTINUOUS = "continuous"
+    INTEGER = "integer"
+    BINARY = "binary"
+
+
+class Sense(Enum):
+    """Relational sense of a linear constraint."""
+
+    LE = "<="
+    GE = ">="
+    EQ = "="
+
+
+class Variable:
+    """A single decision variable.
+
+    Variables are identity-hashed: two variables with the same name are
+    still distinct model objects.  Names are only used for LP-file output
+    and debugging.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier; must be non-empty.
+    lb, ub:
+        Lower / upper bound.  ``None`` means unbounded on that side.
+    vtype:
+        Variable domain.  ``BINARY`` forces bounds into ``[0, 1]``.
+    """
+
+    __slots__ = ("name", "lb", "ub", "vtype")
+
+    def __init__(
+        self,
+        name: str,
+        lb: float | None = 0.0,
+        ub: float | None = None,
+        vtype: VarType = VarType.CONTINUOUS,
+    ) -> None:
+        if not name:
+            raise ValueError("variable name must be non-empty")
+        if vtype is VarType.BINARY:
+            lb = 0.0 if lb is None else max(0.0, float(lb))
+            ub = 1.0 if ub is None else min(1.0, float(ub))
+        if lb is not None and ub is not None and lb > ub:
+            raise ValueError(
+                f"variable {name!r}: lower bound {lb} exceeds upper bound {ub}"
+            )
+        self.name = name
+        self.lb = None if lb is None else float(lb)
+        self.ub = None if ub is None else float(ub)
+        self.vtype = vtype
+
+    @property
+    def is_integral(self) -> bool:
+        """Whether the variable must take integer values."""
+        return self.vtype in (VarType.INTEGER, VarType.BINARY)
+
+    # -- arithmetic: delegate to LinExpr -------------------------------
+    def to_expr(self) -> "LinExpr":
+        """Return this variable as a one-term linear expression."""
+        return LinExpr({self: 1.0})
+
+    def __add__(self, other: object) -> "LinExpr":
+        return self.to_expr() + other
+
+    def __radd__(self, other: object) -> "LinExpr":
+        return self.to_expr() + other
+
+    def __sub__(self, other: object) -> "LinExpr":
+        return self.to_expr() - other
+
+    def __rsub__(self, other: object) -> "LinExpr":
+        return (-self.to_expr()) + other
+
+    def __mul__(self, other: object) -> "LinExpr":
+        return self.to_expr() * other
+
+    def __rmul__(self, other: object) -> "LinExpr":
+        return self.to_expr() * other
+
+    def __truediv__(self, other: object) -> "LinExpr":
+        return self.to_expr() / other
+
+    def __neg__(self) -> "LinExpr":
+        return -self.to_expr()
+
+    def __le__(self, other: object) -> "Constraint":
+        return self.to_expr() <= other
+
+    def __ge__(self, other: object) -> "Constraint":
+        return self.to_expr() >= other
+
+    def __eq__(self, other: object):  # type: ignore[override]
+        # Comparison against numbers/expressions builds a constraint;
+        # comparison against another object falls back to identity.
+        if isinstance(other, (int, float, Variable, LinExpr)):
+            return self.to_expr() == other
+        return NotImplemented
+
+    __hash__ = object.__hash__
+
+    def __repr__(self) -> str:
+        return f"Variable({self.name!r}, lb={self.lb}, ub={self.ub}, {self.vtype.value})"
+
+
+class LinExpr:
+    """An affine expression ``sum(coef * var) + constant``.
+
+    Instances are immutable from the caller's perspective: every operator
+    returns a new expression.  Use :meth:`terms` to inspect coefficients.
+    """
+
+    __slots__ = ("_coeffs", "constant")
+
+    def __init__(
+        self,
+        coeffs: Mapping[Variable, float] | None = None,
+        constant: float = 0.0,
+    ) -> None:
+        self._coeffs: dict[Variable, float] = {}
+        if coeffs:
+            for var, coef in coeffs.items():
+                if not isinstance(var, Variable):
+                    raise TypeError(f"expected Variable key, got {type(var).__name__}")
+                coef = float(coef)
+                if coef != 0.0:
+                    self._coeffs[var] = coef
+        self.constant = float(constant)
+
+    # -- inspection -----------------------------------------------------
+    def terms(self) -> dict[Variable, float]:
+        """Return a copy of the variable → coefficient mapping."""
+        return dict(self._coeffs)
+
+    def coefficient(self, var: Variable) -> float:
+        """Coefficient of ``var`` (0.0 when absent)."""
+        return self._coeffs.get(var, 0.0)
+
+    def variables(self) -> list[Variable]:
+        """The variables appearing with non-zero coefficient."""
+        return list(self._coeffs)
+
+    def is_constant(self) -> bool:
+        """True when the expression contains no variables."""
+        return not self._coeffs
+
+    def evaluate(self, values: Mapping[Variable, float]) -> float:
+        """Evaluate the expression under a variable assignment.
+
+        Raises
+        ------
+        KeyError
+            If a participating variable is missing from ``values``.
+        """
+        total = self.constant
+        for var, coef in self._coeffs.items():
+            total += coef * values[var]
+        return total
+
+    # -- algebra ---------------------------------------------------------
+    def _copy(self) -> "LinExpr":
+        out = LinExpr()
+        out._coeffs = dict(self._coeffs)
+        out.constant = self.constant
+        return out
+
+    @staticmethod
+    def _as_expr(other: object) -> "LinExpr | None":
+        if isinstance(other, LinExpr):
+            return other
+        if isinstance(other, Variable):
+            return other.to_expr()
+        if isinstance(other, (int, float)):
+            if isinstance(other, float) and math.isnan(other):
+                raise ValueError("NaN is not a valid expression constant")
+            return LinExpr(constant=float(other))
+        return None
+
+    def __add__(self, other: object) -> "LinExpr":
+        rhs = self._as_expr(other)
+        if rhs is None:
+            return NotImplemented
+        out = self._copy()
+        out.constant += rhs.constant
+        for var, coef in rhs._coeffs.items():
+            new = out._coeffs.get(var, 0.0) + coef
+            if new == 0.0:
+                out._coeffs.pop(var, None)
+            else:
+                out._coeffs[var] = new
+        return out
+
+    def __radd__(self, other: object) -> "LinExpr":
+        return self.__add__(other)
+
+    def __sub__(self, other: object) -> "LinExpr":
+        rhs = self._as_expr(other)
+        if rhs is None:
+            return NotImplemented
+        return self + (rhs * -1.0)
+
+    def __rsub__(self, other: object) -> "LinExpr":
+        lhs = self._as_expr(other)
+        if lhs is None:
+            return NotImplemented
+        return lhs - self
+
+    def __mul__(self, other: object) -> "LinExpr":
+        if not isinstance(other, (int, float)):
+            raise TypeError("linear expressions only support scalar multiplication")
+        scalar = float(other)
+        if math.isnan(scalar):
+            raise ValueError("NaN scalar")
+        out = LinExpr(constant=self.constant * scalar)
+        if scalar != 0.0:
+            out._coeffs = {v: c * scalar for v, c in self._coeffs.items()}
+        return out
+
+    def __rmul__(self, other: object) -> "LinExpr":
+        return self.__mul__(other)
+
+    def __truediv__(self, other: object) -> "LinExpr":
+        if not isinstance(other, (int, float)):
+            raise TypeError("linear expressions only support scalar division")
+        if other == 0:
+            raise ZeroDivisionError("division of expression by zero")
+        return self * (1.0 / float(other))
+
+    def __neg__(self) -> "LinExpr":
+        return self * -1.0
+
+    # -- constraint construction -----------------------------------------
+    def __le__(self, other: object) -> "Constraint":
+        return Constraint.build(self, Sense.LE, other)
+
+    def __ge__(self, other: object) -> "Constraint":
+        return Constraint.build(self, Sense.GE, other)
+
+    def __eq__(self, other: object):  # type: ignore[override]
+        if isinstance(other, (int, float, Variable, LinExpr)):
+            return Constraint.build(self, Sense.EQ, other)
+        return NotImplemented
+
+    __hash__ = None  # type: ignore[assignment]
+
+    def __repr__(self) -> str:
+        parts = [f"{coef:+g}*{var.name}" for var, coef in self._coeffs.items()]
+        if self.constant or not parts:
+            parts.append(f"{self.constant:+g}")
+        return "LinExpr(" + " ".join(parts) + ")"
+
+
+def quicksum(items: Iterable[object]) -> LinExpr:
+    """Sum variables/expressions/numbers into a single :class:`LinExpr`.
+
+    Faster and clearer than ``sum(...)`` for model building because it
+    accumulates coefficients in-place instead of allocating an expression
+    per addition.
+    """
+    coeffs: dict[Variable, float] = {}
+    constant = 0.0
+    for item in items:
+        if isinstance(item, Variable):
+            coeffs[item] = coeffs.get(item, 0.0) + 1.0
+        elif isinstance(item, LinExpr):
+            constant += item.constant
+            for var, coef in item._coeffs.items():
+                coeffs[var] = coeffs.get(var, 0.0) + coef
+        elif isinstance(item, (int, float)):
+            constant += float(item)
+        else:
+            raise TypeError(f"cannot sum object of type {type(item).__name__}")
+    out = LinExpr(constant=constant)
+    out._coeffs = {v: c for v, c in coeffs.items() if c != 0.0}
+    return out
+
+
+class Constraint:
+    """A linear constraint ``expr (<=|>=|=) rhs`` in normalized form.
+
+    The normalized form keeps all variable terms on the left-hand side and
+    a numeric right-hand side, i.e. ``sum(coef*var) sense rhs``.
+    """
+
+    __slots__ = ("expr", "sense", "rhs", "name")
+
+    def __init__(self, expr: LinExpr, sense: Sense, rhs: float, name: str = "") -> None:
+        self.expr = expr
+        self.sense = sense
+        self.rhs = float(rhs)
+        self.name = name
+
+    @classmethod
+    def build(cls, lhs: LinExpr, sense: Sense, rhs: object) -> "Constraint":
+        """Normalize ``lhs sense rhs`` by moving everything variable to the left."""
+        rhs_expr = LinExpr._as_expr(rhs)
+        if rhs_expr is None:
+            raise TypeError(f"invalid constraint right-hand side: {rhs!r}")
+        moved = lhs - rhs_expr
+        rhs_value = -moved.constant
+        normalized = moved._copy()
+        normalized.constant = 0.0
+        return cls(normalized, sense, rhs_value)
+
+    def with_name(self, name: str) -> "Constraint":
+        """Return the same constraint carrying a display name."""
+        return Constraint(self.expr, self.sense, self.rhs, name=name)
+
+    def is_satisfied(self, values: Mapping[Variable, float], tol: float = 1e-6) -> bool:
+        """Check the constraint under an assignment, within tolerance."""
+        lhs = self.expr.evaluate(values)
+        if self.sense is Sense.LE:
+            return lhs <= self.rhs + tol
+        if self.sense is Sense.GE:
+            return lhs >= self.rhs - tol
+        return abs(lhs - self.rhs) <= tol
+
+    def violation(self, values: Mapping[Variable, float]) -> float:
+        """Magnitude of constraint violation (0.0 when satisfied)."""
+        lhs = self.expr.evaluate(values)
+        if self.sense is Sense.LE:
+            return max(0.0, lhs - self.rhs)
+        if self.sense is Sense.GE:
+            return max(0.0, self.rhs - lhs)
+        return abs(lhs - self.rhs)
+
+    def __repr__(self) -> str:
+        label = f"{self.name}: " if self.name else ""
+        return f"Constraint({label}{self.expr!r} {self.sense.value} {self.rhs:g})"

@@ -1,0 +1,189 @@
+"""HiGHS backend via :mod:`scipy.optimize`.
+
+This is the production-scale engine: SciPy bundles the open-source HiGHS
+solver, which stands in for the paper's CPLEX.  MILPs go through
+:func:`scipy.optimize.milp`; pure LPs through :func:`scipy.optimize.linprog`.
+Constraint matrices are assembled sparsely so case-study-sized models
+(hundreds of thousands of binaries) remain tractable.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+
+import numpy as np
+from scipy import sparse
+from scipy.optimize import Bounds, LinearConstraint, linprog, milp
+
+from .expressions import Sense
+from .problem import ObjectiveSense, Problem
+from .solution import Solution, SolveStatus
+
+#: scipy.optimize.milp status codes → our statuses.
+_MILP_STATUS = {
+    0: SolveStatus.OPTIMAL,
+    1: SolveStatus.FEASIBLE,   # iteration/time limit with incumbent
+    2: SolveStatus.INFEASIBLE,
+    3: SolveStatus.UNBOUNDED,
+    4: SolveStatus.ERROR,
+}
+
+
+@contextlib.contextmanager
+def _silence_native_stdout():
+    """Mute HiGHS's C++ progress chatter (it bypasses Python's stdout).
+
+    Some HiGHS builds print internal diagnostics straight to fd 1 even
+    with ``disp`` off; benchmarks and reports must stay clean.
+    """
+    try:
+        stdout_fd = os.dup(1)
+    except OSError:  # pragma: no cover - exotic environments without fd 1
+        yield
+        return
+    devnull = os.open(os.devnull, os.O_WRONLY)
+    try:
+        os.dup2(devnull, 1)
+        yield
+    finally:
+        os.dup2(stdout_fd, 1)
+        os.close(stdout_fd)
+        os.close(devnull)
+
+
+def _build_sparse(problem: Problem):
+    """Assemble (c, c0, A, cl, cu, bounds, integrality, names) sparsely."""
+    variables = problem.variables
+    index = {var: i for i, var in enumerate(variables)}
+    n = len(variables)
+    sign = 1.0 if problem.sense == ObjectiveSense.MINIMIZE else -1.0
+
+    c = np.zeros(n)
+    for var, coef in problem.objective.terms().items():
+        c[index[var]] = sign * coef
+    c0 = sign * problem.objective.constant
+
+    data: list[float] = []
+    rows: list[int] = []
+    cols: list[int] = []
+    lower: list[float] = []
+    upper: list[float] = []
+    for r, con in enumerate(problem.constraints):
+        for var, coef in con.expr.terms().items():
+            rows.append(r)
+            cols.append(index[var])
+            data.append(coef)
+        if con.sense is Sense.LE:
+            lower.append(-np.inf)
+            upper.append(con.rhs)
+        elif con.sense is Sense.GE:
+            lower.append(con.rhs)
+            upper.append(np.inf)
+        else:
+            lower.append(con.rhs)
+            upper.append(con.rhs)
+
+    num_rows = len(problem.constraints)
+    matrix = sparse.csr_matrix((data, (rows, cols)), shape=(num_rows, n))
+    lb = np.array([-np.inf if v.lb is None else v.lb for v in variables])
+    ub = np.array([np.inf if v.ub is None else v.ub for v in variables])
+    integrality = np.array([1 if v.is_integral else 0 for v in variables])
+    return variables, c, c0, matrix, np.array(lower), np.array(upper), lb, ub, integrality, sign
+
+
+def solve_with_highs(
+    problem: Problem,
+    time_limit: float | None = None,
+    mip_rel_gap: float | None = None,
+) -> Solution:
+    """Solve ``problem`` with HiGHS; exact up to the requested gap."""
+    (
+        variables, c, c0, matrix, row_lb, row_ub, lb, ub, integrality, sign,
+    ) = _build_sparse(problem)
+
+    if integrality.any():
+        options: dict = {}
+        if time_limit is not None:
+            options["time_limit"] = float(time_limit)
+        if mip_rel_gap is not None:
+            options["mip_rel_gap"] = float(mip_rel_gap)
+        constraints = (
+            LinearConstraint(matrix, row_lb, row_ub) if matrix.shape[0] else ()
+        )
+        with _silence_native_stdout():
+            res = milp(
+                c=c,
+                constraints=constraints,
+                integrality=integrality,
+                bounds=Bounds(lb, ub),
+                options=options or None,
+            )
+        status = _MILP_STATUS.get(res.status, SolveStatus.ERROR)
+        if res.x is None and status.has_solution:
+            status = SolveStatus.ERROR
+        values: dict = {}
+        objective = float("nan")
+        if res.x is not None:
+            x = np.asarray(res.x, dtype=float)
+            x[integrality.astype(bool)] = np.round(x[integrality.astype(bool)])
+            values = {var: float(x[i]) for i, var in enumerate(variables)}
+            objective = sign * (float(c @ x) + c0)
+        return Solution(
+            status=status,
+            objective=objective,
+            values=values,
+            solver="highs-milp",
+            message=str(res.message),
+        )
+
+    # Pure LP: linprog wants A_ub/A_eq split.
+    eq_mask = row_lb == row_ub
+    ub_mask = ~eq_mask
+    a_eq = matrix[eq_mask] if eq_mask.any() else None
+    b_eq = row_ub[eq_mask] if eq_mask.any() else None
+    # Rows with only one finite side become <= rows (flip >= rows).
+    a_parts = []
+    b_parts = []
+    if ub_mask.any():
+        sub = matrix[ub_mask]
+        lo = row_lb[ub_mask]
+        hi = row_ub[ub_mask]
+        finite_hi = np.isfinite(hi)
+        finite_lo = np.isfinite(lo)
+        if finite_hi.any():
+            a_parts.append(sub[finite_hi])
+            b_parts.append(hi[finite_hi])
+        if finite_lo.any():
+            a_parts.append(-sub[finite_lo])
+            b_parts.append(-lo[finite_lo])
+    a_ub = sparse.vstack(a_parts) if a_parts else None
+    b_ub = np.concatenate(b_parts) if b_parts else None
+
+    res = linprog(
+        c,
+        A_ub=a_ub,
+        b_ub=b_ub,
+        A_eq=a_eq,
+        b_eq=b_eq,
+        bounds=np.column_stack([lb, ub]),
+        method="highs",
+    )
+    status = {
+        0: SolveStatus.OPTIMAL,
+        2: SolveStatus.INFEASIBLE,
+        3: SolveStatus.UNBOUNDED,
+    }.get(res.status, SolveStatus.ERROR)
+    values = {}
+    objective = float("nan")
+    if res.x is not None and status.has_solution:
+        values = {var: float(res.x[i]) for i, var in enumerate(variables)}
+        objective = sign * (float(c @ res.x) + c0)
+    return Solution(
+        status=status,
+        objective=objective,
+        values=values,
+        solver="highs-lp",
+        iterations=int(getattr(res, "nit", 0)),
+        message=str(res.message),
+    )

@@ -1,0 +1,124 @@
+"""CPLEX LP-file writer.
+
+The paper's implementation communicates between the transformation module
+and the optimization engine via a file in the LP format and hands it to
+CPLEX (Fig. 5).  We reproduce that interchange layer: any
+:class:`~repro.lp.problem.Problem` can be serialized to the textual LP
+format, which CPLEX, Gurobi, HiGHS or GLPK could consume unchanged.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from .expressions import Sense, Variable, VarType
+from .problem import ObjectiveSense, Problem
+
+#: Characters allowed in an LP-format identifier.
+_NAME_RE = re.compile(r"[^A-Za-z0-9_.#$%&()/,;?@^{}~!\"'`|]")
+
+
+def sanitize_name(name: str) -> str:
+    """Make a string safe as an LP-format identifier.
+
+    LP identifiers cannot contain whitespace or operators and cannot
+    start with a digit or the letter combination that starts a keyword
+    followed by punctuation; we conservatively prefix problem cases.
+    """
+    cleaned = _NAME_RE.sub("_", name)
+    if not cleaned or cleaned[0].isdigit() or cleaned[0] in ".":
+        cleaned = "x_" + cleaned
+    return cleaned
+
+
+def _format_terms(terms: dict[Variable, float], names: dict[Variable, str]) -> str:
+    """Render ``coef var`` terms with explicit signs, wrapped in lines."""
+    if not terms:
+        return "0 " + next(iter(names.values()), "x0") if names else "0"
+    pieces: list[str] = []
+    for i, (var, coef) in enumerate(terms.items()):
+        sign = "-" if coef < 0 else ("+" if i > 0 else "")
+        mag = abs(coef)
+        coef_str = "" if mag == 1.0 else f"{mag:.12g} "
+        pieces.append(f"{sign} {coef_str}{names[var]}".strip())
+    # Wrap at ~8 terms per line for readability of large models.
+    lines = [" ".join(pieces[i : i + 8]) for i in range(0, len(pieces), 8)]
+    return "\n   ".join(lines)
+
+
+def write_lp_string(problem: Problem) -> str:
+    """Serialize a problem to the CPLEX LP file format."""
+    names: dict[Variable, str] = {}
+    used: set[str] = set()
+    for idx, var in enumerate(problem.variables):
+        base = sanitize_name(var.name)
+        candidate = base
+        suffix = 1
+        while candidate in used:
+            candidate = f"{base}_{suffix}"
+            suffix += 1
+        names[var] = candidate
+        used.add(candidate)
+
+    lines: list[str] = [f"\\* Problem: {problem.name} *\\"]
+    header = "Minimize" if problem.sense == ObjectiveSense.MINIMIZE else "Maximize"
+    lines.append(header)
+    obj_terms = _format_terms(problem.objective.terms(), names)
+    constant = problem.objective.constant
+    if constant:
+        # LP format has no objective constant; encode via a fixed dummy
+        # convention noted in a comment (solvers ignore comments).
+        lines.append(f"\\* objective constant {constant:.12g} omitted *\\")
+    lines.append(f" obj: {obj_terms}")
+
+    lines.append("Subject To")
+    for con in problem.constraints:
+        label = sanitize_name(con.name) if con.name else ""
+        sense = {Sense.LE: "<=", Sense.GE: ">=", Sense.EQ: "="}[con.sense]
+        body = _format_terms(con.expr.terms(), names)
+        prefix = f" {label}: " if label else " "
+        lines.append(f"{prefix}{body} {sense} {con.rhs:.12g}")
+
+    bound_lines: list[str] = []
+    for var in problem.variables:
+        if var.vtype is VarType.BINARY:
+            continue  # the Binaries section implies [0, 1]
+        lb, ub = var.lb, var.ub
+        name = names[var]
+        if lb is None and ub is None:
+            bound_lines.append(f" {name} free")
+        elif lb == 0.0 and ub is None:
+            continue  # LP default bound
+        elif ub is None:
+            bound_lines.append(f" {name} >= {lb:.12g}")
+        elif lb is None:
+            bound_lines.append(f" -inf <= {name} <= {ub:.12g}")
+        else:
+            bound_lines.append(f" {lb:.12g} <= {name} <= {ub:.12g}")
+    if bound_lines:
+        lines.append("Bounds")
+        lines.extend(bound_lines)
+
+    generals = [names[v] for v in problem.variables if v.vtype is VarType.INTEGER]
+    binaries = [names[v] for v in problem.variables if v.vtype is VarType.BINARY]
+    if generals:
+        lines.append("Generals")
+        lines.extend(f" {n}" for n in generals)
+    if binaries:
+        lines.append("Binaries")
+        lines.extend(f" {n}" for n in binaries)
+    lines.append("End")
+    return "\n".join(lines) + "\n"
+
+
+def write_lp_file(problem: Problem, path: str) -> None:
+    """Write the LP-format serialization of ``problem`` to ``path``."""
+    text = write_lp_string(problem)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+
+
+def _check_finite(value: float, context: str) -> None:
+    if not math.isfinite(value):
+        raise ValueError(f"non-finite coefficient in {context}")

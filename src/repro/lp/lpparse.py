@@ -1,0 +1,328 @@
+"""CPLEX LP-file *reader*.
+
+Completes the interchange layer: models written by
+:mod:`repro.lp.lpformat` (or by CPLEX/Gurobi/HiGHS tooling using the
+same dialect) can be read back into a :class:`~repro.lp.problem.Problem`
+and solved with any backend.  Supported sections: objective
+(``Minimize``/``Maximize``), ``Subject To``, ``Bounds``, ``Generals``,
+``Binaries``, ``End``; ``\\* ... *\\`` comments are stripped anywhere.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from .expressions import LinExpr, Sense, Variable, VarType
+from .problem import ObjectiveSense, Problem
+
+
+class LPParseError(ValueError):
+    """The text is not a well-formed LP file (for the supported dialect)."""
+
+
+_COMMENT_RE = re.compile(r"\\\*.*?\*\\", re.DOTALL)
+_SECTION_ALIASES = {
+    "minimize": "objective-min",
+    "minimise": "objective-min",
+    "min": "objective-min",
+    "maximize": "objective-max",
+    "maximise": "objective-max",
+    "max": "objective-max",
+    "subject to": "constraints",
+    "such that": "constraints",
+    "st": "constraints",
+    "s.t.": "constraints",
+    "bounds": "bounds",
+    "bound": "bounds",
+    "generals": "generals",
+    "general": "generals",
+    "gen": "generals",
+    "binaries": "binaries",
+    "binary": "binaries",
+    "bin": "binaries",
+    "end": "end",
+}
+
+#: token pattern: number, identifier, operator, or sense
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<number>[0-9]*\.?[0-9]+(?:[eE][+-]?[0-9]+)?)
+  | (?P<name>[A-Za-z!"#$%&()/,;?@_`'{}|~.][A-Za-z0-9!"#$%&()/,;?@_`'{}|~.\[\]]*)
+  | (?P<sense><=|>=|=<|=>|=|<|>)
+  | (?P<op>[+\-:])
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> list[tuple[str, str]]:
+    tokens: list[tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        if text[pos].isspace():
+            pos += 1
+            continue
+        match = _TOKEN_RE.match(text, pos)
+        if not match:
+            raise LPParseError(f"unexpected character {text[pos]!r} at offset {pos}")
+        kind = match.lastgroup
+        tokens.append((kind, match.group()))
+        pos = match.end()
+    return tokens
+
+
+def _split_sections(text: str) -> list[tuple[str, str]]:
+    """Split the file into (section-kind, body) pairs in order."""
+    text = _COMMENT_RE.sub(" ", text)
+    # Find section headers at line starts (case-insensitive).
+    pattern = re.compile(
+        r"^\s*(minimize|minimise|min|maximize|maximise|max|subject\s+to|such\s+that"
+        r"|st|s\.t\.|bounds?|generals?|gen|binar(?:ies|y)|bin|end)\s*$|"
+        r"^\s*(minimize|minimise|min|maximize|maximise|max|subject\s+to|such\s+that)\b",
+        re.IGNORECASE | re.MULTILINE,
+    )
+    matches = list(pattern.finditer(text))
+    if not matches:
+        raise LPParseError("no LP sections found")
+    sections: list[tuple[str, str]] = []
+    for i, match in enumerate(matches):
+        raw = (match.group(1) or match.group(2)).lower()
+        raw = re.sub(r"\s+", " ", raw)
+        kind = _SECTION_ALIASES.get(raw)
+        if kind is None:
+            raise LPParseError(f"unknown section header {raw!r}")
+        start = match.end()
+        end = matches[i + 1].start() if i + 1 < len(matches) else len(text)
+        sections.append((kind, text[start:end]))
+    return sections
+
+
+class _ExprParser:
+    """Parse ``[label:] ±c x ±c y ... [sense rhs]`` token streams."""
+
+    def __init__(self, get_var) -> None:
+        self.get_var = get_var
+
+    def parse(self, tokens: list[tuple[str, str]]):
+        """Return (label, LinExpr, sense|None, rhs|None)."""
+        label = None
+        idx = 0
+        if (
+            len(tokens) >= 2
+            and tokens[0][0] == "name"
+            and tokens[1] == ("op", ":")
+        ):
+            label = tokens[0][1]
+            idx = 2
+
+        expr = LinExpr()
+        sense: Sense | None = None
+        rhs_sign = 1.0
+        rhs_terms = LinExpr()
+        sign = 1.0
+        pending_coef: float | None = None
+        target = "lhs"
+
+        def add_term(coef: float, name: str | None) -> None:
+            nonlocal expr, rhs_terms
+            term = (
+                LinExpr(constant=coef)
+                if name is None
+                else LinExpr({self.get_var(name): coef})
+            )
+            if target == "lhs":
+                expr = expr + term
+            else:
+                rhs_terms = rhs_terms + term
+
+        while idx < len(tokens):
+            kind, value = tokens[idx]
+            if kind == "op" and value in "+-":
+                if pending_coef is not None:
+                    add_term(sign * pending_coef, None)
+                    pending_coef = None
+                sign = 1.0 if value == "+" else -1.0
+                idx += 1
+                continue
+            if kind == "number":
+                if pending_coef is not None:
+                    add_term(sign * pending_coef, None)
+                    sign = 1.0
+                pending_coef = float(value)
+                idx += 1
+                continue
+            if kind == "name":
+                coef = pending_coef if pending_coef is not None else 1.0
+                add_term(sign * coef, value)
+                pending_coef = None
+                sign = 1.0
+                idx += 1
+                continue
+            if kind == "sense":
+                if pending_coef is not None:
+                    add_term(sign * pending_coef, None)
+                    pending_coef = None
+                    sign = 1.0
+                if sense is not None:
+                    raise LPParseError("two relational operators in one constraint")
+                sense = {
+                    "<=": Sense.LE, "=<": Sense.LE, "<": Sense.LE,
+                    ">=": Sense.GE, "=>": Sense.GE, ">": Sense.GE,
+                    "=": Sense.EQ,
+                }[value]
+                target = "rhs"
+                idx += 1
+                continue
+            raise LPParseError(f"unexpected token {value!r}")
+        if pending_coef is not None:
+            add_term(sign * pending_coef, None)
+        return label, expr, sense, rhs_terms
+
+
+def parse_lp_string(text: str, name: str = "parsed") -> Problem:
+    """Parse LP-format text into a fresh :class:`Problem`.
+
+    Variables are created on first reference with the LP default domain
+    (continuous, ``[0, +inf)``); Bounds/Generals/Binaries sections then
+    adjust them.
+    """
+    problem = Problem(name=name)
+    variables: dict[str, Variable] = {}
+
+    def get_var(var_name: str) -> Variable:
+        if var_name not in variables:
+            variables[var_name] = problem.add_variable(var_name)
+        return variables[var_name]
+
+    parser = _ExprParser(get_var)
+    objective_seen = False
+
+    for kind, body in _split_sections(text):
+        if kind == "end":
+            break
+        if kind in ("objective-min", "objective-max"):
+            tokens = _tokenize(body)
+            label, expr, sense, _ = parser.parse(tokens)
+            if sense is not None:
+                raise LPParseError("objective cannot contain a relational operator")
+            problem.set_objective(
+                expr,
+                sense=ObjectiveSense.MINIMIZE
+                if kind == "objective-min"
+                else ObjectiveSense.MAXIMIZE,
+            )
+            objective_seen = True
+        elif kind == "constraints":
+            for line in _constraint_lines(body):
+                tokens = _tokenize(line)
+                if not tokens:
+                    continue
+                label, expr, sense, rhs = parser.parse(tokens)
+                if sense is None:
+                    raise LPParseError(f"constraint without relation: {line.strip()!r}")
+                con = {
+                    Sense.LE: expr.__le__,
+                    Sense.GE: expr.__ge__,
+                    Sense.EQ: expr.__eq__,
+                }[sense](rhs)
+                problem.add_constraint(con, label or "")
+        elif kind == "bounds":
+            for line in body.splitlines():
+                line = line.strip()
+                if line:
+                    _apply_bound(line, get_var)
+        elif kind == "generals":
+            for _, token in _tokenize(body):
+                variables_token = get_var(token)
+                variables_token.vtype = VarType.INTEGER
+        elif kind == "binaries":
+            for _, token in _tokenize(body):
+                var = get_var(token)
+                var.vtype = VarType.BINARY
+                var.lb = 0.0 if var.lb is None else max(0.0, var.lb)
+                var.ub = 1.0 if var.ub is None else min(1.0, var.ub)
+
+    if not objective_seen:
+        raise LPParseError("LP file lacks an objective section")
+    return problem
+
+
+def _constraint_lines(body: str):
+    """Constraints may wrap: join physical lines until one has a sense."""
+    buffer = ""
+    for line in body.splitlines():
+        stripped = line.strip()
+        if not stripped:
+            continue
+        buffer = f"{buffer} {stripped}" if buffer else stripped
+        if re.search(r"(<=|>=|=<|=>|=|<|>)\s*[+-]?\s*[0-9.]", buffer):
+            yield buffer
+            buffer = ""
+    if buffer.strip():
+        yield buffer
+
+
+_BOUND_PATTERNS = [
+    # lo <= x <= hi
+    (
+        re.compile(
+            r"^\s*(?P<lo>-?(?:inf(?:inity)?|[0-9.eE+-]+))\s*<=\s*(?P<var>\S+)\s*<=\s*"
+            r"(?P<hi>-?(?:inf(?:inity)?|[0-9.eE+-]+))\s*$",
+            re.IGNORECASE,
+        ),
+        "range",
+    ),
+    (re.compile(r"^\s*(?P<var>\S+)\s*>=\s*(?P<lo>-?(?:inf(?:inity)?|[0-9.eE+-]+))\s*$", re.IGNORECASE), "lower"),
+    (re.compile(r"^\s*(?P<var>\S+)\s*<=\s*(?P<hi>-?(?:inf(?:inity)?|[0-9.eE+-]+))\s*$", re.IGNORECASE), "upper"),
+    (re.compile(r"^\s*(?P<var>\S+)\s*=\s*(?P<fix>-?[0-9.eE+-]+)\s*$"), "fixed"),
+    (re.compile(r"^\s*(?P<var>\S+)\s+free\s*$", re.IGNORECASE), "free"),
+]
+
+
+def _value(text: str) -> float | None:
+    lowered = text.lower()
+    if lowered in ("-inf", "-infinity"):
+        return None  # unbounded below
+    if lowered in ("inf", "+inf", "infinity", "+infinity"):
+        return math.inf
+    return float(text)
+
+
+def _apply_bound(line: str, get_var) -> None:
+    for pattern, kind in _BOUND_PATTERNS:
+        match = pattern.match(line)
+        if not match:
+            continue
+        var = get_var(match.group("var"))
+        if kind == "range":
+            lo = _value(match.group("lo"))
+            hi = _value(match.group("hi"))
+            var.lb = lo
+            var.ub = None if hi == math.inf else hi
+        elif kind == "lower":
+            lo = _value(match.group("lo"))
+            var.lb = lo
+        elif kind == "upper":
+            hi = _value(match.group("hi"))
+            var.ub = None if hi == math.inf else hi
+            if var.lb == 0.0 and hi is not None and hi < 0:
+                # LP convention: an upper bound below the default lower
+                # bound implies the variable is negative: free it below.
+                var.lb = None
+        elif kind == "fixed":
+            value = float(match.group("fix"))
+            var.lb = value
+            var.ub = value
+        elif kind == "free":
+            var.lb = None
+            var.ub = None
+        return
+    raise LPParseError(f"unparseable bound line: {line!r}")
+
+
+def read_lp_file(path: str, name: str | None = None) -> Problem:
+    """Read and parse an LP file from disk."""
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    return parse_lp_string(text, name=name or path)

@@ -1,0 +1,167 @@
+"""Array-level LP solving used by the branch-and-bound search.
+
+Solves ``min c'x  s.t.  A_ub x <= b_ub, A_eq x = b_eq, lb <= x <= ub``
+with either the from-scratch simplex (``engine="builtin"``) or SciPy's
+HiGHS (``engine="highs"``).  Branch-and-bound nodes differ only in the
+bound arrays, so this is the natural interface for node relaxations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .simplex import solve_standard_form
+
+
+@dataclass
+class ArrayLPResult:
+    """LP relaxation outcome at the array level."""
+
+    status: str  # "optimal" | "infeasible" | "unbounded" | "error"
+    x: np.ndarray | None
+    objective: float
+    iterations: int = 0
+
+
+def _standardize_arrays(
+    c: np.ndarray,
+    a_ub: np.ndarray,
+    b_ub: np.ndarray,
+    a_eq: np.ndarray,
+    b_eq: np.ndarray,
+    lb: np.ndarray,
+    ub: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, float, np.ndarray, np.ndarray]:
+    """Convert bounded-variable form to ``min c'y, Ay = b, y >= 0``.
+
+    Returns ``(a, b, cost, c0, plus_cols, minus_cols)`` where original
+    ``x[i] = y[plus_cols[i]] - y[minus_cols[i]] + shift[i]`` (minus_cols[i]
+    is -1 for non-free variables; the shift is folded into ``c0`` and rhs).
+    """
+    n = c.shape[0]
+    plus = np.zeros(n, dtype=int)
+    minus = np.full(n, -1, dtype=int)
+    shift = np.zeros(n)
+    ncols = 0
+    for i in range(n):
+        plus[i] = ncols
+        ncols += 1
+        if np.isneginf(lb[i]):
+            minus[i] = ncols
+            ncols += 1
+        else:
+            shift[i] = lb[i]
+
+    rows: list[tuple[np.ndarray, str, float]] = []
+
+    def expand(row: np.ndarray, rhs: float) -> tuple[np.ndarray, float]:
+        out = np.zeros(ncols)
+        adj = rhs
+        for i in range(n):
+            coef = row[i]
+            if coef == 0.0:
+                continue
+            out[plus[i]] += coef
+            if minus[i] >= 0:
+                out[minus[i]] -= coef
+            adj -= coef * shift[i]
+        return out, adj
+
+    for r in range(a_ub.shape[0]):
+        row, adj = expand(a_ub[r], float(b_ub[r]))
+        rows.append((row, "le", adj))
+    for r in range(a_eq.shape[0]):
+        row, adj = expand(a_eq[r], float(b_eq[r]))
+        rows.append((row, "eq", adj))
+    for i in range(n):
+        if not np.isposinf(ub[i]):
+            row = np.zeros(ncols)
+            row[plus[i]] = 1.0
+            if minus[i] >= 0:
+                row[minus[i]] = -1.0
+            rows.append((row, "le", float(ub[i]) - shift[i]))
+
+    nslack = sum(1 for _, sense, _ in rows if sense == "le")
+    total = ncols + nslack
+    a = np.zeros((len(rows), total))
+    b = np.zeros(len(rows))
+    slack = ncols
+    for r, (row, sense, rhs) in enumerate(rows):
+        a[r, :ncols] = row
+        b[r] = rhs
+        if sense == "le":
+            a[r, slack] = 1.0
+            slack += 1
+    neg = b < 0
+    a[neg] *= -1.0
+    b[neg] *= -1.0
+
+    cost = np.zeros(total)
+    c0 = float(c @ shift)
+    for i in range(n):
+        cost[plus[i]] += c[i]
+        if minus[i] >= 0:
+            cost[minus[i]] -= c[i]
+    return a, b, cost, c0, plus, minus
+
+
+def solve_lp_arrays(
+    c: np.ndarray,
+    a_ub: np.ndarray,
+    b_ub: np.ndarray,
+    a_eq: np.ndarray,
+    b_eq: np.ndarray,
+    lb: np.ndarray,
+    ub: np.ndarray,
+    engine: str = "highs",
+    max_iterations: int = 20000,
+) -> ArrayLPResult:
+    """Solve the bounded-variable LP with the requested engine.
+
+    Infeasible bound pairs (``lb > ub``) short-circuit to infeasible —
+    branch-and-bound produces those routinely when fixing binaries.
+    """
+    if (lb > ub + 1e-12).any():
+        return ArrayLPResult("infeasible", None, np.nan)
+
+    if engine == "highs":
+        from scipy.optimize import linprog
+
+        res = linprog(
+            c,
+            A_ub=a_ub if a_ub.size else None,
+            b_ub=b_ub if b_ub.size else None,
+            A_eq=a_eq if a_eq.size else None,
+            b_eq=b_eq if b_eq.size else None,
+            bounds=np.column_stack([lb, ub]),
+            method="highs",
+        )
+        if res.status == 0:
+            return ArrayLPResult("optimal", res.x, float(res.fun), int(res.nit))
+        if res.status == 2:
+            return ArrayLPResult("infeasible", None, np.nan, int(res.nit))
+        if res.status == 3:
+            return ArrayLPResult("unbounded", None, -np.inf, int(res.nit))
+        return ArrayLPResult("error", None, np.nan, int(res.nit))
+
+    if engine == "builtin":
+        a, b, cost, c0, plus, minus = _standardize_arrays(
+            c, a_ub, b_ub, a_eq, b_eq, lb, ub
+        )
+        result = solve_standard_form(a, b, cost, max_iterations=max_iterations)
+        if result.status != "optimal":
+            status = "error" if result.status == "iteration_limit" else result.status
+            return ArrayLPResult(status, None, np.nan, result.iterations)
+        y = result.x
+        n = c.shape[0]
+        x = np.empty(n)
+        for i in range(n):
+            val = y[plus[i]]
+            if minus[i] >= 0:
+                val -= y[minus[i]]
+            x[i] = val + (lb[i] if not np.isneginf(lb[i]) else 0.0)
+        return ArrayLPResult("optimal", x, float(c @ x), result.iterations)
+
+    raise ValueError(f"unknown LP engine: {engine!r}")

@@ -1,0 +1,133 @@
+"""Fixed-format MPS writer.
+
+MPS is the other lingua franca of MILP solvers (older and stricter than
+the LP format).  This writer emits fixed-column MPS with ``ROWS``,
+``COLUMNS`` (with integer markers), ``RHS``, ``RANGES``-free ``BOUNDS``
+and ``ENDATA`` sections — consumable by CPLEX, Gurobi, HiGHS, GLPK and
+SCIP.  Names longer than eight characters are deterministically
+shortened (MPS fixed format caps field width), with the mapping
+returned for tooling that needs to translate solutions back.
+"""
+
+from __future__ import annotations
+
+from .expressions import Sense, Variable, VarType
+from .problem import ObjectiveSense, Problem
+
+#: Fixed-format MPS name-field width.
+_NAME_WIDTH = 8
+
+
+def _short_names(items: list[str], prefix: str) -> dict[str, str]:
+    """Map arbitrary names to unique ≤8-char MPS identifiers."""
+    mapping: dict[str, str] = {}
+    used: set[str] = set()
+    for index, name in enumerate(items):
+        cleaned = "".join(ch for ch in name if ch.isalnum())[:_NAME_WIDTH]
+        candidate = cleaned or f"{prefix}{index}"
+        if candidate in used or not candidate[0].isalpha():
+            candidate = f"{prefix}{index}"
+        # Collisions after cleaning: fall back to indexed names.
+        while candidate in used:
+            index += 1
+            candidate = f"{prefix}{index}"
+        mapping[name] = candidate
+        used.add(candidate)
+    return mapping
+
+
+def write_mps_string(problem: Problem) -> tuple[str, dict[str, str]]:
+    """Serialize to fixed MPS; returns ``(text, original→mps name map)``.
+
+    Maximization problems are emitted negated (MPS has no objective
+    sense section in the classic dialect); the caller must negate the
+    objective value back.
+    """
+    sign = 1.0 if problem.sense == ObjectiveSense.MINIMIZE else -1.0
+    var_names = _short_names([v.name for v in problem.variables], "X")
+    row_names = _short_names(
+        [c.name or f"c{i}" for i, c in enumerate(problem.constraints)], "R"
+    )
+
+    lines: list[str] = [f"NAME          {problem.name[:_NAME_WIDTH].upper() or 'MODEL'}"]
+
+    lines.append("ROWS")
+    lines.append(" N  OBJ")
+    sense_codes = {Sense.LE: "L", Sense.GE: "G", Sense.EQ: "E"}
+    ordered_rows: list[tuple[str, object]] = []
+    for i, con in enumerate(problem.constraints):
+        row = row_names[con.name or f"c{i}"]
+        lines.append(f" {sense_codes[con.sense]}  {row}")
+        ordered_rows.append((row, con))
+
+    # Column-major coefficient listing with integer markers.
+    lines.append("COLUMNS")
+    marker_open = False
+    marker_count = 0
+    for var in problem.variables:
+        name = var_names[var.name]
+        if var.is_integral and not marker_open:
+            lines.append(
+                f"    MARKER{marker_count:>22}  'MARKER'                 'INTORG'"
+            )
+            marker_open = True
+            marker_count += 1
+        elif not var.is_integral and marker_open:
+            lines.append(
+                f"    MARKER{marker_count:>22}  'MARKER'                 'INTEND'"
+            )
+            marker_open = False
+            marker_count += 1
+        entries: list[tuple[str, float]] = []
+        obj_coef = sign * problem.objective.coefficient(var)
+        if obj_coef != 0.0:
+            entries.append(("OBJ", obj_coef))
+        for row, con in ordered_rows:
+            coef = con.expr.coefficient(var)
+            if coef != 0.0:
+                entries.append((row, coef))
+        if not entries:
+            entries.append(("OBJ", 0.0))
+        for k in range(0, len(entries), 2):
+            pair = entries[k : k + 2]
+            line = f"    {name:<10}"
+            for row, coef in pair:
+                line += f"{row:<10}{coef:<12.6g}  "
+            lines.append(line.rstrip())
+    if marker_open:
+        lines.append(
+            f"    MARKER{marker_count:>22}  'MARKER'                 'INTEND'"
+        )
+
+    lines.append("RHS")
+    for row, con in ordered_rows:
+        if con.rhs != 0.0:
+            lines.append(f"    RHS       {row:<10}{con.rhs:<12.6g}")
+
+    lines.append("BOUNDS")
+    for var in problem.variables:
+        name = var_names[var.name]
+        if var.vtype is VarType.BINARY:
+            lines.append(f" BV BND       {name}")
+            continue
+        lb, ub = var.lb, var.ub
+        if lb is None and ub is None:
+            lines.append(f" FR BND       {name}")
+            continue
+        if lb is None:
+            lines.append(f" MI BND       {name}")
+        elif lb != 0.0:
+            lines.append(f" LO BND       {name:<10}{lb:<12.6g}")
+        if ub is not None:
+            lines.append(f" UP BND       {name:<10}{ub:<12.6g}")
+
+    lines.append("ENDATA")
+    return "\n".join(lines) + "\n", var_names
+
+
+def write_mps_file(problem: Problem, path: str) -> dict[str, str]:
+    """Write MPS to ``path``; returns the original→mps variable map."""
+    text, mapping = write_mps_string(problem)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    return mapping

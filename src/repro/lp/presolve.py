@@ -1,0 +1,248 @@
+"""LP/MILP presolve: cheap reductions before the real solve.
+
+Implements the classic safe reductions every industrial solver applies
+first:
+
+* **fixed variables** (``lb == ub``) are substituted into every
+  constraint and the objective;
+* **empty constraints** are checked against their rhs and dropped (or
+  the model is declared infeasible on the spot);
+* **singleton rows** (one variable) are turned into bound updates and
+  dropped, with crossing bounds again proving infeasibility;
+* rounds repeat until a fixpoint, since each reduction can expose more.
+
+The reduced model solves faster on any backend; :class:`Postsolver`
+re-inflates a reduced solution to the original variable space.  All
+reductions are exact — optima are preserved, which the tests verify on
+random models against an un-presolved reference solve.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from .expressions import Constraint, LinExpr, Sense, Variable
+from .problem import Problem
+from .solution import Solution, SolveStatus
+
+#: Tolerance for bound crossings and rhs feasibility checks.
+_TOL = 1e-9
+
+
+class PresolveInfeasible(Exception):
+    """Presolve proved the model infeasible (no solve needed)."""
+
+
+@dataclass
+class PresolveStats:
+    """What presolve accomplished."""
+
+    fixed_variables: int = 0
+    dropped_constraints: int = 0
+    tightened_bounds: int = 0
+    rounds: int = 0
+
+
+@dataclass
+class Postsolver:
+    """Maps a reduced-model solution back to the original model."""
+
+    original: Problem
+    fixed_values: dict[Variable, float] = field(default_factory=dict)
+    clone_to_original: dict[Variable, Variable] = field(default_factory=dict)
+    stats: PresolveStats = field(default_factory=PresolveStats)
+
+    def expand(self, solution: Solution) -> Solution:
+        """Inflate ``solution`` back onto the original variables."""
+        if not solution.status.has_solution:
+            return solution
+        values = {
+            self.clone_to_original.get(var, var): value
+            for var, value in solution.values.items()
+        }
+        for var, value in self.fixed_values.items():
+            values[var] = value
+        objective = self.original.evaluate_objective(values)
+        return Solution(
+            status=solution.status,
+            objective=objective,
+            values=values,
+            solver=solution.solver + "+presolve",
+            iterations=solution.iterations,
+            message=solution.message,
+        )
+
+
+def _tighten(var: Variable, sense: Sense, bound: float, stats: PresolveStats) -> None:
+    """Apply a singleton-row implication to a variable's bounds."""
+    if sense is Sense.LE:
+        if var.ub is None or bound < var.ub:
+            var.ub = bound
+            stats.tightened_bounds += 1
+    elif sense is Sense.GE:
+        if var.lb is None or bound > var.lb:
+            var.lb = bound
+            stats.tightened_bounds += 1
+    else:  # EQ fixes the variable
+        var.lb = bound
+        var.ub = bound
+        stats.tightened_bounds += 1
+    if var.lb is not None and var.ub is not None and var.lb > var.ub + _TOL:
+        raise PresolveInfeasible(
+            f"variable {var.name!r} has crossing bounds [{var.lb}, {var.ub}]"
+        )
+    if var.is_integral and var.lb is not None and var.ub is not None:
+        lo = math.ceil(var.lb - _TOL)
+        hi = math.floor(var.ub + _TOL)
+        if lo > hi:
+            raise PresolveInfeasible(
+                f"integer variable {var.name!r} has no integer in [{var.lb}, {var.ub}]"
+            )
+
+
+def presolve(problem: Problem, max_rounds: int = 20) -> tuple[Problem, Postsolver]:
+    """Return an equivalent reduced problem and its postsolver.
+
+    Raises
+    ------
+    PresolveInfeasible
+        When a reduction proves the model has no feasible point.
+    """
+    stats = PresolveStats()
+    fixed: dict[Variable, float] = {}
+
+    # Work on copies of variables so callers' Problem stays untouched.
+    clones: dict[Variable, Variable] = {
+        v: Variable(v.name, lb=v.lb, ub=v.ub, vtype=v.vtype)
+        for v in problem.variables
+    }
+
+    def clone_expr(expr: LinExpr) -> LinExpr:
+        out = LinExpr(constant=expr.constant)
+        for var, coef in expr.terms().items():
+            out = out + clones[var] * coef
+        return out
+
+    constraints: list[Constraint] = [
+        Constraint(clone_expr(c.expr), c.sense, c.rhs, name=c.name)
+        for c in problem.constraints
+    ]
+    objective = clone_expr(problem.objective)
+
+    for round_index in range(max_rounds):
+        stats.rounds = round_index + 1
+        changed = False
+
+        # 1. Fix variables with collapsed bounds; substitute everywhere.
+        newly_fixed = {
+            var: var.lb
+            for var in clones.values()
+            if var.lb is not None and var.ub is not None
+            and abs(var.ub - var.lb) <= _TOL
+            and var not in {clones[k] for k in fixed}
+        }
+        if newly_fixed:
+            changed = True
+            stats.fixed_variables += len(newly_fixed)
+            substitution = dict(newly_fixed)
+            rewritten: list[Constraint] = []
+            for con in constraints:
+                shift = 0.0
+                expr = con.expr
+                terms = expr.terms()
+                for var, value in substitution.items():
+                    coef = terms.get(var, 0.0)
+                    if coef:
+                        expr = expr - var * coef
+                        shift += coef * value
+                rewritten.append(
+                    Constraint(expr, con.sense, con.rhs - shift, name=con.name)
+                )
+            constraints = rewritten
+            for var, value in substitution.items():
+                coef = objective.coefficient(var)
+                if coef:
+                    objective = objective - var * coef + coef * value
+            for original, clone in clones.items():
+                if clone in substitution:
+                    fixed[original] = substitution[clone]
+
+        # 2. Empty and singleton rows.
+        kept: list[Constraint] = []
+        for con in constraints:
+            terms = con.expr.terms()
+            if not terms:
+                satisfied = {
+                    Sense.LE: 0.0 <= con.rhs + _TOL,
+                    Sense.GE: 0.0 >= con.rhs - _TOL,
+                    Sense.EQ: abs(con.rhs) <= _TOL,
+                }[con.sense]
+                if not satisfied:
+                    raise PresolveInfeasible(
+                        f"constraint {con.name!r} reduced to 0 {con.sense.value} {con.rhs}"
+                    )
+                stats.dropped_constraints += 1
+                changed = True
+                continue
+            if len(terms) == 1:
+                (var, coef), = terms.items()
+                bound = con.rhs / coef
+                sense = con.sense
+                if coef < 0 and sense is not Sense.EQ:
+                    sense = Sense.GE if sense is Sense.LE else Sense.LE
+                _tighten(var, sense, bound, stats)
+                stats.dropped_constraints += 1
+                changed = True
+                continue
+            kept.append(con)
+        constraints = kept
+
+        if not changed:
+            break
+
+    reduced = Problem(name=problem.name + "-presolved", sense=problem.sense)
+    live = [
+        clone
+        for original, clone in clones.items()
+        if original not in fixed
+    ]
+    for var in live:
+        reduced.attach_variable(var)
+    for con in constraints:
+        reduced.add_constraint(con, con.name)
+    reduced.set_objective(objective)
+
+    postsolver = Postsolver(original=problem, stats=stats)
+    postsolver.fixed_values = dict(fixed)
+    postsolver.clone_to_original = {
+        clone: original for original, clone in clones.items()
+    }
+    return reduced, postsolver
+
+
+def solve_with_presolve(problem: Problem, backend: str = "auto", **options) -> Solution:
+    """Convenience: presolve, solve the reduction, postsolve."""
+    from .solvers import solve as _solve
+
+    try:
+        reduced, postsolver = presolve(problem)
+    except PresolveInfeasible as exc:
+        return Solution(
+            status=SolveStatus.INFEASIBLE,
+            solver="presolve",
+            message=str(exc),
+        )
+    if reduced.num_variables == 0:
+        # Presolve decided everything; any surviving row was verified.
+        return postsolver.expand(
+            Solution(
+                status=SolveStatus.OPTIMAL,
+                objective=reduced.objective.constant,
+                values={},
+                solver="presolve",
+                message="model fully reduced",
+            )
+        )
+    solution = _solve(reduced, backend=backend, **options)
+    return postsolver.expand(solution)

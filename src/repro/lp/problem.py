@@ -1,0 +1,199 @@
+"""Problem container: variables, constraints, objective.
+
+A :class:`Problem` is the unit of work handed to a solver backend.  It
+owns variable registration (ensuring unique names inside one model) and
+keeps constraints in insertion order so LP files and matrices are
+reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from .expressions import Constraint, LinExpr, Sense, Variable, VarType
+
+
+class ObjectiveSense:
+    """Objective direction constants."""
+
+    MINIMIZE = "minimize"
+    MAXIMIZE = "maximize"
+
+
+class Problem:
+    """A linear / mixed-integer program under construction.
+
+    Parameters
+    ----------
+    name:
+        Model name, written into LP files.
+    sense:
+        ``ObjectiveSense.MINIMIZE`` (default) or ``MAXIMIZE``.
+    """
+
+    def __init__(self, name: str = "model", sense: str = ObjectiveSense.MINIMIZE) -> None:
+        if sense not in (ObjectiveSense.MINIMIZE, ObjectiveSense.MAXIMIZE):
+            raise ValueError(f"unknown objective sense: {sense!r}")
+        self.name = name
+        self.sense = sense
+        self.objective: LinExpr = LinExpr()
+        self._variables: list[Variable] = []
+        self._var_names: set[str] = set()
+        self._constraints: list[Constraint] = []
+
+    # -- variables -------------------------------------------------------
+    def add_variable(
+        self,
+        name: str,
+        lb: float | None = 0.0,
+        ub: float | None = None,
+        vtype: VarType = VarType.CONTINUOUS,
+    ) -> Variable:
+        """Create and register a new variable.
+
+        Raises
+        ------
+        ValueError
+            On duplicate variable names within this problem.
+        """
+        if name in self._var_names:
+            raise ValueError(f"duplicate variable name: {name!r}")
+        var = Variable(name, lb=lb, ub=ub, vtype=vtype)
+        self._variables.append(var)
+        self._var_names.add(name)
+        return var
+
+    def add_binary(self, name: str) -> Variable:
+        """Shorthand for a binary variable."""
+        return self.add_variable(name, vtype=VarType.BINARY)
+
+    def add_integer(self, name: str, lb: float | None = 0.0, ub: float | None = None) -> Variable:
+        """Shorthand for a general integer variable."""
+        return self.add_variable(name, lb=lb, ub=ub, vtype=VarType.INTEGER)
+
+    def attach_variable(self, var: Variable) -> Variable:
+        """Register an externally-constructed variable with this problem."""
+        if var.name in self._var_names:
+            raise ValueError(f"duplicate variable name: {var.name!r}")
+        self._variables.append(var)
+        self._var_names.add(var.name)
+        return var
+
+    @property
+    def variables(self) -> list[Variable]:
+        """Registered variables in creation order (copy)."""
+        return list(self._variables)
+
+    def variable_by_name(self, name: str) -> Variable:
+        """Look up a variable by name (linear scan; debugging helper)."""
+        for var in self._variables:
+            if var.name == name:
+                return var
+        raise KeyError(f"no variable named {name!r}")
+
+    @property
+    def num_variables(self) -> int:
+        return len(self._variables)
+
+    @property
+    def num_integer_variables(self) -> int:
+        return sum(1 for v in self._variables if v.is_integral)
+
+    @property
+    def is_mip(self) -> bool:
+        """True when any variable is integer/binary."""
+        return any(v.is_integral for v in self._variables)
+
+    # -- constraints ------------------------------------------------------
+    def add_constraint(self, constraint: Constraint, name: str = "") -> Constraint:
+        """Register a constraint, ensuring its variables belong to the model."""
+        if not isinstance(constraint, Constraint):
+            raise TypeError(
+                "add_constraint expects a Constraint (did you write `a == b` "
+                "where a plain bool was needed?)"
+            )
+        for var in constraint.expr.variables():
+            if var.name not in self._var_names:
+                raise ValueError(
+                    f"constraint references unregistered variable {var.name!r}"
+                )
+        if name:
+            constraint = constraint.with_name(name)
+        elif not constraint.name:
+            constraint = constraint.with_name(f"c{len(self._constraints)}")
+        self._constraints.append(constraint)
+        return constraint
+
+    def add_constraints(self, constraints: Iterable[Constraint]) -> list[Constraint]:
+        """Register several constraints; returns them in order."""
+        return [self.add_constraint(c) for c in constraints]
+
+    @property
+    def constraints(self) -> list[Constraint]:
+        """Registered constraints in insertion order (copy)."""
+        return list(self._constraints)
+
+    @property
+    def num_constraints(self) -> int:
+        return len(self._constraints)
+
+    # -- objective ---------------------------------------------------------
+    def set_objective(self, expr: LinExpr | Variable | float, sense: str | None = None) -> None:
+        """Set the objective expression (and optionally flip the sense)."""
+        converted = LinExpr._as_expr(expr)
+        if converted is None:
+            raise TypeError(f"invalid objective: {expr!r}")
+        for var in converted.variables():
+            if var.name not in self._var_names:
+                raise ValueError(f"objective references unregistered variable {var.name!r}")
+        self.objective = converted
+        if sense is not None:
+            if sense not in (ObjectiveSense.MINIMIZE, ObjectiveSense.MAXIMIZE):
+                raise ValueError(f"unknown objective sense: {sense!r}")
+            self.sense = sense
+
+    # -- evaluation ----------------------------------------------------------
+    def evaluate_objective(self, values: Mapping[Variable, float]) -> float:
+        """Objective value under an assignment."""
+        return self.objective.evaluate(values)
+
+    def iter_violations(
+        self, values: Mapping[Variable, float], tol: float = 1e-6
+    ) -> Iterator[tuple[Constraint, float]]:
+        """Yield (constraint, violation magnitude) for violated constraints."""
+        for con in self._constraints:
+            amount = con.violation(values)
+            if amount > tol:
+                yield con, amount
+
+    def is_feasible(self, values: Mapping[Variable, float], tol: float = 1e-6) -> bool:
+        """Check assignment against all constraints and variable bounds."""
+        for var in self._variables:
+            val = values.get(var)
+            if val is None:
+                return False
+            if var.lb is not None and val < var.lb - tol:
+                return False
+            if var.ub is not None and val > var.ub + tol:
+                return False
+            if var.is_integral and abs(val - round(val)) > tol:
+                return False
+        return not any(True for _ in self.iter_violations(values, tol))
+
+    # -- misc -----------------------------------------------------------------
+    def stats(self) -> dict[str, int]:
+        """Model size summary, useful in logs and reports."""
+        nonzeros = sum(len(c.expr.terms()) for c in self._constraints)
+        return {
+            "variables": self.num_variables,
+            "integer_variables": self.num_integer_variables,
+            "constraints": self.num_constraints,
+            "nonzeros": nonzeros,
+        }
+
+    def __repr__(self) -> str:
+        s = self.stats()
+        return (
+            f"Problem({self.name!r}, {self.sense}, vars={s['variables']} "
+            f"(int={s['integer_variables']}), cons={s['constraints']})"
+        )

@@ -1,0 +1,210 @@
+"""From-scratch dense two-phase primal simplex.
+
+This is the reproduction's stand-in for the LP core of a commercial
+solver.  It works on the equality standard form produced by
+:func:`repro.lp.standard_form.to_standard_form`:
+
+    min c'x   s.t.  A x = b,  x >= 0,  b >= 0
+
+Phase 1 introduces artificial variables and drives their sum to zero;
+phase 2 optimizes the true objective from the resulting basis.  Dantzig
+pricing is used until degeneracy is suspected, after which the solver
+switches to Bland's rule to guarantee termination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Numerical tolerance for reduced costs / ratio tests.
+TOL = 1e-9
+
+
+@dataclass
+class SimplexResult:
+    """Raw simplex outcome over standard-form columns."""
+
+    status: str  # "optimal" | "infeasible" | "unbounded" | "iteration_limit"
+    x: np.ndarray | None
+    objective: float
+    iterations: int
+
+
+class SimplexError(RuntimeError):
+    """Internal simplex failure (numerical breakdown)."""
+
+
+def _pivot(tableau: np.ndarray, row: int, col: int) -> None:
+    """Gauss-Jordan pivot of the full tableau on (row, col)."""
+    pivot_val = tableau[row, col]
+    if abs(pivot_val) < TOL:
+        raise SimplexError("pivot on (near-)zero element")
+    tableau[row] /= pivot_val
+    # Eliminate the pivot column from every other row in one vectorized step.
+    factors = tableau[:, col].copy()
+    factors[row] = 0.0
+    tableau -= np.outer(factors, tableau[row])
+    # Clean tiny residuals in the pivot column for numerical hygiene.
+    tableau[:, col] = 0.0
+    tableau[row, col] = 1.0
+
+
+def _choose_entering(
+    reduced: np.ndarray, eligible: np.ndarray, bland: bool
+) -> int | None:
+    """Pick the entering column, or None when optimal."""
+    candidates = np.where(eligible & (reduced < -TOL))[0]
+    if candidates.size == 0:
+        return None
+    if bland:
+        return int(candidates[0])
+    # Dantzig: most negative reduced cost.
+    return int(candidates[np.argmin(reduced[candidates])])
+
+
+def _choose_leaving(tableau: np.ndarray, col: int, nrows: int) -> int | None:
+    """Minimum-ratio test; None signals unboundedness."""
+    column = tableau[:nrows, col]
+    rhs = tableau[:nrows, -1]
+    positive = column > TOL
+    if not positive.any():
+        return None
+    ratios = np.full(nrows, np.inf)
+    ratios[positive] = rhs[positive] / column[positive]
+    best = ratios.min()
+    # Tie-break on the lowest row index (part of Bland's protection).
+    return int(np.where(np.isclose(ratios, best, rtol=0.0, atol=1e-12))[0][0])
+
+
+def _run_phase(
+    tableau: np.ndarray,
+    basis: list[int],
+    eligible: np.ndarray,
+    max_iterations: int,
+) -> tuple[str, int]:
+    """Iterate pivots until optimality/unboundedness/limit.
+
+    The objective row is the last row of ``tableau`` and holds reduced
+    costs; the rhs column is the last column.
+    """
+    nrows = tableau.shape[0] - 1
+    iterations = 0
+    bland = False
+    stall = 0
+    last_obj = tableau[-1, -1]
+    while iterations < max_iterations:
+        reduced = tableau[-1, :-1]
+        col = _choose_entering(reduced, eligible, bland)
+        if col is None:
+            return "optimal", iterations
+        row = _choose_leaving(tableau, col, nrows)
+        if row is None:
+            return "unbounded", iterations
+        _pivot(tableau, row, col)
+        basis[row] = col
+        iterations += 1
+        # Degeneracy watchdog: if the objective stops moving, fall back
+        # to Bland's rule which cannot cycle.
+        obj = tableau[-1, -1]
+        if abs(obj - last_obj) < TOL:
+            stall += 1
+            if stall > 2 * nrows:
+                bland = True
+        else:
+            stall = 0
+            bland = False
+        last_obj = obj
+    return "iteration_limit", iterations
+
+
+def solve_standard_form(
+    a: np.ndarray,
+    b: np.ndarray,
+    c: np.ndarray,
+    max_iterations: int = 20000,
+) -> SimplexResult:
+    """Solve ``min c'x s.t. Ax = b, x >= 0`` (requires ``b >= 0``).
+
+    Returns the optimal vertex, or a status describing why none exists.
+    """
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    c = np.asarray(c, dtype=float)
+    m, n = a.shape
+    if b.shape != (m,):
+        raise ValueError("b has wrong shape")
+    if c.shape != (n,):
+        raise ValueError("c has wrong shape")
+    if (b < -TOL).any():
+        raise ValueError("standard form requires b >= 0")
+
+    if m == 0:
+        # No constraints: optimum is x = 0 (c >= 0 required for boundedness).
+        if (c < -TOL).any():
+            return SimplexResult("unbounded", None, -np.inf, 0)
+        return SimplexResult("optimal", np.zeros(n), 0.0, 0)
+
+    # ---- Phase 1: minimize sum of artificials --------------------------
+    # Tableau layout: [A | I_art | rhs], final row = phase objective.
+    tableau = np.zeros((m + 1, n + m + 1))
+    tableau[:m, :n] = a
+    tableau[:m, n : n + m] = np.eye(m)
+    tableau[:m, -1] = b
+    # Phase-1 cost: sum of artificial variables; express reduced costs by
+    # subtracting each constraint row (since artificials are basic).
+    tableau[-1, :n] = -a.sum(axis=0)
+    tableau[-1, -1] = -b.sum()
+
+    basis = list(range(n, n + m))
+    eligible = np.zeros(n + m, dtype=bool)
+    eligible[:n] = True  # artificials may leave but never re-enter
+
+    status, it1 = _run_phase(tableau, basis, eligible, max_iterations)
+    if status == "iteration_limit":
+        return SimplexResult("iteration_limit", None, np.nan, it1)
+    phase1_obj = -tableau[-1, -1]
+    if phase1_obj > 1e-7:
+        return SimplexResult("infeasible", None, np.nan, it1)
+
+    # Drive any artificial variables still in the basis out (degenerate rows).
+    for row in range(m):
+        if basis[row] >= n:
+            pivot_cols = np.where(np.abs(tableau[row, :n]) > TOL)[0]
+            if pivot_cols.size:
+                _pivot(tableau, row, int(pivot_cols[0]))
+                basis[row] = int(pivot_cols[0])
+            # else: redundant row; the artificial stays basic at zero.
+
+    # ---- Phase 2: real objective ----------------------------------------
+    tableau2 = np.zeros((m + 1, n + 1))
+    tableau2[:m, :n] = tableau[:m, :n]
+    tableau2[:m, -1] = tableau[:m, -1]
+    tableau2[-1, :n] = c
+    # Subtract c_B * row for each basic variable to express reduced costs.
+    for row, var in enumerate(basis):
+        if var < n and abs(c[var]) > 0.0:
+            tableau2[-1] -= c[var] * tableau2[row]
+
+    eligible2 = np.ones(n, dtype=bool)
+    for row, var in enumerate(basis):
+        if var >= n:
+            # A zero-level artificial remains: freeze its row by keeping the
+            # column out of pricing (the row is redundant).
+            continue
+    status, it2 = _run_phase(tableau2, basis, eligible2, max_iterations)
+    iterations = it1 + it2
+    if status == "unbounded":
+        return SimplexResult("unbounded", None, -np.inf, iterations)
+    if status == "iteration_limit":
+        return SimplexResult("iteration_limit", None, np.nan, iterations)
+
+    x = np.zeros(n)
+    for row, var in enumerate(basis):
+        if var < n:
+            x[var] = tableau2[row, -1]
+    # Numerical hygiene: clamp tiny negatives introduced by pivoting.
+    x[np.abs(x) < 1e-11] = 0.0
+    objective = float(c @ x)
+    return SimplexResult("optimal", x, objective, iterations)

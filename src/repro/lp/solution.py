@@ -1,0 +1,73 @@
+"""Solver result types shared by every backend."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Mapping
+
+from .expressions import Variable
+
+
+class SolveStatus(Enum):
+    """Outcome of a solve attempt."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    FEASIBLE = "feasible"  # incumbent found but optimality not proven
+    ERROR = "error"
+
+    @property
+    def has_solution(self) -> bool:
+        """Whether variable values may be read from the solution."""
+        return self in (SolveStatus.OPTIMAL, SolveStatus.FEASIBLE)
+
+
+@dataclass
+class Solution:
+    """Result of solving a :class:`~repro.lp.problem.Problem`.
+
+    Attributes
+    ----------
+    status:
+        Solve outcome; check :attr:`SolveStatus.has_solution` before
+        reading values.
+    objective:
+        Objective value at the returned point (``nan`` when no solution).
+    values:
+        Variable assignment.  Empty when no solution exists.
+    solver:
+        Name of the backend that produced the result.
+    iterations:
+        Backend-specific work counter (simplex pivots, B&B nodes, ...).
+    message:
+        Free-form diagnostic from the backend.
+    """
+
+    status: SolveStatus
+    objective: float = float("nan")
+    values: dict[Variable, float] = field(default_factory=dict)
+    solver: str = ""
+    iterations: int = 0
+    message: str = ""
+
+    def value(self, var: Variable, default: float | None = None) -> float:
+        """Value of ``var`` in this solution.
+
+        Variables that were eliminated or never entered the model fall
+        back to ``default`` when given, else raise ``KeyError``.
+        """
+        if var in self.values:
+            return self.values[var]
+        if default is not None:
+            return default
+        raise KeyError(f"variable {var.name!r} not present in solution")
+
+    def as_name_dict(self) -> dict[str, float]:
+        """Return values keyed by variable name (for reports / JSON)."""
+        return {var.name: val for var, val in self.values.items()}
+
+    def restrict(self, variables: Mapping[str, Variable]) -> dict[str, float]:
+        """Extract values for a named subset of variables."""
+        return {name: self.value(var, 0.0) for name, var in variables.items()}

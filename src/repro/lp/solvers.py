@@ -1,0 +1,128 @@
+"""Solver backend registry and the public :func:`solve` entry point.
+
+Backends:
+
+``highs``
+    SciPy's bundled HiGHS (exact, fast; the default — the reproduction's
+    stand-in for the paper's CPLEX).
+``branch_bound``
+    Our from-scratch best-first B&B over LP relaxations (exact).
+``simplex``
+    Our from-scratch two-phase simplex; pure LPs only.
+``rounding``
+    Relax-and-round heuristic (feasible, not optimal).
+``auto``
+    ``highs`` when available, else ``branch_bound[builtin]``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .branch_bound import solve_branch_and_bound
+from .highs import solve_with_highs
+from .matrix_lp import solve_lp_arrays
+from .problem import Problem
+from .rounding import solve_with_rounding
+from .solution import Solution, SolveStatus
+from .standard_form import to_matrix_form
+
+
+def _solve_simplex(problem: Problem, **options) -> Solution:
+    """Pure-LP solve with the builtin simplex."""
+    if problem.is_mip:
+        raise ValueError(
+            "the simplex backend handles pure LPs only; "
+            "use 'branch_bound' or 'highs' for integer models"
+        )
+    form = to_matrix_form(problem)
+    result = solve_lp_arrays(
+        form.c, form.a_ub, form.b_ub, form.a_eq, form.b_eq,
+        form.lb, form.ub, engine="builtin",
+        max_iterations=options.get("max_iterations", 20000),
+    )
+    status = {
+        "optimal": SolveStatus.OPTIMAL,
+        "infeasible": SolveStatus.INFEASIBLE,
+        "unbounded": SolveStatus.UNBOUNDED,
+    }.get(result.status, SolveStatus.ERROR)
+    values = {}
+    objective = float("nan")
+    if result.x is not None and status.has_solution:
+        values = {var: float(result.x[i]) for i, var in enumerate(form.variables)}
+        objective = problem.evaluate_objective(values)
+    return Solution(
+        status=status,
+        objective=objective,
+        values=values,
+        solver="simplex",
+        iterations=result.iterations,
+        message=result.status,
+    )
+
+
+def _solve_branch_bound(problem: Problem, **options) -> Solution:
+    return solve_branch_and_bound(
+        problem,
+        relaxation_engine=options.get("relaxation_engine", "highs"),
+        node_limit=options.get("node_limit", 200000),
+        time_limit=options.get("time_limit"),
+        gap_tolerance=options.get("gap_tolerance", 1e-6),
+        cover_cut_rounds=options.get("cover_cut_rounds", 0),
+    )
+
+
+def _solve_highs(problem: Problem, **options) -> Solution:
+    return solve_with_highs(
+        problem,
+        time_limit=options.get("time_limit"),
+        mip_rel_gap=options.get("mip_rel_gap"),
+    )
+
+
+def _solve_rounding(problem: Problem, **options) -> Solution:
+    return solve_with_rounding(problem, engine=options.get("relaxation_engine", "highs"))
+
+
+def _solve_auto(problem: Problem, **options) -> Solution:
+    try:
+        return _solve_highs(problem, **options)
+    except ImportError:  # pragma: no cover - scipy is a hard dependency here
+        options = dict(options, relaxation_engine="builtin")
+        return _solve_branch_bound(problem, **options)
+
+
+_BACKENDS: dict[str, Callable[..., Solution]] = {
+    "highs": _solve_highs,
+    "branch_bound": _solve_branch_bound,
+    "simplex": _solve_simplex,
+    "rounding": _solve_rounding,
+    "auto": _solve_auto,
+}
+
+
+def available_backends() -> list[str]:
+    """Names accepted by :func:`solve`."""
+    return sorted(_BACKENDS)
+
+
+def register_backend(name: str, fn: Callable[..., Solution]) -> None:
+    """Register a custom backend (used by tests and extensions)."""
+    if name in _BACKENDS:
+        raise ValueError(f"backend {name!r} already registered")
+    _BACKENDS[name] = fn
+
+
+def solve(problem: Problem, backend: str = "auto", **options) -> Solution:
+    """Solve ``problem`` with the named backend.
+
+    Extra keyword options are forwarded to the backend (``time_limit``,
+    ``mip_rel_gap``, ``relaxation_engine``, ``node_limit``, ...).
+    """
+    try:
+        fn = _BACKENDS[backend]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {backend!r}; available: {', '.join(available_backends())}"
+        ) from None
+    return fn(problem, **options)

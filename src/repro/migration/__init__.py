@@ -1,0 +1,12 @@
+"""Phased migration planning: waves, transfer time, payback analysis."""
+
+from .planner import MigrationConfig, plan_migration
+from .schedule import MigrationSchedule, Move, Wave
+
+__all__ = [
+    "MigrationConfig",
+    "MigrationSchedule",
+    "Move",
+    "Wave",
+    "plan_migration",
+]

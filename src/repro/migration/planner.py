@@ -1,0 +1,183 @@
+"""Wave construction: turn a to-be plan into an executable project.
+
+Ordering policy ("pilot-first, savers-early"): within the server budget
+of each change window, groups are scheduled
+
+1. smallest user base first for the opening wave (the pilot — limit
+   blast radius while the runbook is unproven), then
+2. by decreasing per-server monthly saving, so the project's savings
+   accrue as early as possible.
+
+Constraints honored per wave: the per-wave server budget (ops/bandwidth
+limit) and shared-risk separation (two groups of one risk tag never
+move in the same window — a failed change must not take out both).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.entities import ApplicationGroup, AsIsState
+from ..core.plan import TransformationPlan
+from .schedule import MigrationSchedule, Move, Wave
+
+#: Seconds per hour × bits per byte shortcut: GB → hours at N Mbps.
+_GB_TO_MEGABITS = 8_000.0
+
+
+@dataclass(frozen=True)
+class MigrationConfig:
+    """Project parameters.
+
+    ``dual_run_days`` prices the overlap period in which a moved group
+    runs in both locations for validation before cut-over.
+    """
+
+    max_servers_per_wave: int = 200
+    move_cost_per_server: float = 150.0
+    data_gb_per_server: float = 200.0
+    bandwidth_mbps: float = 1000.0
+    wave_interval_days: float = 14.0
+    dual_run_days: float = 2.0
+    pilot_wave: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_servers_per_wave <= 0:
+            raise ValueError("wave budget must be positive")
+        for label, value in (
+            ("move cost", self.move_cost_per_server),
+            ("data per server", self.data_gb_per_server),
+            ("dual-run days", self.dual_run_days),
+        ):
+            if value < 0:
+                raise ValueError(f"negative {label}")
+        if self.bandwidth_mbps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.wave_interval_days <= 0:
+            raise ValueError("wave interval must be positive")
+
+
+def _per_server_saving(
+    state: AsIsState, plan: TransformationPlan, group: ApplicationGroup
+) -> float:
+    """Rough per-server monthly saving of moving one group.
+
+    Compares the as-is host's undiscounted per-server bill with the
+    destination's at its planned occupancy — a prioritization heuristic,
+    not an accounting statement.
+    """
+    params = state.params
+    destination = state.target(plan.placement[group.name])
+    occupancy = plan.usage[destination.name].total_servers
+    dest_cost = destination.per_server_monthly_cost(params, occupancy=occupancy)
+    if group.current_datacenter:
+        try:
+            source = state.current(group.current_datacenter)
+        except KeyError:
+            return 0.0
+        source_cost = source.per_server_monthly_cost(params, occupancy=1)
+        return source_cost - dest_cost
+    return 0.0
+
+
+def _ordered_groups(
+    state: AsIsState, plan: TransformationPlan, config: MigrationConfig
+) -> list[ApplicationGroup]:
+    groups = list(state.app_groups)
+    groups.sort(
+        key=lambda g: -_per_server_saving(state, plan, g) * g.servers
+    )
+    if config.pilot_wave and groups:
+        pilot = min(groups, key=lambda g: (g.total_users, g.servers))
+        groups.remove(pilot)
+        groups.insert(0, pilot)
+    return groups
+
+
+def _dual_run_cost(
+    state: AsIsState, plan: TransformationPlan, group: ApplicationGroup,
+    config: MigrationConfig,
+) -> float:
+    """Cost of running the group at the destination during validation."""
+    destination = state.target(plan.placement[group.name])
+    occupancy = plan.usage[destination.name].total_servers
+    per_server_day = destination.per_server_monthly_cost(
+        state.params, occupancy=occupancy
+    ) / 30.0
+    return per_server_day * group.servers * config.dual_run_days
+
+
+def plan_migration(
+    state: AsIsState,
+    plan: TransformationPlan,
+    config: MigrationConfig | None = None,
+    monthly_saving: float | None = None,
+) -> MigrationSchedule:
+    """Build the phased migration schedule for ``plan``.
+
+    ``monthly_saving`` (for the payback computation) defaults to the
+    difference between the evaluated as-is bill and the plan's bill
+    when the state carries a current estate; otherwise it must be given.
+    """
+    config = config or MigrationConfig()
+
+    if monthly_saving is None:
+        if state.current_datacenters and all(
+            g.current_datacenter for g in state.app_groups
+        ):
+            from ..baselines.asis import asis_plan
+
+            monthly_saving = asis_plan(state).total_cost - plan.total_cost
+        else:
+            raise ValueError(
+                "monthly_saving must be provided when the state has no "
+                "fully-specified current estate"
+            )
+
+    schedule = MigrationSchedule(
+        monthly_saving=monthly_saving,
+        wave_interval_days=config.wave_interval_days,
+    )
+
+    pending = _ordered_groups(state, plan, config)
+    wave_index = 0
+    while pending:
+        wave_index += 1
+        wave = Wave(index=wave_index)
+        risk_tags: set[str] = set()
+        budget = config.max_servers_per_wave
+        if config.pilot_wave and wave_index == 1:
+            budget = min(budget, max(pending[0].servers, 1))
+        for group in pending:
+            oversized_alone = group.servers > config.max_servers_per_wave and not wave.moves
+            risk_clash = group.risk_group is not None and group.risk_group in risk_tags
+            if risk_clash or (group.servers > budget and not oversized_alone):
+                continue
+            wave.moves.append(
+                Move(
+                    group=group.name,
+                    servers=group.servers,
+                    from_site=group.current_datacenter,
+                    to_site=plan.placement[group.name],
+                    data_gb=group.servers * config.data_gb_per_server,
+                    move_cost=group.servers * config.move_cost_per_server,
+                )
+            )
+            wave.dual_run_cost += _dual_run_cost(state, plan, group, config)
+            budget -= group.servers
+            if group.risk_group is not None:
+                risk_tags.add(group.risk_group)
+            if oversized_alone:
+                break  # an oversized group travels in its own window
+        if not wave.moves:
+            # Defensive: should be unreachable (oversized groups get a
+            # dedicated wave), but never loop forever on a logic slip.
+            raise RuntimeError("migration planning made no progress")
+        wave.transfer_hours = (
+            wave.data_gb * _GB_TO_MEGABITS / config.bandwidth_mbps / 3600.0
+        )
+        schedule.waves.append(wave)
+        done = {m.group for m in wave.moves}
+        pending = [g for g in pending if g.name not in done]
+
+    return schedule

@@ -1,0 +1,151 @@
+"""Migration schedule data model.
+
+A transformation project is executed in *waves*: batches of application
+groups moved together within one change window.  The schedule records,
+per wave, what moves, how long the bulk transfer takes, and what the
+move costs; project-level views (cumulative cost, payback point) hang
+off the whole schedule.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Move:
+    """One application group's relocation."""
+
+    group: str
+    servers: int
+    from_site: str | None
+    to_site: str
+    data_gb: float
+    move_cost: float
+
+    def __post_init__(self) -> None:
+        if self.servers <= 0:
+            raise ValueError("a move involves at least one server")
+        if self.data_gb < 0 or self.move_cost < 0:
+            raise ValueError("negative move figures")
+
+
+@dataclass
+class Wave:
+    """A batch of moves executed in one change window."""
+
+    index: int
+    moves: list[Move] = field(default_factory=list)
+    transfer_hours: float = 0.0
+    dual_run_cost: float = 0.0
+
+    @property
+    def servers(self) -> int:
+        return sum(m.servers for m in self.moves)
+
+    @property
+    def groups(self) -> list[str]:
+        return [m.group for m in self.moves]
+
+    @property
+    def data_gb(self) -> float:
+        return sum(m.data_gb for m in self.moves)
+
+    @property
+    def move_cost(self) -> float:
+        return sum(m.move_cost for m in self.moves) + self.dual_run_cost
+
+
+@dataclass
+class MigrationSchedule:
+    """The full phased plan plus its business case.
+
+    ``monthly_saving`` is the steady-state difference between the as-is
+    and to-be bills; the payback point is when cumulative savings repay
+    the one-off migration spend.
+    """
+
+    waves: list[Wave] = field(default_factory=list)
+    monthly_saving: float = 0.0
+    wave_interval_days: float = 14.0
+
+    @property
+    def num_waves(self) -> int:
+        return len(self.waves)
+
+    @property
+    def total_servers(self) -> int:
+        return sum(w.servers for w in self.waves)
+
+    @property
+    def total_move_cost(self) -> float:
+        return sum(w.move_cost for w in self.waves)
+
+    @property
+    def duration_days(self) -> float:
+        """Calendar length of the project (waves spaced by the interval)."""
+        if not self.waves:
+            return 0.0
+        return self.num_waves * self.wave_interval_days
+
+    @property
+    def payback_months(self) -> float:
+        """Months of steady-state savings needed to repay migration costs.
+
+        ``inf`` when the to-be state does not actually save money.
+        """
+        if self.monthly_saving <= 0:
+            return math.inf
+        return self.total_move_cost / self.monthly_saving
+
+    def cumulative_savings_curve(self, months: int) -> list[float]:
+        """Net position month by month: savings accrued minus move spend.
+
+        Move spend lands in the month its wave executes; savings from a
+        moved group start the month after its wave completes, modeled
+        proportionally to moved servers.
+        """
+        if months < 0:
+            raise ValueError("months cannot be negative")
+        total_servers = self.total_servers or 1
+        days_per_month = 30.0
+        curve: list[float] = []
+        net = 0.0
+        moved_fraction = 0.0
+        for month in range(1, months + 1):
+            # Waves executing this month.
+            for wave in self.waves:
+                wave_month = math.ceil(
+                    wave.index * self.wave_interval_days / days_per_month
+                ) or 1
+                if wave_month == month:
+                    net -= wave.move_cost
+                    moved_fraction += wave.servers / total_servers
+            net += self.monthly_saving * min(moved_fraction, 1.0)
+            curve.append(net)
+        return curve
+
+    def render(self) -> str:
+        """Human-readable project timetable."""
+        lines = [
+            f"Migration plan: {self.num_waves} waves, "
+            f"{self.total_servers} servers, "
+            f"${self.total_move_cost:,.0f} one-off cost",
+        ]
+        header = f"{'wave':>5} {'groups':>7} {'servers':>8} {'data (GB)':>10} {'transfer':>9} {'cost':>12}"
+        lines.append(header)
+        for wave in self.waves:
+            lines.append(
+                f"{wave.index:>5d} {len(wave.moves):>7d} {wave.servers:>8d} "
+                f"{wave.data_gb:>10,.0f} {wave.transfer_hours:>8.1f}h "
+                f"${wave.move_cost:>11,.0f}"
+            )
+        if self.monthly_saving > 0:
+            lines.append(
+                f"steady-state saving ${self.monthly_saving:,.0f}/month → "
+                f"payback in {self.payback_months:.1f} months"
+            )
+        else:
+            lines.append("warning: the to-be state does not reduce the monthly bill")
+        return "\n".join(lines)

@@ -1,0 +1,22 @@
+"""Estate failure simulator: dynamic validation of DR plans."""
+
+from .events import Event, EventKind, EventQueue
+from .failures import HOURS_PER_MONTH, FailureModelConfig, Outage, sample_outages
+from .metrics import GroupOutcome, PoolShortfall, SimulationReport
+from .simulator import SimulatorConfig, compare_resilience, simulate_plan
+
+__all__ = [
+    "Event",
+    "EventKind",
+    "EventQueue",
+    "FailureModelConfig",
+    "GroupOutcome",
+    "HOURS_PER_MONTH",
+    "Outage",
+    "PoolShortfall",
+    "SimulationReport",
+    "SimulatorConfig",
+    "compare_resilience",
+    "sample_outages",
+    "simulate_plan",
+]

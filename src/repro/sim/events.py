@@ -1,0 +1,58 @@
+"""Discrete-event core for the estate simulator."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterator
+
+
+class EventKind(Enum):
+    """Things that can happen to a data center."""
+
+    SITE_FAIL = "site_fail"
+    SITE_REPAIR = "site_repair"
+    HORIZON_END = "horizon_end"
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled simulation event, ordered by time (hours)."""
+
+    time_hours: float
+    sequence: int = field(compare=True)
+    kind: EventKind = field(compare=False, default=EventKind.HORIZON_END)
+    site: str | None = field(compare=False, default=None)
+
+
+class EventQueue:
+    """Min-heap of events with a stable tiebreaker."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def push(self, time_hours: float, kind: EventKind, site: str | None = None) -> Event:
+        if time_hours < 0:
+            raise ValueError("events cannot be scheduled in the past of t=0")
+        event = Event(time_hours, next(self._counter), kind, site)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        if not self._heap:
+            raise IndexError("pop from empty event queue")
+        return heapq.heappop(self._heap)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def drain_until(self, horizon_hours: float) -> Iterator[Event]:
+        """Pop events in time order until the horizon (exclusive)."""
+        while self._heap and self._heap[0].time_hours < horizon_hours:
+            yield self.pop()

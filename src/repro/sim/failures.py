@@ -1,0 +1,76 @@
+"""Site failure model: seeded exponential failure/repair processes.
+
+Each data center fails according to a Poisson process (exponential
+inter-failure times with the given MTBF) and is repaired after an
+exponentially distributed outage (MTTR).  Disasters in the paper's sense
+— floods, fires, grid failures — are rare and long; the defaults model
+roughly one disaster per site per decade, repaired in days.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Hours in a (30-day) simulation month.
+HOURS_PER_MONTH = 730.0
+
+
+@dataclass(frozen=True)
+class FailureModelConfig:
+    """Failure-process parameters (hours)."""
+
+    mtbf_hours: float = 10 * 8760.0   # ~one disaster per decade
+    mttr_hours: float = 96.0          # ~four days to recover a site
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mtbf_hours <= 0 or self.mttr_hours <= 0:
+            raise ValueError("MTBF and MTTR must be positive")
+
+
+@dataclass(frozen=True)
+class Outage:
+    """One failure interval of one site."""
+
+    site: str
+    start_hours: float
+    end_hours: float
+
+    @property
+    def duration_hours(self) -> float:
+        return self.end_hours - self.start_hours
+
+    def __post_init__(self) -> None:
+        if self.end_hours < self.start_hours:
+            raise ValueError("outage ends before it starts")
+
+
+def sample_outages(
+    sites: list[str],
+    horizon_hours: float,
+    config: FailureModelConfig,
+) -> list[Outage]:
+    """Draw every outage of every site over the horizon, time-sorted.
+
+    Outages of one site never overlap (a failed site cannot re-fail);
+    outages of different sites may — that is exactly the multi-failure
+    stress the simulator uses to probe shared-pool sizing.
+    """
+    if horizon_hours <= 0:
+        raise ValueError("horizon must be positive")
+    rng = np.random.default_rng(config.seed)
+    outages: list[Outage] = []
+    for site in sites:
+        clock = 0.0
+        while True:
+            clock += float(rng.exponential(config.mtbf_hours))
+            if clock >= horizon_hours:
+                break
+            repair = clock + float(rng.exponential(config.mttr_hours))
+            end = min(repair, horizon_hours)
+            outages.append(Outage(site, clock, end))
+            clock = repair
+    outages.sort(key=lambda o: o.start_hours)
+    return outages

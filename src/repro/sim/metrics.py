@@ -1,0 +1,116 @@
+"""Simulation outcome records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class GroupOutcome:
+    """One application group's experience over the horizon."""
+
+    name: str
+    downtime_hours: float = 0.0
+    failovers: int = 0
+    failbacks: int = 0
+    denied_failovers: int = 0  # wanted to fail over but pool/site unavailable
+    primary_hours: float = 0.0
+    secondary_hours: float = 0.0
+    #: Uptime-weighted mean latency actually experienced (ms); ``None``
+    #: for groups without users.
+    experienced_latency_ms: float | None = None
+
+    def availability(self, horizon_hours: float) -> float:
+        """Fraction of the horizon the group was serving."""
+        if horizon_hours <= 0:
+            raise ValueError("horizon must be positive")
+        return 1.0 - min(self.downtime_hours, horizon_hours) / horizon_hours
+
+
+@dataclass
+class PoolShortfall:
+    """A moment a shared backup pool could not absorb demand."""
+
+    time_hours: float
+    site: str
+    demand_servers: int
+    pool_servers: int
+
+    @property
+    def shortfall_servers(self) -> int:
+        return max(0, self.demand_servers - self.pool_servers)
+
+
+@dataclass
+class SimulationReport:
+    """Everything the simulator measured.
+
+    ``mean_availability`` is server-weighted: a 60-server group down for
+    a day hurts more than a 1-server one.
+    """
+
+    horizon_hours: float
+    outages: int = 0
+    concurrent_failure_peak: int = 0
+    groups: dict[str, GroupOutcome] = field(default_factory=dict)
+    shortfalls: list[PoolShortfall] = field(default_factory=list)
+    group_servers: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_failovers(self) -> int:
+        return sum(g.failovers for g in self.groups.values())
+
+    @property
+    def total_downtime_hours(self) -> float:
+        return sum(g.downtime_hours for g in self.groups.values())
+
+    @property
+    def mean_availability(self) -> float:
+        total = sum(self.group_servers.values())
+        if total == 0:
+            return 1.0
+        return sum(
+            outcome.availability(self.horizon_hours) * self.group_servers[name]
+            for name, outcome in self.groups.items()
+        ) / total
+
+    @property
+    def mean_experienced_latency_ms(self) -> float | None:
+        """Server-weighted mean of per-group experienced latencies."""
+        pairs = [
+            (outcome.experienced_latency_ms, self.group_servers[name])
+            for name, outcome in self.groups.items()
+            if outcome.experienced_latency_ms is not None
+        ]
+        if not pairs:
+            return None
+        total = sum(weight for _, weight in pairs)
+        return sum(lat * weight for lat, weight in pairs) / total
+
+    @property
+    def worst_group(self) -> GroupOutcome | None:
+        if not self.groups:
+            return None
+        return max(self.groups.values(), key=lambda g: g.downtime_hours)
+
+    def summary(self) -> str:
+        """Short human-readable digest."""
+        lines = [
+            f"horizon: {self.horizon_hours / 730.0:.1f} months, "
+            f"{self.outages} site outages "
+            f"(peak {self.concurrent_failure_peak} concurrent)",
+            f"server-weighted availability: {self.mean_availability:.5f}",
+            f"failovers: {self.total_failovers}, "
+            f"total downtime: {self.total_downtime_hours:.1f} h",
+            f"pool shortfall events: {len(self.shortfalls)}",
+        ]
+        latency = self.mean_experienced_latency_ms
+        if latency is not None:
+            lines.insert(2, f"experienced mean latency: {latency:.1f} ms")
+        worst = self.worst_group
+        if worst is not None and worst.downtime_hours > 0:
+            lines.append(
+                f"worst group: {worst.name} "
+                f"({worst.downtime_hours:.1f} h down, {worst.failovers} failovers)"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,223 @@
+"""Estate simulator: replay disasters against a transformation plan.
+
+The planner sizes shared backup pools *statically* under the
+single-failure assumption.  This simulator checks what that buys
+*dynamically*: it samples site outages over a multi-year horizon,
+fails application groups over to their secondary sites (bounded by the
+plan's pool sizes), fails them back on repair, and reports availability,
+failover counts and — crucially — every moment a shared pool was too
+small because two sites happened to be down at once.
+
+Semantics
+---------
+* A group with no DR plan is simply down while its primary is down.
+* Failover takes ``failover_hours`` of downtime, then the group serves
+  from its secondary.
+* A group is denied failover when its secondary is itself down or the
+  pool there is exhausted; denied groups stay down until their primary
+  repairs (no retry — conservative, and it keeps causality obvious).
+* If the secondary site fails while hosting a failed-over group, the
+  group goes down and returns only when its primary repairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.entities import AsIsState
+from ..core.plan import TransformationPlan
+from .events import EventKind, EventQueue
+from .failures import HOURS_PER_MONTH, FailureModelConfig, Outage, sample_outages
+from .metrics import GroupOutcome, PoolShortfall, SimulationReport
+
+
+@dataclass(frozen=True)
+class SimulatorConfig:
+    """Simulation parameters."""
+
+    horizon_months: float = 60.0
+    failover_hours: float = 0.5
+    failure: FailureModelConfig = field(default_factory=FailureModelConfig)
+
+    def __post_init__(self) -> None:
+        if self.horizon_months <= 0:
+            raise ValueError("horizon must be positive")
+        if self.failover_hours < 0:
+            raise ValueError("failover time cannot be negative")
+
+
+class _GroupState:
+    """Mutable per-group simulation state."""
+
+    __slots__ = ("name", "servers", "primary", "secondary", "mode", "mode_since")
+
+    def __init__(self, name: str, servers: int, primary: str, secondary: str | None):
+        self.name = name
+        self.servers = servers
+        self.primary = primary
+        self.secondary = secondary
+        self.mode = "primary"  # "primary" | "secondary" | "down"
+        self.mode_since = 0.0
+
+
+def simulate_plan(
+    state: AsIsState,
+    plan: TransformationPlan,
+    config: SimulatorConfig | None = None,
+    outages: list[Outage] | None = None,
+) -> SimulationReport:
+    """Run the failure simulation of ``plan`` and return the report.
+
+    ``outages`` may be supplied explicitly (tests, what-if studies);
+    otherwise they are sampled from ``config.failure`` over the sites
+    the plan actually uses.
+    """
+    config = config or SimulatorConfig()
+    horizon = config.horizon_months * HOURS_PER_MONTH
+
+    groups = {
+        g.name: _GroupState(
+            g.name, g.servers, plan.placement[g.name], plan.secondary.get(g.name)
+        )
+        for g in state.app_groups
+    }
+    report = SimulationReport(
+        horizon_hours=horizon,
+        groups={name: GroupOutcome(name) for name in groups},
+        group_servers={name: gs.servers for name, gs in groups.items()},
+    )
+
+    used_sites = plan.datacenters_used
+    if outages is None:
+        outages = sample_outages(used_sites, horizon, config.failure)
+
+    pool_size = dict(plan.backup_servers)
+    pool_used: dict[str, int] = {site: 0 for site in pool_size}
+    down_sites: set[str] = set()
+
+    queue = EventQueue()
+    for outage in outages:
+        if outage.site not in set(used_sites):
+            raise ValueError(f"outage for site {outage.site!r} not used by the plan")
+        queue.push(outage.start_hours, EventKind.SITE_FAIL, outage.site)
+        queue.push(outage.end_hours, EventKind.SITE_REPAIR, outage.site)
+
+    def transition(gs: _GroupState, now: float, new_mode: str) -> None:
+        """Close the current mode interval and enter ``new_mode``."""
+        outcome = report.groups[gs.name]
+        duration = now - gs.mode_since
+        if gs.mode == "primary":
+            outcome.primary_hours += duration
+        elif gs.mode == "secondary":
+            outcome.secondary_hours += duration
+        else:
+            outcome.downtime_hours += duration
+        gs.mode = new_mode
+        gs.mode_since = now
+
+    def go_down(gs: _GroupState, now: float) -> None:
+        if gs.mode != "down":
+            transition(gs, now, "down")
+
+    def come_up(gs: _GroupState, now: float, mode: str) -> None:
+        transition(gs, now, mode)
+
+    def release_pool(gs: _GroupState) -> None:
+        if gs.secondary is not None:
+            pool_used[gs.secondary] = pool_used.get(gs.secondary, 0) - gs.servers
+
+    for event in queue.drain_until(horizon):
+        now = event.time_hours
+        site = event.site
+
+        if event.kind is EventKind.SITE_FAIL:
+            report.outages += 1
+            down_sites.add(site)
+            report.concurrent_failure_peak = max(
+                report.concurrent_failure_peak, len(down_sites)
+            )
+            for gs in groups.values():
+                outcome = report.groups[gs.name]
+                if gs.primary == site and gs.mode == "primary":
+                    if gs.secondary is None:
+                        go_down(gs, now)
+                        continue
+                    demand = pool_used.get(gs.secondary, 0) + gs.servers
+                    capacity = pool_size.get(gs.secondary, 0)
+                    if gs.secondary in down_sites or demand > capacity:
+                        report.shortfalls.append(
+                            PoolShortfall(now, gs.secondary, demand, capacity)
+                        )
+                        outcome.denied_failovers += 1
+                        go_down(gs, now)
+                        continue
+                    # Failover: brief downtime, then serve from secondary.
+                    pool_used[gs.secondary] = demand
+                    outcome.failovers += 1
+                    blip = min(config.failover_hours, horizon - now)
+                    outcome.downtime_hours += blip
+                    outcome.secondary_hours -= blip  # blip is not service time
+                    transition(gs, now, "secondary")
+                elif gs.secondary == site and gs.mode == "secondary":
+                    # The refuge itself failed.
+                    release_pool(gs)
+                    go_down(gs, now)
+
+        elif event.kind is EventKind.SITE_REPAIR:
+            down_sites.discard(site)
+            for gs in groups.values():
+                if gs.primary != site:
+                    continue
+                if gs.mode == "secondary":
+                    release_pool(gs)
+                    report.groups[gs.name].failbacks += 1
+                    transition(gs, now, "primary")
+                elif gs.mode == "down":
+                    come_up(gs, now, "primary")
+
+    # Close every open mode interval at the horizon.
+    sites_by_name = {dc.name: dc for dc in state.target_datacenters}
+    sites_by_name.update({dc.name: dc for dc in state.current_datacenters})
+    for g in state.app_groups:
+        gs = groups[g.name]
+        transition(gs, horizon, gs.mode)
+        outcome = report.groups[g.name]
+        outcome.secondary_hours = max(0.0, outcome.secondary_hours)
+        if g.total_users == 0:
+            continue
+        primary_site = sites_by_name.get(gs.primary)
+        secondary_site = sites_by_name.get(gs.secondary) if gs.secondary else None
+        uptime = outcome.primary_hours + outcome.secondary_hours
+        if uptime <= 0 or primary_site is None:
+            continue
+        latency = outcome.primary_hours * g.mean_latency(
+            primary_site.latency_to_users
+        )
+        if secondary_site is not None and outcome.secondary_hours > 0:
+            latency += outcome.secondary_hours * g.mean_latency(
+                secondary_site.latency_to_users
+            )
+        outcome.experienced_latency_ms = latency / uptime
+
+    return report
+
+
+def compare_resilience(
+    state: AsIsState,
+    plans: dict[str, TransformationPlan],
+    config: SimulatorConfig | None = None,
+) -> dict[str, SimulationReport]:
+    """Simulate several plans under *identical* outage samples.
+
+    All plans see the same disasters (sampled over the union of their
+    sites), so availability differences are attributable to the plans.
+    """
+    config = config or SimulatorConfig()
+    horizon = config.horizon_months * HOURS_PER_MONTH
+    all_sites = sorted({s for plan in plans.values() for s in plan.datacenters_used})
+    outages = sample_outages(all_sites, horizon, config.failure)
+    reports: dict[str, SimulationReport] = {}
+    for name, plan in plans.items():
+        relevant = [o for o in outages if o.site in set(plan.datacenters_used)]
+        reports[name] = simulate_plan(state, plan, config=config, outages=relevant)
+    return reports

@@ -1,0 +1,120 @@
+"""State perturbation utilities."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import perturb_prices, placement_churn, scale_dimension
+from repro.analysis.perturb import DIMENSIONS
+
+
+class TestScaleDimension:
+    @pytest.mark.parametrize("dimension", DIMENSIONS)
+    def test_each_dimension_scales(self, tiny_state, dimension):
+        scaled = scale_dimension(tiny_state, dimension, 2.0)
+        original = tiny_state.target_datacenters[1]
+        changed = scaled.target_datacenters[1]
+        readers = {
+            "space": lambda dc: dc.space_cost.unit_price(1),
+            "power": lambda dc: dc.power_cost_per_kw,
+            "labor": lambda dc: dc.labor_cost_per_admin,
+            "wan": lambda dc: dc.wan_cost_per_mb,
+            "fixed": lambda dc: dc.fixed_monthly_cost,
+            "vpn": lambda dc: dc.vpn_link_cost["east"],
+        }
+        read = readers[dimension]
+        if read(original) == 0:
+            assert read(changed) == 0
+        else:
+            assert read(changed) == pytest.approx(2.0 * read(original))
+
+    def test_original_untouched(self, tiny_state):
+        before = tiny_state.target("mid").wan_cost_per_mb
+        scale_dimension(tiny_state, "wan", 3.0)
+        assert tiny_state.target("mid").wan_cost_per_mb == before
+
+    def test_current_estate_untouched(self, asis_capable_state):
+        scaled = scale_dimension(asis_capable_state, "space", 2.0)
+        assert [dc.space_cost for dc in scaled.current_datacenters] == [
+            dc.space_cost for dc in asis_capable_state.current_datacenters
+        ]
+
+    def test_unknown_dimension(self, tiny_state):
+        with pytest.raises(ValueError, match="unknown cost dimension"):
+            scale_dimension(tiny_state, "gravity", 2.0)
+
+    def test_negative_factor(self, tiny_state):
+        with pytest.raises(ValueError):
+            scale_dimension(tiny_state, "wan", -1.0)
+
+
+class TestPerturbPrices:
+    def test_deterministic_per_seed(self, tiny_state):
+        a = perturb_prices(tiny_state, seed=7)
+        b = perturb_prices(tiny_state, seed=7)
+        assert [dc.power_cost_per_kw for dc in a.target_datacenters] == [
+            dc.power_cost_per_kw for dc in b.target_datacenters
+        ]
+
+    def test_different_seeds_differ(self, tiny_state):
+        a = perturb_prices(tiny_state, seed=1)
+        b = perturb_prices(tiny_state, seed=2)
+        assert [dc.power_cost_per_kw for dc in a.target_datacenters] != [
+            dc.power_cost_per_kw for dc in b.target_datacenters
+        ]
+
+    def test_zero_sigma_is_identity(self, tiny_state):
+        a = perturb_prices(tiny_state, sigma=0.0, seed=3)
+        for original, same in zip(tiny_state.target_datacenters, a.target_datacenters):
+            assert same.power_cost_per_kw == pytest.approx(original.power_cost_per_kw)
+
+    def test_negative_sigma_rejected(self, tiny_state):
+        with pytest.raises(ValueError):
+            perturb_prices(tiny_state, sigma=-0.1)
+
+    def test_dimension_subset(self, tiny_state):
+        a = perturb_prices(tiny_state, seed=5, dimensions=("wan",))
+        for original, noisy in zip(tiny_state.target_datacenters, a.target_datacenters):
+            assert noisy.power_cost_per_kw == original.power_cost_per_kw
+            assert noisy.wan_cost_per_mb != original.wan_cost_per_mb
+
+
+class TestPlacementChurn:
+    def test_identical(self):
+        assert placement_churn({"a": "x"}, {"a": "x"}) == 0.0
+
+    def test_half_moved(self):
+        assert placement_churn({"a": "x", "b": "y"}, {"a": "x", "b": "z"}) == 0.5
+
+    def test_mismatched_groups_rejected(self):
+        with pytest.raises(ValueError):
+            placement_churn({"a": "x"}, {"b": "x"})
+
+    def test_empty(self):
+        assert placement_churn({}, {}) == 0.0
+
+
+@given(
+    sigma=st.floats(min_value=0.0, max_value=0.5),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=25, deadline=None)
+def test_perturbation_keeps_prices_positive(sigma, seed):
+    from repro.core import (
+        ApplicationGroup, AsIsState, StepCostFunction, UserLocation, DataCenter,
+    )
+
+    dc = DataCenter(
+        "d", 100, StepCostFunction.flat(50.0), 40.0, 5000.0, 0.05,
+        latency_to_users={"east": 5.0}, fixed_monthly_cost=1000.0,
+    )
+    state = AsIsState(
+        "s", [ApplicationGroup("g", 1, users={"east": 1.0})], [dc],
+        user_locations=[UserLocation("east")],
+    )
+    noisy = perturb_prices(state, sigma=sigma, seed=seed)
+    out = noisy.target_datacenters[0]
+    assert out.power_cost_per_kw > 0
+    assert out.space_cost.unit_price(1) > 0
+    assert out.fixed_monthly_cost > 0

@@ -1,0 +1,102 @@
+"""Sensitivity and robustness studies on the tiny fixture."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import run_robustness, run_sensitivity
+from repro.core import PlannerOptions
+
+OPTIONS = PlannerOptions(backend="highs")
+
+
+class TestSensitivity:
+    @pytest.fixture(scope="class")
+    def wan_sweep(self, request):
+        tiny = request.getfixturevalue("tiny_state")
+        return run_sensitivity(
+            tiny, "wan", multipliers=(0.5, 1.0, 2.0), options=OPTIONS
+        )
+
+    # class-scoped fixture needs function fixture access; simpler: build inline
+    def test_cost_monotone_in_price(self, tiny_state):
+        result = run_sensitivity(
+            tiny_state, "wan", multipliers=(0.5, 1.0, 2.0), options=OPTIONS
+        )
+        costs = result.total_costs()
+        assert costs == sorted(costs)
+
+    def test_baseline_point_has_zero_churn(self, tiny_state):
+        result = run_sensitivity(
+            tiny_state, "space", multipliers=(0.5, 1.0, 2.0), options=OPTIONS
+        )
+        baseline = [p for p in result.points if p.multiplier == 1.0][0]
+        assert baseline.churn_vs_baseline == 0.0
+
+    def test_elasticity_positive_for_real_component(self, tiny_state):
+        result = run_sensitivity(
+            tiny_state, "wan", multipliers=(0.5, 1.0, 2.0), options=OPTIONS
+        )
+        assert result.elasticity > 0
+
+    def test_unknown_dimension(self, tiny_state):
+        with pytest.raises(ValueError, match="unknown cost dimension"):
+            run_sensitivity(tiny_state, "entropy", options=OPTIONS)
+
+    def test_empty_sweep_rejected(self, tiny_state):
+        with pytest.raises(ValueError, match="empty"):
+            run_sensitivity(tiny_state, "wan", multipliers=(), options=OPTIONS)
+
+    def test_render(self, tiny_state):
+        result = run_sensitivity(
+            tiny_state, "power", multipliers=(1.0, 2.0), options=OPTIONS
+        )
+        text = result.render()
+        assert "power" in text
+        assert "elasticity" in text
+
+    def test_points_sorted_by_multiplier(self, tiny_state):
+        result = run_sensitivity(
+            tiny_state, "wan", multipliers=(2.0, 0.5, 1.0), options=OPTIONS
+        )
+        assert result.multipliers() == [0.5, 1.0, 2.0]
+
+    def test_elasticity_needs_two_points(self, tiny_state):
+        result = run_sensitivity(
+            tiny_state, "wan", multipliers=(1.0,), options=OPTIONS
+        )
+        with pytest.raises(ValueError):
+            result.elasticity
+
+
+class TestRobustness:
+    def test_regret_nonnegative(self, tiny_state):
+        result = run_robustness(tiny_state, sigma=0.2, samples=4, options=OPTIONS)
+        for sample in result.samples:
+            # The re-optimized plan is optimal in its world, so the
+            # committed plan can never beat it (beyond solver tolerance).
+            assert sample.regret >= -1e-5
+
+    def test_zero_sigma_zero_regret(self, tiny_state):
+        result = run_robustness(tiny_state, sigma=0.0, samples=2, options=OPTIONS)
+        assert result.max_relative_regret == pytest.approx(0.0, abs=1e-6)
+        assert result.mean_churn == pytest.approx(0.0)
+
+    def test_sample_count(self, tiny_state):
+        result = run_robustness(tiny_state, sigma=0.1, samples=3, options=OPTIONS)
+        assert len(result.samples) == 3
+        with pytest.raises(ValueError):
+            run_robustness(tiny_state, samples=0, options=OPTIONS)
+
+    def test_deterministic_per_base_seed(self, tiny_state):
+        a = run_robustness(tiny_state, sigma=0.2, samples=2, options=OPTIONS, base_seed=42)
+        b = run_robustness(tiny_state, sigma=0.2, samples=2, options=OPTIONS, base_seed=42)
+        assert [s.committed_cost for s in a.samples] == [
+            s.committed_cost for s in b.samples
+        ]
+
+    def test_render(self, tiny_state):
+        result = run_robustness(tiny_state, sigma=0.1, samples=2, options=OPTIONS)
+        text = result.render()
+        assert "regret" in text
+        assert "churn" in text

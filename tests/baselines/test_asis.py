@@ -1,0 +1,75 @@
+"""As-is evaluation and the bolted-on single-backup-site DR."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import ASIS_BACKUP_SITE, asis_plan, asis_with_dr_plan
+from repro.baselines.asis import _median_backup_site
+
+
+class TestAsIs:
+    def test_uses_current_estate(self, asis_capable_state):
+        plan = asis_plan(asis_capable_state)
+        assert set(plan.datacenters_used) == {"old-a", "old-b"}
+        assert plan.solver == "as-is"
+        assert not plan.has_dr
+
+    def test_cost_matches_current_prices(self, asis_capable_state):
+        plan = asis_plan(asis_capable_state)
+        state = asis_capable_state
+        expected_fixed = sum(dc.fixed_monthly_cost for dc in state.current_datacenters)
+        assert plan.breakdown.fixed == pytest.approx(expected_fixed)
+        assert plan.breakdown.space > 0
+
+    def test_missing_current_placement_rejected(self, asis_capable_state):
+        asis_capable_state.app_groups[0].current_datacenter = None
+        with pytest.raises(ValueError, match="no current data center"):
+            asis_plan(asis_capable_state)
+
+
+class TestAsIsWithDR:
+    def test_single_backup_site(self, asis_capable_state):
+        plan = asis_with_dr_plan(asis_capable_state)
+        assert plan.has_dr
+        assert set(plan.backup_servers) == {ASIS_BACKUP_SITE}
+        assert set(plan.secondary.values()) == {ASIS_BACKUP_SITE}
+
+    def test_pool_is_worst_single_site_load(self, asis_capable_state):
+        state = asis_capable_state
+        plan = asis_with_dr_plan(state)
+        load = {}
+        for g in state.app_groups:
+            load[g.current_datacenter] = load.get(g.current_datacenter, 0) + g.servers
+        assert plan.backup_servers[ASIS_BACKUP_SITE] == max(load.values())
+
+    def test_dr_cost_added(self, asis_capable_state):
+        base = asis_plan(asis_capable_state)
+        with_dr = asis_with_dr_plan(asis_capable_state)
+        assert with_dr.total_cost > base.total_cost
+        assert with_dr.breakdown.dr_purchase > 0
+
+    def test_no_current_estate_rejected(self, tiny_state):
+        tiny_state.app_groups[0].current_datacenter = "ghost"
+        with pytest.raises(ValueError):
+            asis_with_dr_plan(tiny_state)
+
+
+class TestMedianBackupSite:
+    def test_prices_are_medians(self, asis_capable_state):
+        state = asis_capable_state
+        site = _median_backup_site(state, capacity=50)
+        powers = sorted(dc.power_cost_per_kw for dc in state.current_datacenters)
+        assert site.power_cost_per_kw == pytest.approx(
+            (powers[0] + powers[-1]) / 2 if len(powers) == 2 else powers[len(powers) // 2]
+        )
+        assert site.capacity == 50
+        assert site.name == ASIS_BACKUP_SITE
+
+    def test_latency_table_covers_user_locations(self, asis_capable_state):
+        site = _median_backup_site(asis_capable_state, capacity=10)
+        assert set(site.latency_to_users) == {"east", "west"}
+
+    def test_empty_estate_rejected(self, tiny_state):
+        with pytest.raises(ValueError, match="no current data centers"):
+            _median_backup_site(tiny_state, capacity=1)

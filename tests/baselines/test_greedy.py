@@ -1,0 +1,98 @@
+"""Greedy baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import GreedyPlanError, greedy_plan
+from repro.core import ApplicationGroup, AsIsState, plan_consolidation
+
+from ..conftest import make_datacenter
+
+
+class TestGreedy:
+    def test_produces_valid_plan(self, tiny_state):
+        plan = greedy_plan(tiny_state)
+        from repro.core import validate_plan
+
+        validate_plan(tiny_state, plan)
+        assert plan.solver == "greedy"
+
+    def test_capacity_respected(self, user_locations):
+        targets = [make_datacenter("d0", capacity=60), make_datacenter("d1", capacity=60)]
+        groups = [ApplicationGroup(f"g{i}", 25, users={"east": 1.0}) for i in range(4)]
+        state = AsIsState("s", groups, targets, user_locations=user_locations)
+        plan = greedy_plan(state)
+        load = {}
+        for g in state.app_groups:
+            load[plan.placement[g.name]] = load.get(plan.placement[g.name], 0) + 25
+        assert all(v <= 60 for v in load.values())
+
+    def test_sees_latency(self, tiny_state):
+        # Unlike manual, greedy prices the latency penalty per placement.
+        plan = greedy_plan(tiny_state)
+        assert plan.latency_violations == 0
+
+    def test_never_better_than_lp(self, tiny_state):
+        greedy = greedy_plan(tiny_state)
+        lp = plan_consolidation(tiny_state, backend="highs")
+        assert lp.total_cost <= greedy.total_cost + 1e-6
+
+    def test_raises_when_stuck(self, user_locations):
+        targets = [make_datacenter("d0", capacity=12), make_datacenter("d1", capacity=12)]
+        groups = [ApplicationGroup(f"g{i}", 8, users={"east": 1.0}) for i in range(3)]
+        state = AsIsState("s", groups, targets, user_locations=user_locations)
+        with pytest.raises(GreedyPlanError, match="fits nowhere"):
+            greedy_plan(state)
+
+    def test_respects_forbidden_sites(self, tiny_state):
+        tiny_state.app_groups[0].forbidden_datacenters = frozenset({"mid", "cheap-far"})
+        plan = greedy_plan(tiny_state)
+        assert plan.placement["erp"] == "east-dc"
+
+    def test_vpn_wan_model(self, tiny_state):
+        plan = greedy_plan(tiny_state, wan_model="vpn")
+        assert plan.breakdown.wan > 0
+
+
+class TestGreedyDR:
+    def test_secondary_differs_from_primary(self, tiny_state):
+        plan = greedy_plan(tiny_state, enable_dr=True)
+        assert plan.has_dr
+        for g in plan.placement:
+            assert plan.placement[g] != plan.secondary[g]
+
+    def test_pools_sized_by_shared_rule(self, tiny_state):
+        from repro.core import shared_backup_requirements
+
+        plan = greedy_plan(tiny_state, enable_dr=True)
+        expected = shared_backup_requirements(
+            tiny_state.app_groups, plan.placement, plan.secondary
+        )
+        assert plan.backup_servers == expected
+
+    def test_capacity_includes_pools(self, tiny_state):
+        plan = greedy_plan(tiny_state, enable_dr=True)
+        load = {}
+        for g in tiny_state.app_groups:
+            load[plan.placement[g.name]] = (
+                load.get(plan.placement[g.name], 0) + g.servers
+            )
+        for name, pool in plan.backup_servers.items():
+            load[name] = load.get(name, 0) + pool
+        for name, used in load.items():
+            assert used <= tiny_state.target(name).capacity
+
+    def test_dr_never_better_than_lp_dr(self, tiny_state):
+        greedy = greedy_plan(tiny_state, enable_dr=True)
+        lp = plan_consolidation(tiny_state, enable_dr=True, backend="highs")
+        assert lp.total_cost <= greedy.total_cost + 1e-6
+
+    def test_raises_when_no_dr_site(self, user_locations):
+        # Two sites exactly fitting primaries: no room for any pool.
+        targets = [make_datacenter("d0", capacity=25), make_datacenter("d1", capacity=25)]
+        groups = [ApplicationGroup("a", 25, users={"east": 1.0}),
+                  ApplicationGroup("b", 25, users={"east": 1.0})]
+        state = AsIsState("s", groups, targets, user_locations=user_locations)
+        with pytest.raises(GreedyPlanError, match="DR site"):
+            greedy_plan(state, enable_dr=True)

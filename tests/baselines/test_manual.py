@@ -1,0 +1,103 @@
+"""Manual consolidation heuristic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import ManualPlanError, manual_plan
+from repro.baselines.manual import _choose_sites
+from repro.core import ApplicationGroup, AsIsState
+
+from ..conftest import make_datacenter
+
+
+class TestSiteChoice:
+    def test_ranks_by_estimated_per_server_cost(self, tiny_state):
+        sites = _choose_sites(tiny_state, 2)
+        assert [s.name for s in sites] == ["cheap-far", "mid"]
+
+    def test_k_bounds(self, tiny_state):
+        assert len(_choose_sites(tiny_state, 99)) == 3
+
+
+class TestManualPlan:
+    def test_consolidates_into_k_sites(self, asis_capable_state):
+        plan = manual_plan(asis_capable_state, k=2)
+        assert len(set(plan.placement.values())) <= 2
+        assert plan.solver == "manual"
+
+    def test_k_one(self, asis_capable_state):
+        plan = manual_plan(asis_capable_state, k=1)
+        assert len(set(plan.placement.values())) == 1
+
+    def test_invalid_k(self, asis_capable_state):
+        with pytest.raises(ValueError):
+            manual_plan(asis_capable_state, k=0)
+
+    def test_ignores_latency(self, asis_capable_state):
+        # Manual picks cheap-far (cheapest) which is 40 ms from everyone:
+        # the latency-sensitive groups land there anyway.
+        plan = manual_plan(asis_capable_state, k=1)
+        assert plan.latency_violations > 0
+
+    def test_spills_when_site_full(self, user_locations):
+        targets = [
+            make_datacenter("small-cheap", capacity=50, space_base=50.0),
+            make_datacenter("big-costly", capacity=500, space_base=200.0),
+        ]
+        groups = [ApplicationGroup(f"g{i}", 30, users={"east": 1.0}) for i in range(4)]
+        state = AsIsState("s", groups, targets, user_locations=user_locations)
+        plan = manual_plan(state, k=1)
+        # One group fits the chosen cheap site; the rest must spill.
+        assert "big-costly" in set(plan.placement.values())
+
+    def test_capacity_never_violated(self, asis_capable_state):
+        plan = manual_plan(asis_capable_state, k=2)
+        load = {}
+        for g in asis_capable_state.app_groups:
+            dc = plan.placement[g.name]
+            load[dc] = load.get(dc, 0) + g.servers
+        for name, used in load.items():
+            assert used <= asis_capable_state.target(name).capacity
+
+    def test_respects_placement_constraints(self, asis_capable_state):
+        asis_capable_state.app_groups[0].forbidden_datacenters = frozenset(
+            {"cheap-far", "mid"}
+        )
+        plan = manual_plan(asis_capable_state, k=2)
+        assert plan.placement["erp"] == "east-dc"
+
+    def test_raises_when_truly_stuck(self, user_locations):
+        targets = [make_datacenter("d0", capacity=10), make_datacenter("d1", capacity=10)]
+        groups = [ApplicationGroup(f"g{i}", 8, users={"east": 1.0}) for i in range(3)]
+        state = AsIsState("s", groups, targets, user_locations=user_locations)
+        with pytest.raises(ManualPlanError):
+            manual_plan(state, k=1)
+
+
+class TestManualDR:
+    def test_backups_mirrored(self, asis_capable_state):
+        plan = manual_plan(asis_capable_state, k=1, enable_dr=True)
+        assert plan.has_dr
+        # All groups share one primary, so they share one backup site.
+        assert len(set(plan.secondary.values())) == 1
+        primary = next(iter(plan.placement.values()))
+        backup = next(iter(plan.secondary.values()))
+        assert primary != backup
+
+    def test_backup_site_is_nearest_unused(self, asis_capable_state):
+        plan = manual_plan(asis_capable_state, k=1, enable_dr=True)
+        used = set(plan.placement.values())
+        backups = set(plan.secondary.values())
+        assert not (used & backups)
+
+    def test_dr_purchase_counted(self, asis_capable_state):
+        plan = manual_plan(asis_capable_state, k=1, enable_dr=True)
+        assert plan.breakdown.dr_purchase > 0
+
+    def test_needs_enough_sites(self, user_locations):
+        targets = [make_datacenter("only", capacity=500)]
+        groups = [ApplicationGroup("a", 10, users={"east": 1.0})]
+        state = AsIsState("s", groups, targets, user_locations=user_locations)
+        with pytest.raises(ManualPlanError, match="backup"):
+            manual_plan(state, k=1, enable_dr=True)

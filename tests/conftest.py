@@ -1,0 +1,124 @@
+"""Shared fixtures: small hand-built enterprise states.
+
+Kept deliberately tiny so exact-solver tests stay fast, while still
+exercising every cost component (volume discounts, fixed costs, WAN,
+latency penalties, DR pools).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    ApplicationGroup,
+    AsIsState,
+    CostParameters,
+    DataCenter,
+    LatencyPenaltyFunction,
+    StepCostFunction,
+    UserLocation,
+)
+from repro.core.latency import NO_PENALTY
+
+
+def make_datacenter(
+    name: str,
+    capacity: int = 200,
+    space_base: float = 100.0,
+    power: float = 220.0,
+    labor: float = 6500.0,
+    wan: float = 0.10,
+    lat_east: float = 8.0,
+    lat_west: float = 9.0,
+    fixed: float = 0.0,
+    volume_discount: bool = True,
+    x: float = 0.0,
+    y: float = 0.0,
+    region: str = "global",
+) -> DataCenter:
+    """One target site with sensible defaults for unit tests."""
+    if volume_discount:
+        space = StepCostFunction.volume_discount(
+            base_price=space_base, step=50, discount=space_base * 0.1,
+            floor_price=space_base * 0.5,
+        )
+    else:
+        space = StepCostFunction.flat(space_base)
+    return DataCenter(
+        name=name,
+        capacity=capacity,
+        space_cost=space,
+        power_cost_per_kw=power,
+        labor_cost_per_admin=labor,
+        wan_cost_per_mb=wan,
+        latency_to_users={"east": lat_east, "west": lat_west},
+        vpn_link_cost={"east": 300.0, "west": 500.0},
+        fixed_monthly_cost=fixed,
+        x=x,
+        y=y,
+        region=region,
+    )
+
+
+PENALTY = LatencyPenaltyFunction.single_threshold(10.0, 100.0)
+
+
+@pytest.fixture
+def user_locations() -> list[UserLocation]:
+    return [UserLocation("east", 0.0, 0.0), UserLocation("west", 4000.0, 0.0)]
+
+
+@pytest.fixture
+def tiny_state(user_locations) -> AsIsState:
+    """Four groups, three targets; mirrors the paper's cost structure."""
+    targets = [
+        make_datacenter("cheap-far", space_base=80.0, power=200.0, labor=6000.0,
+                        wan=0.08, lat_east=40.0, lat_west=40.0, x=8000.0),
+        make_datacenter("mid", space_base=100.0, power=220.0, labor=6500.0,
+                        wan=0.10, lat_east=8.0, lat_west=9.0, x=2000.0),
+        make_datacenter("east-dc", space_base=140.0, power=260.0, labor=8000.0,
+                        wan=0.12, lat_east=4.0, lat_west=30.0, x=100.0),
+    ]
+    groups = [
+        ApplicationGroup("erp", 40, 5000.0, {"east": 200.0, "west": 50.0}, PENALTY),
+        ApplicationGroup("web", 30, 9000.0, {"east": 20.0, "west": 300.0}, PENALTY),
+        ApplicationGroup("batch", 60, 1000.0, {}, NO_PENALTY),
+        ApplicationGroup("bi", 25, 2000.0, {"west": 100.0}, NO_PENALTY),
+    ]
+    return AsIsState(
+        "tiny", groups, targets, user_locations=user_locations,
+        params=CostParameters(),
+    )
+
+
+@pytest.fixture
+def asis_capable_state(tiny_state) -> AsIsState:
+    """tiny_state plus a current estate so as-is evaluation works."""
+    currents = [
+        make_datacenter("old-a", capacity=80, space_base=150.0, lat_east=5.0,
+                        lat_west=20.0, fixed=4000.0, volume_discount=False),
+        make_datacenter("old-b", capacity=100, space_base=160.0, lat_east=20.0,
+                        lat_west=5.0, fixed=5000.0, volume_discount=False),
+    ]
+    tiny_state.current_datacenters = currents
+    tiny_state.app_groups[0].current_datacenter = "old-a"
+    tiny_state.app_groups[1].current_datacenter = "old-b"
+    tiny_state.app_groups[2].current_datacenter = "old-a"
+    tiny_state.app_groups[3].current_datacenter = "old-b"
+    return tiny_state
+
+
+@pytest.fixture
+def fixed_cost_state(user_locations) -> AsIsState:
+    """Targets with per-site fixed costs, to exercise the U_j binaries."""
+    targets = [
+        make_datacenter("fx-a", space_base=90.0, fixed=5000.0),
+        make_datacenter("fx-b", space_base=95.0, fixed=500.0),
+        make_datacenter("fx-c", space_base=100.0, fixed=8000.0),
+    ]
+    groups = [
+        ApplicationGroup("g1", 30, 1000.0, {"east": 50.0}, NO_PENALTY),
+        ApplicationGroup("g2", 40, 1500.0, {"west": 60.0}, NO_PENALTY),
+        ApplicationGroup("g3", 20, 500.0, {"east": 10.0}, NO_PENALTY),
+    ]
+    return AsIsState("fixed", groups, targets, user_locations=user_locations)

@@ -1,0 +1,164 @@
+"""Step cost functions (volume discounts) — unit + property tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.costs import (
+    PriceSegment,
+    StepCostFunction,
+    admins_required,
+    ceil_admins,
+    monthly_power_cost_per_kw,
+)
+
+
+class TestConstruction:
+    def test_flat(self):
+        f = StepCostFunction.flat(50.0)
+        assert f.is_flat
+        assert f.unit_price(1) == 50.0
+        assert f.unit_price(10_000) == 50.0
+
+    def test_volume_discount_tiers(self):
+        f = StepCostFunction.volume_discount(100.0, step=100, discount=10.0, floor_price=60.0)
+        assert f.unit_price(1) == 100.0
+        assert f.unit_price(100) == 100.0
+        assert f.unit_price(101) == 90.0
+        assert f.unit_price(350) == 70.0
+        assert f.unit_price(10_000) == 60.0
+
+    def test_floor_respected(self):
+        f = StepCostFunction.volume_discount(100.0, step=10, discount=30.0, floor_price=55.0)
+        assert min(s.unit_price for s in f.segments) >= 55.0
+
+    def test_max_quantity_bounds_final_tier(self):
+        f = StepCostFunction.volume_discount(
+            100.0, step=50, discount=10.0, floor_price=80.0, max_quantity=120
+        )
+        assert f.max_quantity == 120
+        with pytest.raises(ValueError):
+            f.unit_price(121)
+
+    def test_non_contiguous_segments_rejected(self):
+        with pytest.raises(ValueError, match="contiguous"):
+            StepCostFunction([PriceSegment(1, 10, 5.0), PriceSegment(12, None, 4.0)])
+
+    def test_negative_price_rejected(self):
+        with pytest.raises(ValueError):
+            StepCostFunction([PriceSegment(1, None, -1.0)])
+
+    def test_unbounded_middle_segment_rejected(self):
+        with pytest.raises(ValueError):
+            StepCostFunction([PriceSegment(1, None, 5.0), PriceSegment(2, None, 4.0)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            StepCostFunction([])
+
+    def test_bad_first_lower(self):
+        with pytest.raises(ValueError):
+            StepCostFunction([PriceSegment(5, None, 1.0)])
+
+    def test_zero_step_rejected(self):
+        with pytest.raises(ValueError):
+            StepCostFunction.volume_discount(10.0, step=0, discount=1.0, floor_price=5.0)
+
+    def test_floor_above_base_rejected(self):
+        with pytest.raises(ValueError):
+            StepCostFunction.volume_discount(10.0, step=5, discount=1.0, floor_price=20.0)
+
+
+class TestQueries:
+    def test_total_cost_zero(self):
+        f = StepCostFunction.flat(10.0)
+        assert f.total_cost(0) == 0.0
+
+    def test_total_cost_all_units(self):
+        f = StepCostFunction.volume_discount(100.0, step=100, discount=10.0, floor_price=60.0)
+        assert f.total_cost(150) == pytest.approx(150 * 90.0)
+
+    def test_negative_quantity_rejected(self):
+        f = StepCostFunction.flat(1.0)
+        with pytest.raises(ValueError):
+            f.segment_for(-1)
+
+    def test_scaled(self):
+        f = StepCostFunction.volume_discount(100.0, step=10, discount=10.0, floor_price=50.0)
+        g = f.scaled(2.0)
+        assert g.unit_price(1) == 200.0
+        assert g.unit_price(10_000) == 100.0
+        with pytest.raises(ValueError):
+            f.scaled(-1.0)
+
+    def test_truncated(self):
+        f = StepCostFunction.volume_discount(100.0, step=50, discount=10.0, floor_price=50.0)
+        g = f.truncated(75)
+        assert g.max_quantity == 75
+        assert g.unit_price(75) == f.unit_price(75)
+        with pytest.raises(ValueError):
+            f.truncated(0)
+
+    def test_truncated_within_first_segment(self):
+        f = StepCostFunction.volume_discount(100.0, step=50, discount=10.0, floor_price=50.0)
+        g = f.truncated(20)
+        assert g.num_segments == 1
+        assert g.unit_price(20) == 100.0
+
+    def test_equality_and_hash(self):
+        a = StepCostFunction.flat(5.0)
+        b = StepCostFunction.flat(5.0)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != StepCostFunction.flat(6.0)
+
+    def test_repr(self):
+        assert "100" in repr(StepCostFunction.flat(100.0))
+
+
+class TestHelpers:
+    def test_power_conversion(self):
+        # 10 ¢/kWh × 730 h = $73/kW/month
+        assert monthly_power_cost_per_kw(10.0) == pytest.approx(73.0)
+        with pytest.raises(ValueError):
+            monthly_power_cost_per_kw(-1.0)
+
+    def test_admins(self):
+        assert admins_required(130, 130.0) == pytest.approx(1.0)
+        assert ceil_admins(131, 130.0) == 2
+        assert ceil_admins(0, 130.0) == 0
+        with pytest.raises(ValueError):
+            admins_required(-1, 130.0)
+
+
+# -- properties ---------------------------------------------------------------
+schedules = st.builds(
+    StepCostFunction.volume_discount,
+    base_price=st.floats(min_value=10, max_value=500),
+    step=st.integers(min_value=1, max_value=200),
+    discount=st.floats(min_value=0.1, max_value=50),
+    floor_price=st.just(5.0),
+)
+
+
+@given(f=schedules, q=st.integers(min_value=0, max_value=5000))
+def test_unit_price_never_below_floor_or_above_base(f, q):
+    price = f.unit_price(q)
+    assert 5.0 - 1e-9 <= price <= f.segments[0].unit_price + 1e-9
+
+
+@given(f=schedules, q=st.integers(min_value=1, max_value=5000))
+def test_unit_price_nonincreasing(f, q):
+    assert f.unit_price(q + 1) <= f.unit_price(q) + 1e-9
+
+
+@given(f=schedules, q=st.integers(min_value=0, max_value=5000))
+def test_total_cost_consistent_with_unit_price(f, q):
+    assert f.total_cost(q) == pytest.approx(q * f.unit_price(q) if q else 0.0)
+
+
+@given(f=schedules, q=st.integers(min_value=1, max_value=2000), cap=st.integers(min_value=1, max_value=2000))
+def test_truncation_preserves_prices(f, q, cap):
+    if q <= cap:
+        assert f.truncated(cap).unit_price(q) == f.unit_price(q)

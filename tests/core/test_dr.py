@@ -1,0 +1,147 @@
+"""Disaster-recovery extension of the MILP."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    ApplicationGroup,
+    AsIsState,
+    ConsolidationModel,
+    CostParameters,
+    ModelOptions,
+    evaluate_plan,
+    shared_backup_requirements,
+)
+from repro.core.latency import NO_PENALTY
+from repro.lp import SolveStatus, solve
+
+from ..conftest import make_datacenter
+
+
+def dr_state(user_locations, n_sites=3, capacity=300, **params_kw):
+    targets = [
+        make_datacenter(f"d{i}", capacity=capacity, space_base=80.0 + 20.0 * i)
+        for i in range(n_sites)
+    ]
+    groups = [
+        ApplicationGroup("a", 30, 1000.0, {"east": 20.0}, NO_PENALTY),
+        ApplicationGroup("b", 40, 2000.0, {"west": 30.0}, NO_PENALTY),
+        ApplicationGroup("c", 20, 500.0, {"east": 5.0}, NO_PENALTY),
+    ]
+    return AsIsState("drstate", groups, targets, user_locations=user_locations,
+                     params=CostParameters(**params_kw))
+
+
+def solve_dr(state, **opt_kw):
+    model = ConsolidationModel(state, ModelOptions(enable_dr=True, **opt_kw))
+    sol = solve(model.problem, backend="highs")
+    assert sol.status is SolveStatus.OPTIMAL
+    return model, sol
+
+
+class TestDRStructure:
+    def test_y_and_g_variables_created(self, user_locations):
+        state = dr_state(user_locations)
+        model = ConsolidationModel(state, ModelOptions(enable_dr=True))
+        assert len(model.y) == len(model.x)
+        assert set(model.g) == {"d0", "d1", "d2"}
+        assert model.j  # shared pools need linking variables
+
+    def test_dedicated_mode_has_no_j(self, user_locations):
+        state = dr_state(user_locations)
+        model = ConsolidationModel(
+            state, ModelOptions(enable_dr=True, dedicated_backups=True)
+        )
+        assert not model.j
+
+    def test_single_eligible_site_rejected(self, user_locations):
+        targets = [make_datacenter("only", capacity=300)]
+        groups = [ApplicationGroup("a", 10, users={"east": 1.0})]
+        state = AsIsState("s", groups, targets, user_locations=user_locations)
+        with pytest.raises(ValueError, match="fewer than two eligible"):
+            ConsolidationModel(state, ModelOptions(enable_dr=True))
+
+
+class TestDRSolutions:
+    def test_primary_differs_from_secondary(self, user_locations):
+        state = dr_state(user_locations)
+        model, sol = solve_dr(state)
+        placement = model.extract_placement(sol)
+        secondary = model.extract_secondary(sol)
+        assert set(secondary) == set(placement)
+        for name in placement:
+            assert placement[name] != secondary[name]
+
+    def test_lp_pools_match_recomputed_pools(self, user_locations):
+        state = dr_state(user_locations)
+        model, sol = solve_dr(state)
+        placement = model.extract_placement(sol)
+        secondary = model.extract_secondary(sol)
+        lp_pools = model.extract_backup_pools(sol)
+        true_pools = shared_backup_requirements(state.app_groups, placement, secondary)
+        assert lp_pools == {k: v for k, v in true_pools.items() if v > 0}
+
+    def test_objective_matches_evaluation(self, user_locations):
+        state = dr_state(user_locations)
+        model, sol = solve_dr(state)
+        plan = evaluate_plan(
+            state,
+            model.extract_placement(sol),
+            secondary=model.extract_secondary(sol),
+        )
+        assert plan.total_cost == pytest.approx(sol.objective, rel=1e-6)
+
+    def test_dedicated_objective_matches_evaluation(self, user_locations):
+        state = dr_state(user_locations)
+        model, sol = solve_dr(state, dedicated_backups=True)
+        plan = evaluate_plan(
+            state,
+            model.extract_placement(sol),
+            secondary=model.extract_secondary(sol),
+            backup_sharing="dedicated",
+        )
+        assert plan.total_cost == pytest.approx(sol.objective, rel=1e-6)
+
+    def test_sharing_cheaper_than_dedicated(self, user_locations):
+        state = dr_state(user_locations, dr_server_cost=5000.0)
+        _, shared_sol = solve_dr(state)
+        _, dedicated_sol = solve_dr(state, dedicated_backups=True)
+        assert shared_sol.objective <= dedicated_sol.objective + 1e-6
+
+    def test_capacity_covers_backups(self, user_locations):
+        # Tight capacity: backups must not overflow any site.
+        state = dr_state(user_locations, capacity=95)
+        model, sol = solve_dr(state)
+        placement = model.extract_placement(sol)
+        secondary = model.extract_secondary(sol)
+        pools = shared_backup_requirements(state.app_groups, placement, secondary)
+        load = {dc.name: 0 for dc in state.target_datacenters}
+        for g in state.app_groups:
+            load[placement[g.name]] += g.servers
+        for name, pool in pools.items():
+            load[name] += pool
+        assert all(v <= 95 for v in load.values())
+
+    def test_expensive_backups_push_spreading(self, user_locations):
+        cheap = dr_state(user_locations, n_sites=4, dr_server_cost=1.0)
+        _, sol_cheap = solve_dr(cheap)
+        model_cheap = ConsolidationModel(cheap, ModelOptions(enable_dr=True))
+        # re-extract with its own model for counting
+        costly = dr_state(user_locations, n_sites=4, dr_server_cost=50_000.0)
+        model_costly, sol_costly = solve_dr(costly)
+        placement_costly = model_costly.extract_secondary(sol_costly)
+        pools_costly = model_costly.extract_backup_pools(sol_costly)
+        # With ζ huge, total backup servers must be minimized: pool total
+        # strictly below the full estate mirror (90 servers).
+        assert sum(pools_costly.values()) < 90
+
+    def test_business_impact_with_dr(self, user_locations):
+        state = dr_state(user_locations, n_sites=4, business_impact=0.34)
+        model, sol = solve_dr(state)
+        placement = model.extract_placement(sol)
+        from collections import Counter
+
+        counts = Counter(placement.values())
+        assert max(counts.values()) <= 2  # ceil(0.34 × 3) = 1.02 → at most 1... allow 1
+        assert max(counts.values()) == 1

@@ -1,0 +1,175 @@
+"""Domain entities and their validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    ApplicationGroup,
+    AsIsState,
+    CostParameters,
+    DataCenter,
+    StepCostFunction,
+    UserLocation,
+)
+from repro.core.entities import groups_by_risk
+from repro.core.latency import NO_PENALTY
+
+from ..conftest import PENALTY, make_datacenter
+
+
+class TestUserLocation:
+    def test_requires_name(self):
+        with pytest.raises(ValueError):
+            UserLocation("")
+
+    def test_frozen(self):
+        loc = UserLocation("east")
+        with pytest.raises(Exception):
+            loc.name = "west"  # type: ignore[misc]
+
+
+class TestApplicationGroup:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ApplicationGroup("", 1)
+        with pytest.raises(ValueError):
+            ApplicationGroup("g", 0)
+        with pytest.raises(ValueError):
+            ApplicationGroup("g", 1, monthly_data_mb=-1.0)
+        with pytest.raises(ValueError):
+            ApplicationGroup("g", 1, users={"east": -5.0})
+
+    def test_total_users(self):
+        g = ApplicationGroup("g", 1, users={"a": 10.0, "b": 5.0})
+        assert g.total_users == 15.0
+
+    def test_latency_sensitivity(self):
+        assert ApplicationGroup("g", 1, latency_penalty=PENALTY).is_latency_sensitive
+        assert not ApplicationGroup("g", 1).is_latency_sensitive
+
+    def test_mean_latency_weighted(self):
+        g = ApplicationGroup("g", 1, users={"a": 30.0, "b": 10.0})
+        assert g.mean_latency({"a": 10.0, "b": 50.0}) == pytest.approx(20.0)
+
+    def test_mean_latency_no_users(self):
+        assert ApplicationGroup("g", 1).mean_latency({}) == 0.0
+
+    def test_mean_latency_missing_location(self):
+        g = ApplicationGroup("g", 1, users={"a": 5.0})
+        with pytest.raises(KeyError, match="no latency figure"):
+            g.mean_latency({"b": 1.0})
+
+    def test_zero_user_locations_skipped(self):
+        g = ApplicationGroup("g", 1, users={"a": 0.0, "b": 2.0})
+        assert g.mean_latency({"b": 7.0}) == pytest.approx(7.0)
+
+    def test_with_users_copies(self):
+        g = ApplicationGroup("g", 1, users={"a": 1.0})
+        h = g.with_users({"b": 2.0})
+        assert h.users == {"b": 2.0}
+        assert g.users == {"a": 1.0}
+        assert h.name == g.name
+
+
+class TestDataCenter:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_datacenter("")
+        with pytest.raises(ValueError):
+            make_datacenter("d", capacity=0)
+        with pytest.raises(ValueError):
+            DataCenter("d", 10, StepCostFunction.flat(1.0), -1.0, 1.0, 1.0)
+
+    def test_per_server_monthly_cost_uses_occupancy_tier(self):
+        dc = make_datacenter("d", space_base=100.0)
+        params = CostParameters()
+        low = dc.per_server_monthly_cost(params, occupancy=1)
+        high = dc.per_server_monthly_cost(params, occupancy=10_000)
+        assert high < low  # volume discount kicks in
+
+    def test_negative_fixed_cost_rejected(self):
+        with pytest.raises(ValueError):
+            make_datacenter("d", fixed=-1.0)
+
+
+class TestCostParameters:
+    def test_defaults_valid(self):
+        CostParameters()
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"server_power_kw": 0.0},
+            {"servers_per_admin": 0.0},
+            {"vpn_link_capacity_mb": 0.0},
+            {"dr_server_cost": -1.0},
+            {"business_impact": 0.0},
+            {"business_impact": 1.5},
+            {"backup_power_fraction": -0.1},
+            {"backup_labor_fraction": 1.1},
+        ],
+    )
+    def test_invalid_parameters(self, kw):
+        with pytest.raises(ValueError):
+            CostParameters(**kw)
+
+
+class TestAsIsState:
+    def test_duplicate_group_names_rejected(self, user_locations):
+        groups = [ApplicationGroup("g", 1), ApplicationGroup("g", 2)]
+        with pytest.raises(ValueError, match="duplicate application group"):
+            AsIsState("s", groups, [make_datacenter("d")], user_locations=user_locations)
+
+    def test_duplicate_dc_names_rejected(self, user_locations):
+        with pytest.raises(ValueError, match="duplicate data center"):
+            AsIsState(
+                "s",
+                [ApplicationGroup("g", 1)],
+                [make_datacenter("d")],
+                current_datacenters=[make_datacenter("d")],
+                user_locations=user_locations,
+            )
+
+    def test_lookups(self, tiny_state):
+        assert tiny_state.group("erp").servers == 40
+        assert tiny_state.target("mid").name == "mid"
+        with pytest.raises(KeyError):
+            tiny_state.group("nope")
+        with pytest.raises(KeyError):
+            tiny_state.target("nope")
+        with pytest.raises(KeyError):
+            tiny_state.current("nope")
+
+    def test_totals_and_summary(self, tiny_state):
+        assert tiny_state.total_servers == 155
+        assert tiny_state.total_target_capacity == 600
+        summary = tiny_state.summary()
+        assert summary["app_groups"] == 4
+        assert summary["target_datacenters"] == 3
+
+    def test_placeable_capacity(self, tiny_state):
+        big = ApplicationGroup("big", 500)
+        assert not tiny_state.placeable(big, tiny_state.target("mid"))
+
+    def test_placeable_forbidden(self, tiny_state):
+        g = ApplicationGroup("g", 1, forbidden_datacenters=frozenset({"mid"}))
+        assert not tiny_state.placeable(g, tiny_state.target("mid"))
+        assert tiny_state.placeable(g, tiny_state.target("east-dc"))
+
+    def test_placeable_region(self, tiny_state):
+        g = ApplicationGroup("g", 1, allowed_regions=frozenset({"eu"}))
+        assert not tiny_state.placeable(g, tiny_state.target("mid"))
+        g2 = ApplicationGroup("g2", 1, allowed_regions=frozenset({"global"}))
+        assert tiny_state.placeable(g2, tiny_state.target("mid"))
+
+
+def test_groups_by_risk():
+    groups = [
+        ApplicationGroup("a", 1, risk_group="pci"),
+        ApplicationGroup("b", 1, risk_group="pci"),
+        ApplicationGroup("c", 1),
+    ]
+    buckets = groups_by_risk(groups)
+    assert set(buckets) == {"pci"}
+    assert [g.name for g in buckets["pci"]] == ["a", "b"]

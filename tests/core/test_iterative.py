@@ -1,0 +1,99 @@
+"""Admin interface for iterative modification."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import IterativeSession, PlannerOptions, PlanningError
+
+
+@pytest.fixture
+def session(tiny_state):
+    return IterativeSession(tiny_state, PlannerOptions(backend="highs"))
+
+
+class TestDirectives:
+    def test_initial_plan(self, session):
+        plan = session.plan()
+        assert len(session.history) == 1
+        assert plan.total_cost > 0
+
+    def test_pin_moves_group(self, session):
+        base = session.plan()
+        target = "east-dc" if base.placement["batch"] != "east-dc" else "cheap-far"
+        session.pin("batch", target)
+        revised = session.plan()
+        assert revised.placement["batch"] == target
+        assert revised.total_cost >= base.total_cost - 1e-6  # constraint can't help
+
+    def test_forbid_moves_group(self, session):
+        base = session.plan()
+        occupied = base.placement["batch"]
+        session.forbid("batch", occupied)
+        revised = session.plan()
+        assert revised.placement["batch"] != occupied
+
+    def test_retire_site(self, session):
+        base = session.plan()
+        used = base.placement["erp"]
+        session.retire_site(used)
+        revised = session.plan()
+        assert used not in revised.placement.values()
+
+    def test_cap_groups(self, session):
+        base = session.plan()
+        from collections import Counter
+
+        counts = Counter(base.placement.values())
+        busiest, n = counts.most_common(1)[0]
+        if n > 1:
+            session.cap_groups(busiest, n - 1)
+            revised = session.plan()
+            revised_counts = Counter(revised.placement.values())
+            assert revised_counts.get(busiest, 0) <= n - 1
+
+    def test_undo(self, session):
+        session.pin("batch", "east-dc")
+        assert session.describe() == ["pin 'batch' to 'east-dc'"]
+        directive = session.undo()
+        assert directive.kind == "pin"
+        assert not session.directives
+        with pytest.raises(IndexError):
+            session.undo()
+
+    def test_unknown_names_rejected_early(self, session):
+        with pytest.raises(KeyError):
+            session.pin("nope", "mid")
+        with pytest.raises(KeyError):
+            session.pin("batch", "nowhere")
+        with pytest.raises(ValueError):
+            session.cap_groups("mid", -1)
+
+    def test_pin_to_ineligible_site_fails_at_solve(self, session):
+        session.state.app_groups[2].forbidden_datacenters = frozenset({"east-dc"})
+        session.pin("batch", "east-dc")
+        with pytest.raises(ValueError, match="cannot pin"):
+            session.plan()
+
+    def test_conflicting_directives_infeasible(self, session):
+        # Pin and forbid the same pair: no feasible plan.
+        session.pin("batch", "east-dc")
+        session.forbid("batch", "east-dc")
+        with pytest.raises(PlanningError):
+            session.plan()
+
+    def test_describe_all_kinds(self, session):
+        session.pin("batch", "mid")
+        session.forbid("erp", "mid")
+        session.retire_site("cheap-far")
+        session.cap_groups("mid", 3)
+        descriptions = session.describe()
+        assert len(descriptions) == 4
+        assert any("retire" in d for d in descriptions)
+        assert any("cap" in d for d in descriptions)
+
+    def test_state_not_mutated_by_retire(self, session):
+        before = len(session.state.target_datacenters)
+        session.retire_site("cheap-far")
+        session.plan()
+        assert len(session.state.target_datacenters) == before

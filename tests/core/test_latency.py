@@ -1,0 +1,118 @@
+"""Latency penalty functions — unit + property tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.latency import NO_PENALTY, LatencyPenaltyFunction, PenaltyStep
+
+
+class TestConstruction:
+    def test_single_threshold(self):
+        f = LatencyPenaltyFunction.single_threshold(10.0, 100.0)
+        assert f.penalty_per_user(5.0) == 0.0
+        assert f.penalty_per_user(10.0) == 0.0  # boundary: not exceeded
+        assert f.penalty_per_user(10.1) == 100.0
+
+    def test_banded(self):
+        f = LatencyPenaltyFunction.banded(10.0, 10.0, 5.0, bands=3)
+        assert f.penalty_per_user(9.0) == 0.0
+        assert f.penalty_per_user(15.0) == 5.0
+        assert f.penalty_per_user(25.0) == 10.0
+        assert f.penalty_per_user(99.0) == 15.0  # saturates at last band
+
+    def test_banded_validation(self):
+        with pytest.raises(ValueError):
+            LatencyPenaltyFunction.banded(10.0, 0.0, 5.0, bands=3)
+        with pytest.raises(ValueError):
+            LatencyPenaltyFunction.banded(10.0, 10.0, 5.0, bands=0)
+
+    def test_duplicate_thresholds_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyPenaltyFunction([PenaltyStep(10, 1), PenaltyStep(10, 2)])
+
+    def test_decreasing_penalties_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyPenaltyFunction([PenaltyStep(10, 5), PenaltyStep(20, 2)])
+
+    def test_negative_step_fields_rejected(self):
+        with pytest.raises(ValueError):
+            PenaltyStep(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            PenaltyStep(1.0, -1.0)
+
+    def test_steps_sorted_on_construction(self):
+        f = LatencyPenaltyFunction([PenaltyStep(20, 2), PenaltyStep(10, 1)])
+        assert [s.threshold_ms for s in f.steps] == [10, 20]
+
+
+class TestQueries:
+    def test_no_penalty_sentinel(self):
+        assert NO_PENALTY.is_zero
+        assert NO_PENALTY.penalty_per_user(1e9) == 0.0
+        assert NO_PENALTY.strictest_threshold_ms is None
+        assert not NO_PENALTY.violates(1e9)
+
+    def test_zero_penalty_steps_are_zero(self):
+        f = LatencyPenaltyFunction([PenaltyStep(10, 0.0)])
+        assert f.is_zero
+        assert f.strictest_threshold_ms is None
+
+    def test_total_penalty(self):
+        f = LatencyPenaltyFunction.single_threshold(10.0, 100.0)
+        assert f.total_penalty(15.0, 50) == 5000.0
+        assert f.total_penalty(5.0, 50) == 0.0
+
+    def test_violates(self):
+        f = LatencyPenaltyFunction.single_threshold(10.0, 100.0)
+        assert f.violates(10.5)
+        assert not f.violates(10.0)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            NO_PENALTY.penalty_per_user(-1.0)
+
+    def test_equality_and_hash(self):
+        a = LatencyPenaltyFunction.single_threshold(10, 100)
+        b = LatencyPenaltyFunction.single_threshold(10, 100)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != LatencyPenaltyFunction.single_threshold(10, 50)
+
+    def test_repr(self):
+        assert "10" in repr(LatencyPenaltyFunction.single_threshold(10, 100))
+        assert "none" in repr(NO_PENALTY)
+
+
+# -- properties ---------------------------------------------------------------
+functions = st.builds(
+    LatencyPenaltyFunction.banded,
+    threshold_ms=st.floats(min_value=1, max_value=50),
+    band_width_ms=st.floats(min_value=1, max_value=20),
+    penalty_per_band=st.floats(min_value=0.1, max_value=100),
+    bands=st.integers(min_value=1, max_value=6),
+)
+lat = st.floats(min_value=0, max_value=500, allow_nan=False)
+
+
+@given(f=functions, a=lat, b=lat)
+def test_penalty_monotone_in_latency(f, a, b):
+    lo, hi = sorted((a, b))
+    assert f.penalty_per_user(lo) <= f.penalty_per_user(hi) + 1e-12
+
+
+@given(f=functions, latency=lat, users=st.floats(min_value=0, max_value=1e6))
+def test_total_penalty_scales_with_users(f, latency, users):
+    assert f.total_penalty(latency, users) == pytest.approx(
+        f.penalty_per_user(latency) * users
+    )
+
+
+@given(f=functions, latency=lat)
+def test_violation_iff_positive_penalty_for_single_band(f, latency):
+    # For banded functions penalty>0 exactly when the strictest
+    # (positive-penalty) threshold is exceeded.
+    threshold = f.strictest_threshold_ms
+    assert threshold is not None
+    assert f.violates(latency) == (latency > threshold)

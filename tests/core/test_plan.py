@@ -1,0 +1,177 @@
+"""Plan evaluation: the single cost arbiter used by every algorithm."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    ApplicationGroup,
+    AsIsState,
+    CostParameters,
+    dedicated_backup_requirements,
+    evaluate_plan,
+    shared_backup_requirements,
+)
+from repro.core.latency import NO_PENALTY
+
+from ..conftest import PENALTY, make_datacenter
+
+
+class TestBackupRequirements:
+    def groups(self):
+        return [
+            ApplicationGroup("a", 10),
+            ApplicationGroup("b", 20),
+            ApplicationGroup("c", 5),
+        ]
+
+    def test_shared_takes_max_over_primaries(self):
+        groups = self.groups()
+        placement = {"a": "dc1", "b": "dc2", "c": "dc1"}
+        secondary = {"a": "dc3", "b": "dc3", "c": "dc3"}
+        pools = shared_backup_requirements(groups, placement, secondary)
+        # dc1 fails → 15 needed; dc2 fails → 20 needed; pool = 20
+        assert pools == {"dc3": 20}
+
+    def test_shared_sums_within_same_primary(self):
+        groups = self.groups()
+        placement = {"a": "dc1", "b": "dc1", "c": "dc1"}
+        secondary = {"a": "dc3", "b": "dc3", "c": "dc3"}
+        assert shared_backup_requirements(groups, placement, secondary) == {"dc3": 35}
+
+    def test_dedicated_sums_everything(self):
+        groups = self.groups()
+        secondary = {"a": "dc3", "b": "dc3", "c": "dc2"}
+        pools = dedicated_backup_requirements(groups, secondary)
+        assert pools == {"dc3": 30, "dc2": 5}
+
+    def test_groups_without_secondary_ignored(self):
+        groups = self.groups()
+        placement = {"a": "dc1", "b": "dc2", "c": "dc1"}
+        assert shared_backup_requirements(groups, placement, {"a": "dc2"}) == {"dc2": 10}
+
+
+class TestEvaluatePlan:
+    def test_breakdown_components(self, tiny_state):
+        placement = {g.name: "mid" for g in tiny_state.app_groups}
+        plan = evaluate_plan(tiny_state, placement)
+        b = plan.breakdown
+        servers = tiny_state.total_servers
+        mid = tiny_state.target("mid")
+        assert b.space == pytest.approx(mid.space_cost.total_cost(servers))
+        assert b.power == pytest.approx(servers * 0.35 * mid.power_cost_per_kw)
+        assert b.labor == pytest.approx(servers * mid.labor_cost_per_admin / 130.0)
+        assert b.wan == pytest.approx(
+            sum(g.monthly_data_mb for g in tiny_state.app_groups) * mid.wan_cost_per_mb
+        )
+        assert b.dr_purchase == 0.0
+        assert plan.total_cost == pytest.approx(b.operational + b.latency_penalty)
+
+    def test_latency_penalty_and_violations(self, tiny_state):
+        placement = {g.name: "cheap-far" for g in tiny_state.app_groups}  # 40 ms
+        plan = evaluate_plan(tiny_state, placement)
+        # erp + web are sensitive: 250 + 320 users × $100
+        assert plan.breakdown.latency_penalty == pytest.approx((250 + 320) * 100.0)
+        assert plan.latency_violations == 2
+
+    def test_missing_group_rejected(self, tiny_state):
+        with pytest.raises(ValueError, match="missing application groups"):
+            evaluate_plan(tiny_state, {"erp": "mid"})
+
+    def test_unknown_datacenter_rejected(self, tiny_state):
+        placement = {g.name: "atlantis" for g in tiny_state.app_groups}
+        with pytest.raises(KeyError, match="unknown data center"):
+            evaluate_plan(tiny_state, placement)
+
+    def test_bad_sharing_mode_rejected(self, tiny_state):
+        placement = {g.name: "mid" for g in tiny_state.app_groups}
+        with pytest.raises(ValueError, match="backup sharing"):
+            evaluate_plan(tiny_state, placement, backup_sharing="psychic")
+
+    def test_dr_purchase_and_pools(self, tiny_state):
+        placement = {g.name: "mid" for g in tiny_state.app_groups}
+        secondary = {g.name: "cheap-far" for g in tiny_state.app_groups}
+        plan = evaluate_plan(tiny_state, placement, secondary=secondary)
+        assert plan.backup_servers == {"cheap-far": tiny_state.total_servers}
+        assert plan.breakdown.dr_purchase == pytest.approx(
+            tiny_state.params.dr_server_cost * tiny_state.total_servers
+        )
+        assert plan.has_dr
+
+    def test_cold_standby_backups_skip_power_and_labor(self, tiny_state):
+        placement = {g.name: "mid" for g in tiny_state.app_groups}
+        secondary = {g.name: "cheap-far" for g in tiny_state.app_groups}
+        cold = evaluate_plan(tiny_state, placement, secondary=secondary)
+        tiny_state.params.backup_power_fraction = 1.0
+        tiny_state.params.backup_labor_fraction = 1.0
+        hot = evaluate_plan(tiny_state, placement, secondary=secondary)
+        assert hot.breakdown.power > cold.breakdown.power
+        assert hot.breakdown.labor > cold.breakdown.labor
+        assert hot.breakdown.space == pytest.approx(cold.breakdown.space)
+
+    def test_fixed_cost_counted_once_per_used_site(self, fixed_cost_state):
+        placement = {"g1": "fx-a", "g2": "fx-a", "g3": "fx-b"}
+        plan = evaluate_plan(fixed_cost_state, placement)
+        assert plan.breakdown.fixed == pytest.approx(5000.0 + 500.0)
+
+    def test_evaluate_against_current_estate(self, asis_capable_state):
+        state = asis_capable_state
+        placement = {g.name: g.current_datacenter for g in state.app_groups}
+        plan = evaluate_plan(
+            state, placement, datacenters=state.current_datacenters
+        )
+        assert set(plan.datacenters_used) == {"old-a", "old-b"}
+
+    def test_volume_discount_visible_in_space(self, tiny_state):
+        packed = {g.name: "mid" for g in tiny_state.app_groups}
+        plan_packed = evaluate_plan(tiny_state, packed)
+        mid = tiny_state.target("mid")
+        servers = tiny_state.total_servers
+        # Packed: everyone pays the discounted tier, strictly below base.
+        assert plan_packed.breakdown.space == pytest.approx(
+            mid.space_cost.total_cost(servers)
+        )
+        base_price = mid.space_cost.unit_price(1)
+        assert plan_packed.breakdown.space < base_price * servers
+
+    def test_plan_accessors(self, tiny_state):
+        placement = {g.name: "mid" for g in tiny_state.app_groups}
+        plan = evaluate_plan(tiny_state, placement, solver="test")
+        assert plan.datacenters_used == ["mid"]
+        assert plan.groups_at("mid") == sorted(g.name for g in tiny_state.app_groups)
+        assert plan.groups_at("cheap-far") == []
+        assert plan.solver == "test"
+        assert not plan.has_dr
+        assert plan.usage["mid"].total_servers == tiny_state.total_servers
+
+
+# -- properties ------------------------------------------------------------
+@given(
+    sizes=st.lists(st.integers(min_value=1, max_value=50), min_size=2, max_size=8),
+    seed=st.integers(min_value=0, max_value=999),
+)
+@settings(max_examples=30, deadline=None)
+def test_shared_pools_never_exceed_dedicated(sizes, seed):
+    import random
+
+    rng = random.Random(seed)
+    groups = [ApplicationGroup(f"g{i}", s) for i, s in enumerate(sizes)]
+    dcs = ["d0", "d1", "d2"]
+    placement = {g.name: rng.choice(dcs) for g in groups}
+    secondary = {
+        g.name: rng.choice([d for d in dcs if d != placement[g.name]]) for g in groups
+    }
+    shared = shared_backup_requirements(groups, placement, secondary)
+    dedicated = dedicated_backup_requirements(groups, secondary)
+    for dc in dcs:
+        assert shared.get(dc, 0) <= dedicated.get(dc, 0)
+    # And the shared pool still covers any single primary failure.
+    for fail in dcs:
+        for dc in dcs:
+            demand = sum(
+                g.servers
+                for g in groups
+                if placement[g.name] == fail and secondary[g.name] == dc
+            )
+            assert shared.get(dc, 0) >= demand

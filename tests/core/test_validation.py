@@ -1,0 +1,145 @@
+"""State and plan validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    ApplicationGroup,
+    AsIsState,
+    CostParameters,
+    PlanValidationError,
+    StateValidationError,
+    TransformationPlan,
+    evaluate_plan,
+    validate_plan,
+    validate_state,
+)
+
+from ..conftest import make_datacenter
+
+
+class TestValidateState:
+    def test_valid_state_passes(self, tiny_state):
+        validate_state(tiny_state)
+
+    def test_empty_groups(self, user_locations):
+        state = AsIsState("s", [], [], user_locations=user_locations)
+        with pytest.raises(StateValidationError, match="no application groups"):
+            # construction succeeds; validation complains
+            validate_state(state)
+
+    def test_no_targets(self, user_locations):
+        state = AsIsState("s", [ApplicationGroup("a", 1)], [], user_locations=user_locations)
+        with pytest.raises(StateValidationError, match="no target data centers"):
+            validate_state(state)
+
+    def test_aggregate_capacity(self, user_locations):
+        targets = [make_datacenter("d", capacity=10)]
+        groups = [ApplicationGroup("a", 5, users={"east": 1.0}),
+                  ApplicationGroup("b", 6, users={"east": 1.0})]
+        state = AsIsState("s", groups, targets, user_locations=user_locations)
+        with pytest.raises(StateValidationError, match="exceed aggregate"):
+            validate_state(state)
+
+    def test_group_fits_nowhere(self, user_locations):
+        targets = [make_datacenter("d", capacity=10), make_datacenter("e", capacity=10)]
+        groups = [ApplicationGroup("a", 11, users={"east": 1.0}),
+                  ApplicationGroup("b", 1, users={"east": 1.0})]
+        state = AsIsState("s", groups, targets, user_locations=user_locations)
+        with pytest.raises(StateValidationError, match="fits no target"):
+            validate_state(state)
+
+    def test_dr_headroom(self, user_locations):
+        targets = [make_datacenter("d", capacity=100), make_datacenter("e", capacity=3)]
+        groups = [ApplicationGroup("a", 50, users={"east": 1.0})]
+        state = AsIsState("s", groups, targets, user_locations=user_locations)
+        validate_state(state)  # fine without DR
+        with pytest.raises(StateValidationError, match="DR needs two"):
+            validate_state(state, require_dr_headroom=True)
+
+    def test_unknown_user_location(self, user_locations):
+        targets = [make_datacenter("d")]
+        groups = [ApplicationGroup("a", 1, users={"mars": 2.0})]
+        state = AsIsState("s", groups, targets, user_locations=user_locations)
+        with pytest.raises(StateValidationError, match="unknown user locations"):
+            validate_state(state)
+
+    def test_missing_latency_figures(self, user_locations):
+        dc = make_datacenter("d")
+        dc.latency_to_users = {"east": 5.0}  # west missing
+        groups = [ApplicationGroup("a", 1, users={"west": 2.0})]
+        state = AsIsState("s", groups, [dc], user_locations=user_locations)
+        with pytest.raises(StateValidationError, match="lacks latency figures"):
+            validate_state(state)
+
+
+class TestValidatePlan:
+    def good_plan(self, state):
+        placement = {g.name: "mid" for g in state.app_groups}
+        return evaluate_plan(state, placement)
+
+    def test_good_plan_passes(self, tiny_state):
+        validate_plan(tiny_state, self.good_plan(tiny_state))
+
+    def test_unassigned_group(self, tiny_state):
+        plan = self.good_plan(tiny_state)
+        del plan.placement["erp"]
+        with pytest.raises(PlanValidationError, match="unassigned"):
+            validate_plan(tiny_state, plan)
+
+    def test_unknown_site(self, tiny_state):
+        plan = self.good_plan(tiny_state)
+        plan.placement["erp"] = "atlantis"
+        with pytest.raises(PlanValidationError, match="unknown site"):
+            validate_plan(tiny_state, plan)
+
+    def test_ineligible_placement(self, tiny_state):
+        tiny_state.app_groups[0].forbidden_datacenters = frozenset({"mid"})
+        plan = self.good_plan(tiny_state)
+        with pytest.raises(PlanValidationError, match="not allowed"):
+            validate_plan(tiny_state, plan)
+
+    def test_over_capacity(self, tiny_state):
+        # Force everything into the smallest... shrink mid's capacity.
+        tiny_state.target("mid").capacity = 100  # total is 155
+        plan = self.good_plan(tiny_state)
+        with pytest.raises(PlanValidationError, match="over capacity"):
+            validate_plan(tiny_state, plan)
+
+    def test_backup_pool_counts_against_capacity(self, tiny_state):
+        placement = {g.name: "mid" for g in tiny_state.app_groups}
+        secondary = {g.name: "cheap-far" for g in tiny_state.app_groups}
+        plan = evaluate_plan(tiny_state, placement, secondary=secondary)
+        tiny_state.target("cheap-far").capacity = 100  # pool is 155
+        with pytest.raises(PlanValidationError, match="over capacity"):
+            validate_plan(tiny_state, plan)
+
+    def test_secondary_must_differ(self, tiny_state):
+        placement = {g.name: "mid" for g in tiny_state.app_groups}
+        secondary = {g.name: "cheap-far" for g in tiny_state.app_groups}
+        plan = evaluate_plan(tiny_state, placement, secondary=secondary)
+        plan.secondary["erp"] = "mid"
+        with pytest.raises(PlanValidationError, match="coincide"):
+            validate_plan(tiny_state, plan)
+
+    def test_missing_secondary(self, tiny_state):
+        placement = {g.name: "mid" for g in tiny_state.app_groups}
+        secondary = {g.name: "cheap-far" for g in tiny_state.app_groups}
+        plan = evaluate_plan(tiny_state, placement, secondary=secondary)
+        del plan.secondary["erp"]
+        with pytest.raises(PlanValidationError, match="lacks a DR site"):
+            validate_plan(tiny_state, plan)
+
+    def test_risk_colocation_detected(self, tiny_state):
+        tiny_state.app_groups[0].risk_group = "pci"
+        tiny_state.app_groups[1].risk_group = "pci"
+        plan = self.good_plan(tiny_state)
+        with pytest.raises(PlanValidationError, match="co-located"):
+            validate_plan(tiny_state, plan)
+
+    def test_business_impact_cap(self, tiny_state):
+        tiny_state.params = CostParameters(business_impact=0.25)  # 1 group max
+        plan = self.good_plan(tiny_state)
+        with pytest.raises(PlanValidationError, match="ω cap"):
+            validate_plan(tiny_state, plan)

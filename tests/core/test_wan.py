@@ -1,0 +1,92 @@
+"""WAN cost models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ApplicationGroup, CostParameters
+from repro.core.wan import (
+    distance_priced_link,
+    metered_wan_cost,
+    vpn_links_required,
+    vpn_wan_cost,
+    wan_cost,
+)
+
+from ..conftest import make_datacenter
+
+
+@pytest.fixture
+def group():
+    return ApplicationGroup(
+        "g", 10, monthly_data_mb=200_000.0, users={"east": 30.0, "west": 10.0}
+    )
+
+
+@pytest.fixture
+def dc():
+    return make_datacenter("d", wan=0.05)
+
+
+@pytest.fixture
+def params():
+    return CostParameters(vpn_link_capacity_mb=100_000.0)
+
+
+class TestMetered:
+    def test_cost(self, group, dc):
+        assert metered_wan_cost(group, dc) == pytest.approx(200_000.0 * 0.05)
+
+    def test_zero_data(self, dc):
+        g = ApplicationGroup("g", 1)
+        assert metered_wan_cost(g, dc) == 0.0
+
+
+class TestVPN:
+    def test_links_split_by_user_share(self, group, params):
+        # east has 75 % of users → 0.75 × (200k/100k) = 1.5 links
+        assert vpn_links_required(group, "east", params) == pytest.approx(1.5)
+        assert vpn_links_required(group, "west", params) == pytest.approx(0.5)
+
+    def test_links_zero_users(self, params):
+        g = ApplicationGroup("g", 1, monthly_data_mb=1000.0)
+        assert vpn_links_required(g, "east", params) == 0.0
+
+    def test_links_unknown_location(self, group, params):
+        assert vpn_links_required(group, "mars", params) == 0.0
+
+    def test_cost_uses_per_location_prices(self, group, dc, params):
+        # conftest prices: east $300/link, west $500/link
+        expected = 1.5 * 300.0 + 0.5 * 500.0
+        assert vpn_wan_cost(group, dc, params) == pytest.approx(expected)
+
+    def test_missing_link_price_raises(self, group, params):
+        dc = make_datacenter("d")
+        dc.vpn_link_cost = {"east": 100.0}  # west missing
+        with pytest.raises(KeyError, match="no VPN link price"):
+            vpn_wan_cost(group, dc, params)
+
+    def test_zero_user_location_skipped(self, dc, params):
+        g = ApplicationGroup("g", 1, monthly_data_mb=1000.0,
+                             users={"east": 5.0, "west": 0.0})
+        # west has zero users: its missing price must not matter
+        dc.vpn_link_cost = {"east": 100.0}
+        assert vpn_wan_cost(g, dc, params) > 0
+
+
+class TestDispatch:
+    def test_metered(self, group, dc, params):
+        assert wan_cost(group, dc, params, "metered") == metered_wan_cost(group, dc)
+
+    def test_vpn(self, group, dc, params):
+        assert wan_cost(group, dc, params, "vpn") == vpn_wan_cost(group, dc, params)
+
+    def test_unknown(self, group, dc, params):
+        with pytest.raises(ValueError, match="unknown WAN cost model"):
+            wan_cost(group, dc, params, "carrier-pigeon")
+
+
+def test_distance_priced_link():
+    assert distance_priced_link(100.0, 0.5, 200.0) == pytest.approx(200.0)
+    with pytest.raises(ValueError):
+        distance_priced_link(100.0, 0.5, -1.0)

@@ -1,0 +1,130 @@
+"""Distribution helpers — unit + property tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datasets.distributions import (
+    affinity_class_users,
+    assign_groups_to_sites,
+    heavy_tailed_sizes,
+    proportional_split,
+    user_data_volume,
+)
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestHeavyTailedSizes:
+    def test_exact_total(self):
+        sizes = heavy_tailed_sizes(rng(), 50, 1000)
+        assert sum(sizes) == 1000
+        assert len(sizes) == 50
+
+    def test_minimum_respected(self):
+        sizes = heavy_tailed_sizes(rng(), 20, 100, minimum=3)
+        assert min(sizes) >= 3
+
+    def test_heavy_tail_present(self):
+        sizes = heavy_tailed_sizes(rng(1), 200, 5000, sigma=1.2)
+        assert max(sizes) > 4 * (5000 / 200)  # a few groups far above mean
+
+    def test_deterministic_per_seed(self):
+        assert heavy_tailed_sizes(rng(7), 30, 500) == heavy_tailed_sizes(rng(7), 30, 500)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            heavy_tailed_sizes(rng(), 0, 10)
+        with pytest.raises(ValueError):
+            heavy_tailed_sizes(rng(), 10, 5)
+
+
+class TestAffinityClasses:
+    LOCATIONS = ["a", "b", "c", "d"]
+
+    def test_concentrated_classes(self):
+        for k in range(4):
+            users = affinity_class_users(rng(), k, 100.0, self.LOCATIONS)
+            assert users == {self.LOCATIONS[k]: 100.0}
+
+    def test_spread_class(self):
+        users = affinity_class_users(rng(), 4, 100.0, self.LOCATIONS)
+        assert users == {loc: 25.0 for loc in self.LOCATIONS}
+
+    def test_round_robin(self):
+        a = affinity_class_users(rng(), 0, 10.0, self.LOCATIONS)
+        b = affinity_class_users(rng(), 5, 10.0, self.LOCATIONS)
+        assert a == b  # class index wraps mod 5
+
+    def test_negative_users_rejected(self):
+        with pytest.raises(ValueError):
+            affinity_class_users(rng(), 0, -1.0, self.LOCATIONS)
+
+
+class TestSiteAssignment:
+    def test_every_site_used_when_possible(self):
+        sizes = [1] * 50
+        assignments = assign_groups_to_sites(rng(3), sizes, 10)
+        assert set(assignments) == set(range(10))
+
+    def test_assignment_length(self):
+        assert len(assign_groups_to_sites(rng(), [1] * 7, 3)) == 7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            assign_groups_to_sites(rng(), [1], 0)
+
+    def test_deterministic(self):
+        a = assign_groups_to_sites(rng(5), [1] * 20, 4)
+        b = assign_groups_to_sites(rng(5), [1] * 20, 4)
+        assert a == b
+
+
+class TestMisc:
+    def test_proportional_split(self):
+        out = proportional_split(rng(), 100.0, np.array([1.0, 3.0]))
+        assert out.tolist() == [25.0, 75.0]
+
+    def test_proportional_split_zero_weights(self):
+        out = proportional_split(rng(), 100.0, np.array([0.0, 0.0]))
+        assert out.tolist() == [0.0, 0.0]
+
+    def test_proportional_split_negative_rejected(self):
+        with pytest.raises(ValueError):
+            proportional_split(rng(), 1.0, np.array([-1.0]))
+
+    def test_user_data_volume_range(self):
+        vol = user_data_volume(rng(), 100.0, mb_per_user=(10.0, 20.0))
+        assert 1000.0 <= vol <= 2000.0
+
+    def test_user_data_volume_validation(self):
+        with pytest.raises(ValueError):
+            user_data_volume(rng(), 1.0, mb_per_user=(5.0, 1.0))
+
+
+# -- properties ------------------------------------------------------------
+@given(
+    count=st.integers(min_value=1, max_value=100),
+    extra=st.integers(min_value=0, max_value=5000),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=50, deadline=None)
+def test_sizes_always_sum_exactly(count, extra, seed):
+    total = count + extra
+    sizes = heavy_tailed_sizes(np.random.default_rng(seed), count, total)
+    assert sum(sizes) == total
+    assert all(s >= 1 for s in sizes)
+
+
+@given(
+    idx=st.integers(min_value=0, max_value=50),
+    users=st.floats(min_value=0, max_value=1e6, allow_nan=False),
+)
+def test_affinity_classes_conserve_users(idx, users):
+    locations = ["w", "x", "y", "z"]
+    out = affinity_class_users(np.random.default_rng(0), idx, users, locations)
+    assert sum(out.values()) == pytest.approx(users)

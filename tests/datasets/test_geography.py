@@ -1,0 +1,79 @@
+"""Geography primitives."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.geography import (
+    Point,
+    class_latencies,
+    corner_positions,
+    distance_km,
+    latency_ms,
+    line_positions,
+)
+
+
+class TestDistance:
+    def test_point_distance(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == pytest.approx(5.0)
+
+    def test_distance_km(self):
+        assert distance_km(0, 0, 3, 4) == pytest.approx(5.0)
+
+
+class TestLatency:
+    def test_monotone_in_distance(self):
+        assert latency_ms(100) < latency_ms(200)
+
+    def test_base_latency_at_zero(self):
+        assert latency_ms(0.0) == pytest.approx(1.0)
+
+    def test_custom_parameters(self):
+        assert latency_ms(100.0, base_ms=2.0, per_km=0.05) == pytest.approx(7.0)
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            latency_ms(-1.0)
+
+
+class TestTopologies:
+    def test_line_positions(self):
+        pts = line_positions(4, 100.0)
+        assert [p.x for p in pts] == [0.0, 100.0, 200.0, 300.0]
+        assert all(p.y == 0.0 for p in pts)
+
+    def test_line_validation(self):
+        with pytest.raises(ValueError):
+            line_positions(0, 1.0)
+        with pytest.raises(ValueError):
+            line_positions(3, 0.0)
+
+    def test_corners(self):
+        pts = corner_positions(10.0)
+        assert len(pts) == 4
+        assert {(p.x, p.y) for p in pts} == {(0, 0), (10, 0), (0, 10), (10, 10)}
+
+    def test_corner_validation(self):
+        with pytest.raises(ValueError):
+            corner_positions(0.0)
+
+
+class TestClassLatencies:
+    LOCS = ["a", "b", "c", "d"]
+
+    def test_close_to_one(self):
+        lat = class_latencies(1, self.LOCS)
+        assert lat == {"a": 20.0, "b": 5.0, "c": 20.0, "d": 20.0}
+
+    def test_central(self):
+        lat = class_latencies(None, self.LOCS)
+        assert set(lat.values()) == {10.0}
+
+    def test_custom_values(self):
+        lat = class_latencies(0, self.LOCS, near_ms=2.0, far_ms=50.0)
+        assert lat["a"] == 2.0 and lat["d"] == 50.0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            class_latencies(4, self.LOCS)

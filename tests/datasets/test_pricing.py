@@ -1,0 +1,74 @@
+"""Seeded price tables."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.pricing import (
+    DEFAULT_RANGES,
+    PriceRanges,
+    sample_fixed_cost,
+    sample_labor_cost,
+    sample_power_cost,
+    sample_space_schedule,
+    sample_vpn_tariff,
+    sample_wan_price,
+)
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestSamplers:
+    def test_space_schedule_within_range(self):
+        f = sample_space_schedule(rng())
+        base = f.unit_price(1)
+        lo, hi = DEFAULT_RANGES.space_base
+        assert lo <= base <= hi
+        # Deepest tier hits the floor fraction.
+        deepest = f.segments[-1].unit_price
+        assert deepest == pytest.approx(base * DEFAULT_RANGES.floor_fraction, rel=0.2)
+
+    def test_space_schedule_flat_variant(self):
+        f = sample_space_schedule(rng(), volume_discount=False)
+        assert f.is_flat
+
+    def test_power_cost_converted_to_monthly(self):
+        cost = sample_power_cost(rng())
+        lo, hi = DEFAULT_RANGES.power_cents_per_kwh
+        assert lo * 7.30 <= cost <= hi * 7.30
+
+    def test_labor_within_range(self):
+        cost = sample_labor_cost(rng())
+        lo, hi = DEFAULT_RANGES.labor_monthly
+        assert lo <= cost <= hi
+
+    def test_wan_within_range(self):
+        price = sample_wan_price(rng())
+        lo, hi = DEFAULT_RANGES.wan_per_mb
+        assert lo <= price <= hi
+
+    def test_fixed_within_range(self):
+        cost = sample_fixed_cost(rng())
+        lo, hi = DEFAULT_RANGES.fixed_monthly
+        assert lo <= cost <= hi
+
+    def test_vpn_tariff(self):
+        base, per_km = sample_vpn_tariff(rng())
+        assert DEFAULT_RANGES.vpn_base_monthly[0] <= base <= DEFAULT_RANGES.vpn_base_monthly[1]
+        assert DEFAULT_RANGES.vpn_per_km[0] <= per_km <= DEFAULT_RANGES.vpn_per_km[1]
+
+    def test_determinism_per_seed(self):
+        assert sample_labor_cost(rng(42)) == sample_labor_cost(rng(42))
+        assert sample_labor_cost(rng(1)) != sample_labor_cost(rng(2))
+
+    def test_custom_ranges(self):
+        ranges = PriceRanges(labor_monthly=(10.0, 10.0))
+        assert sample_labor_cost(rng(), ranges) == 10.0
+
+    def test_invalid_range_rejected(self):
+        ranges = PriceRanges(labor_monthly=(10.0, 5.0))
+        with pytest.raises(ValueError):
+            sample_labor_cost(rng(), ranges)

@@ -1,0 +1,107 @@
+"""Line-topology scenario fixtures (Figs. 7–10)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import validate_state
+from repro.datasets import (
+    LINE_USER_LOCATIONS,
+    latency_line_scenario,
+    tradeoff_line_scenario,
+)
+
+
+class TestLatencyLine:
+    def test_basic_shape(self):
+        state = latency_line_scenario(penalty_per_band=50.0, fraction_at_west=0.5)
+        assert len(state.target_datacenters) == 10
+        assert len(state.app_groups) == 190
+        assert sum(g.servers for g in state.app_groups) == 1070
+        validate_state(state)
+
+    def test_space_cost_increases_along_line(self):
+        state = latency_line_scenario(penalty_per_band=0.0, fraction_at_west=1.0)
+        prices = [dc.space_cost.unit_price(1) for dc in state.target_datacenters]
+        assert prices == sorted(prices)
+        assert prices[0] < prices[-1]
+
+    def test_latency_grows_away_from_ends(self):
+        state = latency_line_scenario(penalty_per_band=0.0, fraction_at_west=1.0)
+        west = [dc.latency_to_users[LINE_USER_LOCATIONS[0]]
+                for dc in state.target_datacenters]
+        east = [dc.latency_to_users[LINE_USER_LOCATIONS[1]]
+                for dc in state.target_datacenters]
+        assert west == sorted(west)
+        assert east == sorted(east, reverse=True)
+
+    def test_user_split(self):
+        state = latency_line_scenario(penalty_per_band=0.0, fraction_at_west=0.75)
+        g = state.app_groups[0]
+        west = g.users.get(LINE_USER_LOCATIONS[0], 0.0)
+        east = g.users.get(LINE_USER_LOCATIONS[1], 0.0)
+        assert west == pytest.approx(3 * east)
+
+    def test_extreme_splits_drop_empty_location(self):
+        state = latency_line_scenario(penalty_per_band=0.0, fraction_at_west=1.0)
+        assert LINE_USER_LOCATIONS[1] not in state.app_groups[0].users
+
+    def test_zero_penalty_means_insensitive(self):
+        state = latency_line_scenario(penalty_per_band=0.0, fraction_at_west=0.5)
+        assert not any(g.is_latency_sensitive for g in state.app_groups)
+
+    def test_positive_penalty_banded(self):
+        state = latency_line_scenario(penalty_per_band=10.0, fraction_at_west=0.5)
+        g = state.app_groups[0]
+        assert g.is_latency_sensitive
+        assert g.latency_penalty.penalty_per_user(25.0) == 20.0  # two bands
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            latency_line_scenario(penalty_per_band=-1.0, fraction_at_west=0.5)
+        with pytest.raises(ValueError):
+            latency_line_scenario(penalty_per_band=0.0, fraction_at_west=1.5)
+
+    def test_convex_space_option(self):
+        state = latency_line_scenario(
+            penalty_per_band=0.0, fraction_at_west=1.0,
+            space_growth=0.8, space_step_per_location=0.0,
+        )
+        prices = [dc.space_cost.unit_price(1) for dc in state.target_datacenters]
+        # geometric: p2/p1 ratio constant and > 1
+        assert prices[2] / prices[1] == pytest.approx(prices[1] / prices[0])
+        assert prices[1] > prices[0]
+
+
+class TestTradeoffLine:
+    def test_basic_shape(self):
+        state = tradeoff_line_scenario(n_groups=50)
+        assert len(state.app_groups) == 50
+        assert all(g.servers == 1 for g in state.app_groups)
+        assert all(dc.capacity == 100 for dc in state.target_datacenters)
+        validate_state(state)
+
+    def test_all_users_at_east_end(self):
+        state = tradeoff_line_scenario(n_groups=5)
+        for g in state.app_groups:
+            assert set(g.users) == {LINE_USER_LOCATIONS[1]}
+
+    def test_vpn_prices_fall_toward_users(self):
+        state = tradeoff_line_scenario(n_groups=5)
+        east_prices = [dc.vpn_link_cost[LINE_USER_LOCATIONS[1]]
+                       for dc in state.target_datacenters]
+        assert east_prices == sorted(east_prices, reverse=True)
+
+    def test_space_prices_grow_geometrically(self):
+        state = tradeoff_line_scenario(n_groups=5)
+        prices = [dc.space_cost.unit_price(1) for dc in state.target_datacenters]
+        assert prices == sorted(prices)
+        assert prices[-1] / prices[0] > 10  # steep convex ramp
+
+    def test_negative_group_count_rejected(self):
+        with pytest.raises(ValueError):
+            tradeoff_line_scenario(n_groups=-1)
+
+    def test_zero_groups_allowed(self):
+        state = tradeoff_line_scenario(n_groups=0)
+        assert state.app_groups == []

@@ -1,0 +1,71 @@
+"""Experiment plumbing: result records and timing helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import evaluate_plan
+from repro.experiments.harness import (
+    AlgorithmResult,
+    SweepPoint,
+    SweepSeries,
+    state_label,
+    timed_plan,
+)
+
+
+class TestAlgorithmResult:
+    def test_from_plan(self, tiny_state):
+        placement = {g.name: "mid" for g in tiny_state.app_groups}
+        plan = evaluate_plan(tiny_state, placement)
+        result = AlgorithmResult.from_plan("test", plan, 1.5)
+        assert result.algorithm == "test"
+        assert result.total_cost == plan.breakdown.total
+        assert result.operational_cost == plan.breakdown.operational
+        assert result.datacenters_used == 1
+        assert result.runtime_seconds == 1.5
+        assert result.plan is plan
+
+    def test_timed_plan_measures(self, tiny_state):
+        placement = {g.name: "mid" for g in tiny_state.app_groups}
+
+        def fn():
+            return evaluate_plan(tiny_state, placement)
+
+        result = timed_plan("timed", fn)
+        assert result.algorithm == "timed"
+        assert result.runtime_seconds >= 0.0
+
+    def test_timed_plan_propagates_errors(self):
+        def boom():
+            raise RuntimeError("nope")
+
+        with pytest.raises(RuntimeError, match="nope"):
+            timed_plan("x", boom)
+
+
+class TestSweepSeries:
+    def make(self):
+        return SweepSeries(
+            name="s",
+            points=[
+                SweepPoint(1.0, {"cost": 10.0, "latency": 5.0}),
+                SweepPoint(2.0, {"cost": 20.0, "latency": 3.0}),
+            ],
+        )
+
+    def test_xs(self):
+        assert self.make().xs() == [1.0, 2.0]
+
+    def test_ys(self):
+        series = self.make()
+        assert series.ys("cost") == [10.0, 20.0]
+        assert series.ys("latency") == [5.0, 3.0]
+
+    def test_missing_key_raises(self):
+        with pytest.raises(KeyError):
+            self.make().ys("unknown")
+
+
+def test_state_label(tiny_state):
+    assert state_label(tiny_state) == "tiny"

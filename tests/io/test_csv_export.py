@@ -1,0 +1,98 @@
+"""CSV exports."""
+
+from __future__ import annotations
+
+import csv
+import io
+
+import pytest
+
+from repro.core import evaluate_plan
+from repro.experiments.harness import AlgorithmResult
+from repro.io.csv_export import (
+    COMPARISON_HEADER,
+    PLACEMENT_HEADER,
+    USAGE_HEADER,
+    export_plan_csv,
+    write_comparison_csv,
+    write_placement_csv,
+    write_usage_csv,
+)
+
+
+@pytest.fixture
+def plan(tiny_state):
+    placement = {"erp": "mid", "web": "mid", "batch": "cheap-far", "bi": "cheap-far"}
+    secondary = {g: "east-dc" for g in placement}
+    return evaluate_plan(tiny_state, placement, secondary=secondary)
+
+
+def parse(text):
+    return list(csv.reader(io.StringIO(text)))
+
+
+class TestPlacementCSV:
+    def test_header_and_rows(self, tiny_state, plan):
+        buf = io.StringIO()
+        rows = write_placement_csv(tiny_state, plan, buf)
+        parsed = parse(buf.getvalue())
+        assert parsed[0] == PLACEMENT_HEADER
+        assert rows == 4
+        assert len(parsed) == 5
+
+    def test_group_details(self, tiny_state, plan):
+        buf = io.StringIO()
+        write_placement_csv(tiny_state, plan, buf)
+        by_group = {row[0]: row for row in parse(buf.getvalue())[1:]}
+        erp = by_group["erp"]
+        assert erp[1] == "40"
+        assert erp[3] == "mid"
+        assert erp[4] == "east-dc"
+        assert erp[6] == "false"  # mid is within the 10 ms threshold
+
+    def test_no_user_group_blank_latency(self, tiny_state, plan):
+        buf = io.StringIO()
+        write_placement_csv(tiny_state, plan, buf)
+        by_group = {row[0]: row for row in parse(buf.getvalue())[1:]}
+        assert by_group["batch"][5] == ""
+
+
+class TestUsageCSV:
+    def test_header_and_totals(self, tiny_state, plan):
+        buf = io.StringIO()
+        rows = write_usage_csv(plan, buf)
+        parsed = parse(buf.getvalue())
+        assert parsed[0] == USAGE_HEADER
+        assert rows == len(plan.usage)
+        total = sum(float(row[10]) for row in parsed[1:])
+        expected = sum(slot.total_cost for slot in plan.usage.values())
+        assert total == pytest.approx(expected, abs=0.1)
+
+    def test_backup_servers_column(self, tiny_state, plan):
+        buf = io.StringIO()
+        write_usage_csv(plan, buf)
+        by_site = {row[0]: row for row in parse(buf.getvalue())[1:]}
+        assert int(by_site["east-dc"][3]) == plan.backup_servers["east-dc"]
+
+
+class TestComparisonCSV:
+    def test_rows(self):
+        results = [
+            AlgorithmResult("as-is", 100.0, 90.0, 10.0, 0.0, 2, 5, 0.1),
+            AlgorithmResult("etransform", 50.0, 50.0, 0.0, 0.0, 0, 2, 1.0),
+        ]
+        buf = io.StringIO()
+        rows = write_comparison_csv(results, buf)
+        parsed = parse(buf.getvalue())
+        assert parsed[0] == COMPARISON_HEADER
+        assert rows == 2
+        assert parsed[2][0] == "etransform"
+        assert parsed[2][5] == "0"
+
+
+def test_export_plan_csv_files(tiny_state, plan, tmp_path):
+    placement_path = tmp_path / "placement.csv"
+    usage_path = tmp_path / "usage.csv"
+    export_plan_csv(tiny_state, plan, str(placement_path), str(usage_path))
+    assert placement_path.read_text().startswith("group,")
+    assert usage_path.read_text().startswith("site,")

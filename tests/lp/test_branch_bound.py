@@ -1,0 +1,127 @@
+"""Branch-and-bound MILP solver: unit cases + equivalence with HiGHS."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lp import Problem, SolveStatus, quicksum, solve
+from repro.lp.branch_bound import solve_branch_and_bound
+
+
+def knapsack(weights, values, cap):
+    p = Problem("knap")
+    xs = [p.add_binary(f"x{i}") for i in range(len(weights))]
+    p.add_constraint(quicksum(w * x for w, x in zip(weights, xs)) <= cap)
+    p.set_objective(-quicksum(v * x for v, x in zip(values, xs)))
+    return p, xs
+
+
+class TestBranchBound:
+    @pytest.mark.parametrize("engine", ["highs", "builtin"])
+    def test_knapsack_optimum(self, engine):
+        p, xs = knapsack([3, 4, 2], [4, 5, 3], 6)
+        sol = solve_branch_and_bound(p, relaxation_engine=engine)
+        assert sol.status is SolveStatus.OPTIMAL
+        assert sol.objective == pytest.approx(-8.0)
+
+    def test_pure_lp_passthrough(self):
+        p = Problem()
+        x = p.add_variable("x", ub=2.0)
+        p.set_objective(-x)
+        sol = solve_branch_and_bound(p)
+        assert sol.status is SolveStatus.OPTIMAL
+        assert sol.objective == pytest.approx(-2.0)
+
+    def test_infeasible_mip(self):
+        p = Problem()
+        x = p.add_binary("x")
+        y = p.add_binary("y")
+        p.add_constraint(x + y >= 3)
+        p.set_objective(x + y)
+        sol = solve_branch_and_bound(p)
+        assert sol.status is SolveStatus.INFEASIBLE
+
+    def test_unbounded(self):
+        p = Problem()
+        x = p.add_variable("x", lb=0.0)
+        z = p.add_binary("z")
+        p.set_objective(-x + z)
+        sol = solve_branch_and_bound(p)
+        assert sol.status is SolveStatus.UNBOUNDED
+
+    def test_general_integer_variables(self):
+        p = Problem()
+        x = p.add_integer("x", lb=0, ub=10)
+        y = p.add_integer("y", lb=0, ub=10)
+        p.add_constraint(2 * x + 3 * y <= 12)
+        p.set_objective(-(3 * x + 4 * y))
+        sol = solve_branch_and_bound(p)
+        assert sol.status is SolveStatus.OPTIMAL
+        # optimum: x=6,y=0 → -18 vs x=3,y=2 → -17; x=6 wins
+        assert sol.objective == pytest.approx(-18.0)
+
+    def test_values_are_integral(self):
+        p, xs = knapsack([5, 4, 3, 2], [10, 40, 30, 50], 10)
+        sol = solve_branch_and_bound(p)
+        for x in xs:
+            v = sol.value(x)
+            assert v == pytest.approx(round(v))
+
+    def test_node_limit_degrades_gracefully(self):
+        p, xs = knapsack(list(range(1, 9)), list(range(8, 0, -1)), 12)
+        sol = solve_branch_and_bound(p, node_limit=1)
+        assert sol.status in (SolveStatus.FEASIBLE, SolveStatus.ERROR)
+
+    def test_fractional_costs(self):
+        p = Problem()
+        x = p.add_binary("x")
+        y = p.add_binary("y")
+        p.add_constraint(1.5 * x + 2.5 * y <= 3.0)
+        p.set_objective(-(1.1 * x + 1.9 * y))
+        sol = solve_branch_and_bound(p)
+        assert sol.status is SolveStatus.OPTIMAL
+        assert sol.objective == pytest.approx(-1.9)
+
+    def test_mixed_integer_and_continuous(self):
+        p = Problem()
+        x = p.add_variable("x", lb=0.0, ub=5.0)
+        z = p.add_binary("z")
+        # x can only be positive when the binary facility is open.
+        p.add_constraint(x <= 5 * z)
+        p.set_objective(-(2 * x) + 3 * z)
+        sol = solve_branch_and_bound(p)
+        assert sol.status is SolveStatus.OPTIMAL
+        assert sol.objective == pytest.approx(-7.0)  # open: -10 + 3
+
+
+@st.composite
+def random_knapsack(draw):
+    n = draw(st.integers(min_value=2, max_value=7))
+    weights = draw(st.lists(st.integers(min_value=1, max_value=9), min_size=n, max_size=n))
+    values = draw(st.lists(st.integers(min_value=1, max_value=9), min_size=n, max_size=n))
+    cap = draw(st.integers(min_value=1, max_value=sum(weights)))
+    return weights, values, cap
+
+
+@given(random_knapsack())
+@settings(max_examples=40, deadline=None)
+def test_branch_bound_matches_highs(data):
+    weights, values, cap = data
+    p, _ = knapsack(weights, values, cap)
+    ours = solve_branch_and_bound(p, relaxation_engine="highs")
+    ref = solve(p, backend="highs")
+    assert ours.status is SolveStatus.OPTIMAL
+    assert ref.status is SolveStatus.OPTIMAL
+    assert ours.objective == pytest.approx(ref.objective, abs=1e-6)
+
+
+@given(random_knapsack())
+@settings(max_examples=15, deadline=None)
+def test_builtin_relaxation_agrees_with_highs_relaxation(data):
+    weights, values, cap = data
+    p, _ = knapsack(weights, values, cap)
+    a = solve_branch_and_bound(p, relaxation_engine="builtin")
+    b = solve_branch_and_bound(p, relaxation_engine="highs")
+    assert a.objective == pytest.approx(b.objective, abs=1e-6)

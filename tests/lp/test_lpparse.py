@@ -1,0 +1,185 @@
+"""LP-file reader + writer/reader round-trips."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lp import Problem, SolveStatus, VarType, quicksum, solve, write_lp_string
+from repro.lp.lpparse import LPParseError, parse_lp_string, read_lp_file
+
+
+SAMPLE = """
+\\* a comment *\\
+Minimize
+ obj: 2 x + 3 y - z
+Subject To
+ cap: x + y <= 10
+ low: y - 2 z >= -4
+ tie: x - y = 1
+Bounds
+ 0 <= x <= 8
+ z <= 5
+ y free
+Generals
+ x
+Binaries
+ z
+End
+"""
+
+
+class TestParsing:
+    def test_sample_structure(self):
+        p = parse_lp_string(SAMPLE)
+        assert p.num_variables == 3
+        assert p.num_constraints == 3
+        x = p.variable_by_name("x")
+        y = p.variable_by_name("y")
+        z = p.variable_by_name("z")
+        assert x.vtype is VarType.INTEGER
+        assert (x.lb, x.ub) == (0.0, 8.0)
+        assert y.lb is None and y.ub is None
+        assert z.vtype is VarType.BINARY
+        assert (z.lb, z.ub) == (0.0, 1.0)
+
+    def test_objective_coefficients(self):
+        p = parse_lp_string(SAMPLE)
+        x = p.variable_by_name("x")
+        z = p.variable_by_name("z")
+        assert p.objective.coefficient(x) == 2.0
+        assert p.objective.coefficient(z) == -1.0
+
+    def test_constraint_normalization(self):
+        p = parse_lp_string(SAMPLE)
+        by_name = {c.name: c for c in p.constraints}
+        assert by_name["low"].rhs == pytest.approx(-4.0)
+        assert by_name["tie"].rhs == pytest.approx(1.0)
+
+    def test_maximize(self):
+        p = parse_lp_string("Maximize\n obj: x\nSubject To\n c: x <= 3\nEnd\n")
+        assert p.sense == "maximize"
+
+    def test_rhs_on_left(self):
+        # Variables may appear on the right of the relation.
+        p = parse_lp_string("Minimize\n obj: x\nSubject To\n c: 4 <= x + y\nEnd\n")
+        con = p.constraints[0]
+        sol_expr = con.expr
+        assert con.sense.value == "<="
+        # normalized: 4 - x - y <= 0 → -x - y <= -4
+        assert con.rhs == pytest.approx(-4.0)
+
+    def test_wrapped_constraints(self):
+        text = (
+            "Minimize\n obj: x0\nSubject To\n"
+            " big: x0 + x1 + x2\n   + x3 + x4 <= 3\nEnd\n"
+        )
+        p = parse_lp_string(text)
+        assert len(p.constraints[0].expr.terms()) == 5
+
+    def test_missing_objective_rejected(self):
+        with pytest.raises(LPParseError, match="objective"):
+            parse_lp_string("Subject To\n c: x <= 1\nEnd\n")
+
+    def test_constraint_without_relation_rejected(self):
+        with pytest.raises(LPParseError):
+            parse_lp_string("Minimize\n obj: x\nSubject To\n c: x + 3 y\nEnd\n")
+
+    def test_double_relation_rejected(self):
+        with pytest.raises(LPParseError):
+            parse_lp_string("Minimize\n obj: x\nSubject To\n c: x <= 3 <= 4\nEnd\n")
+
+    def test_empty_rejected(self):
+        with pytest.raises(LPParseError):
+            parse_lp_string("")
+
+    def test_bad_bound_line_rejected(self):
+        with pytest.raises(LPParseError, match="bound"):
+            parse_lp_string("Minimize\n obj: x\nBounds\n x banana\nEnd\n")
+
+    def test_fixed_bound(self):
+        p = parse_lp_string("Minimize\n obj: x\nBounds\n x = 4\nEnd\n")
+        x = p.variable_by_name("x")
+        assert (x.lb, x.ub) == (4.0, 4.0)
+
+    def test_negative_infinity_lower(self):
+        p = parse_lp_string("Minimize\n obj: x\nBounds\n -inf <= x <= 2\nEnd\n")
+        x = p.variable_by_name("x")
+        assert x.lb is None and x.ub == 2.0
+
+    def test_read_lp_file(self, tmp_path):
+        path = tmp_path / "m.lp"
+        path.write_text(SAMPLE)
+        p = read_lp_file(str(path))
+        assert p.num_constraints == 3
+
+
+class TestRoundTrip:
+    def build(self):
+        p = Problem("rt")
+        x = p.add_variable("x", lb=0.0, ub=4.0)
+        y = p.add_variable("y", lb=None, ub=None)
+        z = p.add_binary("z[a,b]")
+        i = p.add_integer("count", lb=0, ub=9)
+        p.add_constraint(x + 2 * y - z <= 4, "cap")
+        p.add_constraint(y + i >= 1, "low")
+        p.add_constraint(x - i == 0, "tie")
+        p.set_objective(x + y + 5 * z + 2 * i)
+        return p
+
+    def test_written_model_parses(self):
+        original = self.build()
+        parsed = parse_lp_string(write_lp_string(original))
+        assert parsed.num_variables == original.num_variables
+        assert parsed.num_constraints == original.num_constraints
+        assert parsed.num_integer_variables == original.num_integer_variables
+
+    def test_round_trip_preserves_optimum(self):
+        original = self.build()
+        parsed = parse_lp_string(write_lp_string(original))
+        a = solve(original, backend="highs")
+        b = solve(parsed, backend="highs")
+        assert a.status is SolveStatus.OPTIMAL
+        assert b.status is SolveStatus.OPTIMAL
+        assert a.objective == pytest.approx(b.objective, rel=1e-9)
+
+    def test_consolidation_model_round_trips(self, tiny_state):
+        from repro.core import ConsolidationModel
+
+        model = ConsolidationModel(tiny_state)
+        parsed = parse_lp_string(write_lp_string(model.problem))
+        a = solve(model.problem, backend="highs")
+        b = solve(parsed, backend="highs")
+        assert b.objective == pytest.approx(a.objective, rel=1e-9)
+
+
+@st.composite
+def random_small_milp(draw):
+    n = draw(st.integers(min_value=1, max_value=5))
+    m = draw(st.integers(min_value=1, max_value=4))
+    p = Problem("rand")
+    xs = []
+    for i in range(n):
+        integral = draw(st.booleans())
+        if integral:
+            xs.append(p.add_binary(f"x{i}"))
+        else:
+            xs.append(p.add_variable(f"x{i}", ub=draw(st.integers(1, 9))))
+    coef = st.integers(min_value=-5, max_value=5)
+    for j in range(m):
+        row = quicksum(draw(coef) * x for x in xs)
+        rhs = draw(st.integers(min_value=0, max_value=20))
+        p.add_constraint(row <= rhs, f"c{j}")
+    p.set_objective(quicksum(draw(coef) * x for x in xs))
+    return p
+
+
+@given(random_small_milp())
+@settings(max_examples=40, deadline=None)
+def test_random_models_round_trip_through_lp_format(p):
+    parsed = parse_lp_string(write_lp_string(p))
+    a = solve(p, backend="highs")
+    b = solve(parsed, backend="highs")
+    assert a.status == b.status
+    if a.status is SolveStatus.OPTIMAL:
+        assert a.objective == pytest.approx(b.objective, rel=1e-7, abs=1e-7)

@@ -1,0 +1,91 @@
+"""Array-level LP interface used by branch-and-bound nodes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lp.matrix_lp import solve_lp_arrays
+
+
+def arrays(c, a_ub=None, b_ub=None, a_eq=None, b_eq=None, lb=None, ub=None):
+    n = len(c)
+    return dict(
+        c=np.array(c, dtype=float),
+        a_ub=np.array(a_ub, dtype=float) if a_ub is not None else np.zeros((0, n)),
+        b_ub=np.array(b_ub, dtype=float) if b_ub is not None else np.zeros(0),
+        a_eq=np.array(a_eq, dtype=float) if a_eq is not None else np.zeros((0, n)),
+        b_eq=np.array(b_eq, dtype=float) if b_eq is not None else np.zeros(0),
+        lb=np.array(lb, dtype=float) if lb is not None else np.zeros(n),
+        ub=np.array(ub, dtype=float) if ub is not None else np.full(n, np.inf),
+    )
+
+
+@pytest.mark.parametrize("engine", ["highs", "builtin"])
+class TestEngines:
+    def test_bounded_lp(self, engine):
+        kw = arrays([-1.0, -2.0], a_ub=[[1, 1]], b_ub=[4], ub=[3, 2])
+        res = solve_lp_arrays(engine=engine, **kw)
+        assert res.status == "optimal"
+        assert res.objective == pytest.approx(-6.0)
+
+    def test_equality_rows(self, engine):
+        kw = arrays([1.0, 1.0], a_eq=[[1, -1]], b_eq=[1], ub=[5, 5])
+        res = solve_lp_arrays(engine=engine, **kw)
+        assert res.status == "optimal"
+        assert res.objective == pytest.approx(1.0)  # x=1, y=0
+
+    def test_shifted_lower_bounds(self, engine):
+        kw = arrays([1.0], lb=[2.0], ub=[9.0])
+        res = solve_lp_arrays(engine=engine, **kw)
+        assert res.status == "optimal"
+        assert res.x[0] == pytest.approx(2.0)
+
+    def test_free_variable(self, engine):
+        kw = arrays([1.0], a_ub=[[-1.0]], b_ub=[5.0],
+                    lb=[-np.inf], ub=[np.inf])  # x >= -5
+        res = solve_lp_arrays(engine=engine, **kw)
+        assert res.status == "optimal"
+        assert res.x[0] == pytest.approx(-5.0)
+
+    def test_infeasible(self, engine):
+        kw = arrays([1.0], a_ub=[[1.0], [-1.0]], b_ub=[1.0, -2.0])  # x<=1, x>=2
+        res = solve_lp_arrays(engine=engine, **kw)
+        assert res.status == "infeasible"
+
+    def test_unbounded(self, engine):
+        kw = arrays([-1.0])
+        res = solve_lp_arrays(engine=engine, **kw)
+        assert res.status == "unbounded"
+
+    def test_crossed_bounds_short_circuit(self, engine):
+        kw = arrays([1.0], lb=[3.0], ub=[2.0])
+        res = solve_lp_arrays(engine=engine, **kw)
+        assert res.status == "infeasible"
+
+
+def test_unknown_engine():
+    with pytest.raises(ValueError):
+        solve_lp_arrays(engine="cplex", **arrays([1.0]))
+
+
+bounded = st.floats(min_value=-4, max_value=4, allow_nan=False)
+
+
+@given(
+    c=st.lists(bounded, min_size=2, max_size=5),
+    rows=st.integers(min_value=1, max_value=3),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=40, deadline=None)
+def test_builtin_matches_highs_on_random_bounded_lps(c, rows, seed):
+    rng = np.random.default_rng(seed)
+    n = len(c)
+    a_ub = rng.uniform(-2, 2, size=(rows, n))
+    b_ub = rng.uniform(1, 5, size=rows)  # x=0 always feasible
+    kw = arrays(c, a_ub=a_ub, b_ub=b_ub, ub=[3.0] * n)
+    ours = solve_lp_arrays(engine="builtin", **kw)
+    ref = solve_lp_arrays(engine="highs", **kw)
+    assert ours.status == ref.status == "optimal"
+    assert ours.objective == pytest.approx(ref.objective, rel=1e-6, abs=1e-6)

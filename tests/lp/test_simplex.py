@@ -1,0 +1,117 @@
+"""From-scratch simplex: unit cases plus property tests against HiGHS."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from scipy.optimize import linprog
+
+from repro.lp.simplex import solve_standard_form
+
+
+class TestStandardFormSolver:
+    def test_simple_optimum(self):
+        # min -x1 - 2x2  s.t. x1 + x2 + s = 4; bounds via extra rows.
+        a = np.array([[1.0, 1.0, 1.0]])
+        b = np.array([4.0])
+        c = np.array([-1.0, -2.0, 0.0])
+        res = solve_standard_form(a, b, c)
+        assert res.status == "optimal"
+        assert res.objective == pytest.approx(-8.0)
+
+    def test_degenerate_problem(self):
+        # Redundant constraints causing degeneracy.
+        a = np.array([[1.0, 1.0, 1.0, 0.0], [1.0, 1.0, 0.0, 1.0]])
+        b = np.array([2.0, 2.0])
+        c = np.array([-1.0, -1.0, 0.0, 0.0])
+        res = solve_standard_form(a, b, c)
+        assert res.status == "optimal"
+        assert res.objective == pytest.approx(-2.0)
+
+    def test_infeasible(self):
+        # x1 = 1 and x1 = 2 simultaneously.
+        a = np.array([[1.0], [1.0]])
+        b = np.array([1.0, 2.0])
+        c = np.array([1.0])
+        res = solve_standard_form(a, b, c)
+        assert res.status == "infeasible"
+
+    def test_unbounded(self):
+        # min -x1 with x1 - x2 = 0 (both can grow forever).
+        a = np.array([[1.0, -1.0]])
+        b = np.array([0.0])
+        c = np.array([-1.0, 0.0])
+        res = solve_standard_form(a, b, c)
+        assert res.status == "unbounded"
+
+    def test_no_constraints_zero_optimum(self):
+        res = solve_standard_form(np.zeros((0, 2)), np.zeros(0), np.array([1.0, 2.0]))
+        assert res.status == "optimal"
+        assert res.objective == 0.0
+
+    def test_no_constraints_unbounded(self):
+        res = solve_standard_form(np.zeros((0, 1)), np.zeros(0), np.array([-1.0]))
+        assert res.status == "unbounded"
+
+    def test_negative_rhs_rejected(self):
+        with pytest.raises(ValueError):
+            solve_standard_form(np.ones((1, 1)), np.array([-1.0]), np.ones(1))
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            solve_standard_form(np.ones((1, 2)), np.ones(2), np.ones(2))
+        with pytest.raises(ValueError):
+            solve_standard_form(np.ones((1, 2)), np.ones(1), np.ones(3))
+
+    def test_solution_satisfies_constraints(self):
+        rng = np.random.default_rng(4)
+        a = rng.uniform(0, 1, size=(3, 6))
+        x_feas = rng.uniform(0, 1, size=6)
+        b = a @ x_feas  # feasible by construction
+        c = rng.uniform(-1, 1, size=6)
+        res = solve_standard_form(a, b, c)
+        assert res.status == "optimal"
+        assert np.allclose(a @ res.x, b, atol=1e-7)
+        assert (res.x >= -1e-9).all()
+
+
+@st.composite
+def random_feasible_lp(draw):
+    """Random standard-form LP that is feasible by construction."""
+    m = draw(st.integers(min_value=1, max_value=4))
+    n = draw(st.integers(min_value=m, max_value=7))
+    elems = st.floats(min_value=-3, max_value=3, allow_nan=False)
+    a = np.array(
+        draw(
+            st.lists(
+                st.lists(elems, min_size=n, max_size=n), min_size=m, max_size=m
+            )
+        )
+    )
+    x_feas = np.array(
+        draw(st.lists(st.floats(min_value=0, max_value=3, allow_nan=False),
+                      min_size=n, max_size=n))
+    )
+    b = a @ x_feas
+    # Standard form wants b >= 0: flip offending rows.
+    neg = b < 0
+    a[neg] *= -1
+    b[neg] *= -1
+    c = np.array(draw(st.lists(elems, min_size=n, max_size=n)))
+    return a, b, c
+
+
+@given(random_feasible_lp())
+@settings(max_examples=60, deadline=None)
+def test_simplex_matches_highs_on_random_lps(lp):
+    a, b, c = lp
+    ours = solve_standard_form(a, b, c)
+    ref = linprog(c, A_eq=a, b_eq=b, bounds=[(0, None)] * len(c), method="highs")
+    if ref.status == 0:
+        assert ours.status == "optimal"
+        assert ours.objective == pytest.approx(ref.fun, rel=1e-6, abs=1e-6)
+    elif ref.status == 3:
+        assert ours.status == "unbounded"
+    elif ref.status == 2:
+        assert ours.status == "infeasible"

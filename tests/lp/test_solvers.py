@@ -1,0 +1,152 @@
+"""Backend registry and cross-backend agreement tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lp import (
+    Problem,
+    Solution,
+    SolveStatus,
+    available_backends,
+    quicksum,
+    register_backend,
+    solve,
+)
+
+
+def assignment_problem():
+    """3 items → 2 bins, with costs; a miniature of the paper's MILP."""
+    p = Problem("assign")
+    costs = {(0, 0): 4, (0, 1): 2, (1, 0): 3, (1, 1): 5, (2, 0): 1, (2, 1): 6}
+    x = {}
+    for (i, j), _ in costs.items():
+        x[(i, j)] = p.add_binary(f"x{i}{j}")
+    for i in range(3):
+        p.add_constraint(quicksum(x[(i, j)] for j in range(2)) == 1)
+    # bin capacities (weights all 1, cap 2)
+    for j in range(2):
+        p.add_constraint(quicksum(x[(i, j)] for i in range(3)) <= 2)
+    p.set_objective(quicksum(c * x[k] for k, c in costs.items()))
+    return p
+
+
+class TestRegistry:
+    def test_available_backends(self):
+        names = available_backends()
+        for expected in ("auto", "branch_bound", "highs", "rounding", "simplex"):
+            assert expected in names
+
+    def test_unknown_backend(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            solve(Problem(), backend="cplex")
+
+    def test_register_custom_backend(self):
+        def fake(problem, **options):
+            return Solution(SolveStatus.ERROR, solver="fake", message="hi")
+
+        register_backend("fake-test", fake)
+        sol = solve(Problem(), backend="fake-test")
+        assert sol.solver == "fake"
+        with pytest.raises(ValueError):
+            register_backend("fake-test", fake)
+
+
+class TestCrossBackendAgreement:
+    def test_exact_backends_agree(self):
+        p = assignment_problem()
+        highs = solve(p, backend="highs")
+        bb = solve(p, backend="branch_bound")
+        assert highs.status is SolveStatus.OPTIMAL
+        assert bb.status is SolveStatus.OPTIMAL
+        assert highs.objective == pytest.approx(bb.objective)
+        assert highs.objective == pytest.approx(2 + 3 + 1)  # optimal split
+
+    def test_auto_is_exact(self):
+        p = assignment_problem()
+        sol = solve(p, backend="auto")
+        assert sol.status is SolveStatus.OPTIMAL
+        assert sol.objective == pytest.approx(6.0)
+
+    def test_rounding_feasible_but_maybe_suboptimal(self):
+        p = assignment_problem()
+        sol = solve(p, backend="rounding")
+        if sol.status is SolveStatus.FEASIBLE:
+            assert sol.objective >= 6.0 - 1e-9
+            values = sol.values
+            assert p.is_feasible(values)
+
+    def test_simplex_rejects_mips(self):
+        with pytest.raises(ValueError, match="pure LPs only"):
+            solve(assignment_problem(), backend="simplex")
+
+    def test_simplex_lp_matches_highs_lp(self):
+        p = Problem()
+        x = p.add_variable("x", ub=4.0)
+        y = p.add_variable("y", ub=4.0)
+        p.add_constraint(x + y <= 6)
+        p.add_constraint(x - y >= -2)
+        p.set_objective(-(3 * x + 2 * y))
+        s1 = solve(p, backend="simplex")
+        s2 = solve(p, backend="highs")
+        assert s1.objective == pytest.approx(s2.objective)
+
+
+class TestSolutionType:
+    def test_value_lookup_and_default(self):
+        p = Problem()
+        x = p.add_variable("x", ub=1.0)
+        p.set_objective(-x)
+        sol = solve(p, backend="highs")
+        assert sol.value(x) == pytest.approx(1.0)
+        from repro.lp import Variable
+
+        ghost = Variable("ghost")
+        assert sol.value(ghost, 0.5) == 0.5
+        with pytest.raises(KeyError):
+            sol.value(ghost)
+
+    def test_as_name_dict(self):
+        p = Problem()
+        x = p.add_variable("x", ub=1.0)
+        p.set_objective(-x)
+        sol = solve(p, backend="highs")
+        assert sol.as_name_dict() == {"x": pytest.approx(1.0)}
+
+    def test_status_has_solution_flags(self):
+        assert SolveStatus.OPTIMAL.has_solution
+        assert SolveStatus.FEASIBLE.has_solution
+        assert not SolveStatus.INFEASIBLE.has_solution
+        assert not SolveStatus.UNBOUNDED.has_solution
+        assert not SolveStatus.ERROR.has_solution
+
+
+class TestHighsStatuses:
+    def test_infeasible(self):
+        p = Problem()
+        x = p.add_binary("x")
+        p.add_constraint(x >= 2)
+        p.set_objective(x)
+        assert solve(p, backend="highs").status is SolveStatus.INFEASIBLE
+
+    def test_unbounded_lp(self):
+        p = Problem()
+        x = p.add_variable("x", lb=None, ub=None)
+        p.set_objective(x)
+        assert solve(p, backend="highs").status is SolveStatus.UNBOUNDED
+
+    def test_equality_constraints(self):
+        p = Problem()
+        x = p.add_variable("x")
+        y = p.add_variable("y")
+        p.add_constraint(x + y == 5)
+        p.set_objective(x + 2 * y)
+        sol = solve(p, backend="highs")
+        assert sol.objective == pytest.approx(5.0)
+
+    def test_maximize(self):
+        p = Problem(sense="maximize")
+        x = p.add_variable("x", ub=3.0)
+        p.set_objective(2 * x + 1)
+        sol = solve(p, backend="highs")
+        assert sol.objective == pytest.approx(7.0)

@@ -1,0 +1,110 @@
+"""Tests for Problem → matrix/standard-form conversions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.lp import ObjectiveSense, Problem
+from repro.lp.standard_form import to_matrix_form, to_standard_form
+
+
+def small_problem():
+    p = Problem()
+    x = p.add_variable("x", lb=1.0, ub=4.0)
+    y = p.add_variable("y", lb=None, ub=None)  # free
+    z = p.add_binary("z")
+    p.add_constraint(x + 2 * y <= 10, "c_le")
+    p.add_constraint(y + z >= -2, "c_ge")
+    p.add_constraint(x - z == 1, "c_eq")
+    p.set_objective(3 * x - y + 5 * z + 7)
+    return p, x, y, z
+
+
+class TestMatrixForm:
+    def test_shapes_and_bounds(self):
+        p, x, y, z = small_problem()
+        form = to_matrix_form(p)
+        assert form.c.shape == (3,)
+        assert form.a_ub.shape == (2, 3)  # LE row + flipped GE row
+        assert form.a_eq.shape == (1, 3)
+        assert form.lb[0] == 1.0 and form.ub[0] == 4.0
+        assert np.isneginf(form.lb[1]) and np.isposinf(form.ub[1])
+        assert form.integrality.tolist() == [0, 0, 1]
+
+    def test_ge_rows_are_flipped(self):
+        p, x, y, z = small_problem()
+        form = to_matrix_form(p)
+        # second ub row encodes -(y + z) <= 2
+        assert form.b_ub[1] == pytest.approx(2.0)
+        assert form.a_ub[1].tolist() == [0.0, -1.0, -1.0]
+
+    def test_objective_constant_carried(self):
+        p, *_ = small_problem()
+        form = to_matrix_form(p)
+        assert form.c0 == pytest.approx(7.0)
+
+    def test_maximize_flips_sign(self):
+        p = Problem(sense=ObjectiveSense.MAXIMIZE)
+        x = p.add_variable("x")
+        p.set_objective(2 * x)
+        form = to_matrix_form(p)
+        assert form.c[0] == pytest.approx(-2.0)
+        assert form.objective_sign == -1.0
+
+    def test_empty_constraint_matrices(self):
+        p = Problem()
+        p.add_variable("x")
+        form = to_matrix_form(p)
+        assert form.a_ub.shape == (0, 1)
+        assert form.a_eq.shape == (0, 1)
+
+
+class TestStandardForm:
+    def test_b_nonnegative(self):
+        p, *_ = small_problem()
+        sf = to_standard_form(p)
+        assert (sf.b >= 0).all()
+
+    def test_recover_roundtrip(self):
+        p, x, y, z = small_problem()
+        sf = to_standard_form(p)
+        # Construct a standard-form point representing x=2, y=-1, z=1.
+        n = sf.a.shape[1]
+        point = np.zeros(n)
+        point[sf.plus_index[x]] = 2.0 - 1.0  # shifted by lb=1
+        point[sf.plus_index[y]] = 0.0
+        point[sf.minus_index[y]] = 1.0  # y = 0 - 1 = -1
+        point[sf.plus_index[z]] = 1.0
+        values = sf.recover(point)
+        assert values[x] == pytest.approx(2.0)
+        assert values[y] == pytest.approx(-1.0)
+        assert values[z] == pytest.approx(1.0)
+
+    def test_free_variable_split(self):
+        p, x, y, z = small_problem()
+        sf = to_standard_form(p)
+        assert y in sf.minus_index
+        assert x not in sf.minus_index
+
+    def test_shift_recorded_for_bounded(self):
+        p, x, y, z = small_problem()
+        sf = to_standard_form(p)
+        assert sf.shift[x] == 1.0
+
+    def test_upper_bounds_become_rows(self):
+        p = Problem()
+        x = p.add_variable("x", lb=0.0, ub=3.0)
+        p.set_objective(-x)
+        sf = to_standard_form(p)
+        # one row: x + slack = 3
+        assert sf.a.shape[0] == 1
+        assert sf.b[0] == pytest.approx(3.0)
+
+    def test_objective_constant_includes_shift(self):
+        p = Problem()
+        x = p.add_variable("x", lb=2.0)
+        p.set_objective(3 * x + 1)
+        sf = to_standard_form(p)
+        # c0 = 1 + 3*2
+        assert sf.c0 == pytest.approx(7.0)

@@ -1,0 +1,93 @@
+"""Migration schedule data model."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.migration import MigrationSchedule, Move, Wave
+
+
+def make_wave(index=1, servers=(10, 20), dual=100.0):
+    wave = Wave(index=index, dual_run_cost=dual)
+    for i, s in enumerate(servers):
+        wave.moves.append(
+            Move(
+                group=f"g{index}{i}",
+                servers=s,
+                from_site="old",
+                to_site="new",
+                data_gb=s * 100.0,
+                move_cost=s * 10.0,
+            )
+        )
+    return wave
+
+
+class TestMove:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Move("g", 0, "a", "b", 1.0, 1.0)
+        with pytest.raises(ValueError):
+            Move("g", 1, "a", "b", -1.0, 1.0)
+
+
+class TestWave:
+    def test_aggregates(self):
+        wave = make_wave()
+        assert wave.servers == 30
+        assert wave.groups == ["g10", "g11"]
+        assert wave.data_gb == 3000.0
+        assert wave.move_cost == pytest.approx(30 * 10.0 + 100.0)
+
+
+class TestSchedule:
+    def make(self):
+        return MigrationSchedule(
+            waves=[make_wave(1, (10,)), make_wave(2, (20, 30))],
+            monthly_saving=5000.0,
+            wave_interval_days=14.0,
+        )
+
+    def test_totals(self):
+        s = self.make()
+        assert s.num_waves == 2
+        assert s.total_servers == 60
+        assert s.total_move_cost == pytest.approx(600.0 + 200.0)
+        assert s.duration_days == 28.0
+
+    def test_payback(self):
+        s = self.make()
+        assert s.payback_months == pytest.approx(800.0 / 5000.0)
+
+    def test_payback_infinite_without_savings(self):
+        s = MigrationSchedule(waves=[make_wave()], monthly_saving=0.0)
+        assert math.isinf(s.payback_months)
+
+    def test_savings_curve_monotone_after_completion(self):
+        s = self.make()
+        curve = s.cumulative_savings_curve(12)
+        assert len(curve) == 12
+        # After all waves have executed, slope = full monthly saving.
+        assert curve[-1] - curve[-2] == pytest.approx(5000.0)
+        # Eventually positive (project pays back).
+        assert curve[-1] > 0
+
+    def test_savings_curve_validation(self):
+        with pytest.raises(ValueError):
+            self.make().cumulative_savings_curve(-1)
+
+    def test_empty_schedule(self):
+        s = MigrationSchedule()
+        assert s.duration_days == 0.0
+        assert s.total_move_cost == 0.0
+
+    def test_render(self):
+        text = self.make().render()
+        assert "2 waves" in text
+        assert "payback" in text
+
+    def test_render_warns_without_savings(self):
+        s = MigrationSchedule(waves=[make_wave()], monthly_saving=-10.0)
+        assert "warning" in s.render()

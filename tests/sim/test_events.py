@@ -1,0 +1,53 @@
+"""Discrete-event queue."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import Event, EventKind, EventQueue
+
+
+class TestEventQueue:
+    def test_time_ordering(self):
+        q = EventQueue()
+        q.push(5.0, EventKind.SITE_FAIL, "a")
+        q.push(1.0, EventKind.SITE_FAIL, "b")
+        q.push(3.0, EventKind.SITE_REPAIR, "b")
+        times = [q.pop().time_hours for _ in range(3)]
+        assert times == [1.0, 3.0, 5.0]
+
+    def test_stable_tiebreak(self):
+        q = EventQueue()
+        q.push(2.0, EventKind.SITE_FAIL, "first")
+        q.push(2.0, EventKind.SITE_REPAIR, "second")
+        assert q.pop().site == "first"
+        assert q.pop().site == "second"
+
+    def test_negative_time_rejected(self):
+        q = EventQueue()
+        with pytest.raises(ValueError):
+            q.push(-1.0, EventKind.SITE_FAIL, "a")
+
+    def test_pop_empty(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+    def test_len_and_bool(self):
+        q = EventQueue()
+        assert not q
+        q.push(1.0, EventKind.SITE_FAIL)
+        assert len(q) == 1
+        assert q
+
+    def test_drain_until_excludes_horizon(self):
+        q = EventQueue()
+        for t in (1.0, 2.0, 3.0, 4.0):
+            q.push(t, EventKind.SITE_FAIL)
+        drained = list(q.drain_until(3.0))
+        assert [e.time_hours for e in drained] == [1.0, 2.0]
+        assert len(q) == 2
+
+    def test_event_ordering_dataclass(self):
+        a = Event(1.0, 0)
+        b = Event(2.0, 1)
+        assert a < b

@@ -1,0 +1,77 @@
+"""Failure sampling."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import FailureModelConfig, Outage, sample_outages
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        FailureModelConfig()
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            FailureModelConfig(mtbf_hours=0)
+        with pytest.raises(ValueError):
+            FailureModelConfig(mttr_hours=-1)
+
+
+class TestOutage:
+    def test_duration(self):
+        assert Outage("a", 1.0, 5.0).duration_hours == 4.0
+
+    def test_backwards_rejected(self):
+        with pytest.raises(ValueError):
+            Outage("a", 5.0, 1.0)
+
+
+class TestSampling:
+    CONFIG = FailureModelConfig(mtbf_hours=500.0, mttr_hours=24.0, seed=3)
+
+    def test_sorted_by_start(self):
+        outages = sample_outages(["a", "b", "c"], 50_000.0, self.CONFIG)
+        starts = [o.start_hours for o in outages]
+        assert starts == sorted(starts)
+
+    def test_deterministic_per_seed(self):
+        a = sample_outages(["a", "b"], 10_000.0, self.CONFIG)
+        b = sample_outages(["a", "b"], 10_000.0, self.CONFIG)
+        assert a == b
+
+    def test_within_horizon(self):
+        outages = sample_outages(["a"], 10_000.0, self.CONFIG)
+        for o in outages:
+            assert 0 <= o.start_hours < 10_000.0
+            assert o.end_hours <= 10_000.0
+
+    def test_no_overlap_per_site(self):
+        outages = sample_outages(["a"], 100_000.0, self.CONFIG)
+        for prev, nxt in zip(outages, outages[1:]):
+            assert nxt.start_hours >= prev.end_hours
+
+    def test_rate_roughly_matches_mtbf(self):
+        horizon = 1_000_000.0
+        outages = sample_outages(["a"], horizon, self.CONFIG)
+        expected = horizon / (self.CONFIG.mtbf_hours + self.CONFIG.mttr_hours)
+        assert expected * 0.7 < len(outages) < expected * 1.3
+
+    def test_horizon_validation(self):
+        with pytest.raises(ValueError):
+            sample_outages(["a"], 0.0, self.CONFIG)
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=25, deadline=None)
+def test_outage_invariants_hold_for_any_seed(seed):
+    config = FailureModelConfig(mtbf_hours=200.0, mttr_hours=50.0, seed=seed)
+    outages = sample_outages(["x", "y"], 20_000.0, config)
+    per_site: dict[str, float] = {}
+    for o in outages:
+        assert o.end_hours <= 20_000.0
+        assert o.duration_hours >= 0
+        if o.site in per_site:
+            assert o.start_hours >= per_site[o.site]
+        per_site[o.site] = o.end_hours

@@ -1,0 +1,140 @@
+"""CLI subcommands (exercised in-process through main())."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.io import save_state
+
+
+@pytest.fixture
+def state_file(tiny_state, tmp_path):
+    # tiny_state has no current estate; add one for `asis`/`compare`.
+    path = tmp_path / "state.json"
+    save_state(tiny_state, str(path))
+    return str(path)
+
+
+@pytest.fixture
+def full_state_file(asis_capable_state, tmp_path):
+    path = tmp_path / "full.json"
+    save_state(asis_capable_state, str(path))
+    return str(path)
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_backend_choices_are_free_text(self):
+        args = build_parser().parse_args(["plan", "x.json", "--backend", "highs"])
+        assert args.backend == "highs"
+
+
+class TestDataset:
+    def test_generates_file(self, tmp_path, capsys):
+        out = tmp_path / "e1.json"
+        code = main(["dataset", "enterprise1", str(out), "--scale", "0.1"])
+        assert code == 0
+        data = json.loads(out.read_text())
+        assert data["name"] == "enterprise1"
+        assert "wrote" in capsys.readouterr().out
+
+    def test_unknown_dataset(self, tmp_path, capsys):
+        code = main(["dataset", "narnia", str(tmp_path / "x.json")])
+        assert code == 2
+        assert "unknown dataset" in capsys.readouterr().err
+
+
+class TestPlan:
+    def test_plan_report_printed(self, state_file, capsys):
+        code = main(["plan", state_file, "--backend", "highs"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Transformation plan" in out
+        assert "TOTAL" in out
+
+    def test_plan_output_file(self, state_file, tmp_path, capsys):
+        out_file = tmp_path / "plan.json"
+        code = main([
+            "plan", state_file, "--backend", "highs", "--output", str(out_file),
+        ])
+        assert code == 0
+        data = json.loads(out_file.read_text())
+        assert set(data["placement"]) == {"erp", "web", "batch", "bi"}
+
+    def test_plan_with_dr_and_lp_export(self, state_file, tmp_path, capsys):
+        lp_file = tmp_path / "model.lp"
+        code = main([
+            "plan", state_file, "--backend", "highs", "--dr",
+            "--lp-export", str(lp_file), "--mip-gap", "0.01",
+        ])
+        assert code == 0
+        assert "Binaries" in lp_file.read_text()
+        assert "disaster recovery" in capsys.readouterr().out
+
+    def test_vpn_wan_model(self, state_file, capsys):
+        assert main(["plan", state_file, "--backend", "highs",
+                     "--wan-model", "vpn"]) == 0
+
+
+class TestCompare:
+    def test_compare_table(self, full_state_file, capsys):
+        code = main(["compare", full_state_file, "--backend", "highs"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for algorithm in ("as-is", "manual", "greedy", "etransform"):
+            assert algorithm in out
+
+
+class TestAsIs:
+    def test_asis_report(self, full_state_file, capsys):
+        assert main(["asis", full_state_file]) == 0
+        assert "Transformation plan" in capsys.readouterr().out
+
+    def test_asis_with_dr(self, full_state_file, capsys):
+        assert main(["asis", full_state_file, "--dr"]) == 0
+        assert "Backup pools" in capsys.readouterr().out
+
+
+class TestMigrate:
+    def test_migrate_report(self, full_state_file, capsys):
+        assert main(["migrate", full_state_file, "--backend", "highs"]) == 0
+        out = capsys.readouterr().out
+        assert "Migration plan" in out
+        assert "payback" in out
+
+    def test_wave_budget_flag(self, full_state_file, capsys):
+        assert main([
+            "migrate", full_state_file, "--backend", "highs",
+            "--wave-budget", "40",
+        ]) == 0
+        assert "waves" in capsys.readouterr().out
+
+
+class TestSimulate:
+    def test_simulate_report(self, state_file, capsys):
+        code = main([
+            "simulate", state_file, "--dr", "--backend", "highs",
+            "--mtbf-hours", "2000", "--horizon-months", "24",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "availability" in out
+
+
+class TestAnalysisCommands:
+    def test_sensitivity(self, state_file, capsys):
+        assert main(["sensitivity", state_file, "wan", "--backend", "highs"]) == 0
+        out = capsys.readouterr().out
+        assert "elasticity" in out
+
+    def test_robustness(self, state_file, capsys):
+        assert main([
+            "robustness", state_file, "--samples", "2", "--backend", "highs",
+        ]) == 0
+        assert "regret" in capsys.readouterr().out
