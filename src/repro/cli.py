@@ -36,6 +36,22 @@ def _add_solver_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument("--time-limit", type=float, default=None, metavar="SECONDS")
     parser.add_argument("--mip-gap", type=float, default=None, metavar="FRACTION")
+    parser.add_argument(
+        "--presolve",
+        action="store_true",
+        help="run the safe presolve reductions before the real solve",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print per-solve search statistics (nodes, iterations, gap, presolve)",
+    )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="append one JSON record per solve to FILE (JSON lines)",
+    )
 
 
 def _solver_options(args: argparse.Namespace) -> dict:
@@ -45,6 +61,19 @@ def _solver_options(args: argparse.Namespace) -> dict:
     if args.mip_gap is not None:
         options["mip_rel_gap"] = args.mip_gap
     return options
+
+
+def _maybe_print_stats(args: argparse.Namespace, stats) -> None:
+    """Print the --profile statistics block when requested."""
+    if not getattr(args, "profile", False):
+        return
+    from .io import render_solve_stats
+
+    print()
+    if stats is None:
+        print("Solver statistics\n  (no solver statistics recorded)")
+    else:
+        print(render_solve_stats(stats))
 
 
 def _cmd_dataset(args: argparse.Namespace) -> int:
@@ -73,9 +102,11 @@ def _cmd_plan(args: argparse.Namespace) -> int:
         backend=args.backend,
         solver_options=_solver_options(args),
         lp_export_path=args.lp_export,
+        presolve=args.presolve,
     )
     plan = ETransformPlanner(state, options).plan()
     print(render_plan_report(state, plan))
+    _maybe_print_stats(args, plan.solver_stats)
     if args.output:
         save_plan(plan, args.output)
         print(f"\nplan written to {args.output}")
@@ -92,6 +123,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         solver_options=_solver_options(args),
     )
     print(tables.render_comparison(result))
+    _maybe_print_stats(args, result.etransform.solve_stats)
     return 0
 
 
@@ -120,7 +152,8 @@ def _cmd_migrate(args: argparse.Namespace) -> int:
 
     state = load_state(args.input)
     options = PlannerOptions(
-        enable_dr=args.dr, backend=args.backend, solver_options=_solver_options(args)
+        enable_dr=args.dr, backend=args.backend,
+        solver_options=_solver_options(args), presolve=args.presolve,
     )
     plan = ETransformPlanner(state, options).plan()
     config = MigrationConfig(
@@ -129,6 +162,7 @@ def _cmd_migrate(args: argparse.Namespace) -> int:
     )
     schedule = plan_migration(state, plan, config)
     print(schedule.render())
+    _maybe_print_stats(args, plan.solver_stats)
     return 0
 
 
@@ -137,7 +171,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
     state = load_state(args.input)
     options = PlannerOptions(
-        enable_dr=args.dr, backend=args.backend, solver_options=_solver_options(args)
+        enable_dr=args.dr, backend=args.backend,
+        solver_options=_solver_options(args), presolve=args.presolve,
     )
     plan = ETransformPlanner(state, options).plan()
     config = SimulatorConfig(
@@ -148,6 +183,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     )
     report = simulate_plan(state, plan, config)
     print(report.summary())
+    _maybe_print_stats(args, plan.solver_stats)
     return 0
 
 
@@ -155,7 +191,9 @@ def _cmd_sensitivity(args: argparse.Namespace) -> int:
     from .analysis import run_sensitivity
 
     state = load_state(args.input)
-    options = PlannerOptions(backend=args.backend, solver_options=_solver_options(args))
+    options = PlannerOptions(backend=args.backend,
+                             solver_options=_solver_options(args),
+                             presolve=args.presolve)
     result = run_sensitivity(state, args.dimension, options=options)
     print(result.render())
     return 0
@@ -165,7 +203,9 @@ def _cmd_robustness(args: argparse.Namespace) -> int:
     from .analysis import run_robustness
 
     state = load_state(args.input)
-    options = PlannerOptions(backend=args.backend, solver_options=_solver_options(args))
+    options = PlannerOptions(backend=args.backend,
+                             solver_options=_solver_options(args),
+                             presolve=args.presolve)
     result = run_robustness(
         state, sigma=args.sigma, samples=args.samples, options=options
     )
@@ -252,6 +292,21 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    trace_path = getattr(args, "trace", None)
+    if trace_path:
+        from .telemetry import trace_to
+
+        # Open eagerly so a bad path is a clean CLI error, not a traceback.
+        try:
+            handle = open(trace_path, "a", encoding="utf-8")
+        except OSError as exc:
+            print(f"cannot open trace file {trace_path!r}: {exc}", file=sys.stderr)
+            return 2
+        try:
+            with trace_to(handle):
+                return args.fn(args)
+        finally:
+            handle.close()
     return args.fn(args)
 
 

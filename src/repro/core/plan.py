@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
+from ..telemetry import SolveStats
 from .entities import ApplicationGroup, AsIsState, CostParameters, DataCenter
 from .wan import inter_site_wan_price, undirected_peer_traffic, wan_cost
 
@@ -102,6 +103,9 @@ class TransformationPlan:
         evaluated costs (see :func:`evaluate_plan`).
     latency_violations:
         number of latency-sensitive groups placed above their threshold.
+    solver_stats:
+        :class:`repro.telemetry.SolveStats` of the solve that produced
+        this plan; ``None`` for heuristic/as-is plans with no solver.
     """
 
     placement: dict[str, str]
@@ -112,6 +116,7 @@ class TransformationPlan:
     latency_violations: int = 0
     solver: str = ""
     objective: float = float("nan")
+    solver_stats: SolveStats | None = None
 
     @property
     def total_cost(self) -> float:

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..lp import SolveStatus, solve, write_lp_file
+from ..lp import SolveStatus, solve, solve_with_presolve, write_lp_file
 from .formulation import ConsolidationModel, ModelOptions
 from .entities import AsIsState
 from .plan import TransformationPlan, evaluate_plan
@@ -31,6 +31,9 @@ class PlannerOptions:
     (``time_limit``, ``mip_rel_gap``, ``node_limit``, ...).
     ``lp_export_path`` optionally dumps the model in CPLEX LP format
     before solving, mirroring the paper's LP-file hand-off.
+    ``presolve`` routes the solve through
+    :func:`repro.lp.solve_with_presolve`, so the plan's solver stats
+    also report rows/columns eliminated before the real solve.
     """
 
     wan_model: str = "metered"
@@ -41,6 +44,7 @@ class PlannerOptions:
     solver_options: dict = field(default_factory=dict)
     lp_export_path: str | None = None
     validate_inputs: bool = True
+    presolve: bool = False
 
     def model_options(self) -> ModelOptions:
         return ModelOptions(
@@ -82,7 +86,8 @@ class ETransformPlanner:
         if self.options.lp_export_path:
             write_lp_file(self.model.problem, self.options.lp_export_path)
 
-        solution = solve(
+        solve_fn = solve_with_presolve if self.options.presolve else solve
+        solution = solve_fn(
             self.model.problem,
             backend=self.options.backend,
             **self.options.solver_options,
@@ -111,6 +116,7 @@ class ETransformPlanner:
             solver=solution.solver,
             objective=solution.objective,
         )
+        plan.solver_stats = solution.stats
         validate_plan(self.state, plan)
         return plan
 

@@ -13,11 +13,17 @@ from typing import Callable
 
 from ..core.entities import AsIsState
 from ..core.plan import TransformationPlan
+from ..telemetry import SolveStats
 
 
 @dataclass
 class AlgorithmResult:
-    """One algorithm's outcome on one dataset (a bar in Fig. 4/6)."""
+    """One algorithm's outcome on one dataset (a bar in Fig. 4/6).
+
+    ``solve_stats`` carries the optimizer's search statistics (B&B
+    nodes, LP iterations, bound gap, presolve reductions) for the
+    algorithms that ran a solver; heuristics leave it ``None``.
+    """
 
     algorithm: str
     total_cost: float
@@ -28,6 +34,7 @@ class AlgorithmResult:
     datacenters_used: int
     runtime_seconds: float
     plan: TransformationPlan | None = None
+    solve_stats: SolveStats | None = None
 
     @classmethod
     def from_plan(
@@ -43,6 +50,7 @@ class AlgorithmResult:
             datacenters_used=len(plan.datacenters_used),
             runtime_seconds=runtime_seconds,
             plan=plan,
+            solve_stats=plan.solver_stats,
         )
 
 

@@ -6,7 +6,7 @@ from .csv_export import (
     write_placement_csv,
     write_usage_csv,
 )
-from .report import render_placement_listing, render_plan_report
+from .report import render_placement_listing, render_plan_report, render_solve_stats
 from .serialization import (
     SCHEMA_VERSION,
     load_state,
@@ -27,6 +27,7 @@ __all__ = [
     "plan_to_dict",
     "render_placement_listing",
     "render_plan_report",
+    "render_solve_stats",
     "save_plan",
     "save_state",
     "state_from_dict",

@@ -2,12 +2,48 @@
 
 from __future__ import annotations
 
+import math
+
 from ..core.entities import AsIsState
 from ..core.plan import TransformationPlan
+from ..telemetry import SolveStats
 
 
 def _money(value: float) -> str:
     return f"${value:,.0f}"
+
+
+def _bound(value: float) -> str:
+    return f"{value:,.2f}" if math.isfinite(value) else "n/a"
+
+
+def _gap(value: float) -> str:
+    return f"{value * 100.0:.4f}%" if math.isfinite(value) else "n/a"
+
+
+def render_solve_stats(stats: SolveStats) -> str:
+    """Per-solve statistics block (the CLI's ``--profile`` output)."""
+    lines = [
+        "Solver statistics",
+        f"  backend                        {stats.backend or 'n/a'}",
+        f"  wall-clock seconds             {stats.elapsed_seconds:.3f}",
+        f"  LP iterations                  {stats.lp_iterations}",
+        f"    phase-1 / phase-2            {stats.phase1_iterations} / {stats.phase2_iterations}",
+        f"    Bland switches               {stats.bland_switches}",
+        f"    degenerate pivots            {stats.degenerate_pivots}",
+        f"  B&B nodes explored             {stats.nodes_explored}",
+        f"  B&B nodes pruned               {stats.nodes_pruned}",
+        f"  cut rounds / cuts added        {stats.cut_rounds} / {stats.cuts_added}",
+        f"  incumbent objective            {_bound(stats.incumbent)}",
+        f"  best bound                     {_bound(stats.best_bound)}",
+        f"  best-bound gap                 {_gap(stats.mip_gap)}",
+        "  presolve reductions            "
+        f"{stats.presolve_fixed_variables} vars fixed, "
+        f"{stats.presolve_dropped_constraints} rows dropped, "
+        f"{stats.presolve_tightened_bounds} bounds tightened "
+        f"({stats.presolve_rounds} rounds)",
+    ]
+    return "\n".join(lines)
 
 
 def render_plan_report(state: AsIsState, plan: TransformationPlan) -> str:

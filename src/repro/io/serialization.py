@@ -189,6 +189,9 @@ def plan_to_dict(plan: TransformationPlan) -> dict[str, Any]:
         "solver": plan.solver,
         "objective": plan.objective,
         "datacenters_used": plan.datacenters_used,
+        "solver_stats": plan.solver_stats.as_dict()
+        if plan.solver_stats is not None
+        else None,
     }
 
 

@@ -13,6 +13,7 @@ stack the paper builds on (Python modeling layer + CPLEX).  Typical use::
     solution = solve(prob, backend="branch_bound")
 """
 
+from ..telemetry import SolveStats
 from .expressions import Constraint, LinExpr, Sense, Variable, VarType, quicksum
 from .lpformat import write_lp_file, write_lp_string
 from .lpparse import LPParseError, parse_lp_string, read_lp_file
@@ -35,6 +36,7 @@ __all__ = [
     "solve_with_presolve",
     "Sense",
     "Solution",
+    "SolveStats",
     "SolveStatus",
     "Variable",
     "VarType",

@@ -8,6 +8,11 @@ root :class:`~repro.lp.standard_form.MatrixForm`.  The search:
 * branches on the most fractional integral variable,
 * explores best-bound-first so the gap shrinks monotonically.
 
+Every solve returns a :class:`~repro.telemetry.SolveStats` on the
+solution — nodes explored/pruned, LP iterations, cuts, the proven best
+bound and the incumbent/bound gap trajectory — so experiments can
+report search effort the way the MILP-consolidation literature does.
+
 This solver is exact; it is intended for the small-to-medium instances
 used in tests and parameter studies, with the HiGHS backend taking over
 at case-study scale.
@@ -23,6 +28,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..telemetry import GapPoint, SolveStats
 from .matrix_lp import solve_lp_arrays
 from .problem import Problem
 from .solution import Solution, SolveStatus
@@ -30,6 +36,13 @@ from .standard_form import to_matrix_form
 
 #: Integrality tolerance: values this close to an integer are integral.
 INT_TOL = 1e-6
+
+#: Cap on recorded gap-trajectory points (bounds memory on big searches).
+_MAX_TRAJECTORY_POINTS = 1000
+
+#: Backwards-compatible alias — the old ad-hoc stats record is now the
+#: shared telemetry schema.
+BranchBoundStats = SolveStats
 
 
 @dataclass(order=True)
@@ -43,16 +56,13 @@ class _Node:
     depth: int = field(compare=False, default=0)
 
 
-@dataclass
-class BranchBoundStats:
-    """Search statistics for reporting and tests."""
-
-    nodes_explored: int = 0
-    nodes_pruned: int = 0
-    lp_iterations: int = 0
-    cuts_added: int = 0
-    best_bound: float = float("-inf")
-    elapsed_seconds: float = 0.0
+def _absorb_lp_detail(stats: SolveStats, relax) -> None:
+    """Fold one relaxation's iteration counters into the search stats."""
+    stats.lp_iterations += relax.iterations
+    stats.phase1_iterations += relax.phase1_iterations
+    stats.phase2_iterations += relax.phase2_iterations
+    stats.bland_switches += relax.bland_switches
+    stats.degenerate_pivots += relax.degenerate_pivots
 
 
 def _apply_root_cuts(
@@ -60,7 +70,7 @@ def _apply_root_cuts(
     integral: np.ndarray,
     relaxation_engine: str,
     rounds: int,
-    stats: "BranchBoundStats",
+    stats: SolveStats,
 ) -> None:
     """Strengthen the root relaxation with knapsack cover cuts in place."""
     from .cuts import cuts_to_rows, separate_cuts
@@ -70,7 +80,7 @@ def _apply_root_cuts(
             form.c, form.a_ub, form.b_ub, form.a_eq, form.b_eq,
             form.lb, form.ub, engine=relaxation_engine,
         )
-        stats.lp_iterations += relax.iterations
+        _absorb_lp_detail(stats, relax)
         if relax.status != "optimal":
             return
         if _most_fractional(relax.x, integral) is None:
@@ -81,6 +91,7 @@ def _apply_root_cuts(
         extra_a, extra_b = cuts_to_rows(cuts, form.a_ub.shape[1])
         form.a_ub = np.vstack([form.a_ub, extra_a])
         form.b_ub = np.concatenate([form.b_ub, extra_b])
+        stats.cut_rounds += 1
         stats.cuts_added += len(cuts)
 
 
@@ -92,6 +103,13 @@ def _most_fractional(x: np.ndarray, integral: np.ndarray) -> int | None:
     if frac[idx] <= INT_TOL:
         return None
     return idx
+
+
+def _relative_gap(incumbent: float, bound: float) -> float:
+    """Relative incumbent/bound gap in the internal minimize space."""
+    if not math.isfinite(incumbent) or not math.isfinite(bound):
+        return math.inf
+    return max(0.0, incumbent - bound) / max(1.0, abs(incumbent))
 
 
 def solve_branch_and_bound(
@@ -112,7 +130,8 @@ def solve_branch_and_bound(
         ``"highs"`` (scipy) or ``"builtin"`` (our simplex) for node LPs.
     node_limit, time_limit:
         Safety limits; when hit the best incumbent is returned with
-        status ``FEASIBLE`` (or ``ERROR`` when none was found).
+        status ``FEASIBLE`` (or ``ERROR`` when none was found) and the
+        message reports the remaining incumbent/best-bound gap.
     gap_tolerance:
         Terminate when ``incumbent - best_bound`` falls below this.
     cover_cut_rounds:
@@ -124,13 +143,62 @@ def solve_branch_and_bound(
     form = to_matrix_form(problem)
     integral = form.integrality.astype(bool)
     start = time.monotonic()
-    stats = BranchBoundStats()
+    stats = SolveStats(backend=f"branch_bound[{relaxation_engine}]")
 
     if cover_cut_rounds > 0 and integral.any():
         _apply_root_cuts(form, integral, relaxation_engine, cover_cut_rounds, stats)
 
+    counter = itertools.count()
+    root = _Node(bound=-math.inf, tie=next(counter), lb=form.lb.copy(), ub=form.ub.copy())
+    heap: list[_Node] = [root]
+    incumbent_x: np.ndarray | None = None
+    incumbent_obj = math.inf
+    # Proven lower bound on the (internal, minimized) optimum.  Best-first
+    # search makes it monotone non-decreasing.
+    best_bound = -math.inf
+
+    def to_user_objective(internal: float) -> float:
+        """Map an internal minimize-space value to the user's objective."""
+        if not math.isfinite(internal):
+            if math.isnan(internal):
+                return internal
+            return internal * form.objective_sign
+        return form.objective_sign * (internal + form.c0)
+
+    def record_gap_point() -> None:
+        if len(stats.gap_trajectory) >= _MAX_TRAJECTORY_POINTS:
+            return
+        stats.gap_trajectory.append(
+            GapPoint(
+                nodes_explored=stats.nodes_explored,
+                best_bound=to_user_objective(best_bound),
+                incumbent=to_user_objective(incumbent_obj)
+                if incumbent_x is not None
+                else float("nan"),
+                elapsed_seconds=time.monotonic() - start,
+            )
+        )
+
+    def raise_bound(candidate: float) -> None:
+        nonlocal best_bound
+        # The proven bound can never exceed the incumbent (an upper bound
+        # on the optimum); clamping keeps limit-exit gaps non-negative.
+        candidate = min(candidate, incumbent_obj)
+        if candidate > best_bound + 1e-12:
+            best_bound = candidate
+            record_gap_point()
+
+    def limit_message(reason: str) -> str:
+        if incumbent_x is None:
+            return f"{reason} (no incumbent)"
+        gap = _relative_gap(incumbent_obj, best_bound)
+        if math.isinf(gap):
+            return f"{reason} (gap unknown)"
+        return f"{reason} (gap {gap * 100.0:.2f}%)"
+
     def make_solution(status: SolveStatus, x: np.ndarray | None, message: str) -> Solution:
         stats.elapsed_seconds = time.monotonic() - start
+        stats.best_bound = to_user_objective(best_bound)
         values: dict = {}
         objective = float("nan")
         if x is not None:
@@ -138,6 +206,9 @@ def solve_branch_and_bound(
             cleaned[integral] = np.round(cleaned[integral])
             values = {var: float(cleaned[i]) for i, var in enumerate(form.variables)}
             objective = form.objective_sign * (float(form.c @ cleaned) + form.c0)
+            stats.incumbent = objective
+        if incumbent_x is not None:
+            stats.mip_gap = _relative_gap(incumbent_obj, best_bound)
         return Solution(
             status=status,
             objective=objective,
@@ -145,23 +216,21 @@ def solve_branch_and_bound(
             solver=f"branch_bound[{relaxation_engine}]",
             iterations=stats.nodes_explored,
             message=message,
+            stats=stats,
         )
-
-    counter = itertools.count()
-    root = _Node(bound=-math.inf, tie=next(counter), lb=form.lb.copy(), ub=form.ub.copy())
-    heap: list[_Node] = [root]
-    incumbent_x: np.ndarray | None = None
-    incumbent_obj = math.inf
 
     while heap:
         if stats.nodes_explored >= node_limit:
             status = SolveStatus.FEASIBLE if incumbent_x is not None else SolveStatus.ERROR
-            return make_solution(status, incumbent_x, "node limit reached")
+            return make_solution(status, incumbent_x, limit_message("node limit reached"))
         if time_limit is not None and time.monotonic() - start > time_limit:
             status = SolveStatus.FEASIBLE if incumbent_x is not None else SolveStatus.ERROR
-            return make_solution(status, incumbent_x, "time limit reached")
+            return make_solution(status, incumbent_x, limit_message("time limit reached"))
 
         node = heapq.heappop(heap)
+        # Best-first: this node's bound is the weakest over all open nodes,
+        # so it is the current proven lower bound on the optimum.
+        raise_bound(node.bound)
         # Bound-based pruning against the current incumbent.
         if node.bound >= incumbent_obj - gap_tolerance:
             stats.nodes_pruned += 1
@@ -172,19 +241,46 @@ def solve_branch_and_bound(
             node.lb, node.ub, engine=relaxation_engine,
         )
         stats.nodes_explored += 1
-        stats.lp_iterations += relax.iterations
+        _absorb_lp_detail(stats, relax)
 
         if relax.status == "infeasible":
             continue
         if relax.status == "unbounded":
-            if node.depth == 0 and not integral.any():
-                return make_solution(SolveStatus.UNBOUNDED, None, "LP relaxation unbounded")
-            # An unbounded relaxation with integer variables means the MILP
-            # itself is unbounded along a continuous ray.
-            return make_solution(SolveStatus.UNBOUNDED, None, "relaxation unbounded")
+            if node.depth == 0:
+                if not integral.any():
+                    return make_solution(
+                        SolveStatus.UNBOUNDED, None, "LP relaxation unbounded"
+                    )
+                # Root relaxation unbounded with integer variables: the
+                # MILP is unbounded along a continuous ray (or empty, in
+                # which case UNBOUNDED is still the conventional report).
+                return make_solution(
+                    SolveStatus.UNBOUNDED, None, "root relaxation unbounded"
+                )
+            # A non-root unbounded relaxation proves nothing about the
+            # MILP: the node's integer region may be empty.  Report what
+            # we actually know instead of asserting MILP unboundedness.
+            if incumbent_x is not None:
+                return make_solution(
+                    SolveStatus.FEASIBLE,
+                    incumbent_x,
+                    f"unbounded ray at depth {node.depth}; "
+                    "returning incumbent (optimality unproven)",
+                )
+            return make_solution(
+                SolveStatus.ERROR,
+                None,
+                f"unbounded ray at depth {node.depth}, no incumbent "
+                "(MILP unboundedness unproven)",
+            )
         if relax.status != "optimal":
             status = SolveStatus.FEASIBLE if incumbent_x is not None else SolveStatus.ERROR
             return make_solution(status, incumbent_x, f"relaxation failed: {relax.status}")
+
+        # The popped node's subtree bound tightens to its relaxation value;
+        # combined with the best open node this may raise the global bound.
+        open_bound = heap[0].bound if heap else math.inf
+        raise_bound(min(relax.objective, open_bound))
 
         if relax.objective >= incumbent_obj - gap_tolerance:
             stats.nodes_pruned += 1
@@ -196,6 +292,7 @@ def solve_branch_and_bound(
             if relax.objective < incumbent_obj - 1e-12:
                 incumbent_obj = relax.objective
                 incumbent_x = relax.x.copy()
+                record_gap_point()
             continue
 
         value = relax.x[branch_var]
@@ -217,4 +314,6 @@ def solve_branch_and_bound(
 
     if incumbent_x is None:
         return make_solution(SolveStatus.INFEASIBLE, None, "search exhausted, no incumbent")
+    # Exhausted search proves optimality: the bound closes onto the incumbent.
+    raise_bound(incumbent_obj)
     return make_solution(SolveStatus.OPTIMAL, incumbent_x, "search exhausted")

@@ -11,11 +11,13 @@ from __future__ import annotations
 
 import contextlib
 import os
+import time
 
 import numpy as np
 from scipy import sparse
 from scipy.optimize import Bounds, LinearConstraint, linprog, milp
 
+from ..telemetry import SolveStats
 from .expressions import Sense
 from .problem import ObjectiveSense, Problem
 from .solution import Solution, SolveStatus
@@ -98,6 +100,7 @@ def solve_with_highs(
     mip_rel_gap: float | None = None,
 ) -> Solution:
     """Solve ``problem`` with HiGHS; exact up to the requested gap."""
+    start = time.monotonic()
     (
         variables, c, c0, matrix, row_lb, row_ub, lb, ub, integrality, sign,
     ) = _build_sparse(problem)
@@ -129,12 +132,33 @@ def solve_with_highs(
             x[integrality.astype(bool)] = np.round(x[integrality.astype(bool)])
             values = {var: float(x[i]) for i, var in enumerate(variables)}
             objective = sign * (float(c @ x) + c0)
+        stats = SolveStats(
+            backend="highs",
+            elapsed_seconds=time.monotonic() - start,
+            incumbent=objective,
+        )
+        node_count = getattr(res, "mip_node_count", None)
+        if node_count is not None:
+            stats.nodes_explored = int(node_count)
+        gap = getattr(res, "mip_gap", None)
+        if gap is not None:
+            stats.mip_gap = float(gap)
+        dual_bound = getattr(res, "mip_dual_bound", None)
+        if dual_bound is not None and np.isfinite(dual_bound):
+            stats.best_bound = sign * (float(dual_bound) + c0)
+        if status is SolveStatus.OPTIMAL:
+            # HiGHS builds without gap attributes: optimal means gap 0.
+            if gap is None:
+                stats.mip_gap = 0.0
+            if not np.isfinite(stats.best_bound):
+                stats.best_bound = objective
         return Solution(
             status=status,
             objective=objective,
             values=values,
             solver="highs-milp",
             message=str(res.message),
+            stats=stats,
         )
 
     # Pure LP: linprog wants A_ub/A_eq split.
@@ -179,11 +203,21 @@ def solve_with_highs(
     if res.x is not None and status.has_solution:
         values = {var: float(res.x[i]) for i, var in enumerate(variables)}
         objective = sign * (float(c @ res.x) + c0)
+    iterations = int(getattr(res, "nit", 0))
+    stats = SolveStats(
+        backend="highs",
+        elapsed_seconds=time.monotonic() - start,
+        lp_iterations=iterations,
+        incumbent=objective,
+        best_bound=objective if status is SolveStatus.OPTIMAL else float("-inf"),
+        mip_gap=0.0 if status is SolveStatus.OPTIMAL else float("nan"),
+    )
     return Solution(
         status=status,
         objective=objective,
         values=values,
         solver="highs-lp",
-        iterations=int(getattr(res, "nit", 0)),
+        iterations=iterations,
         message=str(res.message),
+        stats=stats,
     )

@@ -17,12 +17,20 @@ from .simplex import solve_standard_form
 
 @dataclass
 class ArrayLPResult:
-    """LP relaxation outcome at the array level."""
+    """LP relaxation outcome at the array level.
+
+    The pivot-level counters are only populated by the builtin simplex
+    engine; HiGHS reports a flat iteration count.
+    """
 
     status: str  # "optimal" | "infeasible" | "unbounded" | "error"
     x: np.ndarray | None
     objective: float
     iterations: int = 0
+    phase1_iterations: int = 0
+    phase2_iterations: int = 0
+    bland_switches: int = 0
+    degenerate_pivots: int = 0
 
 
 def _standardize_arrays(
@@ -151,9 +159,19 @@ def solve_lp_arrays(
             c, a_ub, b_ub, a_eq, b_eq, lb, ub
         )
         result = solve_standard_form(a, b, cost, max_iterations=max_iterations)
+
+        def _with_detail(status: str, x, objective: float) -> ArrayLPResult:
+            return ArrayLPResult(
+                status, x, objective, result.iterations,
+                phase1_iterations=result.phase1_iterations,
+                phase2_iterations=result.phase2_iterations,
+                bland_switches=result.bland_switches,
+                degenerate_pivots=result.degenerate_pivots,
+            )
+
         if result.status != "optimal":
             status = "error" if result.status == "iteration_limit" else result.status
-            return ArrayLPResult(status, None, np.nan, result.iterations)
+            return _with_detail(status, None, np.nan)
         y = result.x
         n = c.shape[0]
         x = np.empty(n)
@@ -162,6 +180,6 @@ def solve_lp_arrays(
             if minus[i] >= 0:
                 val -= y[minus[i]]
             x[i] = val + (lb[i] if not np.isneginf(lb[i]) else 0.0)
-        return ArrayLPResult("optimal", x, float(c @ x), result.iterations)
+        return _with_detail("optimal", x, float(c @ x))
 
     raise ValueError(f"unknown LP engine: {engine!r}")

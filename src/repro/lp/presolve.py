@@ -22,6 +22,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+from ..telemetry import SolveStats
 from .expressions import Constraint, LinExpr, Sense, Variable
 from .problem import Problem
 from .solution import Solution, SolveStatus
@@ -53,9 +54,20 @@ class Postsolver:
     clone_to_original: dict[Variable, Variable] = field(default_factory=dict)
     stats: PresolveStats = field(default_factory=PresolveStats)
 
+    def _merged_stats(self, solution: Solution) -> SolveStats:
+        """The backend's stats with our presolve reductions folded in."""
+        stats = solution.stats or SolveStats(backend=solution.solver)
+        return stats.merge_presolve(
+            fixed_variables=self.stats.fixed_variables,
+            dropped_constraints=self.stats.dropped_constraints,
+            tightened_bounds=self.stats.tightened_bounds,
+            rounds=self.stats.rounds,
+        )
+
     def expand(self, solution: Solution) -> Solution:
         """Inflate ``solution`` back onto the original variables."""
         if not solution.status.has_solution:
+            solution.stats = self._merged_stats(solution)
             return solution
         values = {
             self.clone_to_original.get(var, var): value
@@ -71,6 +83,7 @@ class Postsolver:
             solver=solution.solver + "+presolve",
             iterations=solution.iterations,
             message=solution.message,
+            stats=self._merged_stats(solution),
         )
 
 
@@ -232,6 +245,7 @@ def solve_with_presolve(problem: Problem, backend: str = "auto", **options) -> S
             status=SolveStatus.INFEASIBLE,
             solver="presolve",
             message=str(exc),
+            stats=SolveStats(backend="presolve"),
         )
     if reduced.num_variables == 0:
         # Presolve decided everything; any surviving row was verified.

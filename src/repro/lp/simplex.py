@@ -30,6 +30,10 @@ class SimplexResult:
     x: np.ndarray | None
     objective: float
     iterations: int
+    phase1_iterations: int = 0
+    phase2_iterations: int = 0
+    bland_switches: int = 0
+    degenerate_pivots: int = 0
 
 
 class SimplexError(RuntimeError):
@@ -78,12 +82,22 @@ def _choose_leaving(tableau: np.ndarray, col: int, nrows: int) -> int | None:
     return int(np.where(np.isclose(ratios, best, rtol=0.0, atol=1e-12))[0][0])
 
 
+@dataclass
+class _PhaseOutcome:
+    """Status plus the pivot-level counters of one simplex phase."""
+
+    status: str
+    iterations: int
+    bland_switches: int = 0
+    degenerate_pivots: int = 0
+
+
 def _run_phase(
     tableau: np.ndarray,
     basis: list[int],
     eligible: np.ndarray,
     max_iterations: int,
-) -> tuple[str, int]:
+) -> _PhaseOutcome:
     """Iterate pivots until optimality/unboundedness/limit.
 
     The objective row is the last row of ``tableau`` and holds reduced
@@ -92,16 +106,18 @@ def _run_phase(
     nrows = tableau.shape[0] - 1
     iterations = 0
     bland = False
+    bland_switches = 0
+    degenerate_pivots = 0
     stall = 0
     last_obj = tableau[-1, -1]
     while iterations < max_iterations:
         reduced = tableau[-1, :-1]
         col = _choose_entering(reduced, eligible, bland)
         if col is None:
-            return "optimal", iterations
+            return _PhaseOutcome("optimal", iterations, bland_switches, degenerate_pivots)
         row = _choose_leaving(tableau, col, nrows)
         if row is None:
-            return "unbounded", iterations
+            return _PhaseOutcome("unbounded", iterations, bland_switches, degenerate_pivots)
         _pivot(tableau, row, col)
         basis[row] = col
         iterations += 1
@@ -109,14 +125,17 @@ def _run_phase(
         # to Bland's rule which cannot cycle.
         obj = tableau[-1, -1]
         if abs(obj - last_obj) < TOL:
+            degenerate_pivots += 1
             stall += 1
             if stall > 2 * nrows:
+                if not bland:
+                    bland_switches += 1
                 bland = True
         else:
             stall = 0
             bland = False
         last_obj = obj
-    return "iteration_limit", iterations
+    return _PhaseOutcome("iteration_limit", iterations, bland_switches, degenerate_pivots)
 
 
 def solve_standard_form(
@@ -161,12 +180,23 @@ def solve_standard_form(
     eligible = np.zeros(n + m, dtype=bool)
     eligible[:n] = True  # artificials may leave but never re-enter
 
-    status, it1 = _run_phase(tableau, basis, eligible, max_iterations)
-    if status == "iteration_limit":
-        return SimplexResult("iteration_limit", None, np.nan, it1)
+    phase1 = _run_phase(tableau, basis, eligible, max_iterations)
+    it1 = phase1.iterations
+    if phase1.status == "iteration_limit":
+        return SimplexResult(
+            "iteration_limit", None, np.nan, it1,
+            phase1_iterations=it1,
+            bland_switches=phase1.bland_switches,
+            degenerate_pivots=phase1.degenerate_pivots,
+        )
     phase1_obj = -tableau[-1, -1]
     if phase1_obj > 1e-7:
-        return SimplexResult("infeasible", None, np.nan, it1)
+        return SimplexResult(
+            "infeasible", None, np.nan, it1,
+            phase1_iterations=it1,
+            bland_switches=phase1.bland_switches,
+            degenerate_pivots=phase1.degenerate_pivots,
+        )
 
     # Drive any artificial variables still in the basis out (degenerate rows).
     for row in range(m):
@@ -193,12 +223,22 @@ def solve_standard_form(
             # A zero-level artificial remains: freeze its row by keeping the
             # column out of pricing (the row is redundant).
             continue
-    status, it2 = _run_phase(tableau2, basis, eligible2, max_iterations)
-    iterations = it1 + it2
-    if status == "unbounded":
-        return SimplexResult("unbounded", None, -np.inf, iterations)
-    if status == "iteration_limit":
-        return SimplexResult("iteration_limit", None, np.nan, iterations)
+    phase2 = _run_phase(tableau2, basis, eligible2, max_iterations)
+    iterations = it1 + phase2.iterations
+    bland_switches = phase1.bland_switches + phase2.bland_switches
+    degenerate_pivots = phase1.degenerate_pivots + phase2.degenerate_pivots
+    if phase2.status == "unbounded":
+        return SimplexResult(
+            "unbounded", None, -np.inf, iterations,
+            phase1_iterations=it1, phase2_iterations=phase2.iterations,
+            bland_switches=bland_switches, degenerate_pivots=degenerate_pivots,
+        )
+    if phase2.status == "iteration_limit":
+        return SimplexResult(
+            "iteration_limit", None, np.nan, iterations,
+            phase1_iterations=it1, phase2_iterations=phase2.iterations,
+            bland_switches=bland_switches, degenerate_pivots=degenerate_pivots,
+        )
 
     x = np.zeros(n)
     for row, var in enumerate(basis):
@@ -207,4 +247,8 @@ def solve_standard_form(
     # Numerical hygiene: clamp tiny negatives introduced by pivoting.
     x[np.abs(x) < 1e-11] = 0.0
     objective = float(c @ x)
-    return SimplexResult("optimal", x, objective, iterations)
+    return SimplexResult(
+        "optimal", x, objective, iterations,
+        phase1_iterations=it1, phase2_iterations=phase2.iterations,
+        bland_switches=bland_switches, degenerate_pivots=degenerate_pivots,
+    )

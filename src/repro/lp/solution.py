@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Mapping
 
+from ..telemetry import SolveStats
 from .expressions import Variable
 
 
@@ -43,6 +44,10 @@ class Solution:
         Backend-specific work counter (simplex pivots, B&B nodes, ...).
     message:
         Free-form diagnostic from the backend.
+    stats:
+        Structured :class:`repro.telemetry.SolveStats` describing the
+        search (iterations split, nodes, bounds, presolve reductions);
+        ``None`` only for backends that predate the telemetry layer.
     """
 
     status: SolveStatus
@@ -51,6 +56,7 @@ class Solution:
     solver: str = ""
     iterations: int = 0
     message: str = ""
+    stats: SolveStats | None = None
 
     def value(self, var: Variable, default: float | None = None) -> float:
         """Value of ``var`` in this solution.

@@ -13,14 +13,20 @@ Backends:
     Relax-and-round heuristic (feasible, not optimal).
 ``auto``
     ``highs`` when available, else ``branch_bound[builtin]``.
+
+Every solve that passes through :func:`solve` is recorded by the
+telemetry layer: the ``solves.*`` counters are bumped and — when a trace
+writer is active (CLI ``--trace FILE``) — one JSONL record is emitted
+per solve, carrying the backend's :class:`~repro.telemetry.SolveStats`.
 """
 
 from __future__ import annotations
 
+import time
 from typing import Callable
 
+from ..telemetry import SolveStats, record_solve
 from .branch_bound import solve_branch_and_bound
-from .highs import solve_with_highs
 from .matrix_lp import solve_lp_arrays
 from .problem import Problem
 from .rounding import solve_with_rounding
@@ -35,6 +41,7 @@ def _solve_simplex(problem: Problem, **options) -> Solution:
             "the simplex backend handles pure LPs only; "
             "use 'branch_bound' or 'highs' for integer models"
         )
+    start = time.monotonic()
     form = to_matrix_form(problem)
     result = solve_lp_arrays(
         form.c, form.a_ub, form.b_ub, form.a_eq, form.b_eq,
@@ -51,6 +58,18 @@ def _solve_simplex(problem: Problem, **options) -> Solution:
     if result.x is not None and status.has_solution:
         values = {var: float(result.x[i]) for i, var in enumerate(form.variables)}
         objective = problem.evaluate_objective(values)
+    stats = SolveStats(
+        backend="simplex",
+        elapsed_seconds=time.monotonic() - start,
+        lp_iterations=result.iterations,
+        phase1_iterations=result.phase1_iterations,
+        phase2_iterations=result.phase2_iterations,
+        bland_switches=result.bland_switches,
+        degenerate_pivots=result.degenerate_pivots,
+        incumbent=objective,
+        best_bound=objective if status is SolveStatus.OPTIMAL else float("-inf"),
+        mip_gap=0.0 if status is SolveStatus.OPTIMAL else float("nan"),
+    )
     return Solution(
         status=status,
         objective=objective,
@@ -58,6 +77,7 @@ def _solve_simplex(problem: Problem, **options) -> Solution:
         solver="simplex",
         iterations=result.iterations,
         message=result.status,
+        stats=stats,
     )
 
 
@@ -73,6 +93,10 @@ def _solve_branch_bound(problem: Problem, **options) -> Solution:
 
 
 def _solve_highs(problem: Problem, **options) -> Solution:
+    # Imported lazily so that environments without scipy can still load
+    # this module and fall back to the builtin solvers (see _solve_auto).
+    from .highs import solve_with_highs
+
     return solve_with_highs(
         problem,
         time_limit=options.get("time_limit"),
@@ -87,7 +111,7 @@ def _solve_rounding(problem: Problem, **options) -> Solution:
 def _solve_auto(problem: Problem, **options) -> Solution:
     try:
         return _solve_highs(problem, **options)
-    except ImportError:  # pragma: no cover - scipy is a hard dependency here
+    except ImportError:  # no scipy: fall back to the pure-python stack
         options = dict(options, relaxation_engine="builtin")
         return _solve_branch_bound(problem, **options)
 
@@ -117,7 +141,8 @@ def solve(problem: Problem, backend: str = "auto", **options) -> Solution:
     """Solve ``problem`` with the named backend.
 
     Extra keyword options are forwarded to the backend (``time_limit``,
-    ``mip_rel_gap``, ``relaxation_engine``, ``node_limit``, ...).
+    ``mip_rel_gap``, ``relaxation_engine``, ``node_limit``,
+    ``cover_cut_rounds``, ...).
     """
     try:
         fn = _BACKENDS[backend]
@@ -125,4 +150,15 @@ def solve(problem: Problem, backend: str = "auto", **options) -> Solution:
         raise ValueError(
             f"unknown backend {backend!r}; available: {', '.join(available_backends())}"
         ) from None
-    return fn(problem, **options)
+    start = time.monotonic()
+    solution = fn(problem, **options)
+    record_solve(
+        problem=problem.name,
+        backend=backend,
+        solver=solution.solver,
+        status=solution.status.value,
+        objective=solution.objective,
+        stats=solution.stats,
+        elapsed_seconds=time.monotonic() - start,
+    )
+    return solution

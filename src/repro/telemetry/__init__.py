@@ -1,0 +1,41 @@
+"""Solver observability: counters, timers, stats records, JSONL traces.
+
+This package sits *below* :mod:`repro.lp` in the layering — it imports
+nothing from the rest of the library, so every layer (solvers, planner,
+experiments, CLI) can depend on it freely:
+
+* :class:`SolveStats` — the structured per-solve record every backend
+  fills in and attaches to :class:`repro.lp.Solution`;
+* :class:`Counter` / :class:`Timer` / :class:`MetricsRegistry` — the
+  process-wide :data:`metrics` registry the solver registry bumps;
+* :class:`TraceWriter` / :func:`trace_to` — JSON-lines emission of one
+  record per solve (the CLI's ``--trace FILE``).
+"""
+
+from .counters import Counter, MetricsRegistry, Timer, metrics
+from .stats import GapPoint, SolveStats
+from .trace import (
+    TraceWriter,
+    emit_record,
+    get_trace,
+    record_solve,
+    set_trace,
+    trace_enabled,
+    trace_to,
+)
+
+__all__ = [
+    "Counter",
+    "GapPoint",
+    "MetricsRegistry",
+    "SolveStats",
+    "Timer",
+    "TraceWriter",
+    "emit_record",
+    "get_trace",
+    "metrics",
+    "record_solve",
+    "set_trace",
+    "trace_enabled",
+    "trace_to",
+]

@@ -1,0 +1,94 @@
+"""Process-wide counters and wall-clock timers.
+
+A tiny metrics substrate: named monotonically-increasing counters and a
+context-manager :class:`Timer`, grouped in a :class:`MetricsRegistry`.
+The module-level :data:`metrics` registry is what the solver stack
+increments (``solves.total``, ``solves.backend.<name>``, ...); tests and
+benchmarks may create private registries.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Counter:
+    """A named monotonically-increasing counter."""
+
+    name: str
+    value: float = 0.0
+
+    def increment(self, amount: float = 1.0) -> float:
+        if amount < 0:
+            raise ValueError("counters only move forward; use a new counter")
+        self.value += amount
+        return self.value
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+
+class Timer:
+    """Wall-clock timer usable as a context manager.
+
+    ::
+
+        with Timer() as t:
+            solve(...)
+        print(t.elapsed)
+    """
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self.elapsed: float = 0.0
+
+    def start(self) -> "Timer":
+        self._start = time.monotonic()
+        return self
+
+    def stop(self) -> float:
+        if self._start is None:
+            raise RuntimeError("timer was never started")
+        self.elapsed = time.monotonic() - self._start
+        self._start = None
+        return self.elapsed
+
+    @property
+    def running(self) -> bool:
+        return self._start is not None
+
+    def __enter__(self) -> "Timer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+@dataclass
+class MetricsRegistry:
+    """A namespace of counters, snapshot-able for reports and tests."""
+
+    counters: dict[str, Counter] = field(default_factory=dict)
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter called ``name``."""
+        if name not in self.counters:
+            self.counters[name] = Counter(name)
+        return self.counters[name]
+
+    def increment(self, name: str, amount: float = 1.0) -> float:
+        return self.counter(name).increment(amount)
+
+    def snapshot(self) -> dict[str, float]:
+        """Current counter values, sorted by name."""
+        return {name: c.value for name, c in sorted(self.counters.items())}
+
+    def reset(self) -> None:
+        for counter in self.counters.values():
+            counter.reset()
+
+
+#: The process-wide registry used by the solver stack.
+metrics = MetricsRegistry()

@@ -1,0 +1,135 @@
+"""The :class:`SolveStats` record threaded through every solver backend.
+
+One structured object describes what a solve *did* — simplex pivots,
+branch-and-bound search progress, cut separation, presolve reductions,
+wall-clock time — regardless of which backend produced it.  Backends
+fill in the fields they know about and leave the rest at their
+defaults; consumers (reports, traces, benchmarks) can therefore render
+a single schema for every solver.
+
+Related MILP studies report exactly these quantities (node counts,
+optimality gaps, per-phase iteration counts) as first-class results;
+this module is what lets the reproduction do the same.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any
+
+
+def _json_safe(value: Any) -> Any:
+    """Map non-finite floats to ``None`` so records stay strict JSON."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    return value
+
+
+@dataclass
+class GapPoint:
+    """One sample of the incumbent / best-bound trajectory."""
+
+    nodes_explored: int
+    best_bound: float
+    incumbent: float
+    elapsed_seconds: float
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "nodes_explored": self.nodes_explored,
+            "best_bound": _json_safe(self.best_bound),
+            "incumbent": _json_safe(self.incumbent),
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+
+@dataclass
+class SolveStats:
+    """Structured search statistics for one solve.
+
+    Field groups (all optional; backends fill what they measure):
+
+    * **identity / timing** — ``backend``, ``elapsed_seconds``;
+    * **LP / simplex** — total ``lp_iterations`` plus the two-phase
+      split, Bland-rule switches and degenerate pivots;
+    * **branch and bound** — nodes explored/pruned, cut rounds and cuts
+      added, the proven ``best_bound``, the ``incumbent`` objective, the
+      final relative ``mip_gap`` and the gap trajectory over the search;
+    * **presolve** — variables fixed, constraints dropped, bounds
+      tightened and fixpoint rounds.
+    """
+
+    backend: str = ""
+    elapsed_seconds: float = 0.0
+
+    # -- LP / simplex ------------------------------------------------------
+    lp_iterations: int = 0
+    phase1_iterations: int = 0
+    phase2_iterations: int = 0
+    bland_switches: int = 0
+    degenerate_pivots: int = 0
+
+    # -- branch and bound --------------------------------------------------
+    nodes_explored: int = 0
+    nodes_pruned: int = 0
+    cut_rounds: int = 0
+    cuts_added: int = 0
+    best_bound: float = float("-inf")
+    incumbent: float = float("nan")
+    mip_gap: float = float("nan")
+    gap_trajectory: list[GapPoint] = field(default_factory=list)
+
+    # -- presolve ----------------------------------------------------------
+    presolve_fixed_variables: int = 0
+    presolve_dropped_constraints: int = 0
+    presolve_tightened_bounds: int = 0
+    presolve_rounds: int = 0
+
+    #: Free-form backend extras (e.g. native solver node counts).
+    extra: dict[str, float] = field(default_factory=dict)
+
+    def relative_gap(self) -> float:
+        """Relative incumbent / best-bound gap (``nan`` when unknown)."""
+        if not math.isfinite(self.incumbent) or not math.isfinite(self.best_bound):
+            return float("nan")
+        return abs(self.incumbent - self.best_bound) / max(1.0, abs(self.incumbent))
+
+    def merge_presolve(
+        self,
+        fixed_variables: int = 0,
+        dropped_constraints: int = 0,
+        tightened_bounds: int = 0,
+        rounds: int = 0,
+    ) -> "SolveStats":
+        """Fold presolve reductions into this record (returns ``self``)."""
+        self.presolve_fixed_variables += fixed_variables
+        self.presolve_dropped_constraints += dropped_constraints
+        self.presolve_tightened_bounds += tightened_bounds
+        self.presolve_rounds += rounds
+        return self
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-safe dict (non-finite floats become ``None``)."""
+        return {
+            "backend": self.backend,
+            "elapsed_seconds": self.elapsed_seconds,
+            "lp_iterations": self.lp_iterations,
+            "phase1_iterations": self.phase1_iterations,
+            "phase2_iterations": self.phase2_iterations,
+            "bland_switches": self.bland_switches,
+            "degenerate_pivots": self.degenerate_pivots,
+            "nodes_explored": self.nodes_explored,
+            "nodes_pruned": self.nodes_pruned,
+            "cut_rounds": self.cut_rounds,
+            "cuts_added": self.cuts_added,
+            "best_bound": _json_safe(self.best_bound),
+            "incumbent": _json_safe(self.incumbent),
+            "mip_gap": _json_safe(self.mip_gap),
+            "gap_trajectory": [p.as_dict() for p in self.gap_trajectory],
+            "presolve_fixed_variables": self.presolve_fixed_variables,
+            "presolve_dropped_constraints": self.presolve_dropped_constraints,
+            "presolve_tightened_bounds": self.presolve_tightened_bounds,
+            "presolve_rounds": self.presolve_rounds,
+            "extra": {k: _json_safe(v) for k, v in self.extra.items()},
+        }

@@ -1,0 +1,123 @@
+"""JSON-lines trace emission for per-solve records.
+
+A :class:`TraceWriter` appends one strict-JSON object per line — the
+same shape the ``bench_results/`` artifacts and external analysis
+notebooks consume.  A single module-level writer can be activated
+(``set_trace`` or the ``trace_to`` context manager); the solver registry
+then emits a record for every solve that passes through it, so sweeps
+and comparisons are traced without any per-call plumbing.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import math
+from typing import Any, IO, Iterator
+
+from .counters import metrics
+from .stats import SolveStats
+
+
+def _sanitize(value: Any) -> Any:
+    """Recursively replace non-finite floats so output is strict JSON."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    if isinstance(value, dict):
+        return {k: _sanitize(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_sanitize(v) for v in value]
+    return value
+
+
+class TraceWriter:
+    """Append-only JSONL sink (owns the handle when given a path)."""
+
+    def __init__(self, target: str | IO[str]) -> None:
+        if isinstance(target, str):
+            self._handle: IO[str] = open(target, "a", encoding="utf-8")
+            self._owns_handle = True
+        else:
+            self._handle = target
+            self._owns_handle = False
+        self.records_written = 0
+
+    def emit(self, record: dict[str, Any]) -> None:
+        """Write one record as a single JSON line and flush."""
+        self._handle.write(json.dumps(_sanitize(record), allow_nan=False) + "\n")
+        self._handle.flush()
+        self.records_written += 1
+
+    def close(self) -> None:
+        if self._owns_handle and not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+_active_writer: TraceWriter | None = None
+
+
+def set_trace(writer: TraceWriter | None) -> None:
+    """Install (or clear, with ``None``) the process-wide trace writer."""
+    global _active_writer
+    _active_writer = writer
+
+
+def get_trace() -> TraceWriter | None:
+    """The currently-installed trace writer, if any."""
+    return _active_writer
+
+
+def trace_enabled() -> bool:
+    return _active_writer is not None
+
+
+@contextlib.contextmanager
+def trace_to(target: str | IO[str]) -> Iterator[TraceWriter]:
+    """Activate a trace writer for the duration of the block."""
+    writer = TraceWriter(target)
+    previous = get_trace()
+    set_trace(writer)
+    try:
+        yield writer
+    finally:
+        set_trace(previous)
+        writer.close()
+
+
+def emit_record(record: dict[str, Any]) -> None:
+    """Emit ``record`` to the active writer; no-op when tracing is off."""
+    writer = get_trace()
+    if writer is not None:
+        writer.emit(record)
+
+
+def record_solve(
+    problem: str,
+    backend: str,
+    solver: str,
+    status: str,
+    objective: float,
+    stats: SolveStats | None,
+    elapsed_seconds: float,
+) -> None:
+    """Account for one finished solve: bump counters, emit a trace line."""
+    metrics.increment("solves.total")
+    metrics.increment(f"solves.backend.{backend}")
+    emit_record(
+        {
+            "event": "solve",
+            "problem": problem,
+            "backend": backend,
+            "solver": solver,
+            "status": status,
+            "objective": objective,
+            "elapsed_seconds": elapsed_seconds,
+            "stats": stats.as_dict() if stats is not None else None,
+        }
+    )

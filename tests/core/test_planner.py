@@ -84,6 +84,25 @@ class TestPlannerOptions:
         assert planner.last_solution is not None
         assert planner.last_solution.status.has_solution
 
+    def test_solver_stats_attached_to_plan(self, tiny_state):
+        plan = ETransformPlanner(
+            tiny_state, PlannerOptions(backend="branch_bound")
+        ).plan()
+        assert plan.solver_stats is not None
+        assert plan.solver_stats.nodes_explored > 0
+        assert plan.solver_stats.elapsed_seconds > 0.0
+
+    def test_presolve_option_runs_and_records_reductions(self, tiny_state):
+        baseline = ETransformPlanner(
+            tiny_state, PlannerOptions(backend="highs")
+        ).plan()
+        presolved = ETransformPlanner(
+            tiny_state, PlannerOptions(backend="highs", presolve=True)
+        ).plan()
+        assert presolved.total_cost == pytest.approx(baseline.total_cost)
+        assert presolved.solver_stats is not None
+        assert presolved.solver_stats.presolve_rounds >= 1
+
     def test_plan_is_validated(self, tiny_state):
         # A correct solver output always passes validate_plan; this just
         # exercises the call path end to end.

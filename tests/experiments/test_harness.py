@@ -26,6 +26,17 @@ class TestAlgorithmResult:
         assert result.runtime_seconds == 1.5
         assert result.plan is plan
 
+    def test_from_plan_carries_solver_stats(self, tiny_state):
+        from repro.core.planner import ETransformPlanner, PlannerOptions
+
+        plan = ETransformPlanner(
+            tiny_state, PlannerOptions(backend="branch_bound")
+        ).plan()
+        result = AlgorithmResult.from_plan("etransform", plan, 0.1)
+        assert result.solve_stats is plan.solver_stats
+        assert result.solve_stats is not None
+        assert result.solve_stats.nodes_explored > 0
+
     def test_timed_plan_measures(self, tiny_state):
         placement = {g.name: "mid" for g in tiny_state.app_groups}
 

@@ -96,6 +96,126 @@ class TestBranchBound:
         assert sol.objective == pytest.approx(-7.0)  # open: -10 + 3
 
 
+class TestSearchStats:
+    """The stats record attached to every branch-and-bound solution."""
+
+    def test_stats_survive_into_solution(self):
+        p, _ = knapsack([5, 4, 3, 2], [10, 40, 30, 50], 10)
+        sol = solve_branch_and_bound(p)
+        stats = sol.stats
+        assert stats is not None
+        assert stats.nodes_explored > 0
+        assert stats.nodes_explored == sol.iterations
+        assert stats.lp_iterations > 0
+        assert np.isfinite(stats.best_bound)
+
+    def test_optimal_solve_closes_the_gap(self):
+        p, _ = knapsack([3, 4, 2], [4, 5, 3], 6)
+        sol = solve_branch_and_bound(p)
+        assert sol.status is SolveStatus.OPTIMAL
+        assert sol.stats.best_bound == pytest.approx(sol.objective)
+        assert sol.stats.mip_gap == pytest.approx(0.0, abs=1e-9)
+        assert sol.stats.incumbent == pytest.approx(sol.objective)
+
+    def test_gap_trajectory_recorded(self):
+        p, _ = knapsack([5, 4, 3, 2], [10, 40, 30, 50], 10)
+        sol = solve_branch_and_bound(p)
+        trajectory = sol.stats.gap_trajectory
+        assert len(trajectory) >= 1
+        # The last recorded point must reflect the closed bound.
+        assert trajectory[-1].best_bound == pytest.approx(sol.objective)
+
+    def test_node_limit_message_reports_gap(self):
+        p, _ = knapsack(list(range(1, 9)), list(range(8, 0, -1)), 12)
+        sol = solve_branch_and_bound(p, node_limit=1)
+        assert "node limit reached" in sol.message
+        # Either a gap percentage or an explicit no-incumbent marker.
+        assert "gap" in sol.message or "no incumbent" in sol.message
+
+    def test_maximize_best_bound_in_user_space(self):
+        p = Problem(sense="maximize")
+        x = p.add_binary("x")
+        y = p.add_binary("y")
+        p.add_constraint(x + y <= 1)
+        p.set_objective(2 * x + 3 * y)
+        sol = solve_branch_and_bound(p)
+        assert sol.status is SolveStatus.OPTIMAL
+        assert sol.objective == pytest.approx(3.0)
+        assert sol.stats.best_bound == pytest.approx(3.0)
+
+    def test_cut_stats_counted(self):
+        p, _ = knapsack([5, 4, 3, 2], [10, 40, 30, 50], 10)
+        sol = solve_branch_and_bound(p, cover_cut_rounds=3)
+        assert sol.status is SolveStatus.OPTIMAL
+        assert sol.stats.cut_rounds <= 3
+        assert sol.stats.cuts_added >= sol.stats.cut_rounds
+
+
+class TestNonRootUnbounded:
+    """A non-root unbounded relaxation must not assert MILP unboundedness.
+
+    With exact node LPs a child relaxation can never be unbounded when
+    the root was bounded (child feasible sets shrink), so the defensive
+    path is exercised by stubbing the relaxation solver.
+    """
+
+    @staticmethod
+    def _stub_relaxations(monkeypatch, responses):
+        from repro.lp import branch_bound as bb
+
+        calls = iter(responses)
+
+        def fake_solve_lp_arrays(*args, **kwargs):
+            return next(calls)
+
+        monkeypatch.setattr(bb, "solve_lp_arrays", fake_solve_lp_arrays)
+
+    def test_no_incumbent_reports_error_not_unbounded(self, monkeypatch):
+        from repro.lp.matrix_lp import ArrayLPResult
+
+        p, _ = knapsack([1, 1], [1, 2], 1)
+        fractional = np.array([0.5, 0.5])
+        self._stub_relaxations(
+            monkeypatch,
+            [
+                ArrayLPResult("optimal", fractional, -1.5, 3),
+                ArrayLPResult("unbounded", None, -np.inf, 1),
+            ],
+        )
+        sol = solve_branch_and_bound(p)
+        assert sol.status is SolveStatus.ERROR
+        assert "no incumbent" in sol.message
+        assert "unbounded ray" in sol.message
+
+    def test_incumbent_survives_unbounded_ray(self, monkeypatch):
+        from repro.lp.matrix_lp import ArrayLPResult
+
+        p, _ = knapsack([1, 1], [1, 2], 1)
+        fractional = np.array([0.5, 0.5])
+        integral = np.array([0.0, 1.0])
+        self._stub_relaxations(
+            monkeypatch,
+            [
+                ArrayLPResult("optimal", fractional, -2.5, 3),
+                ArrayLPResult("optimal", integral, -2.0, 2),
+                ArrayLPResult("unbounded", None, -np.inf, 1),
+            ],
+        )
+        sol = solve_branch_and_bound(p)
+        assert sol.status is SolveStatus.FEASIBLE
+        assert "incumbent" in sol.message
+        assert sol.objective == pytest.approx(-2.0)
+
+    def test_root_unbounded_milp_still_unbounded(self):
+        p = Problem()
+        x = p.add_variable("x", lb=0.0)
+        z = p.add_binary("z")
+        p.set_objective(-x + z)
+        sol = solve_branch_and_bound(p)
+        assert sol.status is SolveStatus.UNBOUNDED
+        assert "root relaxation unbounded" in sol.message
+
+
 @st.composite
 def random_knapsack(draw):
     n = draw(st.integers(min_value=2, max_value=7))

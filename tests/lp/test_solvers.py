@@ -121,6 +121,143 @@ class TestSolutionType:
         assert not SolveStatus.ERROR.has_solution
 
 
+class TestOptionForwarding:
+    """solve(...) must pass extra keyword options through to backends."""
+
+    def test_custom_backend_receives_options(self):
+        seen = {}
+
+        def recorder(problem, **options):
+            seen.update(options)
+            return Solution(SolveStatus.ERROR, solver="recorder")
+
+        register_backend("recorder-test", recorder)
+        solve(
+            Problem(),
+            backend="recorder-test",
+            node_limit=7,
+            cover_cut_rounds=2,
+            time_limit=1.5,
+        )
+        assert seen == {"node_limit": 7, "cover_cut_rounds": 2, "time_limit": 1.5}
+
+    def test_node_limit_reaches_branch_bound(self):
+        # With a node limit of 1 the 8-item knapsack cannot finish; the
+        # limit only bites if the option actually reaches the backend.
+        p = Problem("knap")
+        xs = [p.add_binary(f"x{i}") for i in range(8)]
+        p.add_constraint(
+            quicksum((i + 1) * x for i, x in enumerate(xs)) <= 12
+        )
+        p.set_objective(-quicksum((8 - i) * x for i, x in enumerate(xs)))
+        sol = solve(p, backend="branch_bound", node_limit=1)
+        assert "node limit reached" in sol.message
+
+    def test_cover_cut_rounds_reach_branch_bound(self):
+        p = Problem("knap")
+        xs = [p.add_binary(f"x{i}") for i in range(4)]
+        p.add_constraint(quicksum([5 * xs[0], 4 * xs[1], 3 * xs[2], 2 * xs[3]]) <= 10)
+        p.set_objective(-quicksum([10 * xs[0], 40 * xs[1], 30 * xs[2], 50 * xs[3]]))
+        sol = solve(p, backend="branch_bound", cover_cut_rounds=3)
+        assert sol.status is SolveStatus.OPTIMAL
+        # Stats must witness that the cut loop actually ran (or found
+        # nothing to cut, in which case rounds stay 0 but solving is
+        # still exact); the forwarded option shows up in the record.
+        assert sol.stats is not None
+        assert sol.stats.cut_rounds >= 0
+
+    def test_relaxation_engine_forwarded(self):
+        p = assignment_problem()
+        sol = solve(p, backend="branch_bound", relaxation_engine="builtin")
+        assert sol.solver == "branch_bound[builtin]"
+        assert sol.status is SolveStatus.OPTIMAL
+
+
+class TestRegisterBackendDuplicates:
+    def test_duplicate_name_rejected(self):
+        def fake(problem, **options):
+            return Solution(SolveStatus.ERROR, solver="dup")
+
+        register_backend("dup-test", fake)
+        with pytest.raises(ValueError, match="already registered"):
+            register_backend("dup-test", fake)
+
+    def test_builtin_names_cannot_be_shadowed(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_backend("highs", lambda problem, **options: None)
+
+
+class TestAutoFallback:
+    def test_auto_falls_back_to_builtin_branch_bound_without_scipy(
+        self, monkeypatch
+    ):
+        """`auto` must degrade to branch_bound[builtin] when scipy is gone.
+
+        The highs module import is lazy precisely so this path can fire;
+        poisoning sys.modules makes any `import scipy` raise ImportError.
+        """
+        import sys
+
+        monkeypatch.delitem(sys.modules, "repro.lp.highs", raising=False)
+        monkeypatch.setitem(sys.modules, "scipy", None)
+        p = assignment_problem()
+        sol = solve(p, backend="auto")
+        assert sol.solver == "branch_bound[builtin]"
+        assert sol.status is SolveStatus.OPTIMAL
+        assert sol.objective == pytest.approx(6.0)
+        assert sol.stats is not None
+        assert sol.stats.nodes_explored > 0
+
+    def test_auto_uses_highs_when_available(self):
+        sol = solve(assignment_problem(), backend="auto")
+        assert sol.solver.startswith("highs")
+
+
+class TestSolveStatsAttached:
+    def test_branch_bound_solution_carries_real_stats(self):
+        """Regression: stats used to be discarded before Solution was built."""
+        p = assignment_problem()
+        # The builtin relaxation engine counts its own pivots; HiGHS may
+        # solve tiny node LPs entirely in presolve and report 0.
+        sol = solve(p, backend="branch_bound", relaxation_engine="builtin")
+        stats = sol.stats
+        assert stats is not None
+        assert stats.nodes_explored > 0
+        assert stats.lp_iterations > 0
+        import math
+
+        assert math.isfinite(stats.best_bound)
+        assert stats.best_bound == pytest.approx(sol.objective)
+        assert stats.mip_gap == pytest.approx(0.0, abs=1e-9)
+        assert stats.elapsed_seconds >= 0.0
+
+    def test_simplex_solution_carries_phase_split(self):
+        p = Problem()
+        x = p.add_variable("x", ub=4.0)
+        y = p.add_variable("y", ub=4.0)
+        p.add_constraint(x + y <= 6)
+        p.set_objective(-(3 * x + 2 * y))
+        sol = solve(p, backend="simplex")
+        stats = sol.stats
+        assert stats is not None
+        assert stats.lp_iterations == stats.phase1_iterations + stats.phase2_iterations
+        assert stats.lp_iterations == sol.iterations
+        assert stats.backend == "simplex"
+
+    def test_highs_solution_carries_timing_and_gap(self):
+        sol = solve(assignment_problem(), backend="highs")
+        stats = sol.stats
+        assert stats is not None
+        assert stats.backend == "highs"
+        assert stats.elapsed_seconds > 0.0
+        assert stats.mip_gap == pytest.approx(0.0, abs=1e-6)
+
+    def test_rounding_solution_carries_stats(self):
+        sol = solve(assignment_problem(), backend="rounding")
+        assert sol.stats is not None
+        assert sol.stats.backend == "rounding"
+
+
 class TestHighsStatuses:
     def test_infeasible(self):
         p = Problem()

@@ -1,0 +1,73 @@
+"""Counters, timers and the metrics registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry import Counter, MetricsRegistry, Timer, metrics
+
+
+class TestCounter:
+    def test_increment_and_value(self):
+        c = Counter("pivots")
+        assert c.increment() == 1.0
+        assert c.increment(4) == 5.0
+        assert c.value == 5.0
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError, match="forward"):
+            Counter("x").increment(-1)
+
+    def test_reset(self):
+        c = Counter("x", value=3.0)
+        c.reset()
+        assert c.value == 0.0
+
+
+class TestTimer:
+    def test_context_manager_measures(self):
+        with Timer() as t:
+            sum(range(1000))
+        assert t.elapsed >= 0.0
+        assert not t.running
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError, match="never started"):
+            Timer().stop()
+
+    def test_running_flag(self):
+        t = Timer().start()
+        assert t.running
+        t.stop()
+        assert not t.running
+
+
+class TestRegistry:
+    def test_counter_is_memoized(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+
+    def test_increment_and_snapshot(self):
+        reg = MetricsRegistry()
+        reg.increment("b")
+        reg.increment("a", 2)
+        assert reg.snapshot() == {"a": 2.0, "b": 1.0}
+
+    def test_reset_zeroes_all(self):
+        reg = MetricsRegistry()
+        reg.increment("a", 5)
+        reg.reset()
+        assert reg.snapshot() == {"a": 0.0}
+
+
+class TestGlobalRegistry:
+    def test_solves_are_counted(self):
+        from repro.lp import Problem, solve
+
+        before = metrics.counter("solves.total").value
+        p = Problem()
+        x = p.add_variable("x", ub=1.0)
+        p.set_objective(-x)
+        solve(p, backend="simplex")
+        assert metrics.counter("solves.total").value == before + 1
+        assert metrics.counter("solves.backend.simplex").value >= 1

@@ -1,0 +1,91 @@
+"""JSONL trace emission and the process-wide writer hook."""
+
+from __future__ import annotations
+
+import io
+import json
+
+from repro.telemetry import (
+    SolveStats,
+    TraceWriter,
+    emit_record,
+    get_trace,
+    record_solve,
+    set_trace,
+    trace_enabled,
+    trace_to,
+)
+
+
+class TestTraceWriter:
+    def test_writes_one_json_line_per_record(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with TraceWriter(str(path)) as writer:
+            writer.emit({"event": "solve", "n": 1})
+            writer.emit({"event": "solve", "n": 2})
+            assert writer.records_written == 2
+        lines = path.read_text().splitlines()
+        assert [json.loads(line)["n"] for line in lines] == [1, 2]
+
+    def test_appends_to_existing_file(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with TraceWriter(str(path)) as w:
+            w.emit({"a": 1})
+        with TraceWriter(str(path)) as w:
+            w.emit({"a": 2})
+        assert len(path.read_text().splitlines()) == 2
+
+    def test_sanitizes_non_finite_floats(self):
+        buf = io.StringIO()
+        TraceWriter(buf).emit({"gap": float("nan"), "nested": [float("inf")]})
+        record = json.loads(buf.getvalue())
+        assert record["gap"] is None
+        assert record["nested"] == [None]
+
+
+class TestActiveWriter:
+    def test_trace_to_installs_and_restores(self, tmp_path):
+        assert not trace_enabled()
+        with trace_to(str(tmp_path / "t.jsonl")) as writer:
+            assert trace_enabled()
+            assert get_trace() is writer
+        assert not trace_enabled()
+
+    def test_emit_record_is_noop_when_disabled(self):
+        set_trace(None)
+        emit_record({"event": "ignored"})  # must not raise
+
+    def test_record_solve_emits_stats(self):
+        buf = io.StringIO()
+        with trace_to(buf):
+            record_solve(
+                problem="toy", backend="branch_bound", solver="branch_bound[builtin]",
+                status="optimal", objective=6.0,
+                stats=SolveStats(backend="branch_bound", nodes_explored=3),
+                elapsed_seconds=0.01,
+            )
+        record = json.loads(buf.getvalue())
+        assert record["event"] == "solve"
+        assert record["problem"] == "toy"
+        assert record["stats"]["nodes_explored"] == 3
+
+
+class TestSolveIntegration:
+    def test_every_solve_is_traced(self):
+        from repro.lp import Problem, quicksum, solve
+
+        buf = io.StringIO()
+        with trace_to(buf):
+            p = Problem("mini")
+            xs = [p.add_binary(f"x{i}") for i in range(3)]
+            p.add_constraint(quicksum(xs) <= 2)
+            p.set_objective(-quicksum((i + 1) * x for i, x in enumerate(xs)))
+            solve(p, backend="branch_bound")
+            solve(p, backend="highs")
+        records = [json.loads(line) for line in buf.getvalue().splitlines()]
+        assert len(records) == 2
+        assert {r["backend"] for r in records} == {"branch_bound", "highs"}
+        for r in records:
+            assert r["event"] == "solve"
+            assert r["status"] == "optimal"
+            assert r["stats"] is not None

@@ -82,6 +82,56 @@ class TestPlan:
                      "--wan-model", "vpn"]) == 0
 
 
+class TestProfileAndTrace:
+    def test_profile_prints_stats_block(self, state_file, capsys):
+        code = main([
+            "plan", state_file, "--backend", "branch_bound", "--profile",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Solver statistics" in out
+        assert "nodes explored" in out
+        assert "best-bound gap" in out
+
+    def test_profile_with_presolve_reports_reductions(self, state_file, capsys):
+        code = main([
+            "plan", state_file, "--backend", "highs", "--profile", "--presolve",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Solver statistics" in out
+        assert "presolve" in out
+
+    def test_trace_writes_one_json_record_per_solve(self, state_file, tmp_path):
+        trace = tmp_path / "out.jsonl"
+        code = main([
+            "plan", state_file, "--backend", "highs", "--trace", str(trace),
+        ])
+        assert code == 0
+        lines = trace.read_text().splitlines()
+        assert len(lines) >= 1
+        for line in lines:
+            record = json.loads(line)
+            assert record["event"] == "solve"
+            assert record["backend"] == "highs"
+            assert record["stats"] is not None
+
+    def test_trace_unwritable_path_is_clean_error(self, state_file, tmp_path, capsys):
+        bad = tmp_path / "no-such-dir" / "t.jsonl"
+        code = main(["plan", state_file, "--backend", "highs",
+                     "--trace", str(bad)])
+        assert code == 2
+        assert "cannot open trace file" in capsys.readouterr().err
+
+    def test_trace_disabled_after_command(self, state_file, tmp_path):
+        from repro.telemetry import trace_enabled
+
+        trace = tmp_path / "out.jsonl"
+        assert main(["plan", state_file, "--backend", "highs",
+                     "--trace", str(trace)]) == 0
+        assert not trace_enabled()
+
+
 class TestCompare:
     def test_compare_table(self, full_state_file, capsys):
         code = main(["compare", full_state_file, "--backend", "highs"])
