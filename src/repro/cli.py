@@ -137,12 +137,16 @@ def _cmd_asis(args: argparse.Namespace) -> int:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     options = _solver_options(args)
     if args.kind == "latency":
-        result = run_latency_sweep(backend=args.backend, solver_options=options)
+        result = run_latency_sweep(
+            backend=args.backend, solver_options=options, jobs=args.jobs
+        )
         for key in ("total_cost", "space_cost", "mean_latency_ms"):
             print(tables.render_latency_sweep(result, key))
             print()
     else:
-        result = run_dr_cost_sweep(backend=args.backend, solver_options=options)
+        result = run_dr_cost_sweep(
+            backend=args.backend, solver_options=options, jobs=args.jobs
+        )
         print(tables.render_dr_sweep(result))
     return 0
 
@@ -250,6 +254,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("sweep", help="run a parameter study")
     p.add_argument("kind", choices=("latency", "dr-cost"))
+    p.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="solve independent sweep points across N worker processes",
+    )
     _add_solver_arguments(p)
     p.set_defaults(fn=_cmd_sweep)
 

@@ -11,13 +11,43 @@ small shared pool covers the worst single failure.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 
 from ..core.planner import plan_consolidation
 from ..datasets.scenarios import latency_line_scenario
-from .harness import SweepPoint
+from .harness import SweepPoint, parallel_map
 
 #: The paper's decade sweep of ζ.
 DEFAULT_DR_COSTS = (1.0, 10.0, 100.0, 1000.0, 10_000.0)
+
+
+def _dr_point(
+    zeta: float,
+    backend: str,
+    n_groups: int,
+    total_servers: int,
+    solver_options: dict,
+) -> SweepPoint:
+    """Solve one ζ point (module-level so it can cross a process boundary)."""
+    state = latency_line_scenario(
+        penalty_per_band=0.0,
+        fraction_at_west=1.0,
+        n_groups=n_groups,
+        total_servers=total_servers,
+        space_growth=0.8,
+        space_step_per_location=0.0,
+    )
+    state.params.dr_server_cost = zeta
+    plan = plan_consolidation(state, enable_dr=True, backend=backend, **solver_options)
+    return SweepPoint(
+        parameter=zeta,
+        values={
+            "datacenters_used": float(len(plan.datacenters_used)),
+            "primary_datacenters": float(len(set(plan.placement.values()))),
+            "dr_servers": float(sum(plan.backup_servers.values())),
+            "total_cost": plan.breakdown.total,
+        },
+    )
 
 
 @dataclass
@@ -42,6 +72,7 @@ def run_dr_cost_sweep(
     n_groups: int = 80,
     total_servers: int = 450,
     solver_options: dict | None = None,
+    jobs: int = 1,
 ) -> DRCostSweepResult:
     """Reproduce Fig. 8.
 
@@ -50,33 +81,22 @@ def run_dr_cost_sweep(
     economics that drive the curve are size-independent.  The space ramp
     is convex (geometric) so that concentrating in two sites is optimal
     when backups are nearly free — see EXPERIMENTS.md.
+
+    Each ζ point is an independent solve; ``jobs > 1`` fans them out
+    across worker processes.
     """
     solver_options = dict(solver_options or {})
     solver_options.setdefault("mip_rel_gap", 0.02)
     solver_options.setdefault("time_limit", 60)
-    result = DRCostSweepResult()
-    for zeta in dr_costs:
-        state = latency_line_scenario(
-            penalty_per_band=0.0,
-            fraction_at_west=1.0,
+    points = parallel_map(
+        partial(
+            _dr_point,
+            backend=backend,
             n_groups=n_groups,
             total_servers=total_servers,
-            space_growth=0.8,
-            space_step_per_location=0.0,
-        )
-        state.params.dr_server_cost = zeta
-        plan = plan_consolidation(
-            state, enable_dr=True, backend=backend, **solver_options
-        )
-        result.points.append(
-            SweepPoint(
-                parameter=zeta,
-                values={
-                    "datacenters_used": float(len(plan.datacenters_used)),
-                    "primary_datacenters": float(len(set(plan.placement.values()))),
-                    "dr_servers": float(sum(plan.backup_servers.values())),
-                    "total_cost": plan.breakdown.total,
-                },
-            )
-        )
-    return result
+            solver_options=solver_options,
+        ),
+        dr_costs,
+        jobs=jobs,
+    )
+    return DRCostSweepResult(points=points)

@@ -9,12 +9,13 @@ total cost (a), space cost (b) and user-weighted mean latency (c).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 
 from ..core.entities import AsIsState
 from ..core.plan import TransformationPlan
 from ..core.planner import plan_consolidation
 from ..datasets.scenarios import latency_line_scenario
-from .harness import SweepPoint, SweepSeries
+from .harness import SweepPoint, SweepSeries, parallel_map
 
 #: The paper's five user splits, as fraction of users at location 0
 #: (west end).  1.0 = "All users in location 0".
@@ -63,6 +64,33 @@ class LatencySweepResult:
         raise KeyError(f"no series {label!r}")
 
 
+def _latency_point(
+    task: tuple[float, float],
+    backend: str,
+    n_groups: int,
+    total_servers: int,
+    solver_options: dict,
+) -> SweepPoint:
+    """Solve one (split, penalty) point (module-level for process fan-out)."""
+    split, penalty = task
+    state = latency_line_scenario(
+        penalty_per_band=penalty,
+        fraction_at_west=split,
+        n_groups=n_groups,
+        total_servers=total_servers,
+    )
+    plan = plan_consolidation(state, backend=backend, **solver_options)
+    return SweepPoint(
+        parameter=penalty,
+        values={
+            "total_cost": plan.breakdown.total,
+            "space_cost": plan.breakdown.space,
+            "mean_latency_ms": mean_user_latency(state, plan),
+            "latency_penalty": plan.breakdown.latency_penalty,
+        },
+    )
+
+
 def run_latency_sweep(
     penalties: tuple[float, ...] = DEFAULT_PENALTIES,
     user_splits: tuple[float, ...] = DEFAULT_USER_SPLITS,
@@ -70,31 +98,30 @@ def run_latency_sweep(
     n_groups: int = 190,
     total_servers: int = 1070,
     solver_options: dict | None = None,
+    jobs: int = 1,
 ) -> LatencySweepResult:
-    """Reproduce Fig. 7 (a, b, c)."""
+    """Reproduce Fig. 7 (a, b, c).
+
+    Every (user split, penalty) point is an independent solve; ``jobs >
+    1`` fans the grid out across worker processes.
+    """
     solver_options = dict(solver_options or {})
     solver_options.setdefault("mip_rel_gap", 1e-4)
+    tasks = [(split, penalty) for split in user_splits for penalty in penalties]
+    points = parallel_map(
+        partial(
+            _latency_point,
+            backend=backend,
+            n_groups=n_groups,
+            total_servers=total_servers,
+            solver_options=solver_options,
+        ),
+        tasks,
+        jobs=jobs,
+    )
     result = LatencySweepResult()
-    for split in user_splits:
+    for i, split in enumerate(user_splits):
         series = SweepSeries(name=split_label(split))
-        for penalty in penalties:
-            state = latency_line_scenario(
-                penalty_per_band=penalty,
-                fraction_at_west=split,
-                n_groups=n_groups,
-                total_servers=total_servers,
-            )
-            plan = plan_consolidation(state, backend=backend, **solver_options)
-            series.points.append(
-                SweepPoint(
-                    parameter=penalty,
-                    values={
-                        "total_cost": plan.breakdown.total,
-                        "space_cost": plan.breakdown.space,
-                        "mean_latency_ms": mean_user_latency(state, plan),
-                        "latency_penalty": plan.breakdown.latency_penalty,
-                    },
-                )
-            )
+        series.points = points[i * len(penalties) : (i + 1) * len(penalties)]
         result.series.append(series)
     return result

@@ -31,6 +31,9 @@ def render_solve_stats(stats: SolveStats) -> str:
         f"    phase-1 / phase-2            {stats.phase1_iterations} / {stats.phase2_iterations}",
         f"    Bland switches               {stats.bland_switches}",
         f"    degenerate pivots            {stats.degenerate_pivots}",
+        f"  conversion / solve seconds     {stats.conversion_seconds:.3f} / "
+        f"{stats.relaxation_solve_seconds:.3f}",
+        f"  warm starts (hit / miss)       {stats.warm_start_hits} / {stats.warm_start_misses}",
         f"  B&B nodes explored             {stats.nodes_explored}",
         f"  B&B nodes pruned               {stats.nodes_pruned}",
         f"  cut rounds / cuts added        {stats.cut_rounds} / {stats.cuts_added}",

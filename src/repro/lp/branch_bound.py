@@ -29,7 +29,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..telemetry import GapPoint, SolveStats
-from .matrix_lp import solve_lp_arrays
+from .matrix_lp import RelaxationContext, solve_lp_arrays
 from .problem import Problem
 from .solution import Solution, SolveStatus
 from .standard_form import to_matrix_form
@@ -47,13 +47,18 @@ BranchBoundStats = SolveStats
 
 @dataclass(order=True)
 class _Node:
-    """Search node ordered by its relaxation bound (best-first)."""
+    """Search node ordered by its relaxation bound (best-first).
+
+    ``warm`` carries the parent relaxation's basis token so the child's
+    simplex solve can skip phase 1 (builtin engine only).
+    """
 
     bound: float
     tie: int = field(compare=True)
     lb: np.ndarray = field(compare=False, default=None)
     ub: np.ndarray = field(compare=False, default=None)
     depth: int = field(compare=False, default=0)
+    warm: tuple | None = field(compare=False, default=None)
 
 
 def _absorb_lp_detail(stats: SolveStats, relax) -> None:
@@ -63,6 +68,8 @@ def _absorb_lp_detail(stats: SolveStats, relax) -> None:
     stats.phase2_iterations += relax.phase2_iterations
     stats.bland_switches += relax.bland_switches
     stats.degenerate_pivots += relax.degenerate_pivots
+    stats.conversion_seconds += relax.conversion_seconds
+    stats.relaxation_solve_seconds += relax.solve_seconds
 
 
 def _apply_root_cuts(
@@ -148,6 +155,13 @@ def solve_branch_and_bound(
     if cover_cut_rounds > 0 and integral.any():
         _apply_root_cuts(form, integral, relaxation_engine, cover_cut_rounds, stats)
 
+    # One standardization per tree: every node below reuses the cached
+    # constraint blocks and passes only its (lb, ub) deltas.
+    context = RelaxationContext(
+        form.c, form.a_ub, form.b_ub, form.a_eq, form.b_eq,
+        form.lb, form.ub, engine=relaxation_engine,
+    )
+
     counter = itertools.count()
     root = _Node(bound=-math.inf, tie=next(counter), lb=form.lb.copy(), ub=form.ub.copy())
     heap: list[_Node] = [root]
@@ -199,6 +213,10 @@ def solve_branch_and_bound(
     def make_solution(status: SolveStatus, x: np.ndarray | None, message: str) -> Solution:
         stats.elapsed_seconds = time.monotonic() - start
         stats.best_bound = to_user_objective(best_bound)
+        stats.warm_start_hits = context.warm_start_hits
+        stats.warm_start_misses = context.warm_start_misses
+        stats.extra["relaxation_cache_hits"] = float(context.cache_hits)
+        stats.extra["relaxation_node_solves"] = float(context.node_solves)
         values: dict = {}
         objective = float("nan")
         if x is not None:
@@ -236,10 +254,7 @@ def solve_branch_and_bound(
             stats.nodes_pruned += 1
             continue
 
-        relax = solve_lp_arrays(
-            form.c, form.a_ub, form.b_ub, form.a_eq, form.b_eq,
-            node.lb, node.ub, engine=relaxation_engine,
-        )
+        relax = context.solve(node.lb, node.ub, warm=node.warm)
         stats.nodes_explored += 1
         _absorb_lp_detail(stats, relax)
 
@@ -275,7 +290,10 @@ def solve_branch_and_bound(
             )
         if relax.status != "optimal":
             status = SolveStatus.FEASIBLE if incumbent_x is not None else SolveStatus.ERROR
-            return make_solution(status, incumbent_x, f"relaxation failed: {relax.status}")
+            detail = f" ({relax.message})" if relax.message else ""
+            return make_solution(
+                status, incumbent_x, f"relaxation failed: {relax.status}{detail}"
+            )
 
         # The popped node's subtree bound tightens to its relaxation value;
         # combined with the best open node this may raise the global bound.
@@ -302,14 +320,16 @@ def solve_branch_and_bound(
         down_ub[branch_var] = min(down_ub[branch_var], floor_val)
         heapq.heappush(
             heap,
-            _Node(relax.objective, next(counter), down_lb, down_ub, node.depth + 1),
+            _Node(relax.objective, next(counter), down_lb, down_ub,
+                  node.depth + 1, warm=relax.warm_token),
         )
         # Up branch: x >= floor(value) + 1
         up_lb, up_ub = node.lb.copy(), node.ub.copy()
         up_lb[branch_var] = max(up_lb[branch_var], floor_val + 1)
         heapq.heappush(
             heap,
-            _Node(relax.objective, next(counter), up_lb, up_ub, node.depth + 1),
+            _Node(relax.objective, next(counter), up_lb, up_ub,
+                  node.depth + 1, warm=relax.warm_token),
         )
 
     if incumbent_x is None:

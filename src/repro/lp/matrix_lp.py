@@ -4,14 +4,31 @@ Solves ``min c'x  s.t.  A_ub x <= b_ub, A_eq x = b_eq, lb <= x <= ub``
 with either the from-scratch simplex (``engine="builtin"``) or SciPy's
 HiGHS (``engine="highs"``).  Branch-and-bound nodes differ only in the
 bound arrays, so this is the natural interface for node relaxations.
+
+The hot path is :class:`RelaxationContext`: one context per B&B tree
+standardizes the constraint blocks **once** (fully vectorized), and each
+node solve then only
+
+* refreshes the rhs for the node's shifted lower bounds — an
+  O(changed-bounds) delta against the root rhs,
+* rebuilds the two-entries-per-row variable-bound rows, and
+* reuses the parent's optimal basis as a simplex warm start, skipping
+  phase 1 whenever that basis is still primal feasible.
+
+:func:`solve_lp_arrays` remains the one-shot convenience wrapper (it
+builds a throwaway context), and :func:`solve_lp_arrays_reference`
+preserves the historical per-row Python-loop standardization as the
+benchmark/cross-check baseline.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
+from ..telemetry import metrics
 from .simplex import solve_standard_form
 
 
@@ -20,7 +37,11 @@ class ArrayLPResult:
     """LP relaxation outcome at the array level.
 
     The pivot-level counters are only populated by the builtin simplex
-    engine; HiGHS reports a flat iteration count.
+    engine; HiGHS reports a flat iteration count.  ``conversion_seconds``
+    and ``solve_seconds`` split the wall clock between standard-form
+    conversion and actual pivoting.  ``warm_token`` is an opaque value
+    that can be passed back to :meth:`RelaxationContext.solve` as
+    ``warm`` to warm-start a child node from this solve's basis.
     """
 
     status: str  # "optimal" | "infeasible" | "unbounded" | "error"
@@ -31,9 +52,14 @@ class ArrayLPResult:
     phase2_iterations: int = 0
     bland_switches: int = 0
     degenerate_pivots: int = 0
+    message: str = ""
+    conversion_seconds: float = 0.0
+    solve_seconds: float = 0.0
+    warm_started: bool = False
+    warm_token: tuple | None = None
 
 
-def _standardize_arrays(
+def _solve_highs_arrays(
     c: np.ndarray,
     a_ub: np.ndarray,
     b_ub: np.ndarray,
@@ -41,12 +67,331 @@ def _standardize_arrays(
     b_eq: np.ndarray,
     lb: np.ndarray,
     ub: np.ndarray,
-) -> tuple[np.ndarray, np.ndarray, np.ndarray, float, np.ndarray, np.ndarray]:
-    """Convert bounded-variable form to ``min c'y, Ay = b, y >= 0``.
+) -> ArrayLPResult:
+    """One linprog/HiGHS call with the library's status mapping."""
+    from scipy.optimize import linprog
 
-    Returns ``(a, b, cost, c0, plus_cols, minus_cols)`` where original
-    ``x[i] = y[plus_cols[i]] - y[minus_cols[i]] + shift[i]`` (minus_cols[i]
-    is -1 for non-free variables; the shift is folded into ``c0`` and rhs).
+    start = time.perf_counter()
+    res = linprog(
+        c,
+        A_ub=a_ub if a_ub.size else None,
+        b_ub=b_ub if b_ub.size else None,
+        A_eq=a_eq if a_eq.size else None,
+        b_eq=b_eq if b_eq.size else None,
+        bounds=np.column_stack([lb, ub]),
+        method="highs",
+    )
+    elapsed = time.perf_counter() - start
+    nit = int(res.nit)
+    if res.status == 0:
+        return ArrayLPResult(
+            "optimal", res.x, float(res.fun), nit, solve_seconds=elapsed
+        )
+    if res.status == 2:
+        return ArrayLPResult("infeasible", None, np.nan, nit, solve_seconds=elapsed)
+    if res.status == 3:
+        return ArrayLPResult("unbounded", None, -np.inf, nit, solve_seconds=elapsed)
+    if res.status == 1:
+        # Same semantics as the builtin engine's pivot budget: an "error"
+        # status whose message names the iteration limit.
+        return ArrayLPResult(
+            "error", None, np.nan, nit,
+            message=f"iteration_limit: {res.message}", solve_seconds=elapsed,
+        )
+    return ArrayLPResult(
+        "error", None, np.nan, nit, message=str(res.message), solve_seconds=elapsed
+    )
+
+
+class RelaxationContext:
+    """Cached standardization of one bounded-variable LP family.
+
+    A branch-and-bound tree solves many relaxations that share ``c``,
+    ``A_ub``/``b_ub`` and ``A_eq``/``b_eq`` and differ only in ``(lb,
+    ub)``.  The context expands the constraint blocks to the plus/minus
+    standard-form columns once (vectorized — no per-row Python loops) and
+    assembles each node's matrix from the cached blocks.
+
+    The plus/minus column split follows the **root** bounds: variables
+    free at the root keep their minus column even after a child gives
+    them a finite lower bound (the bound becomes an extra row instead of
+    a shift).  A node that *loosens* a root-finite lower bound back to
+    ``-inf`` no longer fits the cached structure and triggers a full
+    restandardization (counted in ``structural_rebuilds``); B&B never
+    does this.
+
+    Telemetry attributes (``conversion_seconds``, ``solve_seconds``,
+    ``node_solves``, ``cache_hits``, ``warm_start_hits``,
+    ``warm_start_misses``, ``structural_rebuilds``) accumulate over the
+    context's lifetime; :mod:`repro.telemetry` counters mirror them
+    process-wide.
+    """
+
+    def __init__(
+        self,
+        c: np.ndarray,
+        a_ub: np.ndarray,
+        b_ub: np.ndarray,
+        a_eq: np.ndarray,
+        b_eq: np.ndarray,
+        lb: np.ndarray,
+        ub: np.ndarray,
+        engine: str = "builtin",
+        max_iterations: int = 20000,
+    ) -> None:
+        self.engine = engine
+        self.max_iterations = max_iterations
+        self.c = np.asarray(c, dtype=float)
+        self.a_ub = np.asarray(a_ub, dtype=float)
+        self.b_ub = np.asarray(b_ub, dtype=float)
+        self.a_eq = np.asarray(a_eq, dtype=float)
+        self.b_eq = np.asarray(b_eq, dtype=float)
+        self.root_lb = np.array(lb, dtype=float, copy=True)
+        self.root_ub = np.array(ub, dtype=float, copy=True)
+
+        self.conversion_seconds = 0.0
+        self.solve_seconds = 0.0
+        self.node_solves = 0
+        self.cache_hits = 0
+        self.warm_start_hits = 0
+        self.warm_start_misses = 0
+        self.structural_rebuilds = 0
+
+        if engine == "builtin":
+            self._build_base()
+
+    # -- one-time, fully vectorized base standardization -------------------
+
+    def _build_base(self) -> None:
+        start = time.perf_counter()
+        n = self.c.shape[0]
+        free = np.isneginf(self.root_lb)
+        width = np.where(free, 2, 1)
+        ends = np.cumsum(width)
+        plus = ends - width
+        minus = np.full(n, -1, dtype=int)
+        minus[free] = plus[free] + 1
+        self._free = free
+        self._plus = plus
+        self._minus = minus
+        self._ncols = int(ends[-1]) if n else 0
+
+        self._e_ub = self._expand_block(self.a_ub)
+        self._e_eq = self._expand_block(self.a_eq)
+
+        cost = np.zeros(self._ncols)
+        cost[plus] = self.c
+        cost[minus[free]] = -self.c[free]
+        self._cost_struct = cost
+
+        self._root_shift = np.where(free, 0.0, self.root_lb)
+        self._b_ub_root = self.b_ub - self.a_ub @ self._root_shift
+        self._b_eq_root = self.b_eq - self.a_eq @ self._root_shift
+        self.conversion_seconds += time.perf_counter() - start
+
+    def _expand_block(self, block: np.ndarray) -> np.ndarray:
+        """Map an (m, n) block onto the plus/minus standard-form columns."""
+        out = np.zeros((block.shape[0], self._ncols))
+        if block.shape[0]:
+            out[:, self._plus] = block
+            free = self._free
+            if free.any():
+                out[:, self._minus[free]] = -block[:, free]
+        return out
+
+    # -- per-node assembly: O(changed bounds) rhs + sparse bound rows ------
+
+    def _assemble(
+        self, lb: np.ndarray, ub: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, tuple]:
+        free = self._free
+        shift = np.where(free, 0.0, lb)
+        dshift = shift - self._root_shift
+        changed = np.nonzero(dshift)[0]
+        b_ub_adj = self._b_ub_root.copy()
+        b_eq_adj = self._b_eq_root.copy()
+        if changed.size:
+            b_ub_adj -= self.a_ub[:, changed] @ dshift[changed]
+            b_eq_adj -= self.a_eq[:, changed] @ dshift[changed]
+
+        ub_idx = np.nonzero(~np.isposinf(ub))[0]
+        low_idx = np.nonzero(free & ~np.isneginf(lb))[0]
+        m_ub, m_eq = self.a_ub.shape[0], self.a_eq.shape[0]
+        m_bnd, m_low = ub_idx.size, low_idx.size
+        n_le = m_ub + m_bnd + m_low
+        m_total = m_ub + m_eq + m_bnd + m_low
+        ncols = self._ncols
+        # Nodes share the column layout iff they bound the same variables;
+        # a matching key is what makes a parent basis transferable.
+        key = (ub_idx.tobytes(), low_idx.tobytes())
+
+        a = np.zeros((m_total, ncols + n_le))
+        a[:m_ub, :ncols] = self._e_ub
+        a[m_ub : m_ub + m_eq, :ncols] = self._e_eq
+        r0 = m_ub + m_eq
+        rows_u = r0 + np.arange(m_bnd)
+        a[rows_u, self._plus[ub_idx]] = 1.0
+        split = self._minus[ub_idx] >= 0
+        a[rows_u[split], self._minus[ub_idx[split]]] = -1.0
+        rows_l = r0 + m_bnd + np.arange(m_low)
+        # Lower bound on a root-free variable: x+ - x- >= lb, as a <= row.
+        a[rows_l, self._plus[low_idx]] = -1.0
+        a[rows_l, self._minus[low_idx]] = 1.0
+        le_rows = np.concatenate([np.arange(m_ub), np.arange(r0, m_total)])
+        a[le_rows, ncols + np.arange(n_le)] = 1.0
+
+        b = np.concatenate(
+            [b_ub_adj, b_eq_adj, ub[ub_idx] - shift[ub_idx], -lb[low_idx]]
+        )
+        neg = b < 0
+        a[neg] *= -1.0
+        b[neg] *= -1.0
+
+        cost = np.zeros(ncols + n_le)
+        cost[:ncols] = self._cost_struct
+        return a, b, cost, key
+
+    # -- node solves -------------------------------------------------------
+
+    def solve(
+        self,
+        lb: np.ndarray | None = None,
+        ub: np.ndarray | None = None,
+        warm: tuple | None = None,
+    ) -> ArrayLPResult:
+        """Solve one node relaxation for the given bound arrays.
+
+        ``warm`` is the ``warm_token`` of a previous (typically parent)
+        solve on this context; it is ignored when the node's bound
+        pattern no longer matches the token's column layout.
+        """
+        lb = self.root_lb if lb is None else np.asarray(lb, dtype=float)
+        ub = self.root_ub if ub is None else np.asarray(ub, dtype=float)
+        if (lb > ub + 1e-12).any():
+            return ArrayLPResult("infeasible", None, np.nan)
+
+        self.node_solves += 1
+        metrics.increment("relaxation.node_solves")
+        if self.engine == "highs":
+            result = _solve_highs_arrays(
+                self.c, self.a_ub, self.b_ub, self.a_eq, self.b_eq, lb, ub
+            )
+            self.solve_seconds += result.solve_seconds
+            return result
+        if self.engine != "builtin":
+            raise ValueError(f"unknown LP engine: {self.engine!r}")
+
+        if (np.isneginf(lb) & ~self._free).any():
+            # A root-finite lower bound was loosened to -inf: the cached
+            # plus/minus split cannot represent this node.  Rebuild from
+            # scratch (never hit by branch-and-bound, which only tightens).
+            self.structural_rebuilds += 1
+            metrics.increment("relaxation.structural_rebuilds")
+            fresh = RelaxationContext(
+                self.c, self.a_ub, self.b_ub, self.a_eq, self.b_eq,
+                lb, ub, engine="builtin", max_iterations=self.max_iterations,
+            )
+            result = fresh.solve()
+            self.conversion_seconds += fresh.conversion_seconds
+            self.solve_seconds += fresh.solve_seconds
+            return result
+
+        self.cache_hits += 1
+        metrics.increment("relaxation.cache_hits")
+        start = time.perf_counter()
+        a, b, cost, key = self._assemble(lb, ub)
+        conversion = time.perf_counter() - start
+        self.conversion_seconds += conversion
+
+        warm_basis = None
+        if warm is not None and warm[0] == key:
+            warm_basis = warm[1]
+        start = time.perf_counter()
+        result = solve_standard_form(
+            a, b, cost, max_iterations=self.max_iterations, warm_basis=warm_basis
+        )
+        solve_elapsed = time.perf_counter() - start
+        self.solve_seconds += solve_elapsed
+        if warm is not None:
+            if result.warm_started:
+                self.warm_start_hits += 1
+                metrics.increment("relaxation.warm_start_hits")
+            else:
+                self.warm_start_misses += 1
+                metrics.increment("relaxation.warm_start_misses")
+
+        def _with_detail(status: str, x, objective: float, message: str = "") -> ArrayLPResult:
+            return ArrayLPResult(
+                status, x, objective, result.iterations,
+                phase1_iterations=result.phase1_iterations,
+                phase2_iterations=result.phase2_iterations,
+                bland_switches=result.bland_switches,
+                degenerate_pivots=result.degenerate_pivots,
+                message=message,
+                conversion_seconds=conversion,
+                solve_seconds=solve_elapsed,
+                warm_started=result.warm_started,
+                warm_token=(key, result.basis) if result.basis is not None else None,
+            )
+
+        if result.status == "iteration_limit":
+            return _with_detail("error", None, np.nan, message="iteration_limit")
+        if result.status != "optimal":
+            return _with_detail(result.status, None,
+                                -np.inf if result.status == "unbounded" else np.nan)
+        y = result.x
+        x = y[self._plus].copy()
+        free = self._free
+        if free.any():
+            x[free] -= y[self._minus[free]]
+        x += np.where(free, 0.0, lb)
+        return _with_detail("optimal", x, float(self.c @ x))
+
+
+def solve_lp_arrays(
+    c: np.ndarray,
+    a_ub: np.ndarray,
+    b_ub: np.ndarray,
+    a_eq: np.ndarray,
+    b_eq: np.ndarray,
+    lb: np.ndarray,
+    ub: np.ndarray,
+    engine: str = "highs",
+    max_iterations: int = 20000,
+) -> ArrayLPResult:
+    """Solve the bounded-variable LP with the requested engine.
+
+    One-shot convenience wrapper over :class:`RelaxationContext`; callers
+    with many same-structure solves should hold a context instead.
+    Infeasible bound pairs (``lb > ub``) short-circuit to infeasible —
+    branch-and-bound produces those routinely when fixing binaries.
+    """
+    if (lb > ub + 1e-12).any():
+        return ArrayLPResult("infeasible", None, np.nan)
+    context = RelaxationContext(
+        c, a_ub, b_ub, a_eq, b_eq, lb, ub,
+        engine=engine, max_iterations=max_iterations,
+    )
+    return context.solve()
+
+
+def _standardize_arrays_reference(
+    c: np.ndarray,
+    a_ub: np.ndarray,
+    b_ub: np.ndarray,
+    a_eq: np.ndarray,
+    b_eq: np.ndarray,
+    lb: np.ndarray,
+    ub: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Historical per-row-loop standardization (reference implementation).
+
+    Kept verbatim (minus the never-used objective constant) as the
+    cross-check oracle for :class:`RelaxationContext` and as the
+    "uncached" baseline of the node-cache micro-benchmark.  Returns
+    ``(a, b, cost, plus_cols, minus_cols)`` with original ``x[i] =
+    y[plus_cols[i]] - y[minus_cols[i]] + shift[i]`` (``minus_cols[i]`` is
+    -1 for non-free variables).
     """
     n = c.shape[0]
     plus = np.zeros(n, dtype=int)
@@ -107,15 +452,14 @@ def _standardize_arrays(
     b[neg] *= -1.0
 
     cost = np.zeros(total)
-    c0 = float(c @ shift)
     for i in range(n):
         cost[plus[i]] += c[i]
         if minus[i] >= 0:
             cost[minus[i]] -= c[i]
-    return a, b, cost, c0, plus, minus
+    return a, b, cost, plus, minus
 
 
-def solve_lp_arrays(
+def solve_lp_arrays_reference(
     c: np.ndarray,
     a_ub: np.ndarray,
     b_ub: np.ndarray,
@@ -123,63 +467,44 @@ def solve_lp_arrays(
     b_eq: np.ndarray,
     lb: np.ndarray,
     ub: np.ndarray,
-    engine: str = "highs",
     max_iterations: int = 20000,
 ) -> ArrayLPResult:
-    """Solve the bounded-variable LP with the requested engine.
+    """The pre-cache builtin node solve: full loop standardization + cold start.
 
-    Infeasible bound pairs (``lb > ub``) short-circuit to infeasible —
-    branch-and-bound produces those routinely when fixing binaries.
+    Benchmark baseline only — production callers use
+    :class:`RelaxationContext` / :func:`solve_lp_arrays`.
     """
     if (lb > ub + 1e-12).any():
         return ArrayLPResult("infeasible", None, np.nan)
-
-    if engine == "highs":
-        from scipy.optimize import linprog
-
-        res = linprog(
-            c,
-            A_ub=a_ub if a_ub.size else None,
-            b_ub=b_ub if b_ub.size else None,
-            A_eq=a_eq if a_eq.size else None,
-            b_eq=b_eq if b_eq.size else None,
-            bounds=np.column_stack([lb, ub]),
-            method="highs",
+    start = time.perf_counter()
+    a, b, cost, plus, minus = _standardize_arrays_reference(
+        c, a_ub, b_ub, a_eq, b_eq, lb, ub
+    )
+    conversion = time.perf_counter() - start
+    start = time.perf_counter()
+    result = solve_standard_form(a, b, cost, max_iterations=max_iterations)
+    solve_elapsed = time.perf_counter() - start
+    if result.status != "optimal":
+        status = "error" if result.status == "iteration_limit" else result.status
+        return ArrayLPResult(
+            status, None, -np.inf if status == "unbounded" else np.nan,
+            result.iterations,
+            message="iteration_limit" if result.status == "iteration_limit" else "",
+            conversion_seconds=conversion, solve_seconds=solve_elapsed,
         )
-        if res.status == 0:
-            return ArrayLPResult("optimal", res.x, float(res.fun), int(res.nit))
-        if res.status == 2:
-            return ArrayLPResult("infeasible", None, np.nan, int(res.nit))
-        if res.status == 3:
-            return ArrayLPResult("unbounded", None, -np.inf, int(res.nit))
-        return ArrayLPResult("error", None, np.nan, int(res.nit))
-
-    if engine == "builtin":
-        a, b, cost, c0, plus, minus = _standardize_arrays(
-            c, a_ub, b_ub, a_eq, b_eq, lb, ub
-        )
-        result = solve_standard_form(a, b, cost, max_iterations=max_iterations)
-
-        def _with_detail(status: str, x, objective: float) -> ArrayLPResult:
-            return ArrayLPResult(
-                status, x, objective, result.iterations,
-                phase1_iterations=result.phase1_iterations,
-                phase2_iterations=result.phase2_iterations,
-                bland_switches=result.bland_switches,
-                degenerate_pivots=result.degenerate_pivots,
-            )
-
-        if result.status != "optimal":
-            status = "error" if result.status == "iteration_limit" else result.status
-            return _with_detail(status, None, np.nan)
-        y = result.x
-        n = c.shape[0]
-        x = np.empty(n)
-        for i in range(n):
-            val = y[plus[i]]
-            if minus[i] >= 0:
-                val -= y[minus[i]]
-            x[i] = val + (lb[i] if not np.isneginf(lb[i]) else 0.0)
-        return _with_detail("optimal", x, float(c @ x))
-
-    raise ValueError(f"unknown LP engine: {engine!r}")
+    y = result.x
+    n = c.shape[0]
+    x = np.empty(n)
+    for i in range(n):
+        val = y[plus[i]]
+        if minus[i] >= 0:
+            val -= y[minus[i]]
+        x[i] = val + (lb[i] if not np.isneginf(lb[i]) else 0.0)
+    return ArrayLPResult(
+        "optimal", x, float(c @ x), result.iterations,
+        phase1_iterations=result.phase1_iterations,
+        phase2_iterations=result.phase2_iterations,
+        bland_switches=result.bland_switches,
+        degenerate_pivots=result.degenerate_pivots,
+        conversion_seconds=conversion, solve_seconds=solve_elapsed,
+    )

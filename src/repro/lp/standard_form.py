@@ -158,7 +158,13 @@ def to_standard_form(problem: Problem) -> StandardForm:
     for var in variables:
         if var.ub is not None:
             bound = var.ub - shift.get(var, 0.0)
-            rows.append(({plus_index[var]: 1.0}, Sense.LE, bound))
+            # A free variable's bound constrains x_plus - x_minus, not
+            # x_plus alone — dropping the minus column would misreport a
+            # negative upper bound as infeasible.
+            coefs = {plus_index[var]: 1.0}
+            if var in minus_index:
+                coefs[minus_index[var]] = -1.0
+            rows.append((coefs, Sense.LE, bound))
 
     # Count slack columns needed.
     nslack = sum(1 for _, sense, _ in rows if sense is not Sense.EQ)

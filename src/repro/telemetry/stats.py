@@ -70,6 +70,16 @@ class SolveStats:
     bland_switches: int = 0
     degenerate_pivots: int = 0
 
+    # -- node-relaxation hot path ------------------------------------------
+    #: Wall clock spent converting to standard form across all node solves.
+    conversion_seconds: float = 0.0
+    #: Wall clock spent inside the LP engine across all node solves.
+    relaxation_solve_seconds: float = 0.0
+    #: Node solves that skipped phase 1 via the parent's basis.
+    warm_start_hits: int = 0
+    #: Node solves where the parent basis was stale and phase 1 reran.
+    warm_start_misses: int = 0
+
     # -- branch and bound --------------------------------------------------
     nodes_explored: int = 0
     nodes_pruned: int = 0
@@ -119,6 +129,10 @@ class SolveStats:
             "phase2_iterations": self.phase2_iterations,
             "bland_switches": self.bland_switches,
             "degenerate_pivots": self.degenerate_pivots,
+            "conversion_seconds": self.conversion_seconds,
+            "relaxation_solve_seconds": self.relaxation_solve_seconds,
+            "warm_start_hits": self.warm_start_hits,
+            "warm_start_misses": self.warm_start_misses,
             "nodes_explored": self.nodes_explored,
             "nodes_pruned": self.nodes_pruned,
             "cut_rounds": self.cut_rounds,

@@ -9,6 +9,7 @@ from repro.experiments.harness import (
     AlgorithmResult,
     SweepPoint,
     SweepSeries,
+    parallel_map,
     state_label,
     timed_plan,
 )
@@ -80,3 +81,21 @@ class TestSweepSeries:
 
 def test_state_label(tiny_state):
     assert state_label(tiny_state) == "tiny"
+
+
+def _square(x: int) -> int:
+    """Module-level so ProcessPoolExecutor can pickle it."""
+    return x * x
+
+
+class TestParallelMap:
+    def test_serial_path(self):
+        assert parallel_map(_square, [1, 2, 3], jobs=1) == [1, 4, 9]
+
+    def test_empty_and_singleton(self):
+        assert parallel_map(_square, [], jobs=4) == []
+        assert parallel_map(_square, [5], jobs=4) == [25]
+
+    def test_process_fanout_preserves_order(self):
+        items = list(range(8))
+        assert parallel_map(_square, items, jobs=2) == [x * x for x in items]

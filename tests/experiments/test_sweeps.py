@@ -153,3 +153,23 @@ def test_mean_user_latency_empty_users():
     placement = {g.name: "location0" for g in state.app_groups}
     plan = evaluate_plan(state, placement)
     assert mean_user_latency(state, plan) == 0.0
+
+
+class TestSweepProcessFanout:
+    """jobs=2 must produce the same points as the serial path."""
+
+    def test_latency_sweep_parallel_matches_serial(self, latency_sweep):
+        parallel = run_latency_sweep(
+            penalties=(0.0, 40.0, 120.0),
+            user_splits=(1.0, 0.0),
+            backend="highs",
+            n_groups=40,
+            total_servers=220,
+            solver_options={"mip_rel_gap": 0.005, "time_limit": 30},
+            jobs=2,
+        )
+        for serial_s, parallel_s in zip(latency_sweep.series, parallel.series):
+            assert serial_s.name == parallel_s.name
+            assert serial_s.xs() == parallel_s.xs()
+            for a, b in zip(serial_s.ys("total_cost"), parallel_s.ys("total_cost")):
+                assert a == pytest.approx(b, rel=1e-6)

@@ -165,10 +165,10 @@ class TestNonRootUnbounded:
 
         calls = iter(responses)
 
-        def fake_solve_lp_arrays(*args, **kwargs):
+        def fake_context_solve(self, lb=None, ub=None, warm=None):
             return next(calls)
 
-        monkeypatch.setattr(bb, "solve_lp_arrays", fake_solve_lp_arrays)
+        monkeypatch.setattr(bb.RelaxationContext, "solve", fake_context_solve)
 
     def test_no_incumbent_reports_error_not_unbounded(self, monkeypatch):
         from repro.lp.matrix_lp import ArrayLPResult

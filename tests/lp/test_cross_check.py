@@ -1,0 +1,75 @@
+"""Builtin-simplex vs HiGHS agreement on seeded random bounded LPs.
+
+Fifty deterministic instances (mixed inequality/equality rows, finite
+boxes, some infeasible by construction) must agree on status and — when
+optimal — on the objective to 1e-6.  This is the contract that lets the
+branch-and-bound relaxation engine be swapped freely.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.lp.matrix_lp import RelaxationContext, solve_lp_arrays
+
+
+def _random_instance(seed: int) -> dict:
+    rng = np.random.default_rng(1234 + seed)
+    n = int(rng.integers(2, 7))
+    m_ub = int(rng.integers(1, 5))
+    lb = np.round(rng.uniform(-2.0, 0.0, size=n), 3)
+    ub = lb + np.round(rng.uniform(0.5, 4.0, size=n), 3)
+    c = np.round(rng.uniform(-5.0, 5.0, size=n), 3)
+    a_ub = np.round(rng.uniform(-2.0, 2.0, size=(m_ub, n)), 3)
+    x0 = rng.uniform(lb, ub)
+    # Centering b_ub near A @ x0 keeps most instances feasible; the
+    # negative noise tail makes a deterministic minority infeasible.
+    b_ub = a_ub @ x0 + np.round(rng.uniform(-1.5, 1.5, size=m_ub), 3)
+    if seed % 3 == 0:
+        m_eq = int(rng.integers(1, 3))
+        a_eq = np.round(rng.uniform(-1.0, 1.0, size=(m_eq, n)), 3)
+        b_eq = a_eq @ x0
+    else:
+        a_eq = np.zeros((0, n))
+        b_eq = np.zeros(0)
+    return dict(c=c, a_ub=a_ub, b_ub=b_ub, a_eq=a_eq, b_eq=b_eq, lb=lb, ub=ub)
+
+
+@pytest.mark.parametrize("seed", range(50))
+def test_builtin_agrees_with_highs(seed):
+    kw = _random_instance(seed)
+    ours = solve_lp_arrays(engine="builtin", **kw)
+    ref = solve_lp_arrays(engine="highs", **kw)
+    assert ours.status == ref.status
+    if ref.status == "optimal":
+        assert ours.objective == pytest.approx(ref.objective, rel=1e-6, abs=1e-6)
+
+
+@pytest.mark.parametrize("seed", range(0, 50, 7))
+def test_warm_started_children_agree_with_highs(seed):
+    """Cached + warm-started child solves must match fresh HiGHS solves."""
+    kw = _random_instance(seed)
+    ctx = RelaxationContext(engine="builtin", **kw)
+    root = ctx.solve()
+    if root.status != "optimal":
+        pytest.skip("root relaxation infeasible for this seed")
+    rng = np.random.default_rng(9000 + seed)
+    n = kw["c"].shape[0]
+    for _ in range(4):
+        lb = kw["lb"].copy()
+        ub = kw["ub"].copy()
+        j = int(rng.integers(0, n))
+        mid = float(rng.uniform(lb[j], ub[j]))
+        if rng.random() < 0.5:
+            lb[j] = mid
+        else:
+            ub[j] = mid
+        child = ctx.solve(lb, ub, warm=root.warm_token)
+        ref = solve_lp_arrays(
+            engine="highs", c=kw["c"], a_ub=kw["a_ub"], b_ub=kw["b_ub"],
+            a_eq=kw["a_eq"], b_eq=kw["b_eq"], lb=lb, ub=ub,
+        )
+        assert child.status == ref.status
+        if ref.status == "optimal":
+            assert child.objective == pytest.approx(ref.objective, rel=1e-6, abs=1e-6)

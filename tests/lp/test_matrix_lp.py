@@ -89,3 +89,41 @@ def test_builtin_matches_highs_on_random_bounded_lps(c, rows, seed):
     ref = solve_lp_arrays(engine="highs", **kw)
     assert ours.status == ref.status == "optimal"
     assert ours.objective == pytest.approx(ref.objective, rel=1e-6, abs=1e-6)
+
+
+class TestHighsIterationLimit:
+    """Regression: HiGHS status 1 must keep its message, not a bare error."""
+
+    def test_status_one_maps_to_iteration_limit_error(self, monkeypatch):
+        import scipy.optimize
+
+        class _Res:
+            status = 1
+            success = False
+            nit = 7
+            message = "Iteration limit reached"
+            x = None
+            fun = None
+
+        monkeypatch.setattr(scipy.optimize, "linprog", lambda *a, **kw: _Res())
+        res = solve_lp_arrays(engine="highs", **arrays([1.0]))
+        assert res.status == "error"
+        assert "iteration_limit" in res.message
+        assert "Iteration limit reached" in res.message
+        assert res.iterations == 7
+
+    def test_other_errors_carry_the_solver_message(self, monkeypatch):
+        import scipy.optimize
+
+        class _Res:
+            status = 4
+            success = False
+            nit = 3
+            message = "numerical difficulties"
+            x = None
+            fun = None
+
+        monkeypatch.setattr(scipy.optimize, "linprog", lambda *a, **kw: _Res())
+        res = solve_lp_arrays(engine="highs", **arrays([1.0]))
+        assert res.status == "error"
+        assert "numerical difficulties" in res.message

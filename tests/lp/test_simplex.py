@@ -89,6 +89,9 @@ def random_feasible_lp(draw):
             )
         )
     )
+    # Coefficients below the solvers' tolerances are ambiguous (HiGHS
+    # presolve treats them as zero, our simplex does not): snap to zero.
+    a[np.abs(a) < 1e-6] = 0.0
     x_feas = np.array(
         draw(st.lists(st.floats(min_value=0, max_value=3, allow_nan=False),
                       min_size=n, max_size=n))
@@ -115,3 +118,104 @@ def test_simplex_matches_highs_on_random_lps(lp):
         assert ours.status == "unbounded"
     elif ref.status == 2:
         assert ours.status == "infeasible"
+
+
+class TestBlandTieBreak:
+    """Regression: Bland ties must break on basic-variable index, not row."""
+
+    def test_tie_breaks_on_basic_variable_index(self):
+        from repro.lp.simplex import _choose_leaving
+
+        # Two rows tied at ratio 1.0; row 0's basic variable is 7, row
+        # 1's is 3.  Bland must evict the lower *variable* (row 1).
+        tableau = np.array(
+            [
+                [1.0, 0.0, 2.0, 2.0],
+                [0.0, 1.0, 2.0, 2.0],
+                [0.0, 0.0, -1.0, 0.0],
+            ]
+        )
+        basis = [7, 3]
+        assert _choose_leaving(tableau, col=2, nrows=2, basis=basis, bland=True) == 1
+        # Outside Bland mode the cheap lowest-row tie-break is kept.
+        assert _choose_leaving(tableau, col=2, nrows=2, basis=basis, bland=False) == 0
+
+    def test_beale_cycling_example_terminates(self):
+        # Beale's classic cycling LP: Dantzig pricing with a row-index
+        # tie-break cycles forever; Bland on variable indices terminates.
+        # min -0.75 x1 + 150 x2 - 0.02 x3 + 6 x4, optimum -0.05.
+        a = np.array(
+            [
+                [0.25, -60.0, -0.04, 9.0, 1.0, 0.0, 0.0],
+                [0.5, -90.0, -0.02, 3.0, 0.0, 1.0, 0.0],
+                [0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0],
+            ]
+        )
+        b = np.array([0.0, 0.0, 1.0])
+        c = np.array([-0.75, 150.0, -0.02, 6.0, 0.0, 0.0, 0.0])
+        res = solve_standard_form(a, b, c, max_iterations=500)
+        assert res.status == "optimal"
+        assert res.objective == pytest.approx(-0.05, abs=1e-9)
+
+
+class TestRedundantRows:
+    """Phase 2 with a redundant constraint (artificial basic at zero)."""
+
+    def test_duplicate_row_is_harmless(self):
+        # Row 2 is 2x row 1: phase 1 leaves an artificial basic in a
+        # zero row; phase 2 must still reach the true optimum.
+        a = np.array([[1.0, 1.0, 1.0], [2.0, 2.0, 2.0]])
+        b = np.array([2.0, 4.0])
+        c = np.array([-1.0, 0.0, 0.0])
+        res = solve_standard_form(a, b, c)
+        assert res.status == "optimal"
+        assert res.objective == pytest.approx(-2.0)
+        assert np.allclose(a @ res.x, b)
+
+
+class TestWarmStart:
+    def _lp(self):
+        # min -x1 - 2 x2  s.t.  x1 + x2 + s1 = 4, x2 + s2 = 3.
+        a = np.array([[1.0, 1.0, 1.0, 0.0], [0.0, 1.0, 0.0, 1.0]])
+        b = np.array([4.0, 3.0])
+        c = np.array([-1.0, -2.0, 0.0, 0.0])
+        return a, b, c
+
+    def test_optimal_result_reports_basis(self):
+        a, b, c = self._lp()
+        res = solve_standard_form(a, b, c)
+        assert res.status == "optimal"
+        assert res.basis is not None and len(res.basis) == a.shape[0]
+        # The reported basis reproduces the solution when re-factorized.
+        x = np.zeros(a.shape[1])
+        x[res.basis] = np.linalg.solve(a[:, res.basis], b)
+        assert np.allclose(x, res.x, atol=1e-9)
+
+    def test_feasible_warm_basis_skips_phase_one(self):
+        a, b, c = self._lp()
+        cold = solve_standard_form(a, b, c)
+        warm = solve_standard_form(a, b, c, warm_basis=cold.basis)
+        assert warm.status == "optimal"
+        assert warm.warm_started
+        assert warm.phase1_iterations == 0
+        assert warm.objective == pytest.approx(cold.objective)
+
+    def test_warm_basis_survives_rhs_change(self):
+        # Tighten the rhs so the old optimum is infeasible: the warm
+        # start must still land on the new optimum.
+        a, b, c = self._lp()
+        cold = solve_standard_form(a, b, c)
+        b2 = np.array([4.0, 1.0])
+        warm = solve_standard_form(a, b2, c, warm_basis=cold.basis)
+        fresh = solve_standard_form(a, b2, c)
+        assert warm.status == fresh.status == "optimal"
+        assert warm.objective == pytest.approx(fresh.objective)
+
+    def test_garbage_warm_basis_falls_back_to_cold(self):
+        a, b, c = self._lp()
+        res = solve_standard_form(a, b, c, warm_basis=[0, 0])  # duplicate
+        assert res.status == "optimal"
+        assert not res.warm_started
+        singular = solve_standard_form(a, b, c, warm_basis=[99, 1])
+        assert singular.status == "optimal"
+        assert not singular.warm_started

@@ -108,3 +108,53 @@ class TestStandardForm:
         sf = to_standard_form(p)
         # c0 = 1 + 3*2
         assert sf.c0 == pytest.approx(7.0)
+
+
+class TestFreeVariableUpperBound:
+    """Regression: a free variable's ub row must keep the minus column.
+
+    Pre-fix, ``to_standard_form`` emitted ``x_plus <= ub`` instead of
+    ``x_plus - x_minus <= ub``; with a negative upper bound that row is
+    unsatisfiable (``x_plus >= 0``) and a feasible problem was reported
+    infeasible.
+    """
+
+    def _solve(self, problem):
+        from repro.lp.simplex import solve_standard_form
+
+        sf = to_standard_form(problem)
+        res = solve_standard_form(sf.a, sf.b, sf.c)
+        return sf, res
+
+    def test_ub_row_carries_minus_column(self):
+        p = Problem()
+        x = p.add_variable("x", lb=None, ub=-2.0)
+        p.set_objective(-x)
+        sf = to_standard_form(p)
+        row = sf.a[0]
+        assert row[sf.plus_index[x]] == pytest.approx(1.0) or row[
+            sf.plus_index[x]
+        ] == pytest.approx(-1.0)  # may be sign-flipped for b >= 0
+        assert row[sf.minus_index[x]] == pytest.approx(-row[sf.plus_index[x]])
+
+    def test_negative_optimum_of_free_upper_bounded_variable(self):
+        # max x  s.t.  x free, x <= -2  →  optimum x = -2 (negative).
+        p = Problem()
+        x = p.add_variable("x", lb=None, ub=-2.0)
+        p.add_constraint(x >= -10)  # keep the LP bounded below
+        p.set_objective(-x)
+        sf, res = self._solve(p)
+        assert res.status == "optimal"
+        values = sf.recover(res.x)
+        assert values[x] == pytest.approx(-2.0)
+
+    def test_interacting_constraint_with_negative_ub(self):
+        # min x + y with x free, x <= -1, y >= 0, x + y >= -3.
+        p = Problem()
+        x = p.add_variable("x", lb=None, ub=-1.0)
+        y = p.add_variable("y", lb=0.0)
+        p.add_constraint(x + y >= -3)
+        p.set_objective(x + y)
+        sf, res = self._solve(p)
+        assert res.status == "optimal"
+        assert res.objective + sf.c0 == pytest.approx(-3.0)

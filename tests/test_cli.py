@@ -188,3 +188,53 @@ class TestAnalysisCommands:
             "robustness", state_file, "--samples", "2", "--backend", "highs",
         ]) == 0
         assert "regret" in capsys.readouterr().out
+
+
+class TestSweepJobs:
+    """`sweep --jobs N` must reach the experiment fan-out."""
+
+    def test_latency_sweep_receives_jobs(self, monkeypatch, capsys):
+        import repro.cli as cli
+        from repro.experiments.harness import SweepPoint, SweepSeries
+        from repro.experiments.latency_sweep import LatencySweepResult
+
+        seen = {}
+
+        def fake_sweep(backend="auto", solver_options=None, jobs=1):
+            seen["jobs"] = jobs
+            series = SweepSeries(
+                name="All users in location 0",
+                points=[SweepPoint(0.0, {
+                    "total_cost": 1.0, "space_cost": 1.0, "mean_latency_ms": 1.0,
+                })],
+            )
+            return LatencySweepResult(series=[series])
+
+        monkeypatch.setattr(cli, "run_latency_sweep", fake_sweep)
+        assert cli.main(["sweep", "latency", "--jobs", "3"]) == 0
+        assert seen["jobs"] == 3
+        assert "Fig 7(a)" in capsys.readouterr().out
+
+    def test_dr_sweep_receives_jobs(self, monkeypatch, capsys):
+        import repro.cli as cli
+        from repro.experiments.dr_cost_sweep import DRCostSweepResult
+        from repro.experiments.harness import SweepPoint
+
+        seen = {}
+
+        def fake_sweep(backend="auto", solver_options=None, jobs=1):
+            seen["jobs"] = jobs
+            return DRCostSweepResult(points=[
+                SweepPoint(1.0, {"datacenters_used": 2.0, "dr_servers": 5.0}),
+            ])
+
+        monkeypatch.setattr(cli, "run_dr_cost_sweep", fake_sweep)
+        assert cli.main(["sweep", "dr-cost", "--jobs", "2"]) == 0
+        assert seen["jobs"] == 2
+        assert "Fig 8" in capsys.readouterr().out
+
+    def test_jobs_defaults_to_one(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["sweep", "latency"])
+        assert args.jobs == 1
