@@ -1,0 +1,125 @@
+"""Incremental re-solve vs cold rebuild across an iterative session.
+
+Runs the same 5-directive refinement script twice on an
+enterprise1-scale state — once through an incremental
+:class:`IterativeSession` (revisioned model + solve cache) and once in
+cold mode (full model rebuild and fresh branch-and-bound per step) —
+and times every ``plan()`` call.  The figure of merit is the total time
+spent on the five *directive re-solves*: the initial solve is identical
+work on both paths and is excluded.  Asserts identical plans at every
+step and, outside smoke mode, a >= 3x speedup on the directive
+re-solves; archives both timelines to ``bench_results/incremental.txt``.
+
+The script mixes the cases an operator actually produces: a pin that
+confirms the incumbent (tightening shortcut, ~ms), a forbid on a pair
+the optimum never used (tightening shortcut), a forbid that evicts a
+group from its chosen site (genuine re-solve, warm-started), a
+headroom cap at the current occupancy (tightening shortcut), and an
+undo (fingerprint cache hit).
+
+Smoke mode (``INCREMENTAL_SMOKE=1``, used by CI) runs a reduced-scale
+state and skips the timing assertion — machine load must not fail CI.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import Counter
+
+from repro.core import IterativeSession, PlannerOptions
+from repro.datasets import load_enterprise1
+
+SMOKE = os.environ.get("INCREMENTAL_SMOKE", "") not in ("", "0")
+SCALE = 0.12 if SMOKE else 0.2
+
+
+def _plans_equal(a, b) -> bool:
+    return (
+        a.placement == b.placement
+        and abs(a.breakdown.total - b.breakdown.total) <= 1e-6
+    )
+
+
+def _timed_plan(session):
+    t0 = time.perf_counter()
+    plan = session.plan()
+    return plan, time.perf_counter() - t0
+
+
+def test_bench_incremental_session(archive):
+    state = load_enterprise1(scale=SCALE)
+    opts = PlannerOptions(backend="branch_bound")
+    inc = IterativeSession(state, opts, incremental=True)
+    cold = IterativeSession(state, opts, incremental=False)
+
+    base, inc_initial = _timed_plan(inc)
+    cold_base, cold_initial = _timed_plan(cold)
+    assert _plans_equal(base, cold_base)
+
+    groups = sorted(base.placement)
+    sites = [dc.name for dc in state.target_datacenters]
+    # Directive script derived from the base plan so every case fires.
+    g_confirm = groups[0]
+    g_idle = groups[1]
+    idle_site = next(s for s in sites if s != base.placement[g_idle])
+    g_move = groups[2]
+
+    steps: list[tuple[str, float, float]] = []  # (label, inc_s, cold_s)
+
+    def run_step(label, act):
+        act(inc)
+        act(cold)
+        p_inc, t_inc = _timed_plan(inc)
+        p_cold, t_cold = _timed_plan(cold)
+        assert _plans_equal(p_inc, p_cold), f"plans diverged at step {label!r}"
+        steps.append((label, t_inc, t_cold))
+        return p_inc
+
+    run_step(
+        f"pin {g_confirm} (confirms incumbent)",
+        lambda s: s.pin(g_confirm, base.placement[g_confirm]),
+    )
+    run_step(
+        f"forbid {g_idle} from unused {idle_site}",
+        lambda s: s.forbid(g_idle, idle_site),
+    )
+    moved = run_step(
+        f"forbid {g_move} from its site (real move)",
+        lambda s: s.forbid(g_move, base.placement[g_move]),
+    )
+    counts = Counter(moved.placement.values())
+    cap_site, cap_n = counts.most_common(1)[0]
+    run_step(
+        f"cap {cap_site} at current occupancy {cap_n}",
+        lambda s: s.cap_groups(cap_site, cap_n),
+    )
+    run_step("undo the cap", lambda s: s.undo())
+
+    inc_total = sum(t for _, t, _ in steps)
+    cold_total = sum(t for _, _, t in steps)
+    ratio = cold_total / inc_total if inc_total > 0 else float("inf")
+    cache = inc.solve_cache
+
+    lines = [
+        "Incremental re-solve benchmark (enterprise1-scale session)",
+        f"  state                        {len(state.app_groups)} groups x "
+        f"{len(state.target_datacenters)} sites (scale {SCALE})",
+        f"  initial solve                inc {inc_initial:.3f} s   "
+        f"cold {cold_initial:.3f} s   (identical work, excluded)",
+        "  directive re-solves:",
+    ]
+    for label, t_inc, t_cold in steps:
+        lines.append(f"    {label:<44} inc {t_inc:8.3f} s   cold {t_cold:8.3f} s")
+    lines += [
+        f"  directive re-solve total     inc {inc_total:.3f} s   "
+        f"cold {cold_total:.3f} s",
+        f"  speedup                      {ratio:.2f}x",
+        f"  fingerprint hits / misses    {cache.hits} / {cache.misses}",
+        f"  tightening shortcuts         {cache.tightening_reuses}",
+        f"  smoke mode                   {SMOKE}",
+    ]
+    archive("incremental", "\n".join(lines))
+
+    if not SMOKE:
+        assert ratio >= 3.0, f"incremental speedup {ratio:.2f}x < 3x"

@@ -15,6 +15,14 @@ Quick start::
     state = load_enterprise1()
     plan = plan_consolidation(state, backend="highs")
     print(plan.breakdown.total, plan.datacenters_used)
+
+The planning surface is exported here so users never need deep module
+paths: :func:`plan_consolidation` for one-shot planning,
+:class:`ETransformPlanner` / :class:`PlannerOptions` for the full
+facade, :class:`IterativeSession` for the admin refinement loop, and
+:class:`SolveOptions` / :func:`solve` for direct access to the
+optimization engine.  Deep imports (``repro.core.planner`` etc.) keep
+working.
 """
 
 from .core import (
@@ -22,6 +30,7 @@ from .core import (
     AsIsState,
     CostParameters,
     DataCenter,
+    DirectiveConflictError,
     ETransformPlanner,
     IterativeSession,
     LatencyPenaltyFunction,
@@ -32,6 +41,7 @@ from .core import (
     evaluate_plan,
     plan_consolidation,
 )
+from .lp import SolveCache, SolveOptions, solve
 from .analysis import run_robustness, run_sensitivity
 from .baselines import asis_plan, asis_with_dr_plan, greedy_plan, manual_plan
 from .core import improve_plan, split_oversized_groups
@@ -52,10 +62,13 @@ __all__ = [
     "AsIsState",
     "CostParameters",
     "DataCenter",
+    "DirectiveConflictError",
     "ETransformPlanner",
     "IterativeSession",
     "LatencyPenaltyFunction",
     "PlannerOptions",
+    "SolveCache",
+    "SolveOptions",
     "StepCostFunction",
     "TransformationPlan",
     "UserLocation",
@@ -71,6 +84,7 @@ __all__ = [
     "run_robustness",
     "run_sensitivity",
     "simulate_plan",
+    "solve",
     "split_oversized_groups",
     "latency_line_scenario",
     "load_enterprise1",

@@ -10,6 +10,7 @@ Subcommands
 ``simulate``    replay disasters against the plan (availability, pools)
 ``sensitivity`` sweep one cost dimension and report the plan's response
 ``robustness``  Monte-Carlo regret under price-estimate noise
+``refine``      replay a scripted directive sequence with per-step timing
 """
 
 from __future__ import annotations
@@ -217,6 +218,108 @@ def _cmd_robustness(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_refine_script(text: str) -> list[tuple[str, list[str]]]:
+    """Parse a refine script: one directive per line, ``#`` comments.
+
+    Grammar::
+
+        pin GROUP DC | forbid GROUP DC | retire DC | cap DC LIMIT | undo
+    """
+    arity = {"pin": 2, "forbid": 2, "retire": 1, "cap": 2, "undo": 0}
+    steps: list[tuple[str, list[str]]] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        verb, operands = parts[0].lower(), parts[1:]
+        if verb not in arity:
+            raise ValueError(
+                f"line {lineno}: unknown directive {verb!r} "
+                f"(expected one of {', '.join(sorted(arity))})"
+            )
+        if len(operands) != arity[verb]:
+            raise ValueError(
+                f"line {lineno}: {verb} takes {arity[verb]} operand(s), "
+                f"got {len(operands)}"
+            )
+        steps.append((verb, operands))
+    return steps
+
+
+def _cmd_refine(args: argparse.Namespace) -> int:
+    import time
+
+    from .core.iterative import DirectiveConflictError, IterativeSession
+
+    state = load_state(args.input)
+    try:
+        with open(args.script, encoding="utf-8") as handle:
+            steps = _parse_refine_script(handle.read())
+    except (OSError, ValueError) as exc:
+        print(f"cannot read refine script {args.script!r}: {exc}", file=sys.stderr)
+        return 2
+    options = PlannerOptions(
+        backend=args.backend,
+        solver_options=_solver_options(args),
+        presolve=args.presolve,
+    )
+    session = IterativeSession(state, options, incremental=not args.cold)
+    mode = "cold rebuild" if args.cold else "incremental"
+    print(f"refinement session ({mode}, backend={args.backend})")
+    print(f"{'step':<28} {'solve':>9} {'total cost':>14}  via")
+
+    def describe_reuse(before: tuple[int, int], cache) -> str:
+        if cache is None:
+            return "rebuild"
+        if cache.hits > before[0]:
+            return "cache hit"
+        if cache.tightening_reuses > before[1]:
+            return "still optimal"
+        return "re-solved"
+
+    def run_step(label: str) -> float:
+        cache = session.solve_cache
+        before = (cache.hits, cache.tightening_reuses) if cache else (0, 0)
+        start = time.perf_counter()
+        plan = session.plan()
+        elapsed = time.perf_counter() - start
+        via = describe_reuse(before, session.solve_cache)
+        print(f"{label:<28} {elapsed:>8.3f}s {plan.breakdown.total:>14,.0f}  {via}")
+        return elapsed
+
+    total = run_step("initial plan")
+    for verb, operands in steps:
+        try:
+            if verb == "pin":
+                session.pin(*operands)
+            elif verb == "forbid":
+                session.forbid(*operands)
+            elif verb == "retire":
+                session.retire_site(operands[0])
+            elif verb == "cap":
+                session.cap_groups(operands[0], int(operands[1]))
+            elif verb == "undo":
+                session.undo()
+        except (DirectiveConflictError, KeyError, ValueError, IndexError) as exc:
+            print(f"directive {verb} {' '.join(operands)} rejected: {exc}",
+                  file=sys.stderr)
+            return 2
+        label = f"{verb} {' '.join(operands)}".strip()
+        total += run_step(label)
+
+    print(f"\n{len(steps)} directives, {total:.3f}s solving in total")
+    cache = session.solve_cache
+    if cache is not None:
+        print(
+            f"cache: {cache.hits} fingerprint hits, "
+            f"{cache.tightening_reuses} still-optimal shortcuts, "
+            f"{cache.context_reuses} relaxation-context reuses"
+        )
+    _maybe_print_stats(args, session.history[-1].solver_stats)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="etransform",
@@ -293,6 +396,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--samples", type=int, default=10)
     _add_solver_arguments(p)
     p.set_defaults(fn=_cmd_robustness)
+
+    p = sub.add_parser(
+        "refine",
+        help="replay a scripted directive sequence with per-step solve timing",
+    )
+    p.add_argument("input", help="JSON as-is state")
+    p.add_argument(
+        "script",
+        help="directive script: one 'pin G DC', 'forbid G DC', 'retire DC', "
+        "'cap DC N' or 'undo' per line; # starts a comment",
+    )
+    p.add_argument(
+        "--cold",
+        action="store_true",
+        help="rebuild the model from scratch at every step (disable the "
+        "incremental engine, for comparison)",
+    )
+    _add_solver_arguments(p)
+    p.set_defaults(fn=_cmd_refine)
 
     return parser
 

@@ -9,7 +9,8 @@ from .entities import (
     UserLocation,
 )
 from .formulation import ConsolidationModel, InfeasibleModelError, ModelOptions
-from .iterative import IterativeSession
+from .incremental import Directive, Revision, RevisionedModel
+from .iterative import DirectiveConflictError, IterativeSession
 from .latency import NO_PENALTY, LatencyPenaltyFunction, PenaltyStep
 from .local_search import LocalSearchResult, improve_plan
 from .plan import (
@@ -42,6 +43,10 @@ __all__ = [
     "CostParameters",
     "DataCenter",
     "DataCenterUsage",
+    "Directive",
+    "DirectiveConflictError",
+    "Revision",
+    "RevisionedModel",
     "ETransformPlanner",
     "InfeasibleModelError",
     "IterativeSession",

@@ -1,0 +1,259 @@
+"""Incremental re-solve engine: session directives as model *deltas*.
+
+The paper's module 4 feeds administrator directives back into the LP and
+re-solves.  Rebuilding the whole MILP per directive is wasteful — every
+directive the interface offers is expressible as a small edit to the
+already-built model:
+
+=============  ==========================================================
+directive      delta against the built :class:`ConsolidationModel`
+=============  ==========================================================
+``pin``        raise ``X[g,dc].lb`` to 1 (the assignment row then forces
+               every other ``X[g,*]`` to 0 in any feasible point)
+``forbid``     drop ``X[g,dc].ub`` to 0
+``retire``     drop the upper bound of every variable attached to the
+               site to 0 — ``X[*,dc]``, ``U[dc]``, the segment binaries
+               and loads, DR pool/secondary variables, peer-split links
+``cap``        append one ``Σ X[*,dc] ≤ limit`` constraint row
+=============  ==========================================================
+
+Crucially all four are *tightenings*: bounds only narrow and rows are
+only appended, never edited.  That is what the solve layer's
+:class:`repro.lp.SolveCache` exploits — the constraint matrices are
+untouched (one :class:`~repro.lp.matrix_lp.RelaxationContext` survives
+the whole session) and a previous optimum that still satisfies the
+tightened model is provably still optimal.
+
+:class:`RevisionedModel` owns the journal: every applied directive
+records the bounds it changed and the constraint-list length before it,
+so :meth:`RevisionedModel.pop` restores the model exactly (and the model
+fingerprint returns to its prior value, turning ``undo`` re-solves into
+cache hits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..lp import quicksum
+from ..lp.expressions import Variable
+from .formulation import ConsolidationModel, InfeasibleModelError
+
+
+@dataclass
+class Directive:
+    """One administrator steering action (paper Fig. 5, module 4)."""
+
+    kind: str  # "pin" | "forbid" | "retire_site" | "cap_groups"
+    group: str | None = None
+    datacenter: str | None = None
+    limit: int | None = None
+
+    def describe(self) -> str:
+        if self.kind == "pin":
+            return f"pin {self.group!r} to {self.datacenter!r}"
+        if self.kind == "forbid":
+            return f"forbid {self.group!r} in {self.datacenter!r}"
+        if self.kind == "retire_site":
+            return f"retire site {self.datacenter!r}"
+        if self.kind == "cap_groups":
+            return f"cap {self.datacenter!r} at {self.limit} groups"
+        return self.kind
+
+
+@dataclass
+class Revision:
+    """The journal entry for one applied directive.
+
+    ``bound_changes`` holds ``(variable, old_lb, old_ub)`` in application
+    order; ``constraints_before`` is the model's constraint count before
+    the directive (anything past it is truncated on undo).
+    """
+
+    directive: Directive
+    bound_changes: list[tuple[Variable, float | None, float | None]] = field(
+        default_factory=list
+    )
+    constraints_before: int = 0
+
+    def describe(self) -> str:
+        return f"{self.directive.describe()} ({len(self.bound_changes)} bound edits)"
+
+
+class RevisionedModel:
+    """Applies/undoes directives as deltas on a built consolidation model.
+
+    Example
+    -------
+    ::
+
+        model = ConsolidationModel(state)
+        engine = RevisionedModel(model)
+        engine.apply(Directive("pin", group="erp", datacenter="east"))
+        solution = solve(model.problem, cache=cache)
+        engine.pop()      # model bit-for-bit back to the pre-pin state
+    """
+
+    def __init__(self, model: ConsolidationModel) -> None:
+        self.model = model
+        self.revisions: list[Revision] = []
+
+    @property
+    def revision(self) -> int:
+        """Number of directives currently applied."""
+        return len(self.revisions)
+
+    def applied_directives(self) -> list[Directive]:
+        """The directives currently in force, oldest first."""
+        return [rev.directive for rev in self.revisions]
+
+    def retired_sites(self) -> set[str]:
+        """Names of sites removed by currently-applied retire directives."""
+        return {
+            rev.directive.datacenter
+            for rev in self.revisions
+            if rev.directive.kind == "retire_site" and rev.directive.datacenter
+        }
+
+    # -- applying ----------------------------------------------------------
+
+    def apply(self, directive: Directive) -> Revision:
+        """Apply one directive as a model delta; returns its journal entry.
+
+        Raises ``ValueError`` for a pin onto a pair the model cannot
+        express (ineligible or already forbidden/retired) and
+        :class:`InfeasibleModelError` when retiring a site would leave
+        some group with no candidate site — mirroring what the cold
+        rebuild path raises in those situations.
+        """
+        rev = Revision(
+            directive=directive,
+            constraints_before=self.model.problem.num_constraints,
+        )
+        kind = directive.kind
+        if kind == "pin":
+            self._apply_pin(rev)
+        elif kind == "forbid":
+            self._apply_forbid(rev)
+        elif kind == "retire_site":
+            self._apply_retire(rev)
+        elif kind == "cap_groups":
+            self._apply_cap(rev)
+        else:
+            raise ValueError(f"unknown directive kind {kind!r}")
+        self.revisions.append(rev)
+        return rev
+
+    def pop(self) -> Revision:
+        """Undo the most recent directive, restoring bounds and rows."""
+        if not self.revisions:
+            raise IndexError("no revisions to pop")
+        rev = self.revisions.pop()
+        for var, old_lb, old_ub in reversed(rev.bound_changes):
+            var.lb = old_lb
+            var.ub = old_ub
+        self.model.problem.truncate_constraints(rev.constraints_before)
+        return rev
+
+    def sync(self, directives: list[Directive]) -> None:
+        """Make the applied set equal ``directives`` with minimal work.
+
+        Pops back to the longest common prefix, then applies the rest —
+        so an ``undo()`` in the session unwinds exactly one revision and
+        everything before it stays warm.
+        """
+        common = 0
+        for rev, directive in zip(self.revisions, directives):
+            if rev.directive != directive:
+                break
+            common += 1
+        while len(self.revisions) > common:
+            self.pop()
+        for directive in directives[common:]:
+            self.apply(directive)
+
+    # -- per-directive deltas ----------------------------------------------
+
+    def _set_bounds(
+        self,
+        rev: Revision,
+        var: Variable,
+        lb: float | None = None,
+        ub: float | None = None,
+    ) -> None:
+        rev.bound_changes.append((var, var.lb, var.ub))
+        if lb is not None:
+            var.lb = lb
+        if ub is not None:
+            var.ub = ub
+
+    def _apply_pin(self, rev: Revision) -> None:
+        d = rev.directive
+        key = (d.group, d.datacenter)
+        var = self.model.x.get(key)
+        if var is None:
+            raise ValueError(
+                f"cannot pin: {d.group!r} is not placeable in {d.datacenter!r}"
+            )
+        if var.ub is not None and var.ub < 1.0:
+            raise ValueError(
+                f"cannot pin: {d.group!r} in {d.datacenter!r} is excluded by an "
+                "earlier forbid/retire directive"
+            )
+        self._set_bounds(rev, var, lb=1.0)
+
+    def _apply_forbid(self, rev: Revision) -> None:
+        d = rev.directive
+        var = self.model.x.get((d.group, d.datacenter))
+        if var is not None:  # ineligible pairs have no variable: nothing to do
+            self._set_bounds(rev, var, ub=0.0)
+
+    def _apply_retire(self, rev: Revision) -> None:
+        site = rev.directive.datacenter
+        model = self.model
+        affected = [g for (g, dc) in model.x if dc == site]
+        # Parity with the cold path, which rebuilds against the reduced
+        # state: a group left with no live candidate site makes the
+        # model unbuildable there, so fail the same way before mutating.
+        for group in affected:
+            alive = any(
+                dc != site and not (var.ub is not None and var.ub < 0.5)
+                for (g, dc), var in model.x.items()
+                if g == group
+            )
+            if not alive:
+                raise InfeasibleModelError(
+                    f"application group {group!r} fits no target data center "
+                    f"once {site!r} is retired; split it first (cf. paper's "
+                    "reference [3]) or relax its placement constraints"
+                )
+        for (g, dc), var in model.x.items():
+            if dc == site:
+                self._set_bounds(rev, var, ub=0.0)
+        used = model.used.get(site)
+        if used is not None:
+            self._set_bounds(rev, used, ub=0.0)
+        pool = model.g.get(site)
+        if pool is not None:
+            self._set_bounds(rev, pool, ub=0.0)
+        for (g, dc), var in model.y.items():
+            if dc == site:
+                self._set_bounds(rev, var, ub=0.0)
+        block = model.segment_blocks.get(site)
+        if block is not None:
+            for var in (*block.selectors, *block.loads):
+                self._set_bounds(rev, var, ub=0.0)
+        for (_, _, site_a, site_b), var in model.peer_split.items():
+            if site == site_a or site == site_b:
+                self._set_bounds(rev, var, ub=0.0)
+        for (primary, secondary, _), var in model.j.items():
+            if site == primary or site == secondary:
+                self._set_bounds(rev, var, ub=0.0)
+
+    def _apply_cap(self, rev: Revision) -> None:
+        d = rev.directive
+        vars_j = [var for (_, dc), var in self.model.x.items() if dc == d.datacenter]
+        if vars_j:
+            self.model.problem.add_constraint(
+                quicksum(vars_j) <= d.limit, f"cap[{d.datacenter}]"
+            )

@@ -2,9 +2,20 @@
 
 Lets an administrator take an initial plan and steer it — pin a group to
 a site, forbid a placement, retire a candidate site, cap a site's group
-count — then re-solve.  Each refinement rebuilds the model with the
-accumulated directives, exactly like the paper's "interface for
-iterative modification" feeds extra constraints back into the LP.
+count — then re-solve.  By default each refinement is *incremental*: the
+model built for the first ``plan()`` call stays alive, directives are
+applied to it as bound/row deltas by
+:class:`repro.core.incremental.RevisionedModel`, and re-solves run
+through a :class:`repro.lp.SolveCache` (fingerprint hits, the
+tightening shortcut, persistent relaxation context, incumbent seeding).
+``incremental=False`` restores the original rebuild-from-scratch
+behaviour, which the incremental path is cross-checked against.
+
+Conflicting directives (pin a group to a site and also forbid it there,
+pin to a retired site, pin one group to two sites, pin more groups to a
+site than its cap allows) are rejected at directive time with a
+:class:`DirectiveConflictError` naming both directives, instead of
+surfacing later as an opaque infeasible model.
 """
 
 from __future__ import annotations
@@ -12,30 +23,70 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 
 from .entities import AsIsState
+from .incremental import Directive, RevisionedModel
 from .plan import TransformationPlan
 from .planner import ETransformPlanner, PlannerOptions
-from ..lp import quicksum
+from ..lp import SolveCache, quicksum
 
 
-@dataclass
-class Directive:
-    """One administrator steering action."""
+class DirectiveConflictError(ValueError):
+    """Two directives contradict each other; raised at directive time."""
 
-    kind: str  # "pin" | "forbid" | "retire_site" | "cap_groups"
-    group: str | None = None
-    datacenter: str | None = None
-    limit: int | None = None
+    def __init__(self, new: Directive, earlier: Directive, reason: str) -> None:
+        self.new = new
+        self.earlier = earlier
+        super().__init__(
+            f"directive ({new.describe()}) conflicts with earlier directive "
+            f"({earlier.describe()}): {reason}"
+        )
 
-    def describe(self) -> str:
-        if self.kind == "pin":
-            return f"pin {self.group!r} to {self.datacenter!r}"
-        if self.kind == "forbid":
-            return f"forbid {self.group!r} in {self.datacenter!r}"
-        if self.kind == "retire_site":
-            return f"retire site {self.datacenter!r}"
-        if self.kind == "cap_groups":
-            return f"cap {self.datacenter!r} at {self.limit} groups"
-        return self.kind
+
+def find_directive_conflict(
+    existing: list[Directive], new: Directive
+) -> tuple[Directive, str] | None:
+    """First earlier directive that contradicts ``new``, with the reason.
+
+    Returns ``None`` when ``new`` is compatible with everything seen so
+    far.  Pure function so both session modes (and external tooling)
+    share one notion of conflict.
+    """
+    if new.kind == "pin":
+        for d in existing:
+            if d.kind == "forbid" and (d.group, d.datacenter) == (new.group, new.datacenter):
+                return d, "the placement is forbidden"
+            if d.kind == "retire_site" and d.datacenter == new.datacenter:
+                return d, "the site is retired"
+            if d.kind == "pin" and d.group == new.group and d.datacenter != new.datacenter:
+                return d, "a group has exactly one primary site"
+        for d in existing:
+            if d.kind == "cap_groups" and d.datacenter == new.datacenter:
+                pinned = {
+                    p.group
+                    for p in existing
+                    if p.kind == "pin" and p.datacenter == new.datacenter
+                }
+                pinned.add(new.group)
+                if len(pinned) > (d.limit or 0):
+                    return d, f"{len(pinned)} groups pinned there exceed the cap"
+    elif new.kind == "forbid":
+        for d in existing:
+            if d.kind == "pin" and (d.group, d.datacenter) == (new.group, new.datacenter):
+                return d, "the group is pinned to that site"
+    elif new.kind == "retire_site":
+        for d in existing:
+            if d.kind == "pin" and d.datacenter == new.datacenter:
+                return d, "a group is pinned to that site"
+    elif new.kind == "cap_groups":
+        pinned = {
+            p.group
+            for p in existing
+            if p.kind == "pin" and p.datacenter == new.datacenter
+        }
+        if len(pinned) > (new.limit or 0):
+            for d in existing:
+                if d.kind == "pin" and d.datacenter == new.datacenter:
+                    return d, f"{len(pinned)} groups are already pinned there"
+    return None
 
 
 @dataclass
@@ -49,44 +100,65 @@ class IterativeSession:
         session = IterativeSession(state, PlannerOptions())
         first = session.plan()
         session.forbid("payroll", "dc-cheap")
-        second = session.plan()     # re-solved with the new constraint
+        second = session.plan()     # incremental re-solve, not a rebuild
         session.undo()              # drop the last directive
+        third = session.plan()      # == first, straight from the cache
     """
 
     state: AsIsState
     options: PlannerOptions = field(default_factory=PlannerOptions)
+    incremental: bool = True
     directives: list[Directive] = field(default_factory=list)
     history: list[TransformationPlan] = field(default_factory=list)
+    _planner: ETransformPlanner | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _engine: RevisionedModel | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _cache: SolveCache | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     # -- directive builders ------------------------------------------------
+    def _register(self, directive: Directive) -> None:
+        conflict = find_directive_conflict(self.directives, directive)
+        if conflict is not None:
+            earlier, reason = conflict
+            raise DirectiveConflictError(directive, earlier, reason)
+        self.directives.append(directive)
+
     def pin(self, group: str, datacenter: str) -> None:
         """Force ``group``'s primary site to ``datacenter``."""
         self.state.group(group)
         self.state.target(datacenter)
-        self.directives.append(Directive("pin", group=group, datacenter=datacenter))
+        self._register(Directive("pin", group=group, datacenter=datacenter))
 
     def forbid(self, group: str, datacenter: str) -> None:
         """Exclude ``datacenter`` as the primary site of ``group``."""
         self.state.group(group)
         self.state.target(datacenter)
-        self.directives.append(Directive("forbid", group=group, datacenter=datacenter))
+        self._register(Directive("forbid", group=group, datacenter=datacenter))
 
     def retire_site(self, datacenter: str) -> None:
         """Remove a candidate site from consideration entirely."""
         self.state.target(datacenter)
-        self.directives.append(Directive("retire_site", datacenter=datacenter))
+        self._register(Directive("retire_site", datacenter=datacenter))
 
     def cap_groups(self, datacenter: str, limit: int) -> None:
         """Limit how many groups ``datacenter`` may host."""
         if limit < 0:
             raise ValueError("group cap cannot be negative")
         self.state.target(datacenter)
-        self.directives.append(
-            Directive("cap_groups", datacenter=datacenter, limit=limit)
-        )
+        self._register(Directive("cap_groups", datacenter=datacenter, limit=limit))
 
     def undo(self) -> Directive:
-        """Remove and return the most recent directive."""
+        """Remove and return the most recent directive.
+
+        In incremental mode the model delta is unwound at the next
+        ``plan()`` (one journal pop), and the re-solve is typically a
+        fingerprint cache hit.
+        """
         if not self.directives:
             raise IndexError("no directives to undo")
         return self.directives.pop()
@@ -94,12 +166,31 @@ class IterativeSession:
     # -- solving ------------------------------------------------------------
     def plan(self) -> TransformationPlan:
         """Re-solve under the accumulated directives and record the plan."""
+        result = (
+            self._plan_incremental() if self.incremental else self._plan_cold()
+        )
+        self.history.append(result)
+        return result
+
+    def _plan_cold(self) -> TransformationPlan:
+        """Original semantics: rebuild the model from scratch every time."""
         working_state = self._apply_state_directives()
         planner = ETransformPlanner(working_state, replace(self.options))
         self._apply_model_directives(planner)
-        result = planner.plan()
-        self.history.append(result)
-        return result
+        return planner.plan()
+
+    def _plan_incremental(self) -> TransformationPlan:
+        if self._planner is None:
+            self._planner = ETransformPlanner(self.state, replace(self.options))
+            self._engine = RevisionedModel(self._planner.model)
+            self._cache = SolveCache()
+        self._engine.sync(self.directives)
+        solution = self._planner.solve_model(cache=self._cache)
+        # Evaluate/validate against the directive-reduced state so the
+        # resulting plan is indistinguishable from the cold path's.
+        return self._planner.finish_plan(
+            solution, state=self._apply_state_directives()
+        )
 
     def _apply_state_directives(self) -> AsIsState:
         """Directives expressible as state edits (site retirement)."""
@@ -114,7 +205,7 @@ class IterativeSession:
         return replace(self.state, target_datacenters=targets)
 
     def _apply_model_directives(self, planner: ETransformPlanner) -> None:
-        """Directives expressible as extra model constraints."""
+        """Directives expressible as extra model constraints (cold path)."""
         model = planner.model
         prob = model.problem
         for d in self.directives:
@@ -145,3 +236,8 @@ class IterativeSession:
     def describe(self) -> list[str]:
         """Human-readable list of active directives."""
         return [d.describe() for d in self.directives]
+
+    @property
+    def solve_cache(self) -> SolveCache | None:
+        """The session's solve cache (``None`` before the first plan)."""
+        return self._cache

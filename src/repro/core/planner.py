@@ -12,7 +12,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..lp import SolveStatus, solve, solve_with_presolve, write_lp_file
+from ..lp import (
+    SolveCache,
+    SolveOptions,
+    SolveStatus,
+    solve,
+    solve_with_presolve,
+    write_lp_file,
+)
 from .formulation import ConsolidationModel, ModelOptions
 from .entities import AsIsState
 from .plan import TransformationPlan, evaluate_plan
@@ -27,8 +34,10 @@ class PlanningError(RuntimeError):
 class PlannerOptions:
     """End-to-end planning options (model + solver).
 
-    ``solver_options`` is forwarded to :func:`repro.lp.solve`
-    (``time_limit``, ``mip_rel_gap``, ``node_limit``, ...).
+    ``solve_options`` is the typed way to configure the solver (a
+    :class:`repro.lp.SolveOptions`); the legacy ``solver_options`` dict
+    (``time_limit``, ``mip_rel_gap``, ``node_limit``, ...) still works
+    and is mapped onto the same record — set one or the other, not both.
     ``lp_export_path`` optionally dumps the model in CPLEX LP format
     before solving, mirroring the paper's LP-file hand-off.
     ``presolve`` routes the solve through
@@ -42,6 +51,7 @@ class PlannerOptions:
     dedicated_backups: bool = False
     backend: str = "auto"
     solver_options: dict = field(default_factory=dict)
+    solve_options: SolveOptions | None = None
     lp_export_path: str | None = None
     validate_inputs: bool = True
     presolve: bool = False
@@ -53,6 +63,17 @@ class PlannerOptions:
             enable_dr=self.enable_dr,
             dedicated_backups=self.dedicated_backups,
         )
+
+    def resolved_solve_options(self) -> SolveOptions:
+        """The typed solver options, folding in the legacy dict form."""
+        if self.solve_options is not None:
+            if self.solver_options:
+                raise ValueError(
+                    "set either solve_options or the legacy solver_options "
+                    "dict, not both"
+                )
+            return self.solve_options
+        return SolveOptions(**self.solver_options)
 
 
 class ETransformPlanner:
@@ -83,15 +104,34 @@ class ETransformPlanner:
         PlanningError
             When the model is infeasible or the solver fails.
         """
+        return self.finish_plan(self.solve_model())
+
+    def solve_model(self, cache: SolveCache | None = None):
+        """Solve the built model and return the raw solution.
+
+        ``cache`` routes the solve through a :class:`repro.lp.SolveCache`
+        so a refinement session's re-solves can reuse previous work; the
+        incremental engine (:mod:`repro.core.incremental`) passes the
+        session cache here.  Presolve rebuilds a reduced problem per
+        call, so it bypasses the cache.
+        """
         if self.options.lp_export_path:
             write_lp_file(self.model.problem, self.options.lp_export_path)
 
-        solve_fn = solve_with_presolve if self.options.presolve else solve
-        solution = solve_fn(
-            self.model.problem,
-            backend=self.options.backend,
-            **self.options.solver_options,
-        )
+        solve_options = self.options.resolved_solve_options()
+        if self.options.presolve:
+            solution = solve_with_presolve(
+                self.model.problem,
+                backend=self.options.backend,
+                options=solve_options,
+            )
+        else:
+            solution = solve(
+                self.model.problem,
+                backend=self.options.backend,
+                options=solve_options,
+                cache=cache,
+            )
         self.last_solution = solution
         if solution.status is SolveStatus.INFEASIBLE:
             raise PlanningError(
@@ -102,13 +142,23 @@ class ETransformPlanner:
             raise PlanningError(
                 f"solver returned {solution.status.value}: {solution.message}"
             )
+        return solution
 
+    def finish_plan(self, solution, state: AsIsState | None = None) -> TransformationPlan:
+        """Extract, evaluate and validate a plan from a solved model.
+
+        ``state`` overrides the evaluation state — the incremental
+        engine passes the directive-reduced state (retired sites
+        filtered out) so incremental plans match the cold rebuild path
+        bit-for-bit.
+        """
+        state = self.state if state is None else state
         placement = self.model.extract_placement(solution)
         secondary = (
             self.model.extract_secondary(solution) if self.options.enable_dr else {}
         )
         plan = evaluate_plan(
-            self.state,
+            state,
             placement,
             secondary=secondary,
             wan_model=self.options.wan_model,
@@ -117,7 +167,7 @@ class ETransformPlanner:
             objective=solution.objective,
         )
         plan.solver_stats = solution.stats
-        validate_plan(self.state, plan)
+        validate_plan(state, plan)
         return plan
 
 

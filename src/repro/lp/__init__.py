@@ -15,13 +15,15 @@ stack the paper builds on (Python modeling layer + CPLEX).  Typical use::
 
 from ..telemetry import SolveStats
 from .expressions import Constraint, LinExpr, Sense, Variable, VarType, quicksum
+from .fingerprint import problem_fingerprint, structure_fingerprint
 from .lpformat import write_lp_file, write_lp_string
 from .lpparse import LPParseError, parse_lp_string, read_lp_file
 from .mpsformat import write_mps_file, write_mps_string
+from .options import SolveOptions
 from .presolve import PresolveInfeasible, presolve, solve_with_presolve
 from .problem import ObjectiveSense, Problem
 from .solution import Solution, SolveStatus
-from .solvers import available_backends, register_backend, solve
+from .solvers import SolveCache, available_backends, register_backend, solve
 
 __all__ = [
     "Constraint",
@@ -29,6 +31,10 @@ __all__ = [
     "LinExpr",
     "ObjectiveSense",
     "Problem",
+    "SolveCache",
+    "SolveOptions",
+    "problem_fingerprint",
+    "structure_fingerprint",
     "parse_lp_string",
     "presolve",
     "PresolveInfeasible",

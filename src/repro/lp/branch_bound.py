@@ -28,11 +28,11 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..telemetry import GapPoint, SolveStats
+from ..telemetry import GapPoint, SolveStats, metrics
 from .matrix_lp import RelaxationContext, solve_lp_arrays
 from .problem import Problem
 from .solution import Solution, SolveStatus
-from .standard_form import to_matrix_form
+from .standard_form import MatrixForm, to_matrix_form
 
 #: Integrality tolerance: values this close to an integer are integral.
 INT_TOL = 1e-6
@@ -119,6 +119,34 @@ def _relative_gap(incumbent: float, bound: float) -> float:
     return max(0.0, incumbent - bound) / max(1.0, abs(incumbent))
 
 
+def _warm_start_point(
+    form: MatrixForm, warm_start, integral: np.ndarray, tol: float = 1e-6
+) -> np.ndarray | None:
+    """Validate a name→value hint as a feasible integral point, or None.
+
+    The hint typically comes from the previous solve of a closely
+    related model (an iterative-refinement step); it is only usable as
+    an incumbent when it satisfies *this* model's bounds, integrality
+    and constraints, so everything is checked vectorized before the
+    search trusts it.
+    """
+    values = dict(warm_start)
+    x = np.empty(len(form.variables))
+    for i, var in enumerate(form.variables):
+        value = values.get(var.name)
+        if value is None:
+            return None
+        x[i] = float(value)
+    x[integral.astype(bool)] = np.round(x[integral.astype(bool)])
+    if (x < form.lb - tol).any() or (x > form.ub + tol).any():
+        return None
+    if form.a_ub.shape[0] and (form.a_ub @ x > form.b_ub + tol).any():
+        return None
+    if form.a_eq.shape[0] and (np.abs(form.a_eq @ x - form.b_eq) > tol).any():
+        return None
+    return np.clip(x, form.lb, form.ub)
+
+
 def solve_branch_and_bound(
     problem: Problem,
     relaxation_engine: str = "highs",
@@ -126,6 +154,11 @@ def solve_branch_and_bound(
     time_limit: float | None = None,
     gap_tolerance: float = 1e-6,
     cover_cut_rounds: int = 0,
+    max_iterations: int = 20000,
+    warm_start=None,
+    form: MatrixForm | None = None,
+    context: RelaxationContext | None = None,
+    basis_io: dict | None = None,
 ) -> Solution:
     """Solve a MILP exactly by branch and bound.
 
@@ -146,27 +179,67 @@ def solve_branch_and_bound(
         are separated at the root before branching (0 disables).  Cuts
         are valid for every integer point, so optimality is unaffected —
         only the search tree shrinks.
+    max_iterations:
+        Simplex pivot budget per node relaxation (builtin engine).
+    warm_start:
+        Optional variable-name → value hint (a MIP start).  When it is
+        feasible for *this* model it becomes the initial incumbent, so
+        pruning bites from the first node; infeasible hints are rejected
+        and counted, never trusted.
+    form, context:
+        A prebuilt :class:`MatrixForm` (carrying the *current* variable
+        bounds) and a :class:`RelaxationContext` standardized for the
+        same constraint matrices.  The incremental solve layer passes
+        both so successive refinement re-solves skip conversion and
+        standardization entirely.  ``context`` is ignored when cover
+        cuts are requested (cuts grow the row set mid-solve).
+    basis_io:
+        Optional dict used as a warm-basis channel between successive
+        solves: ``basis_io.get("root")`` seeds the root relaxation's
+        simplex basis, and on return ``basis_io["root"]`` holds this
+        solve's root basis token (builtin engine only).
     """
-    form = to_matrix_form(problem)
+    if form is None:
+        form = to_matrix_form(problem)
     integral = form.integrality.astype(bool)
     start = time.monotonic()
     stats = SolveStats(backend=f"branch_bound[{relaxation_engine}]")
 
     if cover_cut_rounds > 0 and integral.any():
         _apply_root_cuts(form, integral, relaxation_engine, cover_cut_rounds, stats)
+        context = None  # cut rows are not in any prebuilt standardization
 
     # One standardization per tree: every node below reuses the cached
-    # constraint blocks and passes only its (lb, ub) deltas.
-    context = RelaxationContext(
-        form.c, form.a_ub, form.b_ub, form.a_eq, form.b_eq,
-        form.lb, form.ub, engine=relaxation_engine,
+    # constraint blocks and passes only its (lb, ub) deltas.  An external
+    # context (incremental re-solve) skips even that one-time cost.
+    if context is None:
+        context = RelaxationContext(
+            form.c, form.a_ub, form.b_ub, form.a_eq, form.b_eq,
+            form.lb, form.ub, engine=relaxation_engine,
+            max_iterations=max_iterations,
+        )
+    context_counters_start = (
+        context.warm_start_hits, context.warm_start_misses,
+        context.cache_hits, context.node_solves,
     )
 
+    root_warm = basis_io.get("root") if basis_io else None
     counter = itertools.count()
-    root = _Node(bound=-math.inf, tie=next(counter), lb=form.lb.copy(), ub=form.ub.copy())
+    root = _Node(bound=-math.inf, tie=next(counter), lb=form.lb.copy(),
+                 ub=form.ub.copy(), warm=root_warm)
     heap: list[_Node] = [root]
     incumbent_x: np.ndarray | None = None
     incumbent_obj = math.inf
+    if warm_start is not None:
+        hint = _warm_start_point(form, warm_start, integral)
+        if hint is not None:
+            incumbent_x = hint
+            incumbent_obj = float(form.c @ hint)
+            stats.extra["warm_start_incumbent"] = 1.0
+            metrics.increment("incremental.warm_start_seeded")
+        else:
+            stats.extra["warm_start_incumbent"] = 0.0
+            metrics.increment("incremental.warm_start_rejected")
     # Proven lower bound on the (internal, minimized) optimum.  Best-first
     # search makes it monotone non-decreasing.
     best_bound = -math.inf
@@ -213,10 +286,13 @@ def solve_branch_and_bound(
     def make_solution(status: SolveStatus, x: np.ndarray | None, message: str) -> Solution:
         stats.elapsed_seconds = time.monotonic() - start
         stats.best_bound = to_user_objective(best_bound)
-        stats.warm_start_hits = context.warm_start_hits
-        stats.warm_start_misses = context.warm_start_misses
-        stats.extra["relaxation_cache_hits"] = float(context.cache_hits)
-        stats.extra["relaxation_node_solves"] = float(context.node_solves)
+        # Deltas, not lifetime totals: an external context persists
+        # across incremental re-solves and keeps accumulating.
+        hits0, misses0, cache0, solves0 = context_counters_start
+        stats.warm_start_hits = context.warm_start_hits - hits0
+        stats.warm_start_misses = context.warm_start_misses - misses0
+        stats.extra["relaxation_cache_hits"] = float(context.cache_hits - cache0)
+        stats.extra["relaxation_node_solves"] = float(context.node_solves - solves0)
         values: dict = {}
         objective = float("nan")
         if x is not None:
@@ -257,6 +333,9 @@ def solve_branch_and_bound(
         relax = context.solve(node.lb, node.ub, warm=node.warm)
         stats.nodes_explored += 1
         _absorb_lp_detail(stats, relax)
+        if node.depth == 0 and basis_io is not None:
+            # Hand the root basis to the next incremental re-solve.
+            basis_io["root"] = relax.warm_token
 
         if relax.status == "infeasible":
             continue

@@ -234,8 +234,14 @@ def presolve(problem: Problem, max_rounds: int = 20) -> tuple[Problem, Postsolve
     return reduced, postsolver
 
 
-def solve_with_presolve(problem: Problem, backend: str = "auto", **options) -> Solution:
-    """Convenience: presolve, solve the reduction, postsolve."""
+def solve_with_presolve(
+    problem: Problem, backend: str = "auto", options=None, **legacy_options
+) -> Solution:
+    """Convenience: presolve, solve the reduction, postsolve.
+
+    ``options`` is a typed :class:`repro.lp.SolveOptions`; plain keyword
+    options are forwarded to :func:`repro.lp.solve`'s deprecated shim.
+    """
     from .solvers import solve as _solve
 
     try:
@@ -258,5 +264,5 @@ def solve_with_presolve(problem: Problem, backend: str = "auto", **options) -> S
                 message="model fully reduced",
             )
         )
-    solution = _solve(reduced, backend=backend, **options)
+    solution = _solve(reduced, backend=backend, options=options, **legacy_options)
     return postsolver.expand(solution)

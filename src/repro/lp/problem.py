@@ -133,6 +133,21 @@ class Problem:
         """Registered constraints in insertion order (copy)."""
         return list(self._constraints)
 
+    def truncate_constraints(self, keep: int) -> list[Constraint]:
+        """Drop every constraint after the first ``keep``; return the dropped.
+
+        The undo primitive of the incremental refinement engine
+        (:mod:`repro.core.incremental`): directives append constraints,
+        popping a revision truncates the list back to where it was.
+        """
+        if keep < 0 or keep > len(self._constraints):
+            raise ValueError(
+                f"cannot keep {keep} constraints of {len(self._constraints)}"
+            )
+        removed = self._constraints[keep:]
+        del self._constraints[keep:]
+        return removed
+
     @property
     def num_constraints(self) -> int:
         return len(self._constraints)

@@ -14,27 +14,43 @@ Backends:
 ``auto``
     ``highs`` when available, else ``branch_bound[builtin]``.
 
+Options are carried by a typed :class:`~repro.lp.options.SolveOptions`
+record validated against the chosen backend; the old ``**kwargs`` style
+still works but warns ``DeprecationWarning``.  Externally registered
+backends (:func:`register_backend`) keep the ``fn(problem, **options)``
+calling convention.
+
 Every solve that passes through :func:`solve` is recorded by the
 telemetry layer: the ``solves.*`` counters are bumped and — when a trace
 writer is active (CLI ``--trace FILE``) — one JSONL record is emitted
 per solve, carrying the backend's :class:`~repro.telemetry.SolveStats`.
+
+Incremental re-solves go through :class:`SolveCache`: a fingerprint-keyed
+solution cache plus warm-start plumbing (previous-incumbent MIP starts
+and persistent :class:`~repro.lp.matrix_lp.RelaxationContext` reuse for
+``branch_bound``) that makes solving a *sequence* of closely related
+models much cheaper than solving each cold.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Callable
+from typing import Callable, Mapping
 
-from ..telemetry import SolveStats, record_solve
+import numpy as np
+
+from ..telemetry import SolveStats, metrics, record_solve
 from .branch_bound import solve_branch_and_bound
-from .matrix_lp import solve_lp_arrays
+from .fingerprint import problem_fingerprint, structure_fingerprint
+from .matrix_lp import RelaxationContext, solve_lp_arrays
+from .options import SolveOptions, options_from_kwargs
 from .problem import Problem
 from .rounding import solve_with_rounding
 from .solution import Solution, SolveStatus
 from .standard_form import to_matrix_form
 
 
-def _solve_simplex(problem: Problem, **options) -> Solution:
+def _solve_simplex(problem: Problem, options: SolveOptions) -> Solution:
     """Pure-LP solve with the builtin simplex."""
     if problem.is_mip:
         raise ValueError(
@@ -46,7 +62,7 @@ def _solve_simplex(problem: Problem, **options) -> Solution:
     result = solve_lp_arrays(
         form.c, form.a_ub, form.b_ub, form.a_eq, form.b_eq,
         form.lb, form.ub, engine="builtin",
-        max_iterations=options.get("max_iterations", 20000),
+        max_iterations=options.max_iterations,
     )
     status = {
         "optimal": SolveStatus.OPTIMAL,
@@ -81,39 +97,57 @@ def _solve_simplex(problem: Problem, **options) -> Solution:
     )
 
 
-def _solve_branch_bound(problem: Problem, **options) -> Solution:
+def _solve_branch_bound(
+    problem: Problem,
+    options: SolveOptions,
+    form=None,
+    context: RelaxationContext | None = None,
+    basis_io: dict | None = None,
+) -> Solution:
     return solve_branch_and_bound(
         problem,
-        relaxation_engine=options.get("relaxation_engine", "highs"),
-        node_limit=options.get("node_limit", 200000),
-        time_limit=options.get("time_limit"),
-        gap_tolerance=options.get("gap_tolerance", 1e-6),
-        cover_cut_rounds=options.get("cover_cut_rounds", 0),
+        relaxation_engine=options.relaxation_engine,
+        node_limit=options.node_limit,
+        time_limit=options.time_limit,
+        gap_tolerance=options.gap_tolerance,
+        cover_cut_rounds=options.cover_cut_rounds,
+        max_iterations=options.max_iterations,
+        warm_start=options.warm_start,
+        form=form,
+        context=context,
+        basis_io=basis_io,
     )
 
 
-def _solve_highs(problem: Problem, **options) -> Solution:
+def _solve_highs(problem: Problem, options: SolveOptions) -> Solution:
     # Imported lazily so that environments without scipy can still load
     # this module and fall back to the builtin solvers (see _solve_auto).
     from .highs import solve_with_highs
 
+    # SciPy's milp/linprog expose no solution-hint API, so a warm_start
+    # is accepted (the incremental layer passes one to every backend)
+    # but cannot be forwarded; the drop is counted, never silent.
+    if options.warm_start is not None:
+        metrics.increment("incremental.warm_start_unsupported")
     return solve_with_highs(
         problem,
-        time_limit=options.get("time_limit"),
-        mip_rel_gap=options.get("mip_rel_gap"),
+        time_limit=options.time_limit,
+        mip_rel_gap=options.mip_rel_gap,
     )
 
 
-def _solve_rounding(problem: Problem, **options) -> Solution:
-    return solve_with_rounding(problem, engine=options.get("relaxation_engine", "highs"))
+def _solve_rounding(problem: Problem, options: SolveOptions) -> Solution:
+    return solve_with_rounding(problem, engine=options.relaxation_engine)
 
 
-def _solve_auto(problem: Problem, **options) -> Solution:
+def _solve_auto(problem: Problem, options: SolveOptions) -> Solution:
     try:
-        return _solve_highs(problem, **options)
+        return _solve_highs(problem, options)
     except ImportError:  # no scipy: fall back to the pure-python stack
-        options = dict(options, relaxation_engine="builtin")
-        return _solve_branch_bound(problem, **options)
+        # The fallback drops the HiGHS-only gap option explicitly and
+        # switches node relaxations to the builtin simplex.
+        fallback = options.replace(relaxation_engine="builtin", mip_rel_gap=None)
+        return _solve_branch_bound(problem, fallback)
 
 
 _BACKENDS: dict[str, Callable[..., Solution]] = {
@@ -123,6 +157,10 @@ _BACKENDS: dict[str, Callable[..., Solution]] = {
     "rounding": _solve_rounding,
     "auto": _solve_auto,
 }
+
+#: Built-in backends take a typed ``SolveOptions``; externally registered
+#: ones keep receiving ``**kwargs`` (their functions predate the record).
+_TYPED_BACKENDS = frozenset(_BACKENDS)
 
 
 def available_backends() -> list[str]:
@@ -137,12 +175,24 @@ def register_backend(name: str, fn: Callable[..., Solution]) -> None:
     _BACKENDS[name] = fn
 
 
-def solve(problem: Problem, backend: str = "auto", **options) -> Solution:
+def solve(
+    problem: Problem,
+    backend: str = "auto",
+    options: SolveOptions | None = None,
+    cache: "SolveCache | None" = None,
+    **legacy_options,
+) -> Solution:
     """Solve ``problem`` with the named backend.
 
-    Extra keyword options are forwarded to the backend (``time_limit``,
-    ``mip_rel_gap``, ``relaxation_engine``, ``node_limit``,
-    ``cover_cut_rounds``, ...).
+    ``options`` is the typed way to configure the solve; it is validated
+    against the chosen backend so engine-specific flags can no longer be
+    silently ignored.  Extra keyword options are still accepted for
+    backwards compatibility (``time_limit=...``), emit a
+    ``DeprecationWarning``, and cannot be combined with ``options``.
+
+    ``cache`` routes the call through a :class:`SolveCache`:
+    fingerprint-identical re-solves return the cached solution, and
+    misses are warm-started from the cache's previous incumbent.
     """
     try:
         fn = _BACKENDS[backend]
@@ -150,8 +200,26 @@ def solve(problem: Problem, backend: str = "auto", **options) -> Solution:
         raise ValueError(
             f"unknown backend {backend!r}; available: {', '.join(available_backends())}"
         ) from None
+
+    if backend in _TYPED_BACKENDS:
+        if legacy_options:
+            if options is not None:
+                raise TypeError(
+                    "pass either a SolveOptions record or keyword options, not both"
+                )
+            options = options_from_kwargs(backend, legacy_options)
+        else:
+            options = (options or SolveOptions()).validate_for(backend)
+        if cache is not None:
+            return cache.solve(problem, backend, options)
+        call = lambda: fn(problem, options)
+    else:
+        if options is not None:
+            legacy_options = dict(options.as_kwargs(), **legacy_options)
+        call = lambda: fn(problem, **legacy_options)
+
     start = time.monotonic()
-    solution = fn(problem, **options)
+    solution = call()
     record_solve(
         problem=problem.name,
         backend=backend,
@@ -162,3 +230,263 @@ def solve(problem: Problem, backend: str = "auto", **options) -> Solution:
         elapsed_seconds=time.monotonic() - start,
     )
     return solution
+
+
+class SolveCache:
+    """Fingerprint-keyed solve cache with warm-start seeding.
+
+    One cache serves one *refinement session*: a sequence of solves of
+    closely related models (the paper's iterative-modification loop).
+    Four mechanisms stack, strongest first:
+
+    * **solution reuse** — a model whose canonical fingerprint was
+      already solved returns the stored :class:`Solution` without any
+      solver work (an ``undo`` directive makes this exact case);
+    * **tightening shortcut** — when the model changed only by
+      *shrinking* the feasible region (bounds narrowed, constraints
+      appended — which is every pin/forbid/retire/cap directive) and the
+      previous optimum still satisfies the new bounds and rows, that
+      point is provably still optimal (the minimum over a subset cannot
+      be lower, and the old argmin is in the subset), so the re-solve is
+      a feasibility check instead of a search;
+    * **structure reuse** (``branch_bound`` only) — models sharing a
+      :func:`structure_fingerprint` (same matrices, different bounds)
+      reuse one :class:`~repro.lp.matrix_lp.RelaxationContext`, so the
+      re-solve skips matrix conversion and standardization, and the
+      previous root simplex basis warm-starts the new root relaxation;
+    * **incumbent seeding** — the previous solve's point (or a repaired
+      hint supplied via ``options.warm_start``) becomes the new solve's
+      MIP start when feasible, so pruning bites from node one.
+
+    Lifetime telemetry lives in the ``incremental.*`` counters and in
+    :attr:`hits` / :attr:`misses` / :attr:`context_reuses`.
+    """
+
+    def __init__(self, max_solutions: int = 64) -> None:
+        if max_solutions < 1:
+            raise ValueError("max_solutions must be at least 1")
+        self.max_solutions = max_solutions
+        self._solutions: dict[str, Solution] = {}
+        self._last: Solution | None = None
+        self._structure_key: str | None = None
+        self._context: RelaxationContext | None = None
+        self._form = None
+        self._basis_io: dict = {}
+        # Snapshot of the model state the last solution was solved
+        # against, for the tightening shortcut: variable identities,
+        # bound arrays, the constraint list prefix and the objective.
+        self._snap_vars: list | None = None
+        self._snap_lb: np.ndarray | None = None
+        self._snap_ub: np.ndarray | None = None
+        self._snap_constraints: list | None = None
+        self._snap_objective = None
+        self.hits = 0
+        self.misses = 0
+        self.context_reuses = 0
+        self.context_rebuilds = 0
+        self.tightening_reuses = 0
+
+    @property
+    def last_solution(self) -> Solution | None:
+        """The most recent solution produced through this cache."""
+        return self._last
+
+    def clear(self) -> None:
+        """Drop every cached solution, context and basis."""
+        self._solutions.clear()
+        self._last = None
+        self._structure_key = None
+        self._context = None
+        self._form = None
+        self._basis_io = {}
+        self._snap_vars = None
+        self._snap_lb = None
+        self._snap_ub = None
+        self._snap_constraints = None
+        self._snap_objective = None
+
+    # -- internals ---------------------------------------------------------
+
+    def _remember(self, fingerprint: str, solution: Solution, problem: Problem) -> None:
+        if fingerprint in self._solutions:
+            self._solutions.pop(fingerprint)
+        elif len(self._solutions) >= self.max_solutions:
+            # FIFO eviction: refinement sessions revisit *recent* states
+            # (undo), so dropping the oldest entry is the cheap win.
+            oldest = next(iter(self._solutions))
+            self._solutions.pop(oldest)
+        self._solutions[fingerprint] = solution
+        self._last = solution
+        self._snap_vars = list(problem.variables)
+        self._snap_lb = np.array(
+            [-np.inf if v.lb is None else v.lb for v in self._snap_vars]
+        )
+        self._snap_ub = np.array(
+            [np.inf if v.ub is None else v.ub for v in self._snap_vars]
+        )
+        self._snap_constraints = list(problem.constraints)
+        self._snap_objective = problem.objective
+
+    def _tightened_reuse(self, problem: Problem) -> Solution | None:
+        """The previous optimum, when it provably survives the model edit.
+
+        Sound only when the new feasible region is a *subset* of the old
+        one: every variable bound at least as tight (same Variable
+        objects), the old constraint list an identical prefix of the new
+        one, the objective untouched.  Then if the stored optimum still
+        satisfies the new bounds and the appended rows, it is optimal
+        for the new model too — min over a subset cannot beat it, and it
+        is in the subset.  Any doubt returns ``None`` (full solve).
+        """
+        last = self._last
+        if last is None or not last.status.has_solution or self._snap_vars is None:
+            return None
+        variables = problem.variables
+        if len(variables) != len(self._snap_vars):
+            return None
+        for var, snap in zip(variables, self._snap_vars):
+            if var is not snap:
+                return None
+        if problem.objective is not self._snap_objective:
+            return None
+        constraints = problem.constraints
+        n_old = len(self._snap_constraints)
+        if len(constraints) < n_old:
+            return None
+        for con, snap in zip(constraints, self._snap_constraints):
+            if con is not snap:
+                return None
+        lb = np.array([-np.inf if v.lb is None else v.lb for v in variables])
+        ub = np.array([np.inf if v.ub is None else v.ub for v in variables])
+        if (lb < self._snap_lb - 1e-12).any() or (ub > self._snap_ub + 1e-12).any():
+            return None  # some bound loosened: region grew, optimum may move
+        x = np.array([last.value(v, 0.0) for v in variables])
+        tol = 1e-6
+        if (x < lb - tol).any() or (x > ub + tol).any():
+            return None  # a directive cut the old optimum off
+        for con in constraints[n_old:]:
+            lhs = sum(
+                coef * last.value(var, 0.0) for var, coef in con.expr.terms().items()
+            )
+            slack_tol = tol * max(1.0, abs(con.rhs))
+            if con.sense.value == "<=" and lhs > con.rhs + slack_tol:
+                return None
+            if con.sense.value == ">=" and lhs < con.rhs - slack_tol:
+                return None
+            if con.sense.value == "=" and abs(lhs - con.rhs) > slack_tol:
+                return None
+        return last
+
+    def _hint_from_last(self) -> Mapping[str, float] | None:
+        if self._last is None or not self._last.status.has_solution:
+            return None
+        return self._last.as_name_dict()
+
+    def _context_for(self, problem: Problem, options: SolveOptions):
+        """(form, context, basis_io) for a branch_bound solve, reusing when safe."""
+        if options.cover_cut_rounds > 0:
+            return None, None, None  # cuts mutate the row set; no reuse
+        key = f"{structure_fingerprint(problem)}|{options.relaxation_engine}"
+        if self._structure_key == key and self._context is not None:
+            # Same matrices, possibly different bounds: refresh only the
+            # bound arrays on the cached form.  Bound moves between
+            # finite values never break the context's plus/minus column
+            # split (every model variable here has a finite lower
+            # bound), so the one-time standardization survives the
+            # whole refinement session.
+            form = self._form
+            # Re-read variables from the live problem: bounds are taken
+            # from it, and Solution.values must be keyed by *its*
+            # Variable objects.
+            form.variables = problem.variables
+            form.lb = np.array(
+                [-np.inf if v.lb is None else v.lb for v in form.variables]
+            )
+            form.ub = np.array(
+                [np.inf if v.ub is None else v.ub for v in form.variables]
+            )
+            self.context_reuses += 1
+            metrics.increment("incremental.context_reuses")
+            return form, self._context, self._basis_io
+        form = to_matrix_form(problem)
+        self.context_rebuilds += 1
+        metrics.increment("incremental.context_rebuilds")
+        self._context = RelaxationContext(
+            form.c, form.a_ub, form.b_ub, form.a_eq, form.b_eq,
+            form.lb, form.ub, engine=options.relaxation_engine,
+            max_iterations=options.max_iterations,
+        )
+        self._form = form
+        self._structure_key = key
+        self._basis_io = {}
+        return form, self._context, self._basis_io
+
+    # -- the cache-aware solve --------------------------------------------
+
+    def solve(self, problem: Problem, backend: str, options: SolveOptions) -> Solution:
+        """Solve through the cache (called by :func:`solve` with ``cache=``)."""
+        fingerprint = problem_fingerprint(problem)
+        cached = self._solutions.get(fingerprint)
+        if cached is not None:
+            self.hits += 1
+            metrics.increment("incremental.fingerprint_hits")
+            # Re-snapshot against the *current* problem (its bounds match
+            # the fingerprint) so a later tightening check compares
+            # against this state, not whatever was solved before it.
+            self._remember(fingerprint, cached, problem)
+            record_solve(
+                problem=problem.name,
+                backend=backend,
+                solver=f"{cached.solver}[cached]",
+                status=cached.status.value,
+                objective=cached.objective,
+                stats=cached.stats,
+                elapsed_seconds=0.0,
+            )
+            return cached
+        self.misses += 1
+        metrics.increment("incremental.fingerprint_misses")
+
+        survivor = self._tightened_reuse(problem)
+        if survivor is not None:
+            self.tightening_reuses += 1
+            metrics.increment("incremental.tightening_reuses")
+            self._remember(fingerprint, survivor, problem)
+            record_solve(
+                problem=problem.name,
+                backend=backend,
+                solver=f"{survivor.solver}[tightened]",
+                status=survivor.status.value,
+                objective=survivor.objective,
+                stats=survivor.stats,
+                elapsed_seconds=0.0,
+            )
+            return survivor
+
+        if options.warm_start is None:
+            hint = self._hint_from_last()
+            if hint is not None:
+                options = options.replace(warm_start=hint)
+
+        start = time.monotonic()
+        if backend == "branch_bound":
+            form, context, basis_io = self._context_for(problem, options)
+            solution = _solve_branch_bound(
+                problem, options, form=form, context=context, basis_io=basis_io
+            )
+        else:
+            solution = _BACKENDS[backend](problem, options)
+        elapsed = time.monotonic() - start
+        if solution.stats is not None:
+            solution.stats.extra["fingerprint_cache"] = 0.0
+        record_solve(
+            problem=problem.name,
+            backend=backend,
+            solver=solution.solver,
+            status=solution.status.value,
+            objective=solution.objective,
+            stats=solution.stats,
+            elapsed_seconds=elapsed,
+        )
+        self._remember(fingerprint, solution, problem)
+        return solution

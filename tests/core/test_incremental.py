@@ -1,0 +1,222 @@
+"""Incremental re-solve engine: deltas, journal, cold-path equivalence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ApplicationGroup,
+    AsIsState,
+    ConsolidationModel,
+    CostParameters,
+    Directive,
+    InfeasibleModelError,
+    IterativeSession,
+    PlannerOptions,
+    RevisionedModel,
+    UserLocation,
+)
+from repro.core.latency import NO_PENALTY
+from repro.lp import problem_fingerprint
+
+from ..conftest import make_datacenter
+
+
+OPTS = PlannerOptions(backend="highs")
+
+
+def plans_equal(a, b) -> bool:
+    return (
+        a.placement == b.placement
+        and abs(a.breakdown.total - b.breakdown.total) <= 1e-6
+    )
+
+
+class TestRevisionedModel:
+    def test_pin_sets_bound_and_pop_restores(self, tiny_state):
+        model = ConsolidationModel(tiny_state)
+        engine = RevisionedModel(model)
+        before = problem_fingerprint(model.problem)
+        rev = engine.apply(Directive("pin", group="erp", datacenter="mid"))
+        assert model.x[("erp", "mid")].lb == 1.0
+        assert rev.bound_changes
+        assert problem_fingerprint(model.problem) != before
+        engine.pop()
+        assert model.x[("erp", "mid")].lb == 0.0
+        assert problem_fingerprint(model.problem) == before
+
+    def test_forbid_zeroes_upper_bound(self, tiny_state):
+        model = ConsolidationModel(tiny_state)
+        engine = RevisionedModel(model)
+        engine.apply(Directive("forbid", group="web", datacenter="east-dc"))
+        assert model.x[("web", "east-dc")].ub == 0.0
+        engine.pop()
+        assert model.x[("web", "east-dc")].ub == 1.0
+
+    def test_cap_appends_row_and_pop_truncates(self, tiny_state):
+        model = ConsolidationModel(tiny_state)
+        engine = RevisionedModel(model)
+        rows = model.problem.num_constraints
+        engine.apply(Directive("cap_groups", datacenter="mid", limit=2))
+        assert model.problem.num_constraints == rows + 1
+        engine.pop()
+        assert model.problem.num_constraints == rows
+
+    def test_retire_fixes_every_site_variable(self, fixed_cost_state):
+        model = ConsolidationModel(fixed_cost_state)
+        engine = RevisionedModel(model)
+        engine.apply(Directive("retire_site", datacenter="fx-b"))
+        for (g, dc), var in model.x.items():
+            if dc == "fx-b":
+                assert var.ub == 0.0
+        assert model.used["fx-b"].ub == 0.0
+        block = model.segment_blocks.get("fx-b")
+        if block is not None:
+            assert all(v.ub == 0.0 for v in block.selectors)
+            assert all(v.ub == 0.0 for v in block.loads)
+        assert "fx-b" in engine.retired_sites()
+
+    def test_retire_leaving_a_group_stranded_is_infeasible(self, tiny_state):
+        tiny_state.app_groups[0].forbidden_datacenters = frozenset(
+            {"cheap-far", "east-dc"}
+        )
+        model = ConsolidationModel(tiny_state)
+        engine = RevisionedModel(model)
+        fp = problem_fingerprint(model.problem)
+        with pytest.raises(InfeasibleModelError):
+            engine.apply(Directive("retire_site", datacenter="mid"))
+        # the failed directive must not leave partial edits behind
+        assert problem_fingerprint(model.problem) == fp
+        assert engine.revision == 0
+
+    def test_pin_onto_forbidden_pair_rejected(self, tiny_state):
+        model = ConsolidationModel(tiny_state)
+        engine = RevisionedModel(model)
+        engine.apply(Directive("forbid", group="erp", datacenter="mid"))
+        with pytest.raises(ValueError, match="cannot pin"):
+            engine.apply(Directive("pin", group="erp", datacenter="mid"))
+
+    def test_sync_pops_to_common_prefix(self, tiny_state):
+        model = ConsolidationModel(tiny_state)
+        engine = RevisionedModel(model)
+        pin = Directive("pin", group="erp", datacenter="mid")
+        forbid = Directive("forbid", group="web", datacenter="mid")
+        cap = Directive("cap_groups", datacenter="east-dc", limit=1)
+        engine.sync([pin, forbid])
+        assert engine.applied_directives() == [pin, forbid]
+        engine.sync([pin, cap])  # forbid replaced: pop one, apply one
+        assert engine.applied_directives() == [pin, cap]
+        assert model.x[("web", "mid")].ub == 1.0  # forbid unwound
+        engine.sync([])
+        assert engine.revision == 0
+
+
+class TestSessionLifecycle:
+    def test_pin_resolve_undo_restores_plan_bit_for_bit(self, tiny_state):
+        session = IterativeSession(tiny_state, OPTS)
+        base = session.plan()
+        target = "east-dc" if base.placement["batch"] != "east-dc" else "mid"
+        session.pin("batch", target)
+        pinned = session.plan()
+        assert pinned.placement["batch"] == target
+        session.undo()
+        restored = session.plan()
+        assert restored.placement == base.placement
+        assert restored.breakdown.total == base.breakdown.total
+        assert session.solve_cache.hits >= 1  # undo re-solve came from cache
+
+    def test_retire_site_removes_site_from_plans(self, tiny_state):
+        session = IterativeSession(tiny_state, OPTS)
+        base = session.plan()
+        victim = base.placement["erp"]
+        session.retire_site(victim)
+        revised = session.plan()
+        assert victim not in revised.placement.values()
+        # the underlying model keeps the variables but pins them to zero
+        engine = session._engine
+        assert all(
+            var.ub == 0.0
+            for (g, dc), var in engine.model.x.items()
+            if dc == victim
+        )
+        session.undo()
+        assert plans_equal(session.plan(), base)
+
+    def test_confirming_pin_skips_the_solver(self, tiny_state):
+        session = IterativeSession(tiny_state, OPTS)
+        base = session.plan()
+        session.pin("erp", base.placement["erp"])
+        confirmed = session.plan()
+        assert plans_equal(confirmed, base)
+        assert session.solve_cache.tightening_reuses == 1
+
+    def test_cold_mode_still_works(self, tiny_state):
+        session = IterativeSession(tiny_state, OPTS, incremental=False)
+        base = session.plan()
+        session.forbid("batch", base.placement["batch"])
+        revised = session.plan()
+        assert revised.placement["batch"] != base.placement["batch"]
+        assert session.solve_cache is None
+
+
+def _random_state(seed: int) -> AsIsState:
+    rng = np.random.default_rng(seed)
+    users = [UserLocation("east", 0.0, 0.0), UserLocation("west", 4000.0, 0.0)]
+    targets = [
+        make_datacenter(
+            f"dc{j}",
+            capacity=int(rng.integers(120, 260)),
+            space_base=float(rng.uniform(70, 150)),
+            power=float(rng.uniform(180, 280)),
+            labor=float(rng.uniform(5500, 8500)),
+            wan=float(rng.uniform(0.05, 0.15)),
+            lat_east=float(rng.uniform(4, 40)),
+            lat_west=float(rng.uniform(4, 40)),
+            fixed=float(rng.choice([0.0, 2000.0])),
+            x=float(rng.uniform(0, 8000)),
+        )
+        for j in range(3)
+    ]
+    groups = [
+        ApplicationGroup(
+            f"g{i}",
+            int(rng.integers(10, 50)),
+            float(rng.uniform(500, 8000)),
+            {"east": float(rng.uniform(0, 200)), "west": float(rng.uniform(0, 200))},
+            NO_PENALTY,
+        )
+        for i in range(int(rng.integers(3, 6)))
+    ]
+    return AsIsState(
+        f"rand{seed}", groups, targets, user_locations=users,
+        params=CostParameters(),
+    )
+
+
+class TestColdEquivalence:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_incremental_matches_cold_rebuild(self, seed):
+        state = _random_state(seed)
+        rng = np.random.default_rng(1000 + seed)
+        inc = IterativeSession(state, OPTS, incremental=True)
+        cold = IterativeSession(state, OPTS, incremental=False)
+        base = inc.plan()
+        assert plans_equal(base, cold.plan())
+
+        groups = [g.name for g in state.app_groups]
+        sites = [dc.name for dc in state.target_datacenters]
+        g_pin, g_forbid = rng.choice(groups, size=2, replace=False)
+        for session in (inc, cold):
+            session.pin(str(g_pin), base.placement[str(g_pin)])
+            session.forbid(str(g_forbid), base.placement[str(g_forbid)])
+        assert plans_equal(inc.plan(), cold.plan())
+
+        victim = str(rng.choice([s for s in sites if s != base.placement[str(g_pin)]]))
+        for session in (inc, cold):
+            session.cap_groups(victim, 1)
+        assert plans_equal(inc.plan(), cold.plan())
+
+        for session in (inc, cold):
+            session.undo()
+        assert plans_equal(inc.plan(), cold.plan())

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core import IterativeSession, PlannerOptions, PlanningError
+from repro.core import DirectiveConflictError, IterativeSession, PlannerOptions
 
 
 @pytest.fixture
@@ -75,12 +75,30 @@ class TestDirectives:
         with pytest.raises(ValueError, match="cannot pin"):
             session.plan()
 
-    def test_conflicting_directives_infeasible(self, session):
-        # Pin and forbid the same pair: no feasible plan.
+    def test_conflicting_directives_rejected_at_directive_time(self, session):
+        # Pin and forbid the same pair: rejected immediately, naming both.
         session.pin("batch", "east-dc")
-        session.forbid("batch", "east-dc")
-        with pytest.raises(PlanningError):
-            session.plan()
+        with pytest.raises(DirectiveConflictError) as exc:
+            session.forbid("batch", "east-dc")
+        assert "forbid 'batch' in 'east-dc'" in str(exc.value)
+        assert "pin 'batch' to 'east-dc'" in str(exc.value)
+        assert session.describe() == ["pin 'batch' to 'east-dc'"]  # not recorded
+
+    def test_pin_to_retired_site_rejected(self, session):
+        session.retire_site("east-dc")
+        with pytest.raises(DirectiveConflictError):
+            session.pin("batch", "east-dc")
+
+    def test_two_pins_for_one_group_rejected(self, session):
+        session.pin("batch", "east-dc")
+        with pytest.raises(DirectiveConflictError):
+            session.pin("batch", "mid")
+
+    def test_pins_exceeding_cap_rejected(self, session):
+        session.cap_groups("mid", 1)
+        session.pin("batch", "mid")
+        with pytest.raises(DirectiveConflictError):
+            session.pin("erp", "mid")
 
     def test_describe_all_kinds(self, session):
         session.pin("batch", "mid")

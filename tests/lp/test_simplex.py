@@ -102,6 +102,10 @@ def random_feasible_lp(draw):
     a[neg] *= -1
     b[neg] *= -1
     c = np.array(draw(st.lists(elems, min_size=n, max_size=n)))
+    # Same ambiguity for costs: a reduced cost inside HiGHS's dual
+    # tolerance reads "optimal" there but can drive our exact simplex
+    # to "unbounded" along a zero row.
+    c[np.abs(c) < 1e-6] = 0.0
     return a, b, c
 
 

@@ -238,3 +238,59 @@ class TestSweepJobs:
 
         args = build_parser().parse_args(["sweep", "latency"])
         assert args.jobs == 1
+
+
+class TestRefine:
+    @pytest.fixture
+    def script_file(self, tmp_path):
+        def write(text: str) -> str:
+            path = tmp_path / "refine.txt"
+            path.write_text(text)
+            return str(path)
+
+        return write
+
+    def test_scripted_session_reports_per_step_timing(
+        self, state_file, script_file, capsys
+    ):
+        script = script_file(
+            "# steer batch away from wherever it landed\n"
+            "cap mid 3\n"
+            "undo\n"
+        )
+        code = main(["refine", state_file, script, "--backend", "highs"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "initial plan" in out
+        assert "cap mid 3" in out
+        assert "undo" in out
+        assert "2 directives" in out
+        assert "fingerprint hits" in out
+
+    def test_cold_flag_disables_the_cache(self, state_file, script_file, capsys):
+        script = script_file("cap mid 3\n")
+        code = main(["refine", state_file, script, "--cold", "--backend", "highs"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cold rebuild" in out
+        assert "fingerprint hits" not in out
+
+    def test_conflicting_script_is_a_clean_error(
+        self, state_file, script_file, capsys
+    ):
+        script = script_file("pin batch mid\nforbid batch mid\n")
+        code = main(["refine", state_file, script, "--backend", "highs"])
+        assert code == 2
+        assert "conflicts with earlier directive" in capsys.readouterr().err
+
+    def test_malformed_script_is_a_clean_error(self, state_file, script_file, capsys):
+        script = script_file("pin onlyonearg\n")
+        code = main(["refine", state_file, script])
+        assert code == 2
+        assert "takes 2 operand" in capsys.readouterr().err
+
+    def test_unknown_verb_is_a_clean_error(self, state_file, script_file, capsys):
+        script = script_file("teleport batch mid\n")
+        code = main(["refine", state_file, script])
+        assert code == 2
+        assert "unknown directive" in capsys.readouterr().err
