@@ -4,15 +4,28 @@ Each benchmark regenerates one table/figure of the paper, asserts its
 qualitative shape, and archives the rendered text under
 ``bench_results/`` so the series the paper reports can be inspected
 after a ``pytest benchmarks/ --benchmark-only`` run.
+
+Alongside each human-readable ``<name>.txt``, every benchmark module
+also writes a machine-readable ``BENCH_<name>.json`` — wall time,
+solver throughput (solves/second) and the telemetry-counter deltas the
+module produced (solve cache hits, incremental shortcuts, service
+counters).  The record is assembled automatically by a module-scoped
+fixture; benchmarks with extra figures of merit merge them in through
+the ``archive_json`` fixture.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
+import time
 
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "bench_results"
+
+#: Extra JSON fields contributed by individual benchmarks, name → dict.
+_EXTRA_JSON: dict[str, dict] = {}
 
 
 @pytest.fixture(scope="session")
@@ -30,6 +43,48 @@ def archive(results_dir):
         path.write_text(text + "\n", encoding="utf-8")
 
     return _archive
+
+
+@pytest.fixture(scope="session")
+def archive_json():
+    """Callable: archive_json(name, record) → extra fields for the
+    module's ``BENCH_<name>.json`` (merged over the automatic ones)."""
+
+    def _archive(name: str, record: dict) -> None:
+        _EXTRA_JSON.setdefault(name, {}).update(record)
+
+    return _archive
+
+
+@pytest.fixture(scope="module", autouse=True)
+def bench_json(request, results_dir):
+    """Write ``BENCH_<module>.json`` after each benchmark module runs."""
+    from repro.telemetry import metrics
+
+    name = request.module.__name__.rsplit(".", 1)[-1]
+    name = name.removeprefix("test_bench_")
+    before = metrics.snapshot()
+    start = time.perf_counter()
+    yield
+    wall = time.perf_counter() - start
+    after = metrics.snapshot()
+    counters = {
+        key: after[key] - before.get(key, 0.0)
+        for key in sorted(after)
+        if after[key] != before.get(key, 0.0)
+    }
+    solves = counters.get("solves.total", 0.0)
+    record = {
+        "benchmark": name,
+        "generated_at": time.time(),
+        "wall_seconds": round(wall, 6),
+        "solves": solves,
+        "ops_per_second": round(solves / wall, 6) if wall > 0 else 0.0,
+        "counters": counters,
+    }
+    record.update(_EXTRA_JSON.get(name, {}))
+    path = results_dir / f"BENCH_{name}.json"
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
 
 
 def run_once(benchmark, fn):

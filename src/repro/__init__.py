@@ -46,6 +46,7 @@ from .analysis import run_robustness, run_sensitivity
 from .baselines import asis_plan, asis_with_dr_plan, greedy_plan, manual_plan
 from .core import improve_plan, split_oversized_groups
 from .migration import MigrationConfig, plan_migration
+from .service import JobManager, ServiceClient, ServiceConfig
 from .sim import SimulatorConfig, simulate_plan
 from .datasets import (
     latency_line_scenario,
@@ -73,7 +74,10 @@ __all__ = [
     "TransformationPlan",
     "UserLocation",
     "__version__",
+    "JobManager",
     "MigrationConfig",
+    "ServiceClient",
+    "ServiceConfig",
     "SimulatorConfig",
     "asis_plan",
     "asis_with_dr_plan",

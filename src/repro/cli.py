@@ -11,11 +11,17 @@ Subcommands
 ``sensitivity`` sweep one cost dimension and report the plan's response
 ``robustness``  Monte-Carlo regret under price-estimate noise
 ``refine``      replay a scripted directive sequence with per-step timing
+``serve``       run the long-lived planning service (HTTP JSON API)
+
+Operational errors — a missing or malformed state file, an unknown
+directive — exit with code 2 and a one-line message naming the file or
+field, never a traceback.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from .baselines import asis_plan, asis_with_dr_plan
@@ -27,6 +33,31 @@ from .experiments import (
     tables,
 )
 from .io import load_state, render_plan_report, save_plan, save_state
+
+
+class CliInputError(Exception):
+    """A user-input problem: printed as one line, exit code 2."""
+
+
+def _load_state_checked(path: str):
+    """Load a state file, mapping every failure to a one-line message."""
+    try:
+        return load_state(path)
+    except FileNotFoundError:
+        raise CliInputError(f"state file {path!r} not found") from None
+    except IsADirectoryError:
+        raise CliInputError(f"state file {path!r} is a directory") from None
+    except json.JSONDecodeError as exc:
+        raise CliInputError(
+            f"state file {path!r} is not valid JSON "
+            f"(line {exc.lineno}, column {exc.colno}: {exc.msg})"
+        ) from None
+    except KeyError as exc:
+        raise CliInputError(
+            f"state file {path!r} is missing required field {exc.args[0]!r}"
+        ) from None
+    except (TypeError, ValueError) as exc:
+        raise CliInputError(f"state file {path!r} is invalid: {exc}") from None
 
 
 def _add_solver_arguments(parser: argparse.ArgumentParser) -> None:
@@ -96,7 +127,7 @@ def _cmd_dataset(args: argparse.Namespace) -> int:
 
 
 def _cmd_plan(args: argparse.Namespace) -> int:
-    state = load_state(args.input)
+    state = _load_state_checked(args.input)
     options = PlannerOptions(
         wan_model=args.wan_model,
         enable_dr=args.dr,
@@ -115,7 +146,7 @@ def _cmd_plan(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
-    state = load_state(args.input)
+    state = _load_state_checked(args.input)
     result = run_comparison(
         state,
         enable_dr=args.dr,
@@ -129,7 +160,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_asis(args: argparse.Namespace) -> int:
-    state = load_state(args.input)
+    state = _load_state_checked(args.input)
     plan = asis_with_dr_plan(state) if args.dr else asis_plan(state)
     print(render_plan_report(state, plan))
     return 0
@@ -155,7 +186,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 def _cmd_migrate(args: argparse.Namespace) -> int:
     from .migration import MigrationConfig, plan_migration
 
-    state = load_state(args.input)
+    state = _load_state_checked(args.input)
     options = PlannerOptions(
         enable_dr=args.dr, backend=args.backend,
         solver_options=_solver_options(args), presolve=args.presolve,
@@ -174,7 +205,7 @@ def _cmd_migrate(args: argparse.Namespace) -> int:
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from .sim import FailureModelConfig, SimulatorConfig, simulate_plan
 
-    state = load_state(args.input)
+    state = _load_state_checked(args.input)
     options = PlannerOptions(
         enable_dr=args.dr, backend=args.backend,
         solver_options=_solver_options(args), presolve=args.presolve,
@@ -195,7 +226,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 def _cmd_sensitivity(args: argparse.Namespace) -> int:
     from .analysis import run_sensitivity
 
-    state = load_state(args.input)
+    state = _load_state_checked(args.input)
     options = PlannerOptions(backend=args.backend,
                              solver_options=_solver_options(args),
                              presolve=args.presolve)
@@ -207,7 +238,7 @@ def _cmd_sensitivity(args: argparse.Namespace) -> int:
 def _cmd_robustness(args: argparse.Namespace) -> int:
     from .analysis import run_robustness
 
-    state = load_state(args.input)
+    state = _load_state_checked(args.input)
     options = PlannerOptions(backend=args.backend,
                              solver_options=_solver_options(args),
                              presolve=args.presolve)
@@ -252,7 +283,7 @@ def _cmd_refine(args: argparse.Namespace) -> int:
 
     from .core.iterative import DirectiveConflictError, IterativeSession
 
-    state = load_state(args.input)
+    state = _load_state_checked(args.input)
     try:
         with open(args.script, encoding="utf-8") as handle:
             steps = _parse_refine_script(handle.read())
@@ -318,6 +349,23 @@ def _cmd_refine(args: argparse.Namespace) -> int:
         )
     _maybe_print_stats(args, session.history[-1].solver_stats)
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import ServiceConfig, run_service
+
+    try:
+        config = ServiceConfig(
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            job_timeout=args.job_timeout,
+            max_retries=args.max_retries,
+            journal_path=args.journal,
+        ).validated()
+    except ValueError as exc:
+        raise CliInputError(f"bad service configuration: {exc}") from None
+    return run_service(config, verbose=args.verbose)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -416,6 +464,25 @@ def build_parser() -> argparse.ArgumentParser:
     _add_solver_arguments(p)
     p.set_defaults(fn=_cmd_refine)
 
+    p = sub.add_parser(
+        "serve",
+        help="run the long-lived planning service (HTTP JSON API)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8080,
+                   help="TCP port; 0 binds an ephemeral port")
+    p.add_argument("--workers", type=int, default=4,
+                   help="solver worker processes")
+    p.add_argument("--job-timeout", type=float, default=300.0, metavar="SECONDS",
+                   help="per-job wall-clock limit")
+    p.add_argument("--max-retries", type=int, default=2,
+                   help="retries after a worker death before a job fails")
+    p.add_argument("--journal", default=None, metavar="FILE",
+                   help="append one JSON line per job event to FILE")
+    p.add_argument("--verbose", action="store_true",
+                   help="log every HTTP request")
+    p.set_defaults(fn=_cmd_serve)
+
     return parser
 
 
@@ -434,10 +501,18 @@ def main(argv: list[str] | None = None) -> int:
             return 2
         try:
             with trace_to(handle):
-                return args.fn(args)
+                return _run(args)
         finally:
             handle.close()
-    return args.fn(args)
+    return _run(args)
+
+
+def _run(args: argparse.Namespace) -> int:
+    try:
+        return args.fn(args)
+    except CliInputError as exc:
+        print(exc, file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

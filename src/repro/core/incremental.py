@@ -60,6 +60,45 @@ class Directive:
             return f"cap {self.datacenter!r} at {self.limit} groups"
         return self.kind
 
+    def as_dict(self) -> dict:
+        """JSON-safe form (the planning service's wire format)."""
+        record: dict = {"kind": self.kind}
+        if self.group is not None:
+            record["group"] = self.group
+        if self.datacenter is not None:
+            record["datacenter"] = self.datacenter
+        if self.limit is not None:
+            record["limit"] = self.limit
+        return record
+
+
+#: Directive kinds and the payload fields each requires.
+DIRECTIVE_FIELDS = {
+    "pin": ("group", "datacenter"),
+    "forbid": ("group", "datacenter"),
+    "retire_site": ("datacenter",),
+    "cap_groups": ("datacenter", "limit"),
+}
+
+
+def directive_from_dict(data: dict) -> Directive:
+    """Inverse of :meth:`Directive.as_dict`, validating kind and fields."""
+    kind = data.get("kind")
+    if kind not in DIRECTIVE_FIELDS:
+        raise ValueError(
+            f"unknown directive kind {kind!r} "
+            f"(expected one of {', '.join(sorted(DIRECTIVE_FIELDS))})"
+        )
+    for field_name in DIRECTIVE_FIELDS[kind]:
+        if data.get(field_name) is None:
+            raise ValueError(f"directive {kind!r} requires field {field_name!r}")
+    return Directive(
+        kind=kind,
+        group=data.get("group"),
+        datacenter=data.get("datacenter"),
+        limit=int(data["limit"]) if data.get("limit") is not None else None,
+    )
+
 
 @dataclass
 class Revision:

@@ -56,6 +56,50 @@ class PlannerOptions:
     validate_inputs: bool = True
     presolve: bool = False
 
+    #: Option keys accepted from untrusted wire payloads (service API).
+    WIRE_FIELDS = (
+        "wan_model",
+        "economies_of_scale",
+        "enable_dr",
+        "dedicated_backups",
+        "backend",
+        "solver_options",
+        "presolve",
+    )
+
+    @classmethod
+    def from_wire(cls, data: dict | None) -> "PlannerOptions":
+        """Build options from a JSON payload, rejecting unknown keys.
+
+        The planning service feeds request bodies through this; only the
+        :data:`WIRE_FIELDS` subset is accepted — deliberately *not*
+        ``lp_export_path`` (a remote caller must not name server-side
+        files) nor ``validate_inputs``.
+        """
+        data = dict(data or {})
+        unknown = sorted(set(data) - set(cls.WIRE_FIELDS))
+        if unknown:
+            raise ValueError(
+                f"unknown planner option(s): {', '.join(unknown)} "
+                f"(accepted: {', '.join(cls.WIRE_FIELDS)})"
+            )
+        solver_options = data.pop("solver_options", {})
+        if not isinstance(solver_options, dict):
+            raise ValueError("solver_options must be an object")
+        return cls(solver_options=dict(solver_options), **data)
+
+    def as_wire(self) -> dict:
+        """The :data:`WIRE_FIELDS` subset as a JSON-safe dict."""
+        return {
+            "wan_model": self.wan_model,
+            "economies_of_scale": self.economies_of_scale,
+            "enable_dr": self.enable_dr,
+            "dedicated_backups": self.dedicated_backups,
+            "backend": self.backend,
+            "solver_options": dict(self.solver_options),
+            "presolve": self.presolve,
+        }
+
     def model_options(self) -> ModelOptions:
         return ModelOptions(
             wan_model=self.wan_model,

@@ -9,8 +9,12 @@ from .csv_export import (
 from .report import render_placement_listing, render_plan_report, render_solve_stats
 from .serialization import (
     SCHEMA_VERSION,
+    append_jsonl,
+    load_plan,
     load_state,
+    plan_from_dict,
     plan_to_dict,
+    read_jsonl,
     save_plan,
     save_state,
     state_from_dict,
@@ -19,12 +23,16 @@ from .serialization import (
 
 __all__ = [
     "SCHEMA_VERSION",
+    "append_jsonl",
     "export_plan_csv",
     "write_comparison_csv",
     "write_placement_csv",
     "write_usage_csv",
+    "load_plan",
     "load_state",
+    "plan_from_dict",
     "plan_to_dict",
+    "read_jsonl",
     "render_placement_listing",
     "render_plan_report",
     "render_solve_stats",

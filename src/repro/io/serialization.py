@@ -8,6 +8,7 @@ fed to the CLI (``etransform plan --input state.json``).
 from __future__ import annotations
 
 import json
+import os
 from typing import Any
 
 from ..core.costs import PriceSegment, StepCostFunction
@@ -19,7 +20,8 @@ from ..core.entities import (
     UserLocation,
 )
 from ..core.latency import NO_PENALTY, LatencyPenaltyFunction, PenaltyStep
-from ..core.plan import TransformationPlan
+from ..core.plan import CostBreakdown, DataCenterUsage, TransformationPlan
+from ..telemetry import SolveStats
 
 #: Format version written to every file; bump on breaking changes.
 SCHEMA_VERSION = 1
@@ -178,6 +180,38 @@ def state_from_dict(data: dict[str, Any]) -> AsIsState:
     )
 
 
+def breakdown_from_dict(data: dict[str, Any]) -> CostBreakdown:
+    """Rebuild a :class:`CostBreakdown` (derived totals are recomputed)."""
+    return CostBreakdown(
+        space=data.get("space", 0.0),
+        power=data.get("power", 0.0),
+        labor=data.get("labor", 0.0),
+        wan=data.get("wan", 0.0),
+        fixed=data.get("fixed", 0.0),
+        latency_penalty=data.get("latency_penalty", 0.0),
+        dr_purchase=data.get("dr_purchase", 0.0),
+    )
+
+
+def usage_to_dict(usage: DataCenterUsage) -> dict[str, Any]:
+    return {
+        "name": usage.name,
+        "primary_servers": usage.primary_servers,
+        "backup_servers": usage.backup_servers,
+        "groups": list(usage.groups),
+        "space_cost": usage.space_cost,
+        "power_cost": usage.power_cost,
+        "labor_cost": usage.labor_cost,
+        "wan_cost": usage.wan_cost,
+        "fixed_cost": usage.fixed_cost,
+        "latency_penalty": usage.latency_penalty,
+    }
+
+
+def usage_from_dict(data: dict[str, Any]) -> DataCenterUsage:
+    return DataCenterUsage(**data)
+
+
 def plan_to_dict(plan: TransformationPlan) -> dict[str, Any]:
     return {
         "schema_version": SCHEMA_VERSION,
@@ -185,6 +219,7 @@ def plan_to_dict(plan: TransformationPlan) -> dict[str, Any]:
         "secondary": dict(plan.secondary),
         "backup_servers": dict(plan.backup_servers),
         "breakdown": plan.breakdown.as_dict(),
+        "usage": {name: usage_to_dict(u) for name, u in plan.usage.items()},
         "latency_violations": plan.latency_violations,
         "solver": plan.solver,
         "objective": plan.objective,
@@ -193,6 +228,35 @@ def plan_to_dict(plan: TransformationPlan) -> dict[str, Any]:
         if plan.solver_stats is not None
         else None,
     }
+
+
+def plan_from_dict(data: dict[str, Any]) -> TransformationPlan:
+    """Inverse of :func:`plan_to_dict`.
+
+    Derived figures (``breakdown.total``, per-site totals) are
+    recomputed from the stored components, and a plan written by an
+    older build (no ``usage`` key) still loads.
+    """
+    version = data.get("schema_version", SCHEMA_VERSION)
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported schema version {version} (this build reads {SCHEMA_VERSION})"
+        )
+    stats = data.get("solver_stats")
+    objective = data.get("objective")
+    return TransformationPlan(
+        placement=dict(data["placement"]),
+        secondary=dict(data.get("secondary", {})),
+        backup_servers=dict(data.get("backup_servers", {})),
+        breakdown=breakdown_from_dict(data.get("breakdown", {})),
+        usage={
+            name: usage_from_dict(u) for name, u in data.get("usage", {}).items()
+        },
+        latency_violations=data.get("latency_violations", 0),
+        solver=data.get("solver", ""),
+        objective=float("nan") if objective is None else objective,
+        solver_stats=SolveStats.from_dict(stats) if stats is not None else None,
+    )
 
 
 # -- file helpers --------------------------------------------------------------
@@ -212,3 +276,44 @@ def save_plan(plan: TransformationPlan, path: str) -> None:
     """Write a plan summary to a JSON file."""
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(plan_to_dict(plan), handle, indent=2)
+
+
+def load_plan(path: str) -> TransformationPlan:
+    """Read a plan back from a JSON file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return plan_from_dict(json.load(handle))
+
+
+# -- JSON-lines journals -------------------------------------------------------
+def append_jsonl(handle, record: dict[str, Any]) -> None:
+    """Append one record to an open JSON-lines journal and flush it.
+
+    One ``write`` call per record keeps lines atomic under concurrent
+    appenders on POSIX; the flush makes the journal crash-consistent up
+    to the last completed event (the planning service's job journal).
+    """
+    handle.write(json.dumps(record, sort_keys=True) + "\n")
+    handle.flush()
+
+
+def read_jsonl(path: str) -> list[dict[str, Any]]:
+    """Read every record of a JSON-lines file, skipping a torn last line.
+
+    A missing file reads as the empty journal — first boot of a service
+    pointed at a journal path that does not exist yet.
+    """
+    records: list[dict[str, Any]] = []
+    if not os.path.exists(path):
+        return records
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                # A crash mid-append can leave one torn trailing line;
+                # anything before it is still good.
+                break
+    return records

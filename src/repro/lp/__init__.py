@@ -15,7 +15,11 @@ stack the paper builds on (Python modeling layer + CPLEX).  Typical use::
 
 from ..telemetry import SolveStats
 from .expressions import Constraint, LinExpr, Sense, Variable, VarType, quicksum
-from .fingerprint import problem_fingerprint, structure_fingerprint
+from .fingerprint import (
+    payload_fingerprint,
+    problem_fingerprint,
+    structure_fingerprint,
+)
 from .lpformat import write_lp_file, write_lp_string
 from .lpparse import LPParseError, parse_lp_string, read_lp_file
 from .mpsformat import write_mps_file, write_mps_string
@@ -33,6 +37,7 @@ __all__ = [
     "Problem",
     "SolveCache",
     "SolveOptions",
+    "payload_fingerprint",
     "problem_fingerprint",
     "structure_fingerprint",
     "parse_lp_string",

@@ -60,6 +60,63 @@ def problem_fingerprint(problem: Problem) -> str:
     return h.hexdigest()
 
 
+def _hash_payload(h: "hashlib._Hash", value) -> None:
+    """Canonically hash a JSON-able value (the float/ordering rules above)."""
+    update = h.update
+    if value is None:
+        update(b"n")
+    elif isinstance(value, bool):
+        update(b"t" if value else b"f")
+    elif isinstance(value, (int, float)):
+        # One tag for all numbers: a payload that travelled through JSON
+        # (1 → 1.0) must keep its fingerprint.  Integers too large for a
+        # float keep exact identity via their own repr.
+        update(b"N")
+        try:
+            as_float = float(value)
+            exact = not isinstance(value, int) or int(as_float) == value
+        except OverflowError:
+            exact = False
+        update(repr(as_float if exact else value).encode())
+    elif isinstance(value, str):
+        update(b"S")
+        update(value.encode())
+        update(b"\x00")
+    elif isinstance(value, (list, tuple)):
+        update(b"[")
+        for item in value:
+            _hash_payload(h, item)
+        update(b"]")
+    elif isinstance(value, dict):
+        update(b"{")
+        for key in sorted(value):
+            update(b"K")
+            update(str(key).encode())
+            update(b"\x00")
+            _hash_payload(h, value[key])
+        update(b"}")
+    else:
+        raise TypeError(
+            f"payload_fingerprint only hashes JSON-able values, got "
+            f"{type(value).__name__}"
+        )
+
+
+def payload_fingerprint(payload) -> str:
+    """Canonical SHA-1 of a JSON-able payload.
+
+    The planning service keys its result cache on this: two job
+    submissions with equal payloads (same state dict, same options —
+    dict ordering and ``1`` vs ``1.0`` aside, exactly the
+    canonicalization :func:`problem_fingerprint` applies to models) map
+    to the same digest, so a repeated plan request is served from the
+    cache without building or solving anything.
+    """
+    h = hashlib.sha1()
+    _hash_payload(h, payload)
+    return h.hexdigest()
+
+
 def structure_fingerprint(problem: Problem) -> str:
     """Bounds-free identity: same value ⇒ same constraint matrices.
 

@@ -291,6 +291,17 @@ class SolveCache:
         """The most recent solution produced through this cache."""
         return self._last
 
+    def stats(self) -> dict[str, int]:
+        """JSON-safe lifetime statistics (what the service's /metrics shows)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "tightening_reuses": self.tightening_reuses,
+            "context_reuses": self.context_reuses,
+            "context_rebuilds": self.context_rebuilds,
+            "solutions_cached": len(self._solutions),
+        }
+
     def clear(self) -> None:
         """Drop every cached solution, context and basis."""
         self._solutions.clear()

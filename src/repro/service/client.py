@@ -1,0 +1,190 @@
+"""A small stdlib client for the planning service HTTP API.
+
+Accepts in-memory :class:`~repro.core.entities.AsIsState` objects and
+converts them to the wire format, so driving a remote planner reads
+like driving the local library::
+
+    client = ServiceClient("http://127.0.0.1:8080")
+    job = client.submit_plan(state, options={"backend": "highs"})
+    done = client.wait(job["id"])
+    print(done["result"]["summary"]["total_cost"])
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any
+
+from ..core.entities import AsIsState
+from ..io.serialization import state_to_dict
+
+
+class ServiceError(RuntimeError):
+    """The service answered with an error status (or not at all)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        self.status = status
+        super().__init__(f"HTTP {status}: {message}")
+
+
+class JobFailedError(RuntimeError):
+    """A waited-on job reached a non-success terminal state."""
+
+    def __init__(self, job: dict[str, Any]) -> None:
+        self.job = job
+        super().__init__(
+            f"job {job.get('id')} ended {job.get('state')}: {job.get('error')}"
+        )
+
+
+def _state_payload(state: "AsIsState | dict") -> dict:
+    return state_to_dict(state) if isinstance(state, AsIsState) else dict(state)
+
+
+class ServiceClient:
+    """Typed convenience wrapper over the JSON API."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport ---------------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: dict | None = None,
+        tolerate: tuple[int, ...] = (),
+    ) -> dict[str, Any]:
+        data = json.dumps(body).encode("utf-8") if body is not None else None
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"} if data else {},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            raw = exc.read().decode("utf-8", errors="replace")
+            try:
+                parsed = json.loads(raw)
+            except json.JSONDecodeError:
+                parsed = None
+            if exc.code in tolerate and isinstance(parsed, dict):
+                return parsed
+            message = parsed.get("error", exc.reason) if isinstance(parsed, dict) else exc.reason
+            raise ServiceError(exc.code, message) from None
+        except urllib.error.URLError as exc:
+            raise ServiceError(0, f"cannot reach {self.base_url}: {exc.reason}") from None
+
+    # -- job submission ----------------------------------------------------
+
+    def submit(
+        self,
+        kind: str,
+        payload: dict[str, Any],
+        timeout: float | None = None,
+        max_retries: int | None = None,
+    ) -> dict[str, Any]:
+        body: dict[str, Any] = {"kind": kind, "payload": payload}
+        if timeout is not None:
+            body["timeout"] = timeout
+        if max_retries is not None:
+            body["max_retries"] = max_retries
+        return self._request("POST", "/jobs", body)
+
+    def submit_plan(
+        self, state: "AsIsState | dict", options: dict | None = None, **submit_kwargs
+    ) -> dict[str, Any]:
+        payload = {"state": _state_payload(state), "options": options or {}}
+        return self.submit("plan", payload, **submit_kwargs)
+
+    def submit_compare(
+        self, state: "AsIsState | dict", options: dict | None = None, **submit_kwargs
+    ) -> dict[str, Any]:
+        payload = {"state": _state_payload(state), "options": options or {}}
+        return self.submit("compare", payload, **submit_kwargs)
+
+    def submit_simulate(
+        self,
+        state: "AsIsState | dict",
+        options: dict | None = None,
+        simulation: dict | None = None,
+        **submit_kwargs,
+    ) -> dict[str, Any]:
+        payload = {
+            "state": _state_payload(state),
+            "options": options or {},
+            "simulation": simulation or {},
+        }
+        return self.submit("simulate", payload, **submit_kwargs)
+
+    def submit_refine(
+        self,
+        state: "AsIsState | dict",
+        directives: list[dict],
+        session: str = "default",
+        options: dict | None = None,
+        **submit_kwargs,
+    ) -> dict[str, Any]:
+        """Submit a refine step: the *cumulative* directive list.
+
+        Sending the full list every time keeps refine jobs idempotent
+        (safe to retry after a worker death) while still re-solving
+        incrementally: the pinned worker applies only the new suffix to
+        its warm session.
+        """
+        payload = {
+            "state": _state_payload(state),
+            "options": options or {},
+            "session": session,
+            "directives": directives,
+        }
+        return self.submit("refine", payload, **submit_kwargs)
+
+    # -- polling -----------------------------------------------------------
+
+    def job(self, job_id: str) -> dict[str, Any]:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def jobs(self) -> list[dict[str, Any]]:
+        return self._request("GET", "/jobs")["jobs"]
+
+    def cancel(self, job_id: str) -> dict[str, Any]:
+        return self._request("DELETE", f"/jobs/{job_id}")
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: float = 120.0,
+        poll_interval: float = 0.05,
+        raise_on_failure: bool = True,
+    ) -> dict[str, Any]:
+        """Poll until the job is terminal; returns the final record."""
+        deadline = time.monotonic() + timeout
+        while True:
+            record = self.job(job_id)
+            if record["state"] in ("succeeded", "failed", "cancelled", "timeout"):
+                if raise_on_failure and record["state"] != "succeeded":
+                    raise JobFailedError(record)
+                return record
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {record['state']} after {timeout}s"
+                )
+            time.sleep(poll_interval)
+
+    # -- service introspection ---------------------------------------------
+
+    def healthz(self) -> dict[str, Any]:
+        # A degraded/draining service answers 503 with the same body.
+        return self._request("GET", "/healthz", tolerate=(503,))
+
+    def metrics(self) -> dict[str, Any]:
+        return self._request("GET", "/metrics")

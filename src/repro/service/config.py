@@ -1,0 +1,48 @@
+"""Configuration for the long-running planning service."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Everything the service needs to run, validated up front.
+
+    ``job_timeout`` bounds one *attempt* (the worker is killed past it
+    and the job ends ``timeout``); ``max_retries`` bounds how many times
+    a job is re-queued after its worker *died* underneath it (timeouts
+    are not retried — a solve that blew its budget once will again).
+    ``retry_backoff`` is the first re-queue delay, doubling per attempt.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8080
+    workers: int = 4
+    job_timeout: float | None = 300.0
+    max_retries: int = 2
+    retry_backoff: float = 0.25
+    result_cache_size: int = 128
+    journal_path: str | None = None
+    #: Supervisor loop tick; also the granularity of timeout detection.
+    poll_interval: float = 0.02
+    #: How long a graceful drain waits for in-flight jobs on shutdown.
+    drain_timeout: float = 60.0
+
+    def validated(self) -> "ServiceConfig":
+        if self.workers < 1:
+            raise ValueError("the worker pool needs at least one process")
+        if self.job_timeout is not None and self.job_timeout <= 0:
+            raise ValueError("job_timeout must be positive (or None for no limit)")
+        if self.max_retries < 0:
+            raise ValueError("max_retries cannot be negative")
+        if self.retry_backoff < 0:
+            raise ValueError("retry_backoff cannot be negative")
+        if self.result_cache_size < 0:
+            raise ValueError("result_cache_size cannot be negative")
+        if self.poll_interval <= 0:
+            raise ValueError("poll_interval must be positive")
+        return self
+
+    def replace(self, **changes) -> "ServiceConfig":
+        return replace(self, **changes)

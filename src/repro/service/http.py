@@ -1,0 +1,206 @@
+"""The stdlib HTTP JSON API over :class:`JobManager`.
+
+Routes::
+
+    POST   /jobs          {"kind": ..., "payload": {...},
+                           "timeout": s?, "max_retries": n?}   → 201 job
+    GET    /jobs          list of job summaries (no result bodies)
+    GET    /jobs/{id}     full job record, result included       → 200/404
+    DELETE /jobs/{id}     cancel                                 → 200/404/409
+    GET    /healthz       liveness + worker census               → 200/503
+    GET    /metrics       queues, jobs by state, cache, solve-time
+                          histograms, telemetry counters         → 200
+
+Errors are JSON too: ``{"error": "..."}`` with 400 for malformed
+requests, 404 for unknown ids, 409 for cancelling a finished job and
+503 while draining.  Built on :class:`http.server.ThreadingHTTPServer`
+— requests are cheap bookkeeping; all heavy lifting happens on the
+worker pool, so thread-per-request is plenty.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from .config import ServiceConfig
+from .executor import PayloadError
+from .jobs import JobState
+from .manager import JobManager, ServiceUnavailableError, UnknownJobError
+
+
+class PlanningRequestHandler(BaseHTTPRequestHandler):
+    server_version = "etransform-planning/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ----------------------------------------------------------
+
+    @property
+    def manager(self) -> JobManager:
+        return self.server.manager  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args) -> None:
+        if self.server.verbose:  # type: ignore[attr-defined]
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, body: dict[str, Any]) -> None:
+        data = json.dumps(body).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _error(self, status: int, message: str) -> None:
+        self._send_json(status, {"error": message})
+
+    def _read_body(self) -> dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise PayloadError("request body must be a JSON object")
+        try:
+            body = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise PayloadError(f"request body is not valid JSON: {exc.msg}") from exc
+        if not isinstance(body, dict):
+            raise PayloadError("request body must be a JSON object")
+        return body
+
+    # -- routes ------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        path = self.path.rstrip("/") or "/"
+        if path == "/healthz":
+            health = self.manager.healthz()
+            self._send_json(200 if health["status"] == "ok" else 503, health)
+        elif path == "/metrics":
+            self._send_json(200, self.manager.stats())
+        elif path == "/jobs":
+            self._send_json(
+                200,
+                {
+                    "jobs": [
+                        job.to_dict(include_result=False)
+                        for job in self.manager.jobs()
+                    ]
+                },
+            )
+        elif path.startswith("/jobs/"):
+            try:
+                record = self.manager.get(path.removeprefix("/jobs/"))
+            except UnknownJobError:
+                self._error(404, "no such job")
+                return
+            self._send_json(200, record.to_dict())
+        else:
+            self._error(404, f"no route {self.path!r}")
+
+    def do_POST(self) -> None:  # noqa: N802
+        if self.path.rstrip("/") != "/jobs":
+            self._error(404, f"no route {self.path!r}")
+            return
+        try:
+            body = self._read_body()
+            kind = body.get("kind")
+            if not isinstance(kind, str):
+                raise PayloadError("field 'kind' must be a job kind string")
+            record = self.manager.submit(
+                kind,
+                body.get("payload") or {},
+                timeout=body.get("timeout"),
+                max_retries=body.get("max_retries"),
+            )
+        except ServiceUnavailableError as exc:
+            self._error(503, str(exc))
+        except (PayloadError, ValueError, TypeError) as exc:
+            self._error(400, str(exc))
+        else:
+            self._send_json(201, record.to_dict())
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        if not self.path.startswith("/jobs/"):
+            self._error(404, f"no route {self.path!r}")
+            return
+        try:
+            cancelled = self.manager.cancel(self.path.rstrip("/").removeprefix("/jobs/"))
+        except UnknownJobError:
+            self._error(404, "no such job")
+            return
+        if cancelled:
+            self._send_json(200, {"cancelled": True})
+        else:
+            self._error(409, "job already finished")
+
+
+class PlanningServer(ThreadingHTTPServer):
+    """The HTTP front end; owns nothing but the listening socket."""
+
+    daemon_threads = True
+
+    def __init__(self, config: ServiceConfig, manager: JobManager, verbose: bool = False):
+        super().__init__((config.host, config.port), PlanningRequestHandler)
+        self.manager = manager
+        self.verbose = verbose
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+def run_service(
+    config: ServiceConfig,
+    verbose: bool = False,
+    ready_callback=None,
+    install_signal_handlers: bool = True,
+) -> int:
+    """Boot the manager + HTTP server and serve until SIGTERM/SIGINT.
+
+    The ``repro serve`` CLI entry point.  ``port 0`` binds an ephemeral
+    port; the bound address is printed (and passed to
+    ``ready_callback``) so callers can discover it.  On SIGTERM the
+    service drains: in-flight and queued jobs finish (up to
+    ``drain_timeout``), workers exit, then the process does — exit code
+    0 on a clean drain, 1 otherwise.
+    """
+    manager = JobManager(config).start()
+    try:
+        server = PlanningServer(config, manager, verbose=verbose)
+    except OSError as exc:
+        manager.shutdown(drain=False)
+        print(f"cannot bind {config.host}:{config.port}: {exc}")
+        return 1
+    stop = threading.Event()
+
+    if install_signal_handlers:
+        def _request_stop(signum, frame):
+            stop.set()
+            # Wake serve_forever promptly; shutdown() must come from
+            # another thread than the serving one.
+            threading.Thread(target=server.shutdown, daemon=True).start()
+
+        signal.signal(signal.SIGTERM, _request_stop)
+        signal.signal(signal.SIGINT, _request_stop)
+
+    print(
+        f"planning service listening on {server.url} "
+        f"({config.workers} workers, journal={config.journal_path or 'off'})",
+        flush=True,
+    )
+    if ready_callback is not None:
+        ready_callback(server)
+    try:
+        server.serve_forever(poll_interval=0.1)
+    finally:
+        server.server_close()
+        drained = manager.shutdown(drain=True)
+        print(
+            "planning service stopped "
+            + ("(drained cleanly)" if drained else "(drain timed out)"),
+            flush=True,
+        )
+    return 0 if drained else 1

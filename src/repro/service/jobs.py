@@ -1,0 +1,158 @@
+"""The job model: kinds, lifecycle states and the per-job record.
+
+Lifecycle (documented with the transition table the manager enforces)::
+
+                      submit
+                        │
+              ┌─────────▼─────────┐   cache hit at submit
+              │      queued       ├────────────────────────► succeeded
+              └─────────┬─────────┘                          (via=cache)
+           dispatch     │      ▲
+                        ▼      │ backoff elapsed
+              ┌───────────────┐│
+              │    running    ││
+              └┬────┬────┬───┬┘│
+        result │    │    │   │ │ worker died, attempts left
+               │    │    │   └─►── retrying ──┘
+               ▼    ▼    ▼
+       succeeded  failed  timeout        (DELETE at any pre-terminal
+                                          point → cancelled)
+
+``queued``, ``running`` and ``retrying`` are live; the other four are
+terminal and final — the manager rejects any further transition.
+"""
+
+from __future__ import annotations
+
+import time
+import uuid
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any
+
+
+class JobKind(str, Enum):
+    """What a job asks the solver stack to do."""
+
+    PLAN = "plan"
+    REFINE = "refine"
+    COMPARE = "compare"
+    SIMULATE = "simulate"
+
+
+#: Kinds whose results are pure functions of their payload — safe to
+#: serve from the fingerprint-keyed result cache.  ``refine`` is not:
+#: its result depends on warm per-session state.
+CACHEABLE_KINDS = frozenset({JobKind.PLAN, JobKind.COMPARE, JobKind.SIMULATE})
+
+
+class JobState(str, Enum):
+    QUEUED = "queued"
+    RUNNING = "running"
+    RETRYING = "retrying"
+    SUCCEEDED = "succeeded"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+    TIMEOUT = "timeout"
+
+
+TERMINAL_STATES = frozenset(
+    {JobState.SUCCEEDED, JobState.FAILED, JobState.CANCELLED, JobState.TIMEOUT}
+)
+
+#: The allowed lifecycle edges (see the module docstring's diagram).
+VALID_TRANSITIONS: dict[JobState, frozenset[JobState]] = {
+    JobState.QUEUED: frozenset(
+        {JobState.RUNNING, JobState.SUCCEEDED, JobState.CANCELLED, JobState.FAILED}
+    ),
+    JobState.RUNNING: frozenset(
+        {
+            JobState.SUCCEEDED,
+            JobState.FAILED,
+            JobState.CANCELLED,
+            JobState.TIMEOUT,
+            JobState.RETRYING,
+        }
+    ),
+    JobState.RETRYING: frozenset(
+        {JobState.QUEUED, JobState.CANCELLED, JobState.FAILED}
+    ),
+    JobState.SUCCEEDED: frozenset(),
+    JobState.FAILED: frozenset(),
+    JobState.CANCELLED: frozenset(),
+    JobState.TIMEOUT: frozenset(),
+}
+
+
+class InvalidTransitionError(RuntimeError):
+    """A lifecycle edge outside :data:`VALID_TRANSITIONS` was attempted."""
+
+
+def new_job_id() -> str:
+    return uuid.uuid4().hex[:12]
+
+
+@dataclass
+class JobRecord:
+    """One job: request, lifecycle bookkeeping and (eventually) a result."""
+
+    kind: JobKind
+    payload: dict[str, Any]
+    id: str = field(default_factory=new_job_id)
+    state: JobState = JobState.QUEUED
+    created_at: float = field(default_factory=time.time)
+    started_at: float | None = None
+    finished_at: float | None = None
+    #: Attempts started so far (1 on the first dispatch).
+    attempts: int = 0
+    max_retries: int = 0
+    timeout: float | None = None
+    #: Result-cache key; ``None`` for non-cacheable kinds.
+    fingerprint: str | None = None
+    #: How the result was produced: ``solve`` or ``cache``.
+    via: str | None = None
+    #: Wall-clock seconds the successful attempt spent in the worker.
+    elapsed: float | None = None
+    result: dict[str, Any] | None = None
+    error: str | None = None
+    #: Refine jobs: the session this job belongs to (worker affinity).
+    session: str | None = None
+
+    def transition(self, new_state: JobState) -> None:
+        """Move to ``new_state``, enforcing the lifecycle table."""
+        if new_state not in VALID_TRANSITIONS[self.state]:
+            raise InvalidTransitionError(
+                f"job {self.id}: illegal transition "
+                f"{self.state.value} → {new_state.value}"
+            )
+        self.state = new_state
+        if new_state is JobState.RUNNING and self.started_at is None:
+            self.started_at = time.time()
+        if new_state in TERMINAL_STATES:
+            self.finished_at = time.time()
+
+    @property
+    def done(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def to_dict(self, include_result: bool = True) -> dict[str, Any]:
+        """JSON-safe public view (what ``GET /jobs/{id}`` returns)."""
+        record: dict[str, Any] = {
+            "id": self.id,
+            "kind": self.kind.value,
+            "state": self.state.value,
+            "created_at": self.created_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "attempts": self.attempts,
+            "max_retries": self.max_retries,
+            "timeout": self.timeout,
+            "fingerprint": self.fingerprint,
+            "via": self.via,
+            "elapsed": self.elapsed,
+            "error": self.error,
+            "session": self.session,
+        }
+        if include_result:
+            record["result"] = self.result
+        return record

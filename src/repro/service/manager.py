@@ -1,0 +1,492 @@
+"""The :class:`JobManager`: queue, dispatch, retries, cache, journal.
+
+A single supervisor thread owns all lifecycle transitions (HTTP threads
+only enqueue/cancel under the manager lock), which keeps the state
+machine race-free without fine-grained locking:
+
+* **dispatch** — ready queued jobs go to idle workers, oldest first;
+  refine jobs are routed to the worker already holding their session so
+  warm :class:`~repro.lp.SolveCache` state survives across requests;
+* **completion** — worker results flip jobs to ``succeeded``/``failed``
+  and feed the fingerprint-keyed result cache;
+* **worker death** — a worker that dies mid-job (OOM kill, native
+  crash, an operator's ``kill -9``) is replaced and its job re-queued
+  with exponential backoff, up to ``max_retries``; the job fails with
+  the death recorded once retries are exhausted;
+* **timeouts** — a job past its per-attempt deadline gets its worker
+  killed and ends ``timeout`` (deliberately *not* retried: a solve that
+  blew its budget once will blow it again);
+* **cancellation** — queued jobs die in the queue; running jobs get
+  their worker killed and replaced (the only way to interrupt a solver
+  that is deep inside native code).
+
+Every transition is appended to the optional JSONL journal, so an
+operator can reconstruct what the service did after the fact.
+"""
+
+from __future__ import annotations
+
+import heapq
+import queue as _queue
+import threading
+import time
+from collections import OrderedDict
+from typing import Any
+
+from ..io.serialization import append_jsonl, read_jsonl
+from ..lp.fingerprint import payload_fingerprint
+from ..telemetry import declare_counters, metrics
+from .config import ServiceConfig
+from .executor import PayloadError, validate_payload
+from .jobs import (
+    CACHEABLE_KINDS,
+    JobKind,
+    JobRecord,
+    JobState,
+)
+from .workers import WorkerHandle, WorkerPool
+
+#: Counter names this module owns (guarded against double declaration).
+SERVICE_COUNTERS = (
+    "service.jobs.submitted",
+    "service.jobs.succeeded",
+    "service.jobs.failed",
+    "service.jobs.cancelled",
+    "service.jobs.timeout",
+    "service.jobs.retried",
+    "service.workers.restarts",
+    "service.cache.hits",
+    "service.cache.misses",
+)
+
+declare_counters(__name__, SERVICE_COUNTERS)
+
+
+class ServiceUnavailableError(RuntimeError):
+    """The manager is draining/stopped and accepts no new jobs."""
+
+
+class UnknownJobError(KeyError):
+    """No job with that id (maps to HTTP 404)."""
+
+
+class JobManager:
+    """Accepts jobs, runs them on the worker pool, remembers everything."""
+
+    def __init__(self, config: ServiceConfig | None = None) -> None:
+        self.config = (config or ServiceConfig()).validated()
+        self._lock = threading.RLock()
+        self._jobs: dict[str, JobRecord] = {}
+        #: Min-heap of (ready_at, sequence, job_id); cancelled entries are
+        #: skipped lazily at pop time.
+        self._pending: list[tuple[float, int, str]] = []
+        self._seq = 0
+        self._cache: "OrderedDict[str, dict]" = OrderedDict()
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self._pool: WorkerPool | None = None
+        self._journal = None
+        if self.config.journal_path:
+            self._journal = open(self.config.journal_path, "a", encoding="utf-8")
+        self._stop = threading.Event()
+        self._accepting = False
+        self._supervisor: threading.Thread | None = None
+        self.started_at: float | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "JobManager":
+        """Spawn the worker pool and the supervisor thread."""
+        if self._supervisor is not None:
+            raise RuntimeError("manager already started")
+        self._pool = WorkerPool(self.config.workers)
+        self._accepting = True
+        self.started_at = time.time()
+        self._supervisor = threading.Thread(
+            target=self._supervise, name="planning-supervisor", daemon=True
+        )
+        self._supervisor.start()
+        self._log_event(event="service_started", workers=self.config.workers)
+        return self
+
+    def __enter__(self) -> "JobManager":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown(drain=exc_info[0] is None)
+
+    def shutdown(self, drain: bool = True, timeout: float | None = None) -> bool:
+        """Stop the service; returns ``True`` when fully drained.
+
+        ``drain=True`` (the SIGTERM path) stops accepting, lets queued
+        and running jobs finish up to ``timeout`` (default: the config's
+        ``drain_timeout``), then stops workers gracefully.  ``False``
+        kills everything now.  Either way no worker process survives.
+        """
+        with self._lock:
+            self._accepting = False
+        drained = True
+        if drain and self._supervisor is not None:
+            deadline = time.monotonic() + (
+                self.config.drain_timeout if timeout is None else timeout
+            )
+            while time.monotonic() < deadline:
+                with self._lock:
+                    if not self._pending and self._pool.busy_count == 0:
+                        break
+                time.sleep(self.config.poll_interval)
+            else:
+                drained = False
+        self._stop.set()
+        if self._supervisor is not None:
+            self._supervisor.join(timeout=5.0)
+            self._supervisor = None
+        if self._pool is not None:
+            if drained:
+                self._pool.stop_all()
+            else:
+                self._pool.kill_all()
+        self._log_event(event="service_stopped", drained=drained)
+        if self._journal is not None:
+            self._journal.close()
+            self._journal = None
+        return drained
+
+    # -- public job API ----------------------------------------------------
+
+    def submit(
+        self,
+        kind: "JobKind | str",
+        payload: dict[str, Any],
+        timeout: float | None = None,
+        max_retries: int | None = None,
+    ) -> JobRecord:
+        """Validate, fingerprint and enqueue one job; returns its record.
+
+        Raises :class:`PayloadError` / ``ValueError`` on malformed
+        requests (the HTTP layer maps those to 400) and
+        :class:`ServiceUnavailableError` while draining (503).  A
+        cacheable job whose fingerprint was already solved completes
+        immediately from the result cache.
+        """
+        kind = JobKind(kind)
+        validate_payload(kind, payload)
+        record = JobRecord(
+            kind=kind,
+            payload=payload,
+            timeout=self.config.job_timeout if timeout is None else timeout,
+            max_retries=(
+                self.config.max_retries if max_retries is None else max_retries
+            ),
+            session=(
+                payload.get("session", "default") if kind is JobKind.REFINE else None
+            ),
+        )
+        if kind in CACHEABLE_KINDS:
+            record.fingerprint = payload_fingerprint([kind.value, payload])
+        with self._lock:
+            if not self._accepting:
+                raise ServiceUnavailableError(
+                    "the planning service is draining and accepts no new jobs"
+                )
+            self._jobs[record.id] = record
+            metrics.increment("service.jobs.submitted")
+            self._log_job(record, event="submitted")
+            if record.fingerprint is not None:
+                cached = self._cache.get(record.fingerprint)
+                if cached is not None:
+                    self._cache.move_to_end(record.fingerprint)
+                    self.cache_hits += 1
+                    metrics.increment("service.cache.hits")
+                    record.result = dict(cached)
+                    record.via = "cache"
+                    record.elapsed = 0.0
+                    self._finish(record, JobState.SUCCEEDED)
+                    return record
+                self.cache_misses += 1
+                metrics.increment("service.cache.misses")
+            self._push(record, ready_at=time.monotonic())
+        return record
+
+    def get(self, job_id: str) -> JobRecord:
+        with self._lock:
+            try:
+                return self._jobs[job_id]
+            except KeyError:
+                raise UnknownJobError(job_id) from None
+
+    def jobs(self) -> list[JobRecord]:
+        with self._lock:
+            return list(self._jobs.values())
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a job; ``False`` when it already reached a terminal state.
+
+        Queued jobs are dropped in place.  A running job's worker is
+        killed and replaced — cancellation must work even when the
+        solver is wedged inside native code, so cooperative signalling
+        is not enough.
+        """
+        with self._lock:
+            record = self.get(job_id)
+            if record.done:
+                return False
+            if record.state is JobState.RUNNING:
+                worker = self._worker_running(job_id)
+                if worker is not None:
+                    self._replace_worker(worker)
+            record.via = None
+            self._finish(record, JobState.CANCELLED)
+            return True
+
+    def wait(self, job_id: str, timeout: float = 60.0) -> JobRecord:
+        """Block until ``job_id`` is terminal (test/CLI convenience)."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            record = self.get(job_id)
+            if record.done:
+                return record
+            time.sleep(self.config.poll_interval)
+        raise TimeoutError(f"job {job_id} still {self.get(job_id).state.value}")
+
+    # -- introspection -----------------------------------------------------
+
+    def healthz(self) -> dict[str, Any]:
+        with self._lock:
+            alive = self._pool.alive_count if self._pool else 0
+            expected = self.config.workers
+            status = "ok" if self._accepting and alive == expected else (
+                "degraded" if self._accepting else "draining"
+            )
+            return {
+                "status": status,
+                "accepting": self._accepting,
+                "workers_alive": alive,
+                "workers_expected": expected,
+                "uptime_seconds": (
+                    time.time() - self.started_at if self.started_at else 0.0
+                ),
+            }
+
+    def stats(self) -> dict[str, Any]:
+        """The ``GET /metrics`` body: queues, jobs, cache, histograms."""
+        with self._lock:
+            by_state: dict[str, int] = {}
+            for record in self._jobs.values():
+                by_state[record.state.value] = by_state.get(record.state.value, 0) + 1
+            queue_depth = sum(
+                1
+                for _, _, job_id in self._pending
+                if not self._jobs[job_id].done
+            )
+            counters = {
+                name: value
+                for name, value in metrics.snapshot().items()
+                if name.startswith(("service.", "solves.", "incremental."))
+            }
+            return {
+                "queue_depth": queue_depth,
+                "in_flight": self._pool.busy_count if self._pool else 0,
+                "workers": {
+                    "size": len(self._pool.workers) if self._pool else 0,
+                    "alive": self._pool.alive_count if self._pool else 0,
+                    "restarts": self._pool.restarts if self._pool else 0,
+                },
+                "jobs": {"total": len(self._jobs), "by_state": by_state},
+                "cache": {
+                    "size": len(self._cache),
+                    "hits": self.cache_hits,
+                    "misses": self.cache_misses,
+                },
+                "counters": counters,
+                "solve_seconds": {
+                    name.removeprefix("service.job_seconds."): hist
+                    for name, hist in metrics.histogram_snapshot().items()
+                    if name.startswith("service.job_seconds.")
+                },
+            }
+
+    # -- supervisor --------------------------------------------------------
+
+    def _supervise(self) -> None:
+        while not self._stop.is_set():
+            try:
+                self._tick()
+            except Exception:  # pragma: no cover - supervisor must survive
+                pass
+            time.sleep(self.config.poll_interval)
+
+    def _tick(self) -> None:
+        with self._lock:
+            self._drain_outbox()
+            self._reap_dead_workers()
+            self._enforce_deadlines()
+            self._dispatch_ready()
+            metrics.gauge("service.queue.depth").set(
+                sum(1 for _, _, j in self._pending if not self._jobs[j].done)
+            )
+            metrics.gauge("service.jobs.inflight").set(self._pool.busy_count)
+
+    def _drain_outbox(self) -> None:
+        while True:
+            try:
+                message = self._pool.outbox.get_nowait()
+            except _queue.Empty:
+                return
+            worker_id, job_id, status, body, elapsed = message
+            worker = next(
+                (w for w in self._pool.workers if w.worker_id == worker_id), None
+            )
+            if worker is not None and worker.busy_job == job_id:
+                worker.busy_job = None
+                worker.deadline = None
+            record = self._jobs.get(job_id)
+            if record is None or record.state is not JobState.RUNNING:
+                continue  # cancelled/timed out just before the result landed
+            if status == "ok":
+                record.result = body
+                record.via = "solve"
+                record.elapsed = elapsed
+                backend = body.get("backend", "auto") if isinstance(body, dict) else "auto"
+                metrics.observe(f"service.job_seconds.{backend}", elapsed)
+                if record.fingerprint is not None:
+                    self._cache[record.fingerprint] = dict(body)
+                    self._cache.move_to_end(record.fingerprint)
+                    while len(self._cache) > self.config.result_cache_size:
+                        self._cache.popitem(last=False)
+                self._finish(record, JobState.SUCCEEDED)
+            else:
+                record.error = str(body)
+                self._finish(record, JobState.FAILED)
+
+    def _reap_dead_workers(self) -> None:
+        for worker in list(self._pool.workers):
+            if worker.alive:
+                continue
+            job_id = worker.busy_job
+            self._replace_worker(worker)
+            if job_id is None:
+                continue
+            record = self._jobs.get(job_id)
+            if record is None or record.state is not JobState.RUNNING:
+                continue
+            if record.attempts <= record.max_retries:
+                record.transition(JobState.RETRYING)
+                self._log_job(record, event="retrying")
+                metrics.increment("service.jobs.retried")
+                backoff = self.config.retry_backoff * (2 ** (record.attempts - 1))
+                record.transition(JobState.QUEUED)
+                self._push(record, ready_at=time.monotonic() + backoff)
+            else:
+                record.error = (
+                    f"worker died during attempt {record.attempts} "
+                    f"(of {record.max_retries + 1} allowed)"
+                )
+                self._finish(record, JobState.FAILED)
+
+    def _enforce_deadlines(self) -> None:
+        now = time.monotonic()
+        for worker in list(self._pool.workers):
+            if worker.busy_job is None or worker.deadline is None:
+                continue
+            if now <= worker.deadline:
+                continue
+            record = self._jobs.get(worker.busy_job)
+            self._replace_worker(worker)
+            if record is not None and record.state is JobState.RUNNING:
+                record.error = (
+                    f"attempt exceeded the {record.timeout:.1f}s job timeout"
+                )
+                self._finish(record, JobState.TIMEOUT)
+
+    def _dispatch_ready(self) -> None:
+        now = time.monotonic()
+        deferred: list[tuple[float, int, str]] = []
+        while self._pending and self._pending[0][0] <= now:
+            ready_at, seq, job_id = heapq.heappop(self._pending)
+            record = self._jobs[job_id]
+            if record.state is not JobState.QUEUED:
+                continue  # cancelled while queued
+            worker = self._pick_worker(record)
+            if worker is None:
+                deferred.append((ready_at, seq, job_id))
+                if not self._pool.idle_workers():
+                    break  # pool saturated; stop scanning
+                continue  # session-pinned worker busy; try other jobs
+            self._start_on(worker, record)
+        for item in deferred:
+            heapq.heappush(self._pending, item)
+
+    def _pick_worker(self, record: JobRecord) -> WorkerHandle | None:
+        if record.session is not None:
+            pinned = self._pool.worker_for_session(record.session)
+            if pinned is not None:
+                return pinned if pinned.idle else None
+        idle = self._pool.idle_workers()
+        return idle[0] if idle else None
+
+    def _start_on(self, worker: WorkerHandle, record: JobRecord) -> None:
+        record.attempts += 1
+        record.transition(JobState.RUNNING)
+        worker.busy_job = record.id
+        worker.deadline = (
+            time.monotonic() + record.timeout if record.timeout else None
+        )
+        if record.session is not None:
+            worker.sessions.add(record.session)
+        worker.send(record.id, record.kind, record.payload)
+        self._log_job(record, event="dispatched", worker=worker.worker_id)
+
+    def _replace_worker(self, worker: WorkerHandle) -> None:
+        self._pool.restart(worker)
+        metrics.increment("service.workers.restarts")
+        self._log_event(
+            event="worker_restarted", worker=worker.worker_id, pid=worker.pid
+        )
+
+    def _worker_running(self, job_id: str) -> WorkerHandle | None:
+        for worker in self._pool.workers:
+            if worker.busy_job == job_id:
+                return worker
+        return None
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def _push(self, record: JobRecord, ready_at: float) -> None:
+        self._seq += 1
+        heapq.heappush(self._pending, (ready_at, self._seq, record.id))
+
+    def _finish(self, record: JobRecord, state: JobState) -> None:
+        record.transition(state)
+        metrics.increment(f"service.jobs.{state.value}")
+        self._log_job(record, event=state.value)
+
+    def _log_job(self, record: JobRecord, event: str, **extra: Any) -> None:
+        self._log_event(
+            event=event,
+            job=record.id,
+            kind=record.kind.value,
+            state=record.state.value,
+            attempts=record.attempts,
+            error=record.error,
+            via=record.via,
+            **extra,
+        )
+
+    def _log_event(self, **record: Any) -> None:
+        if self._journal is None:
+            return
+        try:
+            append_jsonl(self._journal, {"ts": time.time(), **record})
+        except ValueError:  # pragma: no cover - journal closed mid-write
+            pass
+
+
+def replay_journal(path: str) -> dict[str, str]:
+    """Reconstruct job id → final state from a service journal."""
+    final: dict[str, str] = {}
+    for record in read_jsonl(path):
+        job_id = record.get("job")
+        if job_id is not None and "state" in record:
+            final[job_id] = record["state"]
+    return final

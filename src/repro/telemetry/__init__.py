@@ -12,7 +12,16 @@ experiments, CLI) can depend on it freely:
   record per solve (the CLI's ``--trace FILE``).
 """
 
-from .counters import Counter, MetricsRegistry, Timer, metrics
+from .counters import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+    declare_counters,
+    declared_counters,
+    metrics,
+)
 from .stats import GapPoint, SolveStats
 from .trace import (
     TraceWriter,
@@ -27,10 +36,14 @@ from .trace import (
 __all__ = [
     "Counter",
     "GapPoint",
+    "Gauge",
+    "Histogram",
     "MetricsRegistry",
     "SolveStats",
     "Timer",
     "TraceWriter",
+    "declare_counters",
+    "declared_counters",
     "emit_record",
     "get_trace",
     "metrics",

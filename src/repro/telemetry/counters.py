@@ -1,16 +1,49 @@
-"""Process-wide counters and wall-clock timers.
+"""Process-wide counters, gauges, histograms and wall-clock timers.
 
-A tiny metrics substrate: named monotonically-increasing counters and a
+A tiny metrics substrate: named monotonically-increasing counters, an
+up-and-down :class:`Gauge` (queue depths, in-flight work), a
+fixed-bucket :class:`Histogram` (solve-time distributions) and a
 context-manager :class:`Timer`, grouped in a :class:`MetricsRegistry`.
 The module-level :data:`metrics` registry is what the solver stack
-increments (``solves.total``, ``solves.backend.<name>``, ...); tests and
-benchmarks may create private registries.
+increments (``solves.total``, ``solves.backend.<name>``, ...) and what
+the planning service surfaces on ``GET /metrics``; tests and benchmarks
+may create private registries.
+
+Subsystems *declare* the counter names they own up front with
+:func:`declare_counters`; declaring a name twice raises, mirroring the
+solver-backend registry's duplicate guard, so two modules can never
+silently share (and double-count) one counter.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+
+#: Counter names claimed by a subsystem, name → owner label.
+_DECLARED: dict[str, str] = {}
+
+
+def declare_counters(owner: str, names: "tuple[str, ...] | list[str]") -> None:
+    """Claim counter ``names`` for ``owner`` (a module path).
+
+    Raises ``ValueError`` when any name was already claimed — the same
+    duplicate guard :func:`repro.lp.register_backend` applies to solver
+    backends.  Purely a namespace registry: counters are still created
+    lazily by :meth:`MetricsRegistry.counter`.
+    """
+    for name in names:
+        if name in _DECLARED:
+            raise ValueError(
+                f"counter {name!r} already declared by {_DECLARED[name]!r}"
+            )
+    for name in names:
+        _DECLARED[name] = owner
+
+
+def declared_counters() -> dict[str, str]:
+    """Snapshot of every claimed counter name → owning module."""
+    return dict(_DECLARED)
 
 
 @dataclass
@@ -28,6 +61,79 @@ class Counter:
 
     def reset(self) -> None:
         self.value = 0.0
+
+
+@dataclass
+class Gauge:
+    """A named value that can move both ways (queue depth, in-flight)."""
+
+    name: str
+    value: float = 0.0
+
+    def set(self, value: float) -> float:
+        self.value = float(value)
+        return self.value
+
+    def increment(self, amount: float = 1.0) -> float:
+        self.value += amount
+        return self.value
+
+    def decrement(self, amount: float = 1.0) -> float:
+        self.value -= amount
+        return self.value
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+
+#: Default histogram bucket upper bounds, in seconds (solve times).
+DEFAULT_BUCKETS = (0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0, 120.0)
+
+
+class Histogram:
+    """Fixed-bucket histogram of observations (Prometheus-style).
+
+    ``buckets`` are upper bounds; an implicit +inf bucket catches the
+    rest.  Tracks count and sum so consumers can report rates and means
+    without keeping raw samples.
+    """
+
+    def __init__(self, name: str, buckets: "tuple[float, ...]" = DEFAULT_BUCKETS) -> None:
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError("histogram buckets must be a sorted non-empty sequence")
+        self.name = name
+        self.buckets = tuple(float(b) for b in buckets)
+        self.bucket_counts = [0] * (len(self.buckets) + 1)
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict:
+        """JSON-safe snapshot (bucket upper bound → count, plus totals)."""
+        labels = [str(b) for b in self.buckets] + ["inf"]
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "buckets": dict(zip(labels, self.bucket_counts)),
+        }
+
+    def reset(self) -> None:
+        self.bucket_counts = [0] * (len(self.buckets) + 1)
+        self.count = 0
+        self.sum = 0.0
 
 
 class Timer:
@@ -68,9 +174,11 @@ class Timer:
 
 @dataclass
 class MetricsRegistry:
-    """A namespace of counters, snapshot-able for reports and tests."""
+    """A namespace of counters/gauges/histograms, snapshot-able for tests."""
 
     counters: dict[str, Counter] = field(default_factory=dict)
+    gauges: dict[str, Gauge] = field(default_factory=dict)
+    histograms: dict[str, Histogram] = field(default_factory=dict)
 
     def counter(self, name: str) -> Counter:
         """Get or create the counter called ``name``."""
@@ -78,16 +186,41 @@ class MetricsRegistry:
             self.counters[name] = Counter(name)
         return self.counters[name]
 
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge called ``name``."""
+        if name not in self.gauges:
+            self.gauges[name] = Gauge(name)
+        return self.gauges[name]
+
+    def histogram(self, name: str, buckets: "tuple[float, ...]" = DEFAULT_BUCKETS) -> Histogram:
+        """Get or create the histogram called ``name``."""
+        if name not in self.histograms:
+            self.histograms[name] = Histogram(name, buckets)
+        return self.histograms[name]
+
     def increment(self, name: str, amount: float = 1.0) -> float:
         return self.counter(name).increment(amount)
 
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
     def snapshot(self) -> dict[str, float]:
-        """Current counter values, sorted by name."""
-        return {name: c.value for name, c in sorted(self.counters.items())}
+        """Current counter and gauge values, sorted by name."""
+        values = {name: c.value for name, c in self.counters.items()}
+        values.update({name: g.value for name, g in self.gauges.items()})
+        return dict(sorted(values.items()))
+
+    def histogram_snapshot(self) -> dict[str, dict]:
+        """JSON-safe dump of every histogram, sorted by name."""
+        return {name: h.as_dict() for name, h in sorted(self.histograms.items())}
 
     def reset(self) -> None:
         for counter in self.counters.values():
             counter.reset()
+        for gauge in self.gauges.values():
+            gauge.reset()
+        for histogram in self.histograms.values():
+            histogram.reset()
 
 
 #: The process-wide registry used by the solver stack.

@@ -26,6 +26,11 @@ def _json_safe(value: Any) -> Any:
     return value
 
 
+def _from_json(value: Any, default: float) -> float:
+    """Inverse of :func:`_json_safe`: ``None`` becomes ``default``."""
+    return default if value is None else float(value)
+
+
 @dataclass
 class GapPoint:
     """One sample of the incumbent / best-bound trajectory."""
@@ -42,6 +47,16 @@ class GapPoint:
             "incumbent": _json_safe(self.incumbent),
             "elapsed_seconds": self.elapsed_seconds,
         }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "GapPoint":
+        """Inverse of :meth:`as_dict` (``None`` floats read back non-finite)."""
+        return cls(
+            nodes_explored=data["nodes_explored"],
+            best_bound=_from_json(data.get("best_bound"), float("-inf")),
+            incumbent=_from_json(data.get("incumbent"), float("nan")),
+            elapsed_seconds=data.get("elapsed_seconds", 0.0),
+        )
 
 
 @dataclass
@@ -147,3 +162,45 @@ class SolveStats:
             "presolve_rounds": self.presolve_rounds,
             "extra": {k: _json_safe(v) for k, v in self.extra.items()},
         }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "SolveStats":
+        """Inverse of :meth:`as_dict`, so stats survive a JSON round-trip.
+
+        ``None`` floats (the JSON spelling of non-finite values) read
+        back as the field's non-finite default: ``-inf`` for
+        ``best_bound``, ``nan`` for ``incumbent`` / ``mip_gap`` and for
+        ``extra`` values.  Missing keys keep their dataclass defaults,
+        so records written by older builds still load.
+        """
+        stats = cls(
+            backend=data.get("backend", ""),
+            elapsed_seconds=data.get("elapsed_seconds", 0.0),
+            lp_iterations=data.get("lp_iterations", 0),
+            phase1_iterations=data.get("phase1_iterations", 0),
+            phase2_iterations=data.get("phase2_iterations", 0),
+            bland_switches=data.get("bland_switches", 0),
+            degenerate_pivots=data.get("degenerate_pivots", 0),
+            conversion_seconds=data.get("conversion_seconds", 0.0),
+            relaxation_solve_seconds=data.get("relaxation_solve_seconds", 0.0),
+            warm_start_hits=data.get("warm_start_hits", 0),
+            warm_start_misses=data.get("warm_start_misses", 0),
+            nodes_explored=data.get("nodes_explored", 0),
+            nodes_pruned=data.get("nodes_pruned", 0),
+            cut_rounds=data.get("cut_rounds", 0),
+            cuts_added=data.get("cuts_added", 0),
+            best_bound=_from_json(data.get("best_bound"), float("-inf")),
+            incumbent=_from_json(data.get("incumbent"), float("nan")),
+            mip_gap=_from_json(data.get("mip_gap"), float("nan")),
+            gap_trajectory=[
+                GapPoint.from_dict(p) for p in data.get("gap_trajectory", [])
+            ],
+            presolve_fixed_variables=data.get("presolve_fixed_variables", 0),
+            presolve_dropped_constraints=data.get("presolve_dropped_constraints", 0),
+            presolve_tightened_bounds=data.get("presolve_tightened_bounds", 0),
+            presolve_rounds=data.get("presolve_rounds", 0),
+        )
+        stats.extra = {
+            k: _from_json(v, float("nan")) for k, v in data.get("extra", {}).items()
+        }
+        return stats

@@ -127,3 +127,95 @@ class TestPlanSerialization:
         save_plan(plan, str(path))
         data = json.loads(path.read_text())
         assert data["datacenters_used"] == ["mid"]
+
+
+class TestCaseStudyPlanRoundTrips:
+    """plan → JSON → plan on the three paper case studies."""
+
+    @pytest.mark.parametrize("name", ["enterprise1", "federal", "florida"])
+    def test_round_trip_preserves_the_plan(self, name, tmp_path):
+        from repro import plan_consolidation
+        from repro.datasets import load_enterprise1, load_federal, load_florida
+        from repro.io import load_plan, save_plan
+
+        loader = {
+            "enterprise1": load_enterprise1,
+            "federal": load_federal,
+            "florida": load_florida,
+        }[name]
+        state = loader(scale=0.25)
+        plan = plan_consolidation(state, backend="highs")
+
+        path = tmp_path / f"{name}.json"
+        save_plan(plan, str(path))
+        restored = load_plan(str(path))
+
+        assert restored.placement == plan.placement
+        assert restored.secondary == plan.secondary
+        assert restored.backup_servers == plan.backup_servers
+        assert restored.datacenters_used == plan.datacenters_used
+        assert restored.breakdown.total == pytest.approx(plan.breakdown.total)
+        assert restored.solver == plan.solver
+        # Byte-level fixpoint: serializing the restored plan reproduces
+        # the original document exactly (nan-safe, since as_dict maps
+        # non-finite floats to None on both sides).
+        assert json.dumps(plan_to_dict(restored), sort_keys=True) == json.dumps(
+            plan_to_dict(plan), sort_keys=True
+        )
+
+    @pytest.mark.parametrize("name", ["enterprise1", "federal", "florida"])
+    def test_solve_stats_round_trip(self, name):
+        from repro import plan_consolidation
+        from repro.datasets import load_enterprise1, load_federal, load_florida
+        from repro.telemetry import SolveStats
+
+        loader = {
+            "enterprise1": load_enterprise1,
+            "federal": load_federal,
+            "florida": load_florida,
+        }[name]
+        plan = plan_consolidation(loader(scale=0.25), backend="highs")
+        stats = plan.solver_stats
+        assert stats is not None
+        restored = SolveStats.from_dict(
+            json.loads(json.dumps(stats.as_dict()))
+        )
+        # nan != nan, so compare the JSON-safe views field by field.
+        assert restored.as_dict() == stats.as_dict()
+        assert restored.backend == stats.backend
+        assert restored.elapsed_seconds == pytest.approx(stats.elapsed_seconds)
+
+    def test_plan_from_dict_rejects_future_schema(self, tiny_state):
+        from repro.io import plan_from_dict
+
+        placement = {g.name: "mid" for g in tiny_state.app_groups}
+        data = plan_to_dict(evaluate_plan(tiny_state, placement))
+        data["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="schema version"):
+            plan_from_dict(data)
+
+
+class TestJsonLines:
+    def test_append_and_read_round_trip(self, tmp_path):
+        from repro.io import append_jsonl, read_jsonl
+
+        path = tmp_path / "log.jsonl"
+        records = [{"event": "a", "n": 1}, {"event": "b", "nested": {"x": [1, 2]}}]
+        with open(path, "a", encoding="utf-8") as handle:
+            for record in records:
+                append_jsonl(handle, record)
+        assert read_jsonl(str(path)) == records
+
+    def test_torn_final_line_is_skipped(self, tmp_path):
+        from repro.io import append_jsonl, read_jsonl
+
+        path = tmp_path / "log.jsonl"
+        with open(path, "a", encoding="utf-8") as handle:
+            append_jsonl(handle, {"event": "complete"})
+            handle.write('{"event": "torn", "n":')  # crashed mid-write
+        assert read_jsonl(str(path)) == [{"event": "complete"}]
+
+    def test_missing_journal_reads_empty(self, tmp_path):
+        from repro.io import read_jsonl
+
+        assert read_jsonl(str(tmp_path / "nope.jsonl")) == []

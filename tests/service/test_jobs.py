@@ -1,0 +1,91 @@
+"""Unit tests for the job model and its lifecycle state machine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import JobKind, JobRecord, JobState, TERMINAL_STATES
+from repro.service.jobs import (
+    VALID_TRANSITIONS,
+    InvalidTransitionError,
+    new_job_id,
+)
+
+
+def make_record(**kwargs) -> JobRecord:
+    return JobRecord(kind=JobKind.PLAN, payload={}, **kwargs)
+
+
+class TestLifecycle:
+    def test_happy_path(self):
+        record = make_record()
+        assert record.state is JobState.QUEUED
+        record.transition(JobState.RUNNING)
+        assert record.started_at is not None
+        record.transition(JobState.SUCCEEDED)
+        assert record.done
+        assert record.finished_at is not None
+
+    def test_retry_loop(self):
+        record = make_record()
+        record.transition(JobState.RUNNING)
+        record.transition(JobState.RETRYING)
+        record.transition(JobState.QUEUED)
+        record.transition(JobState.RUNNING)
+        record.transition(JobState.SUCCEEDED)
+        assert record.done
+
+    @pytest.mark.parametrize("terminal", sorted(TERMINAL_STATES))
+    def test_terminal_states_are_final(self, terminal):
+        assert VALID_TRANSITIONS[terminal] == frozenset()
+
+    def test_illegal_edge_raises(self):
+        record = make_record()
+        with pytest.raises(InvalidTransitionError, match="queued → timeout"):
+            record.transition(JobState.TIMEOUT)
+
+    def test_no_resurrection(self):
+        record = make_record()
+        record.transition(JobState.CANCELLED)
+        with pytest.raises(InvalidTransitionError):
+            record.transition(JobState.QUEUED)
+
+    def test_cancel_reachable_from_every_live_state(self):
+        for live in (JobState.QUEUED, JobState.RUNNING, JobState.RETRYING):
+            assert JobState.CANCELLED in VALID_TRANSITIONS[live]
+
+    def test_timeout_only_from_running(self):
+        sources = [
+            state
+            for state, targets in VALID_TRANSITIONS.items()
+            if JobState.TIMEOUT in targets
+        ]
+        assert sources == [JobState.RUNNING]
+
+
+class TestRecord:
+    def test_ids_are_unique(self):
+        ids = {new_job_id() for _ in range(200)}
+        assert len(ids) == 200
+
+    def test_to_dict_is_json_safe_and_optionally_resultless(self):
+        import json
+
+        record = make_record()
+        record.result = {"summary": {"total_cost": 1.0}}
+        full = record.to_dict()
+        assert full["kind"] == "plan"
+        assert full["state"] == "queued"
+        assert full["result"] == {"summary": {"total_cost": 1.0}}
+        summary = record.to_dict(include_result=False)
+        assert "result" not in summary
+        json.dumps(full)  # must not raise
+
+    def test_started_at_survives_retry(self):
+        record = make_record()
+        record.transition(JobState.RUNNING)
+        first = record.started_at
+        record.transition(JobState.RETRYING)
+        record.transition(JobState.QUEUED)
+        record.transition(JobState.RUNNING)
+        assert record.started_at == first

@@ -1,0 +1,87 @@
+"""Boot ``repro.cli serve`` as a real subprocess and drive it end to end.
+
+This is the CI smoke path: ephemeral port, one worker, a plan job over
+HTTP, then SIGTERM and a clean drain (exit code 0, no orphans).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.service import ServiceClient
+
+from .conftest import plan_payload
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+
+@pytest.fixture
+def serve_process(tmp_path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    env["PYTHONUNBUFFERED"] = "1"
+    journal = tmp_path / "journal.jsonl"
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--port", "0", "--workers", "1", "--journal", str(journal),
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    try:
+        banner = process.stdout.readline()
+        assert "planning service listening on " in banner, banner
+        url = banner.split("listening on ", 1)[1].split()[0]
+        yield process, url, journal
+    finally:
+        if process.poll() is None:
+            process.kill()
+        process.wait(timeout=10.0)
+
+
+def test_serve_boot_plan_and_drain_on_sigterm(serve_process, state_doc):
+    process, url, journal = serve_process
+    client = ServiceClient(url, timeout=10.0)
+
+    health = client.healthz()
+    assert health["status"] == "ok"
+    assert health["workers_alive"] == 1
+
+    job = client.submit("plan", plan_payload(state_doc))
+    done = client.wait(job["id"], timeout=60.0)
+    assert done["state"] == "succeeded"
+    assert client.metrics()["jobs"]["by_state"]["succeeded"] >= 1
+
+    process.send_signal(signal.SIGTERM)
+    assert process.wait(timeout=30.0) == 0
+    tail = process.stdout.read()
+    assert "drained cleanly" in tail
+
+    # The journal survives the process and tells the whole story.
+    from repro.service import replay_journal
+
+    assert replay_journal(str(journal))[job["id"]] == "succeeded"
+
+
+def test_serve_rejects_bad_configuration():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    process = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "serve", "--workers", "0"],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=60.0,
+    )
+    assert process.returncode == 2
+    assert "bad service configuration" in process.stderr
+    assert "at least one process" in process.stderr

@@ -294,3 +294,82 @@ class TestRefine:
         code = main(["refine", state_file, script])
         assert code == 2
         assert "unknown directive" in capsys.readouterr().err
+
+
+class TestInputRobustness:
+    """Operational input problems exit 2 with a one-line diagnostic."""
+
+    COMMANDS = ("plan", "compare", "asis", "migrate", "simulate")
+
+    @pytest.mark.parametrize("command", COMMANDS)
+    def test_missing_state_file(self, command, tmp_path, capsys):
+        path = str(tmp_path / "nope.json")
+        code = main([command, path])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "not found" in err
+        assert "nope.json" in err
+        assert "Traceback" not in err
+
+    def test_state_path_is_a_directory(self, tmp_path, capsys):
+        code = main(["plan", str(tmp_path)])
+        assert code == 2
+        assert "is a directory" in capsys.readouterr().err
+
+    def test_malformed_json_names_the_position(self, tmp_path, capsys):
+        path = tmp_path / "broken.json"
+        path.write_text('{"schema_version": 1,,}')
+        code = main(["plan", str(path)])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "not valid JSON" in err
+        assert "line 1" in err
+        assert "broken.json" in err
+
+    def test_missing_required_field_is_named(self, state_file, tmp_path, capsys):
+        data = json.loads(open(state_file).read())
+        del data["app_groups"]
+        path = tmp_path / "incomplete.json"
+        path.write_text(json.dumps(data))
+        code = main(["plan", str(path)])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "missing required field" in err
+        assert "app_groups" in err
+
+    def test_wrong_schema_version_is_invalid(self, state_file, tmp_path, capsys):
+        data = json.loads(open(state_file).read())
+        data["schema_version"] = 99
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps(data))
+        code = main(["plan", str(path)])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "is invalid" in err
+
+    def test_sensitivity_and_robustness_check_inputs_too(self, tmp_path, capsys):
+        missing = str(tmp_path / "gone.json")
+        assert main(["sensitivity", missing, "space"]) == 2
+        assert main(["robustness", missing]) == 2
+        err = capsys.readouterr().err
+        assert err.count("not found") == 2
+
+
+class TestServeParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.port == 8080
+        assert args.workers == 4
+        assert args.journal is None
+
+    def test_overrides(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--workers", "2", "--job-timeout", "10",
+             "--max-retries", "0", "--journal", "j.jsonl", "--verbose"]
+        )
+        assert args.port == 0
+        assert args.workers == 2
+        assert args.job_timeout == 10.0
+        assert args.max_retries == 0
+        assert args.journal == "j.jsonl"
+        assert args.verbose is True

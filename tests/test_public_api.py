@@ -21,9 +21,12 @@ PUBLIC_API = {
     "DirectiveConflictError",
     "ETransformPlanner",
     "IterativeSession",
+    "JobManager",
     "LatencyPenaltyFunction",
     "MigrationConfig",
     "PlannerOptions",
+    "ServiceClient",
+    "ServiceConfig",
     "SimulatorConfig",
     "SolveCache",
     "SolveOptions",
