@@ -23,6 +23,10 @@ class ServiceConfig:
     max_retries: int = 2
     retry_backoff: float = 0.25
     result_cache_size: int = 128
+    #: Max *terminal* job records kept in memory (oldest-finished are
+    #: evicted past it; the JSONL journal stays the permanent audit
+    #: trail).  ``None`` disables eviction.
+    job_history_limit: int | None = 1024
     journal_path: str | None = None
     #: Supervisor loop tick; also the granularity of timeout detection.
     poll_interval: float = 0.02
@@ -40,6 +44,10 @@ class ServiceConfig:
             raise ValueError("retry_backoff cannot be negative")
         if self.result_cache_size < 0:
             raise ValueError("result_cache_size cannot be negative")
+        if self.job_history_limit is not None and self.job_history_limit < 1:
+            raise ValueError(
+                "job_history_limit must be at least 1 (or None for no eviction)"
+            )
         if self.poll_interval <= 0:
             raise ValueError("poll_interval must be positive")
         return self

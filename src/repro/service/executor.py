@@ -8,12 +8,14 @@ or the journal rather than a live object.
 Refine jobs are **idempotent**: the payload always carries the full
 state and the *cumulative* directive list.  The worker keeps an
 :class:`~repro.core.iterative.IterativeSession` per session id; when the
-new directive list extends the session's current one, only the suffix is
+request's state + options fingerprint matches the session's and the new
+directive list extends the session's current one, only the suffix is
 applied and the re-solve goes through the warm
 :class:`~repro.core.incremental.RevisionedModel` + ``SolveCache`` path.
-When the prefix does not match (or the session died with a killed
-worker), the session is rebuilt from the payload — slower, same answer.
-That is what makes retry-after-worker-death safe for every job kind.
+When the base fingerprint or directive prefix does not match (or the
+session died with a killed worker), the session is rebuilt from the
+payload — slower, same answer.  That is what makes retry-after-worker-
+death safe for every job kind.
 """
 
 from __future__ import annotations
@@ -25,6 +27,7 @@ from ..core.incremental import directive_from_dict
 from ..core.iterative import IterativeSession
 from ..core.planner import ETransformPlanner, PlannerOptions
 from ..io.serialization import plan_to_dict, state_from_dict
+from ..lp.fingerprint import payload_fingerprint
 from .jobs import JobKind
 
 
@@ -109,18 +112,30 @@ def _apply_directive(session: IterativeSession, directive) -> None:
 
 
 def _execute_refine(
-    payload: dict[str, Any], sessions: dict[str, IterativeSession]
+    payload: dict[str, Any], sessions: dict[str, "_SessionEntry"]
 ) -> dict[str, Any]:
     session_id = payload.get("session", "default")
     directives = _parse_directives(payload)
-    session = sessions.get(session_id)
+    entry = sessions.get(session_id)
 
-    warm = session is not None and session.directives == directives[: len(session.directives)]
-    if not warm:
+    # Warm only when the *whole* request prefix matches: same base
+    # state and options (by canonical fingerprint) and a directive list
+    # that extends the session's.  A client reusing a session id with a
+    # different state or options gets a rebuild, not a silently stale
+    # plan against the old model.
+    base_fp = payload_fingerprint([payload.get("state"), payload.get("options")])
+    warm = (
+        entry is not None
+        and entry.base_fingerprint == base_fp
+        and entry.session.directives == directives[: len(entry.session.directives)]
+    )
+    if warm:
+        session = entry.session
+    else:
         session = IterativeSession(
             _require_state(payload), _planner_options(payload), incremental=True
         )
-        sessions[session_id] = session
+        sessions[session_id] = _SessionEntry(base_fp, session)
     for directive in directives[len(session.directives):]:
         _apply_directive(session, directive)
 
@@ -134,6 +149,22 @@ def _execute_refine(
         "directives_applied": len(session.directives),
         "solve_cache": cache.stats() if cache is not None else None,
     }
+
+
+class _SessionEntry:
+    """A worker's warm refine session plus the request base it answers.
+
+    ``base_fingerprint`` hashes the payload's state + options; a refine
+    request only reuses the warm session when it matches, so a session
+    id recycled with different inputs rebuilds instead of silently
+    planning against the old model.
+    """
+
+    __slots__ = ("base_fingerprint", "session")
+
+    def __init__(self, base_fingerprint: str, session: IterativeSession) -> None:
+        self.base_fingerprint = base_fingerprint
+        self.session = session
 
 
 def _execute_compare(payload: dict[str, Any]) -> dict[str, Any]:
@@ -199,7 +230,7 @@ def _execute_simulate(payload: dict[str, Any]) -> dict[str, Any]:
 def execute_job(
     kind: JobKind,
     payload: dict[str, Any],
-    sessions: dict[str, IterativeSession] | None = None,
+    sessions: dict[str, _SessionEntry] | None = None,
 ) -> tuple[dict[str, Any], float]:
     """Run one job; returns ``(result, elapsed_seconds)``.
 

@@ -27,10 +27,11 @@ operator can reconstruct what the service did after the fact.
 from __future__ import annotations
 
 import heapq
-import queue as _queue
+import sys
 import threading
 import time
-from collections import OrderedDict
+import traceback
+from collections import OrderedDict, deque
 from typing import Any
 
 from ..io.serialization import append_jsonl, read_jsonl
@@ -80,6 +81,9 @@ class JobManager:
         #: Min-heap of (ready_at, sequence, job_id); cancelled entries are
         #: skipped lazily at pop time.
         self._pending: list[tuple[float, int, str]] = []
+        #: Terminal job ids, oldest finish first — the eviction order
+        #: for ``job_history_limit``.
+        self._history: deque[str] = deque()
         self._seq = 0
         self._cache: "OrderedDict[str, dict]" = OrderedDict()
         self.cache_hits = 0
@@ -171,6 +175,17 @@ class JobManager:
         """
         kind = JobKind(kind)
         validate_payload(kind, payload)
+        if timeout is not None:
+            if isinstance(timeout, bool) or not isinstance(timeout, (int, float)):
+                raise PayloadError("field 'timeout' must be a number of seconds")
+            if not timeout > 0:  # also rejects NaN
+                raise PayloadError("field 'timeout' must be positive")
+            timeout = float(timeout)
+        if max_retries is not None:
+            if isinstance(max_retries, bool) or not isinstance(max_retries, int):
+                raise PayloadError("field 'max_retries' must be an integer")
+            if max_retries < 0:
+                raise PayloadError("field 'max_retries' cannot be negative")
         record = JobRecord(
             kind=kind,
             payload=payload,
@@ -274,11 +289,7 @@ class JobManager:
             by_state: dict[str, int] = {}
             for record in self._jobs.values():
                 by_state[record.state.value] = by_state.get(record.state.value, 0) + 1
-            queue_depth = sum(
-                1
-                for _, _, job_id in self._pending
-                if not self._jobs[job_id].done
-            )
+            queue_depth = self._queue_depth()
             counters = {
                 name: value
                 for name, value in metrics.snapshot().items()
@@ -313,26 +324,30 @@ class JobManager:
             try:
                 self._tick()
             except Exception:  # pragma: no cover - supervisor must survive
-                pass
+                # A dead supervisor freezes every job, so keep looping —
+                # but loudly: a swallowed tick failure would otherwise
+                # leave jobs stuck RUNNING with no trace anywhere.
+                detail = traceback.format_exc()
+                print(
+                    f"planning supervisor tick failed:\n{detail}",
+                    file=sys.stderr,
+                    flush=True,
+                )
+                with self._lock:
+                    self._log_event(event="supervisor_error", error=detail)
             time.sleep(self.config.poll_interval)
 
     def _tick(self) -> None:
         with self._lock:
-            self._drain_outbox()
+            self._drain_results()
             self._reap_dead_workers()
             self._enforce_deadlines()
             self._dispatch_ready()
-            metrics.gauge("service.queue.depth").set(
-                sum(1 for _, _, j in self._pending if not self._jobs[j].done)
-            )
+            metrics.gauge("service.queue.depth").set(self._queue_depth())
             metrics.gauge("service.jobs.inflight").set(self._pool.busy_count)
 
-    def _drain_outbox(self) -> None:
-        while True:
-            try:
-                message = self._pool.outbox.get_nowait()
-            except _queue.Empty:
-                return
+    def _drain_results(self) -> None:
+        for message in self._pool.poll_results():
             worker_id, job_id, status, body, elapsed = message
             worker = next(
                 (w for w in self._pool.workers if w.worker_id == worker_id), None
@@ -404,9 +419,9 @@ class JobManager:
         deferred: list[tuple[float, int, str]] = []
         while self._pending and self._pending[0][0] <= now:
             ready_at, seq, job_id = heapq.heappop(self._pending)
-            record = self._jobs[job_id]
-            if record.state is not JobState.QUEUED:
-                continue  # cancelled while queued
+            record = self._jobs.get(job_id)
+            if record is None or record.state is not JobState.QUEUED:
+                continue  # cancelled while queued (and possibly evicted)
             worker = self._pick_worker(record)
             if worker is None:
                 deferred.append((ready_at, seq, job_id))
@@ -456,10 +471,26 @@ class JobManager:
         self._seq += 1
         heapq.heappush(self._pending, (ready_at, self._seq, record.id))
 
+    def _queue_depth(self) -> int:
+        """Live entries in the heap (evicted/cancelled ones linger lazily)."""
+        return sum(
+            1
+            for _, _, job_id in self._pending
+            if (record := self._jobs.get(job_id)) is not None and not record.done
+        )
+
     def _finish(self, record: JobRecord, state: JobState) -> None:
         record.transition(state)
         metrics.increment(f"service.jobs.{state.value}")
         self._log_job(record, event=state.value)
+        # Bound in-memory retention: terminal records (and their payload
+        # + result bodies) are evicted oldest-first past the configured
+        # limit; the journal keeps the permanent audit trail.
+        self._history.append(record.id)
+        limit = self.config.job_history_limit
+        if limit is not None:
+            while len(self._history) > limit:
+                self._jobs.pop(self._history.popleft(), None)
 
     def _log_job(self, record: JobRecord, event: str, **extra: Any) -> None:
         self._log_event(

@@ -6,11 +6,16 @@ service.  Workers are plain ``multiprocessing`` processes (the ``fork``
 start method where available, so workers inherit the already-imported
 solver stack instead of paying a cold interpreter start each) with a
 private inbox queue each — private inboxes are what give refine jobs
-worker affinity — and one shared outbox for completions.
+worker affinity — and a private result pipe each.  Results deliberately
+do *not* share a queue: the manager kills workers (timeouts,
+cancellation), and killing a process mid-``put`` on a shared
+``multiprocessing.Queue`` can leave the queue's pipe/lock corrupt for
+every other producer.  A per-worker ``Pipe`` confines any such damage
+to the killed worker's connection, which the manager simply discards.
 
 The pool only *hosts* processes; job bookkeeping (retries, timeouts,
 cancellation) lives in :class:`repro.service.manager.JobManager`, which
-watches ``Process.is_alive()`` and the outbox.
+watches ``Process.is_alive()`` and the result pipes.
 """
 
 from __future__ import annotations
@@ -33,12 +38,13 @@ def _mp_context():
         return multiprocessing.get_context()
 
 
-def worker_main(worker_id: int, inbox, outbox) -> None:
+def worker_main(worker_id: int, inbox, results) -> None:
     """The worker process loop: take a job, run it, report back.
 
     Keeps the per-process refine-session registry alive across jobs —
     that is what lets sequential refine requests against one session
     reuse a warm :class:`~repro.core.incremental.RevisionedModel`.
+    ``results`` is this worker's private end of its result pipe.
     """
     # The manager owns lifecycle; a terminal Ctrl-C must not kill
     # workers before the manager drains them.
@@ -51,9 +57,9 @@ def worker_main(worker_id: int, inbox, outbox) -> None:
         job_id, kind, payload = message
         try:
             result, elapsed = execute_job(JobKind(kind), payload, sessions)
-            outbox.put((worker_id, job_id, "ok", result, elapsed))
+            results.send((worker_id, job_id, "ok", result, elapsed))
         except BaseException as exc:  # noqa: BLE001 - must never kill the loop
-            outbox.put(
+            results.send(
                 (worker_id, job_id, "error", f"{type(exc).__name__}: {exc}", 0.0)
             )
 
@@ -61,18 +67,22 @@ def worker_main(worker_id: int, inbox, outbox) -> None:
 class WorkerHandle:
     """One pool slot: the live process plus manager-side bookkeeping."""
 
-    def __init__(self, worker_id: int, outbox, ctx) -> None:
+    def __init__(self, worker_id: int, ctx) -> None:
         self.worker_id = worker_id
         self._ctx = ctx
-        self._outbox = outbox
         self.inbox = ctx.Queue()
+        #: Manager-side read end of this worker's private result pipe.
+        self.results, worker_end = ctx.Pipe(duplex=False)
         self.process = ctx.Process(
             target=worker_main,
-            args=(worker_id, self.inbox, outbox),
+            args=(worker_id, self.inbox, worker_end),
             name=f"planning-worker-{worker_id}",
             daemon=True,
         )
         self.process.start()
+        # The child holds its own copy; closing ours makes a worker
+        # death observable as EOF on the read end.
+        worker_end.close()
         #: Job id currently executing on this worker (manager-side view).
         self.busy_job: str | None = None
         #: Monotonic deadline of the running job, if it has a timeout.
@@ -100,10 +110,16 @@ class WorkerHandle:
         self.inbox.put(STOP)
 
     def kill(self) -> None:
-        """Hard-stop the worker immediately (timeout / cancellation)."""
+        """Hard-stop the worker immediately (timeout / cancellation).
+
+        The result pipe is discarded with the process: a worker killed
+        mid-``send`` can leave a truncated message in it, and nothing a
+        killed worker was reporting is wanted anyway.
+        """
         if self.process.is_alive():
             self.process.kill()
         self.process.join(timeout=5.0)
+        self.results.close()
 
     def join(self, timeout: float | None = None) -> None:
         self.process.join(timeout=timeout)
@@ -114,22 +130,43 @@ class WorkerPool:
 
     def __init__(self, size: int) -> None:
         self._ctx = _mp_context()
-        self.outbox = self._ctx.Queue()
         self._next_id = 0
         self.restarts = 0
         self.workers: list[WorkerHandle] = [self._spawn() for _ in range(size)]
 
     def _spawn(self) -> WorkerHandle:
-        handle = WorkerHandle(self._next_id, self.outbox, self._ctx)
+        handle = WorkerHandle(self._next_id, self._ctx)
         self._next_id += 1
         return handle
+
+    def poll_results(self) -> list[tuple]:
+        """Collect every buffered completion message, non-blocking.
+
+        Reads each worker's private result pipe.  A pipe that hits EOF
+        (worker died) or yields garbage (worker killed mid-``send``) is
+        closed and ignored — the damage cannot reach other workers'
+        results, and the reaper re-queues whatever job was in flight.
+        """
+        messages: list[tuple] = []
+        for worker in self.workers:
+            conn = worker.results
+            if conn.closed:
+                continue
+            try:
+                while conn.poll():
+                    messages.append(conn.recv())
+            except (EOFError, OSError):
+                conn.close()
+            except Exception:  # truncated pickle from a killed sender
+                conn.close()
+        return messages
 
     def restart(self, worker: WorkerHandle) -> WorkerHandle:
         """Replace a dead/killed worker with a fresh process, in place.
 
-        The dead worker's inbox (and any refine sessions it held) is
-        abandoned; the manager re-queues its in-flight job from the job
-        record, so nothing is lost except warm solver state.
+        The dead worker's inbox, result pipe and any refine sessions it
+        held are abandoned; the manager re-queues its in-flight job from
+        the job record, so nothing is lost except warm solver state.
         """
         worker.kill()  # reap if half-dead; no-op when already gone
         index = self.workers.index(worker)
@@ -165,10 +202,9 @@ class WorkerPool:
         for worker in self.workers:
             if worker.alive:
                 worker.kill()
-        # Drain queue feeder threads so the interpreter can exit cleanly.
-        self.outbox.cancel_join_thread()
+            elif not worker.results.closed:
+                worker.results.close()
 
     def kill_all(self) -> None:
         for worker in self.workers:
             worker.kill()
-        self.outbox.cancel_join_thread()

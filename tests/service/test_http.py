@@ -133,6 +133,32 @@ class TestErrorMapping:
             client.submit("transmogrify", plan_payload(state_doc))
         assert err.value.status == 400
 
+    def test_string_timeout_is_400(self, service, state_doc):
+        _, client = service
+        with pytest.raises(ServiceError) as err:
+            client._request(
+                "POST",
+                "/jobs",
+                {"kind": "plan", "payload": plan_payload(state_doc), "timeout": "10"},
+            )
+        assert err.value.status == 400
+        assert "timeout" in str(err.value)
+
+    def test_string_max_retries_is_400(self, service, state_doc):
+        _, client = service
+        with pytest.raises(ServiceError) as err:
+            client._request(
+                "POST",
+                "/jobs",
+                {
+                    "kind": "plan",
+                    "payload": plan_payload(state_doc),
+                    "max_retries": "2",
+                },
+            )
+        assert err.value.status == 400
+        assert "max_retries" in str(err.value)
+
     def test_non_json_body_is_400(self, service):
         _, client = service
         import urllib.request

@@ -89,6 +89,39 @@ class TestPlanJobs:
         assert a.fingerprint != b.fingerprint
 
 
+class TestJobHistoryEviction:
+    def test_terminal_records_evicted_past_the_limit(
+        self, make_manager, state_doc
+    ):
+        manager = make_manager(job_history_limit=2)
+        payload = plan_payload(state_doc)
+        first = manager.wait(manager.submit("plan", payload).id, timeout=60.0)
+        second = manager.submit("plan", payload)  # cache hit, terminal at once
+        third = manager.submit("plan", payload)
+        with pytest.raises(UnknownJobError):
+            manager.get(first.id)
+        assert {r.id for r in manager.jobs()} == {second.id, third.id}
+
+    def test_stale_heap_entry_of_an_evicted_job_is_harmless(
+        self, make_manager, state_doc
+    ):
+        # A job cancelled while queued leaves its heap entry behind; if
+        # the record is then evicted, dispatch must skip the entry, not
+        # crash the supervisor on a missing id.
+        manager = make_manager(workers=1, job_history_limit=1)
+        blocker = manager.submit(
+            "simulate", sim_payload(state_doc, VERY_SLOW_HORIZON)
+        )
+        queued = manager.submit("plan", plan_payload(state_doc))
+        assert manager.cancel(queued.id) is True
+        follow_up = manager.submit("plan", plan_payload(state_doc, "branch_bound"))
+        assert manager.cancel(blocker.id) is True  # evicts `queued`, frees pool
+        done = manager.wait(follow_up.id, timeout=60.0)
+        assert done.state is JobState.SUCCEEDED
+        with pytest.raises(UnknownJobError):
+            manager.get(queued.id)
+
+
 class TestRefineSessions:
     def test_sequential_refines_reuse_a_warm_session(self, manager, state_doc):
         first = [{"kind": "retire_site", "datacenter": "cheap-far"}]
@@ -111,6 +144,34 @@ class TestRefineSessions:
         assert done2.result["summary"]["total_cost"] >= done1.result["summary"][
             "total_cost"
         ] - 1e-6  # extra constraints can only cost
+
+    def test_reused_session_id_with_changed_options_rebuilds(
+        self, manager, state_doc
+    ):
+        # Same session id, same directives, different options: the warm
+        # session answers a different model now, so it must be rebuilt
+        # and the plan computed with the *new* options.
+        directives = [{"kind": "retire_site", "datacenter": "cheap-far"}]
+        payload = {
+            "state": state_doc,
+            "options": {"backend": "highs"},
+            "session": "switch",
+            "directives": directives,
+        }
+        done1 = manager.wait(manager.submit("refine", payload).id, timeout=60.0)
+        assert done1.result["warm"] is False
+
+        payload2 = dict(payload, options={"backend": "branch_bound"})
+        done2 = manager.wait(manager.submit("refine", payload2).id, timeout=60.0)
+        assert done2.result["warm"] is False  # rebuilt, not silently stale
+        assert done2.result["summary"]["solver"] != done1.result["summary"]["solver"]
+
+        # Unchanged resubmission is warm again (and still correct).
+        done3 = manager.wait(manager.submit("refine", payload2).id, timeout=60.0)
+        assert done3.result["warm"] is True
+        assert done3.result["summary"]["total_cost"] == pytest.approx(
+            done2.result["summary"]["total_cost"], rel=1e-6
+        )
 
     def test_refine_jobs_are_not_cached(self, manager, state_doc):
         payload = {
@@ -305,3 +366,26 @@ class TestSubmitValidation:
                     "directives": [{"kind": "explode"}],
                 },
             )
+
+    @pytest.mark.parametrize("timeout", ["10", True, 0, -1.0, float("nan"), [5]])
+    def test_non_numeric_or_non_positive_timeout_rejected(
+        self, manager, state_doc, timeout
+    ):
+        # A bad timeout accepted here would blow up later on the
+        # supervisor thread and wedge the job RUNNING forever.
+        with pytest.raises(PayloadError, match="timeout"):
+            manager.submit("plan", plan_payload(state_doc), timeout=timeout)
+
+    @pytest.mark.parametrize("max_retries", ["2", True, 1.5, -1])
+    def test_non_integer_or_negative_max_retries_rejected(
+        self, manager, state_doc, max_retries
+    ):
+        with pytest.raises(PayloadError, match="max_retries"):
+            manager.submit(
+                "plan", plan_payload(state_doc), max_retries=max_retries
+            )
+
+    def test_integral_timeout_is_accepted(self, manager, state_doc):
+        record = manager.submit("plan", plan_payload(state_doc), timeout=30)
+        assert record.timeout == 30.0
+        assert manager.wait(record.id, timeout=60.0).state is JobState.SUCCEEDED
