@@ -1,0 +1,124 @@
+"""Revised-simplex node throughput: sparse implicit-bound core vs tableau.
+
+Replays the same seeded stream of branch-and-bound-style bound
+tightenings as the node-cache benchmark on an enterprise1-scale
+consolidation LP, solving every node through two cached
+:class:`RelaxationContext` instances with parent warm tokens: the
+sparse bounded-variable revised simplex (``engine="builtin"``) and the
+PR-2 dense tableau path (``engine="tableau"``).  Asserts identical
+statuses/objectives node for node and, outside smoke mode, a >= 5x
+node-throughput ratio; archives the comparison to
+``bench_results/revised.txt`` (+ ``BENCH_revised.json`` extras).
+
+Smoke mode (``REVISED_SMOKE=1``, used by CI) runs a reduced node stream
+and only asserts that the revised engine beats the tableau engine at
+all — machine load must not flake CI on an exact multiple.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import ConsolidationModel, ModelOptions
+from repro.datasets import load_enterprise1
+from repro.lp.matrix_lp import RelaxationContext
+from repro.lp.standard_form import to_matrix_form
+
+SMOKE = os.environ.get("REVISED_SMOKE", "") not in ("", "0")
+
+
+def _node_stream(form, n_nodes: int, seed: int = 42):
+    """Seeded B&B-style bound tightenings: fix random binary subsets."""
+    rng = np.random.default_rng(seed)
+    binaries = np.nonzero(
+        (form.integrality > 0) & (form.lb <= 0.0) & (form.ub >= 1.0)
+    )[0]
+    nodes = [(form.lb.copy(), form.ub.copy(), None)]  # (lb, ub, parent)
+    for _ in range(n_nodes - 1):
+        parent = int(rng.integers(0, len(nodes)))
+        lb, ub, _ = nodes[parent]
+        lb, ub = lb.copy(), ub.copy()
+        j = int(rng.choice(binaries))
+        if rng.random() < 0.5:
+            ub[j] = 0.0  # fix to zero
+        else:
+            lb[j] = 1.0  # fix to one
+        nodes.append((lb, ub, parent))
+    return nodes
+
+
+@pytest.fixture(scope="module")
+def form():
+    state = load_enterprise1(scale=0.05 if SMOKE else 0.08)
+    problem = ConsolidationModel(state, ModelOptions()).problem
+    return to_matrix_form(problem)
+
+
+def _run_engine(form, nodes, engine: str):
+    ctx = RelaxationContext(
+        form.c, form.a_ub, form.b_ub, form.a_eq, form.b_eq,
+        form.lb, form.ub, engine=engine,
+    )
+    tokens: list = [None] * len(nodes)
+    results = []
+    t0 = time.perf_counter()
+    for i, (lb, ub, parent) in enumerate(nodes):
+        warm = tokens[parent] if parent is not None else None
+        res = ctx.solve(lb, ub, warm=warm)
+        tokens[i] = res.warm_token
+        results.append(res)
+    elapsed = time.perf_counter() - t0
+    return ctx, results, elapsed
+
+
+def test_bench_revised_node_throughput(form, archive, archive_json):
+    n_nodes = 12 if SMOKE else 48
+    nodes = _node_stream(form, n_nodes)
+
+    tab_ctx, tableau, tableau_s = _run_engine(form, nodes, "tableau")
+    rev_ctx, revised, revised_s = _run_engine(form, nodes, "builtin")
+
+    # Identical answers node for node.
+    for ref, res in zip(tableau, revised):
+        assert res.status == ref.status
+        if ref.status == "optimal":
+            assert res.objective == pytest.approx(ref.objective, rel=1e-7, abs=1e-7)
+
+    ratio = tableau_s / revised_s if revised_s > 0 else float("inf")
+    lines = [
+        "Revised-simplex node throughput benchmark (enterprise1-scale LP)",
+        f"  nodes solved                 {len(nodes)}",
+        f"  matrix shape                 {form.a_ub.shape[0]}+{form.a_eq.shape[0]} rows x {form.c.shape[0]} vars",
+        f"  tableau engine (dense rows)  {tableau_s:.3f} s  "
+        f"({len(nodes) / tableau_s:.1f} nodes/s)",
+        f"  revised engine (sparse)      {revised_s:.3f} s  "
+        f"({len(nodes) / revised_s:.1f} nodes/s)",
+        f"  speedup                      {ratio:.2f}x",
+        f"  revised warm starts (h / m)  {rev_ctx.warm_start_hits} / {rev_ctx.warm_start_misses}",
+        f"  revised refactorizations     {rev_ctx.refactorizations}",
+        f"  eta file length at refactor  {rev_ctx.eta_file_length}",
+        f"  pricing passes               {rev_ctx.pricing_passes}",
+        f"  bound-flip pivots            {rev_ctx.bound_flips}",
+        f"  smoke mode                   {SMOKE}",
+    ]
+    archive("revised", "\n".join(lines))
+    archive_json("revised", {
+        "nodes": len(nodes),
+        "tableau_seconds": round(tableau_s, 6),
+        "revised_seconds": round(revised_s, 6),
+        "speedup": round(ratio, 4),
+        "revised_refactorizations": rev_ctx.refactorizations,
+        "revised_eta_file_length": rev_ctx.eta_file_length,
+        "revised_pricing_passes": rev_ctx.pricing_passes,
+        "revised_bound_flips": rev_ctx.bound_flips,
+        "smoke": SMOKE,
+    })
+
+    if SMOKE:
+        assert ratio > 1.0, f"revised engine slower than tableau ({ratio:.2f}x)"
+    else:
+        assert ratio >= 5.0, f"revised node throughput {ratio:.2f}x < 5x"

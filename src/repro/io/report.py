@@ -34,6 +34,10 @@ def render_solve_stats(stats: SolveStats) -> str:
         f"  conversion / solve seconds     {stats.conversion_seconds:.3f} / "
         f"{stats.relaxation_solve_seconds:.3f}",
         f"  warm starts (hit / miss)       {stats.warm_start_hits} / {stats.warm_start_misses}",
+        f"  basis refactorizations         {stats.refactorizations}",
+        f"    eta file length at refactor  {stats.eta_file_length}",
+        f"  pricing passes                 {stats.pricing_passes}",
+        f"  bound-flip pivots              {stats.bound_flips}",
         f"  B&B nodes explored             {stats.nodes_explored}",
         f"  B&B nodes pruned               {stats.nodes_pruned}",
         f"  cut rounds / cuts added        {stats.cut_rounds} / {stats.cuts_added}",

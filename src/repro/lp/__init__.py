@@ -26,13 +26,21 @@ from .mpsformat import write_mps_file, write_mps_string
 from .options import SolveOptions
 from .presolve import PresolveInfeasible, presolve, solve_with_presolve
 from .problem import ObjectiveSense, Problem
+from .revised_simplex import RevisedResult, SparseBoundedLP, solve_bounded_lp
 from .solution import Solution, SolveStatus
 from .solvers import SolveCache, available_backends, register_backend, solve
+from .sparse import CSCMatrix, ConstraintBlocks, constraint_blocks
 
 __all__ = [
+    "CSCMatrix",
     "Constraint",
+    "ConstraintBlocks",
     "LPParseError",
     "LinExpr",
+    "RevisedResult",
+    "SparseBoundedLP",
+    "constraint_blocks",
+    "solve_bounded_lp",
     "ObjectiveSense",
     "Problem",
     "SolveCache",

@@ -68,6 +68,10 @@ def _absorb_lp_detail(stats: SolveStats, relax) -> None:
     stats.phase2_iterations += relax.phase2_iterations
     stats.bland_switches += relax.bland_switches
     stats.degenerate_pivots += relax.degenerate_pivots
+    stats.refactorizations += getattr(relax, "refactorizations", 0)
+    stats.eta_file_length += getattr(relax, "eta_file_length", 0)
+    stats.pricing_passes += getattr(relax, "pricing_passes", 0)
+    stats.bound_flips += getattr(relax, "bound_flips", 0)
     stats.conversion_seconds += relax.conversion_seconds
     stats.relaxation_solve_seconds += relax.solve_seconds
 

@@ -26,6 +26,7 @@ from __future__ import annotations
 import hashlib
 
 from .problem import Problem
+from .sparse import iter_constraint_terms
 
 
 def _hash_structure(h: "hashlib._Hash", problem: Problem, include_bounds: bool) -> None:
@@ -44,11 +45,16 @@ def _hash_structure(h: "hashlib._Hash", problem: Problem, include_bounds: bool) 
     for var, coef in problem.objective.terms().items():
         update(var.name.encode())
         update(repr(coef).encode())
-    for con in problem.constraints:
+    # The constraint section hashes the shared assembly traversal
+    # (`iter_constraint_terms`) — the very stream `constraint_blocks`
+    # turns into matrices — so cache identity cannot drift from what the
+    # solver engines actually see.  Term order and `repr` floats keep
+    # the digest byte-identical to the historical direct walk.
+    for con, terms in iter_constraint_terms(problem):
         update(b"|c")
         update(con.sense.value.encode())
         update(repr(con.rhs).encode())
-        for var, coef in con.expr.terms().items():
+        for _col, var, coef in terms:
             update(var.name.encode())
             update(repr(coef).encode())
 

@@ -18,9 +18,9 @@ from scipy import sparse
 from scipy.optimize import Bounds, LinearConstraint, linprog, milp
 
 from ..telemetry import SolveStats
-from .expressions import Sense
-from .problem import ObjectiveSense, Problem
+from .problem import Problem
 from .solution import Solution, SolveStatus
+from .sparse import bound_arrays, constraint_blocks, objective_arrays
 
 #: scipy.optimize.milp status codes → our statuses.
 _MILP_STATUS = {
@@ -55,43 +55,23 @@ def _silence_native_stdout():
 
 
 def _build_sparse(problem: Problem):
-    """Assemble (c, c0, A, cl, cu, bounds, integrality, names) sparsely."""
-    variables = problem.variables
-    index = {var: i for i, var in enumerate(variables)}
-    n = len(variables)
-    sign = 1.0 if problem.sense == ObjectiveSense.MINIMIZE else -1.0
+    """Assemble (c, c0, A, cl, cu, bounds, integrality, sign) sparsely.
 
-    c = np.zeros(n)
-    for var, coef in problem.objective.terms().items():
-        c[index[var]] = sign * coef
-    c0 = sign * problem.objective.constant
-
-    data: list[float] = []
-    rows: list[int] = []
-    cols: list[int] = []
-    lower: list[float] = []
-    upper: list[float] = []
-    for r, con in enumerate(problem.constraints):
-        for var, coef in con.expr.terms().items():
-            rows.append(r)
-            cols.append(index[var])
-            data.append(coef)
-        if con.sense is Sense.LE:
-            lower.append(-np.inf)
-            upper.append(con.rhs)
-        elif con.sense is Sense.GE:
-            lower.append(con.rhs)
-            upper.append(np.inf)
-        else:
-            lower.append(con.rhs)
-            upper.append(con.rhs)
-
-    num_rows = len(problem.constraints)
-    matrix = sparse.csr_matrix((data, (rows, cols)), shape=(num_rows, n))
-    lb = np.array([-np.inf if v.lb is None else v.lb for v in variables])
-    ub = np.array([np.inf if v.ub is None else v.ub for v in variables])
-    integrality = np.array([1 if v.is_integral else 0 for v in variables])
-    return variables, c, c0, matrix, np.array(lower), np.array(upper), lb, ub, integrality, sign
+    A thin scipy wrapper over the shared assembly path
+    (:func:`repro.lp.sparse.constraint_blocks`) — the same triplets the
+    revised core and the dense view consume.
+    """
+    blocks = constraint_blocks(problem)
+    c, c0, sign = objective_arrays(problem)
+    lb, ub, integrality = bound_arrays(problem)
+    row_lb, row_ub = blocks.row_bounds()
+    matrix = sparse.csr_matrix(
+        (blocks.data, blocks.cols, blocks.row_ptr),
+        shape=(blocks.n_rows, blocks.n_cols),
+    )
+    return (
+        blocks.variables, c, c0, matrix, row_lb, row_ub, lb, ub, integrality, sign,
+    )
 
 
 def solve_with_highs(

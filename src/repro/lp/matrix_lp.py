@@ -1,19 +1,21 @@
 """Array-level LP solving used by the branch-and-bound search.
 
 Solves ``min c'x  s.t.  A_ub x <= b_ub, A_eq x = b_eq, lb <= x <= ub``
-with either the from-scratch simplex (``engine="builtin"``) or SciPy's
-HiGHS (``engine="highs"``).  Branch-and-bound nodes differ only in the
-bound arrays, so this is the natural interface for node relaxations.
+with one of three engines:
+
+* ``"builtin"`` (default) — the sparse bounded-variable revised simplex
+  (:mod:`repro.lp.revised_simplex`).  Bounds stay implicit, so a
+  branch-and-bound node solve is a pure bound-array update against the
+  family built once per context: zero per-node row construction.
+* ``"tableau"`` — the historical dense full-tableau simplex on a
+  standard form with explicit bound rows.  Kept for cross-checking and
+  as the revised core's benchmark baseline.
+* ``"highs"`` — SciPy's HiGHS wrapper.
 
 The hot path is :class:`RelaxationContext`: one context per B&B tree
-standardizes the constraint blocks **once** (fully vectorized), and each
-node solve then only
-
-* refreshes the rhs for the node's shifted lower bounds — an
-  O(changed-bounds) delta against the root rhs,
-* rebuilds the two-entries-per-row variable-bound rows, and
-* reuses the parent's optimal basis as a simplex warm start, skipping
-  phase 1 whenever that basis is still primal feasible.
+assembles its engine's base data **once**, each node solve only varies
+the bound arrays, and a parent node's optimal basis (plus, for the
+revised core, its nonbasic-status vector) warm-starts the child.
 
 :func:`solve_lp_arrays` remains the one-shot convenience wrapper (it
 builds a throwaway context), and :func:`solve_lp_arrays_reference`
@@ -29,6 +31,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..telemetry import metrics
+from .revised_simplex import SparseBoundedLP, solve_bounded_lp
 from .simplex import solve_standard_form
 
 
@@ -52,6 +55,10 @@ class ArrayLPResult:
     phase2_iterations: int = 0
     bland_switches: int = 0
     degenerate_pivots: int = 0
+    refactorizations: int = 0
+    eta_file_length: int = 0
+    pricing_passes: int = 0
+    bound_flips: int = 0
     message: str = ""
     conversion_seconds: float = 0.0
     solve_seconds: float = 0.0
@@ -108,23 +115,31 @@ class RelaxationContext:
 
     A branch-and-bound tree solves many relaxations that share ``c``,
     ``A_ub``/``b_ub`` and ``A_eq``/``b_eq`` and differ only in ``(lb,
-    ub)``.  The context expands the constraint blocks to the plus/minus
-    standard-form columns once (vectorized — no per-row Python loops) and
-    assembles each node's matrix from the cached blocks.
+    ub)``.
 
-    The plus/minus column split follows the **root** bounds: variables
-    free at the root keep their minus column even after a child gives
-    them a finite lower bound (the bound becomes an extra row instead of
-    a shift).  A node that *loosens* a root-finite lower bound back to
-    ``-inf`` no longer fits the cached structure and triggers a full
-    restandardization (counted in ``structural_rebuilds``); B&B never
-    does this.
+    With the default revised engine (``"builtin"``) the context builds
+    one :class:`~repro.lp.revised_simplex.SparseBoundedLP` family up
+    front; a node solve passes the node's bound arrays straight into the
+    core — bounds are implicit in the simplex, so there is no per-node
+    row or matrix construction of any kind, and any parent basis is
+    structurally transferable to any child.
+
+    With ``engine="tableau"`` the context keeps the PR-2 dense path: the
+    constraint blocks are expanded to plus/minus standard-form columns
+    once (vectorized), and each node's matrix — including
+    two-entries-per-row variable-bound rows — is assembled from the
+    cached blocks.  The plus/minus split follows the **root** bounds, so
+    a node that *loosens* a root-finite lower bound back to ``-inf``
+    triggers a full restandardization (counted in
+    ``structural_rebuilds``); B&B never does this, and the revised
+    engine handles it natively.
 
     Telemetry attributes (``conversion_seconds``, ``solve_seconds``,
     ``node_solves``, ``cache_hits``, ``warm_start_hits``,
-    ``warm_start_misses``, ``structural_rebuilds``) accumulate over the
-    context's lifetime; :mod:`repro.telemetry` counters mirror them
-    process-wide.
+    ``warm_start_misses``, ``structural_rebuilds``, plus the revised
+    core's ``refactorizations``, ``eta_file_length``,
+    ``pricing_passes``, ``bound_flips``) accumulate over the context's
+    lifetime; :mod:`repro.telemetry` counters mirror them process-wide.
     """
 
     def __init__(
@@ -140,6 +155,11 @@ class RelaxationContext:
         max_iterations: int = 20000,
     ) -> None:
         self.engine = engine
+        # "builtin" is an alias for the revised core; the dense tableau
+        # stays reachable as "tableau".  Unknown engines are only
+        # rejected at solve() time (constructing a context is cheap and
+        # side-effect free for them).
+        self._mode = {"builtin": "revised", "revised": "revised"}.get(engine, engine)
         self.max_iterations = max_iterations
         self.c = np.asarray(c, dtype=float)
         self.a_ub = np.asarray(a_ub, dtype=float)
@@ -156,8 +176,18 @@ class RelaxationContext:
         self.warm_start_hits = 0
         self.warm_start_misses = 0
         self.structural_rebuilds = 0
+        self.refactorizations = 0
+        self.eta_file_length = 0
+        self.pricing_passes = 0
+        self.bound_flips = 0
 
-        if engine == "builtin":
+        if self._mode == "revised":
+            start = time.perf_counter()
+            self._family = SparseBoundedLP(
+                self.c, self.a_ub, self.b_ub, self.a_eq, self.b_eq
+            )
+            self.conversion_seconds += time.perf_counter() - start
+        elif self._mode == "tableau":
             self._build_base()
 
     # -- one-time, fully vectorized base standardization -------------------
@@ -251,6 +281,71 @@ class RelaxationContext:
         cost[:ncols] = self._cost_struct
         return a, b, cost, key
 
+    # -- revised-core node solve: pure bound-array update ------------------
+
+    def _solve_revised(
+        self, lb: np.ndarray, ub: np.ndarray, warm: tuple | None
+    ) -> ArrayLPResult:
+        """Node solve on the shared sparse family — no row construction.
+
+        The revised core's column layout never varies with the bounds,
+        so every parent basis is structurally transferable; the token is
+        simply ``("revised", basis, vstat)``.
+        """
+        self.cache_hits += 1
+        metrics.increment("relaxation.cache_hits")
+        warm_pair = None
+        if warm is not None and len(warm) == 3 and warm[0] == "revised":
+            warm_pair = (warm[1], warm[2])
+        start = time.perf_counter()
+        result = solve_bounded_lp(
+            self._family, lb, ub,
+            max_iterations=self.max_iterations, warm=warm_pair,
+        )
+        solve_elapsed = time.perf_counter() - start
+        self.solve_seconds += solve_elapsed
+        if warm_pair is not None:
+            if result.warm_started:
+                self.warm_start_hits += 1
+                metrics.increment("relaxation.warm_start_hits")
+            else:
+                self.warm_start_misses += 1
+                metrics.increment("relaxation.warm_start_misses")
+        self.refactorizations += result.refactorizations
+        self.eta_file_length += result.eta_file_length
+        self.pricing_passes += result.pricing_passes
+        self.bound_flips += result.bound_flips
+
+        status = result.status
+        message = result.message
+        x = result.x
+        objective = result.objective
+        if status == "iteration_limit":
+            status, message = "error", "iteration_limit"
+            x, objective = None, np.nan
+        elif status == "error":
+            message = message or "numerical breakdown in revised simplex"
+        elif status == "optimal":
+            objective = float(self.c @ x)
+        token = None
+        if result.basis is not None:
+            token = ("revised", result.basis, result.vstat)
+        return ArrayLPResult(
+            status, x, objective, result.iterations,
+            phase1_iterations=result.phase1_iterations,
+            phase2_iterations=result.phase2_iterations,
+            bland_switches=result.bland_switches,
+            degenerate_pivots=result.degenerate_pivots,
+            refactorizations=result.refactorizations,
+            eta_file_length=result.eta_file_length,
+            pricing_passes=result.pricing_passes,
+            bound_flips=result.bound_flips,
+            message=message,
+            solve_seconds=solve_elapsed,
+            warm_started=result.warm_started,
+            warm_token=token,
+        )
+
     # -- node solves -------------------------------------------------------
 
     def solve(
@@ -272,13 +367,15 @@ class RelaxationContext:
 
         self.node_solves += 1
         metrics.increment("relaxation.node_solves")
-        if self.engine == "highs":
+        if self._mode == "highs":
             result = _solve_highs_arrays(
                 self.c, self.a_ub, self.b_ub, self.a_eq, self.b_eq, lb, ub
             )
             self.solve_seconds += result.solve_seconds
             return result
-        if self.engine != "builtin":
+        if self._mode == "revised":
+            return self._solve_revised(lb, ub, warm)
+        if self._mode != "tableau":
             raise ValueError(f"unknown LP engine: {self.engine!r}")
 
         if (np.isneginf(lb) & ~self._free).any():
@@ -289,7 +386,7 @@ class RelaxationContext:
             metrics.increment("relaxation.structural_rebuilds")
             fresh = RelaxationContext(
                 self.c, self.a_ub, self.b_ub, self.a_eq, self.b_eq,
-                lb, ub, engine="builtin", max_iterations=self.max_iterations,
+                lb, ub, engine="tableau", max_iterations=self.max_iterations,
             )
             result = fresh.solve()
             self.conversion_seconds += fresh.conversion_seconds

@@ -40,8 +40,11 @@ class SolveOptions:
         Simplex pivot budget per LP (``simplex``, and the builtin
         relaxation engine of ``branch_bound``/``rounding``).
     relaxation_engine:
-        ``"highs"`` or ``"builtin"`` — which LP engine solves node
-        relaxations (``branch_bound``, ``rounding``).
+        Which LP engine solves node relaxations (``branch_bound``,
+        ``rounding``): ``"highs"``, ``"builtin"`` (the sparse revised
+        simplex; ``"revised"`` is an explicit alias), or ``"tableau"``
+        (the historical dense full-tableau simplex, kept for
+        cross-checking).
     cover_cut_rounds:
         Rounds of root knapsack cover cuts (``branch_bound``).
     warm_start:
@@ -72,10 +75,10 @@ class SolveOptions:
             raise ValueError("gap_tolerance cannot be negative")
         if self.max_iterations <= 0:
             raise ValueError("max_iterations must be positive")
-        if self.relaxation_engine not in ("highs", "builtin"):
+        if self.relaxation_engine not in ("highs", "builtin", "revised", "tableau"):
             raise ValueError(
                 f"unknown relaxation engine {self.relaxation_engine!r}; "
-                "expected 'highs' or 'builtin'"
+                "expected 'highs', 'builtin', 'revised' or 'tableau'"
             )
         if self.cover_cut_rounds < 0:
             raise ValueError("cover_cut_rounds cannot be negative")

@@ -82,6 +82,10 @@ def _solve_simplex(problem: Problem, options: SolveOptions) -> Solution:
         phase2_iterations=result.phase2_iterations,
         bland_switches=result.bland_switches,
         degenerate_pivots=result.degenerate_pivots,
+        refactorizations=result.refactorizations,
+        eta_file_length=result.eta_file_length,
+        pricing_passes=result.pricing_passes,
+        bound_flips=result.bound_flips,
         incumbent=objective,
         best_bound=objective if status is SolveStatus.OPTIMAL else float("-inf"),
         mip_gap=0.0 if status is SolveStatus.OPTIMAL else float("nan"),

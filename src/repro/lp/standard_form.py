@@ -3,10 +3,14 @@
 Two conversions are provided:
 
 * :func:`to_matrix_form` — the natural inequality form used by the HiGHS
-  backend (``A_ub x <= b_ub``, ``A_eq x = b_eq`` plus bounds).
+  backend (``A_ub x <= b_ub``, ``A_eq x = b_eq`` plus bounds).  The
+  matrices are a dense view **derived from** the shared sparse assembly
+  (:func:`repro.lp.sparse.constraint_blocks`) — the same traversal the
+  HiGHS backend, the revised simplex core, and the fingerprint layer
+  consume, so the engines cannot disagree about the model.
 * :func:`to_standard_form` — equality standard form ``min c'x, Ax = b,
-  x >= 0`` used by the from-scratch two-phase simplex.  Variable shifts
-  and free-variable splits are recorded so the original solution can be
+  x >= 0`` used by the dense tableau simplex.  Variable shifts and
+  free-variable splits are recorded so the original solution can be
   recovered with :meth:`StandardForm.recover`.
 """
 
@@ -18,6 +22,7 @@ import numpy as np
 
 from .expressions import Sense, Variable
 from .problem import ObjectiveSense, Problem
+from .sparse import bound_arrays, constraint_blocks, objective_arrays
 
 
 @dataclass
@@ -43,47 +48,38 @@ class MatrixForm:
 
 
 def to_matrix_form(problem: Problem) -> MatrixForm:
-    """Build dense matrices in the variables' registration order."""
-    variables = problem.variables
-    index = {var: i for i, var in enumerate(variables)}
-    n = len(variables)
+    """Dense matrices in registration order, derived from the sparse assembly.
 
-    sign = 1.0 if problem.sense == ObjectiveSense.MINIMIZE else -1.0
-    c = np.zeros(n)
-    for var, coef in problem.objective.terms().items():
-        c[index[var]] = sign * coef
-    c0 = sign * problem.objective.constant
+    Row order is preserved within each block: ``a_ub`` keeps the LE/GE
+    rows in model order (GE rows negated into LE form), ``a_eq`` keeps
+    the equality rows in model order — identical to the historical
+    per-constraint dense build.
+    """
+    blocks = constraint_blocks(problem)
+    c, c0, sign = objective_arrays(problem)
+    lb, ub, integrality = bound_arrays(problem)
 
-    ub_rows: list[np.ndarray] = []
-    ub_rhs: list[float] = []
-    eq_rows: list[np.ndarray] = []
-    eq_rhs: list[float] = []
-    for con in problem.constraints:
-        row = np.zeros(n)
-        for var, coef in con.expr.terms().items():
-            row[index[var]] = coef
-        if con.sense is Sense.LE:
-            ub_rows.append(row)
-            ub_rhs.append(con.rhs)
-        elif con.sense is Sense.GE:
-            ub_rows.append(-row)
-            ub_rhs.append(-con.rhs)
-        else:
-            eq_rows.append(row)
-            eq_rhs.append(con.rhs)
-
-    lb = np.array([-np.inf if v.lb is None else v.lb for v in variables])
-    ub = np.array([np.inf if v.ub is None else v.ub for v in variables])
-    integrality = np.array([1 if v.is_integral else 0 for v in variables])
+    dense = blocks.to_dense()
+    is_eq = np.fromiter(
+        (s is Sense.EQ for s in blocks.senses), dtype=bool, count=blocks.n_rows
+    )
+    is_ge = np.fromiter(
+        (s is Sense.GE for s in blocks.senses), dtype=bool, count=blocks.n_rows
+    )
+    a_ub = dense[~is_eq]
+    b_ub = blocks.rhs[~is_eq].copy()
+    ge = is_ge[~is_eq]
+    a_ub[ge] *= -1.0
+    b_ub[ge] *= -1.0
 
     return MatrixForm(
-        variables=variables,
+        variables=blocks.variables,
         c=c,
         c0=c0,
-        a_ub=np.array(ub_rows).reshape(len(ub_rows), n) if ub_rows else np.zeros((0, n)),
-        b_ub=np.array(ub_rhs),
-        a_eq=np.array(eq_rows).reshape(len(eq_rows), n) if eq_rows else np.zeros((0, n)),
-        b_eq=np.array(eq_rhs),
+        a_ub=a_ub,
+        b_ub=b_ub,
+        a_eq=dense[is_eq],
+        b_eq=blocks.rhs[is_eq].copy(),
         lb=lb,
         ub=ub,
         integrality=integrality,

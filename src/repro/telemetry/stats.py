@@ -95,6 +95,16 @@ class SolveStats:
     #: Node solves where the parent basis was stale and phase 1 reran.
     warm_start_misses: int = 0
 
+    # -- revised simplex core ----------------------------------------------
+    #: Basis refactorizations (LU rebuilds retiring the eta file).
+    refactorizations: int = 0
+    #: Total eta-file length retired across refactorizations.
+    eta_file_length: int = 0
+    #: Partial-pricing block scans across all pivots.
+    pricing_passes: int = 0
+    #: Nonbasic lower<->upper bound flips (pivots without a basis change).
+    bound_flips: int = 0
+
     # -- branch and bound --------------------------------------------------
     nodes_explored: int = 0
     nodes_pruned: int = 0
@@ -148,6 +158,10 @@ class SolveStats:
             "relaxation_solve_seconds": self.relaxation_solve_seconds,
             "warm_start_hits": self.warm_start_hits,
             "warm_start_misses": self.warm_start_misses,
+            "refactorizations": self.refactorizations,
+            "eta_file_length": self.eta_file_length,
+            "pricing_passes": self.pricing_passes,
+            "bound_flips": self.bound_flips,
             "nodes_explored": self.nodes_explored,
             "nodes_pruned": self.nodes_pruned,
             "cut_rounds": self.cut_rounds,
@@ -185,6 +199,10 @@ class SolveStats:
             relaxation_solve_seconds=data.get("relaxation_solve_seconds", 0.0),
             warm_start_hits=data.get("warm_start_hits", 0),
             warm_start_misses=data.get("warm_start_misses", 0),
+            refactorizations=data.get("refactorizations", 0),
+            eta_file_length=data.get("eta_file_length", 0),
+            pricing_passes=data.get("pricing_passes", 0),
+            bound_flips=data.get("bound_flips", 0),
             nodes_explored=data.get("nodes_explored", 0),
             nodes_pruned=data.get("nodes_pruned", 0),
             cut_rounds=data.get("cut_rounds", 0),

@@ -1,9 +1,13 @@
-"""Builtin-simplex vs HiGHS agreement on seeded random bounded LPs.
+"""Three-way engine agreement on seeded random bounded LPs.
 
 Fifty deterministic instances (mixed inequality/equality rows, finite
-boxes, some infeasible by construction) must agree on status and — when
-optimal — on the objective to 1e-6.  This is the contract that lets the
-branch-and-bound relaxation engine be swapped freely.
+boxes, some infeasible by construction) must agree across all three LP
+engines — the sparse revised simplex (``builtin``), the dense tableau
+(``tableau``) and HiGHS — on status, on the objective to 1e-6 when
+optimal, and on the *feasibility of the recovered solution* (the
+objective matching means nothing if the point violates a row).  This is
+the contract that lets the branch-and-bound relaxation engine be
+swapped freely.
 """
 
 from __future__ import annotations
@@ -12,6 +16,8 @@ import numpy as np
 import pytest
 
 from repro.lp.matrix_lp import RelaxationContext, solve_lp_arrays
+
+ENGINES = ("builtin", "tableau", "highs")
 
 
 def _random_instance(seed: int) -> dict:
@@ -36,21 +42,37 @@ def _random_instance(seed: int) -> dict:
     return dict(c=c, a_ub=a_ub, b_ub=b_ub, a_eq=a_eq, b_eq=b_eq, lb=lb, ub=ub)
 
 
+def _assert_feasible(x: np.ndarray, kw: dict, lb=None, ub=None, tol: float = 1e-6):
+    """The recovered point must satisfy every row and every bound."""
+    lb = kw["lb"] if lb is None else lb
+    ub = kw["ub"] if ub is None else ub
+    assert (x >= lb - tol).all(), "lower bound violated"
+    assert (x <= ub + tol).all(), "upper bound violated"
+    if kw["a_ub"].shape[0]:
+        assert (kw["a_ub"] @ x <= kw["b_ub"] + tol).all(), "<= row violated"
+    if kw["a_eq"].shape[0]:
+        assert np.abs(kw["a_eq"] @ x - kw["b_eq"]).max() <= tol, "= row violated"
+
+
 @pytest.mark.parametrize("seed", range(50))
-def test_builtin_agrees_with_highs(seed):
+def test_three_way_agreement(seed):
     kw = _random_instance(seed)
-    ours = solve_lp_arrays(engine="builtin", **kw)
-    ref = solve_lp_arrays(engine="highs", **kw)
-    assert ours.status == ref.status
-    if ref.status == "optimal":
-        assert ours.objective == pytest.approx(ref.objective, rel=1e-6, abs=1e-6)
+    results = {eng: solve_lp_arrays(engine=eng, **kw) for eng in ENGINES}
+    statuses = {eng: r.status for eng, r in results.items()}
+    assert len(set(statuses.values())) == 1, f"status split: {statuses}"
+    if results["highs"].status == "optimal":
+        ref = results["highs"].objective
+        for eng in ("builtin", "tableau"):
+            assert results[eng].objective == pytest.approx(ref, rel=1e-6, abs=1e-6), eng
+            _assert_feasible(results[eng].x, kw)
 
 
 @pytest.mark.parametrize("seed", range(0, 50, 7))
-def test_warm_started_children_agree_with_highs(seed):
+@pytest.mark.parametrize("engine", ["builtin", "tableau"])
+def test_warm_started_children_agree_with_highs(seed, engine):
     """Cached + warm-started child solves must match fresh HiGHS solves."""
     kw = _random_instance(seed)
-    ctx = RelaxationContext(engine="builtin", **kw)
+    ctx = RelaxationContext(engine=engine, **kw)
     root = ctx.solve()
     if root.status != "optimal":
         pytest.skip("root relaxation infeasible for this seed")
@@ -73,3 +95,41 @@ def test_warm_started_children_agree_with_highs(seed):
         assert child.status == ref.status
         if ref.status == "optimal":
             assert child.objective == pytest.approx(ref.objective, rel=1e-6, abs=1e-6)
+            _assert_feasible(child.x, kw, lb=lb, ub=ub)
+
+
+@pytest.mark.parametrize("seed", range(0, 50, 11))
+def test_revised_warm_chains_stay_consistent(seed):
+    """Grandchild solves warm-started off children must still match HiGHS.
+
+    The revised core's tokens carry (basis, vstat) rather than a column
+    layout, so chains of warm starts across successive bound tightenings
+    exercise the phase-1 repair path on bases that drifted two solves
+    back.
+    """
+    kw = _random_instance(seed)
+    ctx = RelaxationContext(engine="builtin", **kw)
+    node = ctx.solve()
+    if node.status != "optimal":
+        pytest.skip("root relaxation infeasible for this seed")
+    rng = np.random.default_rng(4200 + seed)
+    lb, ub = kw["lb"].copy(), kw["ub"].copy()
+    n = kw["c"].shape[0]
+    for _ in range(5):
+        j = int(rng.integers(0, n))
+        mid = float(rng.uniform(lb[j], ub[j]))
+        if rng.random() < 0.5:
+            lb[j] = mid
+        else:
+            ub[j] = mid
+        child = ctx.solve(lb, ub, warm=node.warm_token)
+        ref = solve_lp_arrays(
+            engine="highs", c=kw["c"], a_ub=kw["a_ub"], b_ub=kw["b_ub"],
+            a_eq=kw["a_eq"], b_eq=kw["b_eq"], lb=lb, ub=ub,
+        )
+        assert child.status == ref.status
+        if child.status != "optimal":
+            break
+        assert child.objective == pytest.approx(ref.objective, rel=1e-6, abs=1e-6)
+        _assert_feasible(child.x, kw, lb=lb, ub=ub)
+        node = child

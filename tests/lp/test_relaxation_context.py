@@ -84,9 +84,11 @@ class TestChildNodes:
         assert cached.objective == pytest.approx(fresh.objective, abs=1e-8)
         assert ctx.structural_rebuilds == 0
 
-    def test_loosening_a_root_finite_lb_rebuilds(self):
+    def test_loosening_a_root_finite_lb_rebuilds_tableau(self):
+        # The dense tableau's plus/minus column split is fixed at the
+        # root, so loosening a root-finite lb forces a restandardization.
         kw = problem()
-        ctx = RelaxationContext(engine="builtin", **kw)
+        ctx = RelaxationContext(engine="tableau", **kw)
         lb = kw["lb"].copy()
         lb[2] = -np.inf  # z was finite at the root
         res = ctx.solve(lb, kw["ub"])
@@ -95,6 +97,23 @@ class TestChildNodes:
             a_eq=kw["a_eq"], b_eq=kw["b_eq"], lb=lb, ub=kw["ub"],
         )
         assert ctx.structural_rebuilds == 1
+        assert res.status == fresh.status
+        if fresh.status == "optimal":
+            assert res.objective == pytest.approx(fresh.objective, abs=1e-8)
+
+    def test_loosening_a_root_finite_lb_is_native_for_revised(self):
+        # The revised core keeps bounds implicit, so the same loosening
+        # is just another bound-array update: no rebuild at all.
+        kw = problem()
+        ctx = RelaxationContext(engine="builtin", **kw)
+        lb = kw["lb"].copy()
+        lb[2] = -np.inf
+        res = ctx.solve(lb, kw["ub"])
+        fresh = solve_lp_arrays(
+            engine="highs", c=kw["c"], a_ub=kw["a_ub"], b_ub=kw["b_ub"],
+            a_eq=kw["a_eq"], b_eq=kw["b_eq"], lb=lb, ub=kw["ub"],
+        )
+        assert ctx.structural_rebuilds == 0
         assert res.status == fresh.status
         if fresh.status == "optimal":
             assert res.objective == pytest.approx(fresh.objective, abs=1e-8)
@@ -112,15 +131,32 @@ class TestWarmTokens:
         assert again.objective == pytest.approx(root.objective)
         assert ctx.warm_start_hits >= 1
 
-    def test_mismatched_bound_pattern_ignores_token(self):
+    def test_mismatched_bound_pattern_ignores_token_tableau(self):
         kw = problem()
-        ctx = RelaxationContext(engine="builtin", **kw)
+        ctx = RelaxationContext(engine="tableau", **kw)
         root = ctx.solve()
         ub = kw["ub"].copy()
         ub[2] = 9.0  # new finite ub changes the bound-row pattern
         child = ctx.solve(kw["lb"], ub, warm=root.warm_token)
         assert child.status == "optimal"
         assert not child.warm_started
+
+    def test_changed_bound_pattern_still_warm_starts_revised(self):
+        # The revised core's column layout is bound-independent, so the
+        # parent basis transfers even when the bound pattern changes.
+        kw = problem()
+        ctx = RelaxationContext(engine="builtin", **kw)
+        root = ctx.solve()
+        ub = kw["ub"].copy()
+        ub[2] = 9.0
+        child = ctx.solve(kw["lb"], ub, warm=root.warm_token)
+        assert child.status == "optimal"
+        assert child.warm_started
+        fresh = solve_lp_arrays(
+            engine="highs", c=kw["c"], a_ub=kw["a_ub"], b_ub=kw["b_ub"],
+            a_eq=kw["a_eq"], b_eq=kw["b_eq"], lb=kw["lb"], ub=ub,
+        )
+        assert child.objective == pytest.approx(fresh.objective, abs=1e-8)
 
 
 class TestTelemetry:
@@ -142,6 +178,28 @@ class TestTelemetry:
         res = solve_lp_arrays(engine="builtin", **kw)
         assert res.conversion_seconds >= 0.0
         assert res.solve_seconds >= 0.0
+
+    def test_revised_core_counters_populated(self):
+        kw = problem()
+        ctx = RelaxationContext(engine="builtin", **kw)
+        res = ctx.solve()
+        assert res.status == "optimal"
+        # Any solve with at least one pivot refactorizes once at the
+        # final accuracy gate, retiring its eta file.
+        assert res.refactorizations >= 1
+        assert res.eta_file_length >= 1
+        assert res.pricing_passes >= 1
+        assert res.bound_flips >= 0
+        assert ctx.refactorizations == res.refactorizations
+        assert ctx.eta_file_length == res.eta_file_length
+        assert ctx.pricing_passes == res.pricing_passes
+
+    def test_tableau_engine_matches_revised(self):
+        kw = problem()
+        rev = solve_lp_arrays(engine="builtin", **kw)
+        tab = solve_lp_arrays(engine="tableau", **kw)
+        assert rev.status == tab.status == "optimal"
+        assert rev.objective == pytest.approx(tab.objective, abs=1e-8)
 
 
 class TestHighsEngineContext:

@@ -1,0 +1,169 @@
+"""Unit tests for the sparse bounded-variable revised simplex core."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.lp.revised_simplex import (
+    BASIC,
+    REFACTOR_INTERVAL,
+    RevisedResult,
+    SparseBoundedLP,
+    solve_bounded_lp,
+)
+
+NO_ROWS = dict(
+    a_ub=np.zeros((0, 2)), b_ub=np.zeros(0), a_eq=np.zeros((0, 2)), b_eq=np.zeros(0)
+)
+
+
+def _family(c, a_ub=None, b_ub=None, a_eq=None, b_eq=None):
+    c = np.asarray(c, dtype=float)
+    n = c.shape[0]
+    return SparseBoundedLP(
+        c,
+        np.zeros((0, n)) if a_ub is None else np.asarray(a_ub, float),
+        np.zeros(0) if b_ub is None else np.asarray(b_ub, float),
+        np.zeros((0, n)) if a_eq is None else np.asarray(a_eq, float),
+        np.zeros(0) if b_eq is None else np.asarray(b_eq, float),
+    )
+
+
+class TestStatuses:
+    def test_simple_box_lp(self):
+        # min -x - 2y st x + y <= 3, 0 <= x,y <= 2 → x=1, y=2, obj=-5.
+        lp = _family([-1.0, -2.0], a_ub=[[1.0, 1.0]], b_ub=[3.0])
+        res = solve_bounded_lp(lp, np.zeros(2), np.full(2, 2.0))
+        assert res.status == "optimal"
+        assert res.objective == pytest.approx(-5.0)
+        np.testing.assert_allclose(res.x, [1.0, 2.0], atol=1e-9)
+
+    def test_unbounded(self):
+        lp = _family([-1.0, 0.0], a_ub=[[0.0, 1.0]], b_ub=[1.0])
+        res = solve_bounded_lp(lp, np.zeros(2), np.full(2, np.inf))
+        assert res.status == "unbounded"
+        assert res.objective == -np.inf
+
+    def test_infeasible_rows(self):
+        # x + y <= 1 with x, y >= 1 each.
+        lp = _family([1.0, 1.0], a_ub=[[1.0, 1.0]], b_ub=[1.0])
+        res = solve_bounded_lp(lp, np.ones(2), np.full(2, np.inf))
+        assert res.status == "infeasible"
+
+    def test_crossed_bounds_short_circuit(self):
+        lp = _family([1.0, 1.0], a_ub=[[1.0, 1.0]], b_ub=[4.0])
+        res = solve_bounded_lp(lp, np.array([2.0, 0.0]), np.array([1.0, 1.0]))
+        assert res.status == "infeasible"
+        assert res.iterations == 0
+
+    def test_equality_rows_only(self):
+        # min x + y st x + y = 2, x - y = 0 → x = y = 1.
+        lp = _family([1.0, 1.0], a_eq=[[1.0, 1.0], [1.0, -1.0]], b_eq=[2.0, 0.0])
+        res = solve_bounded_lp(lp, np.zeros(2), np.full(2, np.inf))
+        assert res.status == "optimal"
+        np.testing.assert_allclose(res.x, [1.0, 1.0], atol=1e-8)
+
+    def test_free_variable(self):
+        # min y st y >= x - 3, y >= -x - 1, x free → y = -2 at x = 1.
+        lp = _family(
+            [0.0, 1.0], a_ub=[[1.0, -1.0], [-1.0, -1.0]], b_ub=[3.0, 1.0]
+        )
+        res = solve_bounded_lp(
+            lp, np.array([-np.inf, -np.inf]), np.array([np.inf, np.inf])
+        )
+        assert res.status == "optimal"
+        assert res.objective == pytest.approx(-2.0, abs=1e-8)
+
+    def test_iteration_limit(self):
+        lp = _family([-1.0, -2.0], a_ub=[[1.0, 1.0]], b_ub=[3.0])
+        res = solve_bounded_lp(lp, np.zeros(2), np.full(2, 2.0), max_iterations=1)
+        assert res.status in ("iteration_limit", "optimal")
+
+
+class TestNoRows:
+    def test_bounds_only_minimization(self):
+        lp = _family([1.0, -1.0])
+        res = solve_bounded_lp(lp, np.array([-1.0, -2.0]), np.array([5.0, 3.0]))
+        assert res.status == "optimal"
+        np.testing.assert_allclose(res.x, [-1.0, 3.0], atol=1e-12)
+
+    def test_bounds_only_unbounded(self):
+        lp = _family([1.0, -1.0])
+        res = solve_bounded_lp(lp, np.array([-np.inf, 0.0]), np.array([np.inf, 1.0]))
+        assert res.status == "unbounded"
+
+
+class TestBoundFlips:
+    def test_flip_is_counted_and_correct(self):
+        # min -x st x <= 1 slackly rowed: x enters, hits its own upper
+        # bound before any basic blocks → a bound flip, no basis change.
+        lp = _family([-1.0], a_ub=[[1.0]], b_ub=[10.0])
+        res = solve_bounded_lp(lp, np.zeros(1), np.ones(1))
+        assert res.status == "optimal"
+        assert res.objective == pytest.approx(-1.0)
+        assert res.bound_flips >= 1
+
+
+class TestWarmStart:
+    def _kw(self):
+        rng = np.random.default_rng(77)
+        n, m = 8, 5
+        a_ub = rng.normal(size=(m, n))
+        b_ub = rng.normal(size=m) + 4.0
+        return _family(rng.normal(size=n), a_ub=a_ub, b_ub=b_ub), n
+
+    def test_warm_start_round_trip(self):
+        lp, n = self._kw()
+        lb, ub = np.zeros(n), np.ones(n)
+        cold = solve_bounded_lp(lp, lb, ub)
+        assert cold.status == "optimal"
+        warm = solve_bounded_lp(lp, lb, ub, warm=(cold.basis, cold.vstat))
+        assert warm.status == "optimal"
+        assert warm.warm_started
+        assert warm.objective == pytest.approx(cold.objective)
+        # Re-solving at the optimum needs no phase-1 repair pivots.
+        assert warm.phase1_iterations == 0
+
+    def test_corrupt_token_falls_back_to_cold_start(self):
+        lp, n = self._kw()
+        lb, ub = np.zeros(n), np.ones(n)
+        cold = solve_bounded_lp(lp, lb, ub)
+        bad_basis = np.zeros_like(cold.basis)  # duplicated indices: singular
+        warm = solve_bounded_lp(lp, lb, ub, warm=(bad_basis, cold.vstat))
+        assert warm.status == "optimal"
+        assert not warm.warm_started
+        assert warm.objective == pytest.approx(cold.objective)
+
+    def test_wrong_shape_token_falls_back(self):
+        lp, n = self._kw()
+        lb, ub = np.zeros(n), np.ones(n)
+        warm = solve_bounded_lp(lp, lb, ub, warm=(np.array([0]), np.array([BASIC])))
+        assert warm.status == "optimal"
+        assert not warm.warm_started
+
+
+class TestRefactorization:
+    def test_long_solves_refactorize_periodically(self):
+        # A dense random LP big enough to take > REFACTOR_INTERVAL pivots.
+        rng = np.random.default_rng(5)
+        n, m = 60, 45
+        lp = _family(
+            rng.normal(size=n),
+            a_ub=rng.normal(size=(m, n)),
+            b_ub=rng.normal(size=m) + float(n),
+        )
+        res = solve_bounded_lp(lp, np.zeros(n), np.ones(n))
+        assert res.status == "optimal"
+        if res.iterations > REFACTOR_INTERVAL:
+            assert res.refactorizations >= 2
+        # Every retired eta was one basis-changing pivot.
+        assert res.eta_file_length <= res.iterations
+        assert res.pricing_passes >= 1
+
+    def test_counters_present_on_result(self):
+        res = RevisedResult(status="optimal", x=None, objective=0.0, iterations=0)
+        for name in (
+            "refactorizations", "eta_file_length", "pricing_passes", "bound_flips",
+        ):
+            assert getattr(res, name) == 0
