@@ -38,6 +38,9 @@ def render_solve_stats(stats: SolveStats) -> str:
         f"    eta file length at refactor  {stats.eta_file_length}",
         f"  pricing passes                 {stats.pricing_passes}",
         f"  bound-flip pivots              {stats.bound_flips}",
+        "  dual re-solves (entry / fall)  "
+        f"{stats.dual_entries} / {stats.dual_fallbacks}",
+        f"    dual pivots                  {stats.dual_pivots}",
         f"  B&B nodes explored             {stats.nodes_explored}",
         f"  B&B nodes pruned               {stats.nodes_pruned}",
         f"  cut rounds / cuts added        {stats.cut_rounds} / {stats.cuts_added}",

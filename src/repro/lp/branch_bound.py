@@ -72,6 +72,7 @@ def _absorb_lp_detail(stats: SolveStats, relax) -> None:
     stats.eta_file_length += getattr(relax, "eta_file_length", 0)
     stats.pricing_passes += getattr(relax, "pricing_passes", 0)
     stats.bound_flips += getattr(relax, "bound_flips", 0)
+    stats.dual_pivots += getattr(relax, "dual_pivots", 0)
     stats.conversion_seconds += relax.conversion_seconds
     stats.relaxation_solve_seconds += relax.solve_seconds
 
@@ -96,7 +97,11 @@ def _apply_root_cuts(
             return
         if _most_fractional(relax.x, integral) is None:
             return  # already integral: no point cutting
-        cuts = separate_cuts(form.a_ub, form.b_ub, relax.x, integral)
+        # The bound arrays prove which support columns are genuinely
+        # binary; cover cuts are invalid for general integers (ub > 1).
+        cuts = separate_cuts(
+            form.a_ub, form.b_ub, relax.x, integral, lb=form.lb, ub=form.ub
+        )
         if not cuts:
             return
         extra_a, extra_b = cuts_to_rows(cuts, form.a_ub.shape[1])
@@ -159,6 +164,8 @@ def solve_branch_and_bound(
     gap_tolerance: float = 1e-6,
     cover_cut_rounds: int = 0,
     max_iterations: int = 20000,
+    node_resolve: str = "dual",
+    presolve: bool = True,
     warm_start=None,
     form: MatrixForm | None = None,
     context: RelaxationContext | None = None,
@@ -185,6 +192,18 @@ def solve_branch_and_bound(
         only the search tree shrinks.
     max_iterations:
         Simplex pivot budget per node relaxation (builtin engine).
+    node_resolve:
+        ``"dual"`` (default) re-solves warm-started nodes with the dual
+        simplex — a parent basis is dual feasible for its children, so
+        most nodes cost a handful of pivots and infeasible ones stop at
+        the first Farkas row.  ``"primal"`` restores the PR-5 behavior.
+        Builtin engine only; ignored elsewhere.
+    presolve:
+        Run the array-level presolve (singleton/redundant row removal,
+        activity bound tightening, integer snapping) once per tree on
+        the root arrays; every node then solves the reduced problem.
+        Applies to the builtin and HiGHS engines; the tableau engine
+        stays presolve-free as the cross-check oracle.
     warm_start:
         Optional variable-name → value hint (a MIP start).  When it is
         feasible for *this* model it becomes the initial incumbent, so
@@ -221,10 +240,19 @@ def solve_branch_and_bound(
             form.c, form.a_ub, form.b_ub, form.a_eq, form.b_eq,
             form.lb, form.ub, engine=relaxation_engine,
             max_iterations=max_iterations,
+            node_resolve=node_resolve, presolve=presolve,
+            integrality=integral,
         )
     context_counters_start = (
         context.warm_start_hits, context.warm_start_misses,
         context.cache_hits, context.node_solves,
+        getattr(context, "dual_entries", 0),
+        getattr(context, "dual_fallbacks", 0),
+    )
+    stats.merge_presolve(
+        dropped_constraints=getattr(context, "presolve_rows_dropped", 0),
+        tightened_bounds=getattr(context, "presolve_bounds_tightened", 0),
+        rounds=getattr(context, "presolve_rounds", 0),
     )
 
     root_warm = basis_io.get("root") if basis_io else None
@@ -292,9 +320,11 @@ def solve_branch_and_bound(
         stats.best_bound = to_user_objective(best_bound)
         # Deltas, not lifetime totals: an external context persists
         # across incremental re-solves and keeps accumulating.
-        hits0, misses0, cache0, solves0 = context_counters_start
+        hits0, misses0, cache0, solves0, dual0, dfall0 = context_counters_start
         stats.warm_start_hits = context.warm_start_hits - hits0
         stats.warm_start_misses = context.warm_start_misses - misses0
+        stats.dual_entries = getattr(context, "dual_entries", 0) - dual0
+        stats.dual_fallbacks = getattr(context, "dual_fallbacks", 0) - dfall0
         stats.extra["relaxation_cache_hits"] = float(context.cache_hits - cache0)
         stats.extra["relaxation_node_solves"] = float(context.node_solves - solves0)
         values: dict = {}

@@ -42,14 +42,41 @@ class CoverCut:
         return float(sum(x[i] for i in self.members) - self.rhs)
 
 
+def binary_mask(
+    integral: np.ndarray,
+    lb: np.ndarray | None,
+    ub: np.ndarray | None,
+) -> np.ndarray:
+    """Columns provably binary: integral with bounds inside ``[0, 1]``.
+
+    Without bound arrays nothing is provably binary — a cover cut
+    ``Σ x_i ≤ |C| − 1`` is *invalid* for a general integer with
+    ``ub > 1`` (it can cut off integer-feasible points), so callers must
+    supply bounds to get any usable rows.
+    """
+    integral = np.asarray(integral, dtype=bool)
+    if lb is None or ub is None:
+        return np.zeros_like(integral)
+    lb = np.asarray(lb, dtype=float)
+    ub = np.asarray(ub, dtype=float)
+    return integral & (lb >= -_EPS) & (ub <= 1.0 + _EPS)
+
+
 def knapsack_rows(
-    a_ub: np.ndarray, b_ub: np.ndarray, integral: np.ndarray
+    a_ub: np.ndarray,
+    b_ub: np.ndarray,
+    integral: np.ndarray,
+    lb: np.ndarray | None = None,
+    ub: np.ndarray | None = None,
 ) -> list[int]:
     """Indices of rows usable for cover separation.
 
     A usable row has non-negative coefficients, a positive rhs, and all
-    its support on binary (integral 0/1-bounded) variables.
+    its support on binary (integral *and* 0/1-bounded) variables.  The
+    bound arrays are what prove the 0/1 part; without them no row
+    qualifies.
     """
+    binary = binary_mask(integral, lb, ub)
     rows = []
     for r in range(a_ub.shape[0]):
         row = a_ub[r]
@@ -60,7 +87,7 @@ def knapsack_rows(
             continue
         if (row[support] < 0).any():
             continue
-        if not integral[support].all():
+        if not binary[support].all():
             continue
         rows.append(r)
     return rows
@@ -106,10 +133,12 @@ def separate_cuts(
     x: np.ndarray,
     integral: np.ndarray,
     max_cuts: int = 50,
+    lb: np.ndarray | None = None,
+    ub: np.ndarray | None = None,
 ) -> list[CoverCut]:
     """Separate violated cover cuts at a fractional point, best first."""
     cuts: list[CoverCut] = []
-    for r in knapsack_rows(a_ub, b_ub, integral):
+    for r in knapsack_rows(a_ub, b_ub, integral, lb, ub):
         cut = separate_cover_cut(a_ub[r], float(b_ub[r]), x, r)
         if cut is not None:
             cuts.append(cut)

@@ -1,0 +1,424 @@
+"""Bounded-variable dual simplex for near-free branch-and-bound re-solves.
+
+A branch-and-bound child differs from its parent by exactly one bound.
+The parent's optimal basis therefore stays **dual feasible** for the
+child (reduced costs depend on the basis and costs only, not on
+bounds), while at most the branched variable's basic value slips
+outside its new bound.  The dual simplex starts from precisely that
+state: it walks dual-feasible bases, driving out primal infeasibility
+one leaving row at a time — typically a handful of pivots where the
+primal engine would re-prove feasibility with a 40–100-pivot phase 1.
+Infeasible nodes are cheapest of all: the first unrepairable row is a
+Farkas certificate and the solve stops immediately.
+
+Shared machinery: this solver subclasses the primal
+:class:`~repro.lp.revised_simplex._Solver`, reusing the CSC column
+FTRAN/BTRAN kernel, the LU factorization + product-form eta file, and
+the warm-start validation.  What it adds:
+
+* **Devex row pricing.**  The leaving row maximizes
+  ``violation^2 / w`` over reference weights updated Forrest–Goldfarb
+  style from each pivot column; a stall watchdog falls back to
+  Bland-like lowest-index selection exactly as the primal engine does.
+* **Bound-flipping ratio test.**  Breakpoints are walked in dual-step
+  order; boxed nonbasics whose breakpoint is passed flip to their
+  opposite bound (one aggregated FTRAN repairs ``x_B``), shrinking the
+  leaving row's violation before the blocking column finally pivots in.
+  Exhausting every breakpoint with violation left over proves the LP
+  infeasible.
+* **Warm-only entry.**  Without a valid ``(basis, vstat)`` token the
+  solver refuses (``dual_lost``) and the caller uses the primal engine;
+  reduced-cost sign violations at entry are repaired by bound flips
+  when the opposite bound is finite, else the solve reports
+  ``dual_infeasible`` and again falls back.  An optional cached basis
+  inverse (keyed by the basis, see the caller's factor pool) skips the
+  O(m^3) entry refactorization entirely.
+
+Fixed columns (``lb == ub`` — equality slacks and branch-fixed
+binaries) carry unconstrained reduced costs; they are excluded from the
+dual feasibility test and from the ratio test, which would otherwise
+stall on their meaningless sign.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .revised_simplex import (
+    AT_LOWER,
+    AT_UPPER,
+    BASIC,
+    FEAS_TOL,
+    FREE,
+    PIV_TOL,
+    REFACTOR_INTERVAL,
+    RevisedResult,
+    SparseBoundedLP,
+    _Solver,
+)
+
+#: Reduced-cost sign slack tolerated at warm entry (looser than DJ_TOL:
+#: the parent stopped pricing at DJ_TOL, so its token can carry up to
+#: that much noise per column plus factorization drift).
+ENTRY_DUAL_TOL = 1e-7
+
+#: Minimum |row element| for a column to join the dual ratio test.
+ZERO_TOL = 1e-9
+
+#: Columns with a tighter gap than this count as fixed (unconstrained
+#: reduced-cost sign; never enter, never flip).
+FIXED_TOL = 1e-12
+
+
+@dataclass
+class DualResult(RevisedResult):
+    """Revised-simplex result plus the dual walk's own counters."""
+
+    dual_pivots: int = 0
+    #: Basis inverse matching ``basis`` (optimal exits only — the
+    #: verification refactor leaves the eta file empty, so this is
+    #: exact).  Callers may seed the next warm solve with it.
+    binv: np.ndarray | None = None
+
+
+class _DualSolver(_Solver):
+    """One dual-simplex solve over a :class:`SparseBoundedLP` member."""
+
+    def __init__(
+        self,
+        lp: SparseBoundedLP,
+        lb: np.ndarray,
+        ub: np.ndarray,
+        max_iterations: int,
+        warm: tuple[np.ndarray, np.ndarray] | None,
+        binv: np.ndarray | None = None,
+    ) -> None:
+        super().__init__(lp, lb, ub, max_iterations, warm)
+        self._binv_hint = binv
+        self.dual_pivots = 0
+
+    # -- entry -------------------------------------------------------------
+
+    def _warm_start_dual(self) -> bool:
+        """Adopt the warm token; use the cached inverse when offered."""
+        basis, vstat = self.warm
+        basis = np.asarray(basis, dtype=np.int64)
+        vstat = np.asarray(vstat, dtype=np.int8)
+        if basis.shape != (self.m,) or vstat.shape != (self.N,):
+            return False
+        if (basis < 0).any() or (basis >= self.N).any():
+            return False
+        if np.unique(basis).size != self.m:
+            return False
+        self.basis = basis.copy()
+        self.vstat = vstat.copy()
+        self.vstat[self.basis] = BASIC
+        self.etas = []
+        hint = self._binv_hint
+        if hint is not None and hint.shape == (self.m, self.m):
+            # The basis fully determines B, so a pool hit is exact; it is
+            # only ever *replaced* (never mutated) by a refactorization.
+            self.binv = hint
+        elif not self._refactor():
+            return False
+        self._normalize_nonbasic()
+        self._compute_xb()
+        return True
+
+    def _reduced_costs(self) -> np.ndarray:
+        y = self._btran(self._cvec[self.basis])
+        d = self._reduced_block(y, self._cvec, 0, self.N)
+        d[self.basis] = 0.0
+        return d
+
+    def _fixed_mask(self) -> np.ndarray:
+        return (self.upper - self.lower) <= FIXED_TOL
+
+    def _dual_normalize(self) -> bool:
+        """Repair entry reduced-cost signs by bound flips; False if stuck."""
+        d = self._reduced_costs()
+        nb = self.vstat != BASIC
+        fixed = self._fixed_mask()
+        low_bad = nb & ~fixed & (self.vstat == AT_LOWER) & (d < -ENTRY_DUAL_TOL)
+        up_bad = nb & ~fixed & (self.vstat == AT_UPPER) & (d > ENTRY_DUAL_TOL)
+        flip_up = low_bad & np.isfinite(self.upper)
+        flip_dn = up_bad & np.isfinite(self.lower)
+        if (low_bad & ~flip_up).any() or (up_bad & ~flip_dn).any():
+            return False
+        if (nb & (self.vstat == FREE) & (np.abs(d) > ENTRY_DUAL_TOL)).any():
+            return False
+        if flip_up.any() or flip_dn.any():
+            self.vstat[flip_up] = AT_UPPER
+            self.vstat[flip_dn] = AT_LOWER
+            self.bound_flips += int(flip_up.sum() + flip_dn.sum())
+            self._normalize_nonbasic()
+            self._compute_xb()
+        return True
+
+    def _dual_violation(self) -> float:
+        d = self._reduced_costs()
+        nb = self.vstat != BASIC
+        fixed = self._fixed_mask()
+        live = nb & ~fixed
+        worst = 0.0
+        low = live & (self.vstat == AT_LOWER)
+        if low.any():
+            worst = max(worst, float(np.maximum(-d[low], 0.0).max()))
+        up = live & (self.vstat == AT_UPPER)
+        if up.any():
+            worst = max(worst, float(np.maximum(d[up], 0.0).max()))
+        fr = nb & (self.vstat == FREE)
+        if fr.any():
+            worst = max(worst, float(np.abs(d[fr]).max()))
+        return worst
+
+    # -- the dual walk -----------------------------------------------------
+
+    def _pivot_row(self, alpha_row: np.ndarray) -> np.ndarray:
+        """Row ``rho @ A`` over all columns (structural then slack)."""
+        abar = np.empty(self.N)
+        abar[: self.n] = self.lp.a.rmatvec(alpha_row)
+        abar[self.n :] = alpha_row
+        return abar
+
+    def _apply_flips(self, flips: list[int]) -> None:
+        """Flip boxed nonbasics to their opposite bound; repair x_B once."""
+        dx = np.zeros(self.N)
+        for j in flips:
+            rng = self.upper[j] - self.lower[j]
+            if self.vstat[j] == AT_LOWER:
+                dx[j] = rng
+                self.vstat[j] = AT_UPPER
+                self.xval[j] = self.upper[j]
+            else:
+                dx[j] = -rng
+                self.vstat[j] = AT_LOWER
+                self.xval[j] = self.lower[j]
+        rhs = self.lp.a.matvec(dx[: self.n]) + dx[self.n :]
+        self.xB -= self._ftran(rhs)
+        self.bound_flips += len(flips)
+
+    def _dual_loop(self) -> str:
+        m = self.m
+        w = np.ones(m)  # devex reference weights, one per row
+        stall = 0
+        bland = False
+        while True:
+            lB = self.lower[self.basis]
+            uB = self.upper[self.basis]
+            below = lB - self.xB
+            above = self.xB - uB
+            viol = np.maximum(below, above)
+            if float(viol.max(initial=0.0)) <= FEAS_TOL:
+                return "optimal"
+            if self.iterations >= self.max_iterations:
+                return "iteration_limit"
+            cand = viol > FEAS_TOL
+            if bland:
+                r = int(np.flatnonzero(cand)[0])
+            else:
+                score = np.where(cand, viol * viol / w, -1.0)
+                r = int(np.argmax(score))
+            is_above = above[r] >= below[r]
+            sigma = 1.0 if is_above else -1.0
+            p = int(self.basis[r])
+            bound_p = self.upper[p] if is_above else self.lower[p]
+
+            e = np.zeros(m)
+            e[r] = 1.0
+            rho = self._btran(e)
+            atil = sigma * self._pivot_row(rho)
+            d = self._reduced_costs()
+            self.pricing_passes += 1
+
+            nbm = self.vstat != BASIC
+            fixed = self._fixed_mask()
+            elig = (
+                nbm
+                & ~fixed
+                & (
+                    ((self.vstat == AT_LOWER) & (atil > ZERO_TOL))
+                    | ((self.vstat == AT_UPPER) & (atil < -ZERO_TOL))
+                    | ((self.vstat == FREE) & (np.abs(atil) > ZERO_TOL))
+                )
+            )
+            idx = np.flatnonzero(elig)
+            if idx.size == 0:
+                # No column can repair this row: Farkas certificate.
+                return "infeasible"
+            theta = d[idx] / atil[idx]
+            np.maximum(theta, 0.0, out=theta)
+            order = np.argsort(theta, kind="stable")
+
+            flips: list[int] = []
+            if bland:
+                tmin = float(theta[order[0]])
+                q = int(idx[theta <= tmin + 1e-12].min())
+                tq = tmin
+            else:
+                # Bound-flipping walk: pass breakpoints while the leaving
+                # row's violation (the dual slope) survives the flip.
+                slope = float(viol[r])
+                kq = -1
+                for k in order:
+                    j = int(idx[k])
+                    drop = abs(atil[j]) * (self.upper[j] - self.lower[j])
+                    if not np.isfinite(drop) or slope - drop <= 1e-12:
+                        kq = int(k)
+                        break
+                    flips.append(j)
+                    slope -= drop
+                if kq < 0:
+                    # Every breakpoint flipped, violation remains: the
+                    # dual is unbounded along this row, so no primal
+                    # feasible point exists.
+                    return "infeasible"
+                tq = float(theta[kq])
+                # Among blocking candidates tied at t_q, take the largest
+                # pivot element (Harris-style stability tie-break).
+                q = int(idx[kq])
+                best = abs(atil[q])
+                started = False
+                for k in order:
+                    if int(k) == kq:
+                        started = True
+                        continue
+                    if not started:
+                        continue
+                    if float(theta[k]) > tq + 1e-9:
+                        break
+                    j = int(idx[k])
+                    if abs(atil[j]) > best:
+                        best = abs(atil[j])
+                        q = j
+
+            if flips:
+                self._apply_flips(flips)
+
+            alpha = self._ftran_col(q)
+            ar = float(alpha[r])
+            if abs(ar) < PIV_TOL:
+                if not self._refactor():
+                    return "error"
+                self._compute_xb()
+                alpha = self._ftran_col(q)
+                ar = float(alpha[r])
+                if abs(ar) < PIV_TOL:
+                    return "dual_lost"
+
+            delta_q = (float(self.xB[r]) - bound_p) / ar
+            xq = 0.0 if self.vstat[q] == FREE else float(self.xval[q])
+            self.xB -= delta_q * alpha
+            self.xB[r] = xq + delta_q
+            self.vstat[p] = AT_UPPER if is_above else AT_LOWER
+            self.xval[p] = bound_p
+            self.vstat[q] = BASIC
+            self.basis[r] = q
+            g = -alpha / ar
+            g[r] = 1.0 / ar - 1.0
+            self.etas.append((r, g))
+            if len(self.etas) >= REFACTOR_INTERVAL:
+                if not self._refactor():
+                    return "error"
+                self._compute_xb()
+
+            # Forrest–Goldfarb devex update over the pivot column.
+            ref = w[r] / (ar * ar)
+            np.maximum(w, alpha * alpha * ref, out=w)
+            w[r] = max(1.0, ref)
+
+            self.dual_pivots += 1
+            self.iterations += 1
+            if tq <= 1e-12:
+                self.degenerate_pivots += 1
+                stall += 1
+                if stall > 2 * m and not bland:
+                    bland = True
+                    self.bland_switches += 1
+            else:
+                stall = 0
+                bland = False
+
+    # -- driver ------------------------------------------------------------
+
+    def solve(self) -> DualResult:
+        if (self.lower > self.upper + FEAS_TOL).any():
+            return self._dual_result("infeasible")
+        if self.m == 0 or self.warm is None:
+            # Nothing for a dual walk to stand on; the caller's primal
+            # path handles both cases.
+            return self._dual_result("dual_lost")
+        if not self._warm_start_dual():
+            return self._dual_result("dual_lost")
+        self.warm_started = True
+        if not self._dual_normalize():
+            return self._dual_result("dual_infeasible")
+        for _attempt in range(4):
+            status = self._dual_loop()
+            if status != "optimal":
+                return self._dual_result(status)
+            # Accuracy gate, mirroring the primal driver: fold the eta
+            # file into a fresh factorization and re-check both
+            # feasibilities before trusting the optimum.
+            if self.etas:
+                if not self._refactor():
+                    return self._dual_result("error")
+                self._compute_xb()
+            viol = np.maximum(
+                self.lower[self.basis] - self.xB, self.xB - self.upper[self.basis]
+            )
+            if float(viol.max(initial=0.0)) <= 1e-6 and self._dual_violation() <= 1e-6:
+                return self._dual_result("optimal")
+        return self._dual_result("dual_lost")
+
+    def _dual_result(self, status: str) -> DualResult:
+        x = None
+        basis = vstat = binv = None
+        objective = np.nan
+        if status == "optimal":
+            self.xval[self.basis] = self.xB
+            x = self.xval[: self.n].copy()
+            np.clip(x, self.lower[: self.n], self.upper[: self.n], out=x)
+            objective = float(self.lp.c @ x)
+            basis = self.basis.copy()
+            vstat = self.vstat.copy()
+            if not self.etas:
+                binv = self.binv
+        return DualResult(
+            status=status,
+            x=x,
+            objective=objective,
+            iterations=self.iterations,
+            phase2_iterations=self.dual_pivots,
+            bland_switches=self.bland_switches,
+            degenerate_pivots=self.degenerate_pivots,
+            refactorizations=self.refactorizations,
+            eta_file_length=self.eta_file_length,
+            pricing_passes=self.pricing_passes,
+            bound_flips=self.bound_flips,
+            basis=basis,
+            vstat=vstat,
+            warm_started=self.warm_started,
+            dual_pivots=self.dual_pivots,
+            binv=binv,
+        )
+
+
+def solve_bounded_lp_dual(
+    lp: SparseBoundedLP,
+    lb: np.ndarray,
+    ub: np.ndarray,
+    max_iterations: int = 20000,
+    warm: tuple[np.ndarray, np.ndarray] | None = None,
+    binv: np.ndarray | None = None,
+) -> DualResult:
+    """Dual-simplex solve of one LP-family member from a warm token.
+
+    Statuses beyond the primal set: ``dual_lost`` (no usable warm token
+    or numerical breakdown mid-walk) and ``dual_infeasible`` (the token
+    is not reduced-cost feasible and bound flips cannot repair it).
+    Both mean "use the primal engine"; neither is a verdict on the LP.
+    """
+    return _DualSolver(lp, lb, ub, max_iterations, warm, binv=binv).solve()

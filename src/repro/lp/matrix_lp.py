@@ -31,8 +31,14 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..telemetry import metrics
+from .array_presolve import presolve_arrays
+from .dual_simplex import solve_bounded_lp_dual
 from .revised_simplex import SparseBoundedLP, solve_bounded_lp
 from .simplex import solve_standard_form
+
+#: Basis inverses remembered per context (keyed by the basis itself, so
+#: a hit is exact); bounds the pool's memory at ~48 m x m arrays.
+_FACTOR_POOL_SIZE = 48
 
 
 @dataclass
@@ -59,6 +65,7 @@ class ArrayLPResult:
     eta_file_length: int = 0
     pricing_passes: int = 0
     bound_flips: int = 0
+    dual_pivots: int = 0
     message: str = ""
     conversion_seconds: float = 0.0
     solve_seconds: float = 0.0
@@ -153,6 +160,9 @@ class RelaxationContext:
         ub: np.ndarray,
         engine: str = "builtin",
         max_iterations: int = 20000,
+        node_resolve: str = "dual",
+        presolve: bool = True,
+        integrality: np.ndarray | None = None,
     ) -> None:
         self.engine = engine
         # "builtin" is an alias for the revised core; the dense tableau
@@ -168,6 +178,13 @@ class RelaxationContext:
         self.b_eq = np.asarray(b_eq, dtype=float)
         self.root_lb = np.array(lb, dtype=float, copy=True)
         self.root_ub = np.array(ub, dtype=float, copy=True)
+        # Only the revised core has a dual path; the tableau stays
+        # presolve-free so it remains an untouched cross-check oracle.
+        self.node_resolve = node_resolve if self._mode == "revised" else "primal"
+        self.presolve_enabled = bool(presolve) and self._mode in ("revised", "highs")
+        self._integrality = (
+            None if integrality is None else np.asarray(integrality).astype(bool)
+        )
 
         self.conversion_seconds = 0.0
         self.solve_seconds = 0.0
@@ -180,15 +197,122 @@ class RelaxationContext:
         self.eta_file_length = 0
         self.pricing_passes = 0
         self.bound_flips = 0
+        self.dual_entries = 0
+        self.dual_pivots = 0
+        self.dual_fallbacks = 0
+        self.presolve_rows_dropped = 0
+        self.presolve_bounds_tightened = 0
+        self.presolve_rounds = 0
+        self.presolve_reroots = 0
+
+        self._factor_pool: dict[bytes, np.ndarray] = {}
+        self._presolve_infeasible = False
+        self._presolve_message = ""
+        # Row keep-masks actually applied to the effective arrays; a
+        # re-root only has to rebuild the family when these change.
+        self._keep_ub: np.ndarray | None = None
+        self._keep_eq: np.ndarray | None = None
+        # Effective (post-presolve) problem the engines actually solve;
+        # aliases of the originals until presolve tightens something.
+        self._eff_a_ub, self._eff_b_ub = self.a_ub, self.b_ub
+        self._eff_a_eq, self._eff_b_eq = self.a_eq, self.b_eq
+        self._eff_lb, self._eff_ub = self.root_lb, self.root_ub
+        if self.presolve_enabled:
+            self._run_presolve()
 
         if self._mode == "revised":
             start = time.perf_counter()
             self._family = SparseBoundedLP(
-                self.c, self.a_ub, self.b_ub, self.a_eq, self.b_eq
+                self.c, self._eff_a_ub, self._eff_b_ub,
+                self._eff_a_eq, self._eff_b_eq,
             )
             self.conversion_seconds += time.perf_counter() - start
         elif self._mode == "tableau":
             self._build_base()
+
+    # -- array presolve ----------------------------------------------------
+
+    def _run_presolve(self) -> None:
+        """Reduce the root problem; node solves inherit the reductions.
+
+        Dropped rows survive only through the tightened root bounds, so
+        :meth:`solve` must intersect every node's bounds with
+        ``_eff_lb``/``_eff_ub`` — and :meth:`_reroot` must redo all of
+        this if a caller ever loosens bounds past the root box.
+        """
+        start = time.perf_counter()
+        pre = presolve_arrays(
+            self.c, self.a_ub, self.b_ub, self.a_eq, self.b_eq,
+            self.root_lb, self.root_ub, integrality=self._integrality,
+        )
+        self.conversion_seconds += time.perf_counter() - start
+        self.presolve_rows_dropped += pre.rows_dropped
+        self.presolve_bounds_tightened += pre.bounds_tightened
+        self.presolve_rounds += pre.rounds
+        metrics.increment("relaxation.presolve_rows_dropped", pre.rows_dropped)
+        metrics.increment("relaxation.presolve_bounds_tightened", pre.bounds_tightened)
+        if pre.infeasible:
+            # No reductions are applied: the effective arrays stay the
+            # full aliases, so the masks record everything as kept.
+            self._presolve_infeasible = True
+            self._presolve_message = f"array presolve: {pre.message}"
+            self._keep_ub = np.ones(self.b_ub.shape[0], dtype=bool)
+            self._keep_eq = np.ones(self.b_eq.shape[0], dtype=bool)
+            return
+        self._keep_ub = pre.keep_ub
+        self._keep_eq = pre.keep_eq
+        if not pre.keep_ub.all():
+            self._eff_a_ub = self.a_ub[pre.keep_ub]
+            self._eff_b_ub = self.b_ub[pre.keep_ub]
+        if not pre.keep_eq.all():
+            self._eff_a_eq = self.a_eq[pre.keep_eq]
+            self._eff_b_eq = self.b_eq[pre.keep_eq]
+        self._eff_lb, self._eff_ub = pre.lb, pre.ub
+
+    def _reroot(self, lb: np.ndarray, ub: np.ndarray) -> None:
+        """A node loosened bounds past the root box: widen it and redo.
+
+        Branch and bound never loosens, so this is the escape hatch for
+        incremental re-solves that relax a directive between runs.  The
+        family embeds only the kept rows (bounds stay implicit), so
+        outstanding warm tokens and pooled factors survive the re-root
+        whenever the fresh presolve keeps the same row set; only a
+        changed keep-mask forces a rebuild and invalidates them.
+        """
+        self.presolve_reroots += 1
+        metrics.increment("relaxation.presolve_reroots")
+        old_keep_ub, old_keep_eq = self._keep_ub, self._keep_eq
+        self.root_lb = np.minimum(self.root_lb, lb)
+        self.root_ub = np.maximum(self.root_ub, ub)
+        self._presolve_infeasible = False
+        self._presolve_message = ""
+        self._eff_a_ub, self._eff_b_ub = self.a_ub, self.b_ub
+        self._eff_a_eq, self._eff_b_eq = self.a_eq, self.b_eq
+        self._eff_lb, self._eff_ub = self.root_lb, self.root_ub
+        self._run_presolve()
+        same_rows = (
+            old_keep_ub is not None
+            and np.array_equal(old_keep_ub, self._keep_ub)
+            and np.array_equal(old_keep_eq, self._keep_eq)
+        )
+        if same_rows or self._mode != "revised":
+            return
+        self.structural_rebuilds += 1
+        metrics.increment("relaxation.structural_rebuilds")
+        self._factor_pool.clear()
+        start = time.perf_counter()
+        self._family = SparseBoundedLP(
+            self.c, self._eff_a_ub, self._eff_b_ub,
+            self._eff_a_eq, self._eff_b_eq,
+        )
+        self.conversion_seconds += time.perf_counter() - start
+
+    def _remember_factor(self, basis: np.ndarray, binv: np.ndarray) -> None:
+        key = np.asarray(basis, dtype=np.int64).tobytes()
+        pool = self._factor_pool
+        if key not in pool and len(pool) >= _FACTOR_POOL_SIZE:
+            pool.pop(next(iter(pool)))
+        pool[key] = binv
 
     # -- one-time, fully vectorized base standardization -------------------
 
@@ -291,6 +415,13 @@ class RelaxationContext:
         The revised core's column layout never varies with the bounds,
         so every parent basis is structurally transferable; the token is
         simply ``("revised", basis, vstat)``.
+
+        With ``node_resolve="dual"`` (the default) a warm-started node
+        re-solve goes through the dual simplex: the parent's basis is
+        dual feasible for the child by construction, so the walk is a
+        handful of pivots (often zero) and infeasible children stop at
+        the first Farkas row.  ``dual_lost``/``dual_infeasible`` exits
+        fall back to the primal engine on the same warm token.
         """
         self.cache_hits += 1
         metrics.increment("relaxation.cache_hits")
@@ -298,10 +429,33 @@ class RelaxationContext:
         if warm is not None and len(warm) == 3 and warm[0] == "revised":
             warm_pair = (warm[1], warm[2])
         start = time.perf_counter()
-        result = solve_bounded_lp(
-            self._family, lb, ub,
-            max_iterations=self.max_iterations, warm=warm_pair,
-        )
+        result = None
+        dual_pivots = 0
+        if self.node_resolve == "dual" and warm_pair is not None:
+            self.dual_entries += 1
+            metrics.increment("relaxation.dual_entries")
+            binv = self._factor_pool.get(
+                np.asarray(warm_pair[0], dtype=np.int64).tobytes()
+            )
+            dres = solve_bounded_lp_dual(
+                self._family, lb, ub,
+                max_iterations=self.max_iterations, warm=warm_pair, binv=binv,
+            )
+            if dres.status in ("dual_lost", "dual_infeasible"):
+                self.dual_fallbacks += 1
+                metrics.increment("relaxation.dual_fallbacks")
+            else:
+                result = dres
+                dual_pivots = dres.dual_pivots
+                self.dual_pivots += dual_pivots
+                metrics.increment("relaxation.dual_pivots", dual_pivots)
+                if dres.binv is not None and dres.basis is not None:
+                    self._remember_factor(dres.basis, dres.binv)
+        if result is None:
+            result = solve_bounded_lp(
+                self._family, lb, ub,
+                max_iterations=self.max_iterations, warm=warm_pair,
+            )
         solve_elapsed = time.perf_counter() - start
         self.solve_seconds += solve_elapsed
         if warm_pair is not None:
@@ -340,6 +494,7 @@ class RelaxationContext:
             eta_file_length=result.eta_file_length,
             pricing_passes=result.pricing_passes,
             bound_flips=result.bound_flips,
+            dual_pivots=dual_pivots,
             message=message,
             solve_seconds=solve_elapsed,
             warm_started=result.warm_started,
@@ -367,9 +522,33 @@ class RelaxationContext:
 
         self.node_solves += 1
         metrics.increment("relaxation.node_solves")
+        if self.presolve_enabled:
+            if (lb < self.root_lb - 1e-9).any() or (ub > self.root_ub + 1e-9).any():
+                self._reroot(lb, ub)
+            if self._presolve_infeasible:
+                return ArrayLPResult(
+                    "infeasible", None, np.nan, message=self._presolve_message
+                )
+            # Reductions hold for any node inside the root box, but the
+            # dropped singleton rows live on only as root-bound
+            # tightenings — intersecting is mandatory, not an
+            # optimization.
+            lb = np.maximum(lb, self._eff_lb)
+            ub = np.minimum(ub, self._eff_ub)
+            crossed = lb > ub
+            if crossed.any():
+                if (lb[crossed] - ub[crossed]).max() > 1e-7:
+                    return ArrayLPResult(
+                        "infeasible", None, np.nan,
+                        message="node bounds cross presolved root bounds",
+                    )
+                # Sub-tolerance crossings from implied-bound rounding:
+                # collapse instead of declaring infeasible.
+                lb = np.minimum(lb, ub)
         if self._mode == "highs":
             result = _solve_highs_arrays(
-                self.c, self.a_ub, self.b_ub, self.a_eq, self.b_eq, lb, ub
+                self.c, self._eff_a_ub, self._eff_b_ub,
+                self._eff_a_eq, self._eff_b_eq, lb, ub,
             )
             self.solve_seconds += result.solve_seconds
             return result
@@ -455,6 +634,7 @@ def solve_lp_arrays(
     ub: np.ndarray,
     engine: str = "highs",
     max_iterations: int = 20000,
+    presolve: bool = True,
 ) -> ArrayLPResult:
     """Solve the bounded-variable LP with the requested engine.
 
@@ -467,7 +647,7 @@ def solve_lp_arrays(
         return ArrayLPResult("infeasible", None, np.nan)
     context = RelaxationContext(
         c, a_ub, b_ub, a_eq, b_eq, lb, ub,
-        engine=engine, max_iterations=max_iterations,
+        engine=engine, max_iterations=max_iterations, presolve=presolve,
     )
     return context.solve()
 

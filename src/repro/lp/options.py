@@ -47,6 +47,16 @@ class SolveOptions:
         cross-checking).
     cover_cut_rounds:
         Rounds of root knapsack cover cuts (``branch_bound``).
+    node_resolve:
+        How warm-started branch-and-bound node re-solves run on the
+        builtin engine: ``"dual"`` (default) enters the dual simplex
+        from the parent basis, ``"primal"`` keeps the primal
+        phase-1/phase-2 path for every node.
+    presolve:
+        Array-level presolve of the root relaxation (``branch_bound``,
+        ``rounding``): singleton/redundant rows are dropped and bounds
+        tightened once per tree.  ``True`` by default; set ``False`` to
+        solve the raw arrays.
     warm_start:
         Variable-name → value hint from a previous, closely related
         solve.  ``branch_bound`` seeds its incumbent from it when the
@@ -62,6 +72,8 @@ class SolveOptions:
     max_iterations: int = 20000
     relaxation_engine: str = "highs"
     cover_cut_rounds: int = 0
+    node_resolve: str = "dual"
+    presolve: bool = True
     warm_start: Mapping[str, float] | None = None
 
     def __post_init__(self) -> None:
@@ -82,6 +94,11 @@ class SolveOptions:
             )
         if self.cover_cut_rounds < 0:
             raise ValueError("cover_cut_rounds cannot be negative")
+        if self.node_resolve not in ("dual", "primal"):
+            raise ValueError(
+                f"unknown node_resolve {self.node_resolve!r}; "
+                "expected 'dual' or 'primal'"
+            )
 
     # -- per-backend validation -------------------------------------------
 
@@ -138,11 +155,15 @@ BACKEND_OPTION_FIELDS: dict[str, frozenset[str]] = {
             "max_iterations",
             "relaxation_engine",
             "cover_cut_rounds",
+            "node_resolve",
+            "presolve",
             "warm_start",
         }
     ),
     "simplex": frozenset({"max_iterations"}),
-    "rounding": frozenset({"relaxation_engine", "max_iterations", "warm_start"}),
+    "rounding": frozenset(
+        {"relaxation_engine", "max_iterations", "presolve", "warm_start"}
+    ),
     "auto": frozenset(
         {
             "time_limit",
@@ -152,6 +173,8 @@ BACKEND_OPTION_FIELDS: dict[str, frozenset[str]] = {
             "max_iterations",
             "relaxation_engine",
             "cover_cut_rounds",
+            "node_resolve",
+            "presolve",
             "warm_start",
         }
     ),

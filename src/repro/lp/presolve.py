@@ -97,7 +97,17 @@ def _tighten(var: Variable, sense: Sense, bound: float, stats: PresolveStats) ->
         if var.lb is None or bound > var.lb:
             var.lb = bound
             stats.tightened_bounds += 1
-    else:  # EQ fixes the variable
+    else:  # EQ fixes the variable — after checking the implied value is
+        # inside the *pre-existing* bounds.  Overwriting first would
+        # silently "fix" e.g. ``x == 5`` with ``x <= 2`` at 5 instead of
+        # proving infeasibility.
+        if (var.lb is not None and bound < var.lb - _TOL) or (
+            var.ub is not None and bound > var.ub + _TOL
+        ):
+            raise PresolveInfeasible(
+                f"variable {var.name!r} fixed at {bound} outside its bounds "
+                f"[{var.lb}, {var.ub}]"
+            )
         var.lb = bound
         var.ub = bound
         stats.tightened_bounds += 1
@@ -105,10 +115,20 @@ def _tighten(var: Variable, sense: Sense, bound: float, stats: PresolveStats) ->
         raise PresolveInfeasible(
             f"variable {var.name!r} has crossing bounds [{var.lb}, {var.ub}]"
         )
-    if var.is_integral and var.lb is not None and var.ub is not None:
-        lo = math.ceil(var.lb - _TOL)
-        hi = math.floor(var.ub + _TOL)
-        if lo > hi:
+    if var.is_integral:
+        # Snap fractional bounds onto the integer hull so downstream
+        # relaxations are tighter and the reduction count stays honest.
+        if var.lb is not None:
+            lo = math.ceil(var.lb - _TOL)
+            if lo > var.lb:
+                var.lb = float(lo)
+                stats.tightened_bounds += 1
+        if var.ub is not None:
+            hi = math.floor(var.ub + _TOL)
+            if hi < var.ub:
+                var.ub = float(hi)
+                stats.tightened_bounds += 1
+        if var.lb is not None and var.ub is not None and var.lb > var.ub:
             raise PresolveInfeasible(
                 f"integer variable {var.name!r} has no integer in [{var.lb}, {var.ub}]"
             )

@@ -116,6 +116,8 @@ def _solve_branch_bound(
         gap_tolerance=options.gap_tolerance,
         cover_cut_rounds=options.cover_cut_rounds,
         max_iterations=options.max_iterations,
+        node_resolve=options.node_resolve,
+        presolve=options.presolve,
         warm_start=options.warm_start,
         form=form,
         context=context,
@@ -141,7 +143,9 @@ def _solve_highs(problem: Problem, options: SolveOptions) -> Solution:
 
 
 def _solve_rounding(problem: Problem, options: SolveOptions) -> Solution:
-    return solve_with_rounding(problem, engine=options.relaxation_engine)
+    return solve_with_rounding(
+        problem, engine=options.relaxation_engine, presolve=options.presolve
+    )
 
 
 def _solve_auto(problem: Problem, options: SolveOptions) -> Solution:
@@ -401,7 +405,10 @@ class SolveCache:
         """(form, context, basis_io) for a branch_bound solve, reusing when safe."""
         if options.cover_cut_rounds > 0:
             return None, None, None  # cuts mutate the row set; no reuse
-        key = f"{structure_fingerprint(problem)}|{options.relaxation_engine}"
+        key = (
+            f"{structure_fingerprint(problem)}|{options.relaxation_engine}"
+            f"|{options.node_resolve}|{int(options.presolve)}"
+        )
         if self._structure_key == key and self._context is not None:
             # Same matrices, possibly different bounds: refresh only the
             # bound arrays on the cached form.  Bound moves between
@@ -430,6 +437,9 @@ class SolveCache:
             form.c, form.a_ub, form.b_ub, form.a_eq, form.b_eq,
             form.lb, form.ub, engine=options.relaxation_engine,
             max_iterations=options.max_iterations,
+            node_resolve=options.node_resolve,
+            presolve=options.presolve,
+            integrality=form.integrality,
         )
         self._form = form
         self._structure_key = key

@@ -198,6 +198,29 @@ class CSCMatrix:
         lo, hi = self.indptr[j], self.indptr[j + 1]
         return self.indices[lo:hi], self.data[lo:hi]
 
+    def row_nnz(self) -> np.ndarray:
+        """Stored-entry count per row (array presolve's singleton probe)."""
+        return np.bincount(self.indices, minlength=self.shape[0])
+
+    def take_rows(self, keep: np.ndarray) -> "CSCMatrix":
+        """Submatrix of the rows where ``keep`` is True, renumbered densely.
+
+        Used by the array presolve to retire redundant/singleton rows
+        without ever materializing a dense intermediate.
+        """
+        keep = np.asarray(keep, dtype=bool)
+        new_row = np.cumsum(keep) - 1  # old row id -> new row id
+        mask = keep[self.indices]
+        counts = np.bincount(self.nnz_cols[mask], minlength=self.shape[1])
+        indptr = np.zeros(self.shape[1] + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return CSCMatrix(
+            shape=(int(keep.sum()), self.shape[1]),
+            indptr=indptr,
+            indices=new_row[self.indices[mask]].astype(np.int64),
+            data=self.data[mask],
+        )
+
     def matvec(self, x: np.ndarray) -> np.ndarray:
         """``A @ x`` in O(nnz)."""
         out = np.zeros(self.shape[0])

@@ -104,6 +104,12 @@ class SolveStats:
     pricing_passes: int = 0
     #: Nonbasic lower<->upper bound flips (pivots without a basis change).
     bound_flips: int = 0
+    #: Node re-solves entered through the dual simplex.
+    dual_entries: int = 0
+    #: Dual-simplex pivots across those re-solves.
+    dual_pivots: int = 0
+    #: Dual entries that fell back to the primal engine.
+    dual_fallbacks: int = 0
 
     # -- branch and bound --------------------------------------------------
     nodes_explored: int = 0
@@ -162,6 +168,9 @@ class SolveStats:
             "eta_file_length": self.eta_file_length,
             "pricing_passes": self.pricing_passes,
             "bound_flips": self.bound_flips,
+            "dual_entries": self.dual_entries,
+            "dual_pivots": self.dual_pivots,
+            "dual_fallbacks": self.dual_fallbacks,
             "nodes_explored": self.nodes_explored,
             "nodes_pruned": self.nodes_pruned,
             "cut_rounds": self.cut_rounds,
@@ -203,6 +212,9 @@ class SolveStats:
             eta_file_length=data.get("eta_file_length", 0),
             pricing_passes=data.get("pricing_passes", 0),
             bound_flips=data.get("bound_flips", 0),
+            dual_entries=data.get("dual_entries", 0),
+            dual_pivots=data.get("dual_pivots", 0),
+            dual_fallbacks=data.get("dual_fallbacks", 0),
             nodes_explored=data.get("nodes_explored", 0),
             nodes_pruned=data.get("nodes_pruned", 0),
             cut_rounds=data.get("cut_rounds", 0),

@@ -99,16 +99,18 @@ def test_warm_started_children_agree_with_highs(seed, engine):
 
 
 @pytest.mark.parametrize("seed", range(0, 50, 11))
-def test_revised_warm_chains_stay_consistent(seed):
+@pytest.mark.parametrize("node_resolve", ["dual", "primal"])
+def test_revised_warm_chains_stay_consistent(seed, node_resolve):
     """Grandchild solves warm-started off children must still match HiGHS.
 
     The revised core's tokens carry (basis, vstat) rather than a column
     layout, so chains of warm starts across successive bound tightenings
     exercise the phase-1 repair path on bases that drifted two solves
-    back.
+    back.  Run once through the dual re-solve path (the default) and
+    once forcing primal restarts, so both node paths stay covered.
     """
     kw = _random_instance(seed)
-    ctx = RelaxationContext(engine="builtin", **kw)
+    ctx = RelaxationContext(engine="builtin", node_resolve=node_resolve, **kw)
     node = ctx.solve()
     if node.status != "optimal":
         pytest.skip("root relaxation infeasible for this seed")
@@ -133,3 +135,61 @@ def test_revised_warm_chains_stay_consistent(seed):
         assert child.objective == pytest.approx(ref.objective, rel=1e-6, abs=1e-6)
         _assert_feasible(child.x, kw, lb=lb, ub=ub)
         node = child
+    if node_resolve == "dual":
+        assert ctx.dual_entries > 0, "dual path was never attempted"
+
+
+@pytest.mark.parametrize("seed", range(0, 50, 9))
+def test_dual_children_match_tableau_and_highs(seed):
+    """Child and grandchild dual re-solves vs the tableau oracle and HiGHS.
+
+    The tableau context runs presolve-free and restarts primal phase 1 at
+    every node, so it cross-checks both new subsystems at once: the array
+    presolve threaded into the builtin context and the dual simplex the
+    warm re-solves enter.  Each branch tightens one bound off the parent
+    (child) and then one more off the child (grandchild), mimicking a
+    depth-2 branch-and-bound dive.
+    """
+    kw = _random_instance(seed)
+    dual_ctx = RelaxationContext(engine="builtin", node_resolve="dual", **kw)
+    tab_ctx = RelaxationContext(engine="tableau", **kw)
+    root = dual_ctx.solve()
+    assert root.status == tab_ctx.solve().status
+    if root.status != "optimal":
+        pytest.skip("root relaxation infeasible for this seed")
+    rng = np.random.default_rng(7100 + seed)
+    n = kw["c"].shape[0]
+
+    def tighten(lb, ub):
+        lb, ub = lb.copy(), ub.copy()
+        j = int(rng.integers(0, n))
+        mid = float(rng.uniform(lb[j], ub[j]))
+        if rng.random() < 0.5:
+            lb[j] = mid
+        else:
+            ub[j] = mid
+        return lb, ub
+
+    for _ in range(3):
+        lb1, ub1 = tighten(kw["lb"], kw["ub"])
+        child = dual_ctx.solve(lb1, ub1, warm=root.warm_token)
+        oracle = tab_ctx.solve(lb1, ub1)
+        assert child.status == oracle.status
+        if child.status == "optimal":
+            assert child.objective == pytest.approx(
+                oracle.objective, rel=1e-6, abs=1e-6
+            )
+            _assert_feasible(child.x, kw, lb=lb1, ub=ub1)
+            lb2, ub2 = tighten(lb1, ub1)
+            grand = dual_ctx.solve(lb2, ub2, warm=child.warm_token)
+            ref = solve_lp_arrays(
+                engine="highs", c=kw["c"], a_ub=kw["a_ub"], b_ub=kw["b_ub"],
+                a_eq=kw["a_eq"], b_eq=kw["b_eq"], lb=lb2, ub=ub2,
+            )
+            assert grand.status == ref.status
+            if ref.status == "optimal":
+                assert grand.objective == pytest.approx(
+                    ref.objective, rel=1e-6, abs=1e-6
+                )
+                _assert_feasible(grand.x, kw, lb=lb2, ub=ub2)
+    assert dual_ctx.dual_entries > 0, "dual path was never attempted"

@@ -25,6 +25,10 @@ class TestCoverCut:
         assert cut.violation(x) == pytest.approx(0.7)
 
 
+def _binary_bounds(n: int) -> tuple[np.ndarray, np.ndarray]:
+    return np.zeros(n), np.ones(n)
+
+
 class TestKnapsackRows:
     def test_selects_binary_nonnegative_rows(self):
         a = np.array([
@@ -34,18 +38,38 @@ class TestKnapsackRows:
         ])
         b = np.array([6.0, 1.0, 3.0])
         integral = np.array([True, True, True])
-        assert knapsack_rows(a, b, integral) == [0]
+        lb, ub = _binary_bounds(3)
+        assert knapsack_rows(a, b, integral, lb, ub) == [0]
 
     def test_skips_continuous_support(self):
         a = np.array([[1.0, 1.0]])
         b = np.array([1.5])
         integral = np.array([True, False])
-        assert knapsack_rows(a, b, integral) == []
+        lb, ub = _binary_bounds(2)
+        assert knapsack_rows(a, b, integral, lb, ub) == []
 
     def test_skips_nonpositive_rhs(self):
         a = np.array([[1.0, 1.0]])
         b = np.array([0.0])
-        assert knapsack_rows(a, b, np.array([True, True])) == []
+        lb, ub = _binary_bounds(2)
+        assert knapsack_rows(a, b, np.array([True, True]), lb, ub) == []
+
+    def test_skips_general_integer_support(self):
+        # Regression: an integral variable with ub > 1 is NOT binary; a
+        # cover cut over it would slice off integer-feasible points.
+        a = np.array([[3.0, 4.0]])
+        b = np.array([6.0])
+        integral = np.array([True, True])
+        lb = np.zeros(2)
+        ub = np.array([1.0, 4.0])  # x1 is a general integer
+        assert knapsack_rows(a, b, integral, lb, ub) == []
+
+    def test_no_rows_without_bound_proof(self):
+        # Regression: integrality alone never proves 0/1-ness.
+        a = np.array([[3.0, 4.0, 2.0]])
+        b = np.array([6.0])
+        integral = np.array([True, True, True])
+        assert knapsack_rows(a, b, integral) == []
 
 
 class TestSeparation:
@@ -80,7 +104,8 @@ class TestSeparation:
         b = np.array([4.0, 6.0])
         x = np.array([0.95, 0.95, 0.6])
         integral = np.array([True, True, True])
-        cuts = separate_cuts(a, b, x, integral)
+        lb, ub = _binary_bounds(3)
+        cuts = separate_cuts(a, b, x, integral, lb=lb, ub=ub)
         assert cuts
         violations = [c.violation(x) for c in cuts]
         assert violations == sorted(violations, reverse=True)
@@ -121,6 +146,27 @@ class TestCutAndBranch:
         p = hard_knapsack()
         sol = solve(p, backend="branch_bound", cover_cut_rounds=3)
         assert sol.status is SolveStatus.OPTIMAL
+
+    def test_general_integer_knapsack_keeps_true_optimum(self):
+        # Regression for the binary-bounds check: minimize -(3y + 2x)
+        # s.t. 2y + 4x <= 5 with y integer in [0, 2] and x binary.  The
+        # LP relaxation is fractional (y = 2, x = 0.25), and treating y
+        # as binary separates the cover {y, x} (2 + 4 > 5), whose cut
+        # ``y + x <= 1`` slices off the true optimum y=2, x=0
+        # (objective -6) and leaves -3.  No cover cut may be produced on
+        # a row supported by a general integer.
+        p = Problem()
+        y = p.add_integer("y", lb=0, ub=2)
+        x = p.add_binary("x")
+        p.add_constraint(2 * y + 4 * x <= 5)
+        p.set_objective(-(3 * y + 2 * x))
+        plain = solve_branch_and_bound(p)
+        cut = solve_branch_and_bound(p, cover_cut_rounds=5)
+        assert plain.status is SolveStatus.OPTIMAL
+        assert cut.status is SolveStatus.OPTIMAL
+        assert plain.objective == pytest.approx(-6.0)
+        assert cut.objective == pytest.approx(-6.0)
+        assert cut.stats.cuts_added == 0
 
     def test_matches_highs_on_consolidation_model(self, tiny_state):
         from repro.core import ConsolidationModel

@@ -96,6 +96,48 @@ class TestReductions:
         with pytest.raises(PresolveInfeasible):
             presolve(p)
 
+    def test_eq_singleton_outside_bounds_infeasible(self):
+        # Regression: `x == 5` with `x <= 2` used to overwrite the bounds
+        # with 5 *before* the crossing check and "solve" happily.
+        p = Problem()
+        x = p.add_variable("x", lb=0.0, ub=2.0)
+        p.add_constraint(x == 5, "pin")
+        p.set_objective(x)
+        with pytest.raises(PresolveInfeasible):
+            presolve(p)
+
+    def test_eq_singleton_below_lower_bound_infeasible(self):
+        p = Problem()
+        x = p.add_variable("x", lb=3.0, ub=10.0)
+        p.add_constraint(2 * x == 4, "pin")  # implies x == 2 < lb
+        p.set_objective(x)
+        with pytest.raises(PresolveInfeasible):
+            presolve(p)
+
+    def test_eq_singleton_inside_bounds_still_fixes(self):
+        p = Problem()
+        x = p.add_variable("x", lb=0.0, ub=10.0)
+        y = p.add_variable("y", ub=10.0)
+        p.add_constraint(x == 5, "pin")
+        p.add_constraint(x + y <= 8, "cap")
+        p.set_objective(-(x + y))
+        reduced, post = presolve(p)
+        assert post.fixed_values[x] == pytest.approx(5.0)
+        assert reduced.variable_by_name("y").ub == pytest.approx(3.0)
+
+    def test_integer_bounds_snapped_to_hull(self):
+        # Regression: fractional implied bounds on an integer variable
+        # must round to ceil/floor, not survive as-is.
+        p = Problem()
+        x = p.add_integer("x", lb=0, ub=10)
+        p.add_constraint(3 * x >= 4, "lo")   # x >= 1.33 → x >= 2
+        p.add_constraint(3 * x <= 25, "hi")  # x <= 8.33 → x <= 8
+        p.set_objective(x)
+        reduced, _post = presolve(p)
+        var = reduced.variable_by_name("x")
+        assert var.lb == pytest.approx(2.0)
+        assert var.ub == pytest.approx(8.0)
+
     def test_original_problem_untouched(self):
         p = Problem()
         x = p.add_variable("x", ub=100.0)
@@ -127,6 +169,19 @@ class TestSolveWithPresolve:
         assert sol.value(y) == pytest.approx(2.0)
         assert sol.objective == pytest.approx(-6.0)
         assert "presolve" in sol.solver
+
+    def test_eq_crossing_singleton_infeasible_end_to_end(self):
+        # Regression: used to come back OPTIMAL with x "fixed" at 5
+        # outside its own bounds.
+        p = Problem()
+        x = p.add_variable("x", lb=0.0, ub=2.0)
+        y = p.add_variable("y", ub=4.0)
+        p.add_constraint(x == 5, "pin")
+        p.add_constraint(x + y <= 6, "cap")
+        p.set_objective(x + y)
+        sol = solve_with_presolve(p, backend="highs")
+        assert sol.status is SolveStatus.INFEASIBLE
+        assert sol.solver == "presolve"
 
     def test_infeasible_detected_without_solver(self):
         p = Problem()
