@@ -1,0 +1,147 @@
+"""Online re-planning: warm incremental loop vs full re-plan per event.
+
+Replays two online traces through the controller, each twice — once with
+warm incremental re-solves (RevisionedModel deltas + SolveCache on the
+repo's own branch-and-bound stack) and once rebuilding the model from
+scratch at every re-plan, the paper's one-shot path in a loop:
+
+* ``diurnal`` — the steady-state regime: daily load cycling re-triggers
+  structurally repeated re-plans, exactly what the fingerprint cache and
+  tightening shortcuts were built for.  This is the headline
+  ``throughput_ratio``.
+* ``mixed`` — the stress regime: a flash crowd and a site outage force
+  structurally *new* models (fresh cap rows, retired sites) where warm
+  context cannot help; it is kept as the correctness arm — both modes
+  must emit identical delta sequences under maximum churn — and its
+  ratio is reported alongside.
+
+Both arms of each profile must produce the *identical* migration-delta
+sequence.  Results land in ``bench_results/online.txt`` and
+``BENCH_online.json``.
+
+Smoke mode (``ONLINE_SMOKE=1``, used by CI) shrinks the estate and the
+horizon and skips the timing assertion — at toy scale the warm path has
+nothing to amortize and machine load must not fail CI.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.core.planner import PlannerOptions
+from repro.datasets import online_line_scenario, online_line_trace
+from repro.online import ReplayConfig, run_replay
+
+SMOKE = os.environ.get("ONLINE_SMOKE", "") not in ("", "0")
+HORIZON_HOURS = 96.0 if SMOKE else 24.0 * 14
+PROFILES = ("diurnal",) if SMOKE else ("diurnal", "mixed")
+RATIO_FLOOR = 1.5  # headline (diurnal) ratio; measured ~2.6x
+
+
+def _scenario():
+    if SMOKE:
+        return online_line_scenario(
+            n_groups=16, total_servers=400, n_datacenters=5,
+            capacity=220, seed=11,
+        )
+    return online_line_scenario()
+
+
+def _signature(result):
+    return [
+        (
+            d.time_hours,
+            d.reason,
+            round(d.cost_before, 6),
+            round(d.cost_after, 6),
+            [(m.group, m.from_site, m.to_site) for m in d.moves],
+        )
+        for d in result.deltas
+    ]
+
+
+def test_bench_online_replay(archive, archive_json):
+    state = _scenario()
+    opts = PlannerOptions(backend="branch_bound")
+    n_groups = len(state.app_groups)
+
+    lines = [
+        "Online re-planning benchmark (incremental vs full re-plan)",
+        f"  state                        {n_groups} groups x "
+        f"{len(state.target_datacenters)} sites, "
+        f"{HORIZON_HOURS / 24:g} day horizon",
+    ]
+    record: dict = {"horizon_hours": HORIZON_HOURS, "profiles": {}, "smoke": SMOKE}
+
+    for profile in PROFILES:
+        load_events, outages = online_line_trace(
+            state, profile=profile, horizon_hours=HORIZON_HOURS, seed=1
+        )
+        results = {}
+        for incremental in (True, False):
+            config = ReplayConfig(
+                horizon_hours=HORIZON_HOURS, incremental=incremental
+            )
+            results[incremental] = run_replay(
+                state, load_events, outages, config, opts
+            )
+        inc, full = results[True], results[False]
+
+        # Both arms walk the same trace to the same delta sequence — the
+        # warm path may only be *faster*, never different.
+        assert _signature(inc) == _signature(full), f"{profile}: arms diverged"
+        assert inc.deltas, f"{profile}: the trace must force migrations"
+        # Deltas are diffs, not plans: nothing relocates the whole estate.
+        assert all(0 < len(d.moves) < n_groups for d in inc.deltas)
+
+        ratio = (
+            full.replan_solve_seconds / inc.replan_solve_seconds
+            if inc.replan_solve_seconds > 0
+            else float("inf")
+        )
+        replans = int(inc.counters.get("online.replans_triggered", 0))
+        oscillations = len(inc.oscillations())
+        if profile == "diurnal":
+            # The steady-state regime must also be thrash-free.
+            assert oscillations == 0
+
+        lines += [
+            f"  profile: {profile}",
+            f"    trace                      {len(load_events)} load events, "
+            f"{len(outages)} outages",
+            f"    replans / deltas / moves   {replans} / {len(inc.deltas)} / "
+            f"{inc.total_moves}",
+            f"    oscillating moves          {oscillations}",
+            f"    replan solve time          inc {inc.replan_solve_seconds:.3f} s"
+            f"   full {full.replan_solve_seconds:.3f} s",
+            f"    throughput ratio           {ratio:.2f}x",
+        ]
+        record["profiles"][profile] = {
+            "load_events": len(load_events),
+            "outages": len(outages),
+            "replans": replans,
+            "deltas_emitted": len(inc.deltas),
+            "moves_emitted": inc.total_moves,
+            "oscillating_moves": oscillations,
+            "incremental_solve_seconds": round(inc.replan_solve_seconds, 6),
+            "full_solve_seconds": round(full.replan_solve_seconds, 6),
+            "throughput_ratio": round(ratio, 4),
+            "counters": dict(inc.counters),
+        }
+
+    headline = record["profiles"]["diurnal"]["throughput_ratio"]
+    record["throughput_ratio"] = headline
+    lines += [
+        f"  headline throughput ratio    {headline:.2f}x (diurnal steady state)",
+        f"  smoke mode                   {SMOKE}",
+    ]
+    archive("online", "\n".join(lines))
+    archive_json("online", record)
+    print("\n".join(lines))
+
+    if not SMOKE:
+        assert headline >= RATIO_FLOOR, (
+            f"incremental replan throughput {headline:.2f}x below the "
+            f"{RATIO_FLOOR}x floor on the diurnal steady-state trace"
+        )

@@ -46,6 +46,7 @@ from .analysis import run_robustness, run_sensitivity
 from .baselines import asis_plan, asis_with_dr_plan, greedy_plan, manual_plan
 from .core import improve_plan, split_oversized_groups
 from .migration import MigrationConfig, plan_migration
+from .online import ControllerConfig, OnlineController, ReplayConfig, run_replay
 from .service import JobManager, ServiceClient, ServiceConfig
 from .sim import SimulatorConfig, simulate_plan
 from .datasets import (
@@ -74,8 +75,11 @@ __all__ = [
     "TransformationPlan",
     "UserLocation",
     "__version__",
+    "ControllerConfig",
     "JobManager",
     "MigrationConfig",
+    "OnlineController",
+    "ReplayConfig",
     "ServiceClient",
     "ServiceConfig",
     "SimulatorConfig",
@@ -85,6 +89,7 @@ __all__ = [
     "greedy_plan",
     "improve_plan",
     "plan_migration",
+    "run_replay",
     "run_robustness",
     "run_sensitivity",
     "simulate_plan",

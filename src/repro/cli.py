@@ -11,6 +11,7 @@ Subcommands
 ``sensitivity`` sweep one cost dimension and report the plan's response
 ``robustness``  Monte-Carlo regret under price-estimate noise
 ``refine``      replay a scripted directive sequence with per-step timing
+``replay``      stream a load/failure trace through the online re-planner
 ``serve``       run the long-lived planning service (HTTP JSON API)
 
 Operational errors — a missing or malformed state file, an unknown
@@ -351,6 +352,76 @@ def _cmd_refine(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from .datasets import ONLINE_TRACE_PROFILES, online_line_scenario, online_line_trace
+    from .online import ControllerConfig, ReplayConfig, run_replay
+
+    if args.input:
+        state = _load_state_checked(args.input)
+    else:
+        state = online_line_scenario()
+    horizon_hours = args.horizon_days * 24.0
+    try:
+        load_events, outages = online_line_trace(
+            state, args.trace_profile, horizon_hours=horizon_hours, seed=args.seed
+        )
+        controller = ControllerConfig(
+            overload_utilization=args.overload,
+            underload_utilization=args.underload,
+            target_utilization=args.target,
+            move_cost_per_server=args.move_cost,
+            payback_window_months=args.payback_months,
+        )
+        config = ReplayConfig(
+            horizon_hours=horizon_hours,
+            controller=controller,
+            incremental=not args.full,
+        )
+    except ValueError as exc:
+        raise CliInputError(str(exc)) from None
+    options = PlannerOptions(
+        backend=args.backend,
+        solver_options=_solver_options(args),
+        presolve=args.presolve,
+    )
+    result = run_replay(state, load_events, outages, config, options)
+
+    mode = "full re-plan" if args.full else "incremental"
+    print(
+        f"online replay ({mode}, backend={args.backend}): "
+        f"{state.name}, profile={args.trace_profile}, "
+        f"{len(load_events)} load events, {len(outages)} outages, "
+        f"{args.horizon_days:g} days"
+    )
+    print(f"initial plan: {result.initial_cost:,.0f}/month "
+          f"({result.initial_solve_seconds:.3f}s)")
+    if result.deltas:
+        print(f"\n{'t (h)':>8} {'reason':<34} {'via':<14} "
+              f"{'moves':>5} {'servers':>7} {'cost/month':>12}")
+        for delta in result.deltas:
+            print(
+                f"{delta.time_hours:>8.1f} {delta.reason[:34]:<34} "
+                f"{delta.via:<14} {len(delta.moves):>5} "
+                f"{delta.servers_moved:>7} {delta.cost_after:>12,.0f}"
+            )
+    else:
+        print("no migration deltas emitted (estate stayed inside thresholds)")
+    print(f"\n{result.summary()}")
+    oscillations = result.oscillations()
+    print(
+        f"oscillating moves: {len(oscillations)}; counters: "
+        + ", ".join(
+            f"{name.removeprefix('online.')}={int(value)}"
+            for name, value in sorted(result.counters.items())
+        )
+    )
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(result.as_dict(), handle, indent=2)
+        print(f"replay record written to {args.json_out}")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .service import ServiceConfig, run_service
 
@@ -463,6 +534,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_solver_arguments(p)
     p.set_defaults(fn=_cmd_refine)
+
+    p = sub.add_parser(
+        "replay",
+        help="stream a load/failure trace through the online re-planner",
+    )
+    p.add_argument(
+        "--input",
+        default=None,
+        help="JSON as-is state (default: the built-in online-line scenario)",
+    )
+    p.add_argument(
+        "--trace-profile",
+        default="diurnal",
+        choices=("diurnal", "flash", "growth", "mixed"),
+        help="canned load/failure trace to replay",
+    )
+    p.add_argument("--horizon-days", type=float, default=14.0, metavar="DAYS")
+    p.add_argument("--seed", type=int, default=0, help="trace random seed")
+    p.add_argument(
+        "--full",
+        action="store_true",
+        help="rebuild the model from scratch at every re-plan (disable the "
+        "incremental engine, for comparison)",
+    )
+    p.add_argument("--overload", type=float, default=0.85, metavar="UTIL",
+                   help="utilization above which a site is capped")
+    p.add_argument("--underload", type=float, default=0.30, metavar="UTIL",
+                   help="utilization below which a site may be parked")
+    p.add_argument("--target", type=float, default=0.70, metavar="UTIL",
+                   help="utilization a capped site is squeezed back to")
+    p.add_argument("--move-cost", type=float, default=300.0, metavar="USD",
+                   help="one-off migration cost per server")
+    p.add_argument("--payback-months", type=float, default=6.0, metavar="MONTHS",
+                   help="window a voluntary re-plan's move cost must pay back in")
+    p.add_argument("--json", dest="json_out", default=None, metavar="FILE",
+                   help="write the full replay record as JSON to FILE")
+    _add_solver_arguments(p)
+    p.set_defaults(fn=_cmd_replay)
 
     p = sub.add_parser(
         "serve",

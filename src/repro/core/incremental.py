@@ -15,10 +15,16 @@ directive      delta against the built :class:`ConsolidationModel`
                site to 0 — ``X[*,dc]``, ``U[dc]``, the segment binaries
                and loads, DR pool/secondary variables, peer-split links
 ``cap``        append one ``Σ X[*,dc] ≤ limit`` constraint row
+``cap_servers``  append one ``Σ S_g·X[g,dc] ≤ limit`` row (server-
+               weighted headroom, limits in *nominal server* units)
+``cap_load``   append one ``Σ w_g·X[g,dc] ≤ limit`` row with caller-
+               supplied weights — the online controller's overload
+               response, where ``w_g`` is the group's *effective* load
+               (``factor × servers``) frozen at trigger time
 =============  ==========================================================
 
-Crucially all four are *tightenings*: bounds only narrow and rows are
-only appended, never edited.  That is what the solve layer's
+Crucially all of these are *tightenings*: bounds only narrow and rows
+are only appended, never edited.  That is what the solve layer's
 :class:`repro.lp.SolveCache` exploits — the constraint matrices are
 untouched (one :class:`~repro.lp.matrix_lp.RelaxationContext` survives
 the whole session) and a previous optimum that still satisfies the
@@ -29,6 +35,16 @@ records the bounds it changed and the constraint-list length before it,
 so :meth:`RevisionedModel.pop` restores the model exactly (and the model
 fingerprint returns to its prior value, turning ``undo`` re-solves into
 cache hits).
+
+Orthogonal to the journal, :meth:`RevisionedModel.set_move_penalty`
+swaps a migration-cost term into the objective: given an incumbent
+placement, every assignment variable that would *move* a group picks up
+``per_server_cost × servers`` of penalty, so a re-solve only relocates
+a group when the steady-state saving beats the disruption — the
+anti-thrash term of the online re-planning loop.  The swap always
+installs a *new* objective expression (and restores the original object
+on clear), so the solve cache's identity checks and fingerprints stay
+sound.
 """
 
 from __future__ import annotations
@@ -44,10 +60,13 @@ from .formulation import ConsolidationModel, InfeasibleModelError
 class Directive:
     """One administrator steering action (paper Fig. 5, module 4)."""
 
-    kind: str  # "pin" | "forbid" | "retire_site" | "cap_groups"
+    kind: str  # "pin" | "forbid" | "retire_site" | "cap_groups" | "cap_servers" | "cap_load"
     group: str | None = None
     datacenter: str | None = None
-    limit: int | None = None
+    limit: float | None = None
+    #: ``cap_load`` only: ``((group, weight), ...)`` — the effective
+    #: per-group load coefficients the cap row is written with.
+    weights: tuple[tuple[str, float], ...] | None = None
 
     def describe(self) -> str:
         if self.kind == "pin":
@@ -58,6 +77,10 @@ class Directive:
             return f"retire site {self.datacenter!r}"
         if self.kind == "cap_groups":
             return f"cap {self.datacenter!r} at {self.limit} groups"
+        if self.kind == "cap_servers":
+            return f"cap {self.datacenter!r} at {self.limit} servers"
+        if self.kind == "cap_load":
+            return f"cap {self.datacenter!r} at {self.limit:g} effective load"
         return self.kind
 
     def as_dict(self) -> dict:
@@ -69,6 +92,8 @@ class Directive:
             record["datacenter"] = self.datacenter
         if self.limit is not None:
             record["limit"] = self.limit
+        if self.weights is not None:
+            record["weights"] = [[g, w] for g, w in self.weights]
         return record
 
 
@@ -78,6 +103,8 @@ DIRECTIVE_FIELDS = {
     "forbid": ("group", "datacenter"),
     "retire_site": ("datacenter",),
     "cap_groups": ("datacenter", "limit"),
+    "cap_servers": ("datacenter", "limit"),
+    "cap_load": ("datacenter", "limit", "weights"),
 }
 
 
@@ -92,11 +119,19 @@ def directive_from_dict(data: dict) -> Directive:
     for field_name in DIRECTIVE_FIELDS[kind]:
         if data.get(field_name) is None:
             raise ValueError(f"directive {kind!r} requires field {field_name!r}")
+    limit = data.get("limit")
+    if limit is not None:
+        # cap_load limits are effective-load units and may be fractional.
+        limit = float(limit) if kind == "cap_load" else int(limit)
+    weights = data.get("weights")
+    if weights is not None:
+        weights = tuple((str(g), float(w)) for g, w in weights)
     return Directive(
         kind=kind,
         group=data.get("group"),
         datacenter=data.get("datacenter"),
-        limit=int(data["limit"]) if data.get("limit") is not None else None,
+        limit=limit,
+        weights=weights,
     )
 
 
@@ -136,6 +171,11 @@ class RevisionedModel:
     def __init__(self, model: ConsolidationModel) -> None:
         self.model = model
         self.revisions: list[Revision] = []
+        # The objective as built — restored verbatim (same object, so
+        # the solve cache's identity check re-engages) when the move
+        # penalty is cleared.
+        self._base_objective = model.problem.objective
+        self.move_penalty: tuple[dict[str, str], float] | None = None
 
     @property
     def revision(self) -> int:
@@ -178,6 +218,10 @@ class RevisionedModel:
             self._apply_retire(rev)
         elif kind == "cap_groups":
             self._apply_cap(rev)
+        elif kind == "cap_servers":
+            self._apply_cap_servers(rev)
+        elif kind == "cap_load":
+            self._apply_cap_load(rev)
         else:
             raise ValueError(f"unknown directive kind {kind!r}")
         self.revisions.append(rev)
@@ -296,3 +340,86 @@ class RevisionedModel:
             self.model.problem.add_constraint(
                 quicksum(vars_j) <= d.limit, f"cap[{d.datacenter}]"
             )
+
+    def _apply_cap_servers(self, rev: Revision) -> None:
+        """Append a server-weighted headroom row for one site.
+
+        ``Σ S_g · X[g, dc] ≤ limit`` in *nominal* server units.  The
+        online controller translates a load-scaled utilization target
+        into this row: when a site runs hot, shrinking its admissible
+        nominal occupancy pushes groups elsewhere on the next re-solve.
+        """
+        d = rev.directive
+        if d.limit is None or d.limit < 0:
+            raise ValueError("cap_servers needs a non-negative limit")
+        servers = {g.name: g.servers for g in self.model.state.app_groups}
+        terms = [
+            servers[g] * var
+            for (g, dc), var in self.model.x.items()
+            if dc == d.datacenter
+        ]
+        if terms:
+            self.model.problem.add_constraint(
+                quicksum(terms) <= d.limit, f"cap_servers[{d.datacenter}]"
+            )
+
+    def _apply_cap_load(self, rev: Revision) -> None:
+        """Append an effective-load headroom row for one site.
+
+        ``Σ w_g · X[g, dc] ≤ limit`` with caller-supplied weights —
+        the online controller freezes ``w_g = factor_g × S_g`` at
+        trigger time, so the re-solve packs the site to an *effective*
+        utilization target under the load actually observed, instead
+        of approximating through a site-average factor.
+        """
+        d = rev.directive
+        if d.limit is None or d.limit < 0:
+            raise ValueError("cap_load needs a non-negative limit")
+        if not d.weights:
+            raise ValueError("cap_load needs per-group weights")
+        weights = dict(d.weights)
+        terms = [
+            weights[g] * var
+            for (g, dc), var in self.model.x.items()
+            if dc == d.datacenter and weights.get(g)
+        ]
+        if terms:
+            self.model.problem.add_constraint(
+                quicksum(terms) <= d.limit, f"cap_load[{d.datacenter}]"
+            )
+
+    # -- migration-cost objective term -------------------------------------
+
+    def set_move_penalty(
+        self, placement: dict[str, str] | None, per_server_cost: float = 0.0
+    ) -> None:
+        """Install (or clear) the anti-thrash migration-cost term.
+
+        With an incumbent ``placement``, the objective becomes::
+
+            base + Σ_{(g,dc) ∈ X, dc ≠ placement[g]} per_server_cost · S_g · X[g,dc]
+
+        so relocating a group is only worth it when the steady-state
+        saving beats its (amortized monthly) move cost.  Passing
+        ``None`` (or a zero cost) restores the objective *as built* —
+        the identical expression object, so fingerprints return to
+        their original values and cached solutions become hits again.
+
+        The term is orthogonal to the directive journal: ``pop`` and
+        ``sync`` never touch the objective.
+        """
+        problem = self.model.problem
+        if placement is None or per_server_cost == 0.0:
+            problem.objective = self._base_objective
+            self.move_penalty = None
+            return
+        if per_server_cost < 0:
+            raise ValueError("move penalty cannot be negative")
+        servers = {g.name: g.servers for g in self.model.state.app_groups}
+        penalty = quicksum(
+            per_server_cost * servers[g] * var
+            for (g, dc), var in self.model.x.items()
+            if placement.get(g) is not None and dc != placement[g]
+        )
+        problem.set_objective(self._base_objective + penalty)
+        self.move_penalty = (dict(placement), per_server_cost)

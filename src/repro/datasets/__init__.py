@@ -9,7 +9,10 @@ from .presets import hp_spec, load_hp, load_uk_government, uk_government_spec
 from .pricing import DEFAULT_RANGES, PriceRanges
 from .scenarios import (
     LINE_USER_LOCATIONS,
+    ONLINE_TRACE_PROFILES,
     latency_line_scenario,
+    online_line_scenario,
+    online_line_trace,
     tradeoff_line_scenario,
 )
 
@@ -21,6 +24,7 @@ __all__ = [
     "FEDERAL_USERS",
     "FLORIDA_USERS",
     "LINE_USER_LOCATIONS",
+    "ONLINE_TRACE_PROFILES",
     "PriceRanges",
     "build_enterprise_state",
     "enterprise1_spec",
@@ -34,5 +38,7 @@ __all__ = [
     "load_enterprise1",
     "load_federal",
     "load_florida",
+    "online_line_scenario",
+    "online_line_trace",
     "tradeoff_line_scenario",
 ]

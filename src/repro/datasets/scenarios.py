@@ -9,7 +9,10 @@ locations 0 and 9 only.  Two variants:
 * :func:`latency_line_scenario` — enterprise1-shaped application groups
   with a tunable latency-penalty rate and user split (Figs. 7 and 8);
 * :func:`tradeoff_line_scenario` — many one-server groups, all users at
-  location 9, dedicated-VPN WAN pricing (Figs. 9 and 10).
+  location 9, dedicated-VPN WAN pricing (Figs. 9 and 10);
+* :func:`online_line_scenario` / :func:`online_line_trace` — a smaller
+  line estate with capacity headroom plus canned load traces (diurnal,
+  flash crowd, growth ramp, mixed) for the online re-planning loop.
 """
 
 from __future__ import annotations
@@ -25,6 +28,14 @@ from ..core.entities import (
     UserLocation,
 )
 from ..core.latency import NO_PENALTY, LatencyPenaltyFunction
+from ..sim.failures import Outage
+from ..sim.load import (
+    LoadEvent,
+    diurnal_cycle,
+    flash_crowd,
+    growth_ramp,
+    merge_traces,
+)
 from .distributions import heavy_tailed_sizes
 from .geography import latency_ms, line_positions
 
@@ -238,4 +249,123 @@ def tradeoff_line_scenario(
         target_datacenters=datacenters,
         user_locations=user_locations,
         params=params,
+    )
+
+
+#: Canned event-trace profiles for :func:`online_line_trace`.
+ONLINE_TRACE_PROFILES = ("diurnal", "flash", "growth", "mixed")
+
+
+def online_line_scenario(
+    n_groups: int = 24,
+    total_servers: int = 600,
+    n_datacenters: int = 6,
+    capacity: int = 250,
+    spacing_km: float = 450.0,
+    seed: int = 11,
+) -> AsIsState:
+    """Line estate sized for the online re-planning loop.
+
+    Same geometry and pricing shape as :func:`latency_line_scenario`
+    but small enough to re-solve dozens of times in a replay, and with
+    ~2.5x capacity headroom so the controller has somewhere to spread
+    load when a site overloads and something to switch off when the
+    estate idles.
+    """
+    rng = np.random.default_rng(seed)
+    sizes = heavy_tailed_sizes(rng, n_groups, total_servers)
+    per_group_users = 1000.0 / n_groups
+    groups = []
+    for i, servers in enumerate(sizes):
+        groups.append(
+            ApplicationGroup(
+                name=f"ag{i:04d}",
+                servers=servers,
+                monthly_data_mb=per_group_users * 100.0,
+                users={
+                    LINE_USER_LOCATIONS[0]: per_group_users * 0.5,
+                    LINE_USER_LOCATIONS[1]: per_group_users * 0.5,
+                },
+                latency_penalty=NO_PENALTY,
+            )
+        )
+    datacenters = _line_datacenters(
+        n_datacenters=n_datacenters,
+        spacing_km=spacing_km,
+        capacity=capacity,
+        space_base=40.0,
+        space_step_per_location=40.0,
+        power_cost_per_kw=80.0,
+        labor_cost_per_admin=6000.0,
+        wan_cost_per_mb=0.05,
+        vpn_base=200.0,
+        vpn_per_km=0.25,
+    )
+    positions = line_positions(n_datacenters, spacing_km)
+    user_locations = [
+        UserLocation(LINE_USER_LOCATIONS[0], positions[0].x, positions[0].y),
+        UserLocation(LINE_USER_LOCATIONS[1], positions[-1].x, positions[-1].y),
+    ]
+    return AsIsState(
+        name="online-line",
+        app_groups=groups,
+        target_datacenters=datacenters,
+        user_locations=user_locations,
+        params=CostParameters(),
+    )
+
+
+def online_line_trace(
+    state: AsIsState,
+    profile: str = "diurnal",
+    horizon_hours: float = 24.0 * 14,
+    seed: int = 0,
+) -> tuple[list[LoadEvent], list[Outage]]:
+    """A deterministic ``(load_events, outages)`` pair for a replay.
+
+    Profiles: ``diurnal`` (gentle day/night swings, no failures),
+    ``flash`` (a flash crowd on the four largest groups), ``growth``
+    (weekly compounding demand), and ``mixed`` (diurnal plus a flash
+    crowd plus one day-long site outage).  The same ``(state, profile,
+    horizon, seed)`` always yields the same trace.
+    """
+    groups = [g.name for g in state.app_groups]
+    largest = [
+        g.name
+        for g in sorted(state.app_groups, key=lambda g: (-g.servers, g.name))[:4]
+    ]
+    if profile == "diurnal":
+        return (
+            diurnal_cycle(
+                groups, horizon_hours, amplitude=0.15, resolution=0.05, seed=seed
+            ),
+            [],
+        )
+    if profile == "flash":
+        return (
+            flash_crowd(largest, at_hours=min(48.0, horizon_hours / 2)),
+            [],
+        )
+    if profile == "growth":
+        return (
+            growth_ramp(groups, horizon_hours, monthly_growth=0.12),
+            [],
+        )
+    if profile == "mixed":
+        steady = [g for g in groups if g not in largest]
+        load = merge_traces(
+            diurnal_cycle(
+                steady, horizon_hours, amplitude=0.15, resolution=0.05, seed=seed
+            ),
+            flash_crowd(largest, at_hours=min(72.0, horizon_hours / 2)),
+        )
+        outage_site = state.target_datacenters[0].name
+        outage = Outage(
+            site=outage_site,
+            start_hours=min(120.0, horizon_hours * 0.6),
+            end_hours=min(144.0, horizon_hours * 0.6 + 24.0),
+        )
+        return load, [outage]
+    raise ValueError(
+        f"unknown trace profile {profile!r}; expected one of {ONLINE_TRACE_PROFILES}"
     )

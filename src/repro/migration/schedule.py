@@ -114,7 +114,10 @@ class MigrationSchedule:
         net = 0.0
         moved_fraction = 0.0
         for month in range(1, months + 1):
-            # Waves executing this month.
+            # Savings accrue from waves completed in *earlier* months
+            # only — snapshot the fraction before this month's waves
+            # execute, so a wave landing in month m first saves in m+1.
+            accruing_fraction = moved_fraction
             for wave in self.waves:
                 wave_month = math.ceil(
                     wave.index * self.wave_interval_days / days_per_month
@@ -122,7 +125,7 @@ class MigrationSchedule:
                 if wave_month == month:
                     net -= wave.move_cost
                     moved_fraction += wave.servers / total_servers
-            net += self.monthly_saving * min(moved_fraction, 1.0)
+            net += self.monthly_saving * min(accruing_fraction, 1.0)
             curve.append(net)
         return curve
 

@@ -1,0 +1,25 @@
+"""Online dynamic consolidation: rolling re-planning over event streams.
+
+The paper plans one-shot transformations; this package adds the
+continuous version (OpenStack-Neat-style).  A controller watches
+utilization as load-change and failure events stream in, detects
+underload/overload threshold crossings, re-solves through the
+incremental engine (:class:`repro.core.incremental.RevisionedModel`
+deltas + a warm :class:`repro.lp.SolveCache`) with a migration-cost
+term in the objective, and emits *migration deltas* — not full plans.
+"""
+
+from .controller import ControllerConfig, OnlineController
+from .deltas import PlanDelta, diff_placements, oscillating_moves
+from .replay import ReplayConfig, ReplayResult, run_replay
+
+__all__ = [
+    "ControllerConfig",
+    "OnlineController",
+    "PlanDelta",
+    "ReplayConfig",
+    "ReplayResult",
+    "diff_placements",
+    "oscillating_moves",
+    "run_replay",
+]

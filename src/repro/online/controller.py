@@ -1,0 +1,437 @@
+"""Threshold-driven re-planning controller (OpenStack-Neat-style).
+
+The controller owns the *online* consolidation loop.  It tracks three
+pieces of streamed state — per-group load factors, failed sites, and
+the incumbent plan — and turns threshold crossings into re-plans:
+
+* **overload** — a site's effective load (``Σ factor·servers`` of the
+  groups placed there) exceeds ``overload_utilization × capacity``: a
+  ``cap_load`` row (per-group ``factor × servers`` weights frozen at
+  trigger time) shrinks the site's admissible effective occupancy to
+  the target band and the re-solve pushes groups elsewhere (forced).
+  Caps are *sticky* — kept until the site is parked — so a site that
+  ran hot cannot silently reabsorb the load it shed;
+* **underload** — a site idles below ``underload_utilization``: the
+  controller *parks* it (a ``retire_site`` delta) so the re-solve
+  evacuates and switches it off (voluntary — subject to the payback
+  guard below);
+* **site failure / repair** — a failed site is retired from the model;
+  on repair the retirement is dropped and a voluntary re-plan may move
+  work back.
+
+Every re-solve runs against the incumbent with a migration-cost term in
+the objective (:meth:`RevisionedModel.set_move_penalty`): moving a
+group costs its amortized migration spend, so the optimizer only
+relocates work whose steady-state saving beats the disruption.  On top
+of that, *voluntary* re-plans pass a payback guard — the move cost of
+the diff must be repaid by the cost delta within
+``payback_window_months`` — and an oscillation veto (no voluntary
+candidate may reverse a recent move).  Together these are the no-thrash
+contract: replaying one trace twice yields identical delta sequences
+with zero oscillating moves.
+
+In ``incremental=False`` mode every re-plan rebuilds the model from
+scratch (the paper's one-shot path in a loop) — the benchmark baseline
+the warm path is measured against.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+
+from ..core.entities import AsIsState
+from ..core.formulation import InfeasibleModelError
+from ..core.incremental import Directive, RevisionedModel
+from ..core.plan import TransformationPlan
+from ..core.planner import ETransformPlanner, PlannerOptions, PlanningError
+from ..lp import SolveCache
+from ..sim.events import Event, EventKind
+from ..sim.load import LoadEvent
+from ..telemetry import metrics
+from ..telemetry.counters import declare_counters
+from .deltas import DeltaEconomics, PlanDelta, diff_placements
+
+#: Counters the online loop owns (service /metrics + bench JSON surface).
+ONLINE_COUNTERS = (
+    "online.events_processed",
+    "online.replans_triggered",
+    "online.deltas_emitted",
+    "online.moves_emitted",
+    "online.thrash_suppressed",
+    "online.replans_infeasible",
+    "online.sites_parked",
+    "online.sites_unparked",
+)
+declare_counters(__name__, ONLINE_COUNTERS)
+
+
+@dataclass(frozen=True)
+class ControllerConfig:
+    """Thresholds and anti-thrash economics of the online loop."""
+
+    overload_utilization: float = 0.85
+    underload_utilization: float = 0.30
+    target_utilization: float = 0.70
+    move_cost_per_server: float = 300.0
+    data_gb_per_server: float = 200.0
+    #: Months of steady-state saving a voluntary re-plan's move cost
+    #: must be repaid within; also sets the amortized per-server move
+    #: penalty in the objective (cost / window).
+    payback_window_months: float = 6.0
+    #: A voluntary candidate reversing a move younger than this is vetoed.
+    thrash_window_hours: float = 168.0
+    #: After a voluntary re-plan (accepted or suppressed), underload
+    #: triggers are held back this long — otherwise an idle site is
+    #: re-proposed for parking on every event and suppressed each time.
+    voluntary_cooldown_hours: float = 24.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.underload_utilization < self.target_utilization:
+            raise ValueError("need 0 < underload < target utilization")
+        if not self.target_utilization < self.overload_utilization <= 1.5:
+            raise ValueError("need target < overload utilization <= 1.5")
+        if self.move_cost_per_server < 0 or self.data_gb_per_server < 0:
+            raise ValueError("negative migration economics")
+        if self.payback_window_months <= 0:
+            raise ValueError("payback window must be positive")
+        if self.thrash_window_hours < 0:
+            raise ValueError("thrash window cannot be negative")
+        if self.voluntary_cooldown_hours < 0:
+            raise ValueError("voluntary cooldown cannot be negative")
+
+    @property
+    def move_penalty_per_server(self) -> float:
+        """Amortized monthly move cost — the objective's µ."""
+        return self.move_cost_per_server / self.payback_window_months
+
+    def economics(self) -> DeltaEconomics:
+        return DeltaEconomics(
+            move_cost_per_server=self.move_cost_per_server,
+            data_gb_per_server=self.data_gb_per_server,
+        )
+
+
+#: Trigger reasons that must be acted on regardless of migration cost.
+_FORCED_PREFIXES = ("overload:", "site_fail:")
+
+
+class OnlineController:
+    """Consumes a load/failure event stream and emits migration deltas."""
+
+    def __init__(
+        self,
+        state: AsIsState,
+        planner_options: PlannerOptions | None = None,
+        config: ControllerConfig | None = None,
+        incremental: bool = True,
+    ) -> None:
+        self.state = state
+        self.options = planner_options or PlannerOptions()
+        self.config = config or ControllerConfig()
+        self.incremental = incremental
+        self.targets = {dc.name: dc for dc in state.target_datacenters}
+        self.load_factors: dict[str, float] = {}
+        self.down_sites: set[str] = set()
+        #: Sites retired because they failed (undone on repair).
+        self.failed_sites: set[str] = set()
+        #: Sites the controller evacuated for being idle.
+        self.parked_sites: set[str] = set()
+        #: Active overload caps, site → ``cap_load`` directive.
+        self.caps: dict[str, Directive] = {}
+        self.incumbent: TransformationPlan | None = None
+        self.deltas: list[PlanDelta] = []
+        #: Underload triggers are ignored before this sim-time.
+        self.voluntary_hold_until = 0.0
+        #: Solver seconds across *every* re-plan, emitted or suppressed.
+        self.solve_seconds_total = 0.0
+        self._move_log: list[tuple[float, str, str | None, str]] = []
+        self._planner: ETransformPlanner | None = None
+        self._engine: RevisionedModel | None = None
+        self._cache: SolveCache | None = None
+
+    # -- streamed state ----------------------------------------------------
+
+    def observe(self, event: Event | LoadEvent) -> None:
+        """Fold one event into the controller's view of the estate."""
+        metrics.increment("online.events_processed")
+        if isinstance(event, LoadEvent):
+            self._observe_load(event.group, event.factor)
+            return
+        if event.kind is EventKind.LOAD_CHANGE:
+            self._observe_load(event.group, float(event.value))
+        elif event.kind is EventKind.SITE_FAIL:
+            self._require_target(event.site)
+            self.down_sites.add(event.site)
+        elif event.kind is EventKind.SITE_REPAIR:
+            self._require_target(event.site)
+            self.down_sites.discard(event.site)
+        else:
+            raise ValueError(f"online controller cannot consume {event.kind}")
+
+    def _observe_load(self, group: str, factor: float) -> None:
+        self.state.group(group)  # KeyError on unknown groups
+        if factor < 0:
+            raise ValueError("load factor cannot be negative")
+        self.load_factors[group] = factor
+
+    def _require_target(self, site: str | None) -> None:
+        if site not in self.targets:
+            raise ValueError(f"event site {site!r} is not a target data center")
+
+    # -- utilization -------------------------------------------------------
+
+    def site_utilization(self) -> dict[str, float]:
+        """Effective load / capacity per site, under the incumbent plan."""
+        if self.incumbent is None:
+            raise RuntimeError("no incumbent plan; call initial_plan() first")
+        effective: dict[str, float] = {name: 0.0 for name in self.targets}
+        for group in self.state.app_groups:
+            site = self.incumbent.placement[group.name]
+            factor = self.load_factors.get(group.name, 1.0)
+            if site in effective:
+                effective[site] += factor * group.servers
+        return {
+            name: load / self.targets[name].capacity
+            for name, load in effective.items()
+        }
+
+    def trigger_reasons(self, now: float = 0.0) -> list[str]:
+        """Threshold crossings that warrant a re-plan, deterministic order.
+
+        Forced reasons (``overload:*``, ``site_fail:*``) come first,
+        then voluntary ones (``site_repair:*``, ``underload:*``).
+        """
+        cfg = self.config
+        utilization = self.site_utilization()
+        forced: list[str] = []
+        voluntary: list[str] = []
+        for site in sorted(self.down_sites):
+            hosts = any(
+                self.incumbent.placement[g.name] == site
+                for g in self.state.app_groups
+            )
+            if site not in self.failed_sites and hosts:
+                forced.append(f"site_fail:{site}")
+        for site in sorted(self.failed_sites):
+            if site not in self.down_sites:
+                voluntary.append(f"site_repair:{site}")
+        for site, util in sorted(utilization.items()):
+            if site in self.down_sites:
+                continue
+            if util > cfg.overload_utilization:
+                forced.append(f"overload:{site}")
+        underloaded = [
+            (util, site)
+            for site, util in utilization.items()
+            if 0.0 < util < cfg.underload_utilization
+            and site not in self.down_sites
+            and site not in self.parked_sites
+        ]
+        active = sum(1 for util in utilization.values() if util > 0.0)
+        if underloaded and active > 1 and now >= self.voluntary_hold_until:
+            # Park one site per re-plan — mass evacuation is how a
+            # controller paints itself into an infeasible corner.
+            _, site = min(underloaded)
+            voluntary.append(f"underload:{site}")
+        return forced + voluntary
+
+    # -- planning ----------------------------------------------------------
+
+    def initial_plan(self) -> TransformationPlan:
+        """Solve the one-shot plan the online loop starts from."""
+        if self.incremental:
+            self._planner = ETransformPlanner(self.state, replace(self.options))
+            self._engine = RevisionedModel(self._planner.model)
+            self._cache = SolveCache()
+            solution = self._planner.solve_model(cache=self._cache)
+            self.incumbent = self._planner.finish_plan(solution)
+        else:
+            self.incumbent = ETransformPlanner(
+                self.state, replace(self.options)
+            ).plan()
+        return self.incumbent
+
+    def _directives(self) -> list[Directive]:
+        """The directive set encoding the controller's current view."""
+        retired = sorted(self.failed_sites | self.parked_sites)
+        directives = [Directive("retire_site", datacenter=s) for s in retired]
+        directives.extend(self.caps[site] for site in sorted(self.caps))
+        return directives
+
+    def _reduced_state(self) -> AsIsState:
+        retired = self.failed_sites | self.parked_sites
+        if not retired:
+            return self.state
+        return replace(
+            self.state,
+            target_datacenters=[
+                dc for dc in self.state.target_datacenters if dc.name not in retired
+            ],
+        )
+
+    def _solve(self, directives: list[Directive]) -> TransformationPlan | None:
+        """Re-solve under ``directives``; ``None`` when infeasible."""
+        penalty = (
+            dict(self.incumbent.placement),
+            self.config.move_penalty_per_server,
+        )
+        try:
+            if self.incremental:
+                engine = self._engine
+                engine.sync(directives)
+                if engine.move_penalty != penalty:
+                    engine.set_move_penalty(*penalty)
+                solution = self._planner.solve_model(cache=self._cache)
+                return self._planner.finish_plan(
+                    solution, state=self._reduced_state()
+                )
+            planner = ETransformPlanner(self.state, replace(self.options))
+            engine = RevisionedModel(planner.model)
+            for directive in directives:
+                engine.apply(directive)
+            engine.set_move_penalty(*penalty)
+            solution = planner.solve_model()
+            return planner.finish_plan(solution, state=self._reduced_state())
+        except (InfeasibleModelError, PlanningError):
+            return None
+
+    def _describe_reuse(self, before: tuple[int, int]) -> str:
+        if not self.incremental or self._cache is None:
+            return "rebuild"
+        if self._cache.hits > before[0]:
+            return "cache hit"
+        if self._cache.tightening_reuses > before[1]:
+            return "still optimal"
+        return "re-solved"
+
+    def _reverses_recent_move(self, moves, now: float) -> bool:
+        window = self.config.thrash_window_hours
+        for move in moves:
+            for when, group, src, dst in self._move_log:
+                if (
+                    group == move.group
+                    and now - when <= window
+                    and move.from_site == dst
+                    and move.to_site == src
+                ):
+                    return True
+        return False
+
+    def replan(self, now: float, reasons: list[str]) -> PlanDelta | None:
+        """Re-solve for the current view; emit the migration delta.
+
+        Returns ``None`` when the re-plan was suppressed (thrash guard)
+        or infeasible, or produced no moves.  The incumbent advances
+        only on an emitted delta.
+        """
+        if self.incumbent is None:
+            raise RuntimeError("no incumbent plan; call initial_plan() first")
+        metrics.increment("online.replans_triggered")
+        forced = any(r.startswith(_FORCED_PREFIXES) for r in reasons)
+        if any(r.startswith("underload:") for r in reasons):
+            # Whatever the outcome, don't re-propose parking every event.
+            self.voluntary_hold_until = now + self.config.voluntary_cooldown_hours
+        self._refresh_site_policy(reasons)
+
+        before = (
+            (self._cache.hits, self._cache.tightening_reuses)
+            if self._cache is not None
+            else (0, 0)
+        )
+        start = time.perf_counter()
+        candidate = self._solve(self._directives())
+        elapsed = time.perf_counter() - start
+        self.solve_seconds_total += elapsed
+
+        if candidate is None:
+            # Back out whatever voluntary parking made this infeasible.
+            metrics.increment("online.replans_infeasible")
+            self._unpark_for_feasibility(reasons)
+            return None
+
+        moves = diff_placements(
+            self.state,
+            self.incumbent.placement,
+            candidate.placement,
+            self.config.economics(),
+        )
+        if not moves:
+            return None
+
+        if not forced:
+            window = self.config.payback_window_months
+            benefit = self.incumbent.breakdown.total - candidate.breakdown.total
+            move_cost = sum(m.move_cost for m in moves)
+            underpaid = benefit * window < move_cost
+            if underpaid or self._reverses_recent_move(moves, now):
+                metrics.increment("online.thrash_suppressed", len(moves))
+                self._unpark_for_feasibility(reasons)
+                return None
+
+        delta = PlanDelta(
+            time_hours=now,
+            reason=",".join(reasons),
+            moves=moves,
+            solve_seconds=elapsed,
+            via=self._describe_reuse(before),
+            cost_before=self.incumbent.breakdown.total,
+            cost_after=candidate.breakdown.total,
+        )
+        self.incumbent = candidate
+        self.deltas.append(delta)
+        for move in moves:
+            self._move_log.append((now, move.group, move.from_site, move.to_site))
+        metrics.increment("online.deltas_emitted")
+        metrics.increment("online.moves_emitted", len(moves))
+        return delta
+
+    def _cap_directive(self, site: str) -> Directive:
+        """An effective-load cap at the target band, factors frozen now."""
+        weights = tuple(
+            (g.name, round(self.load_factors.get(g.name, 1.0) * g.servers, 6))
+            for g in self.state.app_groups
+        )
+        limit = self.config.target_utilization * self.targets[site].capacity
+        return Directive("cap_load", datacenter=site, limit=limit, weights=weights)
+
+    def _refresh_site_policy(self, reasons: list[str]) -> None:
+        """Update retires and caps from the trigger reasons."""
+        for reason in reasons:
+            kind, _, site = reason.partition(":")
+            if kind == "site_fail":
+                self.failed_sites.add(site)
+            elif kind == "site_repair":
+                self.failed_sites.discard(site)
+            elif kind == "underload":
+                self.parked_sites.add(site)
+                self.caps.pop(site, None)
+                metrics.increment("online.sites_parked")
+            elif kind == "overload":
+                self.caps[site] = self._cap_directive(site)
+                if site in self.parked_sites:
+                    self.parked_sites.discard(site)
+                    metrics.increment("online.sites_unparked")
+        # A capacity crunch anywhere re-opens every parked site.
+        if any(r.startswith("overload:") for r in reasons) and self.parked_sites:
+            metrics.increment("online.sites_unparked", len(self.parked_sites))
+            self.parked_sites.clear()
+
+    def _unpark_for_feasibility(self, reasons: list[str]) -> None:
+        """Roll back voluntary parking after a failed/suppressed re-plan."""
+        for reason in reasons:
+            kind, _, site = reason.partition(":")
+            if kind == "underload" and site in self.parked_sites:
+                self.parked_sites.discard(site)
+                metrics.increment("online.sites_unparked")
+
+    # -- one-shot step -----------------------------------------------------
+
+    def step(self, now: float, events: list[Event | LoadEvent]) -> PlanDelta | None:
+        """Observe a batch of same-timestamp events, re-plan if warranted."""
+        for event in events:
+            self.observe(event)
+        reasons = self.trigger_reasons(now)
+        if not reasons:
+            return None
+        return self.replan(now, reasons)

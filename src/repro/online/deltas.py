@@ -1,0 +1,134 @@
+"""Plan diffs as migration deltas.
+
+A re-plan's output is not a new plan document but the *difference*
+against the incumbent: the set of group relocations, expressed with the
+same :class:`repro.migration.Move` records the offline wave planner
+uses, so delta costing (per-server move cost, bulk data volume) and the
+offline business-case machinery agree by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..core.entities import AsIsState
+from ..migration.schedule import Move
+
+
+@dataclass(frozen=True)
+class DeltaEconomics:
+    """Costing knobs for converting a placement diff into moves."""
+
+    move_cost_per_server: float = 300.0
+    data_gb_per_server: float = 200.0
+
+    def __post_init__(self) -> None:
+        if self.move_cost_per_server < 0 or self.data_gb_per_server < 0:
+            raise ValueError("negative delta economics")
+
+
+def diff_placements(
+    state: AsIsState,
+    before: Mapping[str, str],
+    after: Mapping[str, str],
+    economics: DeltaEconomics | None = None,
+) -> list[Move]:
+    """The moves that turn placement ``before`` into ``after``.
+
+    Groups are walked in state order so the move list is deterministic
+    for a given pair of placements.
+    """
+    economics = economics or DeltaEconomics()
+    moves: list[Move] = []
+    for group in state.app_groups:
+        src = before.get(group.name)
+        dst = after.get(group.name)
+        if dst is None or src == dst:
+            continue
+        moves.append(
+            Move(
+                group=group.name,
+                servers=group.servers,
+                from_site=src,
+                to_site=dst,
+                data_gb=group.servers * economics.data_gb_per_server,
+                move_cost=group.servers * economics.move_cost_per_server,
+            )
+        )
+    return moves
+
+
+@dataclass
+class PlanDelta:
+    """One re-plan's outcome: when, why, what moved, and at what price."""
+
+    time_hours: float
+    reason: str
+    moves: list[Move] = field(default_factory=list)
+    solve_seconds: float = 0.0
+    via: str = "re-solved"
+    cost_before: float = 0.0
+    cost_after: float = 0.0
+
+    @property
+    def servers_moved(self) -> int:
+        return sum(m.servers for m in self.moves)
+
+    @property
+    def move_cost(self) -> float:
+        return sum(m.move_cost for m in self.moves)
+
+    def describe(self) -> str:
+        moved = ", ".join(f"{m.group}:{m.from_site}→{m.to_site}" for m in self.moves)
+        return (
+            f"t={self.time_hours:.1f}h {self.reason}: "
+            f"{len(self.moves)} moves ({self.servers_moved} servers) "
+            f"[{moved or 'none'}]"
+        )
+
+    def as_dict(self) -> dict:
+        """JSON-safe record (what ``etransform replay --json`` emits)."""
+        return {
+            "time_hours": self.time_hours,
+            "reason": self.reason,
+            "via": self.via,
+            "solve_seconds": round(self.solve_seconds, 6),
+            "cost_before": self.cost_before,
+            "cost_after": self.cost_after,
+            "moves": [
+                {
+                    "group": m.group,
+                    "servers": m.servers,
+                    "from": m.from_site,
+                    "to": m.to_site,
+                    "move_cost": m.move_cost,
+                }
+                for m in self.moves
+            ],
+        }
+
+
+def oscillating_moves(
+    deltas: list[PlanDelta], window_hours: float = 168.0
+) -> list[tuple[str, float, float]]:
+    """Moves that reverse an earlier move of the same group within the window.
+
+    Returns ``(group, earlier_time, later_time)`` triples — the thrash
+    the migration-cost objective term exists to prevent.  A replayed
+    trace is thrash-free when this list is empty.
+    """
+    history: dict[str, list[tuple[float, str | None, str]]] = {}
+    oscillations: list[tuple[str, float, float]] = []
+    for delta in deltas:
+        for move in delta.moves:
+            past = history.setdefault(move.group, [])
+            for when, src, dst in past:
+                if (
+                    delta.time_hours - when <= window_hours
+                    and move.from_site == dst
+                    and move.to_site == src
+                ):
+                    oscillations.append((move.group, when, delta.time_hours))
+            past.append((delta.time_hours, move.from_site, move.to_site))
+    return oscillations

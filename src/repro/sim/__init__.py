@@ -1,7 +1,8 @@
 """Estate failure simulator: dynamic validation of DR plans."""
 
-from .events import Event, EventKind, EventQueue
+from .events import Event, EventKind, EventQueue, kind_priority
 from .failures import HOURS_PER_MONTH, FailureModelConfig, Outage, sample_outages
+from .load import LoadEvent, diurnal_cycle, flash_crowd, growth_ramp, merge_traces
 from .metrics import GroupOutcome, PoolShortfall, SimulationReport
 from .simulator import SimulatorConfig, compare_resilience, simulate_plan
 
@@ -12,11 +13,17 @@ __all__ = [
     "FailureModelConfig",
     "GroupOutcome",
     "HOURS_PER_MONTH",
+    "LoadEvent",
     "Outage",
     "PoolShortfall",
     "SimulationReport",
     "SimulatorConfig",
     "compare_resilience",
+    "diurnal_cycle",
+    "flash_crowd",
+    "growth_ramp",
+    "kind_priority",
+    "merge_traces",
     "sample_outages",
     "simulate_plan",
 ]

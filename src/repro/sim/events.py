@@ -1,4 +1,4 @@
-"""Discrete-event core for the estate simulator."""
+"""Discrete-event core for the estate simulator and the online loop."""
 
 from __future__ import annotations
 
@@ -10,34 +10,84 @@ from typing import Iterator
 
 
 class EventKind(Enum):
-    """Things that can happen to a data center."""
+    """Things that can happen to a data center or an application group."""
 
     SITE_FAIL = "site_fail"
     SITE_REPAIR = "site_repair"
+    FAILOVER_COMPLETE = "failover_complete"
+    LOAD_CHANGE = "load_change"
     HORIZON_END = "horizon_end"
+
+
+#: Processing order for events sharing one timestamp.  Repairs land
+#: before failures so a back-to-back outage pair (repair at *t*, new
+#: failure at *t*) resolves as two outages, and a secondary repaired at
+#: the instant a primary fails can accept the failover.  Failover
+#: completions slot between the two: a group whose blip ends exactly
+#: when its primary repairs is promoted to its secondary and fails back
+#: in the same instant (zero secondary hours either way, but the
+#: failback is counted deterministically).
+_KIND_PRIORITY = {
+    EventKind.SITE_REPAIR: 0,
+    EventKind.FAILOVER_COMPLETE: 1,
+    EventKind.SITE_FAIL: 2,
+    EventKind.LOAD_CHANGE: 3,
+    EventKind.HORIZON_END: 4,
+}
+
+
+def kind_priority(kind: EventKind) -> int:
+    """Same-timestamp processing rank of ``kind`` (lower runs first)."""
+    return _KIND_PRIORITY[kind]
 
 
 @dataclass(order=True)
 class Event:
-    """A scheduled simulation event, ordered by time (hours)."""
+    """A scheduled simulation event.
+
+    Ordered by ``(time_hours, priority, sequence)``: time first, then
+    the deterministic kind rank (see :func:`kind_priority`), then
+    insertion order — so two traces built from the same events replay
+    identically regardless of how the schedule was assembled.
+    """
 
     time_hours: float
-    sequence: int = field(compare=True)
+    priority: int = field(compare=True, default=0)
+    sequence: int = field(compare=True, default=0)
     kind: EventKind = field(compare=False, default=EventKind.HORIZON_END)
     site: str | None = field(compare=False, default=None)
+    group: str | None = field(compare=False, default=None)
+    #: Kind-specific payload: the load factor for ``LOAD_CHANGE``, the
+    #: failover sequence token for ``FAILOVER_COMPLETE``.
+    value: float | None = field(compare=False, default=None)
 
 
 class EventQueue:
-    """Min-heap of events with a stable tiebreaker."""
+    """Min-heap of events with deterministic same-timestamp ordering."""
 
     def __init__(self) -> None:
         self._heap: list[Event] = []
         self._counter = itertools.count()
 
-    def push(self, time_hours: float, kind: EventKind, site: str | None = None) -> Event:
+    def push(
+        self,
+        time_hours: float,
+        kind: EventKind,
+        site: str | None = None,
+        group: str | None = None,
+        value: float | None = None,
+    ) -> Event:
         if time_hours < 0:
             raise ValueError("events cannot be scheduled in the past of t=0")
-        event = Event(time_hours, next(self._counter), kind, site)
+        event = Event(
+            time_hours,
+            kind_priority(kind),
+            next(self._counter),
+            kind,
+            site,
+            group,
+            value,
+        )
         heapq.heappush(self._heap, event)
         return event
 
@@ -45,6 +95,11 @@ class EventQueue:
         if not self._heap:
             raise IndexError("pop from empty event queue")
         return heapq.heappop(self._heap)
+
+    def peek(self) -> Event:
+        if not self._heap:
+            raise IndexError("peek at empty event queue")
+        return self._heap[0]
 
     def __len__(self) -> int:
         return len(self._heap)

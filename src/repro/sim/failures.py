@@ -9,6 +9,7 @@ roughly one disaster per site per decade, repaired in days.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -57,12 +58,24 @@ def sample_outages(
     Outages of one site never overlap (a failed site cannot re-fail);
     outages of different sites may — that is exactly the multi-failure
     stress the simulator uses to probe shared-pool sizing.
+
+    Each site draws from its own stream, seeded by ``(config.seed,
+    site name)``: a site's outage history does not depend on which
+    *other* sites were sampled alongside it.  That is what makes
+    :func:`~repro.sim.simulator.compare_resilience` subset-stable —
+    filtering a shared sample down to one plan's sites yields exactly
+    what sampling those sites alone would have.
     """
     if horizon_hours <= 0:
         raise ValueError("horizon must be positive")
-    rng = np.random.default_rng(config.seed)
     outages: list[Outage] = []
     for site in sites:
+        # Stable across processes (unlike hash()) and uncorrelated
+        # between sites sharing a config seed.
+        site_key = int.from_bytes(
+            hashlib.blake2b(site.encode(), digest_size=8).digest(), "big"
+        )
+        rng = np.random.default_rng((config.seed, site_key))
         clock = 0.0
         while True:
             clock += float(rng.exponential(config.mtbf_hours))

@@ -1,0 +1,176 @@
+"""Load-change traces for the online re-planning loop.
+
+The estate simulator replays *failures*; the online controller also
+needs *demand*: application-group load that moves over time.  A trace
+is a time-sorted list of :class:`LoadEvent` records, each setting one
+group's load factor — an **absolute** multiplier against the group's
+nominal server demand (1.0 = nominal), never a delta, so replaying a
+prefix of a trace always leaves a well-defined load vector.
+
+Three generator families cover the scenario space the dynamic
+consolidation literature works with (OpenStack-Neat-style controllers):
+
+* :func:`diurnal_cycle` — sinusoidal day/night swings, per-group phase
+  jitter so sites do not breathe in perfect lockstep;
+* :func:`flash_crowd` — a sudden spike on a few groups with a linear
+  ramp-up and decay back to nominal;
+* :func:`growth_ramp` — compounding month-over-month growth, the
+  slow-motion overload that forces estate re-planning.
+
+All generators are seeded and quantize factors to ``resolution`` so
+small oscillations do not produce event storms; :func:`merge_traces`
+interleaves traces into one deterministic stream.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LoadEvent:
+    """One group's load factor changing at a point in time."""
+
+    time_hours: float
+    group: str
+    factor: float
+
+    def __post_init__(self) -> None:
+        if self.time_hours < 0:
+            raise ValueError("load events cannot be scheduled before t=0")
+        if self.factor < 0:
+            raise ValueError("load factor cannot be negative")
+
+
+def _quantize(factor: float, resolution: float) -> float:
+    """Snap ``factor`` to the grid so near-noise changes emit no event."""
+    if resolution <= 0:
+        return factor
+    return round(round(factor / resolution) * resolution, 9)
+
+
+def _emit_changes(
+    samples: Iterable[tuple[float, str, float]], resolution: float
+) -> list[LoadEvent]:
+    """Turn (time, group, factor) samples into change-only events."""
+    last: dict[str, float] = {}
+    events: list[LoadEvent] = []
+    for time_hours, group, factor in samples:
+        level = _quantize(factor, resolution)
+        if last.get(group, 1.0) == level:
+            continue
+        last[group] = level
+        events.append(LoadEvent(time_hours, group, level))
+    return events
+
+
+def diurnal_cycle(
+    groups: Sequence[str],
+    horizon_hours: float,
+    amplitude: float = 0.4,
+    period_hours: float = 24.0,
+    step_hours: float = 2.0,
+    resolution: float = 0.1,
+    seed: int = 0,
+) -> list[LoadEvent]:
+    """Day/night load swings: factor = 1 + amplitude·sin(phase).
+
+    Each group gets a random phase offset so the estate's sites peak at
+    different times — the pattern that makes rolling consolidation pay.
+    """
+    if horizon_hours <= 0 or period_hours <= 0 or step_hours <= 0:
+        raise ValueError("horizon, period and step must be positive")
+    if not 0.0 <= amplitude < 1.0:
+        raise ValueError("amplitude must be within [0, 1)")
+    rng = np.random.default_rng(seed)
+    phases = {g: float(rng.uniform(0.0, 2.0 * math.pi)) for g in groups}
+    samples = []
+    steps = int(horizon_hours / step_hours)
+    for i in range(1, steps + 1):
+        t = i * step_hours
+        if t >= horizon_hours:
+            break
+        for g in groups:
+            factor = 1.0 + amplitude * math.sin(
+                2.0 * math.pi * t / period_hours + phases[g]
+            )
+            samples.append((t, g, factor))
+    return _emit_changes(samples, resolution)
+
+
+def flash_crowd(
+    groups: Sequence[str],
+    at_hours: float,
+    magnitude: float = 2.5,
+    ramp_hours: float = 1.0,
+    hold_hours: float = 4.0,
+    decay_hours: float = 6.0,
+    step_hours: float = 0.5,
+    resolution: float = 0.1,
+) -> list[LoadEvent]:
+    """A sudden spike on ``groups``: ramp to ``magnitude``, hold, decay."""
+    if at_hours < 0:
+        raise ValueError("flash crowd cannot start before t=0")
+    if magnitude < 1.0:
+        raise ValueError("a flash crowd multiplies load (magnitude >= 1)")
+    if min(ramp_hours, hold_hours, decay_hours, step_hours) <= 0:
+        raise ValueError("ramp, hold, decay and step must be positive")
+    samples = []
+    end = at_hours + ramp_hours + hold_hours + decay_hours
+    t = at_hours
+    while t <= end + 1e-9:
+        if t < at_hours + ramp_hours:
+            factor = 1.0 + (magnitude - 1.0) * (t - at_hours) / ramp_hours
+        elif t < at_hours + ramp_hours + hold_hours:
+            factor = magnitude
+        else:
+            into_decay = t - at_hours - ramp_hours - hold_hours
+            factor = magnitude - (magnitude - 1.0) * min(1.0, into_decay / decay_hours)
+        for g in groups:
+            samples.append((t, g, factor))
+        t += step_hours
+    # Always land exactly back at nominal.
+    for g in groups:
+        samples.append((end, g, 1.0))
+    return _emit_changes(samples, resolution)
+
+
+def growth_ramp(
+    groups: Sequence[str],
+    horizon_hours: float,
+    monthly_growth: float = 0.05,
+    step_hours: float = 168.0,
+    resolution: float = 0.05,
+) -> list[LoadEvent]:
+    """Compounding demand growth, sampled every ``step_hours``."""
+    if horizon_hours <= 0 or step_hours <= 0:
+        raise ValueError("horizon and step must be positive")
+    if monthly_growth < 0:
+        raise ValueError("growth cannot be negative")
+    from .failures import HOURS_PER_MONTH
+
+    samples = []
+    steps = int(horizon_hours / step_hours)
+    for i in range(1, steps + 1):
+        t = i * step_hours
+        if t >= horizon_hours:
+            break
+        factor = (1.0 + monthly_growth) ** (t / HOURS_PER_MONTH)
+        for g in groups:
+            samples.append((t, g, factor))
+    return _emit_changes(samples, resolution)
+
+
+def merge_traces(*traces: Sequence[LoadEvent]) -> list[LoadEvent]:
+    """Interleave traces into one deterministic time-sorted stream.
+
+    Ties break by (group, factor) so the merged order never depends on
+    argument order — a same-trace replay is byte-identical.
+    """
+    merged = [event for trace in traces for event in trace]
+    merged.sort(key=lambda e: (e.time_hours, e.group, e.factor))
+    return merged

@@ -11,13 +11,21 @@ small because two sites happened to be down at once.
 Semantics
 ---------
 * A group with no DR plan is simply down while its primary is down.
-* Failover takes ``failover_hours`` of downtime, then the group serves
-  from its secondary.
+* Failover takes ``failover_hours`` of downtime (the *blip*), modeled as
+  an explicit ``"failover"`` interval charged to downtime; only after
+  the blip completes does the group serve from its secondary.  If the
+  primary repairs before the blip ends, the group fails straight back
+  (downtime is just the outage, never the full blip); if the secondary
+  fails mid-blip, the group goes down until its primary repairs.
 * A group is denied failover when its secondary is itself down or the
   pool there is exhausted; denied groups stay down until their primary
   repairs (no retry — conservative, and it keeps causality obvious).
 * If the secondary site fails while hosting a failed-over group, the
   group goes down and returns only when its primary repairs.
+* Events sharing a timestamp process in a deterministic kind order
+  (repairs, then failover completions, then failures — see
+  :func:`repro.sim.events.kind_priority`), so scripted traces replay
+  identically however they were assembled.
 """
 
 from __future__ import annotations
@@ -49,15 +57,23 @@ class SimulatorConfig:
 class _GroupState:
     """Mutable per-group simulation state."""
 
-    __slots__ = ("name", "servers", "primary", "secondary", "mode", "mode_since")
+    __slots__ = (
+        "name", "servers", "primary", "secondary", "mode", "mode_since",
+        "failover_seq",
+    )
 
     def __init__(self, name: str, servers: int, primary: str, secondary: str | None):
         self.name = name
         self.servers = servers
         self.primary = primary
         self.secondary = secondary
-        self.mode = "primary"  # "primary" | "secondary" | "down"
+        # "primary" | "failover" | "secondary" | "down"
+        self.mode = "primary"
         self.mode_since = 0.0
+        # Token matched against FAILOVER_COMPLETE events so a completion
+        # scheduled for an *aborted* blip (failback or secondary loss
+        # mid-blip, then a new failover) can never promote the group.
+        self.failover_seq = 0
 
 
 def simulate_plan(
@@ -70,7 +86,8 @@ def simulate_plan(
 
     ``outages`` may be supplied explicitly (tests, what-if studies);
     otherwise they are sampled from ``config.failure`` over the sites
-    the plan actually uses.
+    the plan actually uses.  Zero-duration outages (an interval clamped
+    to nothing) are skipped: they have no effect on any group.
     """
     config = config or SimulatorConfig()
     horizon = config.horizon_months * HOURS_PER_MONTH
@@ -95,10 +112,13 @@ def simulate_plan(
     pool_used: dict[str, int] = {site: 0 for site in pool_size}
     down_sites: set[str] = set()
 
+    used = set(used_sites)
     queue = EventQueue()
     for outage in outages:
-        if outage.site not in set(used_sites):
+        if outage.site not in used:
             raise ValueError(f"outage for site {outage.site!r} not used by the plan")
+        if outage.duration_hours <= 0.0:
+            continue  # a clamped-to-nothing outage affects nobody
         queue.push(outage.start_hours, EventKind.SITE_FAIL, outage.site)
         queue.push(outage.end_hours, EventKind.SITE_REPAIR, outage.site)
 
@@ -110,7 +130,7 @@ def simulate_plan(
             outcome.primary_hours += duration
         elif gs.mode == "secondary":
             outcome.secondary_hours += duration
-        else:
+        else:  # "down" and the explicit "failover" blip are both downtime
             outcome.downtime_hours += duration
         gs.mode = new_mode
         gs.mode_since = now
@@ -151,24 +171,38 @@ def simulate_plan(
                         outcome.denied_failovers += 1
                         go_down(gs, now)
                         continue
-                    # Failover: brief downtime, then serve from secondary.
+                    # Failover: an explicit blip interval (charged to
+                    # downtime), then serve from the secondary.
                     pool_used[gs.secondary] = demand
                     outcome.failovers += 1
-                    blip = min(config.failover_hours, horizon - now)
-                    outcome.downtime_hours += blip
-                    outcome.secondary_hours -= blip  # blip is not service time
-                    transition(gs, now, "secondary")
-                elif gs.secondary == site and gs.mode == "secondary":
-                    # The refuge itself failed.
+                    gs.failover_seq += 1
+                    transition(gs, now, "failover")
+                    queue.push(
+                        now + config.failover_hours,
+                        EventKind.FAILOVER_COMPLETE,
+                        group=gs.name,
+                        value=float(gs.failover_seq),
+                    )
+                elif gs.secondary == site and gs.mode in ("secondary", "failover"):
+                    # The refuge failed — mid-blip counts too.
                     release_pool(gs)
                     go_down(gs, now)
+
+        elif event.kind is EventKind.FAILOVER_COMPLETE:
+            gs = groups[event.group]
+            if gs.mode == "failover" and event.value == float(gs.failover_seq):
+                come_up(gs, now, "secondary")
+            # A stale token (the blip was aborted by a failback or a
+            # secondary loss) promotes nothing.
 
         elif event.kind is EventKind.SITE_REPAIR:
             down_sites.discard(site)
             for gs in groups.values():
                 if gs.primary != site:
                     continue
-                if gs.mode == "secondary":
+                if gs.mode in ("secondary", "failover"):
+                    # Failback — from mid-blip, the outage was shorter
+                    # than the blip and the group returns directly.
                     release_pool(gs)
                     report.groups[gs.name].failbacks += 1
                     transition(gs, now, "primary")
@@ -182,7 +216,6 @@ def simulate_plan(
         gs = groups[g.name]
         transition(gs, horizon, gs.mode)
         outcome = report.groups[g.name]
-        outcome.secondary_hours = max(0.0, outcome.secondary_hours)
         if g.total_users == 0:
             continue
         primary_site = sites_by_name.get(gs.primary)
@@ -210,7 +243,9 @@ def compare_resilience(
     """Simulate several plans under *identical* outage samples.
 
     All plans see the same disasters (sampled over the union of their
-    sites), so availability differences are attributable to the plans.
+    sites), so availability differences are attributable to the plans;
+    the same seed yields the same per-plan reports for any subset of
+    plans, because each plan filters one shared sample.
     """
     config = config or SimulatorConfig()
     horizon = config.horizon_months * HOURS_PER_MONTH

@@ -17,6 +17,7 @@ from repro.core import (
     RevisionedModel,
     UserLocation,
 )
+from repro.core.incremental import directive_from_dict
 from repro.core.latency import NO_PENALTY
 from repro.lp import problem_fingerprint
 
@@ -110,6 +111,101 @@ class TestRevisionedModel:
         assert model.x[("web", "mid")].ub == 1.0  # forbid unwound
         engine.sync([])
         assert engine.revision == 0
+
+
+class TestOnlineDirectives:
+    def test_cap_servers_appends_row_and_pop_truncates(self, tiny_state):
+        model = ConsolidationModel(tiny_state)
+        engine = RevisionedModel(model)
+        rows = model.problem.num_constraints
+        engine.apply(Directive("cap_servers", datacenter="mid", limit=50))
+        assert model.problem.num_constraints == rows + 1
+        engine.pop()
+        assert model.problem.num_constraints == rows
+
+    def test_cap_load_appends_weighted_row(self, tiny_state):
+        model = ConsolidationModel(tiny_state)
+        engine = RevisionedModel(model)
+        rows = model.problem.num_constraints
+        weights = tuple((g.name, 1.2 * g.servers) for g in tiny_state.app_groups)
+        fp = problem_fingerprint(model.problem)
+        engine.apply(
+            Directive("cap_load", datacenter="mid", limit=90.0, weights=weights)
+        )
+        assert model.problem.num_constraints == rows + 1
+        assert problem_fingerprint(model.problem) != fp
+        engine.pop()
+        assert model.problem.num_constraints == rows
+        assert problem_fingerprint(model.problem) == fp
+
+    def test_cap_load_validation(self, tiny_state):
+        model = ConsolidationModel(tiny_state)
+        engine = RevisionedModel(model)
+        with pytest.raises(ValueError, match="weights"):
+            engine.apply(Directive("cap_load", datacenter="mid", limit=10.0))
+        with pytest.raises(ValueError, match="limit"):
+            engine.apply(
+                Directive(
+                    "cap_load", datacenter="mid", limit=-1.0,
+                    weights=(("erp", 1.0),),
+                )
+            )
+
+    def test_cap_load_round_trips_through_dict(self):
+        original = Directive(
+            "cap_load", datacenter="mid", limit=87.5,
+            weights=(("erp", 48.0), ("web", 33.0)),
+        )
+        restored = directive_from_dict(original.as_dict())
+        assert restored == original
+        assert isinstance(restored.limit, float)
+        assert restored.weights == (("erp", 48.0), ("web", 33.0))
+
+    def test_sync_replaces_cap_load_with_new_weights(self, tiny_state):
+        model = ConsolidationModel(tiny_state)
+        engine = RevisionedModel(model)
+        rows = model.problem.num_constraints
+        first = Directive(
+            "cap_load", datacenter="mid", limit=80.0, weights=(("erp", 40.0),)
+        )
+        second = Directive(
+            "cap_load", datacenter="mid", limit=60.0, weights=(("erp", 52.0),)
+        )
+        engine.sync([first])
+        engine.sync([second])
+        assert engine.applied_directives() == [second]
+        assert model.problem.num_constraints == rows + 1
+
+
+class TestMovePenalty:
+    def test_penalty_steers_reassignment_and_clear_restores(self, tiny_state):
+        model = ConsolidationModel(tiny_state)
+        engine = RevisionedModel(model)
+        original = model.problem.objective
+        incumbent = {g.name: "mid" for g in tiny_state.app_groups}
+        engine.set_move_penalty(incumbent, 50.0)
+        assert model.problem.objective is not original
+        assert engine.move_penalty == (incumbent, 50.0)
+        # Clearing must restore the *identical* objective object so the
+        # solve cache's identity-based tightening shortcut still fires.
+        engine.set_move_penalty(None)
+        assert model.problem.objective is original
+        assert engine.move_penalty is None
+
+    def test_penalized_objective_charges_only_movers(self, tiny_state):
+        model = ConsolidationModel(tiny_state)
+        engine = RevisionedModel(model)
+        incumbent = {g.name: "mid" for g in tiny_state.app_groups}
+        engine.set_move_penalty(incumbent, 10.0)
+        coeffs = dict(model.problem.objective.terms())
+        erp = next(g for g in tiny_state.app_groups if g.name == "erp")
+        base = dict(engine._base_objective.terms())
+        stay = model.x[("erp", "mid")]
+        move = model.x[("erp", "east-dc")]
+        assert coeffs[stay] == pytest.approx(base.get(stay, 0.0))
+        assert coeffs[move] == pytest.approx(
+            base.get(move, 0.0) + 10.0 * erp.servers
+        )
 
 
 class TestSessionLifecycle:

@@ -74,6 +74,35 @@ class TestSchedule:
         # Eventually positive (project pays back).
         assert curve[-1] > 0
 
+    def test_savings_accrue_the_month_after_the_wave(self):
+        # Regression: savings used to accrue in the same month a wave
+        # executed, crediting a full month of steady-state saving for
+        # servers that moved mid-month.  A single wave landing in month 1
+        # must show only its cost in month 1; savings start in month 2.
+        s = MigrationSchedule(
+            waves=[make_wave(1, (10,), dual=0.0)],
+            monthly_saving=1000.0,
+            wave_interval_days=14.0,
+        )
+        curve = s.cumulative_savings_curve(3)
+        assert curve[0] == pytest.approx(-100.0)  # cost only, no accrual
+        assert curve[1] == pytest.approx(-100.0 + 1000.0)
+        assert curve[2] == pytest.approx(-100.0 + 2000.0)
+
+    def test_partial_fleet_accrues_proportionally(self):
+        # Wave 1 (month 1) moves 1/4 of the fleet, wave 2 (month 2) the
+        # rest.  Month 2 accrues only the quarter moved in month 1.
+        s = MigrationSchedule(
+            waves=[make_wave(1, (10,), dual=0.0), make_wave(3, (30,), dual=0.0)],
+            monthly_saving=4000.0,
+            wave_interval_days=14.0,
+        )
+        curve = s.cumulative_savings_curve(4)
+        assert curve[0] == pytest.approx(-100.0)
+        assert curve[1] == pytest.approx(-100.0 - 300.0 + 1000.0)
+        assert curve[2] == pytest.approx(curve[1] + 4000.0)
+        assert curve[3] == pytest.approx(curve[2] + 4000.0)
+
     def test_savings_curve_validation(self):
         with pytest.raises(ValueError):
             self.make().cumulative_savings_curve(-1)

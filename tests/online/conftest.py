@@ -1,0 +1,18 @@
+"""Shared fixture: a small, well-behaved online scenario."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.planner import PlannerOptions
+from repro.datasets import online_line_scenario
+
+OPTS = PlannerOptions(backend="highs")
+
+
+@pytest.fixture
+def online_state():
+    """16 groups / 5 sites with ~2.5x headroom — fast and thrash-free."""
+    return online_line_scenario(
+        n_groups=16, total_servers=400, n_datacenters=5, capacity=220, seed=11
+    )

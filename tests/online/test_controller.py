@@ -1,0 +1,180 @@
+"""Threshold triggers, anti-thrash guards, and site policy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.online import ControllerConfig, OnlineController
+from repro.sim import EventKind, EventQueue, LoadEvent
+
+from .conftest import OPTS
+
+
+def make_controller(state, **cfg) -> OnlineController:
+    controller = OnlineController(state, OPTS, ControllerConfig(**cfg))
+    controller.initial_plan()
+    return controller
+
+
+def site_groups(controller) -> dict[str, list]:
+    hosted: dict[str, list] = {}
+    for group in controller.state.app_groups:
+        hosted.setdefault(controller.incumbent.placement[group.name], []).append(group)
+    return hosted
+
+
+def event(time, kind, site):
+    q = EventQueue()
+    q.push(time, kind, site=site)
+    return q.pop()
+
+
+class TestConfig:
+    def test_threshold_ordering_enforced(self):
+        with pytest.raises(ValueError):
+            ControllerConfig(underload_utilization=0.8, target_utilization=0.7)
+        with pytest.raises(ValueError):
+            ControllerConfig(overload_utilization=0.6, target_utilization=0.7)
+
+    def test_move_penalty_is_amortized(self):
+        cfg = ControllerConfig(move_cost_per_server=300.0, payback_window_months=6.0)
+        assert cfg.move_penalty_per_server == pytest.approx(50.0)
+
+
+class TestObserve:
+    def test_unknown_group_rejected(self, online_state):
+        controller = OnlineController(online_state, OPTS)
+        with pytest.raises(KeyError):
+            controller.observe(LoadEvent(0.0, "nope", 1.0))
+
+    def test_unknown_site_rejected(self, online_state):
+        controller = OnlineController(online_state, OPTS)
+        with pytest.raises(ValueError, match="not a target"):
+            controller.observe(event(0.0, EventKind.SITE_FAIL, "nope"))
+
+    def test_unconsumable_kind_rejected(self, online_state):
+        controller = OnlineController(online_state, OPTS)
+        with pytest.raises(ValueError, match="cannot consume"):
+            controller.observe(event(0.0, EventKind.HORIZON_END, None))
+
+    def test_utilization_requires_incumbent(self, online_state):
+        controller = OnlineController(online_state, OPTS)
+        with pytest.raises(RuntimeError, match="initial_plan"):
+            controller.site_utilization()
+
+
+class TestTriggers:
+    def test_nominal_load_settles_to_quiescence(self, online_state):
+        # The offline plan packs sites to capacity; the controller's
+        # first replans spread them to the target band, after which a
+        # constant load produces no further triggers.
+        controller = make_controller(online_state)
+        for i in range(5):
+            reasons = controller.trigger_reasons(i * 48.0)
+            if not reasons:
+                break
+            controller.replan(i * 48.0, reasons)
+        assert controller.trigger_reasons(5 * 48.0) == []
+        assert all(
+            u <= controller.config.overload_utilization
+            for u in controller.site_utilization().values()
+        )
+
+    def test_overload_is_forced_and_first(self, online_state):
+        controller = make_controller(online_state)
+        site, groups = max(site_groups(controller).items(), key=lambda kv: len(kv[1]))
+        for group in groups:
+            controller.observe(LoadEvent(1.0, group.name, 3.0))
+        reasons = controller.trigger_reasons(1.0)
+        assert f"overload:{site}" in reasons
+        assert reasons[0].startswith(("overload:", "site_fail:"))
+
+    def test_failed_site_triggers_only_while_hosting(self, online_state):
+        controller = make_controller(online_state)
+        hosted = site_groups(controller)
+        victim = next(iter(sorted(hosted)))
+        controller.observe(event(1.0, EventKind.SITE_FAIL, victim))
+        assert f"site_fail:{victim}" in controller.trigger_reasons(1.0)
+        # Once retired (post-replan), the same outage stops triggering.
+        controller.failed_sites.add(victim)
+        assert f"site_fail:{victim}" not in controller.trigger_reasons(1.0)
+
+    def test_underload_parks_one_site_per_replan(self, online_state):
+        controller = make_controller(online_state)
+        for group in online_state.app_groups:
+            controller.observe(LoadEvent(1.0, group.name, 0.1))
+        reasons = controller.trigger_reasons(1.0)
+        assert len([r for r in reasons if r.startswith("underload:")]) == 1
+
+    def test_underload_respects_cooldown(self, online_state):
+        controller = make_controller(online_state, voluntary_cooldown_hours=24.0)
+        for group in online_state.app_groups:
+            controller.observe(LoadEvent(1.0, group.name, 0.1))
+        assert controller.trigger_reasons(1.0)
+        controller.voluntary_hold_until = 30.0
+        assert controller.trigger_reasons(1.0) == []
+        assert controller.trigger_reasons(31.0)
+
+
+class TestReplan:
+    def test_site_failure_emits_evacuation_delta(self, online_state):
+        controller = make_controller(online_state)
+        hosted = site_groups(controller)
+        victim = next(iter(sorted(hosted)))
+        delta = controller.step(1.0, [event(1.0, EventKind.SITE_FAIL, victim)])
+        assert delta is not None
+        assert {m.group for m in delta.moves} == {g.name for g in hosted[victim]}
+        assert all(m.from_site == victim for m in delta.moves)
+        assert victim not in controller.incumbent.placement.values()
+
+    def test_delta_is_a_diff_not_a_full_plan(self, online_state):
+        controller = make_controller(online_state)
+        hosted = site_groups(controller)
+        victim = next(iter(sorted(hosted)))
+        delta = controller.step(1.0, [event(1.0, EventKind.SITE_FAIL, victim)])
+        assert 0 < len(delta.moves) < len(online_state.app_groups)
+
+    def test_voluntary_suppression_counts_thrash(self, online_state):
+        # A prohibitively expensive move economy: any voluntary diff fails
+        # the payback guard and is suppressed, leaving the incumbent alone.
+        controller = make_controller(
+            online_state, move_cost_per_server=1e9, payback_window_months=0.001
+        )
+        incumbent = dict(controller.incumbent.placement)
+        for group in online_state.app_groups:
+            controller.observe(LoadEvent(1.0, group.name, 0.1))
+        reasons = controller.trigger_reasons(1.0)
+        assert reasons and all(r.startswith("underload:") for r in reasons)
+        assert controller.replan(1.0, reasons) is None
+        assert controller.incumbent.placement == incumbent
+        assert controller.parked_sites == set()  # unparked for feasibility
+        assert controller.deltas == []
+
+    def test_repair_after_failure_restores_capacity(self, online_state):
+        controller = make_controller(online_state)
+        hosted = site_groups(controller)
+        victim = next(iter(sorted(hosted)))
+        controller.step(1.0, [event(1.0, EventKind.SITE_FAIL, victim)])
+        assert victim in controller.failed_sites
+        controller.step(50.0, [event(50.0, EventKind.SITE_REPAIR, victim)])
+        assert victim not in controller.failed_sites
+        assert victim not in controller.down_sites
+
+    def test_cap_directive_freezes_observed_factors(self, online_state):
+        controller = make_controller(online_state)
+        group = online_state.app_groups[0]
+        controller.observe(LoadEvent(1.0, group.name, 1.75))
+        site = controller.incumbent.placement[group.name]
+        cap = controller._cap_directive(site)
+        weights = dict(cap.weights)
+        assert weights[group.name] == pytest.approx(1.75 * group.servers)
+        assert cap.limit == pytest.approx(
+            controller.config.target_utilization * controller.targets[site].capacity
+        )
+
+    def test_overload_unparks_parked_sites(self, online_state):
+        controller = make_controller(online_state)
+        controller.parked_sites.add("location4")
+        controller._refresh_site_policy(["overload:location0"])
+        assert controller.parked_sites == set()
+        assert "location0" in controller.caps

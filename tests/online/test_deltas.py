@@ -1,0 +1,82 @@
+"""Placement diffs, delta costing, oscillation detection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.online import PlanDelta, diff_placements, oscillating_moves
+from repro.online.deltas import DeltaEconomics
+
+
+class TestDiffPlacements:
+    def test_only_changed_groups_move(self, online_state):
+        groups = [g.name for g in online_state.app_groups]
+        before = {g: "location0" for g in groups}
+        after = dict(before, **{groups[0]: "location1", groups[3]: "location2"})
+        moves = diff_placements(online_state, before, after)
+        assert [m.group for m in moves] == [groups[0], groups[3]]
+        assert all(m.from_site == "location0" for m in moves)
+
+    def test_costing_follows_economics(self, online_state):
+        group = online_state.app_groups[0]
+        moves = diff_placements(
+            online_state,
+            {group.name: "location0"},
+            {group.name: "location1"},
+            DeltaEconomics(move_cost_per_server=7.0, data_gb_per_server=3.0),
+        )
+        (move,) = moves
+        assert move.move_cost == pytest.approx(7.0 * group.servers)
+        assert move.data_gb == pytest.approx(3.0 * group.servers)
+
+    def test_deterministic_state_order(self, online_state):
+        groups = [g.name for g in online_state.app_groups]
+        before = {g: "location0" for g in groups}
+        after = {g: "location1" for g in groups}
+        moves = diff_placements(online_state, before, after)
+        assert [m.group for m in moves] == groups
+
+    def test_identical_placements_diff_empty(self, online_state):
+        placement = {g.name: "location0" for g in online_state.app_groups}
+        assert diff_placements(online_state, placement, placement) == []
+
+    def test_negative_economics_rejected(self):
+        with pytest.raises(ValueError):
+            DeltaEconomics(move_cost_per_server=-1.0)
+
+
+def delta_at(t, moves):
+    from repro.migration import Move
+
+    return PlanDelta(
+        time_hours=t,
+        reason="test",
+        moves=[
+            Move(group=g, servers=1, from_site=src, to_site=dst,
+                 data_gb=0.0, move_cost=0.0)
+            for g, src, dst in moves
+        ],
+    )
+
+
+class TestOscillatingMoves:
+    def test_reversal_within_window_detected(self):
+        deltas = [
+            delta_at(10.0, [("g", "a", "b")]),
+            delta_at(50.0, [("g", "b", "a")]),
+        ]
+        assert oscillating_moves(deltas, window_hours=100.0) == [("g", 10.0, 50.0)]
+
+    def test_reversal_outside_window_ignored(self):
+        deltas = [
+            delta_at(10.0, [("g", "a", "b")]),
+            delta_at(500.0, [("g", "b", "a")]),
+        ]
+        assert oscillating_moves(deltas, window_hours=100.0) == []
+
+    def test_forward_chain_is_not_an_oscillation(self):
+        deltas = [
+            delta_at(10.0, [("g", "a", "b")]),
+            delta_at(20.0, [("g", "b", "c")]),
+        ]
+        assert oscillating_moves(deltas, window_hours=100.0) == []

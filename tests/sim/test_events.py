@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.sim import Event, EventKind, EventQueue
+from repro.sim import Event, EventKind, EventQueue, kind_priority
 
 
 class TestEventQueue:
@@ -16,12 +16,63 @@ class TestEventQueue:
         times = [q.pop().time_hours for _ in range(3)]
         assert times == [1.0, 3.0, 5.0]
 
-    def test_stable_tiebreak(self):
+    def test_same_timestamp_orders_by_kind(self):
+        # Deterministic kind ordering: a repair scheduled at the same
+        # instant as a failure is processed first, regardless of
+        # insertion order — back-to-back outages resolve as two outages.
         q = EventQueue()
         q.push(2.0, EventKind.SITE_FAIL, "first")
         q.push(2.0, EventKind.SITE_REPAIR, "second")
+        assert q.pop().site == "second"
+        assert q.pop().site == "first"
+
+    def test_same_timestamp_same_kind_is_insertion_ordered(self):
+        q = EventQueue()
+        q.push(2.0, EventKind.SITE_FAIL, "first")
+        q.push(2.0, EventKind.SITE_FAIL, "second")
         assert q.pop().site == "first"
         assert q.pop().site == "second"
+
+    def test_kind_priority_total_order(self):
+        ranks = [kind_priority(kind) for kind in EventKind]
+        assert len(set(ranks)) == len(list(EventKind))
+        assert kind_priority(EventKind.SITE_REPAIR) < kind_priority(
+            EventKind.FAILOVER_COMPLETE
+        ) < kind_priority(EventKind.SITE_FAIL) < kind_priority(
+            EventKind.LOAD_CHANGE
+        ) < kind_priority(EventKind.HORIZON_END)
+
+    def test_order_independent_of_insertion(self):
+        events = [
+            (3.0, EventKind.LOAD_CHANGE),
+            (2.0, EventKind.SITE_FAIL),
+            (2.0, EventKind.SITE_REPAIR),
+            (1.0, EventKind.HORIZON_END),
+            (2.0, EventKind.FAILOVER_COMPLETE),
+        ]
+        forward, backward = EventQueue(), EventQueue()
+        for t, kind in events:
+            forward.push(t, kind)
+        for t, kind in reversed(events):
+            backward.push(t, kind)
+        a = [(e.time_hours, e.kind) for e in forward.drain_until(10.0)]
+        b = [(e.time_hours, e.kind) for e in backward.drain_until(10.0)]
+        assert a == b
+        assert a == [
+            (1.0, EventKind.HORIZON_END),
+            (2.0, EventKind.SITE_REPAIR),
+            (2.0, EventKind.FAILOVER_COMPLETE),
+            (2.0, EventKind.SITE_FAIL),
+            (3.0, EventKind.LOAD_CHANGE),
+        ]
+
+    def test_peek_leaves_queue_intact(self):
+        q = EventQueue()
+        q.push(1.0, EventKind.SITE_FAIL, "a")
+        assert q.peek().site == "a"
+        assert len(q) == 1
+        with pytest.raises(IndexError):
+            EventQueue().peek()
 
     def test_negative_time_rejected(self):
         q = EventQueue()

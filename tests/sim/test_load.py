@@ -1,0 +1,112 @@
+"""Load-trace generators for the online loop."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import (
+    LoadEvent,
+    diurnal_cycle,
+    flash_crowd,
+    growth_ramp,
+    merge_traces,
+)
+
+GROUPS = ["a", "b", "c"]
+
+
+def final_levels(events: list[LoadEvent]) -> dict[str, float]:
+    levels: dict[str, float] = {}
+    for event in events:
+        levels[event.group] = event.factor
+    return levels
+
+
+class TestLoadEvent:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LoadEvent(-1.0, "a", 1.0)
+        with pytest.raises(ValueError):
+            LoadEvent(0.0, "a", -0.5)
+
+
+class TestDiurnalCycle:
+    def test_deterministic_per_seed(self):
+        a = diurnal_cycle(GROUPS, 240.0, seed=3)
+        b = diurnal_cycle(GROUPS, 240.0, seed=3)
+        assert a == b
+        assert a != diurnal_cycle(GROUPS, 240.0, seed=4)
+
+    def test_factors_within_band(self):
+        events = diurnal_cycle(GROUPS, 240.0, amplitude=0.4)
+        assert events
+        for event in events:
+            assert 0.6 - 1e-9 <= event.factor <= 1.4 + 1e-9
+
+    def test_change_only_emission(self):
+        events = diurnal_cycle(GROUPS, 240.0)
+        last: dict[str, float] = {}
+        for event in events:
+            assert last.get(event.group, 1.0) != event.factor
+            last[event.group] = event.factor
+
+    def test_quantized_to_resolution(self):
+        events = diurnal_cycle(GROUPS, 240.0, resolution=0.1)
+        for event in events:
+            assert round(event.factor / 0.1) * 0.1 == pytest.approx(event.factor)
+
+    def test_phase_jitter_desynchronizes_groups(self):
+        events = diurnal_cycle(GROUPS, 48.0, step_hours=2.0, seed=0)
+        by_time: dict[float, dict[str, float]] = {}
+        for event in events:
+            by_time.setdefault(event.time_hours, {})[event.group] = event.factor
+        # At least one instant where two groups sit at different levels.
+        assert any(len(set(levels.values())) > 1 for levels in by_time.values())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            diurnal_cycle(GROUPS, 0.0)
+        with pytest.raises(ValueError):
+            diurnal_cycle(GROUPS, 100.0, amplitude=1.0)
+
+
+class TestFlashCrowd:
+    def test_reaches_magnitude_and_returns_to_nominal(self):
+        events = flash_crowd(["a"], at_hours=10.0, magnitude=2.5)
+        factors = [e.factor for e in events]
+        assert max(factors) == pytest.approx(2.5)
+        assert final_levels(events)["a"] == 1.0
+
+    def test_monotone_ramp_then_decay(self):
+        events = flash_crowd(["a"], at_hours=0.0, magnitude=3.0)
+        factors = [e.factor for e in events]
+        peak = factors.index(max(factors))
+        assert factors[: peak + 1] == sorted(factors[: peak + 1])
+        assert factors[peak:] == sorted(factors[peak:], reverse=True)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            flash_crowd(["a"], at_hours=-1.0)
+        with pytest.raises(ValueError):
+            flash_crowd(["a"], at_hours=0.0, magnitude=0.5)
+
+
+class TestGrowthRamp:
+    def test_compounds_monotonically(self):
+        events = growth_ramp(["a"], horizon_hours=8760.0, monthly_growth=0.1)
+        factors = [e.factor for e in events]
+        assert factors == sorted(factors)
+        assert factors[-1] > 2.0  # ~12 months of 10% compounding
+
+    def test_zero_growth_is_silent(self):
+        assert growth_ramp(GROUPS, 8760.0, monthly_growth=0.0) == []
+
+
+class TestMergeTraces:
+    def test_sorted_and_argument_order_independent(self):
+        a = diurnal_cycle(["a"], 120.0, seed=1)
+        b = flash_crowd(["b"], at_hours=50.0)
+        ab, ba = merge_traces(a, b), merge_traces(b, a)
+        assert ab == ba
+        times = [e.time_hours for e in ab]
+        assert times == sorted(times)

@@ -147,6 +147,140 @@ class TestValidationAndComparison:
         assert 0.0 < report.mean_availability <= 1.0
 
 
+class TestBlipEdgeCases:
+    """Regressions for the failover-blip accounting rewrite.
+
+    The blip used to be charged to downtime up front and *pre-subtracted*
+    from secondary hours, which went negative (then was clamped, inflating
+    accounted hours past the horizon) whenever the outage was shorter than
+    the blip or the secondary died mid-blip.  The blip is now an explicit
+    interval, so every hour lands in exactly one bucket.
+    """
+
+    def test_outage_shorter_than_blip(self, tiny_state, dr_plan):
+        # 0.2 h outage with a 0.5 h blip: the group fails straight back
+        # mid-blip.  Downtime is the outage, not the full blip, and
+        # secondary hours are exactly zero — never negative.
+        outages = [Outage("mid", 100.0, 100.2)]
+        report = simulate_plan(tiny_state, dr_plan, CONFIG, outages=outages)
+        erp = report.groups["erp"]
+        assert erp.downtime_hours == pytest.approx(0.2)
+        assert erp.secondary_hours == 0.0
+        assert erp.failovers == 1
+        assert erp.failbacks == 1
+        total = erp.primary_hours + erp.secondary_hours + erp.downtime_hours
+        assert total == pytest.approx(HORIZON)
+
+    def test_stale_completion_after_failback_is_ignored(self, tiny_state, dr_plan):
+        # The FAILOVER_COMPLETE scheduled for the aborted blip above
+        # fires at t=100.5 while the group already serves from its
+        # repaired primary; it must not flip the group to "secondary".
+        outages = [Outage("mid", 100.0, 100.2)]
+        report = simulate_plan(tiny_state, dr_plan, CONFIG, outages=outages)
+        erp = report.groups["erp"]
+        assert erp.primary_hours == pytest.approx(HORIZON - 0.2)
+
+    def test_secondary_fails_mid_blip(self, tiny_state, dr_plan):
+        # The refuge dies 0.2 h into a 0.5 h blip: the group is down for
+        # the whole primary outage, with no secondary service at all and
+        # no inflated accounting.
+        outages = [
+            Outage("mid", 100.0, 300.0),
+            Outage("east-dc", 100.2, 150.0),
+        ]
+        report = simulate_plan(tiny_state, dr_plan, CONFIG, outages=outages)
+        erp = report.groups["erp"]
+        assert erp.secondary_hours == 0.0
+        assert erp.downtime_hours == pytest.approx(200.0)
+        assert erp.failovers == 1
+        total = erp.primary_hours + erp.secondary_hours + erp.downtime_hours
+        assert total == pytest.approx(HORIZON)
+
+    def test_blip_open_at_horizon(self, tiny_state, dr_plan):
+        # Failover starts 0.5 h before the horizon; the completion lands
+        # exactly *at* the horizon and is never processed.  The open
+        # blip closes as downtime and the partition still holds.
+        outages = [Outage("mid", HORIZON - 0.5, HORIZON)]
+        report = simulate_plan(tiny_state, dr_plan, CONFIG, outages=outages)
+        erp = report.groups["erp"]
+        assert erp.downtime_hours == pytest.approx(0.5)
+        assert erp.secondary_hours == 0.0
+        total = erp.primary_hours + erp.secondary_hours + erp.downtime_hours
+        assert total == pytest.approx(HORIZON)
+
+    def test_repair_exactly_at_horizon(self, tiny_state, dr_plan):
+        # A repair at the horizon instant is outside the simulated
+        # window (drain is horizon-exclusive): the group stays on its
+        # secondary until the horizon closes the interval.
+        outages = [Outage("mid", HORIZON - 10.0, HORIZON)]
+        report = simulate_plan(tiny_state, dr_plan, CONFIG, outages=outages)
+        erp = report.groups["erp"]
+        assert erp.downtime_hours == pytest.approx(0.5)
+        assert erp.secondary_hours == pytest.approx(9.5)
+        total = erp.primary_hours + erp.secondary_hours + erp.downtime_hours
+        assert total == pytest.approx(HORIZON)
+
+    def test_zero_duration_outages_are_skipped(self, tiny_state, dr_plan):
+        # An interval clamped to nothing affects nobody — with repairs
+        # ordered before failures at equal timestamps, queueing it would
+        # otherwise leave the site permanently failed.
+        outages = [Outage("mid", 100.0, 100.0)]
+        report = simulate_plan(tiny_state, dr_plan, CONFIG, outages=outages)
+        assert report.outages == 0
+        assert report.total_failovers == 0
+        assert report.mean_availability == 1.0
+
+    def test_back_to_back_outages_resolve_as_two(self, tiny_state, dr_plan):
+        # Repair at t=200 processes before the new failure at t=200, so
+        # the group fails over twice instead of being stranded.
+        outages = [Outage("mid", 100.0, 200.0), Outage("mid", 200.0, 300.0)]
+        report = simulate_plan(tiny_state, dr_plan, CONFIG, outages=outages)
+        erp = report.groups["erp"]
+        assert erp.failovers == 2
+        assert erp.failbacks == 2
+        assert erp.downtime_hours == pytest.approx(1.0)  # two blips
+        total = erp.primary_hours + erp.secondary_hours + erp.downtime_hours
+        assert total == pytest.approx(HORIZON)
+
+
+class TestCompareResilienceDeterminism:
+    def _report_signature(self, report):
+        return (
+            report.outages,
+            report.mean_availability,
+            tuple(
+                (name, g.failovers, g.downtime_hours, g.secondary_hours)
+                for name, g in sorted(report.groups.items())
+            ),
+        )
+
+    def test_subset_invariance(self, tiny_state):
+        # The same seed must give a plan the same disasters whether it
+        # is compared alongside other plans or alone: per-site outage
+        # streams cannot depend on which other sites were sampled.
+        dr = plan_consolidation(tiny_state, enable_dr=True, backend="highs")
+        bare = plan_consolidation(tiny_state, backend="highs")
+        config = SimulatorConfig(
+            horizon_months=240.0,
+            failure=FailureModelConfig(mtbf_hours=3000.0, mttr_hours=96.0, seed=7),
+        )
+        both = compare_resilience(tiny_state, {"dr": dr, "bare": bare}, config)
+        alone = compare_resilience(tiny_state, {"dr": dr}, config)
+        assert self._report_signature(both["dr"]) == self._report_signature(
+            alone["dr"]
+        )
+
+    def test_repeatable_across_calls(self, tiny_state):
+        dr = plan_consolidation(tiny_state, enable_dr=True, backend="highs")
+        config = SimulatorConfig(
+            horizon_months=240.0,
+            failure=FailureModelConfig(mtbf_hours=3000.0, mttr_hours=96.0, seed=7),
+        )
+        a = compare_resilience(tiny_state, {"dr": dr}, config)
+        b = compare_resilience(tiny_state, {"dr": dr}, config)
+        assert self._report_signature(a["dr"]) == self._report_signature(b["dr"])
+
+
 class TestModeAccounting:
     def test_hours_partition_the_horizon(self, tiny_state, dr_plan):
         outages = [Outage("mid", 100.0, 200.0), Outage("cheap-far", 300.0, 350.0)]

@@ -296,6 +296,68 @@ class TestRefine:
         assert "unknown directive" in capsys.readouterr().err
 
 
+class TestReplay:
+    @pytest.fixture
+    def online_state_file(self, tmp_path):
+        from repro.datasets import online_line_scenario
+
+        path = tmp_path / "online.json"
+        save_state(
+            online_line_scenario(
+                n_groups=16, total_servers=400, n_datacenters=5,
+                capacity=220, seed=11,
+            ),
+            str(path),
+        )
+        return str(path)
+
+    def test_replay_prints_delta_table(self, online_state_file, capsys):
+        code = main([
+            "replay", "--input", online_state_file, "--backend", "highs",
+            "--trace-profile", "diurnal", "--horizon-days", "4",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "online replay (incremental" in out
+        assert "reason" in out          # the delta table header
+        assert "oscillating moves: 0" in out
+
+    def test_replay_json_record(self, online_state_file, tmp_path, capsys):
+        record = tmp_path / "replay.json"
+        code = main([
+            "replay", "--input", online_state_file, "--backend", "highs",
+            "--trace-profile", "flash", "--horizon-days", "4",
+            "--json", str(record),
+        ])
+        assert code == 0
+        payload = json.loads(record.read_text())
+        assert payload["incremental"] is True
+        assert payload["deltas"], "flash profile should emit deltas"
+        # Deltas carry moves, not full placements.
+        assert all(0 < len(d["moves"]) < 16 for d in payload["deltas"])
+
+    def test_replay_full_mode(self, online_state_file, capsys):
+        code = main([
+            "replay", "--input", online_state_file, "--backend", "highs",
+            "--trace-profile", "flash", "--horizon-days", "4", "--full",
+        ])
+        assert code == 0
+        assert "full re-plan" in capsys.readouterr().out
+
+    def test_replay_bad_thresholds_exit_2(self, online_state_file, capsys):
+        code = main([
+            "replay", "--input", online_state_file,
+            "--underload", "0.9", "--target", "0.7",
+        ])
+        assert code == 2
+        assert "utilization" in capsys.readouterr().err
+
+    def test_replay_missing_state_file(self, tmp_path, capsys):
+        code = main(["replay", "--input", str(tmp_path / "nope.json")])
+        assert code == 2
+        assert "not found" in capsys.readouterr().err
+
+
 class TestInputRobustness:
     """Operational input problems exit 2 with a one-line diagnostic."""
 

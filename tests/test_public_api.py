@@ -16,6 +16,7 @@ from repro.lp import SolveOptions
 PUBLIC_API = {
     "ApplicationGroup",
     "AsIsState",
+    "ControllerConfig",
     "CostParameters",
     "DataCenter",
     "DirectiveConflictError",
@@ -24,7 +25,9 @@ PUBLIC_API = {
     "JobManager",
     "LatencyPenaltyFunction",
     "MigrationConfig",
+    "OnlineController",
     "PlannerOptions",
+    "ReplayConfig",
     "ServiceClient",
     "ServiceConfig",
     "SimulatorConfig",
@@ -46,6 +49,7 @@ PUBLIC_API = {
     "manual_plan",
     "plan_consolidation",
     "plan_migration",
+    "run_replay",
     "run_robustness",
     "run_sensitivity",
     "simulate_plan",
