@@ -17,9 +17,10 @@ from repro import (
     CostParameters,
     DataCenter,
     LatencyPenaltyFunction,
+    PlannerOptions,
     StepCostFunction,
     UserLocation,
-    plan_consolidation,
+    solve,
 )
 from repro.io import load_state, render_plan_report, save_state
 
@@ -88,13 +89,13 @@ def main() -> None:
         reloaded = load_state(handle.name)
         print(f"State round-tripped through {handle.name}\n")
 
-    plan = plan_consolidation(reloaded, backend="auto", wan_model="vpn")
+    plan = solve(reloaded, options=PlannerOptions(wan_model="vpn")).plan
     print(render_plan_report(reloaded, plan))
 
     print("\n--- with disaster recovery ---\n")
-    dr_plan = plan_consolidation(
-        reloaded, enable_dr=True, backend="auto", wan_model="vpn"
-    )
+    dr_plan = solve(
+        reloaded, options=PlannerOptions(enable_dr=True, wan_model="vpn")
+    ).plan
     print(render_plan_report(reloaded, dr_plan))
 
     assert plan.placement["trading"] in ("ashburn", "dallas")

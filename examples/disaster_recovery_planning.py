@@ -12,8 +12,15 @@ single failure.
 
 import sys
 
-from repro import load_enterprise1, plan_consolidation
+from repro import PlannerOptions, load_enterprise1, solve
 from repro.baselines import asis_with_dr_plan
+
+
+def dr_options(time_limit: float) -> PlannerOptions:
+    return PlannerOptions(
+        enable_dr=True,
+        solver_options={"mip_rel_gap": 0.02, "time_limit": time_limit},
+    )
 
 
 def main() -> None:
@@ -24,9 +31,7 @@ def main() -> None:
     print(f"As-is + single backup site: ${baseline.total_cost:,.0f} "
           f"({sum(baseline.backup_servers.values())} backup servers)\n")
 
-    plan = plan_consolidation(
-        state, enable_dr=True, backend="auto", mip_rel_gap=0.02, time_limit=120
-    )
+    plan = solve(state, options=dr_options(120)).plan
     print(f"eTransform joint plan: ${plan.total_cost:,.0f} "
           f"({(plan.total_cost / baseline.total_cost - 1):+.0%} vs as-is+DR)")
     print(f"  primary sites  : {sorted(set(plan.placement.values()))}")
@@ -37,9 +42,7 @@ def main() -> None:
     print(f"{'zeta':>8} {'sites used':>11} {'DR servers':>11} {'total':>14}")
     for zeta in (10.0, 1000.0, 20000.0):
         state.params.dr_server_cost = zeta
-        swept = plan_consolidation(
-            state, enable_dr=True, backend="auto", mip_rel_gap=0.02, time_limit=60
-        )
+        swept = solve(state, options=dr_options(60)).plan
         print(
             f"{zeta:>8,.0f} {len(swept.datacenters_used):>11d} "
             f"{sum(swept.backup_servers.values()):>11d} {swept.total_cost:>14,.0f}"

@@ -11,7 +11,7 @@ one-off migration cost, and the month the project pays for itself.
 
 import sys
 
-from repro import load_enterprise1, plan_consolidation
+from repro import PlannerOptions, load_enterprise1, solve
 from repro.baselines import asis_plan
 from repro.migration import MigrationConfig, plan_migration
 
@@ -21,7 +21,8 @@ def main() -> None:
     state = load_enterprise1(scale=scale)
 
     current = asis_plan(state)
-    plan = plan_consolidation(state, backend="auto", mip_rel_gap=0.005)
+    options = PlannerOptions(solver_options={"mip_rel_gap": 0.005})
+    plan = solve(state, options=options).plan
     print(
         f"Monthly bill: ${current.total_cost:,.0f} (as-is) → "
         f"${plan.total_cost:,.0f} (to-be), "

@@ -12,8 +12,7 @@ simultaneous failures outran a shared pool).
 
 import sys
 
-from repro import PlannerOptions, ETransformPlanner, load_enterprise1
-from repro.core import plan_consolidation
+from repro import PlannerOptions, load_enterprise1, solve
 from repro.sim import FailureModelConfig, SimulatorConfig, compare_resilience
 
 
@@ -23,17 +22,18 @@ def main() -> None:
     solver = {"mip_rel_gap": 0.02, "time_limit": 120}
 
     plans = {
-        "no-dr": plan_consolidation(state, backend="auto", **solver),
-        "shared-pools": plan_consolidation(
-            state, enable_dr=True, backend="auto", **solver
-        ),
-        "dedicated": ETransformPlanner(
+        "no-dr": solve(
+            state, options=PlannerOptions(solver_options=solver)
+        ).plan,
+        "shared-pools": solve(
+            state, options=PlannerOptions(enable_dr=True, solver_options=solver)
+        ).plan,
+        "dedicated": solve(
             state,
-            PlannerOptions(
-                enable_dr=True, dedicated_backups=True, backend="auto",
-                solver_options=solver,
+            options=PlannerOptions(
+                enable_dr=True, dedicated_backups=True, solver_options=solver
             ),
-        ).plan(),
+        ).plan,
     }
 
     config = SimulatorConfig(

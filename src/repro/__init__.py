@@ -10,19 +10,21 @@ paper's evaluation.
 
 Quick start::
 
-    from repro import load_enterprise1, plan_consolidation
+    from repro import load_enterprise1, solve
 
     state = load_enterprise1()
-    plan = plan_consolidation(state, backend="highs")
-    print(plan.breakdown.total, plan.datacenters_used)
+    result = solve(state, method="auto")
+    print(result.plan.breakdown.total, result.method, result.gap)
 
 The planning surface is exported here so users never need deep module
-paths: :func:`plan_consolidation` for one-shot planning,
-:class:`ETransformPlanner` / :class:`PlannerOptions` for the full
-facade, :class:`IterativeSession` for the admin refinement loop, and
-:class:`SolveOptions` / :func:`solve` for direct access to the
-optimization engine.  Deep imports (``repro.core.planner`` etc.) keep
-working.
+paths: :func:`solve` is the unified planning entry point (``method`` of
+``"auto"``, ``"milp"``, ``"decomposition"`` or ``"greedy"``, returning
+a typed :class:`PlanResult`), :class:`ETransformPlanner` /
+:class:`PlannerOptions` the full facade, :class:`IterativeSession` the
+admin refinement loop, and :class:`SolveOptions` the knobs for the
+optimization engine underneath.  The pre-1.1 helpers
+(:func:`plan_consolidation`, :func:`greedy_plan`, and the LP-level
+``repro.lp.solve``) keep working as deprecated shims.
 """
 
 from .core import (
@@ -41,7 +43,8 @@ from .core import (
     evaluate_plan,
     plan_consolidation,
 )
-from .lp import SolveCache, SolveOptions, solve
+from .api import METHODS, PlanResult, solve
+from .lp import SolveCache, SolveOptions
 from .analysis import run_robustness, run_sensitivity
 from .baselines import asis_plan, asis_with_dr_plan, greedy_plan, manual_plan
 from .core import improve_plan, split_oversized_groups
@@ -68,6 +71,8 @@ __all__ = [
     "ETransformPlanner",
     "IterativeSession",
     "LatencyPenaltyFunction",
+    "METHODS",
+    "PlanResult",
     "PlannerOptions",
     "SolveCache",
     "SolveOptions",

@@ -90,7 +90,7 @@ def run_robustness(
         raise ValueError("need at least one sample")
     options = options or PlannerOptions(backend="auto")
 
-    committed = ETransformPlanner(state, options).plan()
+    committed = ETransformPlanner(state, options).build_plan()
     result = RobustnessResult(sigma=sigma)
     for i in range(samples):
         seed = base_seed + i
@@ -101,7 +101,7 @@ def run_robustness(
             secondary=committed.secondary,
             wan_model=options.wan_model,
         )
-        reoptimized = ETransformPlanner(world, options).plan()
+        reoptimized = ETransformPlanner(world, options).build_plan()
         result.samples.append(
             RobustnessSample(
                 seed=seed,

@@ -102,14 +102,14 @@ def run_sensitivity(
         raise ValueError("empty multiplier sweep")
     options = options or PlannerOptions(backend="auto")
 
-    baseline_plan = ETransformPlanner(state, options).plan()
+    baseline_plan = ETransformPlanner(state, options).build_plan()
     result = SensitivityResult(dimension=dimension)
     for multiplier in sorted(multipliers):
         if multiplier == 1.0:
             plan = baseline_plan
         else:
             variant = scale_dimension(state, dimension, multiplier)
-            plan = ETransformPlanner(variant, options).plan()
+            plan = ETransformPlanner(variant, options).build_plan()
         result.points.append(
             SensitivityPoint(
                 multiplier=multiplier,

@@ -1,7 +1,7 @@
 """Comparison algorithms: as-is evaluation, manual and greedy heuristics."""
 
 from .asis import ASIS_BACKUP_SITE, asis_plan, asis_with_dr_plan
-from .greedy import GreedyPlanError, greedy_plan
+from .greedy import GreedyPlanError, greedy_plan, run_greedy
 from .manual import ManualPlanError, manual_plan
 
 __all__ = [
@@ -12,4 +12,5 @@ __all__ = [
     "asis_with_dr_plan",
     "greedy_plan",
     "manual_plan",
+    "run_greedy",
 ]

@@ -128,17 +128,30 @@ def _cmd_dataset(args: argparse.Namespace) -> int:
 
 
 def _cmd_plan(args: argparse.Namespace) -> int:
+    from .api import solve as plan_solve
+
     state = _load_state_checked(args.input)
-    options = PlannerOptions(
-        wan_model=args.wan_model,
-        enable_dr=args.dr,
-        backend=args.backend,
-        solver_options=_solver_options(args),
-        lp_export_path=args.lp_export,
-        presolve=args.presolve,
-    )
-    plan = ETransformPlanner(state, options).plan()
+    try:
+        options = PlannerOptions(
+            wan_model=args.wan_model,
+            enable_dr=args.dr,
+            backend=args.backend,
+            solver_options=_solver_options(args),
+            lp_export_path=args.lp_export,
+            presolve=args.presolve,
+            method=args.method,
+            jobs=args.jobs,
+        )
+        result = plan_solve(state, options=options)
+    except ValueError as exc:
+        raise CliInputError(str(exc)) from None
+    plan = result.plan
     print(render_plan_report(state, plan))
+    if result.method != "milp" or args.method != "auto":
+        import math
+
+        gap = f"{result.gap:.2%}" if math.isfinite(result.gap) else "n/a"
+        print(f"\nmethod: {result.method} (gap {gap})")
     _maybe_print_stats(args, plan.solver_stats)
     if args.output:
         save_plan(plan, args.output)
@@ -192,7 +205,7 @@ def _cmd_migrate(args: argparse.Namespace) -> int:
         enable_dr=args.dr, backend=args.backend,
         solver_options=_solver_options(args), presolve=args.presolve,
     )
-    plan = ETransformPlanner(state, options).plan()
+    plan = ETransformPlanner(state, options).build_plan()
     config = MigrationConfig(
         max_servers_per_wave=args.wave_budget,
         bandwidth_mbps=args.bandwidth,
@@ -211,7 +224,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         enable_dr=args.dr, backend=args.backend,
         solver_options=_solver_options(args), presolve=args.presolve,
     )
-    plan = ETransformPlanner(state, options).plan()
+    plan = ETransformPlanner(state, options).build_plan()
     config = SimulatorConfig(
         horizon_months=args.horizon_months,
         failure=FailureModelConfig(
@@ -459,6 +472,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--wan-model", default="metered", choices=("metered", "vpn"))
     p.add_argument("--output", help="write the plan JSON here")
     p.add_argument("--lp-export", help="dump the model in CPLEX LP format")
+    p.add_argument(
+        "--method",
+        default="auto",
+        choices=("auto", "milp", "decomposition", "greedy"),
+        help="planning engine: auto picks decomposition for very large estates",
+    )
+    p.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for decomposition pricing subproblems",
+    )
     _add_solver_arguments(p)
     p.set_defaults(fn=_cmd_plan)
 

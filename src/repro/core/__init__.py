@@ -1,6 +1,13 @@
 """eTransform core: entities, cost models, MILP formulation, planner."""
 
 from .costs import StepCostFunction, PriceSegment, monthly_power_cost_per_kw
+from .decomposition import (
+    DecompositionConfig,
+    DecompositionError,
+    DecompositionOutcome,
+    extract_group_blocks,
+    solve_decomposition,
+)
 from .entities import (
     ApplicationGroup,
     AsIsState,
@@ -43,6 +50,9 @@ __all__ = [
     "CostParameters",
     "DataCenter",
     "DataCenterUsage",
+    "DecompositionConfig",
+    "DecompositionError",
+    "DecompositionOutcome",
     "Directive",
     "DirectiveConflictError",
     "Revision",
@@ -69,6 +79,8 @@ __all__ = [
     "split_oversized_groups",
     "dedicated_backup_requirements",
     "evaluate_plan",
+    "extract_group_blocks",
+    "solve_decomposition",
     "improve_plan",
     "monthly_power_cost_per_kw",
     "plan_consolidation",

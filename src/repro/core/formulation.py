@@ -29,6 +29,35 @@ class InfeasibleModelError(ValueError):
     """Raised when the as-is state admits no feasible plan at all."""
 
 
+def placement_cost(
+    state: AsIsState,
+    group: ApplicationGroup,
+    dc: DataCenter,
+    *,
+    wan_model: str = "metered",
+) -> float:
+    """Per-placement objective coefficient (everything but space scale).
+
+    Covers power, labor, WAN and the latency penalty :math:`L_{ij}`;
+    space enters separately (through the shared step-cost block in the
+    monolithic MILP, or the per-site space rate in the decomposition
+    engine) so volume discounts apply across groups.  Module-level so
+    the decomposition engine can price group blocks without building
+    the full :class:`ConsolidationModel`.
+    """
+    params = state.params
+    power_labor = group.servers * (
+        params.server_power_kw * dc.power_cost_per_kw
+        + dc.labor_cost_per_admin / params.servers_per_admin
+    )
+    wan = wan_cost(group, dc, params, model=wan_model)
+    latency = 0.0
+    if group.total_users > 0:
+        mean_latency = group.mean_latency(dc.latency_to_users)
+        latency = group.latency_penalty.total_penalty(mean_latency, group.total_users)
+    return power_labor + wan + latency
+
+
 @dataclass
 class ModelOptions:
     """Knobs controlling how the MILP is constructed.
@@ -107,23 +136,11 @@ class ConsolidationModel:
         return eligible
 
     def placement_cost(self, group: ApplicationGroup, dc: DataCenter) -> float:
-        """Per-placement objective coefficient (everything but space scale).
-
-        Covers power, labor, WAN and the latency penalty
-        :math:`L_{ij}`; space enters separately through the shared
-        step-cost block so volume discounts apply across groups.
-        """
-        params = self.state.params
-        power_labor = group.servers * (
-            params.server_power_kw * dc.power_cost_per_kw
-            + dc.labor_cost_per_admin / params.servers_per_admin
+        """Per-placement objective coefficient; see the module-level
+        :func:`placement_cost` this delegates to."""
+        return placement_cost(
+            self.state, group, dc, wan_model=self.options.wan_model
         )
-        wan = wan_cost(group, dc, params, model=self.options.wan_model)
-        latency = 0.0
-        if group.total_users > 0:
-            mean_latency = group.mean_latency(dc.latency_to_users)
-            latency = group.latency_penalty.total_penalty(mean_latency, group.total_users)
-        return power_labor + wan + latency
 
     def _build(self) -> None:
         state = self.state

@@ -177,7 +177,7 @@ class IterativeSession:
         working_state = self._apply_state_directives()
         planner = ETransformPlanner(working_state, replace(self.options))
         self._apply_model_directives(planner)
-        return planner.plan()
+        return planner.build_plan()
 
     def _plan_incremental(self) -> TransformationPlan:
         if self._planner is None:

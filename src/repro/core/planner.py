@@ -10,6 +10,7 @@ modification.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 from ..lp import (
@@ -43,6 +44,11 @@ class PlannerOptions:
     ``presolve`` routes the solve through
     :func:`repro.lp.solve_with_presolve`, so the plan's solver stats
     also report rows/columns eliminated before the real solve.
+
+    ``method`` selects the planning engine for :func:`repro.solve`
+    (``"auto"``, ``"milp"``, ``"decomposition"`` or ``"greedy"``);
+    ``jobs`` is the process fan-out the decomposition engine uses for
+    block extraction and pricing (``<= 1`` stays in-process).
     """
 
     wan_model: str = "metered"
@@ -55,6 +61,11 @@ class PlannerOptions:
     lp_export_path: str | None = None
     validate_inputs: bool = True
     presolve: bool = False
+    method: str = "auto"
+    jobs: int = 1
+
+    #: Planning engines :func:`repro.solve` accepts.
+    METHODS = ("auto", "milp", "decomposition", "greedy")
 
     #: Option keys accepted from untrusted wire payloads (service API).
     WIRE_FIELDS = (
@@ -65,7 +76,24 @@ class PlannerOptions:
         "backend",
         "solver_options",
         "presolve",
+        "method",
+        "jobs",
     )
+
+    #: Largest fan-out a wire payload may request (guards the service
+    #: from a remote caller spawning unbounded worker processes).
+    MAX_WIRE_JOBS = 64
+
+    def __post_init__(self) -> None:
+        if self.method not in self.METHODS:
+            raise ValueError(
+                f"unknown planning method {self.method!r} "
+                f"(expected one of {', '.join(self.METHODS)})"
+            )
+        if isinstance(self.jobs, bool) or not isinstance(self.jobs, int):
+            raise ValueError(
+                f"jobs must be an integer, got {self.jobs!r}"
+            )
 
     @classmethod
     def from_wire(cls, data: dict | None) -> "PlannerOptions":
@@ -86,6 +114,14 @@ class PlannerOptions:
         solver_options = data.pop("solver_options", {})
         if not isinstance(solver_options, dict):
             raise ValueError("solver_options must be an object")
+        if "jobs" in data:
+            jobs = data["jobs"]
+            if isinstance(jobs, bool) or not isinstance(jobs, int):
+                raise ValueError(f"jobs must be an integer, got {jobs!r}")
+            if not 0 <= jobs <= cls.MAX_WIRE_JOBS:
+                raise ValueError(
+                    f"jobs must be between 0 and {cls.MAX_WIRE_JOBS}, got {jobs}"
+                )
         return cls(solver_options=dict(solver_options), **data)
 
     def as_wire(self) -> dict:
@@ -98,6 +134,8 @@ class PlannerOptions:
             "backend": self.backend,
             "solver_options": dict(self.solver_options),
             "presolve": self.presolve,
+            "method": self.method,
+            "jobs": self.jobs,
         }
 
     def model_options(self) -> ModelOptions:
@@ -128,7 +166,7 @@ class ETransformPlanner:
     ::
 
         planner = ETransformPlanner(state, PlannerOptions(enable_dr=True))
-        plan = planner.plan()
+        plan = planner.build_plan()
         print(plan.breakdown.total, plan.datacenters_used)
     """
 
@@ -140,8 +178,12 @@ class ETransformPlanner:
         self.model = ConsolidationModel(state, self.options.model_options())
         self.last_solution = None
 
-    def plan(self) -> TransformationPlan:
-        """Build, solve and score the transformation plan.
+    def build_plan(self) -> TransformationPlan:
+        """Build, solve and score the transformation plan (MILP path).
+
+        This is the monolithic-MILP engine behind
+        ``repro.solve(state, method="milp")``; prefer that entry point
+        in new code.
 
         Raises
         ------
@@ -149,6 +191,20 @@ class ETransformPlanner:
             When the model is infeasible or the solver fails.
         """
         return self.finish_plan(self.solve_model())
+
+    def plan(self) -> TransformationPlan:
+        """Deprecated alias of :meth:`build_plan`.
+
+        Use :func:`repro.solve` (which also unlocks the decomposition
+        and greedy engines via ``method=``) or :meth:`build_plan`.
+        """
+        warnings.warn(
+            "ETransformPlanner.plan() is deprecated; use "
+            "repro.solve(state, options=...) or build_plan()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.build_plan()
 
     def solve_model(self, cache: SolveCache | None = None):
         """Solve the built model and return the raw solution.
@@ -223,7 +279,19 @@ def plan_consolidation(
     economies_of_scale: bool = True,
     **solver_options,
 ) -> TransformationPlan:
-    """One-call convenience wrapper around :class:`ETransformPlanner`."""
+    """Deprecated one-call wrapper; use :func:`repro.solve` instead.
+
+    Kept as a thin shim over the unified entry point — it always runs
+    the monolithic MILP engine, exactly as it did before the redesign.
+    """
+    warnings.warn(
+        "plan_consolidation() is deprecated; use "
+        "repro.solve(state, method='milp', options=PlannerOptions(...))",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from ..api import solve as unified_solve
+
     options = PlannerOptions(
         wan_model=wan_model,
         economies_of_scale=economies_of_scale,
@@ -231,4 +299,4 @@ def plan_consolidation(
         backend=backend,
         solver_options=solver_options,
     )
-    return ETransformPlanner(state, options).plan()
+    return unified_solve(state, method="milp", options=options).plan

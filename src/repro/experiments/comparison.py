@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..baselines import asis_plan, asis_with_dr_plan, greedy_plan, manual_plan
+from ..baselines import asis_plan, asis_with_dr_plan, manual_plan, run_greedy
 from ..core.entities import AsIsState
 from ..core.planner import PlannerOptions, ETransformPlanner
 from ..datasets import load_enterprise1, load_federal, load_florida
@@ -74,7 +74,7 @@ def run_comparison(
         lambda: manual_plan(state, k=manual_k, enable_dr=enable_dr, wan_model=wan_model),
     )
     greedy = timed_plan(
-        "greedy", lambda: greedy_plan(state, enable_dr=enable_dr, wan_model=wan_model)
+        "greedy", lambda: run_greedy(state, enable_dr=enable_dr, wan_model=wan_model)
     )
 
     options = PlannerOptions(
@@ -84,7 +84,7 @@ def run_comparison(
         solver_options=solver_options,
     )
     etransform = timed_plan(
-        "etransform", lambda: ETransformPlanner(state, options).plan()
+        "etransform", lambda: ETransformPlanner(state, options).build_plan()
     )
 
     return ComparisonResult(

@@ -13,9 +13,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from functools import partial
 
-from ..core.planner import plan_consolidation
+from ..api import solve as unified_solve
+from ..core.planner import PlannerOptions
 from ..datasets.scenarios import latency_line_scenario
-from .harness import SweepPoint, parallel_map
+from ..parallel import parallel_map
+from .harness import SweepPoint
 
 #: The paper's decade sweep of ζ.
 DEFAULT_DR_COSTS = (1.0, 10.0, 100.0, 1000.0, 10_000.0)
@@ -38,7 +40,13 @@ def _dr_point(
         space_step_per_location=0.0,
     )
     state.params.dr_server_cost = zeta
-    plan = plan_consolidation(state, enable_dr=True, backend=backend, **solver_options)
+    plan = unified_solve(
+        state,
+        method="milp",
+        options=PlannerOptions(
+            enable_dr=True, backend=backend, solver_options=solver_options
+        ),
+    ).plan
     return SweepPoint(
         parameter=zeta,
         values={

@@ -4,43 +4,35 @@ Every experiment module returns plain dataclasses so benchmarks can both
 assert the paper's qualitative shape and print the same rows/series the
 paper reports (:mod:`repro.experiments.tables` renders them).
 
-:func:`parallel_map` is the process-level fan-out used by the sweep
-experiments (CLI ``--jobs N``): each sweep point is an independent MILP
-solve, so they scale linearly across workers.
+The process-level fan-out that used to live here (``parallel_map``,
+CLI ``--jobs N``) moved to the shared :mod:`repro.parallel` module so
+the decomposition engine's pricing loop can use it too; importing it
+from this module still works but raises a :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Sequence, TypeVar
 
 from ..core.entities import AsIsState
 from ..core.plan import TransformationPlan
 from ..telemetry import SolveStats
 
-_T = TypeVar("_T")
-_R = TypeVar("_R")
 
+def __getattr__(name: str):
+    if name == "parallel_map":
+        warnings.warn(
+            "repro.experiments.harness.parallel_map moved to "
+            "repro.parallel.parallel_map; this alias will be removed",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from ..parallel import parallel_map
 
-def parallel_map(
-    fn: Callable[[_T], _R], items: Iterable[_T], jobs: int = 1
-) -> list[_R]:
-    """Map ``fn`` over ``items``, optionally across worker processes.
-
-    ``jobs <= 1`` runs a plain serial loop (no pickling requirements);
-    otherwise a :class:`~concurrent.futures.ProcessPoolExecutor` with
-    ``min(jobs, len(items))`` workers is used and results come back in
-    input order.  ``fn`` and the items must be picklable in that case —
-    pass a module-level function (or :func:`functools.partial` over one).
-    """
-    work: Sequence[_T] = list(items)
-    if jobs <= 1 or len(work) <= 1:
-        return [fn(item) for item in work]
-    from concurrent.futures import ProcessPoolExecutor
-
-    with ProcessPoolExecutor(max_workers=min(jobs, len(work))) as pool:
-        return list(pool.map(fn, work))
+        return parallel_map
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass

@@ -13,9 +13,11 @@ from functools import partial
 
 from ..core.entities import AsIsState
 from ..core.plan import TransformationPlan
-from ..core.planner import plan_consolidation
+from ..api import solve as unified_solve
+from ..core.planner import PlannerOptions
 from ..datasets.scenarios import latency_line_scenario
-from .harness import SweepPoint, SweepSeries, parallel_map
+from ..parallel import parallel_map
+from .harness import SweepPoint, SweepSeries
 
 #: The paper's five user splits, as fraction of users at location 0
 #: (west end).  1.0 = "All users in location 0".
@@ -79,7 +81,11 @@ def _latency_point(
         n_groups=n_groups,
         total_servers=total_servers,
     )
-    plan = plan_consolidation(state, backend=backend, **solver_options)
+    plan = unified_solve(
+        state,
+        method="milp",
+        options=PlannerOptions(backend=backend, solver_options=solver_options),
+    ).plan
     return SweepPoint(
         parameter=penalty,
         values={

@@ -13,7 +13,8 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass, field
 
-from ..core.planner import plan_consolidation
+from ..api import solve as unified_solve
+from ..core.planner import PlannerOptions
 from ..datasets.scenarios import tradeoff_line_scenario
 from .tradeoff import price_bundle_everywhere
 
@@ -69,9 +70,13 @@ def run_placement_growth(
 
     for n in group_counts:
         state = tradeoff_line_scenario(n_groups=n)
-        plan = plan_consolidation(
-            state, backend=backend, wan_model="vpn", **solver_options
-        )
+        plan = unified_solve(
+            state,
+            method="milp",
+            options=PlannerOptions(
+                backend=backend, wan_model="vpn", solver_options=solver_options
+            ),
+        ).plan
         fill = Counter(plan.placement.values())
         result.points.append(
             GrowthPoint(

@@ -83,9 +83,9 @@ def run_resilience(
         )
 
     plans = {
-        "no-dr": planner().plan(),
-        "shared-pools": planner(enable_dr=True).plan(),
-        "dedicated": planner(enable_dr=True, dedicated_backups=True).plan(),
+        "no-dr": planner().build_plan(),
+        "shared-pools": planner(enable_dr=True).build_plan(),
+        "dedicated": planner(enable_dr=True, dedicated_backups=True).build_plan(),
     }
     config = SimulatorConfig(
         horizon_months=horizon_months,

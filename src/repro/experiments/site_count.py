@@ -91,7 +91,7 @@ def run_site_count(
         )
         options = PlannerOptions(backend=backend, solver_options=solver_options)
         try:
-            plan = ETransformPlanner(subset, options).plan()
+            plan = ETransformPlanner(subset, options).build_plan()
         except (PlanningError, StateValidationError, InfeasibleModelError):
             result.points.append(
                 SiteCountPoint(

@@ -22,6 +22,7 @@ from .fingerprint import (
 )
 from .lpformat import write_lp_file, write_lp_string
 from .lpparse import LPParseError, parse_lp_string, read_lp_file
+from .master import MasterSolution, RestrictedMasterLP
 from .mpsformat import write_mps_file, write_mps_string
 from .options import SolveOptions
 from .presolve import PresolveInfeasible, presolve, solve_with_presolve
@@ -37,6 +38,8 @@ __all__ = [
     "ConstraintBlocks",
     "LPParseError",
     "LinExpr",
+    "MasterSolution",
+    "RestrictedMasterLP",
     "RevisedResult",
     "SparseBoundedLP",
     "constraint_blocks",

@@ -375,7 +375,7 @@ class _DualSolver(_Solver):
 
     def _dual_result(self, status: str) -> DualResult:
         x = None
-        basis = vstat = binv = None
+        basis = vstat = binv = duals = None
         objective = np.nan
         if status == "optimal":
             self.xval[self.basis] = self.xB
@@ -384,6 +384,7 @@ class _DualSolver(_Solver):
             objective = float(self.lp.c @ x)
             basis = self.basis.copy()
             vstat = self.vstat.copy()
+            duals = self._btran(self._cvec[self.basis]) if self.m else np.zeros(0)
             if not self.etas:
                 binv = self.binv
         return DualResult(
@@ -400,6 +401,7 @@ class _DualSolver(_Solver):
             bound_flips=self.bound_flips,
             basis=basis,
             vstat=vstat,
+            duals=duals,
             warm_started=self.warm_started,
             dual_pivots=self.dual_pivots,
             binv=binv,

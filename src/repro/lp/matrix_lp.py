@@ -71,6 +71,10 @@ class ArrayLPResult:
     solve_seconds: float = 0.0
     warm_started: bool = False
     warm_token: tuple | None = None
+    #: Row duals at optimality (``a_ub`` rows first, then ``a_eq``; the
+    #: min-problem convention, ``y_i <= 0`` on binding ``<=`` rows).
+    #: Populated by both the builtin revised/dual engines and HiGHS.
+    duals: np.ndarray | None = None
 
 
 def _solve_highs_arrays(
@@ -98,8 +102,19 @@ def _solve_highs_arrays(
     elapsed = time.perf_counter() - start
     nit = int(res.nit)
     if res.status == 0:
+        duals = None
+        ineq = getattr(res, "ineqlin", None)
+        eq = getattr(res, "eqlin", None)
+        if ineq is not None and eq is not None:
+            duals = np.concatenate([
+                np.atleast_1d(np.asarray(ineq.marginals, dtype=float))
+                if a_ub.size else np.zeros(0),
+                np.atleast_1d(np.asarray(eq.marginals, dtype=float))
+                if a_eq.size else np.zeros(0),
+            ])
         return ArrayLPResult(
-            "optimal", res.x, float(res.fun), nit, solve_seconds=elapsed
+            "optimal", res.x, float(res.fun), nit, solve_seconds=elapsed,
+            duals=duals,
         )
     if res.status == 2:
         return ArrayLPResult("infeasible", None, np.nan, nit, solve_seconds=elapsed)
@@ -499,6 +514,7 @@ class RelaxationContext:
             solve_seconds=solve_elapsed,
             warm_started=result.warm_started,
             warm_token=token,
+            duals=result.duals,
         )
 
     # -- node solves -------------------------------------------------------

@@ -85,6 +85,12 @@ class RevisedResult:
     basis: np.ndarray | None = None
     #: Per-column status vector (AT_LOWER/AT_UPPER/FREE/BASIC).
     vstat: np.ndarray | None = None
+    #: Row duals ``y = c_B B^{-1}`` at optimality (``a_ub`` rows first,
+    #: then ``a_eq`` rows).  Sign convention of the min problem: a
+    #: binding ``<=`` row carries ``y_i <= 0``, so the reduced cost of a
+    #: structural column is ``c_j - y . a_j``.  ``None`` on non-optimal
+    #: exits.
+    duals: np.ndarray | None = None
     warm_started: bool = False
     message: str = ""
 
@@ -591,7 +597,7 @@ class _Solver:
         return self._result("optimal", x=x)
 
     def _result(self, status: str, x: np.ndarray | None = None) -> RevisedResult:
-        basis = vstat = None
+        basis = vstat = duals = None
         objective = np.nan
         if status == "optimal":
             if x is None:
@@ -601,6 +607,9 @@ class _Solver:
             objective = float(self.lp.c @ x)
             basis = self.basis.copy()
             vstat = self.vstat.copy()
+            # The drivers refactor before accepting an optimum, so the
+            # eta file is empty here and the BTRAN is exact.
+            duals = self._btran(self._cvec[self.basis]) if self.m else np.zeros(0)
         elif status == "unbounded":
             objective = -np.inf
         return RevisedResult(
@@ -618,6 +627,7 @@ class _Solver:
             bound_flips=self.bound_flips,
             basis=basis,
             vstat=vstat,
+            duals=duals,
             warm_started=self.warm_started,
         )
 

@@ -249,7 +249,7 @@ class OnlineController:
         else:
             self.incumbent = ETransformPlanner(
                 self.state, replace(self.options)
-            ).plan()
+            ).build_plan()
         return self.incumbent
 
     def _directives(self) -> list[Directive]:

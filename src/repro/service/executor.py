@@ -20,6 +20,7 @@ death safe for every job kind.
 
 from __future__ import annotations
 
+import math
 import time
 from typing import Any
 
@@ -92,10 +93,18 @@ def _summary(plan) -> dict[str, Any]:
 
 
 def _execute_plan(payload: dict[str, Any]) -> dict[str, Any]:
+    from ..api import solve as plan_solve
+
     state = _require_state(payload)
     options = _planner_options(payload)
-    plan = ETransformPlanner(state, options).plan()
-    return {"plan": plan_to_dict(plan), "summary": _summary(plan)}
+    # Route through the unified entry point so the wire `method` field
+    # (auto/milp/decomposition/greedy) actually selects the engine.
+    result = plan_solve(state, options=options)
+    summary = _summary(result.plan)
+    summary["method"] = result.method
+    if math.isfinite(result.gap):
+        summary["gap"] = result.gap
+    return {"plan": plan_to_dict(result.plan), "summary": summary}
 
 
 def _apply_directive(session: IterativeSession, directive) -> None:
@@ -206,7 +215,7 @@ def _execute_simulate(payload: dict[str, Any]) -> dict[str, Any]:
     sim = payload.get("simulation", {})
     if not isinstance(sim, dict):
         raise PayloadError("payload field 'simulation' must be an object")
-    plan = ETransformPlanner(state, options).plan()
+    plan = ETransformPlanner(state, options).build_plan()
     config = SimulatorConfig(
         horizon_months=float(sim.get("horizon_months", 60.0)),
         failure=FailureModelConfig(

@@ -1,0 +1,228 @@
+"""The Dantzig-Wolfe/Lagrangian decomposition engine end to end."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ApplicationGroup,
+    AsIsState,
+    CostParameters,
+    validate_plan,
+)
+from repro.core.decomposition import (
+    DecompositionConfig,
+    DecompositionError,
+    extract_group_blocks,
+    model_objective,
+    solve_decomposition,
+)
+from repro.core.formulation import ModelOptions
+from repro.core.planner import ETransformPlanner, PlannerOptions
+from repro.datasets import latency_line_scenario
+from tests.conftest import NO_PENALTY, make_datacenter
+
+
+def line_state(n_groups=24, total_servers=160) -> AsIsState:
+    return latency_line_scenario(
+        penalty_per_band=20.0,
+        fraction_at_west=0.5,
+        n_groups=n_groups,
+        total_servers=total_servers,
+    )
+
+
+class TestGroupBlocks:
+    def test_blocks_shape_and_eligibility(self, tiny_state):
+        blocks = extract_group_blocks(tiny_state)
+        assert blocks.n_groups == len(tiny_state.app_groups)
+        assert blocks.n_targets == len(tiny_state.target_datacenters)
+        assert blocks.cost.shape == (blocks.n_groups, blocks.n_targets)
+        assert np.isfinite(blocks.cost).all()  # everything placeable here
+        assert (blocks.space_rate > 0).all()
+
+    def test_space_rate_underestimates_exact_space(self, tiny_state):
+        # For any integral load the linear rate never exceeds the exact
+        # step-priced schedule — that is what makes the bound valid.
+        blocks = extract_group_blocks(tiny_state)
+        for j, dc in enumerate(tiny_state.target_datacenters):
+            schedule = dc.space_cost.truncated(dc.capacity)
+            for load in (1, 25, 60, dc.capacity):
+                exact = schedule.total_cost(load) + dc.fixed_monthly_cost
+                assert blocks.space_rate[j] * load <= exact + 1e-6
+
+    def test_space_points_match_exact_site_cost(self, tiny_state):
+        # Every candidate point the site-side Lagrangian term minimizes
+        # over must price its load exactly as the model does — the
+        # bound's validity rests on the candidates being real costs.
+        blocks = extract_group_blocks(tiny_state)
+        for j, dc in enumerate(tiny_state.target_datacenters):
+            schedule = dc.space_cost.truncated(dc.capacity)
+            loads, costs = blocks.space_points[j]
+            assert loads[0] == 0.0 and costs[0] == 0.0
+            assert dc.capacity in loads
+            for load, cost in zip(loads[1:], costs[1:]):
+                exact = schedule.total_cost(int(load)) + dc.fixed_monthly_cost
+                assert cost == pytest.approx(exact)
+
+    def test_unplaceable_group_raises_with_name(self, tiny_state):
+        tiny_state.app_groups[0].servers = 10_000  # fits nowhere
+        with pytest.raises(DecompositionError, match="erp"):
+            extract_group_blocks(tiny_state)
+
+    def test_parallel_extraction_matches_serial(self, tiny_state):
+        serial = extract_group_blocks(tiny_state, jobs=1)
+        fanned = extract_group_blocks(tiny_state, jobs=2)
+        np.testing.assert_allclose(serial.cost, fanned.cost)
+
+
+class TestDecompositionParity:
+    def test_tiny_state_within_reported_gap_of_milp(self, tiny_state):
+        outcome = solve_decomposition(tiny_state)
+        milp = ETransformPlanner(tiny_state, PlannerOptions()).build_plan()
+        assert outcome.gap == pytest.approx(
+            (outcome.upper_bound - outcome.lower_bound) / outcome.upper_bound
+        )
+        # The certified bound really bounds the exact optimum.
+        assert outcome.lower_bound <= milp.breakdown.total + 1e-6
+        assert outcome.upper_bound >= milp.breakdown.total - 1e-6
+        # And the heuristic lands within its own certificate.
+        assert (
+            outcome.upper_bound - milp.breakdown.total
+        ) / milp.breakdown.total <= outcome.gap + 1e-9
+
+    def test_line_scenario_parity_master_mode(self):
+        state = line_state()
+        outcome = solve_decomposition(
+            state, config=DecompositionConfig(coordination="master")
+        )
+        milp = ETransformPlanner(state, PlannerOptions()).build_plan()
+        assert outcome.coordination == "master"
+        assert outcome.lower_bound <= milp.breakdown.total + 1e-6
+        rel = (outcome.upper_bound - milp.breakdown.total) / milp.breakdown.total
+        assert rel <= max(outcome.gap, 0.0) + 1e-9
+
+    def test_subgradient_mode_same_certificate(self):
+        state = line_state()
+        outcome = solve_decomposition(
+            state, config=DecompositionConfig(coordination="subgradient")
+        )
+        milp = ETransformPlanner(state, PlannerOptions()).build_plan()
+        assert outcome.coordination == "subgradient"
+        assert outcome.lower_bound <= milp.breakdown.total + 1e-6
+        rel = (outcome.upper_bound - milp.breakdown.total) / milp.breakdown.total
+        assert rel <= max(outcome.gap, 0.0) + 1e-9
+
+    def test_fixed_cost_state_bound_stays_valid(self, fixed_cost_state):
+        outcome = solve_decomposition(fixed_cost_state)
+        milp = ETransformPlanner(fixed_cost_state, PlannerOptions()).build_plan()
+        assert outcome.lower_bound <= milp.breakdown.total + 1e-6
+        assert outcome.upper_bound >= outcome.lower_bound - 1e-6
+
+    def test_plan_objective_matches_model_objective(self, tiny_state):
+        outcome = solve_decomposition(tiny_state)
+        placement = outcome.plan.placement
+        assert model_objective(tiny_state, placement) == pytest.approx(
+            outcome.upper_bound
+        )
+        # The evaluated plan's cost breakdown agrees with the objective
+        # the gap certificate was computed against.
+        assert outcome.plan.breakdown.total == pytest.approx(outcome.upper_bound)
+
+
+class TestDecompositionFeasibility:
+    def test_plan_validates(self, tiny_state):
+        outcome = solve_decomposition(tiny_state)
+        validate_plan(tiny_state, outcome.plan)  # raises on violation
+        assert not outcome.plan.backup_servers
+
+    def test_risk_anticolocation_respected(self, user_locations):
+        targets = [
+            make_datacenter("a", capacity=100),
+            make_datacenter("b", capacity=100, space_base=101.0),
+        ]
+        groups = [
+            ApplicationGroup("pci-1", 20, 100.0, {}, NO_PENALTY),
+            ApplicationGroup("pci-2", 20, 100.0, {}, NO_PENALTY),
+            ApplicationGroup("other", 20, 100.0, {}, NO_PENALTY),
+        ]
+        groups[0].risk_group = "pci"
+        groups[1].risk_group = "pci"
+        state = AsIsState(
+            "risk", groups, targets, user_locations=user_locations,
+            params=CostParameters(),
+        )
+        outcome = solve_decomposition(state)
+        placement = outcome.plan.placement
+        assert placement["pci-1"] != placement["pci-2"]
+        validate_plan(state, outcome.plan)
+
+    def test_business_impact_cap_respected(self, user_locations):
+        # omega = 0.5 over 4 groups caps any site at 2 groups, so the
+        # all-in-one-cheap-site packing is off the table.
+        targets = [
+            make_datacenter("a", capacity=400),
+            make_datacenter("b", capacity=400, space_base=130.0),
+        ]
+        groups = [
+            ApplicationGroup(f"g{i}", 20, 100.0, {}, NO_PENALTY) for i in range(4)
+        ]
+        state = AsIsState(
+            "omega", groups, targets, user_locations=user_locations,
+            params=CostParameters(business_impact=0.5),
+        )
+        outcome = solve_decomposition(state)
+        counts: dict[str, int] = {}
+        for site in outcome.plan.placement.values():
+            counts[site] = counts.get(site, 0) + 1
+        assert max(counts.values()) <= 2
+        validate_plan(state, outcome.plan)
+
+    def test_dr_states_are_rejected(self, tiny_state):
+        with pytest.raises(DecompositionError, match="disaster recovery"):
+            solve_decomposition(tiny_state, ModelOptions(enable_dr=True))
+
+    def test_time_limit_still_returns_a_plan(self):
+        state = line_state()
+        outcome = solve_decomposition(
+            state, config=DecompositionConfig(time_limit=1e-6)
+        )
+        validate_plan(state, outcome.plan)
+        assert math.isfinite(outcome.upper_bound)
+
+
+class TestDecompositionMechanics:
+    def test_parallel_pricing_matches_serial(self):
+        state = line_state()
+        serial = solve_decomposition(state, config=DecompositionConfig(jobs=1))
+        fanned = solve_decomposition(state, config=DecompositionConfig(jobs=2))
+        assert serial.upper_bound == pytest.approx(fanned.upper_bound)
+        assert serial.lower_bound == pytest.approx(fanned.lower_bound)
+
+    def test_auto_coordination_switches_on_group_count(self, tiny_state):
+        small = solve_decomposition(
+            tiny_state, config=DecompositionConfig(master_group_limit=1500)
+        )
+        assert small.coordination == "master"
+        forced = solve_decomposition(
+            tiny_state, config=DecompositionConfig(master_group_limit=1)
+        )
+        assert forced.coordination == "subgradient"
+
+    def test_stats_record_the_run(self, tiny_state):
+        outcome = solve_decomposition(tiny_state)
+        stats = outcome.stats
+        assert stats.backend == "decomposition"
+        assert stats.incumbent == pytest.approx(outcome.upper_bound)
+        assert stats.best_bound == pytest.approx(outcome.lower_bound)
+        assert stats.extra["decomp_groups"] == len(tiny_state.app_groups)
+        assert outcome.plan.solver_stats is stats
+
+    def test_config_rejects_bad_knobs(self):
+        with pytest.raises(ValueError, match="coordination"):
+            DecompositionConfig(coordination="annealing")
+        with pytest.raises(ValueError, match="smoothing"):
+            DecompositionConfig(smoothing=0.0)

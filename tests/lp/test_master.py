@@ -1,0 +1,122 @@
+"""Unit tests for the Dantzig-Wolfe restricted master LP."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lp.master import MasterSolution, RestrictedMasterLP
+
+
+def make_master(capacities=(100.0, 80.0), n_groups=2, big=1e6):
+    return RestrictedMasterLP(
+        capacities=np.array(capacities, dtype=float),
+        n_groups=n_groups,
+        artificial_cost=big,
+    )
+
+
+class TestColumnPool:
+    def test_artificials_seed_the_pool(self):
+        master = make_master()
+        assert master.n_columns == 2
+        assert master.col_target == [-1, -1]
+        assert master.col_cost == [1e6, 1e6]
+
+    def test_add_column_rejects_duplicates(self):
+        master = make_master()
+        assert master.add_column(0, 1, 50.0, 10.0)
+        assert not master.add_column(0, 1, 50.0, 10.0)
+        assert master.add_column(0, 0, 40.0, 10.0)
+        assert master.has_column(0, 1)
+        assert not master.has_column(1, 1)
+        assert master.n_columns == 4
+
+
+class TestMasterSolve:
+    def test_artificial_only_master_is_feasible(self):
+        master = make_master()
+        solution = master.solve()
+        assert solution.status == "optimal"
+        # Both groups sit fully on their artificial columns.
+        assert solution.artificial_weight == pytest_approx(2.0)
+        assert solution.objective == pytest_approx(2e6)
+
+    def test_columns_displace_artificials(self):
+        master = make_master()
+        master.add_column(0, 0, 30.0, 20.0)
+        master.add_column(1, 1, 45.0, 15.0)
+        solution = master.solve()
+        assert solution.status == "optimal"
+        assert solution.artificial_weight < 1e-9
+        assert solution.objective == pytest_approx(75.0)
+
+    def test_capacity_duals_are_nonpositive_on_binding_rows(self):
+        # One target of capacity 10; two groups of 10 servers each want
+        # it (cheap) but group 1 also has an expensive fallback.  The
+        # capacity row binds, so its dual must be <= 0 (min problem).
+        master = make_master(capacities=(10.0, 100.0), n_groups=2)
+        master.add_column(0, 0, 10.0, 10.0)
+        master.add_column(1, 0, 10.0, 10.0)
+        master.add_column(1, 1, 90.0, 10.0)
+        solution = master.solve()
+        assert solution.status == "optimal"
+        assert solution.artificial_weight < 1e-9
+        assert solution.capacity_duals is not None
+        assert (solution.capacity_duals <= 1e-9).all()
+        # Site 0's scarcity is worth at least the 80-cost spread over
+        # 10 servers (the exact value is degenerate: any pi0 <= -8 is
+        # dual-optimal here).
+        assert solution.capacity_duals[0] <= -8.0 + 1e-7
+        # Dual feasibility over the pooled columns (bounds 0 <= w <= 1):
+        # reduced cost c_gj - pi_j*load - mu_g is >= 0 at weight 0 and
+        # <= 0 at weight 1 (nonbasic at the upper bound).
+        pi, mu = solution.capacity_duals, solution.convexity_duals
+        for idx in range(master.n_groups, master.n_columns):
+            g, j = master.col_group[idx], master.col_target[idx]
+            reduced = master.col_cost[idx] - pi[j] * master.col_load[idx] - mu[g]
+            w = float(solution.weights[idx])
+            if w <= 1e-9:
+                assert reduced >= -1e-7
+            elif w >= 1.0 - 1e-9:
+                assert reduced <= 1e-7
+
+    def test_warm_start_reused_across_column_appends(self):
+        master = make_master()
+        master.add_column(0, 0, 30.0, 20.0)
+        master.add_column(1, 1, 45.0, 15.0)
+        first = master.solve()
+        assert first.status == "optimal"
+        master.add_column(0, 1, 25.0, 20.0)
+        second = master.solve()
+        assert second.status == "optimal"
+        assert second.warm_started
+        assert second.objective == pytest_approx(70.0)
+
+    def test_group_support_sorted_and_excludes_artificials(self):
+        master = make_master(capacities=(10.0, 100.0), n_groups=2)
+        master.add_column(0, 0, 10.0, 10.0)
+        master.add_column(1, 0, 10.0, 10.0)
+        master.add_column(1, 1, 90.0, 10.0)
+        solution = master.solve()
+        support = master.group_support(solution.weights)
+        assert len(support) == 2
+        for entries in support:
+            assert entries, "every group keeps at least one placement column"
+            weights = [w for _t, w in entries]
+            assert weights == sorted(weights, reverse=True)
+            assert all(t >= 0 for t, _w in entries)
+
+    def test_infeasible_capacity_keeps_artificial_weight(self):
+        # The only placement column overruns the capacity row, so the
+        # master leans on the artificial and reports its weight.
+        master = make_master(capacities=(5.0,), n_groups=1)
+        master.add_column(0, 0, 10.0, 50.0)
+        solution = master.solve()
+        assert solution.status == "optimal"
+        assert solution.artificial_weight > 0.5
+
+
+def pytest_approx(value, rel=1e-6):
+    import pytest
+
+    return pytest.approx(value, rel=rel)

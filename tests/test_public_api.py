@@ -24,8 +24,10 @@ PUBLIC_API = {
     "IterativeSession",
     "JobManager",
     "LatencyPenaltyFunction",
+    "METHODS",
     "MigrationConfig",
     "OnlineController",
+    "PlanResult",
     "PlannerOptions",
     "ReplayConfig",
     "ServiceClient",
@@ -90,13 +92,17 @@ class TestPublicSurface:
             opts.node_limit = 1
 
     def test_facade_names_resolve_to_canonical_objects(self):
+        from repro.api import solve as deep_solve
         from repro.core.iterative import IterativeSession as deep_session
         from repro.core.planner import plan_consolidation as deep_plan
-        from repro.lp.solvers import solve as deep_solve
+        from repro.lp.solvers import solve as lp_solve
 
         assert repro.IterativeSession is deep_session
         assert repro.plan_consolidation is deep_plan
+        # repro.solve is now the unified *planning* entry point; the
+        # LP-level solve stays reachable at repro.lp.solve.
         assert repro.solve is deep_solve
+        assert repro.lp.solve is lp_solve
 
 
 def pytest_raises_frozen():
