@@ -1,0 +1,88 @@
+"""Driving a planning-service *cluster*: dispatcher, store, streaming.
+
+Run:  python examples/cluster_client.py
+
+Boots two planning-service replicas sharing one SQLite job store plus a
+fingerprint-sharding dispatcher in front of them — exactly what these
+three commands run as separate processes:
+
+    etransform serve --port 8081 --replica-id a --store sqlite:///tmp/jobs.db
+    etransform serve --port 8082 --replica-id b --store sqlite:///tmp/jobs.db
+    etransform dispatch --replica http://127.0.0.1:8081 \
+                        --replica http://127.0.0.1:8082 \
+                        --store sqlite:///tmp/jobs.db --port 8079
+
+then walks the cluster workflow: submit through the dispatcher and see
+which shard served it, stream the job's event feed live (what
+``etransform watch <job-id>`` prints), hit the dispatcher-wide result
+cache, kill the owning replica and still read the result out of the
+shared store, and inspect routing/health stats.
+"""
+
+import tempfile
+import time
+
+from repro import ServiceClient, load_enterprise1
+from repro.io import state_to_dict
+from repro.service.cluster import ClusterHarness
+
+
+def main() -> None:
+    store_url = f"sqlite://{tempfile.mkdtemp()}/jobs.db"
+    with ClusterHarness(
+        n_replicas=2, workers_per_replica=2, store_url=store_url
+    ) as cluster:
+        client = ServiceClient(cluster.url)
+        print(f"dispatcher up at {cluster.url}: {client.healthz()}")
+
+        state = state_to_dict(load_enterprise1(scale=0.3))
+
+        # -- submit through the dispatcher --------------------------------
+        # Routing is rendezvous-hashed on the *state* fingerprint, so
+        # every job about this estate lands on the same replica (and
+        # its warm solve caches); the record says which one.
+        job = client.submit("plan", {"state": state, "options": {"backend": "highs"}})
+        print(f"\nplan {job['id']} routed to shard for this state")
+
+        # -- watch it live -------------------------------------------------
+        # The same feed `etransform watch <job-id> --url <dispatcher>`
+        # renders: queue/dispatch transitions plus solver progress ticks.
+        for event in client.stream(job["id"]):
+            kind = event.get("type")
+            if kind == "state":
+                print(f"  [{event['seq']:>3}] {event['state']}"
+                      + (f" (via {event['via']})" if event.get("via") else ""))
+            elif kind == "progress":
+                print(f"  [{event['seq']:>3}] progress: {event}")
+        done = client.job(job["id"])
+        summary = done["result"]["summary"]
+        print(f"replica {done['replica']}: ${summary['total_cost']:,.0f}/month")
+
+        # -- the dispatcher-wide result cache ------------------------------
+        repeat = client.submit("plan", {"state": state, "options": {"backend": "highs"}})
+        print(f"\nrepeat submission: {repeat['state']} at once (via {repeat['via']})")
+
+        # -- replica death: the store answers anyway -----------------------
+        owner = int(done["replica"].rsplit("-", 1)[1])
+        cluster.replicas[owner].stop()
+        print(f"\nkilled {done['replica']}; fetching the job again...")
+        survived = client.job(job["id"])
+        print(f"still {survived['state']} — served from the shared job store")
+
+        # -- operational visibility ----------------------------------------
+        # Give the health monitor a moment to evict the dead replica;
+        # new submissions re-route to the survivors immediately after.
+        deadline = time.monotonic() + 5.0
+        while (
+            time.monotonic() < deadline
+            and len(cluster.dispatcher.healthy_replicas()) > 1
+        ):
+            time.sleep(0.1)
+        stats = client.metrics()
+        healthy = [r["url"] for r in stats["replicas"] if r["healthy"]]
+        print(f"\ndispatcher stats: {stats['jobs_routed']} routed, "
+              f"cache {stats['cache']}, healthy replicas: {healthy}")
+
+
+if __name__ == "__main__":
+    main()

@@ -446,10 +446,65 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             job_timeout=args.job_timeout,
             max_retries=args.max_retries,
             journal_path=args.journal,
+            store_url=args.store,
+            replica_id=args.replica_id,
+            max_queue_depth=args.max_queue_depth,
         ).validated()
     except ValueError as exc:
         raise CliInputError(f"bad service configuration: {exc}") from None
     return run_service(config, verbose=args.verbose)
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    from .service import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url, timeout=args.timeout)
+    final_state = None
+    try:
+        for event in client.stream(args.job_id, after=args.after):
+            kind = event.get("type", "?")
+            if kind == "state":
+                detail = event.get("state", "?")
+                extra = event.get("error") or event.get("via")
+                if extra:
+                    detail += f" ({extra})"
+                if event.get("state") is not None:
+                    final_state = event["state"]
+            elif kind == "progress":
+                fields = ", ".join(
+                    f"{key}={value}"
+                    for key, value in sorted(event.items())
+                    if key not in ("seq", "ts", "type") and value is not None
+                )
+                detail = fields or "tick"
+            else:
+                detail = json.dumps(
+                    {k: v for k, v in event.items() if k not in ("seq", "ts")}
+                )
+            print(f"[{event.get('seq', '?'):>4}] {kind:<9} {detail}", flush=True)
+    except ServiceError as exc:
+        raise CliInputError(str(exc)) from None
+    except KeyboardInterrupt:
+        print("watch interrupted; the job keeps running", file=sys.stderr)
+        return 130
+    return 0 if final_state == "succeeded" else 1
+
+
+def _cmd_dispatch(args: argparse.Namespace) -> int:
+    from .service.cluster import run_dispatcher
+
+    try:
+        return run_dispatcher(
+            replicas=args.replica,
+            host=args.host,
+            port=args.port,
+            store_url=args.store,
+            cache_size=args.cache_size,
+            health_interval=args.health_interval,
+            verbose=args.verbose,
+        )
+    except ValueError as exc:
+        raise CliInputError(f"bad dispatcher configuration: {exc}") from None
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -611,9 +666,50 @@ def build_parser() -> argparse.ArgumentParser:
                    help="retries after a worker death before a job fails")
     p.add_argument("--journal", default=None, metavar="FILE",
                    help="append one JSON line per job event to FILE")
+    p.add_argument("--store", default=None, metavar="URL",
+                   help="shared job store (sqlite://PATH or memory://); "
+                        "lets any replica answer for any job")
+    p.add_argument("--replica-id", default=None, metavar="NAME",
+                   help="stable replica identity in the shared store "
+                        "(enables job recovery after a restart)")
+    p.add_argument("--max-queue-depth", type=int, default=None, metavar="N",
+                   help="reject submissions with 429 once N jobs are queued")
     p.add_argument("--verbose", action="store_true",
                    help="log every HTTP request")
     p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser(
+        "watch",
+        help="stream a job's lifecycle and solver progress events live",
+    )
+    p.add_argument("job_id", help="the job id to watch")
+    p.add_argument("--url", default="http://127.0.0.1:8080",
+                   help="service or dispatcher base URL")
+    p.add_argument("--after", type=int, default=0, metavar="SEQ",
+                   help="resume the stream after event SEQ")
+    p.add_argument("--timeout", type=float, default=3600.0, metavar="SECONDS",
+                   help="max silent gap between events")
+    p.set_defaults(fn=_cmd_watch)
+
+    p = sub.add_parser(
+        "dispatch",
+        help="run the cluster dispatcher in front of N serve replicas",
+    )
+    p.add_argument("--replica", action="append", required=True, metavar="URL",
+                   help="backend replica base URL (repeatable)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8079,
+                   help="TCP port; 0 binds an ephemeral port")
+    p.add_argument("--store", default=None, metavar="URL",
+                   help="the replicas' shared job store, for answering "
+                        "status/result reads when replicas are down")
+    p.add_argument("--cache-size", type=int, default=256,
+                   help="entries in the shared fingerprint result cache")
+    p.add_argument("--health-interval", type=float, default=1.0,
+                   metavar="SECONDS", help="replica health-probe period")
+    p.add_argument("--verbose", action="store_true",
+                   help="log every HTTP request")
+    p.set_defaults(fn=_cmd_dispatch)
 
     return parser
 

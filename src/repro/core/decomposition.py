@@ -56,7 +56,7 @@ import numpy as np
 
 from ..lp.master import RestrictedMasterLP
 from ..parallel import parallel_map
-from ..telemetry import SolveStats
+from ..telemetry import SolveStats, emit_progress
 from .entities import AsIsState, DataCenter
 from .formulation import ModelOptions, placement_cost
 from .plan import TransformationPlan, evaluate_plan
@@ -556,6 +556,15 @@ def _run_master_loop(
         best_j, best_val, bound, _ = _price_all(blocks, pi_sep, config.jobs)
         if bound > best_lb:
             best_lb, best_pi = bound, pi_sep
+        emit_progress(
+            {
+                "phase": "decomposition",
+                "round": rounds,
+                "master_objective": solution.objective,
+                "lower_bound": best_lb,
+                "columns": master.n_columns - n_groups,
+            }
+        )
         reduced = best_val - mu
         entering = np.nonzero(reduced < -config.tolerance)[0]
         added = 0

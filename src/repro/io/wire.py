@@ -1,0 +1,248 @@
+"""Compact binary wire encoding for job payloads and CSC arrays.
+
+Planning states and solver payloads are dominated by long homogeneous
+numeric lists — server counts, cost-step tables and, above all, the CSC
+``indptr``/``indices``/``values`` triplets out of :mod:`repro.lp.sparse`.
+Shipping them between the dispatcher, the replicas and the persistent
+job store as JSON costs ~20 text bytes per float plus a full parse on
+every hop.  This module packs exactly those payloads as tagged binary:
+homogeneous numeric lists (and 1-D numpy arrays) become raw
+little-endian machine words copied in one ``struct``/``tobytes`` call,
+everything else nests recursively.
+
+Every message starts with one **version byte**:
+
+=======  ========================================================
+``0x00``  JSON fallback — the rest of the buffer is UTF-8 JSON
+``0x01``  tagged binary, this module's format
+=======  ========================================================
+
+so readers can always decode messages from older (or conservative)
+writers, and a payload the binary encoder cannot express — non-string
+dict keys, exotic objects — transparently falls back to JSON instead of
+failing the job.  Unknown versions raise :class:`WireFormatError`
+rather than guessing.
+
+The format is self-contained (no pickle — payloads cross trust and
+process boundaries) and value-faithful: ``decode(encode(x))`` compares
+equal for any JSON-able ``x``, with non-finite floats surviving the
+trip (unlike strict JSON).
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any
+
+#: ``Content-Type`` announcing a wire-encoded HTTP body.
+WIRE_CONTENT_TYPE = "application/x-etransform-wire"
+
+#: Version bytes (the first byte of every encoded buffer).
+WIRE_JSON = 0x00
+WIRE_BINARY = 0x01
+
+# -- value tags (binary bodies only) -------------------------------------------
+_T_NONE = 0x00
+_T_FALSE = 0x01
+_T_TRUE = 0x02
+_T_INT = 0x03        # int64, struct '<q'
+_T_BIGINT = 0x04     # u32 length + ascii decimal (ints beyond int64)
+_T_FLOAT = 0x05      # float64, struct '<d'
+_T_STR = 0x06        # u32 length + utf-8
+_T_BYTES = 0x07      # u32 length + raw
+_T_LIST = 0x08       # u32 count + items
+_T_DICT = 0x09       # u32 count + (str key, value) pairs
+_T_ARR_F64 = 0x0A    # u32 count + count * 8 bytes little-endian doubles
+_T_ARR_I64 = 0x0B    # u32 count + count * 8 bytes little-endian int64
+
+_U32 = struct.Struct("<I")
+_I64 = struct.Struct("<q")
+_F64 = struct.Struct("<d")
+
+#: Homogeneous lists at least this long take the packed-array path;
+#: shorter ones are not worth the type scan.
+_ARRAY_MIN = 8
+
+_INT64_MIN = -(2 ** 63)
+_INT64_MAX = 2 ** 63 - 1
+
+
+class WireFormatError(ValueError):
+    """The buffer is not a decodable wire message."""
+
+
+class _Unencodable(TypeError):
+    """Internal: the value needs the JSON fallback."""
+
+
+def _numpy_1d(value: Any):
+    """Return ``value`` as a 1-D numpy array when it is one, else ``None``."""
+    try:
+        import numpy as np
+    except ImportError:  # pragma: no cover - numpy is a hard dependency
+        return None
+    if isinstance(value, np.ndarray) and value.ndim == 1:
+        return value
+    return None
+
+
+def _pack_array(out: list[bytes], values, kinds: frozenset) -> bool:
+    """Append a packed homogeneous numeric list; ``False`` if mixed."""
+    if float in kinds and kinds <= {float, int}:
+        out.append(bytes([_T_ARR_F64]) + _U32.pack(len(values)))
+        out.append(struct.pack(f"<{len(values)}d", *map(float, values)))
+        return True
+    if kinds == {int} and all(_INT64_MIN <= v <= _INT64_MAX for v in values):
+        out.append(bytes([_T_ARR_I64]) + _U32.pack(len(values)))
+        out.append(struct.pack(f"<{len(values)}q", *values))
+        return True
+    return False
+
+
+def _encode_value(value: Any, out: list[bytes]) -> None:
+    import numpy as np
+
+    if value is None:
+        out.append(bytes([_T_NONE]))
+    elif value is True:
+        out.append(bytes([_T_TRUE]))
+    elif value is False:
+        out.append(bytes([_T_FALSE]))
+    elif isinstance(value, (int, np.integer)) and not isinstance(value, bool):
+        value = int(value)
+        if _INT64_MIN <= value <= _INT64_MAX:
+            out.append(bytes([_T_INT]) + _I64.pack(value))
+        else:
+            digits = str(value).encode("ascii")
+            out.append(bytes([_T_BIGINT]) + _U32.pack(len(digits)) + digits)
+    elif isinstance(value, (float, np.floating)):
+        out.append(bytes([_T_FLOAT]) + _F64.pack(float(value)))
+    elif isinstance(value, str):
+        data = value.encode("utf-8")
+        out.append(bytes([_T_STR]) + _U32.pack(len(data)) + data)
+    elif isinstance(value, (bytes, bytearray)):
+        out.append(bytes([_T_BYTES]) + _U32.pack(len(value)) + bytes(value))
+    elif (array := _numpy_1d(value)) is not None:
+        if array.dtype.kind == "f":
+            data = array.astype("<f8", copy=False).tobytes()
+            out.append(bytes([_T_ARR_F64]) + _U32.pack(len(array)) + data)
+        elif array.dtype.kind in "iu":
+            if array.dtype.kind == "u" and (array > _INT64_MAX).any():
+                raise _Unencodable("unsigned array exceeds int64")
+            data = array.astype("<i8", copy=False).tobytes()
+            out.append(bytes([_T_ARR_I64]) + _U32.pack(len(array)) + data)
+        else:
+            raise _Unencodable(f"array dtype {array.dtype!r}")
+    elif isinstance(value, (list, tuple)):
+        if len(value) >= _ARRAY_MIN:
+            kinds = {type(v) for v in value}
+            if kinds <= {int, float} and bool not in kinds:
+                if _pack_array(out, value, frozenset(kinds)):
+                    return
+        out.append(bytes([_T_LIST]) + _U32.pack(len(value)))
+        for item in value:
+            _encode_value(item, out)
+    elif isinstance(value, dict):
+        out.append(bytes([_T_DICT]) + _U32.pack(len(value)))
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise _Unencodable(f"dict key {key!r} is not a string")
+            data = key.encode("utf-8")
+            out.append(_U32.pack(len(data)) + data)
+            _encode_value(item, out)
+    else:
+        raise _Unencodable(f"cannot wire-encode {type(value).__name__}")
+
+
+class _Reader:
+    __slots__ = ("data", "pos")
+
+    def __init__(self, data: bytes, pos: int) -> None:
+        self.data = data
+        self.pos = pos
+
+    def take(self, count: int) -> bytes:
+        end = self.pos + count
+        if end > len(self.data):
+            raise WireFormatError("truncated wire message")
+        chunk = self.data[self.pos:end]
+        self.pos = end
+        return chunk
+
+    def u32(self) -> int:
+        return _U32.unpack(self.take(4))[0]
+
+
+def _decode_value(reader: _Reader) -> Any:
+    tag = reader.take(1)[0]
+    if tag == _T_NONE:
+        return None
+    if tag == _T_TRUE:
+        return True
+    if tag == _T_FALSE:
+        return False
+    if tag == _T_INT:
+        return _I64.unpack(reader.take(8))[0]
+    if tag == _T_BIGINT:
+        return int(reader.take(reader.u32()).decode("ascii"))
+    if tag == _T_FLOAT:
+        return _F64.unpack(reader.take(8))[0]
+    if tag == _T_STR:
+        return reader.take(reader.u32()).decode("utf-8")
+    if tag == _T_BYTES:
+        return reader.take(reader.u32())
+    if tag == _T_ARR_F64:
+        count = reader.u32()
+        return list(struct.unpack(f"<{count}d", reader.take(count * 8)))
+    if tag == _T_ARR_I64:
+        count = reader.u32()
+        return list(struct.unpack(f"<{count}q", reader.take(count * 8)))
+    if tag == _T_LIST:
+        return [_decode_value(reader) for _ in range(reader.u32())]
+    if tag == _T_DICT:
+        record = {}
+        for _ in range(reader.u32()):
+            key = reader.take(reader.u32()).decode("utf-8")
+            record[key] = _decode_value(reader)
+        return record
+    raise WireFormatError(f"unknown wire tag 0x{tag:02x}")
+
+
+def encode_payload(value: Any, binary: bool = True) -> bytes:
+    """Encode ``value`` for the wire; binary when possible, JSON otherwise.
+
+    ``binary=False`` forces the JSON body (used to exercise readers
+    against conservative writers); a value the binary format cannot
+    express falls back to JSON automatically.
+    """
+    if binary:
+        out: list[bytes] = [bytes([WIRE_BINARY])]
+        try:
+            _encode_value(value, out)
+        except _Unencodable:
+            pass
+        else:
+            return b"".join(out)
+    return bytes([WIRE_JSON]) + json.dumps(value).encode("utf-8")
+
+
+def decode_payload(data: bytes) -> Any:
+    """Decode one wire message produced by :func:`encode_payload`."""
+    if not data:
+        raise WireFormatError("empty wire message")
+    version = data[0]
+    if version == WIRE_JSON:
+        try:
+            return json.loads(data[1:].decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise WireFormatError(f"bad JSON wire body: {exc}") from exc
+    if version == WIRE_BINARY:
+        reader = _Reader(data, 1)
+        value = _decode_value(reader)
+        if reader.pos != len(data):
+            raise WireFormatError(
+                f"{len(data) - reader.pos} trailing bytes after wire value"
+            )
+        return value
+    raise WireFormatError(f"unknown wire version 0x{version:02x}")

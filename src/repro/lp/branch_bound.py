@@ -28,7 +28,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..telemetry import GapPoint, SolveStats, metrics
+from ..telemetry import GapPoint, SolveStats, emit_progress, metrics
 from .matrix_lp import RelaxationContext, solve_lp_arrays
 from .problem import Problem
 from .solution import Solution, SolveStatus
@@ -285,15 +285,27 @@ def solve_branch_and_bound(
         return form.objective_sign * (internal + form.c0)
 
     def record_gap_point() -> None:
+        incumbent = (
+            to_user_objective(incumbent_obj)
+            if incumbent_x is not None
+            else float("nan")
+        )
+        emit_progress(
+            {
+                "phase": "branch_bound",
+                "nodes_explored": stats.nodes_explored,
+                "best_bound": to_user_objective(best_bound),
+                "incumbent": incumbent,
+                "elapsed_seconds": time.monotonic() - start,
+            }
+        )
         if len(stats.gap_trajectory) >= _MAX_TRAJECTORY_POINTS:
             return
         stats.gap_trajectory.append(
             GapPoint(
                 nodes_explored=stats.nodes_explored,
                 best_bound=to_user_objective(best_bound),
-                incumbent=to_user_objective(incumbent_obj)
-                if incumbent_x is not None
-                else float("nan"),
+                incumbent=incumbent,
                 elapsed_seconds=time.monotonic() - start,
             )
         )

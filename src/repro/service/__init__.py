@@ -30,10 +30,12 @@ from .jobs import (
 )
 from .manager import (
     JobManager,
+    QueueFullError,
     ServiceUnavailableError,
     UnknownJobError,
     replay_journal,
 )
+from .cluster import JobStore, MemoryJobStore, SqliteJobStore, open_store
 from .http import PlanningServer, run_service
 from .workers import WorkerPool
 
@@ -44,16 +46,21 @@ __all__ = [
     "JobManager",
     "JobRecord",
     "JobState",
+    "JobStore",
+    "MemoryJobStore",
     "PayloadError",
     "PlanningServer",
+    "QueueFullError",
     "ServiceClient",
     "ServiceConfig",
     "ServiceError",
     "ServiceUnavailableError",
+    "SqliteJobStore",
     "TERMINAL_STATES",
     "UnknownJobError",
     "WorkerPool",
     "execute_job",
+    "open_store",
     "replay_journal",
     "run_service",
 ]

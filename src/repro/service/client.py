@@ -13,20 +13,30 @@ like driving the local library::
 from __future__ import annotations
 
 import json
+import socket
 import time
 import urllib.error
+import urllib.parse
 import urllib.request
-from typing import Any
+from typing import Any, Iterator
 
 from ..core.entities import AsIsState
 from ..io.serialization import state_to_dict
+from ..io.wire import WIRE_CONTENT_TYPE, encode_payload
 
 
 class ServiceError(RuntimeError):
-    """The service answered with an error status (or not at all)."""
+    """The service answered with an error status (or not at all).
 
-    def __init__(self, status: int, message: str) -> None:
+    ``retry_after`` carries the server's ``Retry-After`` header (as
+    seconds) when admission control answered 429, else ``None``.
+    """
+
+    def __init__(
+        self, status: int, message: str, retry_after: float | None = None
+    ) -> None:
         self.status = status
+        self.retry_after = retry_after
         super().__init__(f"HTTP {status}: {message}")
 
 
@@ -44,14 +54,62 @@ def _state_payload(state: "AsIsState | dict") -> dict:
     return state_to_dict(state) if isinstance(state, AsIsState) else dict(state)
 
 
-class ServiceClient:
-    """Typed convenience wrapper over the JSON API."""
+def _is_connection_refused(exc: urllib.error.URLError) -> bool:
+    reason = getattr(exc, "reason", None)
+    return isinstance(reason, (ConnectionRefusedError, ConnectionResetError))
 
-    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+
+class ServiceClient:
+    """Typed convenience wrapper over the JSON API.
+
+    ``timeout`` bounds each read; ``connect_timeout`` (default: the
+    read timeout capped at 5 s) bounds connection establishment, so a
+    black-holed replica cannot stall a caller for the full read budget.
+    A connection *refused* — the replica is restarting, nothing was
+    processed — is retried ``connect_retries`` times with doubling
+    backoff before giving up; errors after the connection is up are
+    never retried here (the dispatcher owns failover policy).
+
+    ``binary=True`` posts submissions in the compact wire format
+    (:mod:`repro.io.wire`) instead of JSON — same payloads, smaller
+    bodies and no JSON float round-trip for big states.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        connect_timeout: float | None = None,
+        connect_retries: int = 2,
+        retry_backoff: float = 0.2,
+        binary: bool = False,
+    ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.connect_timeout = (
+            min(timeout, 5.0) if connect_timeout is None else connect_timeout
+        )
+        self.connect_retries = connect_retries
+        self.retry_backoff = retry_backoff
+        self.binary = binary
 
     # -- transport ---------------------------------------------------------
+
+    def _open(self, request: urllib.request.Request, timeout: float):
+        """urlopen with connect/read phases timed separately.
+
+        urllib exposes one deadline for the whole exchange; probing the
+        connection first with ``connect_timeout`` splits it so "host is
+        down" fails in seconds while a long solve may still stream its
+        response for the full read timeout.
+        """
+        parsed = urllib.parse.urlsplit(request.full_url)
+        port = parsed.port or (443 if parsed.scheme == "https" else 80)
+        probe = socket.create_connection(
+            (parsed.hostname, port), timeout=self.connect_timeout
+        )
+        probe.close()
+        return urllib.request.urlopen(request, timeout=timeout)
 
     def _request(
         self,
@@ -60,28 +118,55 @@ class ServiceClient:
         body: dict | None = None,
         tolerate: tuple[int, ...] = (),
     ) -> dict[str, Any]:
-        data = json.dumps(body).encode("utf-8") if body is not None else None
+        if body is None:
+            data, content_type = None, None
+        elif self.binary and method == "POST":
+            data, content_type = encode_payload(body), WIRE_CONTENT_TYPE
+        else:
+            data, content_type = json.dumps(body).encode("utf-8"), "application/json"
         request = urllib.request.Request(
             self.base_url + path,
             data=data,
             method=method,
-            headers={"Content-Type": "application/json"} if data else {},
+            headers={"Content-Type": content_type} if data else {},
         )
-        try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as response:
-                return json.loads(response.read().decode("utf-8"))
-        except urllib.error.HTTPError as exc:
-            raw = exc.read().decode("utf-8", errors="replace")
+        attempt = 0
+        while True:
             try:
-                parsed = json.loads(raw)
-            except json.JSONDecodeError:
-                parsed = None
-            if exc.code in tolerate and isinstance(parsed, dict):
-                return parsed
-            message = parsed.get("error", exc.reason) if isinstance(parsed, dict) else exc.reason
-            raise ServiceError(exc.code, message) from None
-        except urllib.error.URLError as exc:
-            raise ServiceError(0, f"cannot reach {self.base_url}: {exc.reason}") from None
+                with self._open(request, timeout=self.timeout) as response:
+                    return json.loads(response.read().decode("utf-8"))
+            except urllib.error.HTTPError as exc:
+                raw = exc.read().decode("utf-8", errors="replace")
+                try:
+                    parsed = json.loads(raw)
+                except json.JSONDecodeError:
+                    parsed = None
+                if exc.code in tolerate and isinstance(parsed, dict):
+                    return parsed
+                message = (
+                    parsed.get("error", exc.reason)
+                    if isinstance(parsed, dict)
+                    else exc.reason
+                )
+                retry_after = exc.headers.get("Retry-After")
+                raise ServiceError(
+                    exc.code,
+                    message,
+                    retry_after=float(retry_after) if retry_after else None,
+                ) from None
+            except (urllib.error.URLError, OSError) as exc:
+                refused = (
+                    isinstance(exc, urllib.error.URLError)
+                    and _is_connection_refused(exc)
+                ) or isinstance(exc, (ConnectionRefusedError, ConnectionResetError))
+                if refused and attempt < self.connect_retries:
+                    time.sleep(self.retry_backoff * (2**attempt))
+                    attempt += 1
+                    continue
+                reason = getattr(exc, "reason", exc)
+                raise ServiceError(
+                    0, f"cannot reach {self.base_url}: {reason}"
+                ) from None
 
     # -- job submission ----------------------------------------------------
 
@@ -179,6 +264,44 @@ class ServiceClient:
                     f"job {job_id} still {record['state']} after {timeout}s"
                 )
             time.sleep(poll_interval)
+
+    # -- streaming ---------------------------------------------------------
+
+    def stream(
+        self, job_id: str, after: int = 0, timeout: float | None = None
+    ) -> Iterator[dict[str, Any]]:
+        """Yield the job's events live until it reaches a terminal state.
+
+        Wraps ``GET /jobs/{id}/events`` (chunked ndjson); each yielded
+        dict has at least ``seq``/``ts``/``type``.  ``after`` resumes a
+        broken stream without replaying delivered events.  ``timeout``
+        bounds the *read gap between events*, not the whole stream — a
+        healthy long solve ticks progress well inside it.
+        """
+        request = urllib.request.Request(
+            f"{self.base_url}/jobs/{job_id}/events?after={after}", method="GET"
+        )
+        try:
+            response = self._open(
+                request, timeout=self.timeout if timeout is None else timeout
+            )
+        except urllib.error.HTTPError as exc:
+            raw = exc.read().decode("utf-8", errors="replace")
+            try:
+                message = json.loads(raw).get("error", exc.reason)
+            except (json.JSONDecodeError, AttributeError):
+                message = exc.reason
+            raise ServiceError(exc.code, message) from None
+        except (urllib.error.URLError, OSError) as exc:
+            reason = getattr(exc, "reason", exc)
+            raise ServiceError(0, f"cannot reach {self.base_url}: {reason}") from None
+        with response:
+            # http.client decodes the chunked framing; readline gives
+            # one ndjson event per call, blocking until it arrives.
+            for line in iter(response.readline, b""):
+                line = line.strip()
+                if line:
+                    yield json.loads(line.decode("utf-8"))
 
     # -- service introspection ---------------------------------------------
 

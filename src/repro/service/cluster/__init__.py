@@ -1,0 +1,55 @@
+"""The cluster tier: persistent job stores, the dispatcher, replicas.
+
+Everything here is optional — a bare ``JobManager`` with no store
+behaves exactly like the single-process service tier it grew out of.
+
+Submodules above :mod:`~repro.service.cluster.store` are loaded
+lazily: the manager imports the store at import time, and the replica
+harness imports the manager, so an eager package init would be a
+cycle.
+"""
+
+from .store import (
+    LIVE_STATES,
+    JobStore,
+    MemoryJobStore,
+    SqliteJobStore,
+    open_store,
+)
+
+_DISPATCHER_NAMES = frozenset(
+    {
+        "ClusterQueueFullError",
+        "Dispatcher",
+        "DispatcherServer",
+        "NoHealthyReplicaError",
+        "Replica",
+        "routing_key",
+        "run_dispatcher",
+    }
+)
+_REPLICA_NAMES = frozenset(
+    {"ClusterHarness", "InProcessReplica", "SubprocessReplica"}
+)
+
+__all__ = [
+    "JobStore",
+    "LIVE_STATES",
+    "MemoryJobStore",
+    "SqliteJobStore",
+    "open_store",
+    *sorted(_DISPATCHER_NAMES),
+    *sorted(_REPLICA_NAMES),
+]
+
+
+def __getattr__(name: str):
+    if name in _DISPATCHER_NAMES:
+        from . import dispatcher
+
+        return getattr(dispatcher, name)
+    if name in _REPLICA_NAMES:
+        from . import replica
+
+        return getattr(replica, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

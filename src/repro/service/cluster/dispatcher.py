@@ -1,0 +1,720 @@
+"""The cluster dispatcher: one front door over N ``serve`` replicas.
+
+Clients talk to the dispatcher exactly as they would to a single
+replica — same routes, same JSON — and the dispatcher:
+
+* **shards by state fingerprint** — the routing key is the fingerprint
+  of the payload's ``state`` document, so every job about one
+  enterprise state (its plan, its refine session, its what-if
+  simulations) lands on the same replica and reuses that replica's warm
+  :class:`~repro.lp.SolveCache` and pinned refine sessions.  Rendezvous
+  (highest-random-weight) hashing keeps the key→replica mapping stable
+  when replicas are evicted or re-added: only keys owned by the dead
+  replica move;
+* **keeps a shared result cache** — fingerprint-keyed results observed
+  from *any* replica are served directly on resubmission, so a plan
+  solved through replica A is a cache hit when resubmitted through the
+  dispatcher even if the shard hash would have sent it to replica B;
+* **applies cluster-level backpressure** — a replica answering 429 is
+  not the end: the job is offered to every other healthy replica once,
+  and only when all of them refuse does the client see 429, with the
+  largest ``Retry-After`` the cluster quoted;
+* **health-gates the replica set** — a background monitor probes
+  ``/healthz``; ``eviction_threshold`` consecutive failures evict a
+  replica from routing, a later successful probe re-adds it.  Reads for
+  jobs owned by a dead replica fall back to any healthy replica and
+  then to the shared job store, so results outlive their replica.
+
+The dispatcher holds no job state of its own beyond the owner map and
+the result cache — restartable at will; the job store is the durable
+tier.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import signal
+import threading
+import time
+import urllib.parse
+from collections import OrderedDict
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Iterable
+
+from ...lp.fingerprint import payload_fingerprint
+from ...telemetry import declare_counters, metrics
+from ..client import ServiceClient, ServiceError
+from ..jobs import CACHEABLE_KINDS, JobKind, new_job_id
+from .store import JobStore, open_store
+
+DISPATCHER_COUNTERS = (
+    "dispatcher.jobs.routed",
+    "dispatcher.jobs.rerouted",
+    "dispatcher.jobs.rejected",
+    "dispatcher.cache.hits",
+    "dispatcher.replicas.evicted",
+    "dispatcher.replicas.readded",
+)
+
+declare_counters(__name__, DISPATCHER_COUNTERS)
+
+#: Terminal job states, as the wire spells them.
+_TERMINAL = ("succeeded", "failed", "cancelled", "timeout")
+
+
+class NoHealthyReplicaError(RuntimeError):
+    """Every replica is down or evicted (maps to HTTP 503)."""
+
+
+class ClusterQueueFullError(RuntimeError):
+    """Every healthy replica refused the job (maps to HTTP 429)."""
+
+    def __init__(self, retry_after: float) -> None:
+        self.retry_after = retry_after
+        super().__init__(
+            f"all replicas are saturated; retry in {retry_after:.0f}s"
+        )
+
+
+class Replica:
+    """One backend ``serve`` process, as the dispatcher sees it."""
+
+    def __init__(self, url: str, client: ServiceClient) -> None:
+        self.url = url.rstrip("/")
+        self.client = client
+        self.healthy = True
+        self.consecutive_failures = 0
+        self.last_error: str | None = None
+        self.last_probe: float | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "url": self.url,
+            "healthy": self.healthy,
+            "consecutive_failures": self.consecutive_failures,
+            "last_error": self.last_error,
+        }
+
+
+def routing_key(kind: JobKind, payload: dict[str, Any]) -> str:
+    """The shard key: the *state* fingerprint when the payload has one.
+
+    Keying on the state document (not the full payload) is what makes
+    affinity useful: a plan, its refinements and its simulations all
+    share the state and therefore the replica — and with it the warm
+    solve cache and the pinned refine session.
+    """
+    state = payload.get("state")
+    if isinstance(state, dict) and state:
+        return payload_fingerprint(state)
+    return payload_fingerprint([kind.value, payload])
+
+
+class Dispatcher:
+    """Routing, caching and failover policy (no HTTP of its own)."""
+
+    def __init__(
+        self,
+        replica_urls: Iterable[str],
+        store: "JobStore | None" = None,
+        store_url: str | None = None,
+        cache_size: int = 256,
+        health_interval: float = 1.0,
+        eviction_threshold: int = 3,
+        client_timeout: float = 30.0,
+    ) -> None:
+        urls = [url.rstrip("/") for url in replica_urls]
+        if not urls:
+            raise ValueError("the dispatcher needs at least one replica URL")
+        if len(set(urls)) != len(urls):
+            raise ValueError("duplicate replica URLs")
+        if cache_size < 0:
+            raise ValueError("cache_size cannot be negative")
+        if health_interval <= 0:
+            raise ValueError("health_interval must be positive")
+        if eviction_threshold < 1:
+            raise ValueError("eviction_threshold must be at least 1")
+        self.replicas = [
+            Replica(
+                url,
+                ServiceClient(
+                    url,
+                    timeout=client_timeout,
+                    # The dispatcher owns retry policy; the per-client
+                    # connection-refused retry would only slow failover.
+                    connect_retries=0,
+                    connect_timeout=min(client_timeout, 2.0),
+                ),
+            )
+            for url in urls
+        ]
+        self._store = store
+        self._owns_store = False
+        if self._store is None and store_url is not None:
+            self._store = open_store(store_url)
+            self._owns_store = True
+        self._lock = threading.RLock()
+        #: job id → owning replica URL (routing for status/result reads).
+        self._owners: dict[str, str] = {}
+        #: Jobs the dispatcher completed itself from the result cache.
+        self._local: dict[str, dict[str, Any]] = {}
+        self._cache: "OrderedDict[str, dict]" = OrderedDict()
+        self._cache_size = cache_size
+        self.cache_hits = 0
+        self._health_interval = health_interval
+        self._eviction_threshold = eviction_threshold
+        self._stop = threading.Event()
+        self._monitor: threading.Thread | None = None
+        self.started_at: float | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "Dispatcher":
+        if self._monitor is not None:
+            raise RuntimeError("dispatcher already started")
+        self.started_at = time.time()
+        self._monitor = threading.Thread(
+            target=self._monitor_loop, name="dispatcher-health", daemon=True
+        )
+        self._monitor.start()
+        return self
+
+    def shutdown(self) -> None:
+        self._stop.set()
+        if self._monitor is not None:
+            self._monitor.join(timeout=5.0)
+            self._monitor = None
+        if self._store is not None and self._owns_store:
+            self._store.close()
+            self._store = None
+
+    def __enter__(self) -> "Dispatcher":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # -- health ------------------------------------------------------------
+
+    def _monitor_loop(self) -> None:
+        while not self._stop.wait(self._health_interval):
+            for replica in self.replicas:
+                self.probe(replica)
+
+    def probe(self, replica: Replica) -> bool:
+        """One health check; updates eviction state, returns liveness."""
+        try:
+            health = replica.client.healthz()
+            ok = health.get("status") in ("ok", "degraded")
+            error = None if ok else f"status {health.get('status')}"
+        except (ServiceError, OSError) as exc:
+            ok, error = False, str(exc)
+        with self._lock:
+            replica.last_probe = time.time()
+            replica.last_error = error
+            if ok:
+                if not replica.healthy:
+                    metrics.increment("dispatcher.replicas.readded")
+                replica.healthy = True
+                replica.consecutive_failures = 0
+            else:
+                replica.consecutive_failures += 1
+                if (
+                    replica.healthy
+                    and replica.consecutive_failures >= self._eviction_threshold
+                ):
+                    replica.healthy = False
+                    metrics.increment("dispatcher.replicas.evicted")
+        return ok
+
+    def _mark_failure(self, replica: Replica, error: str) -> None:
+        """An actual request failed — count it like a failed probe."""
+        with self._lock:
+            replica.last_error = error
+            replica.consecutive_failures += 1
+            if (
+                replica.healthy
+                and replica.consecutive_failures >= self._eviction_threshold
+            ):
+                replica.healthy = False
+                metrics.increment("dispatcher.replicas.evicted")
+
+    def healthy_replicas(self) -> list[Replica]:
+        with self._lock:
+            return [r for r in self.replicas if r.healthy]
+
+    # -- routing -----------------------------------------------------------
+
+    def _ranked(self, key: str) -> list[Replica]:
+        """Healthy replicas by rendezvous weight for ``key``, best first.
+
+        Each (key, replica) pair hashes to an independent weight; the
+        max wins.  Removing a replica only remaps the keys it owned,
+        which is exactly the affinity-preservation property sharded
+        solve caches need.
+        """
+        replicas = self.healthy_replicas()
+        return sorted(
+            replicas,
+            key=lambda r: hashlib.sha256(
+                f"{key}|{r.url}".encode("utf-8")
+            ).digest(),
+            reverse=True,
+        )
+
+    def submit(
+        self,
+        kind: str,
+        payload: dict[str, Any],
+        timeout: float | None = None,
+        max_retries: int | None = None,
+    ) -> dict[str, Any]:
+        """Route one submission; returns the job record dict.
+
+        Raises :class:`ServiceError` (payload rejected by the replica),
+        :class:`ClusterQueueFullError` (every healthy replica answered
+        429) or :class:`NoHealthyReplicaError`.
+        """
+        kind = JobKind(kind)
+        fingerprint = (
+            payload_fingerprint([kind.value, payload])
+            if kind in CACHEABLE_KINDS
+            else None
+        )
+        if fingerprint is not None:
+            with self._lock:
+                cached = self._cache.get(fingerprint)
+                if cached is not None:
+                    self._cache.move_to_end(fingerprint)
+                    self.cache_hits += 1
+                    metrics.increment("dispatcher.cache.hits")
+                    record = {
+                        "id": new_job_id(),
+                        "kind": kind.value,
+                        "state": "succeeded",
+                        "via": "dispatcher-cache",
+                        "fingerprint": fingerprint,
+                        "created_at": time.time(),
+                        "finished_at": time.time(),
+                        "elapsed": 0.0,
+                        "attempts": 0,
+                        "error": None,
+                        "result": dict(cached),
+                    }
+                    self._local[record["id"]] = record
+                    return record
+        key = routing_key(kind, payload)
+        candidates = self._ranked(key)
+        if not candidates:
+            raise NoHealthyReplicaError("no healthy replica to route to")
+        retry_afters: list[float] = []
+        last_error: ServiceError | None = None
+        for position, replica in enumerate(candidates):
+            try:
+                record = replica.client.submit(
+                    kind.value, payload, timeout=timeout, max_retries=max_retries
+                )
+            except ServiceError as exc:
+                if exc.status == 429:
+                    # Saturated, not broken: spill to the next-ranked
+                    # replica (losing affinity beats losing the job).
+                    retry_afters.append(exc.retry_after or 1.0)
+                    last_error = exc
+                    continue
+                if exc.status == 0 or exc.status >= 500:
+                    self._mark_failure(replica, str(exc))
+                    last_error = exc
+                    continue
+                raise  # 4xx: the payload is bad everywhere
+            with self._lock:
+                self._owners[record["id"]] = replica.url
+            metrics.increment("dispatcher.jobs.routed")
+            if position > 0:
+                metrics.increment("dispatcher.jobs.rerouted")
+            self._maybe_cache(record)
+            return record
+        if retry_afters:
+            metrics.increment("dispatcher.jobs.rejected")
+            raise ClusterQueueFullError(max(retry_afters))
+        raise NoHealthyReplicaError(str(last_error or "no replica accepted"))
+
+    def _maybe_cache(self, record: dict[str, Any]) -> None:
+        """Feed the shared cache from any completed record we see."""
+        if (
+            record.get("state") == "succeeded"
+            and record.get("fingerprint")
+            and isinstance(record.get("result"), dict)
+        ):
+            with self._lock:
+                self._cache[record["fingerprint"]] = dict(record["result"])
+                self._cache.move_to_end(record["fingerprint"])
+                while len(self._cache) > self._cache_size:
+                    self._cache.popitem(last=False)
+
+    # -- reads -------------------------------------------------------------
+
+    def _owner(self, job_id: str) -> Replica | None:
+        with self._lock:
+            url = self._owners.get(job_id)
+        if url is None:
+            return None
+        for replica in self.replicas:
+            if replica.url == url:
+                return replica
+        return None
+
+    def _read_candidates(self, job_id: str) -> list[Replica]:
+        """Replicas to ask about a job: owner first, then the rest."""
+        owner = self._owner(job_id)
+        ordered: list[Replica] = []
+        if owner is not None and owner.healthy:
+            ordered.append(owner)
+        ordered.extend(
+            r for r in self.healthy_replicas() if r is not owner
+        )
+        return ordered
+
+    def job(self, job_id: str) -> dict[str, Any] | None:
+        """The job record, from wherever still answers for it."""
+        with self._lock:
+            local = self._local.get(job_id)
+        if local is not None:
+            return dict(local)
+        for replica in self._read_candidates(job_id):
+            try:
+                record = replica.client.job(job_id)
+            except ServiceError as exc:
+                if exc.status == 404:
+                    continue  # this replica genuinely does not know it
+                self._mark_failure(replica, str(exc))
+                continue
+            self._maybe_cache(record)
+            return record
+        if self._store is not None:
+            return self._store.get(job_id)
+        return None
+
+    def cancel(self, job_id: str) -> bool | None:
+        """``True`` cancelled, ``False`` already finished, ``None`` unknown."""
+        with self._lock:
+            local = self._local.get(job_id)
+        if local is not None:
+            return False  # dispatcher-cache jobs are born terminal
+        for replica in self._read_candidates(job_id):
+            try:
+                replica.client.cancel(job_id)
+                return True
+            except ServiceError as exc:
+                if exc.status == 409:
+                    return False
+                if exc.status == 404:
+                    continue
+                self._mark_failure(replica, str(exc))
+                continue
+        if self._store is not None:
+            data = self._store.get(job_id)
+            if data is not None:
+                if data.get("state") in _TERMINAL:
+                    return False
+                self._store.request_cancel(job_id)
+                return True
+        return None
+
+    def events(self, job_id: str, after: int = 0):
+        """``(events, done)`` like the manager's, across the cluster.
+
+        The streaming endpoint polls this; events come from the owner
+        replica when it is up, otherwise from any replica that knows
+        the job, otherwise straight from the shared store.
+        """
+        for replica in self._read_candidates(job_id):
+            try:
+                record = replica.client.job(job_id)
+            except ServiceError as exc:
+                if exc.status == 404:
+                    continue
+                self._mark_failure(replica, str(exc))
+                continue
+            events = self._replica_events(replica, job_id, after)
+            if events is not None:
+                return events, record.get("state") in _TERMINAL
+        with self._lock:
+            local = self._local.get(job_id)
+        if local is not None:
+            return [], True
+        if self._store is not None:
+            data = self._store.get(job_id)
+            if data is not None:
+                events = [
+                    {"seq": seq, **event}
+                    for seq, event in self._store.events(job_id, after)
+                ]
+                return events, data.get("state") in _TERMINAL
+        raise KeyError(job_id)
+
+    def _replica_events(
+        self, replica: Replica, job_id: str, after: int
+    ) -> list[dict] | None:
+        """One non-blocking-ish slurp of a replica's event stream."""
+        events: list[dict] = []
+        try:
+            # The replica closes the stream at terminal state; for live
+            # jobs we only want what is buffered *now*, so read with a
+            # short gap timeout and treat it as end-of-batch.
+            for event in replica.client.stream(job_id, after=after, timeout=0.5):
+                events.append(event)
+        except ServiceError as exc:
+            if exc.status == 404:
+                return None
+            return events or None
+        except OSError:
+            return events  # gap timeout: batch complete
+        return events
+
+    # -- introspection -----------------------------------------------------
+
+    def healthz(self) -> dict[str, Any]:
+        with self._lock:
+            replicas = [r.to_dict() for r in self.replicas]
+        healthy = sum(1 for r in replicas if r["healthy"])
+        return {
+            "status": "ok" if healthy else "down",
+            "role": "dispatcher",
+            "replicas": replicas,
+            "replicas_healthy": healthy,
+            "uptime_seconds": (
+                time.time() - self.started_at if self.started_at else 0.0
+            ),
+        }
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            cache_size = len(self._cache)
+            routed = len(self._owners)
+        counters = {
+            name: value
+            for name, value in metrics.snapshot().items()
+            if name.startswith("dispatcher.")
+        }
+        return {
+            "role": "dispatcher",
+            "jobs_routed": routed,
+            "cache": {"size": cache_size, "hits": self.cache_hits},
+            "counters": counters,
+            "replicas": [r.to_dict() for r in self.replicas],
+        }
+
+
+class DispatcherRequestHandler(BaseHTTPRequestHandler):
+    """The dispatcher's HTTP face — route-compatible with a replica."""
+
+    server_version = "etransform-dispatcher/1.0"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def dispatcher(self) -> Dispatcher:
+        return self.server.dispatcher  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args) -> None:
+        if self.server.verbose:  # type: ignore[attr-defined]
+            super().log_message(format, *args)
+
+    def _send_json(
+        self,
+        status: int,
+        body: dict[str, Any],
+        headers: dict[str, str] | None = None,
+    ) -> None:
+        data = json.dumps(body).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _error(
+        self, status: int, message: str, headers: dict[str, str] | None = None
+    ) -> None:
+        self._send_json(status, {"error": message}, headers=headers)
+
+    def do_GET(self) -> None:  # noqa: N802
+        parts = urllib.parse.urlsplit(self.path)
+        path = parts.path.rstrip("/") or "/"
+        if path == "/healthz":
+            health = self.dispatcher.healthz()
+            self._send_json(200 if health["status"] == "ok" else 503, health)
+        elif path == "/metrics":
+            self._send_json(200, self.dispatcher.stats())
+        elif path.startswith("/jobs/") and path.endswith("/events"):
+            job_id = path.removeprefix("/jobs/").removesuffix("/events")
+            query = urllib.parse.parse_qs(parts.query)
+            try:
+                after = int(query.get("after", ["0"])[0])
+            except ValueError:
+                self._error(400, "query parameter 'after' must be an integer")
+                return
+            self._stream_events(job_id, after)
+        elif path.startswith("/jobs/"):
+            record = self.dispatcher.job(path.removeprefix("/jobs/"))
+            if record is None:
+                self._error(404, "no such job")
+            else:
+                self._send_json(200, record)
+        else:
+            self._error(404, f"no route {self.path!r}")
+
+    def _stream_events(self, job_id: str, after: int) -> None:
+        try:
+            events, done = self.dispatcher.events(job_id, after)
+        except KeyError:
+            self._error(404, "no such job")
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Transfer-Encoding", "chunked")
+        self.send_header("Cache-Control", "no-cache")
+        self.end_headers()
+
+        def chunk(data: bytes) -> None:
+            self.wfile.write(
+                f"{len(data):x}\r\n".encode("ascii") + data + b"\r\n"
+            )
+            self.wfile.flush()
+
+        try:
+            while True:
+                for event in events:
+                    chunk(json.dumps(event).encode("utf-8") + b"\n")
+                    after = max(after, event.get("seq", after))
+                if done:
+                    break
+                time.sleep(0.05)
+                events, done = self.dispatcher.events(job_id, after)
+            chunk(b"")
+        except (BrokenPipeError, ConnectionResetError, KeyError):
+            self.close_connection = True
+
+    def do_POST(self) -> None:  # noqa: N802
+        if self.path.rstrip("/") != "/jobs":
+            self._error(404, f"no route {self.path!r}")
+            return
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        try:
+            body = json.loads(raw) if raw else None
+        except json.JSONDecodeError as exc:
+            self._error(400, f"request body is not valid JSON: {exc.msg}")
+            return
+        if not isinstance(body, dict) or not isinstance(body.get("kind"), str):
+            self._error(400, "request body must be a JSON object with 'kind'")
+            return
+        try:
+            record = self.dispatcher.submit(
+                body["kind"],
+                body.get("payload") or {},
+                timeout=body.get("timeout"),
+                max_retries=body.get("max_retries"),
+            )
+        except ClusterQueueFullError as exc:
+            self._error(
+                429, str(exc), headers={"Retry-After": f"{exc.retry_after:.0f}"}
+            )
+        except NoHealthyReplicaError as exc:
+            self._error(503, str(exc))
+        except ServiceError as exc:
+            self._error(exc.status if 400 <= exc.status < 500 else 502, str(exc))
+        except ValueError as exc:
+            self._error(400, str(exc))
+        else:
+            self._send_json(201, record)
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        if not self.path.startswith("/jobs/"):
+            self._error(404, f"no route {self.path!r}")
+            return
+        job_id = self.path.rstrip("/").removeprefix("/jobs/")
+        cancelled = self.dispatcher.cancel(job_id)
+        if cancelled is None:
+            self._error(404, "no such job")
+        elif cancelled:
+            self._send_json(200, {"cancelled": True})
+        else:
+            self._error(409, "job already finished")
+
+
+class DispatcherServer(ThreadingHTTPServer):
+    daemon_threads = True
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        dispatcher: Dispatcher,
+        verbose: bool = False,
+    ) -> None:
+        super().__init__((host, port), DispatcherRequestHandler)
+        from ..http import register_server_socket
+
+        register_server_socket(self.socket)
+        self.dispatcher = dispatcher
+        self.verbose = verbose
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+def run_dispatcher(
+    replicas: Iterable[str],
+    host: str = "127.0.0.1",
+    port: int = 8079,
+    store_url: str | None = None,
+    cache_size: int = 256,
+    health_interval: float = 1.0,
+    verbose: bool = False,
+    ready_callback=None,
+    install_signal_handlers: bool = True,
+) -> int:
+    """The ``etransform dispatch`` entry point; serves until SIGTERM."""
+    dispatcher = Dispatcher(
+        replicas,
+        store_url=store_url,
+        cache_size=cache_size,
+        health_interval=health_interval,
+    ).start()
+    # Probe synchronously once so routing works before the first tick.
+    for replica in dispatcher.replicas:
+        dispatcher.probe(replica)
+    try:
+        server = DispatcherServer(host, port, dispatcher, verbose=verbose)
+    except OSError as exc:
+        dispatcher.shutdown()
+        print(f"cannot bind {host}:{port}: {exc}")
+        return 1
+
+    if install_signal_handlers:
+        def _request_stop(signum, frame):
+            threading.Thread(target=server.shutdown, daemon=True).start()
+
+        signal.signal(signal.SIGTERM, _request_stop)
+        signal.signal(signal.SIGINT, _request_stop)
+
+    healthy = len(dispatcher.healthy_replicas())
+    print(
+        f"cluster dispatcher listening on {server.url} "
+        f"({healthy}/{len(dispatcher.replicas)} replicas healthy)",
+        flush=True,
+    )
+    if ready_callback is not None:
+        ready_callback(server)
+    try:
+        server.serve_forever(poll_interval=0.1)
+    finally:
+        server.server_close()
+        dispatcher.shutdown()
+        print("cluster dispatcher stopped", flush=True)
+    return 0

@@ -1,0 +1,357 @@
+"""Persistent job stores: any replica can load, serve and finish any job.
+
+PR 4's :class:`~repro.service.manager.JobManager` kept its job table in
+process memory; a replica restart forgot every job it ever ran.  The
+cluster tier replaces that with a pluggable :class:`JobStore`: the
+manager writes every record and lifecycle/progress event through it, so
+a job submitted to one replica is visible — status, result, event
+stream — from every other replica and from the dispatcher, and survives
+the owning replica's death.
+
+Two implementations:
+
+* :class:`MemoryJobStore` — a dict under a lock; the single-process
+  default (and what standalone ``etransform serve`` keeps using).
+* :class:`SqliteJobStore` — one SQLite file in WAL mode shared by every
+  replica on the host.  WAL gives concurrent readers against a single
+  writer, which matches the access pattern exactly: many dispatcher /
+  replica reads, one short write per lifecycle transition.
+
+Records cross the store as wire-encoded blobs
+(:mod:`repro.io.wire` — binary CSC/state arrays, version byte, JSON
+fallback), not JSON text, so persisting a job costs a memcpy rather
+than a serialize-parse round trip of its state payload.
+
+**Claim semantics.**  :meth:`JobStore.claim` is the exactly-once
+primitive: an atomic compare-and-set on the ``claimed_by`` column.  Of
+N replicas (or a restarted replica re-adopting its own backlog) racing
+to claim one job, exactly one wins; everyone else sees ``False`` and
+moves on.  Cancellation across replicas rides the same table: any
+replica may :meth:`request_cancel`; the owning replica polls the flag
+for its running jobs and kills the worker locally.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+import threading
+import time
+from typing import Any, Iterable
+
+from ...io.wire import decode_payload, encode_payload
+
+#: Job states a restarted replica re-adopts from the store (everything
+#: non-terminal; mirrors ``jobs.TERMINAL_STATES`` without the import).
+LIVE_STATES = ("queued", "running", "retrying")
+
+
+class JobStore:
+    """Interface every store implements (see module docstring)."""
+
+    def put(self, record: dict[str, Any], claimed_by: str | None = None) -> None:
+        """Insert (or fully replace) one job record."""
+        raise NotImplementedError
+
+    def update(self, job_id: str, record: dict[str, Any]) -> None:
+        """Replace the stored record for ``job_id`` (state included)."""
+        raise NotImplementedError
+
+    def get(self, job_id: str) -> dict[str, Any] | None:
+        """The stored record, or ``None`` for an unknown id."""
+        raise NotImplementedError
+
+    def list(
+        self,
+        claimed_by: str | None = None,
+        states: Iterable[str] | None = None,
+    ) -> list[dict[str, Any]]:
+        """Stored records, optionally filtered by owner and/or state."""
+        raise NotImplementedError
+
+    def claim(self, job_id: str, owner: str) -> bool:
+        """Atomically claim an unclaimed job; ``True`` for the one winner."""
+        raise NotImplementedError
+
+    def release(self, job_id: str) -> None:
+        """Drop the claim so another replica may adopt the job."""
+        raise NotImplementedError
+
+    def request_cancel(self, job_id: str) -> bool:
+        """Flag the job for cancellation; ``False`` for an unknown id."""
+        raise NotImplementedError
+
+    def cancel_requested(self, job_id: str) -> bool:
+        """Whether some replica flagged this job for cancellation."""
+        raise NotImplementedError
+
+    def append_event(self, job_id: str, event: dict[str, Any]) -> int:
+        """Append one progress/lifecycle event; returns its 1-based seq."""
+        raise NotImplementedError
+
+    def events(self, job_id: str, after: int = 0) -> list[tuple[int, dict]]:
+        """Events with seq > ``after``, in order."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any underlying resources (idempotent)."""
+
+    # -- context manager ----------------------------------------------------
+
+    def __enter__(self) -> "JobStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class MemoryJobStore(JobStore):
+    """The in-process store: exact same contract, no persistence."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._records: dict[str, dict[str, Any]] = {}
+        self._claims: dict[str, str | None] = {}
+        self._cancels: set[str] = set()
+        self._events: dict[str, list[tuple[int, dict]]] = {}
+
+    def put(self, record: dict[str, Any], claimed_by: str | None = None) -> None:
+        job_id = record["id"]
+        with self._lock:
+            self._records[job_id] = dict(record)
+            self._claims[job_id] = claimed_by
+            self._events.setdefault(job_id, [])
+
+    def update(self, job_id: str, record: dict[str, Any]) -> None:
+        with self._lock:
+            if job_id in self._records:
+                self._records[job_id] = dict(record)
+
+    def get(self, job_id: str) -> dict[str, Any] | None:
+        with self._lock:
+            record = self._records.get(job_id)
+            return dict(record) if record is not None else None
+
+    def list(self, claimed_by=None, states=None) -> list[dict[str, Any]]:
+        states = set(states) if states is not None else None
+        with self._lock:
+            return [
+                dict(record)
+                for job_id, record in self._records.items()
+                if (claimed_by is None or self._claims.get(job_id) == claimed_by)
+                and (states is None or record.get("state") in states)
+            ]
+
+    def claim(self, job_id: str, owner: str) -> bool:
+        with self._lock:
+            if job_id not in self._records or self._claims.get(job_id) is not None:
+                return False
+            self._claims[job_id] = owner
+            return True
+
+    def release(self, job_id: str) -> None:
+        with self._lock:
+            if job_id in self._claims:
+                self._claims[job_id] = None
+
+    def request_cancel(self, job_id: str) -> bool:
+        with self._lock:
+            if job_id not in self._records:
+                return False
+            self._cancels.add(job_id)
+            return True
+
+    def cancel_requested(self, job_id: str) -> bool:
+        with self._lock:
+            return job_id in self._cancels
+
+    def append_event(self, job_id: str, event: dict[str, Any]) -> int:
+        with self._lock:
+            events = self._events.setdefault(job_id, [])
+            seq = len(events) + 1
+            events.append((seq, dict(event)))
+            return seq
+
+    def events(self, job_id: str, after: int = 0) -> list[tuple[int, dict]]:
+        with self._lock:
+            return [
+                (seq, dict(event))
+                for seq, event in self._events.get(job_id, [])
+                if seq > after
+            ]
+
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS jobs (
+    id               TEXT PRIMARY KEY,
+    state            TEXT NOT NULL,
+    claimed_by       TEXT,
+    cancel_requested INTEGER NOT NULL DEFAULT 0,
+    updated_at       REAL NOT NULL,
+    record           BLOB NOT NULL
+);
+CREATE TABLE IF NOT EXISTS events (
+    job_id TEXT NOT NULL,
+    seq    INTEGER NOT NULL,
+    data   BLOB NOT NULL,
+    PRIMARY KEY (job_id, seq)
+);
+CREATE INDEX IF NOT EXISTS jobs_by_owner ON jobs (claimed_by, state);
+"""
+
+
+class SqliteJobStore(JobStore):
+    """The shared persistent store: one WAL-mode SQLite file per cluster.
+
+    Connections are per-instance (every replica process and the
+    dispatcher holds its own); SQLite's file locking plus WAL serialize
+    the writers.  All writes are single short transactions, so the
+    5-second busy timeout is orders of magnitude above observed
+    contention.  Thread-safe within a process: one connection guarded
+    by a lock (the store is off every hot path — solves dwarf it).
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._lock = threading.Lock()
+        self._conn = sqlite3.connect(
+            path, timeout=5.0, check_same_thread=False, isolation_level=None
+        )
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        self._conn.executescript(_SCHEMA)
+
+    def put(self, record: dict[str, Any], claimed_by: str | None = None) -> None:
+        blob = encode_payload(record)
+        with self._lock:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO jobs "
+                "(id, state, claimed_by, cancel_requested, updated_at, record) "
+                "VALUES (?, ?, ?, 0, ?, ?)",
+                (record["id"], record["state"], claimed_by, time.time(), blob),
+            )
+
+    def update(self, job_id: str, record: dict[str, Any]) -> None:
+        blob = encode_payload(record)
+        with self._lock:
+            self._conn.execute(
+                "UPDATE jobs SET state = ?, updated_at = ?, record = ? "
+                "WHERE id = ?",
+                (record["state"], time.time(), blob, job_id),
+            )
+
+    def get(self, job_id: str) -> dict[str, Any] | None:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT record FROM jobs WHERE id = ?", (job_id,)
+            ).fetchone()
+        return decode_payload(row[0]) if row is not None else None
+
+    def list(self, claimed_by=None, states=None) -> list[dict[str, Any]]:
+        query = "SELECT record FROM jobs"
+        clauses, params = [], []
+        if claimed_by is not None:
+            clauses.append("claimed_by = ?")
+            params.append(claimed_by)
+        if states is not None:
+            states = list(states)
+            clauses.append(f"state IN ({','.join('?' * len(states))})")
+            params.extend(states)
+        if clauses:
+            query += " WHERE " + " AND ".join(clauses)
+        with self._lock:
+            rows = self._conn.execute(query + " ORDER BY updated_at", params).fetchall()
+        return [decode_payload(row[0]) for row in rows]
+
+    def claim(self, job_id: str, owner: str) -> bool:
+        # The exactly-once primitive: the UPDATE's WHERE clause only
+        # matches an unclaimed row, and SQLite serializes writers, so
+        # concurrent claimants see rowcount 1 for exactly one of them.
+        with self._lock:
+            cursor = self._conn.execute(
+                "UPDATE jobs SET claimed_by = ?, updated_at = ? "
+                "WHERE id = ? AND claimed_by IS NULL",
+                (owner, time.time(), job_id),
+            )
+            return cursor.rowcount == 1
+
+    def release(self, job_id: str) -> None:
+        with self._lock:
+            self._conn.execute(
+                "UPDATE jobs SET claimed_by = NULL, updated_at = ? WHERE id = ?",
+                (time.time(), job_id),
+            )
+
+    def request_cancel(self, job_id: str) -> bool:
+        with self._lock:
+            cursor = self._conn.execute(
+                "UPDATE jobs SET cancel_requested = 1, updated_at = ? WHERE id = ?",
+                (time.time(), job_id),
+            )
+            return cursor.rowcount == 1
+
+    def cancel_requested(self, job_id: str) -> bool:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT cancel_requested FROM jobs WHERE id = ?", (job_id,)
+            ).fetchone()
+        return bool(row and row[0])
+
+    def append_event(self, job_id: str, event: dict[str, Any]) -> int:
+        blob = encode_payload(event)
+        with self._lock:
+            # BEGIN IMMEDIATE takes the write lock up front so the
+            # MAX(seq) read and the INSERT are one atomic step even
+            # against appenders in other processes.
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                row = self._conn.execute(
+                    "SELECT COALESCE(MAX(seq), 0) FROM events WHERE job_id = ?",
+                    (job_id,),
+                ).fetchone()
+                seq = row[0] + 1
+                self._conn.execute(
+                    "INSERT INTO events (job_id, seq, data) VALUES (?, ?, ?)",
+                    (job_id, seq, blob),
+                )
+                self._conn.execute("COMMIT")
+            except BaseException:
+                self._conn.execute("ROLLBACK")
+                raise
+        return seq
+
+    def events(self, job_id: str, after: int = 0) -> list[tuple[int, dict]]:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT seq, data FROM events WHERE job_id = ? AND seq > ? "
+                "ORDER BY seq",
+                (job_id, after),
+            ).fetchall()
+        return [(seq, decode_payload(data)) for seq, data in rows]
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+
+def open_store(url: str | None) -> JobStore:
+    """Open the store a ``store_url`` names.
+
+    ``None`` → :class:`MemoryJobStore`; ``memory://`` likewise;
+    ``sqlite:///path/to/file.db`` (the path is everything after
+    ``sqlite://``) or a bare filesystem path →
+    :class:`SqliteJobStore`.
+    """
+    if url is None or url == "memory://":
+        return MemoryJobStore()
+    if url.startswith("sqlite://"):
+        path = url.removeprefix("sqlite://")
+        if not path:
+            raise ValueError(f"store url {url!r} names no database file")
+        return SqliteJobStore(path)
+    if url.startswith(("http://", "https://")):
+        raise ValueError(f"unsupported store url scheme in {url!r}")
+    directory = os.path.dirname(url)
+    if directory and not os.path.isdir(directory):
+        raise ValueError(f"store directory {directory!r} does not exist")
+    return SqliteJobStore(url)

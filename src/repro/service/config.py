@@ -32,6 +32,20 @@ class ServiceConfig:
     poll_interval: float = 0.02
     #: How long a graceful drain waits for in-flight jobs on shutdown.
     drain_timeout: float = 60.0
+    #: Admission control: submissions are rejected with 429 +
+    #: ``Retry-After`` once this many jobs are queued (``None`` → accept
+    #: everything, the single-process default).
+    max_queue_depth: int | None = None
+    #: Persistent job store shared by every replica (``None`` keeps the
+    #: job table in-process; ``sqlite:///path.db`` or a bare path opens
+    #: the shared SQLite store).
+    store_url: str | None = None
+    #: Stable identity of this replica in the shared store (claims,
+    #: recovery after restart).  ``None`` derives a fresh random id.
+    replica_id: str | None = None
+    #: How often the supervisor polls the shared store for cancellations
+    #: requested through *other* replicas.
+    remote_cancel_interval: float = 0.25
 
     def validated(self) -> "ServiceConfig":
         if self.workers < 1:
@@ -50,6 +64,12 @@ class ServiceConfig:
             )
         if self.poll_interval <= 0:
             raise ValueError("poll_interval must be positive")
+        if self.max_queue_depth is not None and self.max_queue_depth < 1:
+            raise ValueError(
+                "max_queue_depth must be at least 1 (or None for no limit)"
+            )
+        if self.remote_cancel_interval <= 0:
+            raise ValueError("remote_cancel_interval must be positive")
         return self
 
     def replace(self, **changes) -> "ServiceConfig":

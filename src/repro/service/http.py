@@ -6,30 +6,79 @@ Routes::
                            "timeout": s?, "max_retries": n?}   → 201 job
     GET    /jobs          list of job summaries (no result bodies)
     GET    /jobs/{id}     full job record, result included       → 200/404
+    GET    /jobs/{id}/events   chunked ndjson event stream
+                          (?after=N resumes mid-stream)          → 200/404
     DELETE /jobs/{id}     cancel                                 → 200/404/409
     GET    /healthz       liveness + worker census               → 200/503
     GET    /metrics       queues, jobs by state, cache, solve-time
                           histograms, telemetry counters         → 200
 
 Errors are JSON too: ``{"error": "..."}`` with 400 for malformed
-requests, 404 for unknown ids, 409 for cancelling a finished job and
-503 while draining.  Built on :class:`http.server.ThreadingHTTPServer`
-— requests are cheap bookkeeping; all heavy lifting happens on the
-worker pool, so thread-per-request is plenty.
+requests, 404 for unknown ids, 409 for cancelling a finished job, 429
+with a ``Retry-After`` header when admission control rejects a
+submission, and 503 while draining.  ``POST /jobs`` bodies may be
+JSON or the compact binary wire format (``Content-Type:
+application/x-etransform-wire``, :mod:`repro.io.wire`).  Built on
+:class:`http.server.ThreadingHTTPServer` — requests are cheap
+bookkeeping; all heavy lifting happens on the worker pool, so
+thread-per-request is plenty (the event stream ties up one thread per
+watcher, all of them blocked in short sleeps).
 """
 
 from __future__ import annotations
 
 import json
+import os
 import signal
 import threading
+import time
+import urllib.parse
+import weakref
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 
+from ..io.wire import WIRE_CONTENT_TYPE, WireFormatError, decode_payload
 from .config import ServiceConfig
 from .executor import PayloadError
 from .jobs import JobState
-from .manager import JobManager, ServiceUnavailableError, UnknownJobError
+from .manager import (
+    JobManager,
+    QueueFullError,
+    ServiceUnavailableError,
+    UnknownJobError,
+)
+
+#: How often the event stream re-polls the manager for fresh events.
+STREAM_POLL_INTERVAL = 0.05
+
+#: Listening sockets to close in forked children (see below).
+_LISTENING_SOCKETS: "weakref.WeakSet" = weakref.WeakSet()
+_FORK_HOOK = threading.Event()
+
+
+def _close_listeners_in_child() -> None:  # pragma: no cover - runs post-fork
+    for sock in list(_LISTENING_SOCKETS):
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+
+def register_server_socket(sock) -> None:
+    """Make ``sock`` die with any forked child (solver workers).
+
+    ``fork`` copies the whole FD table, so a worker forked while some
+    *other* replica's HTTP server is listening in this process keeps
+    that listening socket alive after the replica closes it — the port
+    then accepts connections into a backlog nothing ever drains, and
+    clients hang instead of getting the prompt connection-refused the
+    failover path relies on.  Closing every registered listener in the
+    ``after_in_child`` fork hook restores honest death semantics.
+    """
+    if not _FORK_HOOK.is_set():
+        _FORK_HOOK.set()
+        os.register_at_fork(after_in_child=_close_listeners_in_child)
+    _LISTENING_SOCKETS.add(sock)
 
 
 class PlanningRequestHandler(BaseHTTPRequestHandler):
@@ -46,35 +95,68 @@ class PlanningRequestHandler(BaseHTTPRequestHandler):
         if self.server.verbose:  # type: ignore[attr-defined]
             super().log_message(format, *args)
 
-    def _send_json(self, status: int, body: dict[str, Any]) -> None:
+    def _send_json(
+        self,
+        status: int,
+        body: dict[str, Any],
+        headers: dict[str, str] | None = None,
+    ) -> None:
         data = json.dumps(body).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(data)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(data)
 
-    def _error(self, status: int, message: str) -> None:
-        self._send_json(status, {"error": message})
+    def _error(
+        self, status: int, message: str, headers: dict[str, str] | None = None
+    ) -> None:
+        self._send_json(status, {"error": message}, headers=headers)
 
     def _read_body(self) -> dict[str, Any]:
         length = int(self.headers.get("Content-Length") or 0)
         raw = self.rfile.read(length) if length else b""
         if not raw:
             raise PayloadError("request body must be a JSON object")
-        try:
-            body = json.loads(raw)
-        except json.JSONDecodeError as exc:
-            raise PayloadError(f"request body is not valid JSON: {exc.msg}") from exc
+        content_type = (self.headers.get("Content-Type") or "").split(";")[0].strip()
+        if content_type == WIRE_CONTENT_TYPE:
+            try:
+                body = decode_payload(raw)
+            except WireFormatError as exc:
+                raise PayloadError(f"malformed wire body: {exc}") from exc
+        else:
+            try:
+                body = json.loads(raw)
+            except json.JSONDecodeError as exc:
+                raise PayloadError(
+                    f"request body is not valid JSON: {exc.msg}"
+                ) from exc
         if not isinstance(body, dict):
             raise PayloadError("request body must be a JSON object")
         return body
 
+    def _write_chunk(self, data: bytes) -> None:
+        """One HTTP/1.1 chunk; an empty ``data`` terminates the stream."""
+        self.wfile.write(f"{len(data):x}\r\n".encode("ascii") + data + b"\r\n")
+        self.wfile.flush()
+
     # -- routes ------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
-        path = self.path.rstrip("/") or "/"
-        if path == "/healthz":
+        parts = urllib.parse.urlsplit(self.path)
+        path = parts.path.rstrip("/") or "/"
+        if path.startswith("/jobs/") and path.endswith("/events"):
+            job_id = path.removeprefix("/jobs/").removesuffix("/events")
+            query = urllib.parse.parse_qs(parts.query)
+            try:
+                after = int(query.get("after", ["0"])[0])
+            except ValueError:
+                self._error(400, "query parameter 'after' must be an integer")
+                return
+            self._stream_events(job_id, after)
+        elif path == "/healthz":
             health = self.manager.healthz()
             self._send_json(200 if health["status"] == "ok" else 503, health)
         elif path == "/metrics":
@@ -99,6 +181,39 @@ class PlanningRequestHandler(BaseHTTPRequestHandler):
         else:
             self._error(404, f"no route {self.path!r}")
 
+    def _stream_events(self, job_id: str, after: int) -> None:
+        """``GET /jobs/{id}/events``: chunked ndjson until terminal.
+
+        One JSON event per line, flushed as it happens, so a watcher
+        sees queue/dispatch transitions and solver progress ticks live.
+        The stream closes itself once the job reaches a terminal state
+        (the final ``state`` event is always delivered first).
+        """
+        try:
+            events, done = self.manager.events(job_id, after)
+        except UnknownJobError:
+            self._error(404, "no such job")
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Transfer-Encoding", "chunked")
+        self.send_header("Cache-Control", "no-cache")
+        self.end_headers()
+        try:
+            while True:
+                for event in events:
+                    self._write_chunk(json.dumps(event).encode("utf-8") + b"\n")
+                    after = max(after, event["seq"])
+                if done:
+                    break
+                time.sleep(STREAM_POLL_INTERVAL)
+                events, done = self.manager.events(job_id, after)
+            self._write_chunk(b"")
+        except (BrokenPipeError, ConnectionResetError, UnknownJobError):
+            # Watcher went away (or the record was evicted mid-stream);
+            # nothing to clean up beyond this request thread.
+            self.close_connection = True
+
     def do_POST(self) -> None:  # noqa: N802
         if self.path.rstrip("/") != "/jobs":
             self._error(404, f"no route {self.path!r}")
@@ -113,6 +228,10 @@ class PlanningRequestHandler(BaseHTTPRequestHandler):
                 body.get("payload") or {},
                 timeout=body.get("timeout"),
                 max_retries=body.get("max_retries"),
+            )
+        except QueueFullError as exc:
+            self._error(
+                429, str(exc), headers={"Retry-After": f"{exc.retry_after:.0f}"}
             )
         except ServiceUnavailableError as exc:
             self._error(503, str(exc))
@@ -143,6 +262,7 @@ class PlanningServer(ThreadingHTTPServer):
 
     def __init__(self, config: ServiceConfig, manager: JobManager, verbose: bool = False):
         super().__init__((config.host, config.port), PlanningRequestHandler)
+        register_server_socket(self.socket)
         self.manager = manager
         self.verbose = verbose
 

@@ -117,6 +117,12 @@ class JobRecord:
     error: str | None = None
     #: Refine jobs: the session this job belongs to (worker affinity).
     session: str | None = None
+    #: Replica that owns (claimed) this job in the cluster store.
+    replica: str | None = None
+    #: Lifecycle + solver-progress events, in seq order (what
+    #: ``GET /jobs/{id}/events`` streams).  Bounded by
+    #: :data:`MAX_EVENT_BUFFER`; the job store keeps the full stream.
+    events: list[dict[str, Any]] = field(default_factory=list)
 
     def transition(self, new_state: JobState) -> None:
         """Move to ``new_state``, enforcing the lifecycle table."""
@@ -152,7 +158,48 @@ class JobRecord:
             "elapsed": self.elapsed,
             "error": self.error,
             "session": self.session,
+            "replica": self.replica,
         }
         if include_result:
             record["result"] = self.result
         return record
+
+    def to_store_dict(self) -> dict[str, Any]:
+        """The full persistent view: public record plus the payload."""
+        record = self.to_dict(include_result=True)
+        record["payload"] = self.payload
+        return record
+
+    @classmethod
+    def from_store_dict(cls, data: dict[str, Any]) -> "JobRecord":
+        """Rebuild a record persisted by :meth:`to_store_dict`.
+
+        The lifecycle table is bypassed deliberately: the stored state
+        is a fact, not a transition.
+        """
+        record = cls(
+            kind=JobKind(data["kind"]),
+            payload=data.get("payload") or {},
+            id=data["id"],
+        )
+        record.state = JobState(data["state"])
+        record.created_at = data.get("created_at", record.created_at)
+        record.started_at = data.get("started_at")
+        record.finished_at = data.get("finished_at")
+        record.attempts = data.get("attempts", 0)
+        record.max_retries = data.get("max_retries", 0)
+        record.timeout = data.get("timeout")
+        record.fingerprint = data.get("fingerprint")
+        record.via = data.get("via")
+        record.elapsed = data.get("elapsed")
+        record.result = data.get("result")
+        record.error = data.get("error")
+        record.session = data.get("session")
+        record.replica = data.get("replica")
+        return record
+
+
+#: In-memory cap on per-job buffered events; at the worker's 0.2 s
+#: progress throttle this covers solves into the hours, and the store
+#: keeps everything regardless.
+MAX_EVENT_BUFFER = 512

@@ -31,16 +31,20 @@ import sys
 import threading
 import time
 import traceback
+import uuid
 from collections import OrderedDict, deque
 from typing import Any
 
 from ..io.serialization import append_jsonl, read_jsonl
 from ..lp.fingerprint import payload_fingerprint
 from ..telemetry import declare_counters, metrics
+from .cluster.store import JobStore, open_store
 from .config import ServiceConfig
 from .executor import PayloadError, validate_payload
 from .jobs import (
     CACHEABLE_KINDS,
+    MAX_EVENT_BUFFER,
+    TERMINAL_STATES,
     JobKind,
     JobRecord,
     JobState,
@@ -58,6 +62,10 @@ SERVICE_COUNTERS = (
     "service.workers.restarts",
     "service.cache.hits",
     "service.cache.misses",
+    "service.jobs.rejected",
+    "service.jobs.recovered",
+    "service.jobs.remote_cancelled",
+    "service.progress.events",
 )
 
 declare_counters(__name__, SERVICE_COUNTERS)
@@ -67,6 +75,21 @@ class ServiceUnavailableError(RuntimeError):
     """The manager is draining/stopped and accepts no new jobs."""
 
 
+class QueueFullError(RuntimeError):
+    """Admission control rejected the job (maps to HTTP 429).
+
+    ``retry_after`` estimates, in seconds, when the queue should have
+    drained enough to try again (the ``Retry-After`` header value).
+    """
+
+    def __init__(self, depth: int, limit: int, retry_after: float) -> None:
+        self.retry_after = retry_after
+        super().__init__(
+            f"job queue is full ({depth} queued, limit {limit}); "
+            f"retry in {retry_after:.0f}s"
+        )
+
+
 class UnknownJobError(KeyError):
     """No job with that id (maps to HTTP 404)."""
 
@@ -74,8 +97,13 @@ class UnknownJobError(KeyError):
 class JobManager:
     """Accepts jobs, runs them on the worker pool, remembers everything."""
 
-    def __init__(self, config: ServiceConfig | None = None) -> None:
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        store: JobStore | None = None,
+    ) -> None:
         self.config = (config or ServiceConfig()).validated()
+        self.replica_id = self.config.replica_id or f"replica-{uuid.uuid4().hex[:8]}"
         self._lock = threading.RLock()
         self._jobs: dict[str, JobRecord] = {}
         #: Min-heap of (ready_at, sequence, job_id); cancelled entries are
@@ -89,13 +117,65 @@ class JobManager:
         self.cache_hits = 0
         self.cache_misses = 0
         self._pool: WorkerPool | None = None
+        #: Shared persistent job store (cluster mode); ``None`` keeps
+        #: the PR-4 in-process behavior byte for byte.
+        self._store: JobStore | None = store
+        self._owns_store = False
+        if self._store is None and self.config.store_url is not None:
+            self._store = open_store(self.config.store_url)
+            self._owns_store = True
+        #: EWMA of successful-attempt seconds — the Retry-After estimate.
+        self._avg_job_seconds = 1.0
+        self._last_cancel_poll = 0.0
         self._journal = None
         if self.config.journal_path:
+            # Replay what an earlier incarnation journalled *before*
+            # reopening the file for append, so restarts keep answering
+            # for recently finished jobs (bounded by job_history_limit).
+            self._replay_journal(self.config.journal_path)
             self._journal = open(self.config.journal_path, "a", encoding="utf-8")
         self._stop = threading.Event()
         self._accepting = False
         self._supervisor: threading.Thread | None = None
         self.started_at: float | None = None
+
+    def _replay_journal(self, path: str) -> None:
+        """Resurrect recently finished jobs from an existing journal.
+
+        Only *terminal* records come back (a journal says nothing about
+        payloads, so a queued/running entry cannot be re-dispatched from
+        it — cluster mode recovers those from the job store instead),
+        and only the newest ``job_history_limit`` of them: replaying a
+        journal longer than the limit must not resurrect jobs the
+        previous incarnation had already evicted.
+        """
+        terminal_names = {state.value for state in TERMINAL_STATES}
+        final: "OrderedDict[str, dict]" = OrderedDict()
+        for entry in read_jsonl(path):
+            job_id = entry.get("job")
+            if job_id is None or entry.get("state") not in terminal_names:
+                continue
+            final[job_id] = entry
+            final.move_to_end(job_id)
+        limit = self.config.job_history_limit
+        entries = list(final.values())
+        if limit is not None:
+            entries = entries[-limit:]
+        for entry in entries:
+            record = JobRecord.from_store_dict(
+                {
+                    "id": entry["job"],
+                    "kind": entry.get("kind", "plan"),
+                    "state": entry["state"],
+                    "attempts": entry.get("attempts", 0),
+                    "error": entry.get("error"),
+                    "via": entry.get("via"),
+                    "created_at": entry.get("ts"),
+                    "finished_at": entry.get("ts"),
+                }
+            )
+            self._jobs[record.id] = record
+            self._history.append(record.id)
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -106,12 +186,43 @@ class JobManager:
         self._pool = WorkerPool(self.config.workers)
         self._accepting = True
         self.started_at = time.time()
+        if self._store is not None:
+            self._recover_from_store()
         self._supervisor = threading.Thread(
             target=self._supervise, name="planning-supervisor", daemon=True
         )
         self._supervisor.start()
         self._log_event(event="service_started", workers=self.config.workers)
         return self
+
+    def _recover_from_store(self) -> None:
+        """Re-queue this replica's unfinished jobs after a restart.
+
+        The store persisted every payload at submit time, so jobs that
+        were queued or mid-solve when the previous incarnation died are
+        simply dispatched again — the restart acceptance path: a job
+        submitted to any replica stays retrievable *and completable*
+        through the cluster after that replica restarts.
+        """
+        from .cluster.store import LIVE_STATES
+
+        with self._lock:
+            for data in self._store.list(
+                claimed_by=self.replica_id, states=LIVE_STATES
+            ):
+                if data["id"] in self._jobs:
+                    continue
+                record = JobRecord.from_store_dict(data)
+                record.state = JobState.QUEUED
+                record.replica = self.replica_id
+                self._jobs[record.id] = record
+                self._store_sync(record)
+                self._append_event(
+                    record, {"type": "state", "state": "queued", "recovered": True}
+                )
+                metrics.increment("service.jobs.recovered")
+                self._log_job(record, event="recovered")
+                self._push(record, ready_at=time.monotonic())
 
     def __enter__(self) -> "JobManager":
         return self.start()
@@ -154,6 +265,9 @@ class JobManager:
         if self._journal is not None:
             self._journal.close()
             self._journal = None
+        if self._store is not None and self._owns_store:
+            self._store.close()
+            self._store = None
         return drained
 
     # -- public job API ----------------------------------------------------
@@ -204,11 +318,20 @@ class JobManager:
                 raise ServiceUnavailableError(
                     "the planning service is draining and accepts no new jobs"
                 )
+            cached = (
+                self._cache.get(record.fingerprint)
+                if record.fingerprint is not None
+                else None
+            )
+            if cached is None:
+                self._check_admission()
+            record.replica = self.replica_id
             self._jobs[record.id] = record
             metrics.increment("service.jobs.submitted")
             self._log_job(record, event="submitted")
+            self._store_put(record)
+            self._append_event(record, {"type": "state", "state": "queued"})
             if record.fingerprint is not None:
-                cached = self._cache.get(record.fingerprint)
                 if cached is not None:
                     self._cache.move_to_end(record.fingerprint)
                     self.cache_hits += 1
@@ -223,16 +346,76 @@ class JobManager:
             self._push(record, ready_at=time.monotonic())
         return record
 
+    def _check_admission(self) -> None:
+        """Backpressure: reject once the queue is deeper than configured.
+
+        Called under the manager lock, before the record enters the
+        table.  The Retry-After estimate assumes the pool keeps its
+        recent pace: ``depth / workers`` jobs ahead of the caller per
+        worker, each costing about the EWMA attempt time.
+        """
+        limit = self.config.max_queue_depth
+        if limit is None:
+            return
+        depth = self._queue_depth()
+        if depth < limit:
+            return
+        retry_after = min(
+            120.0,
+            max(1.0, depth * self._avg_job_seconds / self.config.workers),
+        )
+        metrics.increment("service.jobs.rejected")
+        self._log_event(event="rejected", queue_depth=depth, limit=limit)
+        raise QueueFullError(depth, limit, retry_after)
+
     def get(self, job_id: str) -> JobRecord:
         with self._lock:
-            try:
-                return self._jobs[job_id]
-            except KeyError:
-                raise UnknownJobError(job_id) from None
+            record = self._jobs.get(job_id)
+        if record is not None:
+            return record
+        # Not (or no longer) in this replica's table: the shared store
+        # still answers for evicted history and for jobs owned by other
+        # replicas — the detached record is a read-only snapshot.
+        if self._store is not None:
+            data = self._store.get(job_id)
+            if data is not None:
+                return JobRecord.from_store_dict(data)
+        raise UnknownJobError(job_id)
 
     def jobs(self) -> list[JobRecord]:
         with self._lock:
             return list(self._jobs.values())
+
+    def events(self, job_id: str, after: int = 0) -> tuple[list[dict], bool]:
+        """Events with ``seq > after`` plus whether the job is terminal.
+
+        The streaming endpoint polls this; ``done=True`` tells it the
+        stream is complete.  Local records answer from the in-memory
+        buffer; anything else falls back to the shared store.
+        """
+        with self._lock:
+            record = self._jobs.get(job_id)
+            if record is not None:
+                fresh = [e for e in record.events if e["seq"] > after]
+                # The buffer is bounded: if the oldest retained event is
+                # already past `after`, the gap lives only in the store.
+                if (
+                    self._store is not None
+                    and record.events
+                    and record.events[0]["seq"] > after + 1
+                ):
+                    fresh = None
+                else:
+                    return fresh, record.done
+        if self._store is None:
+            raise UnknownJobError(job_id)
+        data = self._store.get(job_id)
+        if data is None:
+            raise UnknownJobError(job_id)
+        events = [
+            {"seq": seq, **event} for seq, event in self._store.events(job_id, after)
+        ]
+        return events, JobState(data["state"]) in TERMINAL_STATES
 
     def cancel(self, job_id: str) -> bool:
         """Cancel a job; ``False`` when it already reached a terminal state.
@@ -243,16 +426,29 @@ class JobManager:
         is not enough.
         """
         with self._lock:
-            record = self.get(job_id)
-            if record.done:
-                return False
-            if record.state is JobState.RUNNING:
-                worker = self._worker_running(job_id)
-                if worker is not None:
-                    self._replace_worker(worker)
-            record.via = None
-            self._finish(record, JobState.CANCELLED)
-            return True
+            record = self._jobs.get(job_id)
+            if record is not None:
+                if record.done:
+                    return False
+                if record.state is JobState.RUNNING:
+                    worker = self._worker_running(job_id)
+                    if worker is not None:
+                        self._replace_worker(worker)
+                record.via = None
+                self._finish(record, JobState.CANCELLED)
+                return True
+        # A job this replica does not hold: flag it in the shared store;
+        # the owning replica's supervisor polls the flag and kills the
+        # worker locally (cancellation across replicas).
+        if self._store is not None:
+            data = self._store.get(job_id)
+            if data is not None:
+                if JobState(data["state"]) in TERMINAL_STATES:
+                    return False
+                self._store.request_cancel(job_id)
+                self._log_event(event="cancel_requested", job=job_id)
+                return True
+        raise UnknownJobError(job_id)
 
     def wait(self, job_id: str, timeout: float = 60.0) -> JobRecord:
         """Block until ``job_id`` is terminal (test/CLI convenience)."""
@@ -278,6 +474,9 @@ class JobManager:
                 "accepting": self._accepting,
                 "workers_alive": alive,
                 "workers_expected": expected,
+                "replica_id": self.replica_id,
+                "queue_depth": self._queue_depth(),
+                "max_queue_depth": self.config.max_queue_depth,
                 "uptime_seconds": (
                     time.time() - self.started_at if self.started_at else 0.0
                 ),
@@ -342,13 +541,53 @@ class JobManager:
             self._drain_results()
             self._reap_dead_workers()
             self._enforce_deadlines()
+            self._check_remote_cancels()
             self._dispatch_ready()
             metrics.gauge("service.queue.depth").set(self._queue_depth())
             metrics.gauge("service.jobs.inflight").set(self._pool.busy_count)
 
+    def _check_remote_cancels(self) -> None:
+        """Honor cancellations requested through *other* replicas.
+
+        Any replica (or the dispatcher) can flag a job in the shared
+        store; only the owning replica can actually stop it — by the
+        same worker-kill path a local DELETE uses.  Polled at
+        ``remote_cancel_interval`` over this replica's live jobs only,
+        so the store sees a handful of point reads per interval.
+        """
+        if self._store is None:
+            return
+        now = time.monotonic()
+        if now - self._last_cancel_poll < self.config.remote_cancel_interval:
+            return
+        self._last_cancel_poll = now
+        for record in list(self._jobs.values()):
+            if record.done:
+                continue
+            try:
+                flagged = self._store.cancel_requested(record.id)
+            except Exception:  # pragma: no cover - store outage tolerated
+                return
+            if not flagged:
+                continue
+            if record.state is JobState.RUNNING:
+                worker = self._worker_running(record.id)
+                if worker is not None:
+                    self._replace_worker(worker)
+            record.via = None
+            metrics.increment("service.jobs.remote_cancelled")
+            self._finish(record, JobState.CANCELLED)
+
     def _drain_results(self) -> None:
         for message in self._pool.poll_results():
             worker_id, job_id, status, body, elapsed = message
+            if status == "progress":
+                # A mid-solve tick, not a completion: the worker stays
+                # busy; file the tick under the running job's stream.
+                record = self._jobs.get(job_id)
+                if record is not None and record.state is JobState.RUNNING:
+                    self._append_event(record, {"type": "progress", **body})
+                continue
             worker = next(
                 (w for w in self._pool.workers if w.worker_id == worker_id), None
             )
@@ -362,6 +601,10 @@ class JobManager:
                 record.result = body
                 record.via = "solve"
                 record.elapsed = elapsed
+                # Feed the Retry-After estimate (EWMA of attempt time).
+                self._avg_job_seconds = (
+                    0.8 * self._avg_job_seconds + 0.2 * max(elapsed, 0.01)
+                )
                 backend = body.get("backend", "auto") if isinstance(body, dict) else "auto"
                 metrics.observe(f"service.job_seconds.{backend}", elapsed)
                 if record.fingerprint is not None:
@@ -451,6 +694,11 @@ class JobManager:
             worker.sessions.add(record.session)
         worker.send(record.id, record.kind, record.payload)
         self._log_job(record, event="dispatched", worker=worker.worker_id)
+        self._store_sync(record)
+        self._append_event(
+            record,
+            {"type": "state", "state": "running", "attempt": record.attempts},
+        )
 
     def _replace_worker(self, worker: WorkerHandle) -> None:
         self._pool.restart(worker)
@@ -483,6 +731,13 @@ class JobManager:
         record.transition(state)
         metrics.increment(f"service.jobs.{state.value}")
         self._log_job(record, event=state.value)
+        self._store_sync(record)
+        terminal_event: dict[str, Any] = {"type": "state", "state": state.value}
+        if record.via is not None:
+            terminal_event["via"] = record.via
+        if record.error is not None:
+            terminal_event["error"] = record.error
+        self._append_event(record, terminal_event)
         # Bound in-memory retention: terminal records (and their payload
         # + result bodies) are evicted oldest-first past the configured
         # limit; the journal keeps the permanent audit trail.
@@ -491,6 +746,48 @@ class JobManager:
         if limit is not None:
             while len(self._history) > limit:
                 self._jobs.pop(self._history.popleft(), None)
+
+    def _store_put(self, record: JobRecord) -> None:
+        """First write of a record to the shared store (claimed by us)."""
+        if self._store is None:
+            return
+        try:
+            self._store.put(record.to_store_dict(), claimed_by=self.replica_id)
+        except Exception:  # pragma: no cover - store outage must not kill jobs
+            self._log_event(event="store_error", op="put", job=record.id)
+
+    def _store_sync(self, record: JobRecord) -> None:
+        """Mirror a record's current state into the shared store."""
+        if self._store is None:
+            return
+        try:
+            self._store.update(record.id, record.to_store_dict())
+        except Exception:  # pragma: no cover - store outage must not kill jobs
+            self._log_event(event="store_error", op="update", job=record.id)
+
+    def _append_event(self, record: JobRecord, event: dict[str, Any]) -> None:
+        """File one event under the job: in-memory buffer + store stream.
+
+        The embedded ``seq`` is what streaming clients resume from
+        (``?after=<seq>``); it is dense per job and identical between
+        the in-memory buffer and the store.
+        """
+        data = {"ts": time.time(), **event}
+        seq = None
+        if self._store is not None:
+            # The store is the seq authority — a recovered job's stream
+            # continues from where the previous incarnation left it.
+            try:
+                seq = self._store.append_event(record.id, data)
+            except Exception:  # pragma: no cover - store outage tolerated
+                self._log_event(event="store_error", op="event", job=record.id)
+        if seq is None:
+            seq = record.events[-1]["seq"] + 1 if record.events else 1
+        record.events.append({"seq": seq, **data})
+        if len(record.events) > MAX_EVENT_BUFFER:
+            del record.events[: len(record.events) - MAX_EVENT_BUFFER]
+        if event.get("type") == "progress":
+            metrics.increment("service.progress.events")
 
     def _log_job(self, record: JobRecord, event: str, **extra: Any) -> None:
         self._log_event(

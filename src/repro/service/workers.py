@@ -24,11 +24,16 @@ import multiprocessing
 import signal
 from typing import Any
 
+from ..telemetry import set_progress_sink
 from .executor import execute_job
 from .jobs import JobKind
 
 #: Message sent to a worker inbox to make it exit its loop.
 STOP = None
+
+#: Ticks inside this window are dropped before they reach the result
+#: pipe — a hot branch-and-bound loop must not flood the manager.
+PROGRESS_MIN_INTERVAL = 0.2
 
 
 def _mp_context():
@@ -55,6 +60,13 @@ def worker_main(worker_id: int, inbox, results) -> None:
         if message is STOP:
             break
         job_id, kind, payload = message
+
+        def forward_tick(event: dict, _job_id: str = job_id) -> None:
+            # Rides the same private pipe as the final result; the
+            # manager files it under the running job's event stream.
+            results.send((worker_id, _job_id, "progress", event, 0.0))
+
+        set_progress_sink(forward_tick, min_interval=PROGRESS_MIN_INTERVAL)
         try:
             result, elapsed = execute_job(JobKind(kind), payload, sessions)
             results.send((worker_id, job_id, "ok", result, elapsed))
@@ -62,6 +74,8 @@ def worker_main(worker_id: int, inbox, results) -> None:
             results.send(
                 (worker_id, job_id, "error", f"{type(exc).__name__}: {exc}", 0.0)
             )
+        finally:
+            set_progress_sink(None)
 
 
 class WorkerHandle:

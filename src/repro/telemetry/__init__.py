@@ -22,6 +22,7 @@ from .counters import (
     declared_counters,
     metrics,
 )
+from .progress import emit_progress, progress_enabled, set_progress_sink
 from .stats import GapPoint, SolveStats
 from .trace import (
     TraceWriter,
@@ -44,10 +45,13 @@ __all__ = [
     "TraceWriter",
     "declare_counters",
     "declared_counters",
+    "emit_progress",
     "emit_record",
     "get_trace",
     "metrics",
+    "progress_enabled",
     "record_solve",
+    "set_progress_sink",
     "set_trace",
     "trace_enabled",
     "trace_to",

@@ -1,0 +1,75 @@
+"""Mid-solve progress ticks: the telemetry feed behind job streaming.
+
+:class:`~repro.telemetry.stats.SolveStats` describes a solve after the
+fact; this module is the *live* counterpart.  Long-running engines call
+:func:`emit_progress` at natural checkpoints — branch-and-bound gap
+points, decomposition master rounds — with a small JSON-able dict.  By
+default that is a no-op costing one global read, so library users pay
+nothing.  A host that wants the feed installs a sink callable
+(:func:`set_progress_sink`); the planning-service worker installs one
+that forwards ticks over its result pipe, which is how
+``GET /jobs/<id>/events`` streams SolveStats ticks to HTTP clients.
+
+Throttling lives here, not in the engines: a sink is installed with a
+``min_interval`` and ticks inside the window are dropped, so a hot
+branch-and-bound loop cannot flood a pipe no matter how often it calls
+in.  Sinks must never raise into the solver; exceptions are swallowed
+(a broken pipe must not fail the solve whose progress it was
+reporting).
+
+Like the rest of :mod:`repro.telemetry`, this imports nothing from the
+library above it.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Any, Callable
+
+_sink: Callable[[dict[str, Any]], None] | None = None
+_min_interval: float = 0.0
+_last_emit: float = 0.0
+
+
+def set_progress_sink(
+    sink: Callable[[dict[str, Any]], None] | None,
+    min_interval: float = 0.0,
+) -> None:
+    """Install (or clear, with ``None``) the process-wide progress sink.
+
+    ``min_interval`` throttles: ticks arriving within that many seconds
+    of the previously delivered one are dropped.
+    """
+    global _sink, _min_interval, _last_emit
+    _sink = sink
+    _min_interval = max(0.0, min_interval)
+    _last_emit = 0.0
+
+
+def progress_enabled() -> bool:
+    return _sink is not None
+
+
+def emit_progress(event: dict[str, Any]) -> None:
+    """Deliver one tick to the sink; no-op when none is installed.
+
+    Non-finite floats are mapped to ``None`` (ticks end up in strict-
+    JSON streams); sink exceptions are swallowed.
+    """
+    global _last_emit
+    sink = _sink
+    if sink is None:
+        return
+    now = time.monotonic()
+    if _min_interval and now - _last_emit < _min_interval:
+        return
+    _last_emit = now
+    safe = {
+        key: (None if isinstance(v, float) and not math.isfinite(v) else v)
+        for key, v in event.items()
+    }
+    try:
+        sink(safe)
+    except Exception:
+        pass

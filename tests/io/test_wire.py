@@ -1,0 +1,139 @@
+"""The compact binary wire codec (:mod:`repro.io.wire`)."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.io.wire import (
+    WIRE_BINARY,
+    WIRE_JSON,
+    WireFormatError,
+    decode_payload,
+    encode_payload,
+)
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            False,
+            0,
+            -17,
+            2**62,
+            3.5,
+            -0.0,
+            "",
+            "consolidation",
+            "naïve — ünïcode",
+            b"raw bytes\x00\xff",
+            [],
+            {},
+            [1, "two", 3.0, None, True],
+            {"nested": {"a": [1, 2], "b": {"c": None}}, "x": 1.5},
+        ],
+    )
+    def test_value_faithful(self, value):
+        assert decode_payload(encode_payload(value)) == value
+
+    def test_int_beyond_int64(self):
+        huge = 2**200 + 7
+        assert decode_payload(encode_payload(huge)) == huge
+        assert decode_payload(encode_payload(-huge)) == -huge
+
+    def test_nonfinite_floats_survive(self):
+        out = decode_payload(encode_payload([math.inf, -math.inf] * 5))
+        assert out[0] == math.inf and out[1] == -math.inf
+        nan = decode_payload(encode_payload(float("nan")))
+        assert math.isnan(nan)
+
+    def test_tuple_decodes_as_list(self):
+        assert decode_payload(encode_payload((1, 2, 3))) == [1, 2, 3]
+
+
+class TestPackedArrays:
+    def test_long_float_list_beats_json(self):
+        values = [float(i) * 0.123456789 for i in range(256)]
+        wire = encode_payload(values)
+        assert wire[0] == WIRE_BINARY
+        assert len(wire) < len(json.dumps(values).encode())
+        # 1 version + 1 tag + 4 count + 8 bytes per double, exactly.
+        assert len(wire) == 6 + 8 * len(values)
+        assert decode_payload(wire) == values
+
+    def test_long_int_list_packs(self):
+        values = list(range(-100, 100))
+        wire = encode_payload(values)
+        assert len(wire) == 6 + 8 * len(values)
+        assert decode_payload(wire) == values
+
+    def test_mixed_int_float_list_packs_as_floats(self):
+        values = [1, 2.5, 3, 4.5, 5, 6.5, 7, 8.5]
+        assert decode_payload(encode_payload(values)) == [float(v) for v in values]
+
+    def test_short_lists_skip_the_scan(self):
+        # Below _ARRAY_MIN the generic list path preserves int-ness.
+        values = [1, 2, 3]
+        out = decode_payload(encode_payload(values))
+        assert out == values and all(isinstance(v, int) for v in out)
+
+    def test_numpy_float_array_roundtrips_to_list(self):
+        array = np.linspace(0.0, 1.0, 64)
+        out = decode_payload(encode_payload(array))
+        assert out == list(array)
+
+    def test_numpy_int_array_roundtrips_to_list(self):
+        array = np.arange(32, dtype=np.int32)
+        assert decode_payload(encode_payload(array)) == list(range(32))
+
+    def test_csc_like_payload(self):
+        payload = {
+            "indptr": list(range(0, 900, 3)),
+            "indices": [i % 17 for i in range(300)],
+            "values": [0.1 * i for i in range(300)],
+        }
+        assert decode_payload(encode_payload(payload)) == payload
+
+
+class TestFallbackAndVersioning:
+    def test_json_fallback_for_non_string_keys(self):
+        value = {1: "one"}  # binary dicts need str keys
+        wire = encode_payload(value)
+        assert wire[0] == WIRE_JSON
+        assert decode_payload(wire) == {"1": "one"}  # json stringifies
+
+    def test_forced_json_body(self):
+        wire = encode_payload({"a": [1, 2, 3]}, binary=False)
+        assert wire[0] == WIRE_JSON
+        assert decode_payload(wire) == {"a": [1, 2, 3]}
+
+    def test_unknown_version_rejected(self):
+        with pytest.raises(WireFormatError, match="version"):
+            decode_payload(b"\x7f{}")
+
+    def test_empty_message_rejected(self):
+        with pytest.raises(WireFormatError):
+            decode_payload(b"")
+
+    def test_truncated_message_rejected(self):
+        wire = encode_payload([1.0] * 32)
+        with pytest.raises(WireFormatError, match="truncated"):
+            decode_payload(wire[: len(wire) // 2])
+
+    def test_trailing_bytes_rejected(self):
+        with pytest.raises(WireFormatError, match="trailing"):
+            decode_payload(encode_payload(1) + b"junk")
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(WireFormatError, match="tag"):
+            decode_payload(bytes([WIRE_BINARY, 0x7E]))
+
+    def test_bad_json_body_rejected(self):
+        with pytest.raises(WireFormatError, match="JSON"):
+            decode_payload(bytes([WIRE_JSON]) + b"{not json")

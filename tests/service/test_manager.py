@@ -389,3 +389,118 @@ class TestSubmitValidation:
         record = manager.submit("plan", plan_payload(state_doc), timeout=30)
         assert record.timeout == 30.0
         assert manager.wait(record.id, timeout=60.0).state is JobState.SUCCEEDED
+
+
+class TestJournalReplay:
+    """Restart recovery from the JSONL journal (cluster-less mode)."""
+
+    @staticmethod
+    def _entry(job_id: str, state: str, **extra) -> dict:
+        return {
+            "ts": time.time(),
+            "event": "finished" if state in (
+                "succeeded", "failed", "cancelled", "timeout"
+            ) else state,
+            "job": job_id,
+            "kind": "plan",
+            "state": state,
+            "attempts": 1,
+            "error": None,
+            "via": "solve",
+            **extra,
+        }
+
+    @staticmethod
+    def _write_journal(path, entries) -> None:
+        import json
+
+        with open(path, "w", encoding="utf-8") as fh:
+            for entry in entries:
+                fh.write(json.dumps(entry) + "\n")
+
+    def test_terminal_jobs_resurrect_with_final_state(
+        self, make_manager, tmp_path
+    ):
+        journal = tmp_path / "journal.jsonl"
+        self._write_journal(
+            journal,
+            [
+                self._entry("done-1", "queued"),
+                self._entry("done-1", "running"),
+                self._entry("done-1", "succeeded"),
+                self._entry("dead-1", "failed", error="boom"),
+            ],
+        )
+        manager = make_manager(journal_path=str(journal))
+        assert manager.get("done-1").state is JobState.SUCCEEDED
+        record = manager.get("dead-1")
+        assert record.state is JobState.FAILED
+        assert record.error == "boom"
+
+    def test_non_terminal_jobs_do_not_resurrect(self, make_manager, tmp_path):
+        # A journal knows nothing about payloads, so a queued/running
+        # entry cannot be re-dispatched from it; it must simply vanish.
+        journal = tmp_path / "journal.jsonl"
+        self._write_journal(
+            journal,
+            [
+                self._entry("stuck-1", "queued"),
+                self._entry("stuck-2", "running"),
+            ],
+        )
+        manager = make_manager(journal_path=str(journal))
+        for job_id in ("stuck-1", "stuck-2"):
+            with pytest.raises(UnknownJobError):
+                manager.get(job_id)
+
+    def test_replay_respects_job_history_limit(self, make_manager, tmp_path):
+        # Regression: a journal longer than job_history_limit used to
+        # resurrect every terminal job it mentioned, bringing back
+        # records the previous incarnation had already evicted (and
+        # growing without bound across restarts).  Only the *newest*
+        # ``limit`` terminal jobs may come back.
+        journal = tmp_path / "journal.jsonl"
+        self._write_journal(
+            journal,
+            [self._entry(f"job-{n}", "succeeded") for n in range(6)],
+        )
+        manager = make_manager(journal_path=str(journal), job_history_limit=2)
+        for n in range(4):
+            with pytest.raises(UnknownJobError):
+                manager.get(f"job-{n}")
+        assert manager.get("job-4").state is JobState.SUCCEEDED
+        assert manager.get("job-5").state is JobState.SUCCEEDED
+
+    def test_replay_keeps_the_latest_entry_per_job(
+        self, make_manager, tmp_path
+    ):
+        # A retried job journals failed-then-succeeded; recency (for
+        # the history limit) and state must follow the *last* entry.
+        journal = tmp_path / "journal.jsonl"
+        self._write_journal(
+            journal,
+            [
+                self._entry("flaky", "failed", error="first try"),
+                self._entry("other", "succeeded"),
+                self._entry("flaky", "succeeded", attempts=2),
+            ],
+        )
+        manager = make_manager(journal_path=str(journal), job_history_limit=1)
+        with pytest.raises(UnknownJobError):
+            manager.get("other")  # older than flaky's final entry
+        record = manager.get("flaky")
+        assert record.state is JobState.SUCCEEDED
+        assert record.attempts == 2
+
+    def test_resurrected_jobs_evict_before_new_work(
+        self, make_manager, state_doc, tmp_path
+    ):
+        journal = tmp_path / "journal.jsonl"
+        self._write_journal(journal, [self._entry("old-1", "succeeded")])
+        manager = make_manager(journal_path=str(journal), job_history_limit=1)
+        fresh = manager.wait(
+            manager.submit("plan", plan_payload(state_doc)).id, timeout=60.0
+        )
+        assert fresh.state is JobState.SUCCEEDED
+        with pytest.raises(UnknownJobError):
+            manager.get("old-1")
