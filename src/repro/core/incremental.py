@@ -49,11 +49,22 @@ sound.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from ..lp import quicksum
 from ..lp.expressions import Variable
 from .formulation import ConsolidationModel, InfeasibleModelError
+
+
+def _jitter(i: int) -> float:
+    """Deterministic pseudo-random value in ``(0, 1)`` for index ``i``.
+
+    Used to perturb move-penalty coefficients just enough that no two
+    distinct move-sets tie exactly; irrational spacing makes subset-sum
+    collisions vanish in float precision.
+    """
+    return math.sin(i + 1.0) * 43758.5453123 % 1.0
 
 
 @dataclass
@@ -416,9 +427,16 @@ class RevisionedModel:
         if per_server_cost < 0:
             raise ValueError("move penalty cannot be negative")
         servers = {g.name: g.servers for g in self.model.state.app_groups}
+        # The ±1e-4 jitter breaks degeneracy: equal-sized groups make
+        # whole faces of move-sets exactly tie, and which optimum a
+        # search returns then depends on traversal order — a warm
+        # (seeded) and a cold solve could legally disagree.  A tiny
+        # deterministic per-variable perturbation makes the optimum
+        # unique while staying far below any real cost difference; both
+        # arms of a replay see the identical perturbed objective.
         penalty = quicksum(
-            per_server_cost * servers[g] * var
-            for (g, dc), var in self.model.x.items()
+            per_server_cost * servers[g] * (1.0 + 1e-4 * _jitter(i)) * var
+            for i, ((g, dc), var) in enumerate(self.model.x.items())
             if placement.get(g) is not None and dc != placement[g]
         )
         problem.set_objective(self._base_objective + penalty)

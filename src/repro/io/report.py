@@ -41,6 +41,9 @@ def render_solve_stats(stats: SolveStats) -> str:
         "  dual re-solves (entry / fall)  "
         f"{stats.dual_entries} / {stats.dual_fallbacks}",
         f"    dual pivots                  {stats.dual_pivots}",
+        "  context extended / hint fixed  "
+        f"{stats.context_extended} / {stats.hint_repaired}",
+        f"    bordered dual re-entries     {stats.extension_dual_entries}",
         f"  B&B nodes explored             {stats.nodes_explored}",
         f"  B&B nodes pruned               {stats.nodes_pruned}",
         f"  cut rounds / cuts added        {stats.cut_rounds} / {stats.cuts_added}",

@@ -59,6 +59,13 @@ class _Node:
     ub: np.ndarray = field(compare=False, default=None)
     depth: int = field(compare=False, default=0)
     warm: tuple | None = field(compare=False, default=None)
+    # Pseudo-cost bookkeeping: which branching created this node, so its
+    # relaxation can report the observed objective degradation per unit
+    # of fractionality back to the variable that was branched on.
+    pvar: int | None = field(compare=False, default=None)
+    pdir: int = field(compare=False, default=0)
+    pfrac: float = field(compare=False, default=0.0)
+    pbase: float = field(compare=False, default=0.0)
 
 
 def _absorb_lp_detail(stats: SolveStats, relax) -> None:
@@ -119,6 +126,97 @@ def _most_fractional(x: np.ndarray, integral: np.ndarray) -> int | None:
     if frac[idx] <= INT_TOL:
         return None
     return idx
+
+
+def _choose_branch(
+    x: np.ndarray,
+    integral: np.ndarray,
+    pseudo: dict[str, list[float]],
+    names: list[str],
+) -> int | None:
+    """Pick the branching variable, or None when ``x`` is integral.
+
+    With pseudo-cost history available the choice maximizes the product
+    of the estimated down/up objective degradations (the classic product
+    rule); variables with no history borrow the per-direction global
+    mean.  Without any history this degrades to most-fractional.  The
+    history dict rides :func:`solve_branch_and_bound`'s ``basis_io``
+    channel, so successive incremental re-solves of the same model
+    family inherit branching estimates from all previous trees — a
+    warm-start for the *search strategy*, alongside the basis warm-start
+    for the node LPs.
+    """
+    frac = np.abs(x - np.round(x))
+    frac[~integral] = 0.0
+    cand = np.flatnonzero(frac > INT_TOL)
+    if cand.size == 0:
+        return None
+    if not pseudo:
+        return int(cand[np.argmax(frac[cand])])
+    dsum = dcnt = usum = ucnt = 0.0
+    for entry in pseudo.values():
+        dsum += entry[0]
+        dcnt += entry[1]
+        usum += entry[2]
+        ucnt += entry[3]
+    gdown = dsum / dcnt if dcnt else 1.0
+    gup = usum / ucnt if ucnt else 1.0
+    best = int(cand[0])
+    best_score = -1.0
+    for j in cand:
+        f = float(x[j] - math.floor(x[j]))
+        entry = pseudo.get(names[j])
+        down = entry[0] / entry[1] if entry and entry[1] else gdown
+        up = entry[2] / entry[3] if entry and entry[3] else gup
+        score = max(down * f, 1e-9) * max(up * (1.0 - f), 1e-9)
+        if score > best_score:
+            best_score = score
+            best = int(j)
+    return best
+
+
+def _reduced_cost_fixing(
+    context, relax, node: _Node, integral: np.ndarray, cutoff: float
+) -> int:
+    """Fix root-nonbasic integer variables by reduced cost, in place.
+
+    With an incumbent of value ``z*`` available *before* the search and
+    the root relaxation solved to ``L`` with reduced costs ``d``, an
+    integer variable nonbasic at a bound with ``L + |d_j| >= z* - gap``
+    cannot take any other value in an improving solution — moving it one
+    unit (the smallest integral step) already drives the bound past the
+    pruning cutoff.  This is the per-column form of the bound-pruning
+    rule, so it excludes exactly the points pruning would discard.  Only
+    the incremental warm path has an incumbent this early (the seeded,
+    possibly repaired, hint), which makes root fixing a warm-start-only
+    tree reduction: a cold solve finds its first incumbent mid-search,
+    after the root's children are already cast.
+    """
+    reduced = getattr(context, "reduced_costs", None)
+    d = reduced(getattr(relax, "duals", None)) if reduced is not None else None
+    if d is None:
+        return 0
+    slack = cutoff - relax.objective
+    if not math.isfinite(slack) or slack < 0.0:
+        return 0
+    x = relax.x
+    eff_lb = getattr(context, "_eff_lb", None)
+    eff_ub = getattr(context, "_eff_ub", None)
+    lb = node.lb if eff_lb is None else np.maximum(node.lb, eff_lb)
+    ub = node.ub if eff_ub is None else np.minimum(node.ub, eff_ub)
+    open_var = integral & (ub > lb + INT_TOL)
+    threshold = max(slack, 1e-7)
+    at_lb = open_var & (x <= lb + INT_TOL) & (d >= threshold)
+    at_ub = open_var & (x >= ub - INT_TOL) & (-d >= threshold)
+    if at_lb.any():
+        fixed = np.round(lb[at_lb])
+        node.lb[at_lb] = fixed
+        node.ub[at_lb] = fixed
+    if at_ub.any():
+        fixed = np.round(ub[at_ub])
+        node.lb[at_ub] = fixed
+        node.ub[at_ub] = fixed
+    return int(at_lb.sum() + at_ub.sum())
 
 
 def _relative_gap(incumbent: float, bound: float) -> float:
@@ -217,10 +315,13 @@ def solve_branch_and_bound(
         standardization entirely.  ``context`` is ignored when cover
         cuts are requested (cuts grow the row set mid-solve).
     basis_io:
-        Optional dict used as a warm-basis channel between successive
+        Optional dict used as a warm-state channel between successive
         solves: ``basis_io.get("root")`` seeds the root relaxation's
         simplex basis, and on return ``basis_io["root"]`` holds this
         solve's root basis token (builtin engine only).
+        ``basis_io["pseudo"]`` accumulates the pseudo-cost branching
+        table across solves, so re-plans of the same model family keep
+        their trained branching estimates.
     """
     if form is None:
         form = to_matrix_form(problem)
@@ -248,6 +349,7 @@ def solve_branch_and_bound(
         context.cache_hits, context.node_solves,
         getattr(context, "dual_entries", 0),
         getattr(context, "dual_fallbacks", 0),
+        getattr(context, "extension_dual_entries", 0),
     )
     stats.merge_presolve(
         dropped_constraints=getattr(context, "presolve_rows_dropped", 0),
@@ -256,6 +358,15 @@ def solve_branch_and_bound(
     )
 
     root_warm = basis_io.get("root") if basis_io else None
+    # Pseudo-cost table {var_name: [down_sum, down_count, up_sum, up_count]}
+    # of observed per-unit-fraction degradations.  Learned within this
+    # tree; when a basis_io channel is present the table persists across
+    # incremental re-solves, so warm re-plans start with trained
+    # branching estimates instead of most-fractional guesses.
+    pseudo: dict[str, list[float]] = (
+        basis_io.setdefault("pseudo", {}) if basis_io is not None else {}
+    )
+    var_names = [var.name for var in form.variables]
     counter = itertools.count()
     root = _Node(bound=-math.inf, tie=next(counter), lb=form.lb.copy(),
                  ub=form.ub.copy(), warm=root_warm)
@@ -268,6 +379,9 @@ def solve_branch_and_bound(
             incumbent_x = hint
             incumbent_obj = float(form.c @ hint)
             stats.extra["warm_start_incumbent"] = 1.0
+            stats.extra["warm_start_objective"] = form.objective_sign * (
+                incumbent_obj + form.c0
+            )
             metrics.increment("incremental.warm_start_seeded")
         else:
             stats.extra["warm_start_incumbent"] = 0.0
@@ -332,11 +446,15 @@ def solve_branch_and_bound(
         stats.best_bound = to_user_objective(best_bound)
         # Deltas, not lifetime totals: an external context persists
         # across incremental re-solves and keeps accumulating.
-        hits0, misses0, cache0, solves0, dual0, dfall0 = context_counters_start
+        (hits0, misses0, cache0, solves0, dual0, dfall0,
+         extdual0) = context_counters_start
         stats.warm_start_hits = context.warm_start_hits - hits0
         stats.warm_start_misses = context.warm_start_misses - misses0
         stats.dual_entries = getattr(context, "dual_entries", 0) - dual0
         stats.dual_fallbacks = getattr(context, "dual_fallbacks", 0) - dfall0
+        stats.extension_dual_entries = (
+            getattr(context, "extension_dual_entries", 0) - extdual0
+        )
         stats.extra["relaxation_cache_hits"] = float(context.cache_hits - cache0)
         stats.extra["relaxation_node_solves"] = float(context.node_solves - solves0)
         values: dict = {}
@@ -420,6 +538,18 @@ def solve_branch_and_bound(
                 status, incumbent_x, f"relaxation failed: {relax.status}{detail}"
             )
 
+        if node.pvar is not None:
+            # Report the observed degradation to the variable branched on.
+            entry = pseudo.setdefault(var_names[node.pvar], [0.0, 0.0, 0.0, 0.0])
+            gain = max(0.0, relax.objective - node.pbase)
+            per_unit = gain / max(node.pfrac, 1e-6)
+            slot = 0 if node.pdir == 0 else 2
+            entry[slot] += per_unit
+            entry[slot + 1] += 1.0
+            stats.extra["pseudo_cost_updates"] = (
+                stats.extra.get("pseudo_cost_updates", 0.0) + 1.0
+            )
+
         # The popped node's subtree bound tightens to its relaxation value;
         # combined with the best open node this may raise the global bound.
         open_bound = heap[0].bound if heap else math.inf
@@ -429,7 +559,50 @@ def solve_branch_and_bound(
             stats.nodes_pruned += 1
             continue
 
-        branch_var = _most_fractional(relax.x, integral)
+        if node.depth == 0 and incumbent_x is not None:
+            # Root only, deliberately: fixing at every node is valid too,
+            # but mutating deeper boxes reshuffles the most-fractional
+            # branching order and measurably *grows* the hard trees.
+            # Iterated at the root: each round of fixing shrinks the box,
+            # so re-solving the tightened root raises its bound, widens
+            # the reduced-cost slack, and exposes further fixable
+            # columns.  The re-solve rides the dual simplex off the
+            # previous root basis, so each extra round is near-free.
+            cutoff = incumbent_obj - gap_tolerance
+            total_fixed = 0
+            proven = False
+            for _ in range(8):
+                fixed = _reduced_cost_fixing(
+                    context, relax, node, integral, cutoff
+                )
+                total_fixed += fixed
+                if not fixed:
+                    break
+                resolved = context.solve(node.lb, node.ub, warm=relax.warm_token)
+                _absorb_lp_detail(stats, resolved)
+                stats.extra["root_fixing_resolves"] = (
+                    stats.extra.get("root_fixing_resolves", 0.0) + 1.0
+                )
+                if resolved.status == "infeasible" or (
+                    resolved.status == "optimal"
+                    and resolved.objective >= cutoff
+                ):
+                    # Fixing only ever excludes non-improving points, so
+                    # an emptied (or cutoff-crossing) root proves the
+                    # seeded incumbent optimal.
+                    proven = True
+                    break
+                if resolved.status != "optimal":
+                    break  # keep branching from the last good relaxation
+                relax = resolved
+            if total_fixed:
+                stats.extra["reduced_cost_fixed"] = float(total_fixed)
+                metrics.increment("incremental.reduced_cost_fixed", total_fixed)
+            if proven:
+                stats.nodes_pruned += 1
+                continue
+
+        branch_var = _choose_branch(relax.x, integral, pseudo, var_names)
         if branch_var is None:
             # Integral solution: new incumbent.
             if relax.objective < incumbent_obj - 1e-12:
@@ -440,13 +613,16 @@ def solve_branch_and_bound(
 
         value = relax.x[branch_var]
         floor_val = math.floor(value + INT_TOL)
+        frac = float(value - math.floor(value))
         # Down branch: x <= floor(value)
         down_lb, down_ub = node.lb.copy(), node.ub.copy()
         down_ub[branch_var] = min(down_ub[branch_var], floor_val)
         heapq.heappush(
             heap,
             _Node(relax.objective, next(counter), down_lb, down_ub,
-                  node.depth + 1, warm=relax.warm_token),
+                  node.depth + 1, warm=relax.warm_token,
+                  pvar=branch_var, pdir=0, pfrac=frac,
+                  pbase=relax.objective),
         )
         # Up branch: x >= floor(value) + 1
         up_lb, up_ub = node.lb.copy(), node.ub.copy()
@@ -454,7 +630,9 @@ def solve_branch_and_bound(
         heapq.heappush(
             heap,
             _Node(relax.objective, next(counter), up_lb, up_ub,
-                  node.depth + 1, warm=relax.warm_token),
+                  node.depth + 1, warm=relax.warm_token,
+                  pvar=branch_var, pdir=1, pfrac=1.0 - frac,
+                  pbase=relax.objective),
         )
 
     if incumbent_x is None:

@@ -66,6 +66,68 @@ def problem_fingerprint(problem: Problem) -> str:
     return h.hexdigest()
 
 
+def constraint_digest(con) -> bytes:
+    """Content digest of one constraint row.
+
+    The byte stream matches the per-constraint section of
+    :func:`_hash_structure` exactly (the expression's own term order,
+    the very stream :func:`~repro.lp.sparse.iter_constraint_terms`
+    yields), so two rows with equal digests hash identically inside any
+    structure fingerprint.  Used by the solve cache to recognize a
+    re-created-but-identical constraint (directive journals pop and
+    re-apply rows wholesale) without comparing Python objects.
+    """
+    h = hashlib.sha1()
+    update = h.update
+    update(b"|c")
+    update(con.sense.value.encode())
+    update(repr(con.rhs).encode())
+    for var, coef in con.expr.terms().items():
+        update(var.name.encode())
+        update(repr(coef).encode())
+    return h.digest()
+
+
+def objective_digest(problem: Problem) -> bytes:
+    """Content digest of the objective (sense, constant, terms)."""
+    h = hashlib.sha1()
+    update = h.update
+    update(problem.sense.encode())
+    update(b"|obj")
+    update(repr(problem.objective.constant).encode())
+    for var, coef in problem.objective.terms().items():
+        update(var.name.encode())
+        update(repr(coef).encode())
+    return h.digest()
+
+
+def extend_structure_fingerprint(
+    parent_key: str,
+    problem: Problem,
+    appended_digests: list[bytes],
+) -> str:
+    """Chained structure identity: ``parent ⊕ objective ⊕ appended rows``.
+
+    When the solve cache extends a cached :class:`RelaxationContext`
+    with appended rows (or swaps the objective in place) it needs a new
+    structure key *without* re-canonicalizing the whole model — that
+    O(model) walk is exactly what the extension path avoids.  The
+    chained key hashes the parent's key, the current objective digest
+    and the appended rows' content digests; it lives in its own
+    ``ext:`` namespace so it can never collide with a full 40-hex
+    :func:`structure_fingerprint`.  Two different extension histories
+    reaching the same model hash differently — that is fine, keys only
+    ever compare against keys produced the same way within one cache.
+    """
+    h = hashlib.sha1()
+    h.update(parent_key.encode())
+    h.update(b"|swap-obj")
+    h.update(objective_digest(problem))
+    for digest in appended_digests:
+        h.update(digest)
+    return "ext:" + h.hexdigest()
+
+
 def _hash_payload(h: "hashlib._Hash", value) -> None:
     """Canonically hash a JSON-able value (the float/ordering rules above)."""
     update = h.update

@@ -33,7 +33,12 @@ import numpy as np
 from ..telemetry import metrics
 from .array_presolve import presolve_arrays
 from .dual_simplex import solve_bounded_lp_dual
-from .revised_simplex import SparseBoundedLP, solve_bounded_lp
+from .revised_simplex import (
+    SparseBoundedLP,
+    bordered_binv,
+    extend_warm_pair,
+    solve_bounded_lp,
+)
 from .simplex import solve_standard_form
 
 #: Basis inverses remembered per context (keyed by the basis itself, so
@@ -219,6 +224,9 @@ class RelaxationContext:
         self.presolve_bounds_tightened = 0
         self.presolve_rounds = 0
         self.presolve_reroots = 0
+        self.row_extensions = 0
+        self.extension_dual_entries = 0
+        self._dual_entry_after_extension = False
 
         self._factor_pool: dict[bytes, np.ndarray] = {}
         self._presolve_infeasible = False
@@ -328,6 +336,164 @@ class RelaxationContext:
         if key not in pool and len(pool) >= _FACTOR_POOL_SIZE:
             pool.pop(next(iter(pool)))
         pool[key] = binv
+
+    # -- in-place structural extension (appended rows, objective swap) -----
+
+    def extend_rows(self, a_new: np.ndarray, b_new: np.ndarray) -> bool:
+        """Append ``<=`` rows to the cached family in place.
+
+        The warm-path escape from full context rebuilds: every
+        pin/forbid/cap directive reaches the arrays as appended
+        inequality rows, and everything already standardized stays
+        valid.  Appended rows bypass presolve — a new constraint only
+        shrinks the feasible set, so each root reduction derived without
+        it still holds — and pooled basis inverses are re-keyed under
+        their extended bases via the bordered identity (one ``k × m``
+        matmul each) instead of being discarded.  Returns ``False`` when
+        this context cannot extend (tableau mode), telling the caller to
+        rebuild from scratch.
+        """
+        if self._mode not in ("revised", "highs"):
+            return False
+        n = self.c.shape[0]
+        a_new = np.asarray(a_new, dtype=float).reshape(-1, n)
+        b_new = np.asarray(b_new, dtype=float).reshape(a_new.shape[0])
+        k = a_new.shape[0]
+        if k == 0:
+            return True
+        start = time.perf_counter()
+        was_alias = self._eff_a_ub is self.a_ub
+        self.a_ub = np.vstack([self.a_ub, a_new])
+        self.b_ub = np.concatenate([self.b_ub, b_new])
+        if self._keep_ub is not None:
+            self._keep_ub = np.concatenate([self._keep_ub, np.ones(k, dtype=bool)])
+        if was_alias:
+            self._eff_a_ub, self._eff_b_ub = self.a_ub, self.b_ub
+        else:
+            self._eff_a_ub = np.vstack([self._eff_a_ub, a_new])
+            self._eff_b_ub = np.concatenate([self._eff_b_ub, b_new])
+        self.row_extensions += 1
+        metrics.increment("relaxation.row_extensions")
+        if self._mode == "revised":
+            # The family appends below a_eq so every existing slack id
+            # (and with it every outstanding warm token) stays stable.
+            m_old = self._family.m
+            self._family.append_le_rows(a_new, b_new)
+            new_slacks = np.arange(
+                self._family.n + m_old,
+                self._family.n + self._family.m,
+                dtype=np.int64,
+            )
+            repooled: dict[bytes, np.ndarray] = {}
+            for key, binv in self._factor_pool.items():
+                basis_old = np.frombuffer(key, dtype=np.int64)
+                if basis_old.shape[0] != m_old:
+                    continue  # predates an even older structure change
+                basis_ext = np.concatenate([basis_old, new_slacks])
+                binv_ext = bordered_binv(self._family, basis_ext, binv, m_old)
+                if binv_ext is not None:
+                    repooled[basis_ext.tobytes()] = binv_ext
+            self._factor_pool = repooled
+            self._dual_entry_after_extension = True
+        if self.presolve_enabled:
+            self._presolve_extension()
+        self.conversion_seconds += time.perf_counter() - start
+        return True
+
+    def _presolve_extension(self) -> None:
+        """Re-derive bound tightenings now that rows were appended.
+
+        Appended rows are sound without presolve (they only shrink the
+        feasible set), but not *cheap*: a cap row whose implied fixings
+        never reach the bound box can leave an extended context
+        exploring a tree orders of magnitude larger than the cold
+        rebuild it replaced.  Re-running the activity propagation over
+        the extended arrays recovers exactly the box a rebuild's
+        presolve would start from.  Only the bounds are adopted — rows
+        stay embedded even when the fresh pass would drop them, so the
+        family, every pooled factor and every bordered warm token stay
+        valid (bounds never enter reduced costs).
+        """
+        pre = presolve_arrays(
+            self.c, self.a_ub, self.b_ub, self.a_eq, self.b_eq,
+            self.root_lb, self.root_ub, integrality=self._integrality,
+        )
+        self.presolve_rounds += pre.rounds
+        if pre.infeasible:
+            self._presolve_infeasible = True
+            self._presolve_message = f"array presolve: {pre.message}"
+            return
+        tightened = int(
+            (pre.lb > self._eff_lb + 1e-12).sum()
+            + (pre.ub < self._eff_ub - 1e-12).sum()
+        )
+        if tightened:
+            self.presolve_bounds_tightened += tightened
+            metrics.increment("relaxation.presolve_bounds_tightened", tightened)
+            self._eff_lb = np.maximum(self._eff_lb, pre.lb)
+            self._eff_ub = np.minimum(self._eff_ub, pre.ub)
+
+    def reduced_costs(self, duals: np.ndarray | None) -> np.ndarray | None:
+        """Structural reduced costs ``c - Aᵀy`` for one solve's row duals.
+
+        ``duals`` follows :attr:`ArrayLPResult.duals`: the *effective*
+        (post-presolve) ``a_ub`` rows first, then ``a_eq``.  Returns
+        ``None`` when no duals were reported or their length does not
+        match the current effective row set (e.g. a token from before a
+        re-root).
+        """
+        if duals is None:
+            return None
+        duals = np.asarray(duals, dtype=float)
+        m_ub = self._eff_b_ub.shape[0]
+        m_eq = self._eff_b_eq.shape[0]
+        if duals.shape[0] != m_ub + m_eq:
+            return None
+        d = self.c.copy()
+        if m_ub:
+            d -= self._eff_a_ub.T @ duals[:m_ub]
+        if m_eq:
+            d -= self._eff_a_eq.T @ duals[m_ub:]
+        return d
+
+    def set_objective_vector(self, c_new: np.ndarray) -> bool:
+        """Swap the objective in place; rows, presolve and tokens survive.
+
+        Sound because nothing this context caches depends on ``c``: the
+        revised family reads the shared ``c`` array at solve time, HiGHS
+        receives it per call, and the array presolve applies no
+        objective-driven reductions (``fix_empty_columns`` stays off).
+        The tableau's expanded cost columns *are* c-derived, so tableau
+        contexts refuse and the caller rebuilds.
+        """
+        if self._mode not in ("revised", "highs"):
+            return False
+        c_new = np.asarray(c_new, dtype=float)
+        if c_new.shape != self.c.shape:
+            return False
+        self.c[:] = c_new
+        return True
+
+    def extend_warm_token(self, token: tuple | None) -> tuple | None:
+        """Extend a pre-append warm token with the new rows' slack basics.
+
+        The extended token is exactly dual feasible when the old one was
+        optimal (the duals extend with zeros), which is what routes the
+        next node solve through the dual simplex instead of a cold
+        primal start.  ``None`` when the token cannot be mapped onto the
+        current family.
+        """
+        if (
+            self._mode != "revised"
+            or token is None
+            or len(token) != 3
+            or token[0] != "revised"
+        ):
+            return None
+        pair = extend_warm_pair(self._family, token[1], token[2])
+        if pair is None:
+            return None
+        return ("revised", pair[0], pair[1])
 
     # -- one-time, fully vectorized base standardization -------------------
 
@@ -449,6 +615,12 @@ class RelaxationContext:
         if self.node_resolve == "dual" and warm_pair is not None:
             self.dual_entries += 1
             metrics.increment("relaxation.dual_entries")
+            if self._dual_entry_after_extension:
+                # First dual re-entry after a row append — the bordered
+                # warm start actually carried across the extension.
+                self._dual_entry_after_extension = False
+                self.extension_dual_entries += 1
+                metrics.increment("relaxation.extension_dual_entries")
             binv = self._factor_pool.get(
                 np.asarray(warm_pair[0], dtype=np.int64).tobytes()
             )

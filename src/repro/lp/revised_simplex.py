@@ -125,6 +125,32 @@ class SparseBoundedLP:
         self.slack_ub = np.concatenate([np.full(m_ub, np.inf), np.zeros(m_eq)])
         self.a = _vstack_csc(a_ub, a_eq, self.n)
 
+    def append_le_rows(self, a_new: np.ndarray | CSCMatrix, b_new: np.ndarray) -> None:
+        """Append ``<=`` rows in place, below every existing row.
+
+        Appending at the *bottom* of the stack keeps every existing
+        slack id (``n + row``) stable, so ``(basis, vstat)`` tokens from
+        earlier solves of this family stay addressable — they merely
+        need extending with the new rows' slacks (see
+        :func:`extend_warm_pair`).  Only ``<=`` rows are supported:
+        ``>=`` rows are negated into ``<=`` form by the standardizer
+        upstream, and an ``=`` append would splice into the middle of
+        the slack-bound stack, invalidating old tokens.
+        """
+        if not isinstance(a_new, CSCMatrix):
+            a_new = CSCMatrix.from_dense(
+                np.asarray(a_new, dtype=float).reshape(-1, self.n)
+            )
+        if a_new.shape[1] != self.n:
+            raise ValueError("appended rows must span the family's columns")
+        k = a_new.shape[0]
+        b_new = np.asarray(b_new, dtype=float).reshape(k)
+        self.b = np.concatenate([self.b, b_new])
+        self.slack_lb = np.concatenate([self.slack_lb, np.zeros(k)])
+        self.slack_ub = np.concatenate([self.slack_ub, np.full(k, np.inf)])
+        self.a = _vstack_csc(self.a, a_new, self.n)
+        self.m += k
+
 
 def _vstack_csc(top: CSCMatrix, bottom: CSCMatrix, ncols: int) -> CSCMatrix:
     """Stack two CSC blocks row-wise (bottom rows offset by top height)."""
@@ -148,6 +174,75 @@ def _vstack_csc(top: CSCMatrix, bottom: CSCMatrix, ncols: int) -> CSCMatrix:
         indices[o + k : o + k + (b1 - b0)] = bottom.indices[b0:b1] + top.shape[0]
         data[o + k : o + k + (b1 - b0)] = bottom.data[b0:b1]
     return CSCMatrix(shape=(m, ncols), indptr=indptr, indices=indices, data=data)
+
+
+def extend_warm_pair(
+    lp: SparseBoundedLP,
+    basis: np.ndarray,
+    vstat: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray] | None:
+    """Extend a pre-append ``(basis, vstat)`` pair to ``lp``'s current rows.
+
+    After :meth:`SparseBoundedLP.append_le_rows` an old token is one
+    entry short per appended row.  The canonical extension makes each
+    new row's slack basic in that row: the extended basis matrix is
+    block lower-triangular ``[[B, 0], [C, I]]``, so it is nonsingular
+    whenever the old basis was, and the old solution's duals extend
+    with zeros — the extended point stays *dual* feasible and is primal
+    infeasible only in rows the append actually violated (the dual
+    simplex re-entry case).  Returns ``None`` when the pair cannot
+    belong to an ancestor of this family.
+    """
+    basis = np.asarray(basis, dtype=np.int64)
+    vstat = np.asarray(vstat, dtype=np.int8)
+    m_old = basis.shape[0]
+    k = lp.m - m_old
+    if k < 0 or vstat.shape[0] != lp.n + m_old:
+        return None
+    if k == 0:
+        return basis, vstat
+    # Rows append at the bottom, so every old column id — structural and
+    # slack alike — is unchanged; the new slacks simply take the next ids.
+    new_slacks = np.arange(lp.n + m_old, lp.n + lp.m, dtype=np.int64)
+    basis_ext = np.concatenate([basis, new_slacks])
+    vstat_ext = np.concatenate([vstat, np.full(k, BASIC, dtype=np.int8)])
+    return basis_ext, vstat_ext
+
+
+def bordered_binv(
+    lp: SparseBoundedLP,
+    basis: np.ndarray,
+    binv_old: np.ndarray,
+    m_old: int,
+) -> np.ndarray | None:
+    """Bordered update of a basis inverse across a row append.
+
+    ``basis`` is the *extended* basis (old basics followed by the new
+    rows' slacks), ``binv_old`` the ``m_old × m_old`` inverse of the old
+    basis.  With the extension block lower-triangular —
+    ``B' = [[B, 0], [C, I]]`` where ``C`` holds the appended rows'
+    coefficients at the old basic columns — the inverse is exactly
+    ``[[B^-1, 0], [-C B^-1, I]]``: one ``k × m_old`` matmul instead of
+    an O(m^3) refactorization.
+    """
+    m_new = basis.shape[0]
+    k = m_new - m_old
+    if k <= 0 or binv_old.shape != (m_old, m_old):
+        return None
+    C = np.zeros((k, m_old))
+    for pos in range(m_old):
+        j = int(basis[pos])
+        if j >= lp.n:
+            continue  # slack columns have no entries in appended rows
+        idx, dat = lp.a.col(j)
+        sel = idx >= m_old
+        if sel.any():
+            C[idx[sel] - m_old, pos] = dat[sel]
+    binv = np.zeros((m_new, m_new))
+    binv[:m_old, :m_old] = binv_old
+    binv[m_old:, :m_old] = -C @ binv_old
+    binv[m_old:, m_old:] = np.eye(k)
+    return binv
 
 
 class _Solver:

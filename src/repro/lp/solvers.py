@@ -41,12 +41,19 @@ import numpy as np
 
 from ..telemetry import SolveStats, metrics, record_solve
 from .branch_bound import solve_branch_and_bound
-from .fingerprint import problem_fingerprint, structure_fingerprint
+from .fingerprint import (
+    constraint_digest,
+    extend_structure_fingerprint,
+    objective_digest,
+    problem_fingerprint,
+    structure_fingerprint,
+)
 from .matrix_lp import RelaxationContext, solve_lp_arrays
 from .options import SolveOptions, options_from_kwargs
 from .problem import Problem
 from .rounding import solve_with_rounding
 from .solution import Solution, SolveStatus
+from .sparse import objective_arrays
 from .standard_form import to_matrix_form
 
 
@@ -257,17 +264,31 @@ class SolveCache:
       point is provably still optimal (the minimum over a subset cannot
       be lower, and the old argmin is in the subset), so the re-solve is
       a feasibility check instead of a search;
-    * **structure reuse** (``branch_bound`` only) — models sharing a
-      :func:`structure_fingerprint` (same matrices, different bounds)
+    * **structure reuse** (``branch_bound`` only) — models sharing the
+      cached context's matrices (same constraint rows, different bounds)
       reuse one :class:`~repro.lp.matrix_lp.RelaxationContext`, so the
       re-solve skips matrix conversion and standardization, and the
-      previous root simplex basis warm-starts the new root relaxation;
+      previous root simplex basis warm-starts the new root relaxation.
+      When the model differs only by *appended* inequality rows or a
+      swapped objective — which is every cap/pin/forbid/retire/move-
+      penalty directive — the context is **extended in place** instead
+      of rebuilt: rows append to the standardized family, the structure
+      key chains (``parent ⊕ appended-row digests``, see
+      :func:`~repro.lp.fingerprint.extend_structure_fingerprint`), and
+      the previous root basis token is extended with the new rows'
+      slacks so the next root solve re-enters through the dual simplex
+      instead of a cold start;
     * **incumbent seeding** — the previous solve's point (or a repaired
       hint supplied via ``options.warm_start``) becomes the new solve's
-      MIP start when feasible, so pruning bites from node one.
+      MIP start when feasible, so pruning bites from node one.  An
+      installed :attr:`hint_repairer` gets a chance to *project* a
+      stale incumbent back into the feasible region (shift load off a
+      newly-capped site) before the hint is offered, so a directive that
+      invalidates the incumbent no longer forfeits the MIP start.
 
     Lifetime telemetry lives in the ``incremental.*`` counters and in
-    :attr:`hits` / :attr:`misses` / :attr:`context_reuses`.
+    :attr:`hits` / :attr:`misses` / :attr:`context_reuses` /
+    :attr:`context_extensions` / :attr:`hints_repaired`.
     """
 
     def __init__(self, max_solutions: int = 64) -> None:
@@ -280,6 +301,10 @@ class SolveCache:
         self._context: RelaxationContext | None = None
         self._form = None
         self._basis_io: dict = {}
+        #: Optional ``(problem, hint) -> dict | None`` callback: return a
+        #: repaired name→value hint when the given one is infeasible for
+        #: ``problem`` and fixable, ``None`` to leave the hint alone.
+        self.hint_repairer = None
         # Snapshot of the model state the last solution was solved
         # against, for the tightening shortcut: variable identities,
         # bound arrays, the constraint list prefix and the objective.
@@ -288,10 +313,27 @@ class SolveCache:
         self._snap_ub: np.ndarray | None = None
         self._snap_constraints: list | None = None
         self._snap_objective = None
+        # Snapshot of the model state the cached context standardized,
+        # for extension matching: solver options, variable identities,
+        # per-row identities + content digests, objective identity +
+        # digest.  Row matching is identity-first with a content-digest
+        # fallback, because directive journals pop and re-apply rows
+        # wholesale — same content, fresh Python objects.
+        self._ctx_opt_key: str | None = None
+        self._ctx_vars: list | None = None
+        self._ctx_var_index: dict | None = None
+        self._ctx_constraints: list | None = None
+        self._ctx_row_digests: list | None = None
+        self._ctx_objective = None
+        self._ctx_obj_digest: bytes | None = None
+        self._ctx_sense: str | None = None
         self.hits = 0
         self.misses = 0
         self.context_reuses = 0
         self.context_rebuilds = 0
+        self.context_extensions = 0
+        self.objective_swaps = 0
+        self.hints_repaired = 0
         self.tightening_reuses = 0
 
     @property
@@ -307,6 +349,9 @@ class SolveCache:
             "tightening_reuses": self.tightening_reuses,
             "context_reuses": self.context_reuses,
             "context_rebuilds": self.context_rebuilds,
+            "context_extensions": self.context_extensions,
+            "objective_swaps": self.objective_swaps,
+            "hints_repaired": self.hints_repaired,
             "solutions_cached": len(self._solutions),
         }
 
@@ -323,6 +368,14 @@ class SolveCache:
         self._snap_ub = None
         self._snap_constraints = None
         self._snap_objective = None
+        self._ctx_opt_key = None
+        self._ctx_vars = None
+        self._ctx_var_index = None
+        self._ctx_constraints = None
+        self._ctx_row_digests = None
+        self._ctx_objective = None
+        self._ctx_obj_digest = None
+        self._ctx_sense = None
 
     # -- internals ---------------------------------------------------------
 
@@ -401,35 +454,151 @@ class SolveCache:
             return None
         return self._last.as_name_dict()
 
+    def _refresh_form_bounds(self, problem: Problem) -> None:
+        """Refresh the cached form's variables and bound arrays.
+
+        Re-reads variables from the live problem: bounds are taken from
+        it, and ``Solution.values`` must be keyed by *its* Variable
+        objects.  Bound moves between finite values never break any
+        cached standardization (every model variable here has a finite
+        lower bound), so the context survives the whole session.
+        """
+        form = self._form
+        form.variables = problem.variables
+        form.lb = np.array(
+            [-np.inf if v.lb is None else v.lb for v in form.variables]
+        )
+        form.ub = np.array(
+            [np.inf if v.ub is None else v.ub for v in form.variables]
+        )
+
+    def _reuse_or_extend(self, problem: Problem):
+        """Reuse the cached context, extending it in place when possible.
+
+        Matching is identity-first with a content-digest fallback per
+        row: a directive ``sync`` pops the journal to the common prefix
+        and re-applies the rest, so an unchanged model state routinely
+        arrives with the tail of its constraint list re-created as fresh
+        (but byte-identical) objects.  Rows *past* the cached prefix are
+        appended to the context (inequalities only — an equality append
+        would splice into the middle of the standardized slack stack);
+        an objective that changed content is swapped in place when the
+        sign survives.  Returns ``(form, context, basis_io)`` or ``None``
+        when only a full rebuild is sound.
+        """
+        variables = problem.variables
+        if self._ctx_vars is None or len(variables) != len(self._ctx_vars):
+            return None
+        for var, old in zip(variables, self._ctx_vars):
+            if var is not old:
+                return None
+        if problem.sense != self._ctx_sense:
+            return None
+        constraints = problem.constraints
+        ctx_rows = self._ctx_constraints
+        digests = self._ctx_row_digests
+        if len(constraints) < len(ctx_rows):
+            return None  # rows were removed: a family cannot shrink in place
+        for i, old in enumerate(ctx_rows):
+            con = constraints[i]
+            if con is old:
+                continue
+            if constraint_digest(con) != digests[i]:
+                return None  # genuinely different row inside the prefix
+            ctx_rows[i] = con  # same content, fresh object: adopt it
+        appended = constraints[len(ctx_rows):]
+        var_index = self._ctx_var_index
+        for con in appended:
+            if con.sense.value == "=":
+                return None
+            if any(var not in var_index for var in con.expr.terms()):
+                return None  # references a variable the context never saw
+
+        # Objective: unchanged by identity or content, else swappable.
+        swap = None
+        if problem.objective is not self._ctx_objective:
+            obj_digest = objective_digest(problem)
+            if obj_digest != self._ctx_obj_digest:
+                c_new, c0_new, sign_new = objective_arrays(problem)
+                if sign_new != self._form.objective_sign:
+                    return None
+                swap = (c_new, c0_new, obj_digest)
+
+        context, form = self._context, self._form
+        if appended:
+            k, n = len(appended), len(variables)
+            a_app = np.zeros((k, n))
+            b_app = np.empty(k)
+            app_digests = []
+            for r, con in enumerate(appended):
+                rhs = float(con.rhs)
+                for var, coef in con.expr.terms().items():
+                    a_app[r, var_index[var]] += coef
+                if con.sense.value == ">=":
+                    a_app[r] *= -1.0
+                    rhs = -rhs
+                b_app[r] = rhs
+                app_digests.append(constraint_digest(con))
+            if not context.extend_rows(a_app, b_app):
+                return None
+            # The form mirrors the cold convention (appended non-EQ rows
+            # land at the end of a_ub), so incumbent-hint validation and
+            # objective evaluation see exactly what a rebuild would.
+            form.a_ub = np.vstack([form.a_ub, a_app])
+            form.b_ub = np.concatenate([form.b_ub, b_app])
+            ctx_rows.extend(appended)
+            digests.extend(app_digests)
+            # Outstanding warm tokens predate the new rows; extend each
+            # with the appended slacks (dual-feasible by construction).
+            for key in list(self._basis_io):
+                if key == "pseudo":
+                    # Learned pseudo-costs are per-column and the column
+                    # set is untouched by a row append: carry unchanged.
+                    continue
+                token = context.extend_warm_token(self._basis_io[key])
+                if token is not None:
+                    self._basis_io[key] = token
+                else:
+                    self._basis_io.pop(key)
+            self._structure_key = extend_structure_fingerprint(
+                self._structure_key or "", problem, app_digests
+            )
+            self.context_extensions += 1
+            metrics.increment("incremental.context_extended")
+        if swap is not None:
+            c_new, c0_new, obj_digest = swap
+            if not context.set_objective_vector(c_new):
+                return None
+            # context.c *is* form.c (shared array), so only c0 remains.
+            form.c0 = c0_new
+            self._ctx_obj_digest = obj_digest
+            if not appended:
+                self._structure_key = extend_structure_fingerprint(
+                    self._structure_key or "", problem, []
+                )
+            self.objective_swaps += 1
+            metrics.increment("incremental.objective_swapped")
+        self._ctx_objective = problem.objective
+
+        self._refresh_form_bounds(problem)
+        if appended or swap is not None:
+            return form, context, self._basis_io
+        self.context_reuses += 1
+        metrics.increment("incremental.context_reuses")
+        return form, context, self._basis_io
+
     def _context_for(self, problem: Problem, options: SolveOptions):
         """(form, context, basis_io) for a branch_bound solve, reusing when safe."""
         if options.cover_cut_rounds > 0:
             return None, None, None  # cuts mutate the row set; no reuse
-        key = (
-            f"{structure_fingerprint(problem)}|{options.relaxation_engine}"
-            f"|{options.node_resolve}|{int(options.presolve)}"
+        opt_key = (
+            f"{options.relaxation_engine}|{options.node_resolve}"
+            f"|{int(options.presolve)}"
         )
-        if self._structure_key == key and self._context is not None:
-            # Same matrices, possibly different bounds: refresh only the
-            # bound arrays on the cached form.  Bound moves between
-            # finite values never break the context's plus/minus column
-            # split (every model variable here has a finite lower
-            # bound), so the one-time standardization survives the
-            # whole refinement session.
-            form = self._form
-            # Re-read variables from the live problem: bounds are taken
-            # from it, and Solution.values must be keyed by *its*
-            # Variable objects.
-            form.variables = problem.variables
-            form.lb = np.array(
-                [-np.inf if v.lb is None else v.lb for v in form.variables]
-            )
-            form.ub = np.array(
-                [np.inf if v.ub is None else v.ub for v in form.variables]
-            )
-            self.context_reuses += 1
-            metrics.increment("incremental.context_reuses")
-            return form, self._context, self._basis_io
+        if self._context is not None and self._ctx_opt_key == opt_key:
+            reused = self._reuse_or_extend(problem)
+            if reused is not None:
+                return reused
         form = to_matrix_form(problem)
         self.context_rebuilds += 1
         metrics.increment("incremental.context_rebuilds")
@@ -442,7 +611,21 @@ class SolveCache:
             integrality=form.integrality,
         )
         self._form = form
-        self._structure_key = key
+        self._structure_key = f"{structure_fingerprint(problem)}|{opt_key}"
+        self._ctx_opt_key = opt_key
+        self._ctx_vars = list(problem.variables)
+        self._ctx_var_index = {v: i for i, v in enumerate(self._ctx_vars)}
+        self._ctx_constraints = list(problem.constraints)
+        self._ctx_row_digests = [
+            constraint_digest(con) for con in self._ctx_constraints
+        ]
+        self._ctx_objective = problem.objective
+        self._ctx_obj_digest = objective_digest(problem)
+        self._ctx_sense = problem.sense
+        # Everything in the channel goes, pseudo-costs included: a
+        # structural break changes the cost landscape enough that stale
+        # branching estimates mislead the next tree (measured: carrying
+        # them across a rebuild triples the post-outage tree).
         self._basis_io = {}
         return form, self._context, self._basis_io
 
@@ -488,11 +671,20 @@ class SolveCache:
             )
             return survivor
 
+        hint_repaired = False
         if options.warm_start is None:
             hint = self._hint_from_last()
             if hint is not None:
+                if self.hint_repairer is not None:
+                    repaired = self.hint_repairer(problem, hint)
+                    if repaired is not None:
+                        hint = repaired
+                        hint_repaired = True
+                        self.hints_repaired += 1
+                        metrics.increment("incremental.hint_repaired")
                 options = options.replace(warm_start=hint)
 
+        extensions_before = self.context_extensions
         start = time.monotonic()
         if backend == "branch_bound":
             form, context, basis_io = self._context_for(problem, options)
@@ -504,6 +696,10 @@ class SolveCache:
         elapsed = time.monotonic() - start
         if solution.stats is not None:
             solution.stats.extra["fingerprint_cache"] = 0.0
+            if self.context_extensions > extensions_before:
+                solution.stats.context_extended = 1
+            if hint_repaired:
+                solution.stats.hint_repaired = 1
         record_solve(
             problem=problem.name,
             backend=backend,

@@ -42,6 +42,7 @@ from dataclasses import dataclass, field, replace
 
 from ..core.entities import AsIsState
 from ..core.formulation import InfeasibleModelError
+from ..core.hint_repair import make_hint_repairer
 from ..core.incremental import Directive, RevisionedModel
 from ..core.plan import TransformationPlan
 from ..core.planner import ETransformPlanner, PlannerOptions, PlanningError
@@ -244,6 +245,10 @@ class OnlineController:
             self._planner = ETransformPlanner(self.state, replace(self.options))
             self._engine = RevisionedModel(self._planner.model)
             self._cache = SolveCache()
+            # A directive that invalidates the incumbent (new cap row,
+            # retirement) no longer forfeits the MIP start: the repairer
+            # projects it back into the feasible region first.
+            self._cache.hint_repairer = make_hint_repairer(self._planner.model)
             solution = self._planner.solve_model(cache=self._cache)
             self.incumbent = self._planner.finish_plan(solution)
         else:

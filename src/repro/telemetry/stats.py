@@ -111,6 +111,15 @@ class SolveStats:
     #: Dual entries that fell back to the primal engine.
     dual_fallbacks: int = 0
 
+    # -- incremental warm path ---------------------------------------------
+    #: 1 when this solve ran on a row-extended context instead of a rebuild.
+    context_extended: int = 0
+    #: 1 when the incumbent MIP start was repaired before seeding.
+    hint_repaired: int = 0
+    #: Dual re-entries that carried a bordered (extended) basis across
+    #: a row append — the proof the extension kept the warm start alive.
+    extension_dual_entries: int = 0
+
     # -- branch and bound --------------------------------------------------
     nodes_explored: int = 0
     nodes_pruned: int = 0
@@ -171,6 +180,9 @@ class SolveStats:
             "dual_entries": self.dual_entries,
             "dual_pivots": self.dual_pivots,
             "dual_fallbacks": self.dual_fallbacks,
+            "context_extended": self.context_extended,
+            "hint_repaired": self.hint_repaired,
+            "extension_dual_entries": self.extension_dual_entries,
             "nodes_explored": self.nodes_explored,
             "nodes_pruned": self.nodes_pruned,
             "cut_rounds": self.cut_rounds,
@@ -215,6 +227,9 @@ class SolveStats:
             dual_entries=data.get("dual_entries", 0),
             dual_pivots=data.get("dual_pivots", 0),
             dual_fallbacks=data.get("dual_fallbacks", 0),
+            context_extended=data.get("context_extended", 0),
+            hint_repaired=data.get("hint_repaired", 0),
+            extension_dual_entries=data.get("extension_dual_entries", 0),
             nodes_explored=data.get("nodes_explored", 0),
             nodes_pruned=data.get("nodes_pruned", 0),
             cut_rounds=data.get("cut_rounds", 0),

@@ -1,0 +1,130 @@
+"""Incumbent hint repair: projection onto new directives + polish."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    ConsolidationModel,
+    Directive,
+    PlannerOptions,
+    RevisionedModel,
+)
+from repro.core.hint_repair import make_hint_repairer
+from repro.lp import SolveStatus, solve
+
+
+def _violations(problem, values: dict[str, float]) -> list[str]:
+    by_name = {var.name: var for var in problem.variables}
+    out = []
+    for name, var in by_name.items():
+        v = values.get(name, 0.0)
+        if var.lb is not None and v < var.lb - 1e-6:
+            out.append(f"{name} < lb")
+        if var.ub is not None and v > var.ub + 1e-6:
+            out.append(f"{name} > ub")
+    for con in problem.constraints:
+        lhs = sum(
+            coef * values.get(var.name, 0.0)
+            for var, coef in con.expr.terms().items()
+        )
+        sense = con.sense.value
+        tol = 1e-6 * max(1.0, abs(con.rhs))
+        if sense == "<=" and lhs > con.rhs + tol:
+            out.append(con.name or "<=-row")
+        elif sense == ">=" and lhs < con.rhs - tol:
+            out.append(con.name or ">=-row")
+        elif sense == "=" and abs(lhs - con.rhs) > tol:
+            out.append(con.name or "=-row")
+    return out
+
+
+def _objective(problem, values: dict[str, float]) -> float:
+    return sum(
+        coef * values.get(var.name, 0.0)
+        for var, coef in problem.objective.terms().items()
+    ) + problem.objective.constant
+
+
+def _placement(model, values: dict[str, float]) -> dict[str, str]:
+    return {
+        g: dc
+        for (g, dc), var in model.x.items()
+        if values.get(var.name, 0.0) > 0.5
+    }
+
+
+@pytest.fixture
+def solved_model(tiny_state):
+    model = ConsolidationModel(tiny_state, PlannerOptions(backend="highs"))
+    sol = solve(model.problem, backend="highs")
+    assert sol.status is SolveStatus.OPTIMAL
+    return model, sol.as_name_dict()
+
+
+class TestRepair:
+    def test_forbidding_the_chosen_site_relocates_the_group(self, solved_model):
+        model, hint = solved_model
+        engine = RevisionedModel(model)
+        before = _placement(model, hint)
+        victim = "erp"
+        engine.apply(Directive("forbid", group=victim, datacenter=before[victim]))
+        repaired = make_hint_repairer(model)(model.problem, hint)
+        assert repaired is not None
+        assert _violations(model.problem, repaired) == []
+        after = _placement(model, repaired)
+        assert after[victim] != before[victim]
+        assert len(after) == len(before)
+
+    def test_feasible_hint_may_only_be_polished_downhill(self, solved_model):
+        # The hint is the true optimum of the unrevised problem: nothing
+        # to repair, nothing to improve — the repairer must step aside.
+        model, hint = solved_model
+        assert make_hint_repairer(model)(model.problem, hint) is None
+
+    def test_stale_but_feasible_hint_gets_polished(self, solved_model):
+        model, hint = solved_model
+        # Degrade the incumbent: pin every group to the costliest legal
+        # arrangement by solving, then moving one group off its optimal
+        # site while keeping the point feasible.
+        engine = RevisionedModel(model)
+        placement = _placement(model, hint)
+        g = "bi"
+        others = [
+            dc.name
+            for dc in model.state.target_datacenters
+            if dc.name != placement[g]
+        ]
+        engine.apply(Directive("pin", group=g, datacenter=others[0]))
+        repaired = make_hint_repairer(model)(model.problem, hint)
+        assert repaired is not None
+        assert _violations(model.problem, repaired) == []
+        assert _placement(model, repaired)[g] == others[0]
+        engine.pop()
+
+    def test_foreign_problem_is_refused(self, solved_model, tiny_state):
+        model, hint = solved_model
+        other = ConsolidationModel(tiny_state, PlannerOptions(backend="highs"))
+        assert make_hint_repairer(model)(other.problem, hint) is None
+
+
+class TestPolish:
+    def test_polish_improves_a_bad_feasible_hint(self, solved_model):
+        model, hint = solved_model
+        # Build a deliberately bad but feasible point: every group on
+        # the site the optimum does NOT use (capacity permitting).
+        placement = _placement(model, hint)
+        sites = [dc.name for dc in model.state.target_datacenters]
+        bad = {}
+        for g, site in placement.items():
+            bad[g] = next(s for s in sites if s != site)
+        values = {}
+        for (g, dc), var in model.x.items():
+            values[var.name] = 1.0 if bad.get(g) == dc else 0.0
+        repaired = make_hint_repairer(model)(model.problem, values)
+        if repaired is None:
+            pytest.skip("bad point not repairable on this state")
+        assert _violations(model.problem, repaired) == []
+        assert _objective(model.problem, repaired) < _objective(
+            model.problem, values
+        ) - 1e-9

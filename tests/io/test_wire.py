@@ -101,6 +101,63 @@ class TestPackedArrays:
         assert decode_payload(encode_payload(payload)) == payload
 
 
+class TestDirectivePayloads:
+    """Directives cross the wire as their ``as_dict`` form — the online
+    controller's ``cap_load`` rows carry fractional limits and per-group
+    float weights, both of which must survive the binary body exactly."""
+
+    def _roundtrip(self, directive, binary=True):
+        from repro.core.incremental import directive_from_dict
+
+        wire = encode_payload(directive.as_dict(), binary=binary)
+        return directive_from_dict(decode_payload(wire))
+
+    def test_cap_load_fractional_limit_roundtrips(self):
+        from repro.core.incremental import Directive
+
+        directive = Directive(
+            kind="cap_load",
+            datacenter="east",
+            limit=153.72,
+            weights=(("erp", 12.5), ("web", 0.375), ("batch", 41.0)),
+        )
+        out = self._roundtrip(directive)
+        assert out == directive
+        assert isinstance(out.limit, float) and out.limit == 153.72
+        assert out.weights == (("erp", 12.5), ("web", 0.375), ("batch", 41.0))
+
+    def test_cap_load_many_weights_binary_body(self):
+        from repro.core.incremental import Directive
+
+        weights = tuple((f"group-{i:03d}", 0.1 * i + 0.01) for i in range(40))
+        directive = Directive(
+            kind="cap_load", datacenter="west", limit=999.25, weights=weights
+        )
+        wire = encode_payload(directive.as_dict())
+        assert wire[0] == WIRE_BINARY
+        out = self._roundtrip(directive)
+        assert out == directive
+        assert all(isinstance(w, float) for _, w in out.weights)
+
+    def test_cap_load_json_body_parity(self):
+        from repro.core.incremental import Directive
+
+        directive = Directive(
+            kind="cap_load",
+            datacenter="north",
+            limit=7.125,
+            weights=(("a", 1.5), ("b", 2.25)),
+        )
+        assert self._roundtrip(directive, binary=False) == directive
+
+    def test_cap_servers_limit_stays_integer(self):
+        from repro.core.incremental import Directive
+
+        directive = Directive(kind="cap_servers", datacenter="east", limit=120)
+        out = self._roundtrip(directive)
+        assert out == directive and isinstance(out.limit, int)
+
+
 class TestFallbackAndVersioning:
     def test_json_fallback_for_non_string_keys(self):
         value = {1: "one"}  # binary dicts need str keys

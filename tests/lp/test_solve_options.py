@@ -169,15 +169,33 @@ class TestSolveCache:
         assert cache.context_rebuilds == 1
         assert cache.context_reuses == 1
 
-    def test_added_row_rebuilds_context(self):
+    def test_added_row_extends_context_in_place(self):
         p = knapsack()
         cache = SolveCache()
         opts = SolveOptions(relaxation_engine="builtin")
         first = solve(p, backend="branch_bound", options=opts, cache=cache)
         winner = next(v for v in p.variables if first.value(v) > 0.5)
         p.add_constraint(winner <= 0)
+        second = solve(p, backend="branch_bound", options=opts, cache=cache)
+        # The appended inequality extends the cached context instead of
+        # forcing a rebuild, and the answer matches a cold solve.
+        assert cache.context_rebuilds == 1
+        assert cache.context_extensions == 1
+        cold = solve(p, backend="branch_bound", options=opts, cache=SolveCache())
+        assert second.objective == pytest.approx(cold.objective)
+        assert second.value(winner) == pytest.approx(0.0, abs=1e-6)
+
+    def test_removed_row_rebuilds_context(self):
+        p = knapsack()
+        cache = SolveCache()
+        opts = SolveOptions(relaxation_engine="builtin")
+        keep = len(p.constraints)
+        p.add_constraint(p.variables[0] <= 1)
+        solve(p, backend="branch_bound", options=opts, cache=cache)
+        p.truncate_constraints(keep)
         solve(p, backend="branch_bound", options=opts, cache=cache)
         assert cache.context_rebuilds == 2
+        assert cache.context_extensions == 0
 
     def test_clear_forgets_everything(self):
         p = knapsack()
